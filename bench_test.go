@@ -1,0 +1,557 @@
+// Top-level benchmark harness: one benchmark per experiment in
+// EXPERIMENTS.md (E1-E7 map the paper's figures and evaluation claims;
+// P1-P6 are supplemental performance characterizations the paper's
+// industry-track format omits). Run with:
+//
+//	go test -bench=. -benchmem .
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/apps/scenario"
+	"repro/internal/apps/tradelens"
+	"repro/internal/apps/wetrade"
+	"repro/internal/chaincode"
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/endorsement"
+	"repro/internal/fabric"
+	"repro/internal/ledger"
+	"repro/internal/msp"
+	"repro/internal/orderer"
+	"repro/internal/peer"
+	"repro/internal/policy"
+	"repro/internal/proof"
+	"repro/internal/relay"
+	"repro/internal/syscc"
+	"repro/internal/wire"
+)
+
+// assembleOne builds a single-endorsement transaction for the batching
+// ablation.
+func assembleOne(inv chaincode.Invocation, resp *peer.ProposalResponse) (*ledger.Transaction, error) {
+	return peer.AssembleTransaction(inv, []*peer.ProposalResponse{resp})
+}
+
+// policyFor is the verification policy used by the payload-size sweep.
+func policyFor(network string) policy.VerificationPolicy {
+	return policy.VerificationPolicy{Network: network, Expr: "AND('org-a.peer','org-b.peer')"}
+}
+
+// accessFor is the access rule used by the payload-size sweep.
+func accessFor() policy.AccessRule {
+	return policy.AccessRule{Network: "dst", Org: "dst-org", Chaincode: "data", Function: "Get"}
+}
+
+// tradeWorld builds the standard STL/SWT world with a committed B/L.
+func tradeWorld(b *testing.B) (*scenario.TradeWorld, *scenario.Actors) {
+	b.Helper()
+	w, err := scenario.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	actors, err := w.NewActors()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := actors.STLSeller.CreateShipment("po-1001", "S", "B", "goods"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := actors.STLCarrier.BookShipment("po-1001", "C"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := actors.STLCarrier.RecordGateIn("po-1001"); err != nil {
+		b.Fatal(err)
+	}
+	if err := actors.STLCarrier.IssueBillOfLading(&tradelens.BillOfLading{
+		BLID: "bl-1", PORef: "po-1001", Carrier: "C",
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return w, actors
+}
+
+func blQuerySpec(po string) core.RemoteQuerySpec {
+	return core.RemoteQuerySpec{
+		Network:  tradelens.NetworkID,
+		Contract: tradelens.ChaincodeName,
+		Function: tradelens.FnGetBillOfLading,
+		Args:     [][]byte{[]byte(po)},
+	}
+}
+
+// BenchmarkE1EndToEndQuery measures the complete Fig. 2 / Fig. 4 message
+// flow: query via relays, proof collection on two organizations, response
+// decryption and client-side proof verification.
+func BenchmarkE1EndToEndQuery(b *testing.B) {
+	_, actors := tradeWorld(b)
+	client := actors.SWTSeller.Client()
+	spec := blQuerySpec("po-1001")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.RemoteQuery(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2EncryptionOverhead isolates the confidentiality cost the
+// paper's design pays so untrusted relays learn nothing: a full attestation
+// (sign + encrypt metadata + encrypt result) versus the bare signature an
+// encryption-free design would use.
+func BenchmarkE2EncryptionOverhead(b *testing.B) {
+	ca, _ := msp.NewCA("org")
+	attestor, _ := ca.Issue("peer0", msp.RolePeer)
+	clientKey, _ := cryptoutil.GenerateKey()
+	nonce, _ := cryptoutil.NewNonce()
+	qd := proof.QueryDigest("net", "default", "cc", "fn", nil, nonce)
+	result := make([]byte, 4096)
+	now := time.Now()
+
+	b.Run("attestation-with-encryption", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := proof.BuildAttestation(attestor, "net", qd, result, nonce, &clientKey.PublicKey, now); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := proof.EncryptResult(&clientKey.PublicKey, result); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("signature-only-baseline", func(b *testing.B) {
+		md := wire.Metadata{
+			NetworkID: "net", PeerName: attestor.Name, OrgID: attestor.OrgID,
+			QueryDigest: qd, ResultDigest: cryptoutil.Digest(result), Nonce: nonce,
+		}
+		plain := md.Marshal()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := attestor.Sign(plain); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE3ProofValidation measures the destination-side Data Acceptance
+// check (signature verification, certificate chains, policy evaluation) as
+// the attestor count grows.
+func BenchmarkE3ProofValidation(b *testing.B) {
+	for _, attestors := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("attestors-%d", attestors), func(b *testing.B) {
+			cas := make([]*msp.CA, attestors)
+			identities := make([]*msp.Identity, attestors)
+			roots := make(map[string][]byte, attestors)
+			policyExpr := ""
+			for i := 0; i < attestors; i++ {
+				org := fmt.Sprintf("org-%d", i)
+				cas[i], _ = msp.NewCA(org)
+				identities[i], _ = cas[i].Issue(org+"-peer0", msp.RolePeer)
+				roots[org] = cas[i].RootCertPEM()
+				if i > 0 {
+					policyExpr += ","
+				}
+				policyExpr += "'" + org + "'"
+			}
+			if attestors > 1 {
+				policyExpr = "AND(" + policyExpr + ")"
+			}
+			verifier, _ := msp.NewVerifier(roots)
+			clientKey, _ := cryptoutil.GenerateKey()
+			nonce, _ := cryptoutil.NewNonce()
+			q := &wire.Query{TargetNetwork: "net", Ledger: "default", Contract: "cc", Function: "fn", Nonce: nonce}
+			qd := proof.QueryDigestOf(q)
+			result := make([]byte, 4096)
+			encResult, _ := proof.EncryptResult(&clientKey.PublicKey, result)
+			resp := &wire.QueryResponse{EncryptedResult: encResult}
+			for _, id := range identities {
+				att, _ := proof.BuildAttestation(id, "net", qd, result, nonce, &clientKey.PublicKey, time.Now())
+				resp.Attestations = append(resp.Attestations, att)
+			}
+			bundle, err := proof.OpenResponse(clientKey, q, resp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vp := endorsement.MustParse(policyExpr)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := proof.Verify(bundle, verifier, vp, qd); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4FailoverLatency compares a query served by the primary relay
+// against one that must fail over to a standby after the primary is down —
+// the cost of the paper's relay-redundancy availability mitigation.
+func BenchmarkE4FailoverLatency(b *testing.B) {
+	build := func(b *testing.B, primaryDown bool) (*core.Client, core.RemoteQuerySpec) {
+		hub := relay.NewHub()
+		registry := relay.NewStaticRegistry()
+		w, err := scenario.BuildWith(registry, hub)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hub.Attach("primary", w.STL.Relay)
+		hub.Attach("standby", w.STL.Relay)
+		registry.Register(tradelens.NetworkID, "primary", "standby")
+		hub.Attach(scenario.SWTRelayAddr, w.SWT.Relay)
+		registry.Register(wetrade.NetworkID, scenario.SWTRelayAddr)
+		actors, err := w.NewActors()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = actors.STLSeller.CreateShipment("po-1001", "S", "B", "g")
+		_, _ = actors.STLCarrier.BookShipment("po-1001", "C")
+		_, _ = actors.STLCarrier.RecordGateIn("po-1001")
+		_ = actors.STLCarrier.IssueBillOfLading(&tradelens.BillOfLading{BLID: "bl-1", PORef: "po-1001", Carrier: "C"})
+		hub.SetDown("primary", primaryDown)
+		return actors.SWTSeller.Client(), blQuerySpec("po-1001")
+	}
+	b.Run("primary-up", func(b *testing.B) {
+		client, spec := build(b, false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.RemoteQuery(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("failover-to-standby", func(b *testing.B) {
+		client, spec := build(b, true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.RemoteQuery(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE6CrossPlatformQuery measures the same end-to-end flow with the
+// source data on the notary platform, isolating the driver substitution.
+func BenchmarkE6CrossPlatformQuery(b *testing.B) {
+	w, err := scenario.BuildCrossPlatform()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := w.STL.Update("bl/po-1001", 0, []byte(`{"blId":"bl-1","poRef":"po-1001"}`)); err != nil {
+		b.Fatal(err)
+	}
+	seller, err := wetrade.NewSellerApp(w.SWT, "seller")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := blQuerySpec("po-1001")
+	client := seller.Client()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.RemoteQuery(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7TradeLifecycle measures the complete Fig. 3 business flow: 9
+// on-ledger transactions across two networks plus the cross-network query.
+func BenchmarkE7TradeLifecycle(b *testing.B) {
+	w, err := scenario.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	actors, err := w.NewActors()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		po := fmt.Sprintf("po-%d", i)
+		lcID := fmt.Sprintf("lc-%d", i)
+		if _, err := actors.STLSeller.CreateShipment(po, "S", "B", "goods"); err != nil {
+			b.Fatal(err)
+		}
+		lc := &wetrade.LetterOfCredit{LCID: lcID, PORef: po, Buyer: "B", Seller: "S", Amount: 100, Currency: "USD"}
+		if _, err := actors.SWTBuyer.RequestLC(lc); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := actors.SWTBuyer.IssueLC(lcID); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := actors.SWTSeller.AcceptLC(lcID); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := actors.STLCarrier.BookShipment(po, "C"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := actors.STLCarrier.RecordGateIn(po); err != nil {
+			b.Fatal(err)
+		}
+		if err := actors.STLCarrier.IssueBillOfLading(&tradelens.BillOfLading{
+			BLID: "bl-" + po, PORef: po, Carrier: "C",
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := actors.SWTSeller.FetchAndUploadBL(lcID, po); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := actors.SWTSeller.RequestPayment(lcID); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := actors.SWTBuyer.MakePayment(lcID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkP1WireCodec measures the network-neutral protocol codec.
+func BenchmarkP1WireCodec(b *testing.B) {
+	q := &wire.Query{
+		RequestID: "req", RequestingNetwork: "we-trade", TargetNetwork: "tradelens",
+		Ledger: "default", Contract: "TradeLensCC", Function: "GetBillOfLading",
+		Args: [][]byte{[]byte("po-1001")}, PolicyExpr: "AND('a','b')",
+		RequesterCertPEM: make([]byte, 800), Nonce: make([]byte, 24),
+	}
+	buf := q.Marshal()
+	b.Run("marshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = q.Marshal()
+		}
+	})
+	b.Run("unmarshal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.UnmarshalQuery(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkP2ProofGeneration measures source-side proof generation as the
+// attestor count grows (proof size scales linearly with the verification
+// policy's breadth).
+func BenchmarkP2ProofGeneration(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("attestors-%d", n), func(b *testing.B) {
+			identities := make([]*msp.Identity, n)
+			for i := range identities {
+				ca, _ := msp.NewCA(fmt.Sprintf("org-%d", i))
+				identities[i], _ = ca.Issue("peer0", msp.RolePeer)
+			}
+			clientKey, _ := cryptoutil.GenerateKey()
+			nonce, _ := cryptoutil.NewNonce()
+			qd := proof.QueryDigest("net", "default", "cc", "fn", nil, nonce)
+			result := make([]byte, 4096)
+			now := time.Now()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, id := range identities {
+					if _, err := proof.BuildAttestation(id, "net", qd, result, nonce, &clientKey.PublicKey, now); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP3PolicyEvaluation measures verification-policy evaluation as
+// expressions widen.
+func BenchmarkP3PolicyEvaluation(b *testing.B) {
+	for _, n := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("orgs-%d", n), func(b *testing.B) {
+			expr := ""
+			signers := make([]endorsement.Principal, n)
+			for i := 0; i < n; i++ {
+				if i > 0 {
+					expr += ","
+				}
+				expr += fmt.Sprintf("'org-%d'", i)
+				signers[i] = endorsement.Principal{OrgID: fmt.Sprintf("org-%d", i), Role: msp.RolePeer}
+			}
+			p := endorsement.MustParse("AND(" + expr + ")")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !p.Satisfied(signers) {
+					b.Fatal("unsatisfied")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkP4CommitThroughput is the block-batching ablation: transactions
+// per second as the orderer's batch size grows.
+func BenchmarkP4CommitThroughput(b *testing.B) {
+	for _, batch := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("batch-%d", batch), func(b *testing.B) {
+			n := fabric.NewNetwork("bench", orderer.Config{BatchSize: batch})
+			_, _ = n.AddOrg("org", 1)
+			_ = n.Deploy("kv", chaincode.Func(func(stub chaincode.Stub) ([]byte, error) {
+				return nil, stub.PutState(string(stub.Args()[0]), stub.Args()[1])
+			}), "'org'")
+			org, _ := n.Org("org")
+			client, _ := org.CA.Issue("c", msp.RoleClient)
+			gw := n.Gateway(client)
+			peers, _ := n.PeersOf("org")
+			val := make([]byte, 256)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inv := chaincode.Invocation{
+					TxID: fmt.Sprintf("tx-%d", i), Chaincode: "kv", Function: "put",
+					Args:        [][]byte{[]byte(fmt.Sprintf("k%d", i)), val},
+					CreatorCert: gw.Identity().CertPEM(), Timestamp: time.Now(),
+				}
+				resp, err := peers[0].Endorse(inv)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tx, err := assembleOne(inv, resp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := n.Orderer().Submit(tx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			_ = n.Orderer().Flush()
+		})
+	}
+}
+
+// BenchmarkP5TransportRTT compares the in-process hub against real TCP for
+// a fixed ping round-trip.
+func BenchmarkP5TransportRTT(b *testing.B) {
+	registry := relay.NewStaticRegistry()
+	b.Run("in-process", func(b *testing.B) {
+		hub := relay.NewHub()
+		target := relay.New("net", registry, hub)
+		hub.Attach("addr", target)
+		probe := relay.New("probe", registry, hub)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := probe.Ping("addr"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tcp", func(b *testing.B) {
+		transport := &relay.TCPTransport{}
+		target := relay.New("net", registry, transport)
+		server, err := relay.NewTCPServer(target, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer server.Close()
+		probe := relay.New("probe", registry, transport)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := probe.Ping(server.Addr()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tcp-pooled", func(b *testing.B) {
+		transport := &relay.PooledTCPTransport{}
+		defer transport.Close()
+		target := relay.New("net", registry, transport)
+		server, err := relay.NewTCPServer(target, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer server.Close()
+		probe := relay.New("probe", registry, transport)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := probe.Ping(server.Addr()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkP6PayloadSize sweeps the cross-network result size.
+func BenchmarkP6PayloadSize(b *testing.B) {
+	for _, size := range []int{1 << 10, 64 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("result-%dKiB", size>>10), func(b *testing.B) {
+			hub := relay.NewHub()
+			registry := relay.NewStaticRegistry()
+			srcFab := fabric.NewNetwork("src", orderer.Config{BatchSize: 1})
+			_, _ = srcFab.AddOrg("org-a", 1)
+			_, _ = srcFab.AddOrg("org-b", 1)
+			payload := make([]byte, size)
+			_ = srcFab.Deploy("data", chaincode.Func(func(stub chaincode.Stub) ([]byte, error) {
+				if _, err := syscc.AuthorizeRelayRequest(stub, "data"); err != nil {
+					return nil, err
+				}
+				return payload, nil
+			}), "AND('org-a','org-b')")
+			src, err := core.EnableInterop(srcFab, registry, hub, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+
+			destFab := fabric.NewNetwork("dst", orderer.Config{BatchSize: 1})
+			_, _ = destFab.AddOrg("dst-org", 1)
+			dest, err := core.EnableInterop(destFab, registry, hub, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hub.Attach("src-relay", src.Relay)
+			registry.Register("src", "src-relay")
+
+			srcOrg, _ := srcFab.Org("org-a")
+			srcAdminID, _ := srcOrg.CA.Issue("admin", msp.RoleAdmin)
+			srcAdmin := srcFab.Gateway(srcAdminID)
+			dstOrg, _ := destFab.Org("dst-org")
+			dstAdminID, _ := dstOrg.CA.Issue("admin", msp.RoleAdmin)
+			dstAdmin := destFab.Gateway(dstAdminID)
+			if err := src.ConfigureForeignNetwork(srcAdmin, dest.ExportConfig()); err != nil {
+				b.Fatal(err)
+			}
+			if err := dest.ConfigureForeignNetwork(dstAdmin, src.ExportConfig()); err != nil {
+				b.Fatal(err)
+			}
+			if err := dest.SetVerificationPolicy(dstAdmin, policyFor("src")); err != nil {
+				b.Fatal(err)
+			}
+			if err := src.GrantAccess(srcAdmin, accessFor()); err != nil {
+				b.Fatal(err)
+			}
+			client, err := core.NewClient(dest, "dst-org", "c")
+			if err != nil {
+				b.Fatal(err)
+			}
+			spec := core.RemoteQuerySpec{Network: "src", Contract: "data", Function: "Get"}
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.RemoteQuery(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

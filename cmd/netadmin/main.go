@@ -1,0 +1,80 @@
+// Command netadmin inspects a deployment directory: it lists the networks
+// registered for discovery, probes every relay address for liveness, and
+// summarizes the client kit's interop configuration (requesting identity,
+// source network organizations, verification policy).
+//
+// Usage:
+//
+//	netadmin -dir ./deploy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/deploy"
+	"repro/internal/relay"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "netadmin:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir := flag.String("dir", "./deploy", "deployment directory to inspect")
+	flag.Parse()
+
+	registry := relay.NewFileRegistry(deploy.RegistryPath(*dir))
+	networks, err := registry.Networks()
+	if err != nil {
+		return err
+	}
+	sort.Strings(networks)
+
+	transport := &relay.TCPTransport{DialTimeout: 2 * time.Second, IOTimeout: 5 * time.Second}
+	probe := relay.New("netadmin", registry, transport)
+
+	fmt.Printf("registry: %s\n", deploy.RegistryPath(*dir))
+	if len(networks) == 0 {
+		fmt.Println("  (no networks registered)")
+	}
+	for _, network := range networks {
+		addrs, err := registry.Resolve(network)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("network %q: %d relay(s)\n", network, len(addrs))
+		for _, addr := range addrs {
+			start := time.Now()
+			if err := probe.Ping(addr); err != nil {
+				fmt.Printf("  %-24s DOWN  (%v)\n", addr, err)
+				continue
+			}
+			fmt.Printf("  %-24s UP    (%s)\n", addr, time.Since(start).Round(time.Microsecond))
+		}
+	}
+
+	kit, err := deploy.LoadKit(*dir)
+	if err != nil {
+		fmt.Printf("client kit: none (%v)\n", err)
+		return nil
+	}
+	fmt.Printf("client kit: %s@%s of %s\n", kit.Name, kit.Org, kit.RequestingNetwork)
+	fmt.Printf("  provisioned for   %s.%s on %s\n", kit.Contract, kit.Function, kit.SourceNetwork)
+	fmt.Printf("  verification      %s\n", kit.VerificationPolicy)
+	cfg, err := kit.SourceConfig()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  source platform   %s with %d org(s):\n", cfg.Platform, len(cfg.Orgs))
+	for _, org := range cfg.Orgs {
+		fmt.Printf("    %-20s %d peer(s), root cert %d bytes\n", org.OrgID, len(org.PeerNames), len(org.RootCertPEM))
+	}
+	return nil
+}

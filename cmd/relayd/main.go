@@ -1,0 +1,175 @@
+// Command relayd runs a relay-fronted demo source network over TCP: it
+// boots the Simplified TradeLens network with seeded trade data, provisions
+// a foreign client (the We.Trade seller of the paper's use case) with full
+// interop configuration, writes the deployment artifacts (relay registry
+// and client kit), and serves the relay protocol until interrupted.
+//
+// Usage:
+//
+//	relayd -listen 127.0.0.1:9080 -dir ./deploy
+//
+// Afterwards, from another process:
+//
+//	interopctl -dir ./deploy -po po-1001
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/apps/tradelens"
+	"repro/internal/apps/wetrade"
+	"repro/internal/core"
+	"repro/internal/cryptoutil"
+	"repro/internal/deploy"
+	"repro/internal/msp"
+	"repro/internal/policy"
+	"repro/internal/relay"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "relayd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:9080", "address to serve the relay protocol on")
+	dir := flag.String("dir", "./deploy", "deployment directory for registry and client kit")
+	seed := flag.Bool("seed", true, "seed the demo shipment and bill of lading")
+	flag.Parse()
+
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return fmt.Errorf("create deployment dir: %w", err)
+	}
+	registry := relay.NewFileRegistry(deploy.RegistryPath(*dir))
+	transport := &relay.TCPTransport{DialTimeout: 5 * time.Second, IOTimeout: 30 * time.Second}
+
+	// Boot the source network with its relay.
+	stl, err := tradelens.BuildNetwork(registry, transport)
+	if err != nil {
+		return err
+	}
+	admin, err := tradelens.AdminGateway(stl, tradelens.SellerOrg)
+	if err != nil {
+		return err
+	}
+
+	// Provision the foreign requester: a seller-bank client of a minimal
+	// "we-trade" identity domain.
+	clientCA, err := msp.NewCA(wetrade.SellerBankOrg)
+	if err != nil {
+		return err
+	}
+	clientKey, err := cryptoutil.GenerateKey()
+	if err != nil {
+		return err
+	}
+	clientCert, err := clientCA.IssueForKey("swt-seller-client", msp.RoleClient, &clientKey.PublicKey)
+	if err != nil {
+		return err
+	}
+	clientIdentity := &msp.Identity{
+		Name: "swt-seller-client", OrgID: wetrade.SellerBankOrg,
+		Role: msp.RoleClient, Cert: clientCert, Key: clientKey,
+	}
+	foreignCfg := &wire.NetworkConfig{
+		NetworkID: wetrade.NetworkID,
+		Platform:  "fabric",
+		Orgs: []wire.OrgConfig{
+			{OrgID: wetrade.SellerBankOrg, RootCertPEM: clientCA.RootCertPEM()},
+		},
+	}
+
+	// Interop initialization on the source ledger: record the foreign
+	// config, grant the paper's access rule.
+	if err := stl.ConfigureForeignNetwork(admin, foreignCfg); err != nil {
+		return err
+	}
+	if err := stl.GrantAccess(admin, policy.AccessRule{
+		Network:   wetrade.NetworkID,
+		Org:       wetrade.SellerBankOrg,
+		Chaincode: tradelens.ChaincodeName,
+		Function:  tradelens.FnGetBillOfLading,
+	}); err != nil {
+		return err
+	}
+
+	if *seed {
+		if err := seedDemoData(stl); err != nil {
+			return err
+		}
+		log.Printf("seeded shipment po-1001 with bill of lading bl-7734")
+	}
+
+	// Write the client kit for interopctl.
+	keyDER, err := cryptoutil.MarshalPrivateKey(clientKey)
+	if err != nil {
+		return err
+	}
+	kit := &deploy.ClientKit{
+		RequestingNetwork:  wetrade.NetworkID,
+		Org:                wetrade.SellerBankOrg,
+		Name:               clientIdentity.Name,
+		CertPEM:            clientIdentity.CertPEM(),
+		KeyPKCS8:           keyDER,
+		SourceNetwork:      tradelens.NetworkID,
+		VerificationPolicy: fmt.Sprintf("AND('%s.peer','%s.peer')", tradelens.SellerOrg, tradelens.CarrierOrg),
+		Ledger:             "default",
+		Contract:           tradelens.ChaincodeName,
+		Function:           tradelens.FnGetBillOfLading,
+	}
+	kit.SetSourceConfig(stl.ExportConfig())
+	if err := deploy.SaveKit(*dir, kit); err != nil {
+		return err
+	}
+
+	server, err := relay.NewTCPServer(stl.Relay, *listen)
+	if err != nil {
+		return err
+	}
+	if err := registry.Register(tradelens.NetworkID, server.Addr()); err != nil {
+		return err
+	}
+	log.Printf("tradelens relay serving on %s; deployment artifacts in %s", server.Addr(), *dir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	return server.Close()
+}
+
+// seedDemoData drives the STL lifecycle for the paper's po-1001 shipment:
+// creation, booking, gate-in, and bill-of-lading issuance.
+func seedDemoData(stl *core.Network) error {
+	seller, err := tradelens.NewSellerApp(stl, "stl-seller-app")
+	if err != nil {
+		return err
+	}
+	carrier, err := tradelens.NewCarrierApp(stl, "stl-carrier-app")
+	if err != nil {
+		return err
+	}
+	if _, err := seller.CreateShipment("po-1001", "Acme Exports", "Globex Imports", "4x40ft machinery"); err != nil {
+		return err
+	}
+	if _, err := carrier.BookShipment("po-1001", "Oceanic Lines"); err != nil {
+		return err
+	}
+	if _, err := carrier.RecordGateIn("po-1001"); err != nil {
+		return err
+	}
+	return carrier.IssueBillOfLading(&tradelens.BillOfLading{
+		BLID: "bl-7734", PORef: "po-1001", Carrier: "Oceanic Lines",
+		Vessel: "MV Meridian", PortFrom: "Shanghai", PortTo: "Rotterdam",
+		Goods: "4x40ft machinery", IssuedAt: time.Now(),
+	})
+}

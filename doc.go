@@ -1,0 +1,25 @@
+// Package repro is a from-scratch Go reproduction of "Enabling Enterprise
+// Blockchain Interoperability with Trusted Data Transfer" (Abebe et al.,
+// Middleware 2019): a relay-based architecture for trusted data transfer
+// between independent permissioned blockchain networks, with consensual
+// exposure control, verification-policy-driven attestation proofs, and
+// end-to-end confidentiality against untrusted relays.
+//
+// The library layout:
+//
+//   - internal/core        — public interop API (EnableInterop, Client.RemoteQuery)
+//   - internal/relay       — relay service, discovery, transports, drivers
+//   - internal/wire        — network-neutral protocol codec and messages
+//   - internal/proof       — attestation proofs and verification
+//   - internal/policy      — access-control rules and verification policies
+//   - internal/syscc       — system contracts (ECC exposure control, CMDAC
+//     configuration management & data acceptance)
+//   - internal/fabric      — the Fabric-model platform substrate (MSPs,
+//     endorsement, ordering, MVCC validation, gateway)
+//   - internal/notary      — a second, notary-attested platform substrate
+//   - internal/apps        — the paper's STL / SWT use-case applications
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record. The bench_test.go
+// file in this directory regenerates every experiment.
+package repro

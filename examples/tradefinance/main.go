@@ -1,0 +1,129 @@
+// Tradefinance: the paper's full proof-of-concept (§4, Fig. 3): Simplified
+// TradeLens and Simplified We.Trade run side by side; a letter of credit on
+// SWT is honoured only after the bill of lading is fetched from STL with a
+// consensus-backed proof. The example also attempts the fraud this design
+// prevents — a forged B/L — and shows it rejected on-chain.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/apps/scenario"
+	"repro/internal/apps/tradelens"
+	"repro/internal/apps/wetrade"
+	"repro/internal/proof"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	fmt.Println("== building STL (TradeLens) and SWT (We.Trade), wiring relays ==")
+	world, err := scenario.Build()
+	if err != nil {
+		return err
+	}
+	actors, err := world.NewActors()
+	if err != nil {
+		return err
+	}
+	fmt.Println("   STL: seller-org + carrier-org (Fabric, 2 peers)")
+	fmt.Println("   SWT: buyer-bank-org + seller-bank-org (Fabric, 4 peers)")
+	fmt.Println("   access rule:", "<we-trade, seller-bank-org, TradeLensCC, GetBillOfLading>")
+	fmt.Println("   verification policy: AND('seller-org.peer','carrier-org.peer')")
+
+	fmt.Println("== step 1: purchase order po-1001 arranged on STL ==")
+	if _, err := actors.STLSeller.CreateShipment("po-1001", "Acme Exports", "Globex Imports", "4x40ft machinery"); err != nil {
+		return err
+	}
+
+	fmt.Println("== steps 2-4: L/C lc-5001 issued and accepted on SWT ==")
+	lc := &wetrade.LetterOfCredit{
+		LCID: "lc-5001", PORef: "po-1001",
+		Buyer: "Globex Imports", Seller: "Acme Exports",
+		BuyerBank: "First Buyer Bank", SellerBank: "Seller Trust",
+		Amount: 2_500_000_00, Currency: "USD",
+	}
+	if _, err := actors.SWTBuyer.RequestLC(lc); err != nil {
+		return err
+	}
+	if _, err := actors.SWTBuyer.IssueLC("lc-5001"); err != nil {
+		return err
+	}
+	if _, err := actors.SWTSeller.AcceptLC("lc-5001"); err != nil {
+		return err
+	}
+
+	fmt.Println("== fraud attempt: seller forges a B/L before any shipment ==")
+	forged := &proof.Bundle{
+		SourceNetwork: tradelens.NetworkID,
+		Result:        []byte(`{"blId":"bl-fake","poRef":"po-1001"}`),
+		Nonce:         []byte("made-up-nonce"),
+	}
+	if err := actors.SWTSeller.UploadForgedBL("lc-5001", forged.Marshal()); err != nil {
+		fmt.Printf("   rejected on-chain, as designed: %v\n", firstLine(err))
+	} else {
+		return fmt.Errorf("forged B/L was accepted — this must never happen")
+	}
+
+	fmt.Println("== steps 5-8: booking, gate-in, genuine B/L issued on STL ==")
+	if _, err := actors.STLCarrier.BookShipment("po-1001", "Oceanic Lines"); err != nil {
+		return err
+	}
+	if _, err := actors.STLCarrier.RecordGateIn("po-1001"); err != nil {
+		return err
+	}
+	bl := &tradelens.BillOfLading{
+		BLID: "bl-7734", PORef: "po-1001", Carrier: "Oceanic Lines",
+		Vessel: "MV Meridian", PortFrom: "Shanghai", PortTo: "Rotterdam",
+		Goods: "4x40ft machinery", IssuedAt: time.Now(),
+	}
+	if err := actors.STLCarrier.IssueBillOfLading(bl); err != nil {
+		return err
+	}
+	fmt.Println("   bl-7734 committed on STL by consensus of both organizations")
+
+	fmt.Println("== step 9: cross-network query with proof (Fig. 4) ==")
+	updated, err := actors.SWTSeller.FetchAndUploadBL("lc-5001", "po-1001")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   L/C %s now %s with verified B/L %s\n", updated.LCID, updated.Status, updated.BLID)
+
+	fmt.Println("== step 10: payment ==")
+	if _, err := actors.SWTSeller.RequestPayment("lc-5001"); err != nil {
+		return err
+	}
+	payment, err := actors.SWTBuyer.MakePayment("lc-5001")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("   settled %d.%02d %s under %s\n",
+		payment.Amount/100, payment.Amount%100, payment.Currency, payment.LCID)
+
+	final, err := actors.SWTBuyer.LC("lc-5001")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final L/C status: %s\n", final.Status)
+	fmt.Println("done.")
+	return nil
+}
+
+func firstLine(err error) string {
+	msg := err.Error()
+	for i, c := range msg {
+		if c == '\n' {
+			return msg[:i]
+		}
+	}
+	if len(msg) > 140 {
+		return msg[:140] + "..."
+	}
+	return msg
+}

@@ -1,0 +1,108 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/apps/tradelens"
+	"repro/internal/apps/wetrade"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/notary"
+	"repro/internal/policy"
+	"repro/internal/relay"
+)
+
+// Notary-platform organization names for the cross-platform scenario.
+const (
+	NotaryAlphaOrg = "notary-alpha"
+	NotaryBetaOrg  = "notary-beta"
+	// NotarySTLRelayAddr is the notary-hosted TradeLens relay address.
+	NotarySTLRelayAddr = "stl-notary-relay:9082"
+)
+
+// CrossPlatformWorld hosts the TradeLens data on the notary platform while
+// We.Trade stays on Fabric — experiment E6, the paper's §5 extensibility
+// claim made executable. The relay, wire protocol, proof format and SWT
+// application code are identical to the Fabric↔Fabric scenario; only the
+// source platform and its driver differ.
+type CrossPlatformWorld struct {
+	Hub      *relay.Hub
+	Registry *relay.StaticRegistry
+
+	// STL is the notary-hosted trade logistics ledger. It reuses the
+	// "tradelens" network ID so the SWT chaincode needs no change.
+	STL *notary.Network
+	// SWT is the Fabric-based trade finance network.
+	SWT      *core.Network
+	SWTAdmin *fabric.Gateway
+}
+
+// BuildCrossPlatform wires the notary-hosted STL with the Fabric-hosted
+// SWT.
+func BuildCrossPlatform() (*CrossPlatformWorld, error) {
+	hub := relay.NewHub()
+	registry := relay.NewStaticRegistry()
+
+	// Notary-hosted TradeLens: two notary services stand where the Seller
+	// and Carrier organizations' peers stood.
+	stl := notary.NewNetwork(tradelens.NetworkID)
+	for _, org := range []string{NotaryAlphaOrg, NotaryBetaOrg} {
+		if _, err := stl.AddNotary(org); err != nil {
+			return nil, fmt.Errorf("scenario: add notary %s: %w", org, err)
+		}
+	}
+	stl.RegisterView(tradelens.ChaincodeName, tradelens.FnGetBillOfLading,
+		func(vault notary.ReadVault, args [][]byte) ([]byte, error) {
+			if len(args) != 1 {
+				return nil, errors.New("GetBillOfLading needs poRef")
+			}
+			return vault.Get("bl/" + string(args[0]))
+		})
+
+	swt, err := wetrade.BuildNetwork(registry, hub)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: build SWT: %w", err)
+	}
+	swtAdmin, err := wetrade.AdminGateway(swt, wetrade.BuyerBankOrg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: SWT admin: %w", err)
+	}
+
+	// Interop initialization, cross-platform edition.
+	stl.RecordForeignConfig(swt.ExportConfig())
+	if err := stl.Grant(policy.AccessRule{
+		Network:   wetrade.NetworkID,
+		Org:       wetrade.SellerBankOrg,
+		Chaincode: tradelens.ChaincodeName,
+		Function:  tradelens.FnGetBillOfLading,
+	}); err != nil {
+		return nil, fmt.Errorf("scenario: grant access: %w", err)
+	}
+	if err := swt.ConfigureForeignNetwork(swtAdmin, stl.ExportConfig()); err != nil {
+		return nil, fmt.Errorf("scenario: record notary config: %w", err)
+	}
+	if err := swt.SetVerificationPolicy(swtAdmin, policy.VerificationPolicy{
+		Network: tradelens.NetworkID,
+		Expr:    fmt.Sprintf("AND('%s.peer','%s.peer')", NotaryAlphaOrg, NotaryBetaOrg),
+	}); err != nil {
+		return nil, fmt.Errorf("scenario: set verification policy: %w", err)
+	}
+
+	// Relays: the source relay fronts the notary platform through its
+	// driver; nothing else changes.
+	stlRelay := relay.New(tradelens.NetworkID, registry, hub)
+	stlRelay.RegisterDriver(tradelens.NetworkID, notary.NewDriver(stl, "default"))
+	hub.Attach(NotarySTLRelayAddr, stlRelay)
+	registry.Register(tradelens.NetworkID, NotarySTLRelayAddr)
+	hub.Attach(SWTRelayAddr, swt.Relay)
+	registry.Register(wetrade.NetworkID, SWTRelayAddr)
+
+	return &CrossPlatformWorld{
+		Hub:      hub,
+		Registry: registry,
+		STL:      stl,
+		SWT:      swt,
+		SWTAdmin: swtAdmin,
+	}, nil
+}

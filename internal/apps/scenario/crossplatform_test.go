@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/apps/wetrade"
+)
+
+// TestE6CrossPlatformQuery runs the paper's Fig. 4 flow with the source
+// network on an entirely different ledger platform: the relay protocol,
+// proof format and SWT application/chaincode are reused unchanged.
+func TestE6CrossPlatformQuery(t *testing.T) {
+	w, err := BuildCrossPlatform()
+	if err != nil {
+		t.Fatalf("BuildCrossPlatform: %v", err)
+	}
+
+	// The carrier records the B/L as a notarized fact.
+	if _, err := w.STL.Update("bl/po-1001", 0,
+		[]byte(`{"blId":"bl-7734","poRef":"po-1001","carrier":"Oceanic Lines"}`)); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+
+	// SWT side: full L/C flow, dispatch docs fetched cross-platform.
+	buyer, err := wetrade.NewBuyerApp(w.SWT, "buyer")
+	if err != nil {
+		t.Fatalf("NewBuyerApp: %v", err)
+	}
+	seller, err := wetrade.NewSellerApp(w.SWT, "seller")
+	if err != nil {
+		t.Fatalf("NewSellerApp: %v", err)
+	}
+	lc := &wetrade.LetterOfCredit{
+		LCID: "lc-x", PORef: "po-1001", Buyer: "B", Seller: "S",
+		Amount: 100, Currency: "USD",
+	}
+	if _, err := buyer.RequestLC(lc); err != nil {
+		t.Fatalf("RequestLC: %v", err)
+	}
+	if _, err := buyer.IssueLC("lc-x"); err != nil {
+		t.Fatalf("IssueLC: %v", err)
+	}
+	if _, err := seller.AcceptLC("lc-x"); err != nil {
+		t.Fatalf("AcceptLC: %v", err)
+	}
+	got, err := seller.FetchAndUploadBL("lc-x", "po-1001")
+	if err != nil {
+		t.Fatalf("FetchAndUploadBL (cross-platform): %v", err)
+	}
+	if got.Status != wetrade.StatusDocsReceived || got.BLID != "bl-7734" {
+		t.Fatalf("LC after upload = %+v", got)
+	}
+	if _, err := seller.RequestPayment("lc-x"); err != nil {
+		t.Fatalf("RequestPayment: %v", err)
+	}
+	if _, err := buyer.MakePayment("lc-x"); err != nil {
+		t.Fatalf("MakePayment: %v", err)
+	}
+}
+
+// TestE6CrossPlatformDenied checks that the notary platform's exposure
+// control holds for unauthorized organizations.
+func TestE6CrossPlatformDenied(t *testing.T) {
+	w, err := BuildCrossPlatform()
+	if err != nil {
+		t.Fatalf("BuildCrossPlatform: %v", err)
+	}
+	_, _ = w.STL.Update("bl/po-1001", 0, []byte(`{"blId":"bl-1","poRef":"po-1001"}`))
+
+	// The buyer's bank org has no access rule on the notary network.
+	buyer, _ := wetrade.NewBuyerApp(w.SWT, "buyer")
+	_, err = buyer.Client().RemoteQuery(remoteBLQuery("po-1001"))
+	if err == nil {
+		t.Fatal("unauthorized cross-platform query succeeded")
+	}
+}
+
+// TestE6NotaryVersionConflictIsVisible demonstrates that the uniqueness
+// property of the second platform holds under the same scenario wiring.
+func TestE6NotaryVersionConflictIsVisible(t *testing.T) {
+	w, err := BuildCrossPlatform()
+	if err != nil {
+		t.Fatalf("BuildCrossPlatform: %v", err)
+	}
+	if _, err := w.STL.Update("bl/po-1", 0, []byte("v1")); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if _, err := w.STL.Update("bl/po-1", 0, []byte("conflicting")); err == nil {
+		t.Fatal("double-spend style update accepted")
+	}
+}

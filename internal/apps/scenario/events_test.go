@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/apps/tradelens"
+)
+
+// TestCrossNetworkBLIssuedEvent subscribes the SWT seller to STL's
+// bl-issued events through the relays and receives the notification when
+// the carrier records the bill of lading — the §7 cross-network events
+// extension riding the same relay infrastructure as queries.
+func TestCrossNetworkBLIssuedEvent(t *testing.T) {
+	w, err := Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	actors, err := w.NewActors()
+	if err != nil {
+		t.Fatalf("NewActors: %v", err)
+	}
+
+	events, cancel, err := actors.SWTSeller.Client().SubscribeRemoteEvents(
+		tradelens.NetworkID, tradelens.EventBLIssued)
+	if err != nil {
+		t.Fatalf("SubscribeRemoteEvents: %v", err)
+	}
+	defer cancel()
+	defer w.STL.Relay.StopServing()
+
+	_, _ = actors.STLSeller.CreateShipment("po-ev", "S", "B", "goods")
+	_, _ = actors.STLCarrier.BookShipment("po-ev", "C")
+	_, _ = actors.STLCarrier.RecordGateIn("po-ev")
+	if err := actors.STLCarrier.IssueBillOfLading(&tradelens.BillOfLading{
+		BLID: "bl-ev", PORef: "po-ev", Carrier: "C",
+	}); err != nil {
+		t.Fatalf("IssueBillOfLading: %v", err)
+	}
+
+	select {
+	case ev := <-events:
+		if ev.Name != tradelens.EventBLIssued || string(ev.Payload) != "po-ev" {
+			t.Fatalf("event = %+v", ev)
+		}
+		if ev.SourceNetwork != tradelens.NetworkID {
+			t.Fatalf("source = %q", ev.SourceNetwork)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("cross-network event never arrived")
+	}
+	// On receipt the SWT seller would fetch the B/L with proof — the
+	// event-then-query pattern that automates Fig. 3 step 9.
+}

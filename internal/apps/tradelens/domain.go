@@ -1,0 +1,115 @@
+// Package tradelens implements Simplified TradeLens (STL), the trade
+// logistics network of the paper's use case (§4.2): a Seller and a Carrier
+// arrange the shipment of exported goods against a purchase order; the
+// carrier takes possession and issues a bill of lading (B/L), which other
+// networks can fetch with proof through the cross-network query protocol.
+package tradelens
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Network and deployment identifiers.
+const (
+	// NetworkID is STL's network name.
+	NetworkID = "tradelens"
+	// ChaincodeName is the shipment/documentation chaincode (§4.3
+	// "TradeLensCC").
+	ChaincodeName = "TradeLensCC"
+	// SellerOrg and CarrierOrg are STL's two organizations.
+	SellerOrg  = "seller-org"
+	CarrierOrg = "carrier-org"
+)
+
+// ShipmentStatus tracks a shipment through its lifecycle.
+type ShipmentStatus string
+
+// Shipment lifecycle states (§4.2 steps 1, 5-8).
+const (
+	StatusCreated  ShipmentStatus = "created"   // seller registered the export
+	StatusBooked   ShipmentStatus = "booked"    // carrier accepted the booking
+	StatusGateIn   ShipmentStatus = "gate-in"   // goods delivered to the carrier
+	StatusBLIssued ShipmentStatus = "bl-issued" // carrier issued the bill of lading
+)
+
+var validTransitions = map[ShipmentStatus]ShipmentStatus{
+	StatusCreated: StatusBooked,
+	StatusBooked:  StatusGateIn,
+	StatusGateIn:  StatusBLIssued,
+}
+
+// ErrBadTransition is returned for out-of-order lifecycle operations.
+var ErrBadTransition = errors.New("tradelens: invalid shipment state transition")
+
+// Shipment is the on-ledger record of one export arranged against a
+// purchase order negotiated offline between seller and buyer.
+type Shipment struct {
+	PORef        string         `json:"poRef"`
+	Seller       string         `json:"seller"`
+	Buyer        string         `json:"buyer"`
+	Goods        string         `json:"goods"`
+	Carrier      string         `json:"carrier,omitempty"`
+	Status       ShipmentStatus `json:"status"`
+	CreatedAt    time.Time      `json:"createdAt"`
+	UpdatedAt    time.Time      `json:"updatedAt"`
+	BillOfLading string         `json:"billOfLading,omitempty"` // B/L ID once issued
+}
+
+// Advance moves the shipment to the next status, validating the order.
+func (s *Shipment) Advance(next ShipmentStatus, at time.Time) error {
+	if validTransitions[s.Status] != next {
+		return fmt.Errorf("%w: %s -> %s", ErrBadTransition, s.Status, next)
+	}
+	s.Status = next
+	s.UpdatedAt = at
+	return nil
+}
+
+// Marshal encodes the shipment for ledger storage.
+func (s *Shipment) Marshal() ([]byte, error) { return json.Marshal(s) }
+
+// UnmarshalShipment decodes a stored shipment.
+func UnmarshalShipment(data []byte) (*Shipment, error) {
+	var s Shipment
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("tradelens: shipment: %w", err)
+	}
+	return &s, nil
+}
+
+// BillOfLading is the carrier's acknowledgement of shipment receipt — the
+// document whose existence the We.Trade network needs proof of before
+// honouring a letter of credit (Fig. 3 step 9).
+type BillOfLading struct {
+	BLID     string    `json:"blId"`
+	PORef    string    `json:"poRef"`
+	Carrier  string    `json:"carrier"`
+	Vessel   string    `json:"vessel"`
+	PortFrom string    `json:"portFrom"`
+	PortTo   string    `json:"portTo"`
+	Goods    string    `json:"goods"`
+	IssuedAt time.Time `json:"issuedAt"`
+}
+
+// Validate checks required fields.
+func (bl *BillOfLading) Validate() error {
+	if bl.BLID == "" || bl.PORef == "" || bl.Carrier == "" {
+		return errors.New("tradelens: bill of lading requires blId, poRef and carrier")
+	}
+	return nil
+}
+
+// Marshal encodes the B/L.
+func (bl *BillOfLading) Marshal() ([]byte, error) { return json.Marshal(bl) }
+
+// UnmarshalBillOfLading decodes a stored B/L.
+func UnmarshalBillOfLading(data []byte) (*BillOfLading, error) {
+	var bl BillOfLading
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return nil, fmt.Errorf("tradelens: bill of lading: %w", err)
+	}
+	return &bl, nil
+}

@@ -1,0 +1,195 @@
+package tradelens
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/relay"
+)
+
+func buildSTL(t testing.TB) (*SellerApp, *CarrierApp) {
+	t.Helper()
+	n, err := BuildNetwork(relay.NewStaticRegistry(), relay.NewHub())
+	if err != nil {
+		t.Fatalf("BuildNetwork: %v", err)
+	}
+	seller, err := NewSellerApp(n, "seller-app")
+	if err != nil {
+		t.Fatalf("NewSellerApp: %v", err)
+	}
+	carrier, err := NewCarrierApp(n, "carrier-app")
+	if err != nil {
+		t.Fatalf("NewCarrierApp: %v", err)
+	}
+	return seller, carrier
+}
+
+func TestShipmentLifecycle(t *testing.T) {
+	seller, carrier := buildSTL(t)
+	s, err := seller.CreateShipment("po-1", "Acme", "Globex", "widgets")
+	if err != nil {
+		t.Fatalf("CreateShipment: %v", err)
+	}
+	if s.Status != StatusCreated || s.PORef != "po-1" {
+		t.Fatalf("created = %+v", s)
+	}
+	s, err = carrier.BookShipment("po-1", "Oceanic")
+	if err != nil {
+		t.Fatalf("BookShipment: %v", err)
+	}
+	if s.Status != StatusBooked || s.Carrier != "Oceanic" {
+		t.Fatalf("booked = %+v", s)
+	}
+	s, err = carrier.RecordGateIn("po-1")
+	if err != nil {
+		t.Fatalf("RecordGateIn: %v", err)
+	}
+	if s.Status != StatusGateIn {
+		t.Fatalf("gate-in = %+v", s)
+	}
+	if err := carrier.IssueBillOfLading(&BillOfLading{
+		BLID: "bl-1", PORef: "po-1", Carrier: "Oceanic", IssuedAt: time.Now(),
+	}); err != nil {
+		t.Fatalf("IssueBillOfLading: %v", err)
+	}
+	s, err = seller.Shipment("po-1")
+	if err != nil {
+		t.Fatalf("Shipment: %v", err)
+	}
+	if s.Status != StatusBLIssued || s.BillOfLading != "bl-1" {
+		t.Fatalf("final = %+v", s)
+	}
+}
+
+func TestBLRequiresGateIn(t *testing.T) {
+	seller, carrier := buildSTL(t)
+	_, _ = seller.CreateShipment("po-1", "A", "B", "g")
+	_, _ = carrier.BookShipment("po-1", "C")
+	// Skipping gate-in: issuing a B/L must fail.
+	if err := carrier.IssueBillOfLading(&BillOfLading{BLID: "bl", PORef: "po-1", Carrier: "C"}); err == nil {
+		t.Fatal("B/L issued before gate-in")
+	}
+}
+
+func TestBLValidation(t *testing.T) {
+	for _, bl := range []*BillOfLading{
+		{PORef: "po", Carrier: "c"},
+		{BLID: "bl", Carrier: "c"},
+		{BLID: "bl", PORef: "po"},
+	} {
+		if err := bl.Validate(); err == nil {
+			t.Fatalf("invalid B/L accepted: %+v", bl)
+		}
+	}
+	good := &BillOfLading{BLID: "bl", PORef: "po", Carrier: "c"}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid B/L rejected: %v", err)
+	}
+}
+
+func TestGetMissingShipment(t *testing.T) {
+	seller, _ := buildSTL(t)
+	if _, err := seller.Shipment("ghost"); err == nil {
+		t.Fatal("missing shipment returned")
+	}
+}
+
+func TestListShipments(t *testing.T) {
+	seller, _ := buildSTL(t)
+	_, _ = seller.CreateShipment("po-1", "A", "B", "g1")
+	_, _ = seller.CreateShipment("po-2", "A", "B", "g2")
+	data, err := seller.Client().Evaluate(ChaincodeName, FnListShipments)
+	if err != nil {
+		t.Fatalf("ListShipments: %v", err)
+	}
+	var shipments []Shipment
+	if err := json.Unmarshal(data, &shipments); err != nil {
+		t.Fatalf("unmarshal: %v, data=%s", err, data)
+	}
+	if len(shipments) != 2 {
+		t.Fatalf("shipments = %d", len(shipments))
+	}
+}
+
+func TestListShipmentsEmpty(t *testing.T) {
+	seller, _ := buildSTL(t)
+	data, err := seller.Client().Evaluate(ChaincodeName, FnListShipments)
+	if err != nil {
+		t.Fatalf("ListShipments: %v", err)
+	}
+	if !bytes.Equal(data, []byte("[]")) {
+		t.Fatalf("empty list = %s", data)
+	}
+}
+
+func TestGetBillOfLadingLocalBypassesACL(t *testing.T) {
+	// Local (non-relay) invocations are not subject to exposure control.
+	seller, carrier := buildSTL(t)
+	_, _ = seller.CreateShipment("po-1", "A", "B", "g")
+	_, _ = carrier.BookShipment("po-1", "C")
+	_, _ = carrier.RecordGateIn("po-1")
+	_ = carrier.IssueBillOfLading(&BillOfLading{BLID: "bl-1", PORef: "po-1", Carrier: "C"})
+
+	data, err := seller.Client().Evaluate(ChaincodeName, FnGetBillOfLading, []byte("po-1"))
+	if err != nil {
+		t.Fatalf("local GetBillOfLading: %v", err)
+	}
+	bl, err := UnmarshalBillOfLading(data)
+	if err != nil || bl.BLID != "bl-1" {
+		t.Fatalf("B/L = %+v, %v", bl, err)
+	}
+}
+
+func TestShipmentAdvanceTable(t *testing.T) {
+	now := time.Now()
+	cases := []struct {
+		from, to ShipmentStatus
+		ok       bool
+	}{
+		{StatusCreated, StatusBooked, true},
+		{StatusBooked, StatusGateIn, true},
+		{StatusGateIn, StatusBLIssued, true},
+		{StatusCreated, StatusGateIn, false},
+		{StatusCreated, StatusBLIssued, false},
+		{StatusBLIssued, StatusCreated, false},
+		{StatusBooked, StatusBooked, false},
+	}
+	for _, c := range cases {
+		s := &Shipment{Status: c.from}
+		err := s.Advance(c.to, now)
+		if c.ok && err != nil {
+			t.Fatalf("%s -> %s rejected: %v", c.from, c.to, err)
+		}
+		if !c.ok && !errors.Is(err, ErrBadTransition) {
+			t.Fatalf("%s -> %s allowed", c.from, c.to)
+		}
+	}
+}
+
+func TestUnknownFunction(t *testing.T) {
+	seller, _ := buildSTL(t)
+	if _, err := seller.Client().Evaluate(ChaincodeName, "Bogus"); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}
+
+func TestDomainMarshalRoundTrip(t *testing.T) {
+	s := &Shipment{PORef: "po", Seller: "s", Buyer: "b", Goods: "g", Status: StatusCreated}
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := UnmarshalShipment(data)
+	if err != nil || got.PORef != "po" {
+		t.Fatalf("round-trip: %+v, %v", got, err)
+	}
+	if _, err := UnmarshalShipment([]byte("{")); err == nil {
+		t.Fatal("garbage shipment accepted")
+	}
+	if _, err := UnmarshalBillOfLading([]byte("{")); err == nil {
+		t.Fatal("garbage B/L accepted")
+	}
+}

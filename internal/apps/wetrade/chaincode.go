@@ -1,0 +1,310 @@
+package wetrade
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/chaincode"
+	"repro/internal/statedb"
+	"repro/internal/syscc"
+)
+
+// Chaincode function names.
+const (
+	FnRequestLC          = "RequestLC"
+	FnIssueLC            = "IssueLC"
+	FnAcceptLC           = "AcceptLC"
+	FnUploadDispatchDocs = "UploadDispatchDocs"
+	FnRequestPayment     = "RequestPayment"
+	FnMakePayment        = "MakePayment"
+	FnGetLC              = "GetLC"
+	FnGetPayment         = "GetPayment"
+	FnListLCs            = "ListLCs"
+	// EventDocsReceived is emitted when verified dispatch documents are
+	// recorded against an L/C.
+	EventDocsReceived = "docs-received"
+	// EventPaid is emitted on settlement.
+	EventPaid = "lc-paid"
+)
+
+// blDocument is the subset of the TradeLens B/L the L/C workflow inspects.
+// Keeping a local mirror preserves network sovereignty: SWT depends on the
+// document schema, not on STL code.
+type blDocument struct {
+	BLID  string `json:"blId"`
+	PORef string `json:"poRef"`
+}
+
+// Chaincode is the SWT letter-of-credit contract. UploadDispatchDocs
+// carries the paper's destination-side interop adaptation (~20 SLOC, §5):
+// unmarshal the proof bundle and validate it through the CMDAC before
+// trusting the document.
+type Chaincode struct {
+	// SourceNetwork, SourceLedger, SourceContract and SourceFunction
+	// identify where dispatch documents must be proven to come from.
+	// Defaults target the paper's STL network.
+	SourceNetwork  string
+	SourceLedger   string
+	SourceContract string
+	SourceFunction string
+}
+
+var _ chaincode.Chaincode = (*Chaincode)(nil)
+
+// NewChaincode returns the contract configured for the paper's use case:
+// dispatch documents must be proven against TradeLensCC.GetBillOfLading on
+// the tradelens network.
+func NewChaincode() *Chaincode {
+	return &Chaincode{
+		SourceNetwork:  "tradelens",
+		SourceLedger:   "default",
+		SourceContract: "TradeLensCC",
+		SourceFunction: "GetBillOfLading",
+	}
+}
+
+// Invoke dispatches WeTradeCC functions.
+func (c *Chaincode) Invoke(stub chaincode.Stub) ([]byte, error) {
+	switch stub.Function() {
+	case FnRequestLC:
+		return c.requestLC(stub)
+	case FnIssueLC:
+		return c.transition(stub, StatusIssued)
+	case FnAcceptLC:
+		return c.transition(stub, StatusAccepted)
+	case FnUploadDispatchDocs:
+		return c.uploadDispatchDocs(stub)
+	case FnRequestPayment:
+		return c.transition(stub, StatusPaymentRequested)
+	case FnMakePayment:
+		return c.makePayment(stub)
+	case FnGetLC:
+		return c.getLC(stub)
+	case FnGetPayment:
+		return c.getPayment(stub)
+	case FnListLCs:
+		return c.listLCs(stub)
+	default:
+		return nil, fmt.Errorf("wetrade: unknown function %q", stub.Function())
+	}
+}
+
+func lcKey(lcID string) (string, error) {
+	return statedb.CompositeKey("lc", lcID)
+}
+
+func paymentKey(lcID string) (string, error) {
+	return statedb.CompositeKey("payment", lcID)
+}
+
+func loadLC(stub chaincode.Stub, lcID string) (*LetterOfCredit, string, error) {
+	key, err := lcKey(lcID)
+	if err != nil {
+		return nil, "", err
+	}
+	data, err := stub.GetState(key)
+	if err != nil {
+		return nil, "", err
+	}
+	if data == nil {
+		return nil, "", fmt.Errorf("wetrade: no letter of credit %q", lcID)
+	}
+	lc, err := UnmarshalLetterOfCredit(data)
+	return lc, key, err
+}
+
+func saveLC(stub chaincode.Stub, key string, lc *LetterOfCredit) error {
+	data, err := lc.Marshal()
+	if err != nil {
+		return err
+	}
+	return stub.PutState(key, data)
+}
+
+// requestLC creates an L/C application: args = [lcJSON].
+func (c *Chaincode) requestLC(stub chaincode.Stub) ([]byte, error) {
+	args := stub.Args()
+	if len(args) != 1 {
+		return nil, errors.New("wetrade: RequestLC expects the L/C document")
+	}
+	lc, err := UnmarshalLetterOfCredit(args[0])
+	if err != nil {
+		return nil, err
+	}
+	if err := lc.Validate(); err != nil {
+		return nil, err
+	}
+	key, err := lcKey(lc.LCID)
+	if err != nil {
+		return nil, err
+	}
+	existing, err := stub.GetState(key)
+	if err != nil {
+		return nil, err
+	}
+	if existing != nil {
+		return nil, fmt.Errorf("wetrade: letter of credit %q already exists", lc.LCID)
+	}
+	lc.Status = StatusRequested
+	lc.CreatedAt = stub.Timestamp()
+	lc.UpdatedAt = stub.Timestamp()
+	if err := saveLC(stub, key, lc); err != nil {
+		return nil, err
+	}
+	return lc.Marshal()
+}
+
+// transition advances an L/C one lifecycle step: args = [lcID].
+func (c *Chaincode) transition(stub chaincode.Stub, next LCStatus) ([]byte, error) {
+	args := stub.StringArgs()
+	if len(args) != 1 {
+		return nil, fmt.Errorf("wetrade: %s expects lcId", stub.Function())
+	}
+	lc, key, err := loadLC(stub, args[0])
+	if err != nil {
+		return nil, err
+	}
+	if err := lc.Advance(next, stub.Timestamp()); err != nil {
+		return nil, err
+	}
+	if err := saveLC(stub, key, lc); err != nil {
+		return nil, err
+	}
+	return lc.Marshal()
+}
+
+// uploadDispatchDocs records the bill of lading against the L/C after
+// validating its cross-network proof: args = [lcID, proofBundle]. The proof
+// must demonstrate that the source network's consensus view answers
+// GetBillOfLading(poRef) with this document (Fig. 4).
+func (c *Chaincode) uploadDispatchDocs(stub chaincode.Stub) ([]byte, error) {
+	args := stub.Args()
+	if len(args) != 2 {
+		return nil, errors.New("wetrade: UploadDispatchDocs expects lcId and proof bundle")
+	}
+	lc, key, err := loadLC(stub, string(args[0]))
+	if err != nil {
+		return nil, err
+	}
+	// interop-adaptation-begin (destination network, §5 ease of adaptation)
+	verified, err := stub.InvokeChaincode(syscc.CMDACName, syscc.CMDACValidateProof,
+		syscc.ValidateProofArgs(c.SourceNetwork, c.SourceLedger, c.SourceContract,
+			c.SourceFunction, args[1], []byte(lc.PORef)))
+	if err != nil {
+		return nil, fmt.Errorf("wetrade: dispatch document proof: %w", err)
+	}
+	// interop-adaptation-end
+	var bl blDocument
+	if err := json.Unmarshal(verified, &bl); err != nil {
+		return nil, fmt.Errorf("wetrade: verified document is not a B/L: %w", err)
+	}
+	if bl.PORef != lc.PORef {
+		return nil, fmt.Errorf("wetrade: B/L references purchase order %q, L/C %q covers %q",
+			bl.PORef, lc.LCID, lc.PORef)
+	}
+	if bl.BLID == "" {
+		return nil, errors.New("wetrade: B/L without identifier")
+	}
+	if err := lc.Advance(StatusDocsReceived, stub.Timestamp()); err != nil {
+		return nil, err
+	}
+	lc.BLID = bl.BLID
+	if err := saveLC(stub, key, lc); err != nil {
+		return nil, err
+	}
+	if err := stub.SetEvent(EventDocsReceived, []byte(lc.LCID)); err != nil {
+		return nil, err
+	}
+	return lc.Marshal()
+}
+
+// makePayment settles the L/C: args = [lcID]. Requires a prior payment
+// request, which in turn required verified dispatch documents.
+func (c *Chaincode) makePayment(stub chaincode.Stub) ([]byte, error) {
+	args := stub.StringArgs()
+	if len(args) != 1 {
+		return nil, errors.New("wetrade: MakePayment expects lcId")
+	}
+	lc, key, err := loadLC(stub, args[0])
+	if err != nil {
+		return nil, err
+	}
+	if err := lc.Advance(StatusPaid, stub.Timestamp()); err != nil {
+		return nil, err
+	}
+	if err := saveLC(stub, key, lc); err != nil {
+		return nil, err
+	}
+	payment := &Payment{LCID: lc.LCID, Amount: lc.Amount, Currency: lc.Currency, PaidAt: stub.Timestamp()}
+	pdata, err := payment.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	pk, err := paymentKey(lc.LCID)
+	if err != nil {
+		return nil, err
+	}
+	if err := stub.PutState(pk, pdata); err != nil {
+		return nil, err
+	}
+	if err := stub.SetEvent(EventPaid, []byte(lc.LCID)); err != nil {
+		return nil, err
+	}
+	return pdata, nil
+}
+
+// getLC returns an L/C: args = [lcID].
+func (c *Chaincode) getLC(stub chaincode.Stub) ([]byte, error) {
+	args := stub.StringArgs()
+	if len(args) != 1 {
+		return nil, errors.New("wetrade: GetLC expects lcId")
+	}
+	lc, _, err := loadLC(stub, args[0])
+	if err != nil {
+		return nil, err
+	}
+	return lc.Marshal()
+}
+
+// getPayment returns the settlement record: args = [lcID].
+func (c *Chaincode) getPayment(stub chaincode.Stub) ([]byte, error) {
+	args := stub.StringArgs()
+	if len(args) != 1 {
+		return nil, errors.New("wetrade: GetPayment expects lcId")
+	}
+	key, err := paymentKey(args[0])
+	if err != nil {
+		return nil, err
+	}
+	data, err := stub.GetState(key)
+	if err != nil {
+		return nil, err
+	}
+	if data == nil {
+		return nil, fmt.Errorf("wetrade: no payment for %q", args[0])
+	}
+	return data, nil
+}
+
+// listLCs returns every L/C as a JSON array.
+func (c *Chaincode) listLCs(stub chaincode.Stub) ([]byte, error) {
+	start, end, err := statedb.CompositeRange("lc")
+	if err != nil {
+		return nil, err
+	}
+	kvs, err := stub.GetStateRange(start, end)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 2+128*len(kvs))
+	out = append(out, '[')
+	for i, kv := range kvs {
+		if i > 0 {
+			out = append(out, ',')
+		}
+		out = append(out, kv.Value...)
+	}
+	out = append(out, ']')
+	return out, nil
+}

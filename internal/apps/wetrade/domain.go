@@ -1,0 +1,122 @@
+// Package wetrade implements Simplified We.Trade (SWT), the trade finance
+// network of the paper's use case (§4.2): a buyer's bank issues a letter of
+// credit (L/C) in favour of a seller's bank; the L/C terms mandate payment
+// upon dispatch, so before requesting payment the seller must upload the
+// bill of lading fetched — with proof — from the TradeLens network. The
+// cross-network query removes any need to trust the seller, who has an
+// incentive to forge a B/L and claim payment.
+package wetrade
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Network and deployment identifiers.
+const (
+	// NetworkID is SWT's network name.
+	NetworkID = "we-trade"
+	// ChaincodeName is the L/C and payments chaincode (§4.3 "WeTradeCC").
+	ChaincodeName = "WeTradeCC"
+	// BuyerBankOrg and SellerBankOrg are SWT's two organizations; buyers
+	// and sellers are clients of their respective banks.
+	BuyerBankOrg  = "buyer-bank-org"
+	SellerBankOrg = "seller-bank-org"
+)
+
+// LCStatus tracks a letter of credit through its lifecycle.
+type LCStatus string
+
+// L/C lifecycle states (§4.2 steps 2-4, 9-10).
+const (
+	StatusRequested        LCStatus = "requested"         // buyer applied for the L/C
+	StatusIssued           LCStatus = "issued"            // buyer's bank issued it
+	StatusAccepted         LCStatus = "accepted"          // seller's bank accepted
+	StatusDocsReceived     LCStatus = "docs-received"     // verified B/L uploaded
+	StatusPaymentRequested LCStatus = "payment-requested" // seller's bank claimed payment
+	StatusPaid             LCStatus = "paid"              // buyer's bank settled
+)
+
+var validTransitions = map[LCStatus]LCStatus{
+	StatusRequested:        StatusIssued,
+	StatusIssued:           StatusAccepted,
+	StatusAccepted:         StatusDocsReceived,
+	StatusDocsReceived:     StatusPaymentRequested,
+	StatusPaymentRequested: StatusPaid,
+}
+
+// ErrBadTransition is returned for out-of-order lifecycle operations.
+var ErrBadTransition = errors.New("wetrade: invalid letter-of-credit state transition")
+
+// LetterOfCredit is the on-ledger trade financing instrument.
+type LetterOfCredit struct {
+	LCID       string    `json:"lcId"`
+	PORef      string    `json:"poRef"`
+	Buyer      string    `json:"buyer"`
+	Seller     string    `json:"seller"`
+	BuyerBank  string    `json:"buyerBank"`
+	SellerBank string    `json:"sellerBank"`
+	Amount     int64     `json:"amountCents"`
+	Currency   string    `json:"currency"`
+	Status     LCStatus  `json:"status"`
+	CreatedAt  time.Time `json:"createdAt"`
+	UpdatedAt  time.Time `json:"updatedAt"`
+	// BLID records the verified bill of lading once dispatch documents
+	// are uploaded.
+	BLID string `json:"blId,omitempty"`
+}
+
+// Advance moves the L/C to the next status, validating the order.
+func (lc *LetterOfCredit) Advance(next LCStatus, at time.Time) error {
+	if validTransitions[lc.Status] != next {
+		return fmt.Errorf("%w: %s -> %s", ErrBadTransition, lc.Status, next)
+	}
+	lc.Status = next
+	lc.UpdatedAt = at
+	return nil
+}
+
+// Validate checks required fields at creation.
+func (lc *LetterOfCredit) Validate() error {
+	if lc.LCID == "" || lc.PORef == "" || lc.Buyer == "" || lc.Seller == "" {
+		return errors.New("wetrade: L/C requires lcId, poRef, buyer and seller")
+	}
+	if lc.Amount <= 0 {
+		return errors.New("wetrade: L/C amount must be positive")
+	}
+	return nil
+}
+
+// Marshal encodes the L/C for ledger storage.
+func (lc *LetterOfCredit) Marshal() ([]byte, error) { return json.Marshal(lc) }
+
+// UnmarshalLetterOfCredit decodes a stored L/C.
+func UnmarshalLetterOfCredit(data []byte) (*LetterOfCredit, error) {
+	var lc LetterOfCredit
+	if err := json.Unmarshal(data, &lc); err != nil {
+		return nil, fmt.Errorf("wetrade: letter of credit: %w", err)
+	}
+	return &lc, nil
+}
+
+// Payment is the settlement record created when the buyer's bank pays.
+type Payment struct {
+	LCID     string    `json:"lcId"`
+	Amount   int64     `json:"amountCents"`
+	Currency string    `json:"currency"`
+	PaidAt   time.Time `json:"paidAt"`
+}
+
+// Marshal encodes the payment.
+func (p *Payment) Marshal() ([]byte, error) { return json.Marshal(p) }
+
+// UnmarshalPayment decodes a stored payment.
+func UnmarshalPayment(data []byte) (*Payment, error) {
+	var p Payment
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("wetrade: payment: %w", err)
+	}
+	return &p, nil
+}

@@ -1,0 +1,198 @@
+package wetrade
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/relay"
+)
+
+func buildSWT(t testing.TB) (*BuyerApp, *SellerApp) {
+	t.Helper()
+	n, err := BuildNetwork(relay.NewStaticRegistry(), relay.NewHub())
+	if err != nil {
+		t.Fatalf("BuildNetwork: %v", err)
+	}
+	buyer, err := NewBuyerApp(n, "buyer-app")
+	if err != nil {
+		t.Fatalf("NewBuyerApp: %v", err)
+	}
+	seller, err := NewSellerApp(n, "seller-app")
+	if err != nil {
+		t.Fatalf("NewSellerApp: %v", err)
+	}
+	return buyer, seller
+}
+
+func sampleLC(id string) *LetterOfCredit {
+	return &LetterOfCredit{
+		LCID: id, PORef: "po-" + id, Buyer: "Globex", Seller: "Acme",
+		BuyerBank: "BB", SellerBank: "SB", Amount: 1000, Currency: "USD",
+	}
+}
+
+func TestLCLifecycleToAccepted(t *testing.T) {
+	buyer, seller := buildSWT(t)
+	lc, err := buyer.RequestLC(sampleLC("1"))
+	if err != nil {
+		t.Fatalf("RequestLC: %v", err)
+	}
+	if lc.Status != StatusRequested {
+		t.Fatalf("status = %s", lc.Status)
+	}
+	lc, err = buyer.IssueLC("1")
+	if err != nil || lc.Status != StatusIssued {
+		t.Fatalf("IssueLC: %+v, %v", lc, err)
+	}
+	lc, err = seller.AcceptLC("1")
+	if err != nil || lc.Status != StatusAccepted {
+		t.Fatalf("AcceptLC: %+v, %v", lc, err)
+	}
+}
+
+func TestLCValidation(t *testing.T) {
+	for _, lc := range []*LetterOfCredit{
+		{PORef: "p", Buyer: "b", Seller: "s", Amount: 1},
+		{LCID: "l", Buyer: "b", Seller: "s", Amount: 1},
+		{LCID: "l", PORef: "p", Seller: "s", Amount: 1},
+		{LCID: "l", PORef: "p", Buyer: "b", Amount: 1},
+		{LCID: "l", PORef: "p", Buyer: "b", Seller: "s", Amount: 0},
+		{LCID: "l", PORef: "p", Buyer: "b", Seller: "s", Amount: -5},
+	} {
+		if err := lc.Validate(); err == nil {
+			t.Fatalf("invalid L/C accepted: %+v", lc)
+		}
+	}
+}
+
+func TestOutOfOrderTransitions(t *testing.T) {
+	buyer, seller := buildSWT(t)
+	_, _ = buyer.RequestLC(sampleLC("1"))
+
+	// Accept before issue.
+	if _, err := seller.AcceptLC("1"); err == nil {
+		t.Fatal("accept before issue allowed")
+	}
+	// Pay before anything.
+	if _, err := buyer.MakePayment("1"); err == nil {
+		t.Fatal("payment on requested L/C allowed")
+	}
+	// Double issue.
+	if _, err := buyer.IssueLC("1"); err != nil {
+		t.Fatalf("IssueLC: %v", err)
+	}
+	if _, err := buyer.IssueLC("1"); err == nil {
+		t.Fatal("double issue allowed")
+	}
+}
+
+func TestUploadDocsRequiresValidProof(t *testing.T) {
+	buyer, seller := buildSWT(t)
+	_, _ = buyer.RequestLC(sampleLC("1"))
+	_, _ = buyer.IssueLC("1")
+	_, _ = seller.AcceptLC("1")
+	// Garbage bundle must fail inside the CMDAC.
+	if err := seller.UploadForgedBL("1", []byte{0xFF, 0xFE}); err == nil {
+		t.Fatal("garbage bundle accepted")
+	}
+	// The state machine must not have advanced.
+	lc, _ := seller.LC("1")
+	if lc.Status != StatusAccepted {
+		t.Fatalf("status = %s", lc.Status)
+	}
+}
+
+func TestGetPayment(t *testing.T) {
+	buyer, _ := buildSWT(t)
+	_, _ = buyer.RequestLC(sampleLC("1"))
+	if _, err := buyer.Client().Evaluate(ChaincodeName, FnGetPayment, []byte("1")); err == nil {
+		t.Fatal("payment returned before settlement")
+	}
+}
+
+func TestListLCs(t *testing.T) {
+	buyer, _ := buildSWT(t)
+	_, _ = buyer.RequestLC(sampleLC("1"))
+	_, _ = buyer.RequestLC(sampleLC("2"))
+	data, err := buyer.Client().Evaluate(ChaincodeName, FnListLCs)
+	if err != nil {
+		t.Fatalf("ListLCs: %v", err)
+	}
+	var lcs []LetterOfCredit
+	if err := json.Unmarshal(data, &lcs); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(lcs) != 2 {
+		t.Fatalf("lcs = %d", len(lcs))
+	}
+}
+
+func TestGetMissingLC(t *testing.T) {
+	buyer, _ := buildSWT(t)
+	if _, err := buyer.LC("ghost"); err == nil {
+		t.Fatal("missing L/C returned")
+	}
+}
+
+func TestLCAdvanceTable(t *testing.T) {
+	now := time.Now()
+	cases := []struct {
+		from, to LCStatus
+		ok       bool
+	}{
+		{StatusRequested, StatusIssued, true},
+		{StatusIssued, StatusAccepted, true},
+		{StatusAccepted, StatusDocsReceived, true},
+		{StatusDocsReceived, StatusPaymentRequested, true},
+		{StatusPaymentRequested, StatusPaid, true},
+		{StatusRequested, StatusPaid, false},
+		{StatusAccepted, StatusPaymentRequested, false},
+		{StatusPaid, StatusRequested, false},
+	}
+	for _, c := range cases {
+		lc := &LetterOfCredit{Status: c.from}
+		err := lc.Advance(c.to, now)
+		if c.ok && err != nil {
+			t.Fatalf("%s -> %s rejected: %v", c.from, c.to, err)
+		}
+		if !c.ok && !errors.Is(err, ErrBadTransition) {
+			t.Fatalf("%s -> %s allowed", c.from, c.to)
+		}
+	}
+}
+
+func TestUnknownFunction(t *testing.T) {
+	buyer, _ := buildSWT(t)
+	if _, err := buyer.Client().Evaluate(ChaincodeName, "Bogus"); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+}
+
+func TestDomainMarshalRoundTrip(t *testing.T) {
+	lc := sampleLC("9")
+	data, err := lc.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := UnmarshalLetterOfCredit(data)
+	if err != nil || got.LCID != "9" {
+		t.Fatalf("round-trip: %+v, %v", got, err)
+	}
+	p := &Payment{LCID: "9", Amount: 100, Currency: "USD", PaidAt: time.Now()}
+	pdata, err := p.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal payment: %v", err)
+	}
+	gotP, err := UnmarshalPayment(pdata)
+	if err != nil || gotP.LCID != "9" {
+		t.Fatalf("payment round-trip: %+v, %v", gotP, err)
+	}
+	if _, err := UnmarshalLetterOfCredit([]byte("{")); err == nil {
+		t.Fatal("garbage L/C accepted")
+	}
+	if _, err := UnmarshalPayment([]byte("{")); err == nil {
+		t.Fatal("garbage payment accepted")
+	}
+}

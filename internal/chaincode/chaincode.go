@@ -1,0 +1,328 @@
+// Package chaincode defines the smart-contract programming model of the
+// simulated platform: a Chaincode receives a Stub giving it access to the
+// world state, its invocation arguments, the submitting client's identity
+// and cross-chaincode invocation. The stub used during endorsement records
+// a read-write set instead of mutating state directly, exactly as in
+// Fabric's execute-order-validate model.
+package chaincode
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ledger"
+	"repro/internal/statedb"
+)
+
+var (
+	// ErrNotFound is returned by registry lookups for unknown chaincodes.
+	ErrNotFound = errors.New("chaincode: not found")
+	// ErrReadOnly is returned when a query-only invocation attempts a
+	// write.
+	ErrReadOnly = errors.New("chaincode: write attempted in read-only invocation")
+)
+
+// Chaincode is a deployable smart contract.
+type Chaincode interface {
+	// Invoke executes one transaction proposal or query against the stub
+	// and returns the response payload.
+	Invoke(stub Stub) ([]byte, error)
+}
+
+// Func adapts a function to the Chaincode interface.
+type Func func(stub Stub) ([]byte, error)
+
+// Invoke implements Chaincode.
+func (f Func) Invoke(stub Stub) ([]byte, error) { return f(stub) }
+
+// KV is a key/value pair returned by range queries.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Stub is the interface a chaincode uses to interact with its invocation
+// context and the ledger.
+type Stub interface {
+	// TxID returns the transaction (or query) identifier.
+	TxID() string
+	// Function returns the invoked function name.
+	Function() string
+	// Args returns the invocation arguments (excluding the function name).
+	Args() [][]byte
+	// StringArgs returns Args as strings.
+	StringArgs() []string
+	// CreatorCert returns the PEM certificate of the submitting client.
+	CreatorCert() []byte
+	// Timestamp returns the proposal timestamp (identical on all peers for
+	// a given proposal, keeping simulation deterministic).
+	Timestamp() time.Time
+
+	// GetState reads a key, observing any write buffered earlier in the
+	// same invocation.
+	GetState(key string) ([]byte, error)
+	// PutState buffers a write.
+	PutState(key string, value []byte) error
+	// DelState buffers a delete.
+	DelState(key string) error
+	// GetStateRange returns committed keys in [start, end) in lexical
+	// order. Pending writes of the current invocation are not visible, as
+	// in Fabric.
+	GetStateRange(start, end string) ([]KV, error)
+
+	// InvokeChaincode synchronously calls another chaincode deployed on
+	// the same peer, sharing this invocation's read-write context.
+	InvokeChaincode(name, function string, args [][]byte) ([]byte, error)
+
+	// SetEvent attaches a chaincode event to the transaction; the last
+	// call wins. Events are delivered only if the transaction commits.
+	SetEvent(name string, payload []byte) error
+
+	// GetTransient returns proposal-scoped data that is not recorded on
+	// the ledger, mirroring Fabric's transient field. The relay driver
+	// uses it to mark cross-network queries and carry the requesting
+	// network's identity to interop-aware chaincode.
+	GetTransient(key string) []byte
+}
+
+// Registry holds the chaincodes deployed on a peer.
+type Registry struct {
+	mu  sync.RWMutex
+	ccs map[string]Chaincode
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{ccs: make(map[string]Chaincode)}
+}
+
+// Register deploys a chaincode under the given name, replacing any previous
+// deployment (chaincode upgrade).
+func (r *Registry) Register(name string, cc Chaincode) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ccs[name] = cc
+}
+
+// Get returns a deployed chaincode.
+func (r *Registry) Get(name string) (Chaincode, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	cc, ok := r.ccs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return cc, nil
+}
+
+// Names returns the sorted names of all deployed chaincodes.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.ccs))
+	for n := range r.ccs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Invocation describes one proposal to simulate.
+type Invocation struct {
+	TxID        string
+	Chaincode   string
+	Function    string
+	Args        [][]byte
+	CreatorCert []byte
+	Timestamp   time.Time
+	ReadOnly    bool              // queries may not write
+	Transient   map[string][]byte // proposal-scoped, never written to the ledger
+}
+
+// SimResult is the outcome of simulating an invocation.
+type SimResult struct {
+	Response []byte
+	RWSet    ledger.RWSet
+	Event    *ledger.ChaincodeEvent
+}
+
+// Simulate runs an invocation against the registry and a committed state,
+// producing the response and the read-write set. The state itself is never
+// mutated.
+func Simulate(reg *Registry, state *statedb.Store, inv Invocation) (*SimResult, error) {
+	cc, err := reg.Get(inv.Chaincode)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &simContext{
+		reg:      reg,
+		state:    state,
+		inv:      inv,
+		writes:   make(map[string]pendingWrite),
+		readVers: make(map[string]ledger.KVRead),
+	}
+	stub := &simStub{ctx: ctx, chaincode: inv.Chaincode, function: inv.Function, args: inv.Args}
+	resp, err := cc.Invoke(stub)
+	if err != nil {
+		return nil, err
+	}
+	return &SimResult{Response: resp, RWSet: ctx.rwset(), Event: ctx.event}, nil
+}
+
+type pendingWrite struct {
+	seq      int
+	value    []byte
+	isDelete bool
+}
+
+// simContext is shared across a proposal's stub and any stubs created by
+// cross-chaincode invocation, so the whole call tree yields one read-write
+// set (Fabric's same-channel chaincode-to-chaincode semantics).
+type simContext struct {
+	reg      *Registry
+	state    *statedb.Store
+	inv      Invocation
+	writes   map[string]pendingWrite
+	writeSeq int
+	readVers map[string]ledger.KVRead
+	event    *ledger.ChaincodeEvent
+}
+
+func (c *simContext) rwset() ledger.RWSet {
+	rw := ledger.RWSet{}
+	readKeys := make([]string, 0, len(c.readVers))
+	for k := range c.readVers {
+		readKeys = append(readKeys, k)
+	}
+	sort.Strings(readKeys)
+	for _, k := range readKeys {
+		rw.Reads = append(rw.Reads, c.readVers[k])
+	}
+	type kw struct {
+		key string
+		pendingWrite
+	}
+	ordered := make([]kw, 0, len(c.writes))
+	for k, w := range c.writes {
+		ordered = append(ordered, kw{key: k, pendingWrite: w})
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
+	for _, w := range ordered {
+		rw.Writes = append(rw.Writes, ledger.KVWrite{Key: w.key, Value: w.value, IsDelete: w.isDelete})
+	}
+	return rw
+}
+
+type simStub struct {
+	ctx       *simContext
+	chaincode string
+	function  string
+	args      [][]byte
+}
+
+var _ Stub = (*simStub)(nil)
+
+func (s *simStub) TxID() string        { return s.ctx.inv.TxID }
+func (s *simStub) Function() string    { return s.function }
+func (s *simStub) Args() [][]byte      { return s.args }
+func (s *simStub) CreatorCert() []byte { return s.ctx.inv.CreatorCert }
+func (s *simStub) Timestamp() time.Time {
+	return s.ctx.inv.Timestamp
+}
+
+func (s *simStub) StringArgs() []string {
+	out := make([]string, len(s.args))
+	for i, a := range s.args {
+		out[i] = string(a)
+	}
+	return out
+}
+
+func (s *simStub) GetState(key string) ([]byte, error) {
+	if key == "" {
+		return nil, statedb.ErrInvalidKey
+	}
+	// Read-your-writes within the invocation.
+	if w, ok := s.ctx.writes[key]; ok {
+		if w.isDelete {
+			return nil, nil
+		}
+		out := make([]byte, len(w.value))
+		copy(out, w.value)
+		return out, nil
+	}
+	vv, exists := s.ctx.state.Get(key)
+	// Record the first observed version for MVCC validation.
+	if _, seen := s.ctx.readVers[key]; !seen {
+		s.ctx.readVers[key] = ledger.KVRead{Key: key, Version: vv.Version, Exists: exists}
+	}
+	if !exists {
+		return nil, nil
+	}
+	return vv.Value, nil
+}
+
+func (s *simStub) PutState(key string, value []byte) error {
+	if key == "" {
+		return statedb.ErrInvalidKey
+	}
+	if s.ctx.inv.ReadOnly {
+		return ErrReadOnly
+	}
+	val := make([]byte, len(value))
+	copy(val, value)
+	s.ctx.writeSeq++
+	s.ctx.writes[key] = pendingWrite{seq: s.ctx.writeSeq, value: val}
+	return nil
+}
+
+func (s *simStub) DelState(key string) error {
+	if key == "" {
+		return statedb.ErrInvalidKey
+	}
+	if s.ctx.inv.ReadOnly {
+		return ErrReadOnly
+	}
+	s.ctx.writeSeq++
+	s.ctx.writes[key] = pendingWrite{seq: s.ctx.writeSeq, isDelete: true}
+	return nil
+}
+
+func (s *simStub) GetStateRange(start, end string) ([]KV, error) {
+	kvs := s.ctx.state.Range(start, end)
+	out := make([]KV, 0, len(kvs))
+	for _, kv := range kvs {
+		// Range reads are recorded for MVCC like point reads.
+		if _, seen := s.ctx.readVers[kv.Key]; !seen {
+			s.ctx.readVers[kv.Key] = ledger.KVRead{Key: kv.Key, Version: kv.Version, Exists: true}
+		}
+		out = append(out, KV{Key: kv.Key, Value: kv.Value})
+	}
+	return out, nil
+}
+
+func (s *simStub) InvokeChaincode(name, function string, args [][]byte) ([]byte, error) {
+	cc, err := s.ctx.reg.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	sub := &simStub{ctx: s.ctx, chaincode: name, function: function, args: args}
+	return cc.Invoke(sub)
+}
+
+func (s *simStub) GetTransient(key string) []byte {
+	return s.ctx.inv.Transient[key]
+}
+
+func (s *simStub) SetEvent(name string, payload []byte) error {
+	if name == "" {
+		return errors.New("chaincode: empty event name")
+	}
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	s.ctx.event = &ledger.ChaincodeEvent{Chaincode: s.chaincode, Name: name, Payload: p}
+	return nil
+}

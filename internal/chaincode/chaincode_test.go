@@ -1,0 +1,327 @@
+package chaincode
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/statedb"
+)
+
+func newEnv(t *testing.T) (*Registry, *statedb.Store) {
+	t.Helper()
+	return NewRegistry(), statedb.NewStore()
+}
+
+func inv(cc, fn string, args ...string) Invocation {
+	byteArgs := make([][]byte, len(args))
+	for i, a := range args {
+		byteArgs[i] = []byte(a)
+	}
+	return Invocation{
+		TxID:      "tx-test",
+		Chaincode: cc,
+		Function:  fn,
+		Args:      byteArgs,
+		Timestamp: time.Unix(1700000000, 0),
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing: %v", err)
+	}
+	reg.Register("b", Func(func(Stub) ([]byte, error) { return nil, nil }))
+	reg.Register("a", Func(func(Stub) ([]byte, error) { return nil, nil }))
+	names := reg.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+	if _, err := reg.Get("a"); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+}
+
+func TestSimulatePutAndRead(t *testing.T) {
+	reg, state := newEnv(t)
+	reg.Register("cc", Func(func(stub Stub) ([]byte, error) {
+		if err := stub.PutState("greeting", []byte("hello")); err != nil {
+			return nil, err
+		}
+		v, err := stub.GetState("greeting") // read-your-writes
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	}))
+	res, err := Simulate(reg, state, inv("cc", "set"))
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if !bytes.Equal(res.Response, []byte("hello")) {
+		t.Fatalf("response = %q", res.Response)
+	}
+	if len(res.RWSet.Writes) != 1 || res.RWSet.Writes[0].Key != "greeting" {
+		t.Fatalf("writes = %+v", res.RWSet.Writes)
+	}
+	// Simulation must not touch committed state.
+	if _, ok := state.Get("greeting"); ok {
+		t.Fatal("simulation mutated committed state")
+	}
+}
+
+func TestSimulateRecordsReadVersions(t *testing.T) {
+	reg, state := newEnv(t)
+	state.ApplyWrites([]statedb.Write{{Key: "k", Value: []byte("v")}},
+		statedb.Version{BlockNum: 7, TxNum: 2})
+	reg.Register("cc", Func(func(stub Stub) ([]byte, error) {
+		if _, err := stub.GetState("k"); err != nil {
+			return nil, err
+		}
+		if _, err := stub.GetState("absent"); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}))
+	res, err := Simulate(reg, state, inv("cc", "read"))
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(res.RWSet.Reads) != 2 {
+		t.Fatalf("reads = %+v", res.RWSet.Reads)
+	}
+	// Reads are sorted by key: "absent" < "k".
+	if res.RWSet.Reads[0].Key != "absent" || res.RWSet.Reads[0].Exists {
+		t.Fatalf("read[0] = %+v", res.RWSet.Reads[0])
+	}
+	got := res.RWSet.Reads[1]
+	if got.Key != "k" || !got.Exists || got.Version.BlockNum != 7 || got.Version.TxNum != 2 {
+		t.Fatalf("read[1] = %+v", got)
+	}
+}
+
+func TestSimulateDelete(t *testing.T) {
+	reg, state := newEnv(t)
+	state.ApplyWrites([]statedb.Write{{Key: "k", Value: []byte("v")}}, statedb.Version{})
+	reg.Register("cc", Func(func(stub Stub) ([]byte, error) {
+		if err := stub.DelState("k"); err != nil {
+			return nil, err
+		}
+		v, err := stub.GetState("k")
+		if err != nil {
+			return nil, err
+		}
+		if v != nil {
+			return nil, errors.New("deleted key still visible")
+		}
+		return nil, nil
+	}))
+	res, err := Simulate(reg, state, inv("cc", "del"))
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(res.RWSet.Writes) != 1 || !res.RWSet.Writes[0].IsDelete {
+		t.Fatalf("writes = %+v", res.RWSet.Writes)
+	}
+}
+
+func TestReadOnlyInvocationRejectsWrites(t *testing.T) {
+	reg, state := newEnv(t)
+	reg.Register("cc", Func(func(stub Stub) ([]byte, error) {
+		return nil, stub.PutState("k", []byte("v"))
+	}))
+	q := inv("cc", "write")
+	q.ReadOnly = true
+	if _, err := Simulate(reg, state, q); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only write: %v", err)
+	}
+}
+
+func TestGetStateRangeExcludesPendingWrites(t *testing.T) {
+	reg, state := newEnv(t)
+	state.ApplyWrites([]statedb.Write{
+		{Key: "k1", Value: []byte("a")},
+		{Key: "k2", Value: []byte("b")},
+	}, statedb.Version{})
+	reg.Register("cc", Func(func(stub Stub) ([]byte, error) {
+		if err := stub.PutState("k3", []byte("c")); err != nil {
+			return nil, err
+		}
+		kvs, err := stub.GetStateRange("k1", "k9")
+		if err != nil {
+			return nil, err
+		}
+		if len(kvs) != 2 {
+			return nil, fmt.Errorf("range saw %d keys", len(kvs))
+		}
+		return nil, nil
+	}))
+	if _, err := Simulate(reg, state, inv("cc", "range")); err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+}
+
+func TestCrossChaincodeInvokeSharesContext(t *testing.T) {
+	reg, state := newEnv(t)
+	reg.Register("callee", Func(func(stub Stub) ([]byte, error) {
+		if err := stub.PutState("callee-key", []byte("x")); err != nil {
+			return nil, err
+		}
+		return []byte("callee-resp"), nil
+	}))
+	reg.Register("caller", Func(func(stub Stub) ([]byte, error) {
+		resp, err := stub.InvokeChaincode("callee", "doit", nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := stub.PutState("caller-key", []byte("y")); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	}))
+	res, err := Simulate(reg, state, inv("caller", "go"))
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if !bytes.Equal(res.Response, []byte("callee-resp")) {
+		t.Fatalf("response = %q", res.Response)
+	}
+	if len(res.RWSet.Writes) != 2 {
+		t.Fatalf("writes = %+v", res.RWSet.Writes)
+	}
+	// Write order must reflect execution order: callee wrote first.
+	if res.RWSet.Writes[0].Key != "callee-key" || res.RWSet.Writes[1].Key != "caller-key" {
+		t.Fatalf("write order = %+v", res.RWSet.Writes)
+	}
+}
+
+func TestCrossChaincodeInvokeUnknown(t *testing.T) {
+	reg, state := newEnv(t)
+	reg.Register("caller", Func(func(stub Stub) ([]byte, error) {
+		return stub.InvokeChaincode("ghost", "fn", nil)
+	}))
+	if _, err := Simulate(reg, state, inv("caller", "go")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown callee: %v", err)
+	}
+}
+
+func TestSetEventLastWins(t *testing.T) {
+	reg, state := newEnv(t)
+	reg.Register("cc", Func(func(stub Stub) ([]byte, error) {
+		if err := stub.SetEvent("first", []byte("1")); err != nil {
+			return nil, err
+		}
+		if err := stub.SetEvent("second", []byte("2")); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}))
+	res, err := Simulate(reg, state, inv("cc", "emit"))
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if res.Event == nil || res.Event.Name != "second" {
+		t.Fatalf("event = %+v", res.Event)
+	}
+	if res.Event.Chaincode != "cc" {
+		t.Fatalf("event chaincode = %q", res.Event.Chaincode)
+	}
+}
+
+func TestSetEventEmptyName(t *testing.T) {
+	reg, state := newEnv(t)
+	reg.Register("cc", Func(func(stub Stub) ([]byte, error) {
+		return nil, stub.SetEvent("", nil)
+	}))
+	if _, err := Simulate(reg, state, inv("cc", "emit")); err == nil {
+		t.Fatal("empty event name accepted")
+	}
+}
+
+func TestStubAccessors(t *testing.T) {
+	reg, state := newEnv(t)
+	var gotTx, gotFn string
+	var gotArgs []string
+	var gotCreator []byte
+	var gotTime time.Time
+	reg.Register("cc", Func(func(stub Stub) ([]byte, error) {
+		gotTx = stub.TxID()
+		gotFn = stub.Function()
+		gotArgs = stub.StringArgs()
+		gotCreator = stub.CreatorCert()
+		gotTime = stub.Timestamp()
+		return nil, nil
+	}))
+	proposal := inv("cc", "fn", "a1", "a2")
+	proposal.CreatorCert = []byte("CERT")
+	if _, err := Simulate(reg, state, proposal); err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if gotTx != "tx-test" || gotFn != "fn" {
+		t.Fatalf("tx=%q fn=%q", gotTx, gotFn)
+	}
+	if len(gotArgs) != 2 || gotArgs[0] != "a1" {
+		t.Fatalf("args = %v", gotArgs)
+	}
+	if !bytes.Equal(gotCreator, []byte("CERT")) {
+		t.Fatalf("creator = %q", gotCreator)
+	}
+	if !gotTime.Equal(time.Unix(1700000000, 0)) {
+		t.Fatalf("timestamp = %v", gotTime)
+	}
+}
+
+func TestEmptyKeyRejected(t *testing.T) {
+	reg, state := newEnv(t)
+	reg.Register("cc", Func(func(stub Stub) ([]byte, error) {
+		if _, err := stub.GetState(""); err == nil {
+			return nil, errors.New("GetState empty key accepted")
+		}
+		if err := stub.PutState("", nil); err == nil {
+			return nil, errors.New("PutState empty key accepted")
+		}
+		if err := stub.DelState(""); err == nil {
+			return nil, errors.New("DelState empty key accepted")
+		}
+		return nil, nil
+	}))
+	if _, err := Simulate(reg, state, inv("cc", "fn")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChaincodeErrorPropagates(t *testing.T) {
+	reg, state := newEnv(t)
+	boom := errors.New("boom")
+	reg.Register("cc", Func(func(stub Stub) ([]byte, error) { return nil, boom }))
+	if _, err := Simulate(reg, state, inv("cc", "fn")); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func BenchmarkSimulateReadWrite(b *testing.B) {
+	reg := NewRegistry()
+	state := statedb.NewStore()
+	state.ApplyWrites([]statedb.Write{{Key: "in", Value: make([]byte, 256)}}, statedb.Version{})
+	reg.Register("cc", Func(func(stub Stub) ([]byte, error) {
+		v, err := stub.GetState("in")
+		if err != nil {
+			return nil, err
+		}
+		if err := stub.PutState("out", v); err != nil {
+			return nil, err
+		}
+		return v, nil
+	}))
+	proposal := inv("cc", "fn")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(reg, state, proposal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package chaincode
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/statedb"
+)
+
+func TestGetTransient(t *testing.T) {
+	reg := NewRegistry()
+	state := statedb.NewStore()
+	var seen, missing []byte
+	reg.Register("cc", Func(func(stub Stub) ([]byte, error) {
+		seen = stub.GetTransient("interop")
+		missing = stub.GetTransient("absent")
+		return nil, nil
+	}))
+	proposal := inv("cc", "fn")
+	proposal.Transient = map[string][]byte{"interop": []byte("1")}
+	if _, err := Simulate(reg, state, proposal); err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if !bytes.Equal(seen, []byte("1")) {
+		t.Fatalf("transient = %q", seen)
+	}
+	if missing != nil {
+		t.Fatalf("absent transient = %q", missing)
+	}
+}
+
+func TestTransientNotInRWSet(t *testing.T) {
+	// Transient data must never leak into the read-write set (it is
+	// proposal-scoped and off-ledger by definition).
+	reg := NewRegistry()
+	state := statedb.NewStore()
+	reg.Register("cc", Func(func(stub Stub) ([]byte, error) {
+		return stub.GetTransient("secret"), nil
+	}))
+	proposal := inv("cc", "fn")
+	proposal.Transient = map[string][]byte{"secret": []byte("classified")}
+	res, err := Simulate(reg, state, proposal)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(res.RWSet.Reads) != 0 || len(res.RWSet.Writes) != 0 {
+		t.Fatalf("transient leaked into rwset: %+v", res.RWSet)
+	}
+	if !bytes.Equal(res.Response, []byte("classified")) {
+		t.Fatalf("response = %q", res.Response)
+	}
+}
+
+func TestTransientSharedAcrossChaincodeInvoke(t *testing.T) {
+	// Cross-chaincode invocations see the same proposal transient — the
+	// mechanism by which the ECC learns a query arrived via a relay.
+	reg := NewRegistry()
+	state := statedb.NewStore()
+	reg.Register("callee", Func(func(stub Stub) ([]byte, error) {
+		return stub.GetTransient("interop"), nil
+	}))
+	reg.Register("caller", Func(func(stub Stub) ([]byte, error) {
+		return stub.InvokeChaincode("callee", "fn", nil)
+	}))
+	proposal := inv("caller", "go")
+	proposal.Transient = map[string][]byte{"interop": []byte("relay")}
+	res, err := Simulate(reg, state, proposal)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if !bytes.Equal(res.Response, []byte("relay")) {
+		t.Fatalf("callee transient = %q", res.Response)
+	}
+}

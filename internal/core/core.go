@@ -1,0 +1,379 @@
+// Package core is the public face of the interoperability library: it
+// turns a fabric.Network into an interop-enabled network (system contracts
+// deployed, relay attached), drives the governance operations that
+// initialize interoperation (recording foreign configurations, verification
+// policies and access rules), and gives applications a Client that performs
+// trusted cross-network queries end to end — the complete Fig. 2 message
+// flow behind two method calls.
+package core
+
+import (
+	"crypto/ecdsa"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
+	"repro/internal/msp"
+	"repro/internal/policy"
+	"repro/internal/proof"
+	"repro/internal/relay"
+	"repro/internal/syscc"
+	"repro/internal/wire"
+)
+
+// ErrNotConfigured is returned when an interop operation needs recorded
+// state (foreign config, verification policy) that is absent.
+var ErrNotConfigured = errors.New("core: interoperation not configured")
+
+// Options configures EnableInterop.
+type Options struct {
+	// SystemPolicy is the endorsement policy for the ECC and CMDAC
+	// deployments. Empty means "OR over every organization", i.e. any
+	// single org's peer may endorse system-contract reads, while
+	// governance writes still pass ordering and full validation.
+	SystemPolicy string
+	// LedgerName is the logical ledger identifier used in query digests.
+	// Empty means "default".
+	LedgerName string
+}
+
+// Network is an interop-enabled permissioned network: the underlying
+// platform plus its relay service and driver.
+type Network struct {
+	Fabric *fabric.Network
+	Relay  *relay.Relay
+	Driver *relay.FabricDriver
+
+	ledgerName string
+}
+
+// EnableInterop deploys the system contracts on an existing network and
+// attaches a relay service, without modifying the platform itself (§3.1:
+// "enabling interoperation must not require changes to existing network
+// protocols").
+func EnableInterop(net *fabric.Network, discovery relay.Discovery, transport relay.Transport, opts Options) (*Network, error) {
+	sysPolicy := opts.SystemPolicy
+	if sysPolicy == "" {
+		orgs := net.OrgIDs()
+		if len(orgs) == 0 {
+			return nil, errors.New("core: network has no organizations")
+		}
+		quoted := make([]string, len(orgs))
+		for i, o := range orgs {
+			quoted[i] = "'" + o + "'"
+		}
+		if len(quoted) == 1 {
+			sysPolicy = quoted[0]
+		} else {
+			sysPolicy = "OR(" + strings.Join(quoted, ",") + ")"
+		}
+	}
+	if err := net.Deploy(syscc.ECCName, &syscc.ECC{}, sysPolicy); err != nil {
+		return nil, fmt.Errorf("core: deploy exposure control contract: %w", err)
+	}
+	if err := net.Deploy(syscc.CMDACName, &syscc.CMDAC{}, sysPolicy); err != nil {
+		return nil, fmt.Errorf("core: deploy config management contract: %w", err)
+	}
+	ledgerName := opts.LedgerName
+	if ledgerName == "" {
+		ledgerName = "default"
+	}
+	r := relay.New(net.ID(), discovery, transport)
+	d := relay.NewFabricDriver(net, ledgerName)
+	r.RegisterDriver(net.ID(), d)
+	return &Network{Fabric: net, Relay: r, Driver: d, ledgerName: ledgerName}, nil
+}
+
+// ID returns the network identifier.
+func (n *Network) ID() string { return n.Fabric.ID() }
+
+// LedgerName returns the logical ledger name used in query digests.
+func (n *Network) LedgerName() string { return n.ledgerName }
+
+// ExportConfig produces the shareable identity/topology configuration other
+// networks record before interoperating with this one.
+func (n *Network) ExportConfig() *wire.NetworkConfig { return n.Fabric.ExportConfig() }
+
+// ConfigureForeignNetwork records another network's configuration on the
+// local ledger through the CMDAC (a governance transaction subject to local
+// consensus).
+func (n *Network) ConfigureForeignNetwork(admin *fabric.Gateway, cfg *wire.NetworkConfig) error {
+	if _, err := admin.Submit(syscc.CMDACName, syscc.CMDACSetNetworkConfig, cfg.Marshal()); err != nil {
+		return fmt.Errorf("core: record config for %q: %w", cfg.NetworkID, err)
+	}
+	return nil
+}
+
+// SetVerificationPolicy records the acceptance criteria for data from a
+// source network.
+func (n *Network) SetVerificationPolicy(admin *fabric.Gateway, vp policy.VerificationPolicy) error {
+	data, err := vp.Marshal()
+	if err != nil {
+		return err
+	}
+	if _, err := admin.Submit(syscc.CMDACName, syscc.CMDACSetVerificationPolicy, data); err != nil {
+		return fmt.Errorf("core: record verification policy for %q: %w", vp.Network, err)
+	}
+	return nil
+}
+
+// GrantAccess records an exposure-control rule permitting a foreign
+// organization to invoke a local chaincode function.
+func (n *Network) GrantAccess(admin *fabric.Gateway, rule policy.AccessRule) error {
+	data, err := rule.Marshal()
+	if err != nil {
+		return err
+	}
+	if _, err := admin.Submit(syscc.ECCName, syscc.ECCAddRule, data); err != nil {
+		return fmt.Errorf("core: grant %s: %w", rule, err)
+	}
+	return nil
+}
+
+// RevokeAccess removes a previously granted exposure-control rule.
+func (n *Network) RevokeAccess(admin *fabric.Gateway, rule policy.AccessRule) error {
+	data, err := rule.Marshal()
+	if err != nil {
+		return err
+	}
+	if _, err := admin.Submit(syscc.ECCName, syscc.ECCRemoveRule, data); err != nil {
+		return fmt.Errorf("core: revoke %s: %w", rule, err)
+	}
+	return nil
+}
+
+// Client is an application's handle for both local transactions and
+// cross-network queries. It owns a key pair whose certificate travels with
+// every query, giving the client end-to-end confidentiality: source peers
+// encrypt results and proof metadata to this key (§4.3).
+type Client struct {
+	network  *Network
+	gateway  *fabric.Gateway
+	identity *msp.Identity
+	key      *ecdsa.PrivateKey
+}
+
+// NewClient creates a client identity named name under the given
+// organization of the interop-enabled network.
+func NewClient(n *Network, orgID, name string) (*Client, error) {
+	org, err := n.Fabric.Org(orgID)
+	if err != nil {
+		return nil, err
+	}
+	key, err := cryptoutil.GenerateKey()
+	if err != nil {
+		return nil, fmt.Errorf("core: client key: %w", err)
+	}
+	cert, err := org.CA.IssueForKey(name, msp.RoleClient, &key.PublicKey)
+	if err != nil {
+		return nil, fmt.Errorf("core: client certificate: %w", err)
+	}
+	identity := &msp.Identity{Name: name, OrgID: orgID, Role: msp.RoleClient, Cert: cert, Key: key}
+	return &Client{
+		network:  n,
+		gateway:  n.Fabric.Gateway(identity),
+		identity: identity,
+		key:      key,
+	}, nil
+}
+
+// Identity returns the client's MSP identity.
+func (c *Client) Identity() *msp.Identity { return c.identity }
+
+// Gateway returns the client's local-network gateway.
+func (c *Client) Gateway() *fabric.Gateway { return c.gateway }
+
+// Submit submits a local transaction.
+func (c *Client) Submit(chaincodeName, function string, args ...[]byte) ([]byte, error) {
+	return c.gateway.Submit(chaincodeName, function, args...)
+}
+
+// Evaluate runs a local read-only query.
+func (c *Client) Evaluate(chaincodeName, function string, args ...[]byte) ([]byte, error) {
+	return c.gateway.Evaluate(chaincodeName, function, args...)
+}
+
+// RemoteQuerySpec addresses a cross-network query.
+type RemoteQuerySpec struct {
+	// Network is the source network holding the data.
+	Network string
+	// Contract and Function name the remote chaincode function.
+	Contract string
+	Function string
+	// Args are the function arguments.
+	Args [][]byte
+	// VerificationPolicy optionally overrides the policy recorded for the
+	// source network in the local CMDAC. Empty means "use the recorded
+	// policy", which is the paper's initialization-time flow.
+	VerificationPolicy string
+}
+
+// RemoteData is the outcome of a verified cross-network query: the
+// plaintext result plus the proof bundle ready to embed in a local
+// transaction.
+type RemoteData struct {
+	// Result is the decrypted query result.
+	Result []byte
+	// Bundle is the decrypted proof.
+	Bundle *proof.Bundle
+	// BundleBytes is Bundle in transaction-argument form.
+	BundleBytes []byte
+	// Query echoes the query that was sent, including the generated nonce.
+	Query *wire.Query
+}
+
+// RemoteQuery performs the complete trusted data transfer of Fig. 2 from
+// the application's seat: it resolves the verification policy, sends the
+// query through the local relay, decrypts the response, and pre-verifies
+// the proof against the locally recorded source configuration before
+// handing the data back. The authoritative verification still happens on
+// every destination peer when the returned bundle is submitted in a
+// transaction (Data Acceptance).
+func (c *Client) RemoteQuery(spec RemoteQuerySpec) (*RemoteData, error) {
+	policyExpr := spec.VerificationPolicy
+	if policyExpr == "" {
+		data, err := c.gateway.EvaluateString(syscc.CMDACName, syscc.CMDACGetVerificationPolicy, spec.Network, spec.Contract)
+		if err != nil {
+			return nil, fmt.Errorf("%w: verification policy for %q: %v", ErrNotConfigured, spec.Network, err)
+		}
+		vp, err := policy.UnmarshalVerificationPolicy(data)
+		if err != nil {
+			return nil, err
+		}
+		policyExpr = vp.Expr
+	}
+	nonce, err := cryptoutil.NewNonce()
+	if err != nil {
+		return nil, fmt.Errorf("core: nonce: %w", err)
+	}
+	q := &wire.Query{
+		RequestingNetwork: c.network.ID(),
+		TargetNetwork:     spec.Network,
+		Ledger:            c.network.ledgerName,
+		Contract:          spec.Contract,
+		Function:          spec.Function,
+		Args:              spec.Args,
+		PolicyExpr:        policyExpr,
+		RequesterCertPEM:  c.identity.CertPEM(),
+		RequesterOrg:      c.identity.OrgID,
+		Nonce:             nonce,
+	}
+	resp, err := c.network.Relay.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	bundle, err := proof.OpenResponse(c.key, q, resp)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.preVerify(q, bundle, policyExpr); err != nil {
+		return nil, err
+	}
+	return &RemoteData{
+		Result:      bundle.Result,
+		Bundle:      bundle,
+		BundleBytes: bundle.Marshal(),
+		Query:       q,
+	}, nil
+}
+
+// RemoteInvoke performs a cross-network transaction (the §5 extension):
+// the source network executes and commits a state change on behalf of this
+// authorized client, returning the committed response with the same
+// attestation proof a query carries.
+func (c *Client) RemoteInvoke(spec RemoteQuerySpec) (*RemoteData, error) {
+	policyExpr := spec.VerificationPolicy
+	if policyExpr == "" {
+		data, err := c.gateway.EvaluateString(syscc.CMDACName, syscc.CMDACGetVerificationPolicy, spec.Network, spec.Contract)
+		if err != nil {
+			return nil, fmt.Errorf("%w: verification policy for %q: %v", ErrNotConfigured, spec.Network, err)
+		}
+		vp, err := policy.UnmarshalVerificationPolicy(data)
+		if err != nil {
+			return nil, err
+		}
+		policyExpr = vp.Expr
+	}
+	nonce, err := cryptoutil.NewNonce()
+	if err != nil {
+		return nil, fmt.Errorf("core: nonce: %w", err)
+	}
+	q := &wire.Query{
+		RequestingNetwork: c.network.ID(),
+		TargetNetwork:     spec.Network,
+		Ledger:            c.network.ledgerName,
+		Contract:          spec.Contract,
+		Function:          spec.Function,
+		Args:              spec.Args,
+		PolicyExpr:        policyExpr,
+		RequesterCertPEM:  c.identity.CertPEM(),
+		RequesterOrg:      c.identity.OrgID,
+		Nonce:             nonce,
+	}
+	resp, err := c.network.Relay.Invoke(q)
+	if err != nil {
+		return nil, err
+	}
+	bundle, err := proof.OpenResponse(c.key, q, resp)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.preVerify(q, bundle, policyExpr); err != nil {
+		return nil, err
+	}
+	return &RemoteData{
+		Result:      bundle.Result,
+		Bundle:      bundle,
+		BundleBytes: bundle.Marshal(),
+		Query:       q,
+	}, nil
+}
+
+// preVerify checks the proof client-side against the locally recorded
+// source configuration, failing fast before a doomed transaction is
+// submitted. Absent configuration is not an error here — the destination
+// peers will reject the transaction anyway.
+func (c *Client) preVerify(q *wire.Query, bundle *proof.Bundle, policyExpr string) error {
+	cfgBytes, err := c.gateway.EvaluateString(syscc.CMDACName, syscc.CMDACGetNetworkConfig, q.TargetNetwork)
+	if err != nil {
+		return nil // no recorded config to check against yet
+	}
+	cfg, err := wire.UnmarshalNetworkConfig(cfgBytes)
+	if err != nil {
+		return fmt.Errorf("core: recorded config: %w", err)
+	}
+	roots := make(map[string][]byte, len(cfg.Orgs))
+	for _, org := range cfg.Orgs {
+		roots[org.OrgID] = org.RootCertPEM
+	}
+	verifier, err := msp.NewVerifier(roots)
+	if err != nil {
+		return err
+	}
+	vp := policy.VerificationPolicy{Network: q.TargetNetwork, Expr: policyExpr}
+	compiled, err := vp.Compile()
+	if err != nil {
+		return err
+	}
+	return proof.Verify(bundle, verifier, compiled, proof.QueryDigestOf(q))
+}
+
+// SubmitWithRemoteData submits a local transaction whose arguments include
+// verified remote data (Fig. 2 step 10). The destination chaincode is
+// expected to pass the bundle to the CMDAC for Data Acceptance validation.
+func (c *Client) SubmitWithRemoteData(chaincodeName, function string, data *RemoteData, extraArgs ...[]byte) ([]byte, error) {
+	args := make([][]byte, 0, 1+len(extraArgs))
+	args = append(args, data.BundleBytes)
+	args = append(args, extraArgs...)
+	return c.gateway.Submit(chaincodeName, function, args...)
+}
+
+// SubscribeRemoteEvents subscribes to committed chaincode events on a
+// remote network (the §7 cross-network events extension). Matching events
+// are pushed back through this network's relay. Cancel releases the
+// subscription.
+func (c *Client) SubscribeRemoteEvents(targetNetwork, eventName string) (<-chan wire.Event, func(), error) {
+	return c.network.Relay.SubscribeRemote(targetNetwork, eventName, c.identity.CertPEM())
+}

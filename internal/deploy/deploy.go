@@ -1,0 +1,102 @@
+// Package deploy defines the on-disk artifacts that let the stand-alone
+// binaries (cmd/relayd, cmd/interopctl, cmd/netadmin) cooperate across
+// processes: a JSON client kit carrying the requesting client's key pair
+// and certificate, the source network's recorded configuration, and the
+// verification policy — the same material §3.3 assumes networks exchange
+// during interop initialization.
+package deploy
+
+import (
+	"crypto/ecdsa"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/wire"
+)
+
+// Well-known file names inside a deployment directory.
+const (
+	RegistryFile  = "registry.json"
+	ClientKitFile = "client-kit.json"
+)
+
+// ClientKit is everything a destination-side client needs to issue trusted
+// cross-network queries against a running relay.
+type ClientKit struct {
+	// RequestingNetwork is the client's own network ID.
+	RequestingNetwork string `json:"requestingNetwork"`
+	// Org is the client's organization within that network.
+	Org string `json:"org"`
+	// Name is the client identity name.
+	Name string `json:"name"`
+	// CertPEM is the client certificate (PEM).
+	CertPEM []byte `json:"certPem"`
+	// KeyPKCS8 is the client private key (PKCS#8 DER, base64 in JSON).
+	KeyPKCS8 []byte `json:"keyPkcs8"`
+	// SourceNetwork is the network the kit is provisioned to query.
+	SourceNetwork string `json:"sourceNetwork"`
+	// SourceConfigB64 is the source network's exported configuration
+	// (wire.NetworkConfig, base64), used for client-side proof checks.
+	SourceConfigB64 string `json:"sourceConfig"`
+	// VerificationPolicy is the policy expression the source must satisfy.
+	VerificationPolicy string `json:"verificationPolicy"`
+	// Ledger, Contract and Function default the query target.
+	Ledger   string `json:"ledger"`
+	Contract string `json:"contract"`
+	Function string `json:"function"`
+}
+
+// Key decodes the kit's private key.
+func (k *ClientKit) Key() (*ecdsa.PrivateKey, error) {
+	return cryptoutil.ParsePrivateKey(k.KeyPKCS8)
+}
+
+// SourceConfig decodes the recorded source network configuration.
+func (k *ClientKit) SourceConfig() (*wire.NetworkConfig, error) {
+	raw, err := base64.StdEncoding.DecodeString(k.SourceConfigB64)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: source config: %w", err)
+	}
+	return wire.UnmarshalNetworkConfig(raw)
+}
+
+// SetSourceConfig encodes the source network configuration into the kit.
+func (k *ClientKit) SetSourceConfig(cfg *wire.NetworkConfig) {
+	k.SourceConfigB64 = base64.StdEncoding.EncodeToString(cfg.Marshal())
+}
+
+// SaveKit writes the kit into dir under the well-known name.
+func SaveKit(dir string, kit *ClientKit) error {
+	data, err := json.MarshalIndent(kit, "", "  ")
+	if err != nil {
+		return fmt.Errorf("deploy: encode kit: %w", err)
+	}
+	path := filepath.Join(dir, ClientKitFile)
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		return fmt.Errorf("deploy: write kit: %w", err)
+	}
+	return nil
+}
+
+// LoadKit reads the kit from dir.
+func LoadKit(dir string) (*ClientKit, error) {
+	path := filepath.Join(dir, ClientKitFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: read kit: %w", err)
+	}
+	var kit ClientKit
+	if err := json.Unmarshal(data, &kit); err != nil {
+		return nil, fmt.Errorf("deploy: parse kit: %w", err)
+	}
+	return &kit, nil
+}
+
+// RegistryPath returns the registry file path inside a deployment dir.
+func RegistryPath(dir string) string {
+	return filepath.Join(dir, RegistryFile)
+}

@@ -1,0 +1,97 @@
+package deploy
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/msp"
+	"repro/internal/wire"
+)
+
+func TestKitRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ca, err := msp.NewCA("seller-bank-org")
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	key, err := cryptoutil.GenerateKey()
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	cert, err := ca.IssueForKey("client", msp.RoleClient, &key.PublicKey)
+	if err != nil {
+		t.Fatalf("IssueForKey: %v", err)
+	}
+	keyDER, err := cryptoutil.MarshalPrivateKey(key)
+	if err != nil {
+		t.Fatalf("MarshalPrivateKey: %v", err)
+	}
+	id := &msp.Identity{Name: "client", OrgID: "seller-bank-org", Role: msp.RoleClient, Cert: cert, Key: key}
+
+	kit := &ClientKit{
+		RequestingNetwork:  "we-trade",
+		Org:                "seller-bank-org",
+		Name:               "client",
+		CertPEM:            id.CertPEM(),
+		KeyPKCS8:           keyDER,
+		SourceNetwork:      "tradelens",
+		VerificationPolicy: "AND('a','b')",
+		Ledger:             "default",
+		Contract:           "TradeLensCC",
+		Function:           "GetBillOfLading",
+	}
+	cfg := &wire.NetworkConfig{
+		NetworkID: "tradelens",
+		Platform:  "fabric",
+		Orgs:      []wire.OrgConfig{{OrgID: "seller-org", RootCertPEM: ca.RootCertPEM()}},
+	}
+	kit.SetSourceConfig(cfg)
+
+	if err := SaveKit(dir, kit); err != nil {
+		t.Fatalf("SaveKit: %v", err)
+	}
+	loaded, err := LoadKit(dir)
+	if err != nil {
+		t.Fatalf("LoadKit: %v", err)
+	}
+	if loaded.RequestingNetwork != "we-trade" || loaded.SourceNetwork != "tradelens" {
+		t.Fatalf("kit = %+v", loaded)
+	}
+	gotKey, err := loaded.Key()
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	if !gotKey.Equal(key) {
+		t.Fatal("round-tripped key differs")
+	}
+	gotCfg, err := loaded.SourceConfig()
+	if err != nil {
+		t.Fatalf("SourceConfig: %v", err)
+	}
+	if gotCfg.NetworkID != "tradelens" || len(gotCfg.Orgs) != 1 {
+		t.Fatalf("config = %+v", gotCfg)
+	}
+}
+
+func TestLoadKitMissing(t *testing.T) {
+	if _, err := LoadKit(t.TempDir()); err == nil {
+		t.Fatal("missing kit loaded")
+	}
+}
+
+func TestKitBadFields(t *testing.T) {
+	kit := &ClientKit{KeyPKCS8: []byte("junk"), SourceConfigB64: "!!!"}
+	if _, err := kit.Key(); err == nil {
+		t.Fatal("junk key parsed")
+	}
+	if _, err := kit.SourceConfig(); err == nil {
+		t.Fatal("junk config parsed")
+	}
+}
+
+func TestRegistryPath(t *testing.T) {
+	if RegistryPath("/x") != filepath.Join("/x", RegistryFile) {
+		t.Fatal("RegistryPath mismatch")
+	}
+}

@@ -1,0 +1,222 @@
+package endorsement
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/msp"
+)
+
+func signers(orgRoles ...string) []Principal {
+	out := make([]Principal, 0, len(orgRoles))
+	for _, s := range orgRoles {
+		p := Principal{OrgID: s}
+		if i := strings.LastIndexByte(s, '.'); i >= 0 {
+			if role, err := msp.ParseRole(s[i+1:]); err == nil {
+				p = Principal{OrgID: s[:i], Role: role}
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+func TestParseSinglePrincipal(t *testing.T) {
+	p, err := Parse("'seller-org'")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !p.Satisfied(signers("seller-org.peer")) {
+		t.Fatal("role-less principal should match any role")
+	}
+	if p.Satisfied(signers("carrier-org.peer")) {
+		t.Fatal("wrong org satisfied the policy")
+	}
+}
+
+func TestParsePrincipalWithRole(t *testing.T) {
+	p := MustParse("'seller-org.peer'")
+	if !p.Satisfied(signers("seller-org.peer")) {
+		t.Fatal("matching role rejected")
+	}
+	if p.Satisfied(signers("seller-org.client")) {
+		t.Fatal("wrong role satisfied the policy")
+	}
+}
+
+func TestDottedOrgNameWithoutRole(t *testing.T) {
+	p := MustParse("'acme.trading'") // ".trading" is not a role
+	if !p.Satisfied([]Principal{{OrgID: "acme.trading", Role: msp.RolePeer}}) {
+		t.Fatal("dotted org name not matched")
+	}
+}
+
+func TestAndPolicy(t *testing.T) {
+	p := MustParse("AND('seller-org','carrier-org')")
+	if !p.Satisfied(signers("seller-org.peer", "carrier-org.peer")) {
+		t.Fatal("complete signer set rejected")
+	}
+	if p.Satisfied(signers("seller-org.peer")) {
+		t.Fatal("partial signer set accepted")
+	}
+	if p.Satisfied(nil) {
+		t.Fatal("empty signer set accepted")
+	}
+}
+
+func TestOrPolicy(t *testing.T) {
+	p := MustParse("OR('bank-a','bank-b')")
+	if !p.Satisfied(signers("bank-b.peer")) {
+		t.Fatal("one alternative rejected")
+	}
+	if p.Satisfied(signers("bank-c.peer")) {
+		t.Fatal("non-member accepted")
+	}
+}
+
+func TestOutOfPolicy(t *testing.T) {
+	p := MustParse("OutOf(2, 'o1','o2','o3')")
+	if !p.Satisfied(signers("o1.peer", "o3.peer")) {
+		t.Fatal("2-of-3 rejected")
+	}
+	if p.Satisfied(signers("o2.peer")) {
+		t.Fatal("1-of-3 accepted")
+	}
+}
+
+func TestNestedPolicy(t *testing.T) {
+	p := MustParse("OR('regulator', AND('seller-org','carrier-org'))")
+	if !p.Satisfied(signers("regulator.peer")) {
+		t.Fatal("left branch rejected")
+	}
+	if !p.Satisfied(signers("seller-org.peer", "carrier-org.peer")) {
+		t.Fatal("right branch rejected")
+	}
+	if p.Satisfied(signers("seller-org.peer")) {
+		t.Fatal("incomplete right branch accepted")
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	for _, expr := range []string{
+		"and('a','b')",
+		"And('a','b')",
+		"AND('a','b')",
+	} {
+		if _, err := Parse(expr); err != nil {
+			t.Fatalf("Parse(%q): %v", expr, err)
+		}
+	}
+}
+
+func TestWhitespaceTolerated(t *testing.T) {
+	p, err := Parse("  AND( 'a' ,\t'b' ) ")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !p.Satisfied(signers("a.peer", "b.peer")) {
+		t.Fatal("whitespace-formatted policy failed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"AND()",
+		"AND('a'",
+		"AND('a',)",
+		"'unterminated",
+		"''",
+		"OutOf('a','b')",
+		"OutOf(0,'a')",
+		"OutOf(3,'a','b')",
+		"NOT('a')",
+		"AND('a') garbage",
+		"42",
+	}
+	for _, expr := range bad {
+		if _, err := Parse(expr); err == nil {
+			t.Fatalf("Parse(%q) succeeded", expr)
+		}
+	}
+}
+
+func TestCanonicalStringRoundTrip(t *testing.T) {
+	exprs := []string{
+		"'seller-org'",
+		"'seller-org.peer'",
+		"AND('a','b')",
+		"OR('a',AND('b','c'))",
+		"OutOf(2, 'a','b','c')",
+	}
+	for _, expr := range exprs {
+		p := MustParse(expr)
+		canon := p.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", canon, err)
+		}
+		if p2.String() != canon {
+			t.Fatalf("canonical form unstable: %q -> %q", canon, p2.String())
+		}
+	}
+}
+
+func TestOrgsEnumeration(t *testing.T) {
+	p := MustParse("OR('zeta', AND('alpha','mid'), OutOf(1,'alpha'))")
+	orgs := p.Orgs()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(orgs) != len(want) {
+		t.Fatalf("Orgs = %v", orgs)
+	}
+	for i := range want {
+		if orgs[i] != want[i] {
+			t.Fatalf("Orgs = %v, want %v", orgs, want)
+		}
+	}
+}
+
+func TestNilPolicy(t *testing.T) {
+	var p *Policy
+	if p.Satisfied(signers("a.peer")) {
+		t.Fatal("nil policy satisfied")
+	}
+	if p.String() != "" || len(p.Orgs()) != 0 {
+		t.Fatal("nil policy formatting")
+	}
+}
+
+func TestPaperVerificationPolicy(t *testing.T) {
+	// §4.3: "it requires proof from a peer in both the Seller and Carrier
+	// organizations".
+	p := MustParse("AND('seller-org.peer','carrier-org.peer')")
+	if !p.Satisfied(signers("seller-org.peer", "carrier-org.peer")) {
+		t.Fatal("paper's STL verification policy rejected valid attestors")
+	}
+	// A client signature must not stand in for a peer.
+	if p.Satisfied(signers("seller-org.client", "carrier-org.peer")) {
+		t.Fatal("client satisfied a peer-only policy")
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	expr := "OR('regulator', AND('seller-org.peer','carrier-org.peer'), OutOf(2,'a','b','c'))"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(expr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSatisfied(b *testing.B) {
+	p := MustParse("OR('regulator', AND('seller-org.peer','carrier-org.peer'))")
+	sig := signers("seller-org.peer", "carrier-org.peer")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !p.Satisfied(sig) {
+			b.Fatal("unsatisfied")
+		}
+	}
+}

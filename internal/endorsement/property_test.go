@@ -1,0 +1,145 @@
+package endorsement
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/msp"
+)
+
+// genPolicy builds a random policy expression tree of bounded depth,
+// returning the expression and the set of org principals that satisfies it
+// by construction (every leaf's org as a peer).
+func genPolicy(rng *rand.Rand, depth int) string {
+	if depth == 0 || rng.Intn(3) == 0 {
+		org := "org-" + strconv.Itoa(rng.Intn(12))
+		switch rng.Intn(3) {
+		case 0:
+			return "'" + org + "'"
+		case 1:
+			return "'" + org + ".peer'"
+		default:
+			return "'" + org + ".admin'"
+		}
+	}
+	n := 2 + rng.Intn(3)
+	subs := make([]string, n)
+	for i := range subs {
+		subs[i] = genPolicy(rng, depth-1)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return "AND(" + join(subs) + ")"
+	case 1:
+		return "OR(" + join(subs) + ")"
+	default:
+		k := 1 + rng.Intn(n)
+		return "OutOf(" + strconv.Itoa(k) + ", " + join(subs) + ")"
+	}
+}
+
+func join(parts []string) string {
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += "," + p
+	}
+	return out
+}
+
+// TestParseStringFixpoint: for random policies, Parse(p.String()) yields a
+// policy with an identical canonical form and identical satisfaction
+// behaviour on random signer sets.
+func TestParseStringFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		expr := genPolicy(rng, 3)
+		p1, err := Parse(expr)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", expr, err)
+		}
+		canon := p1.String()
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("reparse %q: %v", canon, err)
+		}
+		if p2.String() != canon {
+			t.Fatalf("canonical form unstable: %q -> %q", canon, p2.String())
+		}
+		// Random signer sets must be judged identically.
+		for trial := 0; trial < 10; trial++ {
+			signers := randomSigners(rng)
+			if p1.Satisfied(signers) != p2.Satisfied(signers) {
+				t.Fatalf("behaviour differs for %q on %v", expr, signers)
+			}
+		}
+	}
+}
+
+func randomSigners(rng *rand.Rand) []Principal {
+	n := rng.Intn(8)
+	out := make([]Principal, n)
+	for i := range out {
+		out[i] = Principal{
+			OrgID: "org-" + strconv.Itoa(rng.Intn(12)),
+			Role:  msp.Role(1 + rng.Intn(3)),
+		}
+	}
+	return out
+}
+
+// TestFullSignerSetSatisfiesEverything: a signer set covering every org in
+// every role satisfies any policy whose leaves are drawn from those orgs.
+func TestFullSignerSetSatisfiesEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var everyone []Principal
+	for i := 0; i < 12; i++ {
+		for _, role := range []msp.Role{msp.RolePeer, msp.RoleClient, msp.RoleAdmin} {
+			everyone = append(everyone, Principal{OrgID: "org-" + strconv.Itoa(i), Role: role})
+		}
+	}
+	for i := 0; i < 200; i++ {
+		expr := genPolicy(rng, 3)
+		p := MustParse(expr)
+		if !p.Satisfied(everyone) {
+			t.Fatalf("full signer set fails %q", expr)
+		}
+	}
+}
+
+// TestEmptySignerSetSatisfiesNothing: no policy accepts an empty signer
+// set.
+func TestEmptySignerSetSatisfiesNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		expr := genPolicy(rng, 3)
+		p := MustParse(expr)
+		if p.Satisfied(nil) {
+			t.Fatalf("empty signer set satisfies %q", expr)
+		}
+	}
+}
+
+// TestWithRolePreservesStructure: deriving a peer-narrowed policy never
+// changes which orgs are referenced, and peer-only signer sets that satisfy
+// the original also satisfy the derivation.
+func TestWithRolePreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 200; i++ {
+		expr := genPolicy(rng, 3)
+		p := MustParse(expr)
+		derived := p.WithRole(msp.RolePeer)
+		if len(p.Orgs()) != len(derived.Orgs()) {
+			t.Fatalf("WithRole changed org set for %q", expr)
+		}
+		// A peer-complete signer set over all orgs satisfies the derived
+		// policy unless the original demanded non-peer roles.
+		var peers []Principal
+		for _, org := range p.Orgs() {
+			peers = append(peers, Principal{OrgID: org, Role: msp.RolePeer})
+		}
+		if p.Satisfied(peers) && !derived.Satisfied(peers) {
+			t.Fatalf("derived policy rejects peers the original accepts: %q", expr)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/msp"
+	"repro/internal/orderer"
+)
+
+func TestLateOrgJoin(t *testing.T) {
+	n := NewNetwork("late", orderer.Config{BatchSize: 1})
+	_, _ = n.AddOrg("org-a", 1)
+	_ = n.Deploy("kv", kvChaincode, "'org-a'")
+	org, _ := n.Org("org-a")
+	client, _ := org.CA.Issue("c", msp.RoleClient)
+	gw := n.Gateway(client)
+	if _, err := gw.SubmitString("kv", "put", "k1", "v1"); err != nil {
+		t.Fatalf("first put: %v", err)
+	}
+	if _, err := n.AddOrg("org-b", 1); err != nil {
+		t.Fatalf("late AddOrg: %v", err)
+	}
+	if _, err := gw.SubmitString("kv", "put", "k2", "v2"); err != nil {
+		t.Fatalf("put after late join: %v", err)
+	}
+}
+
+func TestLateOrgPeerStateSynced(t *testing.T) {
+	n := NewNetwork("late2", orderer.Config{BatchSize: 1})
+	_, _ = n.AddOrg("org-a", 1)
+	_ = n.Deploy("kv", kvChaincode, "'org-a'")
+	org, _ := n.Org("org-a")
+	client, _ := org.CA.Issue("c", msp.RoleClient)
+	gw := n.Gateway(client)
+	for i := 0; i < 5; i++ {
+		if _, err := gw.SubmitString("kv", "put", "k", "v"); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	newOrg, err := n.AddOrg("org-b", 2)
+	if err != nil {
+		t.Fatalf("AddOrg: %v", err)
+	}
+	for _, p := range newOrg.Peers {
+		if p.Blocks().Height() != 5 {
+			t.Fatalf("new peer height = %d, want 5", p.Blocks().Height())
+		}
+		if err := p.Blocks().VerifyChain(); err != nil {
+			t.Fatalf("new peer chain: %v", err)
+		}
+		vv, ok := p.State().Get("k")
+		if !ok || string(vv.Value) != "v" {
+			t.Fatalf("new peer state = %+v %v", vv, ok)
+		}
+	}
+	// New org participates in subsequent commits.
+	if _, err := gw.SubmitString("kv", "put", "k2", "v2"); err != nil {
+		t.Fatalf("post-join put: %v", err)
+	}
+	for _, p := range newOrg.Peers {
+		if p.Blocks().Height() != 6 {
+			t.Fatalf("post-join height = %d", p.Blocks().Height())
+		}
+	}
+}

@@ -1,0 +1,500 @@
+// Package fabric assembles the substrates into a runnable permissioned
+// network in the Hyperledger Fabric mold: organizations with their own CAs
+// and peers, a shared chaincode registry, per-chaincode endorsement
+// policies, a solo ordering service, and a gateway SDK for clients. This is
+// the platform on which the paper's STL and SWT networks run (§4).
+package fabric
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/chaincode"
+	"repro/internal/cryptoutil"
+	"repro/internal/endorsement"
+	"repro/internal/ledger"
+	"repro/internal/msp"
+	"repro/internal/orderer"
+	"repro/internal/peer"
+	"repro/internal/wire"
+)
+
+var (
+	// ErrOrgExists is returned when adding a duplicate organization.
+	ErrOrgExists = errors.New("fabric: organization already exists")
+	// ErrUnknownOrg is returned for lookups of absent organizations.
+	ErrUnknownOrg = errors.New("fabric: unknown organization")
+	// ErrNotDeployed is returned when invoking an undeployed chaincode.
+	ErrNotDeployed = errors.New("fabric: chaincode not deployed")
+	// ErrNoEndorsers is returned when no peer can endorse a proposal.
+	ErrNoEndorsers = errors.New("fabric: no endorsing peers available")
+	// ErrTxInvalidated is returned when a submitted transaction fails
+	// commit-time validation.
+	ErrTxInvalidated = errors.New("fabric: transaction invalidated")
+)
+
+// Org is one organization of the network: a CA plus its peers.
+type Org struct {
+	ID    string
+	CA    *msp.CA
+	Peers []*peer.Peer
+}
+
+// Network is a single-channel permissioned blockchain network.
+type Network struct {
+	id string
+
+	mu       sync.RWMutex
+	orgs     map[string]*Org
+	orgOrder []string
+	policies map[string]*endorsement.Policy
+	verifier *msp.Verifier
+
+	registry *chaincode.Registry
+	ord      *orderer.Orderer
+
+	// commitMu serializes block delivery against org catch-up; it is
+	// always acquired before mu when both are needed.
+	commitMu sync.Mutex
+
+	eventMu   sync.Mutex
+	eventSubs map[int]*eventSub
+	nextSubID int
+}
+
+type eventSub struct {
+	chaincodeName string
+	eventName     string
+	ch            chan ledger.ChaincodeEvent
+}
+
+// NewNetwork creates an empty network with the given identifier and orderer
+// configuration.
+func NewNetwork(id string, ordCfg orderer.Config) *Network {
+	n := &Network{
+		id:        id,
+		orgs:      make(map[string]*Org),
+		policies:  make(map[string]*endorsement.Policy),
+		registry:  chaincode.NewRegistry(),
+		ord:       orderer.New(ordCfg),
+		eventSubs: make(map[int]*eventSub),
+	}
+	// The network is the orderer's sole consumer: it fans blocks out to
+	// every peer, then dispatches chaincode events from validated
+	// transactions.
+	n.ord.Register(orderer.ConsumerFunc(n.commitBlock))
+	return n
+}
+
+// ID returns the network identifier.
+func (n *Network) ID() string { return n.id }
+
+// Orderer exposes the ordering service (for Stop and advanced
+// configuration).
+func (n *Network) Orderer() *orderer.Orderer { return n.ord }
+
+// AddOrg creates an organization with its CA and the given number of peers.
+// Organizations may join a network that has already committed blocks: the
+// new peers catch up by replaying the chain from an existing peer before
+// they start receiving live blocks (the state-transfer role gossip plays in
+// Fabric). Block delivery is quiesced (commitMu) for the duration so no
+// block can slip between replay and registration.
+func (n *Network) AddOrg(orgID string, peerCount int) (*Org, error) {
+	ca, err := msp.NewCA(orgID)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: create CA for %s: %w", orgID, err)
+	}
+	org := &Org{ID: orgID, CA: ca}
+	for i := 0; i < peerCount; i++ {
+		identity, err := ca.Issue(fmt.Sprintf("%s-peer%d", orgID, i), msp.RolePeer)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: issue peer identity: %w", err)
+		}
+		org.Peers = append(org.Peers, peer.New(identity, n.registry, n, n))
+	}
+
+	n.commitMu.Lock()
+	defer n.commitMu.Unlock()
+	if err := n.catchUp(org.Peers); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.orgs[orgID]; exists {
+		return nil, fmt.Errorf("%w: %s", ErrOrgExists, orgID)
+	}
+	n.orgs[orgID] = org
+	n.orgOrder = append(n.orgOrder, orgID)
+	if err := n.rebuildVerifierLocked(); err != nil {
+		return nil, err
+	}
+	return org, nil
+}
+
+// catchUp replays every committed block from an existing peer into fresh
+// peers so they join at the current height. Replay re-runs full validation;
+// since validation is deterministic, the historical verdicts are reproduced
+// exactly. Callers hold commitMu (so the chain cannot advance) but not mu
+// (peer validation reads the verifier under mu's read lock).
+func (n *Network) catchUp(fresh []*peer.Peer) error {
+	n.mu.RLock()
+	var source *peer.Peer
+	for _, orgID := range n.orgOrder {
+		if peers := n.orgs[orgID].Peers; len(peers) > 0 {
+			source = peers[0]
+			break
+		}
+	}
+	n.mu.RUnlock()
+	if source == nil {
+		return nil // first organization: nothing to replay
+	}
+	height := source.Blocks().Height()
+	for num := uint64(0); num < height; num++ {
+		block, err := source.Blocks().Block(num)
+		if err != nil {
+			return fmt.Errorf("fabric: catch-up read block %d: %w", num, err)
+		}
+		for _, p := range fresh {
+			if err := p.CommitBlock(block); err != nil {
+				return fmt.Errorf("fabric: catch-up replay block %d: %w", num, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (n *Network) rebuildVerifierLocked() error {
+	roots := make(map[string][]byte, len(n.orgs))
+	for id, org := range n.orgs {
+		roots[id] = org.CA.RootCertPEM()
+	}
+	v, err := msp.NewVerifier(roots)
+	if err != nil {
+		return fmt.Errorf("fabric: rebuild verifier: %w", err)
+	}
+	n.verifier = v
+	return nil
+}
+
+// Verifier implements peer.VerifierProvider with the network's current
+// organization roots.
+func (n *Network) Verifier() *msp.Verifier {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.verifier
+}
+
+// PolicyFor implements peer.PolicyProvider.
+func (n *Network) PolicyFor(chaincodeName string) *endorsement.Policy {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.policies[chaincodeName]
+}
+
+// Deploy installs a chaincode on every peer under the given endorsement
+// policy expression. Re-deploying an existing name upgrades it.
+func (n *Network) Deploy(name string, cc chaincode.Chaincode, policyExpr string) error {
+	policy, err := endorsement.Parse(policyExpr)
+	if err != nil {
+		return fmt.Errorf("fabric: deploy %s: %w", name, err)
+	}
+	n.mu.Lock()
+	n.policies[name] = policy
+	n.mu.Unlock()
+	n.registry.Register(name, cc)
+	return nil
+}
+
+// Org returns an organization by ID.
+func (n *Network) Org(orgID string) (*Org, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	org, ok := n.orgs[orgID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownOrg, orgID)
+	}
+	return org, nil
+}
+
+// OrgIDs returns organization IDs in creation order.
+func (n *Network) OrgIDs() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, len(n.orgOrder))
+	copy(out, n.orgOrder)
+	return out
+}
+
+// PeersOf returns the peers of one organization.
+func (n *Network) PeersOf(orgID string) ([]*peer.Peer, error) {
+	org, err := n.Org(orgID)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*peer.Peer, len(org.Peers))
+	copy(out, org.Peers)
+	return out, nil
+}
+
+// AllPeers returns every peer in the network, grouped by organization
+// creation order.
+func (n *Network) AllPeers() []*peer.Peer {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var out []*peer.Peer
+	for _, orgID := range n.orgOrder {
+		out = append(out, n.orgs[orgID].Peers...)
+	}
+	return out
+}
+
+// ExportConfig produces the network's shareable configuration (identity
+// roots and topology), the artifact another network records via its
+// Configuration Management contract before interoperating (§3.3).
+func (n *Network) ExportConfig() *wire.NetworkConfig {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	cfg := &wire.NetworkConfig{NetworkID: n.id, Platform: "fabric"}
+	for _, orgID := range n.orgOrder {
+		org := n.orgs[orgID]
+		oc := wire.OrgConfig{OrgID: orgID, RootCertPEM: org.CA.RootCertPEM()}
+		for _, p := range org.Peers {
+			oc.PeerNames = append(oc.PeerNames, p.Name())
+		}
+		cfg.Orgs = append(cfg.Orgs, oc)
+	}
+	return cfg
+}
+
+// commitBlock fans an ordered block out to every peer, then dispatches
+// chaincode events from transactions that committed as valid. commitMu
+// serializes delivery against organization catch-up (AddOrg).
+func (n *Network) commitBlock(block *ledger.Block) error {
+	n.commitMu.Lock()
+	defer n.commitMu.Unlock()
+	for _, p := range n.AllPeers() {
+		if err := p.CommitBlock(block); err != nil {
+			return err
+		}
+	}
+	n.dispatchEvents(block)
+	return nil
+}
+
+func (n *Network) dispatchEvents(block *ledger.Block) {
+	n.eventMu.Lock()
+	defer n.eventMu.Unlock()
+	if len(n.eventSubs) == 0 {
+		return
+	}
+	for _, tx := range block.Transactions {
+		if tx.Validation != ledger.Valid || tx.Event == nil {
+			continue
+		}
+		for _, sub := range n.eventSubs {
+			if sub.chaincodeName != "" && sub.chaincodeName != tx.Event.Chaincode {
+				continue
+			}
+			if sub.eventName != "" && sub.eventName != tx.Event.Name {
+				continue
+			}
+			select {
+			case sub.ch <- *tx.Event:
+			default: // slow subscriber: drop rather than stall commits
+			}
+		}
+	}
+}
+
+// EventSubscription is a live chaincode event feed.
+type EventSubscription struct {
+	// C receives events from transactions that commit as valid.
+	C      <-chan ledger.ChaincodeEvent
+	cancel func()
+}
+
+// Cancel tears the subscription down.
+func (s *EventSubscription) Cancel() { s.cancel() }
+
+// SubscribeEvents returns a feed of committed chaincode events. Empty
+// chaincodeName or eventName match everything.
+func (n *Network) SubscribeEvents(chaincodeName, eventName string) *EventSubscription {
+	n.eventMu.Lock()
+	defer n.eventMu.Unlock()
+	id := n.nextSubID
+	n.nextSubID++
+	sub := &eventSub{
+		chaincodeName: chaincodeName,
+		eventName:     eventName,
+		ch:            make(chan ledger.ChaincodeEvent, 64),
+	}
+	n.eventSubs[id] = sub
+	return &EventSubscription{
+		C: sub.ch,
+		cancel: func() {
+			n.eventMu.Lock()
+			defer n.eventMu.Unlock()
+			delete(n.eventSubs, id)
+		},
+	}
+}
+
+// Gateway returns a client handle bound to an identity, mirroring the
+// Fabric gateway SDK applications program against.
+func (n *Network) Gateway(identity *msp.Identity) *Gateway {
+	return &Gateway{net: n, identity: identity}
+}
+
+// Gateway submits transactions and evaluates queries on behalf of one
+// client identity.
+type Gateway struct {
+	net      *Network
+	identity *msp.Identity
+}
+
+// Identity returns the client identity the gateway is bound to.
+func (g *Gateway) Identity() *msp.Identity { return g.identity }
+
+// Network returns the underlying network.
+func (g *Gateway) Network() *Network { return g.net }
+
+// newTxID produces a fresh transaction identifier.
+func newTxID() (string, error) {
+	nonce, err := cryptoutil.NewNonce()
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(nonce), nil
+}
+
+// Submit runs the full endorse-order-validate-commit pipeline and returns
+// the chaincode response. It returns ErrTxInvalidated (wrapped with the
+// validation code) if commit-time validation rejects the transaction.
+func (g *Gateway) Submit(ccName, function string, args ...[]byte) ([]byte, error) {
+	tx, err := g.SubmitTx(ccName, function, args...)
+	if err != nil {
+		return nil, err
+	}
+	return tx.Response, nil
+}
+
+// SubmitString is Submit with string arguments.
+func (g *Gateway) SubmitString(ccName, function string, args ...string) ([]byte, error) {
+	return g.Submit(ccName, function, bytesArgs(args)...)
+}
+
+// SubmitTx is Submit returning the full committed transaction.
+func (g *Gateway) SubmitTx(ccName, function string, args ...[]byte) (*ledger.Transaction, error) {
+	policy := g.net.PolicyFor(ccName)
+	if policy == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotDeployed, ccName)
+	}
+	txID, err := newTxID()
+	if err != nil {
+		return nil, fmt.Errorf("fabric: generate tx id: %w", err)
+	}
+	inv := chaincode.Invocation{
+		TxID:        txID,
+		Chaincode:   ccName,
+		Function:    function,
+		Args:        args,
+		CreatorCert: g.identity.CertPEM(),
+		Timestamp:   time.Now(),
+	}
+	endorsers := g.endorsersFor(policy)
+	if len(endorsers) == 0 {
+		return nil, ErrNoEndorsers
+	}
+	responses := make([]*peer.ProposalResponse, 0, len(endorsers))
+	for _, p := range endorsers {
+		resp, err := p.Endorse(inv)
+		if err != nil {
+			return nil, err
+		}
+		responses = append(responses, resp)
+	}
+	tx, err := peer.AssembleTransaction(inv, responses)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.net.ord.Submit(tx); err != nil {
+		return nil, fmt.Errorf("fabric: order tx: %w", err)
+	}
+	if tx.Validation == 0 {
+		// The transaction is sitting in a partial batch; force the cut so
+		// the caller observes a final state.
+		if err := g.net.ord.Flush(); err != nil {
+			return nil, fmt.Errorf("fabric: flush: %w", err)
+		}
+	}
+	if tx.Validation != ledger.Valid {
+		return tx, fmt.Errorf("%w: %s", ErrTxInvalidated, tx.Validation)
+	}
+	return tx, nil
+}
+
+// Evaluate runs a read-only query against a single peer of the client's
+// organization (falling back to any peer) without creating a transaction.
+func (g *Gateway) Evaluate(ccName, function string, args ...[]byte) ([]byte, error) {
+	txID, err := newTxID()
+	if err != nil {
+		return nil, fmt.Errorf("fabric: generate query id: %w", err)
+	}
+	inv := chaincode.Invocation{
+		TxID:        txID,
+		Chaincode:   ccName,
+		Function:    function,
+		Args:        args,
+		CreatorCert: g.identity.CertPEM(),
+		Timestamp:   time.Now(),
+		ReadOnly:    true,
+	}
+	p := g.queryPeer()
+	if p == nil {
+		return nil, ErrNoEndorsers
+	}
+	return p.Query(inv)
+}
+
+// EvaluateString is Evaluate with string arguments.
+func (g *Gateway) EvaluateString(ccName, function string, args ...string) ([]byte, error) {
+	return g.Evaluate(ccName, function, bytesArgs(args)...)
+}
+
+// endorsersFor selects one peer from each organization the policy
+// references. Organizations absent from this network are skipped; the
+// commit-time policy check is the final arbiter.
+func (g *Gateway) endorsersFor(policy *endorsement.Policy) []*peer.Peer {
+	var out []*peer.Peer
+	for _, orgID := range policy.Orgs() {
+		peers, err := g.net.PeersOf(orgID)
+		if err != nil || len(peers) == 0 {
+			continue
+		}
+		out = append(out, peers[0])
+	}
+	return out
+}
+
+func (g *Gateway) queryPeer() *peer.Peer {
+	if peers, err := g.net.PeersOf(g.identity.OrgID); err == nil && len(peers) > 0 {
+		return peers[0]
+	}
+	all := g.net.AllPeers()
+	if len(all) == 0 {
+		return nil
+	}
+	return all[0]
+}
+
+func bytesArgs(args []string) [][]byte {
+	out := make([][]byte, len(args))
+	for i, a := range args {
+		out[i] = []byte(a)
+	}
+	return out
+}

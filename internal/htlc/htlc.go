@@ -1,0 +1,429 @@
+// Package htlc implements Hash Time-Locked Contracts over the simulated
+// platform — the asset-exchange technique the paper's §6/§7 plans to fold
+// into the architecture ("we will consider incorporating these techniques
+// ... to enable a wider spectrum of applications including both asset and
+// data transfers"). The package provides a combined asset-and-escrow
+// chaincode: fungible token balances, plus hash time-locked escrows whose
+// claims reveal the preimage on the ledger. Combined with the library's
+// trusted data transfer, two networks can perform an atomic swap in which
+// the second claimant learns the revealed preimage through a
+// proof-carrying cross-network query instead of trusting the counterparty
+// (see TestAtomicCrossNetworkSwap).
+package htlc
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/chaincode"
+	"repro/internal/msp"
+	"repro/internal/statedb"
+	"repro/internal/syscc"
+)
+
+// ChaincodeName is the deployment name used by the examples and tests.
+const ChaincodeName = "assets"
+
+// Chaincode function names.
+const (
+	FnMint     = "Mint"
+	FnTransfer = "Transfer"
+	FnBalance  = "Balance"
+	FnLock     = "Lock"
+	FnClaim    = "Claim"
+	FnRefund   = "Refund"
+	FnGetLock  = "GetLock"
+	// EventClaimed is emitted when an escrow is claimed, carrying the lock
+	// ID; the revealed preimage is recorded in the lock state.
+	EventClaimed = "htlc-claimed"
+)
+
+// LockStatus tracks an escrow through its lifecycle.
+type LockStatus string
+
+// Escrow states.
+const (
+	StatusLocked   LockStatus = "locked"
+	StatusClaimed  LockStatus = "claimed"
+	StatusRefunded LockStatus = "refunded"
+)
+
+var (
+	// ErrInsufficientFunds is returned when a transfer or lock exceeds the
+	// sender's balance.
+	ErrInsufficientFunds = errors.New("htlc: insufficient funds")
+	// ErrWrongPreimage is returned when a claim's preimage does not hash
+	// to the lock's hashlock.
+	ErrWrongPreimage = errors.New("htlc: preimage does not match hashlock")
+	// ErrExpired is returned when claiming after, or refunding before, the
+	// timelock.
+	ErrExpired = errors.New("htlc: timelock violation")
+	// ErrNotParty is returned when someone other than the designated
+	// sender/receiver operates on a lock.
+	ErrNotParty = errors.New("htlc: caller is not a party to this lock")
+)
+
+// Lock is the on-ledger escrow record.
+type Lock struct {
+	LockID    string     `json:"lockId"`
+	Sender    string     `json:"sender"`
+	Receiver  string     `json:"receiver"`
+	Amount    int64      `json:"amount"`
+	Hashlock  string     `json:"hashlock"` // hex SHA-256 of the preimage
+	ExpiresAt time.Time  `json:"expiresAt"`
+	Status    LockStatus `json:"status"`
+	// Preimage is recorded (hex) once claimed — the public revelation the
+	// counterparty fetches, with proof, to unlock the paired escrow.
+	Preimage string `json:"preimage,omitempty"`
+}
+
+// Marshal encodes the lock.
+func (l *Lock) Marshal() ([]byte, error) { return json.Marshal(l) }
+
+// UnmarshalLock decodes a stored lock.
+func UnmarshalLock(data []byte) (*Lock, error) {
+	var l Lock
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("htlc: lock: %w", err)
+	}
+	return &l, nil
+}
+
+// HashPreimage computes the hex hashlock for a preimage.
+func HashPreimage(preimage []byte) string {
+	sum := sha256.Sum256(preimage)
+	return hex.EncodeToString(sum[:])
+}
+
+// Chaincode is the combined asset + escrow contract.
+type Chaincode struct{}
+
+var _ chaincode.Chaincode = (*Chaincode)(nil)
+
+// Invoke dispatches the contract functions.
+func (c *Chaincode) Invoke(stub chaincode.Stub) ([]byte, error) {
+	switch stub.Function() {
+	case FnMint:
+		return c.mint(stub)
+	case FnTransfer:
+		return c.transfer(stub)
+	case FnBalance:
+		return c.balance(stub)
+	case FnLock:
+		return c.lock(stub)
+	case FnClaim:
+		return c.claim(stub)
+	case FnRefund:
+		return c.refund(stub)
+	case FnGetLock:
+		return c.getLock(stub)
+	default:
+		return nil, fmt.Errorf("htlc: unknown function %q", stub.Function())
+	}
+}
+
+// caller resolves the invoking client's account name from the certificate
+// common name.
+func caller(stub chaincode.Stub) (string, error) {
+	cert, err := msp.ParseCertPEM(stub.CreatorCert())
+	if err != nil {
+		return "", fmt.Errorf("htlc: creator certificate: %w", err)
+	}
+	if cert.Subject.CommonName == "" {
+		return "", errors.New("htlc: creator certificate without common name")
+	}
+	return cert.Subject.CommonName, nil
+}
+
+func balanceKey(account string) (string, error) {
+	return statedb.CompositeKey("balance", account)
+}
+
+func lockKey(lockID string) (string, error) {
+	return statedb.CompositeKey("lock", lockID)
+}
+
+func readBalance(stub chaincode.Stub, account string) (int64, error) {
+	key, err := balanceKey(account)
+	if err != nil {
+		return 0, err
+	}
+	data, err := stub.GetState(key)
+	if err != nil {
+		return 0, err
+	}
+	if data == nil {
+		return 0, nil
+	}
+	v, err := strconv.ParseInt(string(data), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("htlc: corrupt balance for %q: %w", account, err)
+	}
+	return v, nil
+}
+
+func writeBalance(stub chaincode.Stub, account string, v int64) error {
+	key, err := balanceKey(account)
+	if err != nil {
+		return err
+	}
+	return stub.PutState(key, []byte(strconv.FormatInt(v, 10)))
+}
+
+func move(stub chaincode.Stub, from, to string, amount int64) error {
+	if amount <= 0 {
+		return errors.New("htlc: amount must be positive")
+	}
+	fromBal, err := readBalance(stub, from)
+	if err != nil {
+		return err
+	}
+	if fromBal < amount {
+		return fmt.Errorf("%w: %s has %d, needs %d", ErrInsufficientFunds, from, fromBal, amount)
+	}
+	toBal, err := readBalance(stub, to)
+	if err != nil {
+		return err
+	}
+	if err := writeBalance(stub, from, fromBal-amount); err != nil {
+		return err
+	}
+	return writeBalance(stub, to, toBal+amount)
+}
+
+// mint credits an account: args = [account, amount]. Demo-grade issuance;
+// a production deployment would restrict this to an issuer identity.
+func (c *Chaincode) mint(stub chaincode.Stub) ([]byte, error) {
+	args := stub.StringArgs()
+	if len(args) != 2 {
+		return nil, errors.New("htlc: Mint expects account, amount")
+	}
+	amount, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil || amount <= 0 {
+		return nil, errors.New("htlc: Mint amount must be a positive integer")
+	}
+	bal, err := readBalance(stub, args[0])
+	if err != nil {
+		return nil, err
+	}
+	if err := writeBalance(stub, args[0], bal+amount); err != nil {
+		return nil, err
+	}
+	return []byte(strconv.FormatInt(bal+amount, 10)), nil
+}
+
+// transfer moves funds from the caller's account: args = [to, amount].
+func (c *Chaincode) transfer(stub chaincode.Stub) ([]byte, error) {
+	args := stub.StringArgs()
+	if len(args) != 2 {
+		return nil, errors.New("htlc: Transfer expects to, amount")
+	}
+	from, err := caller(stub)
+	if err != nil {
+		return nil, err
+	}
+	amount, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil {
+		return nil, errors.New("htlc: Transfer amount must be an integer")
+	}
+	if err := move(stub, from, args[0], amount); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// balance reads an account: args = [account].
+func (c *Chaincode) balance(stub chaincode.Stub) ([]byte, error) {
+	args := stub.StringArgs()
+	if len(args) != 1 {
+		return nil, errors.New("htlc: Balance expects account")
+	}
+	bal, err := readBalance(stub, args[0])
+	if err != nil {
+		return nil, err
+	}
+	return []byte(strconv.FormatInt(bal, 10)), nil
+}
+
+// escrowAccount is the internal account holding a lock's funds.
+func escrowAccount(lockID string) string { return "escrow:" + lockID }
+
+// lock creates an escrow: args = [lockID, receiver, hashlockHex,
+// expiresAtUnixNano, amount]. Funds move from the caller into escrow.
+func (c *Chaincode) lock(stub chaincode.Stub) ([]byte, error) {
+	args := stub.StringArgs()
+	if len(args) != 5 {
+		return nil, errors.New("htlc: Lock expects lockId, receiver, hashlock, expiresAtUnixNano, amount")
+	}
+	lockID, receiver, hashlock := args[0], args[1], args[2]
+	expiryNanos, err := strconv.ParseInt(args[3], 10, 64)
+	if err != nil {
+		return nil, errors.New("htlc: Lock expiry must be unix nanoseconds")
+	}
+	amount, err := strconv.ParseInt(args[4], 10, 64)
+	if err != nil {
+		return nil, errors.New("htlc: Lock amount must be an integer")
+	}
+	if len(hashlock) != 64 {
+		return nil, errors.New("htlc: hashlock must be hex SHA-256")
+	}
+	key, err := lockKey(lockID)
+	if err != nil {
+		return nil, err
+	}
+	existing, err := stub.GetState(key)
+	if err != nil {
+		return nil, err
+	}
+	if existing != nil {
+		return nil, fmt.Errorf("htlc: lock %q already exists", lockID)
+	}
+	sender, err := caller(stub)
+	if err != nil {
+		return nil, err
+	}
+	if err := move(stub, sender, escrowAccount(lockID), amount); err != nil {
+		return nil, err
+	}
+	lock := &Lock{
+		LockID: lockID, Sender: sender, Receiver: receiver,
+		Amount: amount, Hashlock: hashlock,
+		ExpiresAt: time.Unix(0, expiryNanos), Status: StatusLocked,
+	}
+	data, err := lock.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if err := stub.PutState(key, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func loadLock(stub chaincode.Stub, lockID string) (*Lock, string, error) {
+	key, err := lockKey(lockID)
+	if err != nil {
+		return nil, "", err
+	}
+	data, err := stub.GetState(key)
+	if err != nil {
+		return nil, "", err
+	}
+	if data == nil {
+		return nil, "", fmt.Errorf("htlc: no lock %q", lockID)
+	}
+	l, err := UnmarshalLock(data)
+	return l, key, err
+}
+
+// claim releases an escrow to its receiver: args = [lockID, preimageHex].
+// The preimage is recorded on the ledger, where the counterparty can fetch
+// it — with proof — through a cross-network query.
+func (c *Chaincode) claim(stub chaincode.Stub) ([]byte, error) {
+	args := stub.StringArgs()
+	if len(args) != 2 {
+		return nil, errors.New("htlc: Claim expects lockId, preimageHex")
+	}
+	l, key, err := loadLock(stub, args[0])
+	if err != nil {
+		return nil, err
+	}
+	if l.Status != StatusLocked {
+		return nil, fmt.Errorf("htlc: lock %q is %s", l.LockID, l.Status)
+	}
+	who, err := caller(stub)
+	if err != nil {
+		return nil, err
+	}
+	if who != l.Receiver {
+		return nil, fmt.Errorf("%w: %s claiming a lock for %s", ErrNotParty, who, l.Receiver)
+	}
+	if !stub.Timestamp().Before(l.ExpiresAt) {
+		return nil, fmt.Errorf("%w: lock expired at %s", ErrExpired, l.ExpiresAt)
+	}
+	preimage, err := hex.DecodeString(args[1])
+	if err != nil {
+		return nil, errors.New("htlc: preimage must be hex")
+	}
+	if HashPreimage(preimage) != l.Hashlock {
+		return nil, ErrWrongPreimage
+	}
+	if err := move(stub, escrowAccount(l.LockID), l.Receiver, l.Amount); err != nil {
+		return nil, err
+	}
+	l.Status = StatusClaimed
+	l.Preimage = args[1]
+	data, err := l.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if err := stub.PutState(key, data); err != nil {
+		return nil, err
+	}
+	if err := stub.SetEvent(EventClaimed, []byte(l.LockID)); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// refund returns an expired escrow to its sender: args = [lockID].
+func (c *Chaincode) refund(stub chaincode.Stub) ([]byte, error) {
+	args := stub.StringArgs()
+	if len(args) != 1 {
+		return nil, errors.New("htlc: Refund expects lockId")
+	}
+	l, key, err := loadLock(stub, args[0])
+	if err != nil {
+		return nil, err
+	}
+	if l.Status != StatusLocked {
+		return nil, fmt.Errorf("htlc: lock %q is %s", l.LockID, l.Status)
+	}
+	who, err := caller(stub)
+	if err != nil {
+		return nil, err
+	}
+	if who != l.Sender {
+		return nil, fmt.Errorf("%w: %s refunding a lock held by %s", ErrNotParty, who, l.Sender)
+	}
+	if stub.Timestamp().Before(l.ExpiresAt) {
+		return nil, fmt.Errorf("%w: lock live until %s", ErrExpired, l.ExpiresAt)
+	}
+	if err := move(stub, escrowAccount(l.LockID), l.Sender, l.Amount); err != nil {
+		return nil, err
+	}
+	l.Status = StatusRefunded
+	data, err := l.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if err := stub.PutState(key, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// getLock returns the lock record, including the revealed preimage after a
+// claim. The function carries the standard interop adaptation so a
+// counterparty network can fetch the revelation with proof.
+func (c *Chaincode) getLock(stub chaincode.Stub) ([]byte, error) {
+	args := stub.StringArgs()
+	if len(args) != 1 {
+		return nil, errors.New("htlc: GetLock expects lockId")
+	}
+	// interop-adaptation-begin (asset exchange, §7 future work)
+	if _, err := syscc.AuthorizeRelayRequest(stub, ChaincodeName); err != nil {
+		return nil, err
+	}
+	// interop-adaptation-end
+	l, _, err := loadLock(stub, args[0])
+	if err != nil {
+		return nil, err
+	}
+	return l.Marshal()
+}

@@ -1,0 +1,377 @@
+package htlc
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/msp"
+	"repro/internal/orderer"
+	"repro/internal/policy"
+	"repro/internal/relay"
+)
+
+// assetNet builds one interop-enabled network carrying the asset chaincode.
+func assetNet(t testing.TB, id string, discovery relay.Discovery, transport relay.Transport) *core.Network {
+	t.Helper()
+	fab := fabric.NewNetwork(id, orderer.Config{BatchSize: 1})
+	for _, org := range []string{id + "-org-a", id + "-org-b"} {
+		if _, err := fab.AddOrg(org, 1); err != nil {
+			t.Fatalf("AddOrg: %v", err)
+		}
+	}
+	endorse := fmt.Sprintf("AND('%s-org-a','%s-org-b')", id, id)
+	if err := fab.Deploy(ChaincodeName, &Chaincode{}, endorse); err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	n, err := core.EnableInterop(fab, discovery, transport, core.Options{})
+	if err != nil {
+		t.Fatalf("EnableInterop: %v", err)
+	}
+	return n
+}
+
+func newClient(t testing.TB, n *core.Network, org, name string) *core.Client {
+	t.Helper()
+	c, err := core.NewClient(n, org, name)
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	return c
+}
+
+func mint(t testing.TB, c *core.Client, account string, amount int64) {
+	t.Helper()
+	if _, err := c.Submit(ChaincodeName, FnMint, []byte(account), []byte(strconv.FormatInt(amount, 10))); err != nil {
+		t.Fatalf("Mint: %v", err)
+	}
+}
+
+func balanceOf(t testing.TB, c *core.Client, account string) int64 {
+	t.Helper()
+	data, err := c.Evaluate(ChaincodeName, FnBalance, []byte(account))
+	if err != nil {
+		t.Fatalf("Balance: %v", err)
+	}
+	v, err := strconv.ParseInt(string(data), 10, 64)
+	if err != nil {
+		t.Fatalf("parse balance %q: %v", data, err)
+	}
+	return v
+}
+
+func TestMintTransferBalance(t *testing.T) {
+	n := assetNet(t, "gold", relay.NewStaticRegistry(), relay.NewHub())
+	alice := newClient(t, n, "gold-org-a", "alice")
+	mint(t, alice, "alice", 100)
+	if got := balanceOf(t, alice, "alice"); got != 100 {
+		t.Fatalf("balance = %d", got)
+	}
+	if _, err := alice.Submit(ChaincodeName, FnTransfer, []byte("bob"), []byte("30")); err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	if got := balanceOf(t, alice, "alice"); got != 70 {
+		t.Fatalf("alice = %d", got)
+	}
+	if got := balanceOf(t, alice, "bob"); got != 30 {
+		t.Fatalf("bob = %d", got)
+	}
+}
+
+func TestTransferInsufficientFunds(t *testing.T) {
+	n := assetNet(t, "gold", relay.NewStaticRegistry(), relay.NewHub())
+	alice := newClient(t, n, "gold-org-a", "alice")
+	mint(t, alice, "alice", 10)
+	if _, err := alice.Submit(ChaincodeName, FnTransfer, []byte("bob"), []byte("11")); err == nil {
+		t.Fatal("overdraft allowed")
+	}
+	if got := balanceOf(t, alice, "alice"); got != 10 {
+		t.Fatalf("alice = %d after failed transfer", got)
+	}
+}
+
+func lockArgs(lockID, receiver, hashlock string, expiry time.Time, amount int64) [][]byte {
+	return [][]byte{
+		[]byte(lockID), []byte(receiver), []byte(hashlock),
+		[]byte(strconv.FormatInt(expiry.UnixNano(), 10)),
+		[]byte(strconv.FormatInt(amount, 10)),
+	}
+}
+
+func TestLockClaimFlow(t *testing.T) {
+	n := assetNet(t, "gold", relay.NewStaticRegistry(), relay.NewHub())
+	alice := newClient(t, n, "gold-org-a", "alice")
+	bob := newClient(t, n, "gold-org-b", "bob")
+	mint(t, alice, "alice", 100)
+
+	preimage := []byte("super-secret-preimage")
+	hashlock := HashPreimage(preimage)
+	expiry := time.Now().Add(time.Hour)
+
+	if _, err := alice.Submit(ChaincodeName, FnLock, lockArgs("swap-1", "bob", hashlock, expiry, 40)...); err != nil {
+		t.Fatalf("Lock: %v", err)
+	}
+	if got := balanceOf(t, alice, "alice"); got != 60 {
+		t.Fatalf("alice after lock = %d", got)
+	}
+
+	// Wrong preimage rejected.
+	if _, err := bob.Submit(ChaincodeName, FnClaim, []byte("swap-1"), []byte(hex.EncodeToString([]byte("guess")))); err == nil {
+		t.Fatal("wrong preimage claimed")
+	}
+	// Wrong party rejected.
+	if _, err := alice.Submit(ChaincodeName, FnClaim, []byte("swap-1"), []byte(hex.EncodeToString(preimage))); err == nil {
+		t.Fatal("sender claimed their own lock")
+	}
+	// Valid claim.
+	data, err := bob.Submit(ChaincodeName, FnClaim, []byte("swap-1"), []byte(hex.EncodeToString(preimage)))
+	if err != nil {
+		t.Fatalf("Claim: %v", err)
+	}
+	lock, err := UnmarshalLock(data)
+	if err != nil || lock.Status != StatusClaimed {
+		t.Fatalf("lock = %+v, %v", lock, err)
+	}
+	if lock.Preimage != hex.EncodeToString(preimage) {
+		t.Fatal("preimage not revealed on ledger")
+	}
+	if got := balanceOf(t, bob, "bob"); got != 40 {
+		t.Fatalf("bob = %d", got)
+	}
+	// Double claim rejected.
+	if _, err := bob.Submit(ChaincodeName, FnClaim, []byte("swap-1"), []byte(hex.EncodeToString(preimage))); err == nil {
+		t.Fatal("double claim allowed")
+	}
+}
+
+func TestRefundAfterExpiry(t *testing.T) {
+	n := assetNet(t, "gold", relay.NewStaticRegistry(), relay.NewHub())
+	alice := newClient(t, n, "gold-org-a", "alice")
+	bob := newClient(t, n, "gold-org-b", "bob")
+	mint(t, alice, "alice", 100)
+
+	hashlock := HashPreimage([]byte("p"))
+	past := time.Now().Add(-time.Minute)
+	if _, err := alice.Submit(ChaincodeName, FnLock, lockArgs("swap-2", "bob", hashlock, past, 25)...); err != nil {
+		t.Fatalf("Lock: %v", err)
+	}
+	// Claim after expiry fails.
+	if _, err := bob.Submit(ChaincodeName, FnClaim, []byte("swap-2"), []byte(hex.EncodeToString([]byte("p")))); err == nil {
+		t.Fatal("claim after expiry allowed")
+	}
+	// Refund by non-sender fails.
+	if _, err := bob.Submit(ChaincodeName, FnRefund, []byte("swap-2")); err == nil {
+		t.Fatal("non-sender refunded")
+	}
+	// Refund by sender succeeds.
+	if _, err := alice.Submit(ChaincodeName, FnRefund, []byte("swap-2")); err != nil {
+		t.Fatalf("Refund: %v", err)
+	}
+	if got := balanceOf(t, alice, "alice"); got != 100 {
+		t.Fatalf("alice after refund = %d", got)
+	}
+}
+
+func TestRefundBeforeExpiryRejected(t *testing.T) {
+	n := assetNet(t, "gold", relay.NewStaticRegistry(), relay.NewHub())
+	alice := newClient(t, n, "gold-org-a", "alice")
+	mint(t, alice, "alice", 100)
+	hashlock := HashPreimage([]byte("p"))
+	if _, err := alice.Submit(ChaincodeName, FnLock, lockArgs("swap-3", "bob", hashlock, time.Now().Add(time.Hour), 5)...); err != nil {
+		t.Fatalf("Lock: %v", err)
+	}
+	if _, err := alice.Submit(ChaincodeName, FnRefund, []byte("swap-3")); err == nil {
+		t.Fatal("early refund allowed")
+	}
+}
+
+func TestLockRequiresFunds(t *testing.T) {
+	n := assetNet(t, "gold", relay.NewStaticRegistry(), relay.NewHub())
+	alice := newClient(t, n, "gold-org-a", "alice")
+	hashlock := HashPreimage([]byte("p"))
+	_, err := alice.Submit(ChaincodeName, FnLock, lockArgs("swap-4", "bob", hashlock, time.Now().Add(time.Hour), 5)...)
+	if err == nil || !strings.Contains(err.Error(), "insufficient") {
+		t.Fatalf("unfunded lock: %v", err)
+	}
+}
+
+// TestAtomicCrossNetworkSwap is the headline extension scenario: Alice and
+// Bob swap gold (on one network) for silver (on another). Bob learns the
+// preimage Alice revealed on the silver network through a trusted
+// cross-network query — with a proof his own network's recorded
+// verification policy accepts — rather than by trusting Alice.
+func TestAtomicCrossNetworkSwap(t *testing.T) {
+	hub := relay.NewHub()
+	registry := relay.NewStaticRegistry()
+	gold := assetNet(t, "gold", registry, hub)
+	silver := assetNet(t, "silver", registry, hub)
+	hub.Attach("gold-relay", gold.Relay)
+	hub.Attach("silver-relay", silver.Relay)
+	registry.Register("gold", "gold-relay")
+	registry.Register("silver", "silver-relay")
+
+	// Participants: Alice acts on both networks (cross-membership, like
+	// the paper's SWT seller who is also an STL member); likewise Bob.
+	aliceGold := newClient(t, gold, "gold-org-a", "alice")
+	aliceSilver := newClient(t, silver, "silver-org-a", "alice")
+	bobGold := newClient(t, gold, "gold-org-b", "bob")
+	bobSilver := newClient(t, silver, "silver-org-b", "bob")
+
+	mint(t, aliceGold, "alice", 100) // Alice holds gold
+	mint(t, bobSilver, "bob", 50)    // Bob holds silver
+
+	// Interop initialization: gold-net records silver-net's config and a
+	// verification policy; silver-net grants Bob's gold-side org access to
+	// GetLock (Bob will query the revealed preimage from gold-side).
+	goldOrg, err := gold.Fabric.Org("gold-org-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldAdminID, _ := goldOrg.CA.Issue("gold-admin", msp.RoleAdmin)
+	goldAdmin := gold.Fabric.Gateway(goldAdminID)
+	silverOrg, err := silver.Fabric.Org("silver-org-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	silverAdminID, _ := silverOrg.CA.Issue("silver-admin", msp.RoleAdmin)
+	silverAdmin := silver.Fabric.Gateway(silverAdminID)
+
+	if err := gold.ConfigureForeignNetwork(goldAdmin, silver.ExportConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gold.SetVerificationPolicy(goldAdmin, policy.VerificationPolicy{
+		Network: "silver", Expr: "AND('silver-org-a.peer','silver-org-b.peer')",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := silver.ConfigureForeignNetwork(silverAdmin, gold.ExportConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := silver.GrantAccess(silverAdmin, policy.AccessRule{
+		Network: "gold", Org: "gold-org-b", Chaincode: ChaincodeName, Function: FnGetLock,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- The swap ---
+	preimage := []byte("alices-secret")
+	hashlock := HashPreimage(preimage)
+	goldExpiry := time.Now().Add(2 * time.Hour)   // Alice's lock: longer
+	silverExpiry := time.Now().Add(1 * time.Hour) // Bob's lock: shorter
+
+	// 1. Alice locks 40 gold for Bob.
+	if _, err := aliceGold.Submit(ChaincodeName, FnLock, lockArgs("swap-g", "bob", hashlock, goldExpiry, 40)...); err != nil {
+		t.Fatalf("Alice lock gold: %v", err)
+	}
+	// 2. Bob locks 20 silver for Alice under the same hashlock.
+	if _, err := bobSilver.Submit(ChaincodeName, FnLock, lockArgs("swap-s", "alice", hashlock, silverExpiry, 20)...); err != nil {
+		t.Fatalf("Bob lock silver: %v", err)
+	}
+	// 3. Alice claims the silver, revealing the preimage on silver-net.
+	if _, err := aliceSilver.Submit(ChaincodeName, FnClaim, []byte("swap-s"), []byte(hex.EncodeToString(preimage))); err != nil {
+		t.Fatalf("Alice claim silver: %v", err)
+	}
+	// 4. Bob fetches the revealed preimage from silver-net WITH PROOF via
+	// his gold-side client (trusted data transfer, not trust in Alice).
+	data, err := bobGold.RemoteQuery(core.RemoteQuerySpec{
+		Network: "silver", Contract: ChaincodeName, Function: FnGetLock,
+		Args: [][]byte{[]byte("swap-s")},
+	})
+	if err != nil {
+		t.Fatalf("Bob cross-network GetLock: %v", err)
+	}
+	revealed, err := UnmarshalLock(data.Result)
+	if err != nil {
+		t.Fatalf("unmarshal revealed lock: %v", err)
+	}
+	if revealed.Status != StatusClaimed || revealed.Preimage == "" {
+		t.Fatalf("revealed lock = %+v", revealed)
+	}
+	// 5. Bob claims the gold with the proven preimage.
+	if _, err := bobGold.Submit(ChaincodeName, FnClaim, []byte("swap-g"), []byte(revealed.Preimage)); err != nil {
+		t.Fatalf("Bob claim gold: %v", err)
+	}
+
+	// Final balances: the swap completed atomically.
+	if got := balanceOf(t, bobGold, "bob"); got != 40 {
+		t.Fatalf("bob gold = %d", got)
+	}
+	if got := balanceOf(t, aliceSilver, "alice"); got != 20 {
+		t.Fatalf("alice silver = %d", got)
+	}
+	if got := balanceOf(t, aliceGold, "alice"); got != 60 {
+		t.Fatalf("alice gold = %d", got)
+	}
+	if got := balanceOf(t, bobSilver, "bob"); got != 30 {
+		t.Fatalf("bob silver = %d", got)
+	}
+}
+
+func TestGetLockDeniedCrossNetworkWithoutRule(t *testing.T) {
+	hub := relay.NewHub()
+	registry := relay.NewStaticRegistry()
+	gold := assetNet(t, "gold", registry, hub)
+	silver := assetNet(t, "silver", registry, hub)
+	hub.Attach("silver-relay", silver.Relay)
+	registry.Register("silver", "silver-relay")
+
+	// Record config + policy on gold so the query can be built, but grant
+	// no rule on silver.
+	goldOrg, _ := gold.Fabric.Org("gold-org-b")
+	goldAdminID, _ := goldOrg.CA.Issue("admin", msp.RoleAdmin)
+	goldAdmin := gold.Fabric.Gateway(goldAdminID)
+	silverOrg, _ := silver.Fabric.Org("silver-org-a")
+	silverAdminID, _ := silverOrg.CA.Issue("admin", msp.RoleAdmin)
+	silverAdmin := silver.Fabric.Gateway(silverAdminID)
+	_ = gold.ConfigureForeignNetwork(goldAdmin, silver.ExportConfig())
+	_ = gold.SetVerificationPolicy(goldAdmin, policy.VerificationPolicy{
+		Network: "silver", Expr: "'silver-org-a.peer'",
+	})
+	_ = silver.ConfigureForeignNetwork(silverAdmin, gold.ExportConfig())
+
+	bobGold := newClient(t, gold, "gold-org-b", "bob")
+	if _, err := bobGold.RemoteQuery(core.RemoteQuerySpec{
+		Network: "silver", Contract: ChaincodeName, Function: FnGetLock,
+		Args: [][]byte{[]byte("any")},
+	}); err == nil {
+		t.Fatal("cross-network GetLock without rule succeeded")
+	}
+}
+
+func TestLockValidationErrors(t *testing.T) {
+	n := assetNet(t, "gold", relay.NewStaticRegistry(), relay.NewHub())
+	alice := newClient(t, n, "gold-org-a", "alice")
+	mint(t, alice, "alice", 100)
+
+	// Bad hashlock length.
+	if _, err := alice.Submit(ChaincodeName, FnLock,
+		[]byte("l1"), []byte("bob"), []byte("deadbeef"),
+		[]byte(strconv.FormatInt(time.Now().Add(time.Hour).UnixNano(), 10)), []byte("5")); err == nil {
+		t.Fatal("short hashlock accepted")
+	}
+	// Duplicate lock ID.
+	h := HashPreimage([]byte("p"))
+	args := lockArgs("dup", "bob", h, time.Now().Add(time.Hour), 5)
+	if _, err := alice.Submit(ChaincodeName, FnLock, args...); err != nil {
+		t.Fatalf("Lock: %v", err)
+	}
+	if _, err := alice.Submit(ChaincodeName, FnLock, args...); err == nil {
+		t.Fatal("duplicate lock accepted")
+	}
+	// Claim on missing lock.
+	if _, err := alice.Submit(ChaincodeName, FnClaim, []byte("ghost"), []byte("00")); err == nil {
+		t.Fatal("claim on missing lock accepted")
+	}
+}
+
+func TestErrorsAreTyped(t *testing.T) {
+	if !errors.Is(fmt.Errorf("wrap: %w", ErrWrongPreimage), ErrWrongPreimage) {
+		t.Fatal("ErrWrongPreimage does not wrap")
+	}
+}

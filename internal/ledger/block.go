@@ -1,0 +1,142 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cryptoutil"
+)
+
+var (
+	// ErrNotFound is returned when a block or transaction does not exist.
+	ErrNotFound = errors.New("ledger: not found")
+	// ErrBrokenChain is returned when a block's PrevHash does not match the
+	// chain tip.
+	ErrBrokenChain = errors.New("ledger: broken hash chain")
+)
+
+// Block is an ordered batch of transactions linked to its predecessor by
+// hash.
+type Block struct {
+	Number       uint64
+	PrevHash     []byte
+	Transactions []*Transaction
+	Hash         []byte
+}
+
+// ComputeHash derives the block hash from the block number, the previous
+// hash and every transaction digest.
+func (b *Block) ComputeHash() []byte {
+	var num [8]byte
+	binary.BigEndian.PutUint64(num[:], b.Number)
+	parts := make([][]byte, 0, 2+len(b.Transactions))
+	parts = append(parts, num[:], b.PrevHash)
+	for _, tx := range b.Transactions {
+		parts = append(parts, tx.Digest())
+	}
+	return cryptoutil.Digest(parts...)
+}
+
+// BlockStore is the append-only hash-chained chain of blocks plus the
+// indexes needed for transaction lookup.
+type BlockStore struct {
+	mu     sync.RWMutex
+	blocks []*Block
+	byTxID map[string]txLocation
+}
+
+type txLocation struct {
+	blockNum uint64
+	txIndex  int
+}
+
+// NewBlockStore returns an empty block store. The first appended block must
+// have Number 0 and an empty PrevHash.
+func NewBlockStore() *BlockStore {
+	return &BlockStore{byTxID: make(map[string]txLocation)}
+}
+
+// Height returns the number of blocks in the chain.
+func (s *BlockStore) Height() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return uint64(len(s.blocks))
+}
+
+// TipHash returns the hash of the latest block, or nil for an empty chain.
+func (s *BlockStore) TipHash() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.blocks) == 0 {
+		return nil
+	}
+	return s.blocks[len(s.blocks)-1].Hash
+}
+
+// Append validates the chain linkage, computes the block hash and appends
+// the block.
+func (s *BlockStore) Append(b *Block) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b.Number != uint64(len(s.blocks)) {
+		return fmt.Errorf("%w: block number %d at height %d", ErrBrokenChain, b.Number, len(s.blocks))
+	}
+	if len(s.blocks) > 0 {
+		tip := s.blocks[len(s.blocks)-1]
+		if string(b.PrevHash) != string(tip.Hash) {
+			return fmt.Errorf("%w: prev hash mismatch at block %d", ErrBrokenChain, b.Number)
+		}
+	} else if len(b.PrevHash) != 0 {
+		return fmt.Errorf("%w: genesis block with non-empty prev hash", ErrBrokenChain)
+	}
+	b.Hash = b.ComputeHash()
+	s.blocks = append(s.blocks, b)
+	for i, tx := range b.Transactions {
+		s.byTxID[tx.ID] = txLocation{blockNum: b.Number, txIndex: i}
+	}
+	return nil
+}
+
+// Block returns the block at the given height.
+func (s *BlockStore) Block(num uint64) (*Block, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if num >= uint64(len(s.blocks)) {
+		return nil, fmt.Errorf("%w: block %d", ErrNotFound, num)
+	}
+	return s.blocks[num], nil
+}
+
+// TxByID returns a committed transaction by its ID.
+func (s *BlockStore) TxByID(txID string) (*Transaction, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	loc, ok := s.byTxID[txID]
+	if !ok {
+		return nil, fmt.Errorf("%w: tx %s", ErrNotFound, txID)
+	}
+	return s.blocks[loc.blockNum].Transactions[loc.txIndex], nil
+}
+
+// VerifyChain re-walks the chain, recomputing hashes, and returns an error
+// at the first inconsistency. It is the integrity check auditors run.
+func (s *BlockStore) VerifyChain() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var prev []byte
+	for i, b := range s.blocks {
+		if b.Number != uint64(i) {
+			return fmt.Errorf("%w: block %d numbered %d", ErrBrokenChain, i, b.Number)
+		}
+		if string(b.PrevHash) != string(prev) {
+			return fmt.Errorf("%w: block %d prev hash", ErrBrokenChain, i)
+		}
+		if string(b.ComputeHash()) != string(b.Hash) {
+			return fmt.Errorf("%w: block %d hash mismatch", ErrBrokenChain, i)
+		}
+		prev = b.Hash
+	}
+	return nil
+}

@@ -1,0 +1,247 @@
+package ledger
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/statedb"
+)
+
+func txWith(id string, writes ...KVWrite) *Transaction {
+	return &Transaction{
+		ID:        id,
+		Chaincode: "cc",
+		Function:  "fn",
+		Args:      [][]byte{[]byte("a")},
+		RWSet:     RWSet{Writes: writes},
+	}
+}
+
+func TestRWSetRoundTrip(t *testing.T) {
+	rw := &RWSet{
+		Reads: []KVRead{
+			{Key: "k1", Version: statedb.Version{BlockNum: 2, TxNum: 3}, Exists: true},
+			{Key: "k2", Exists: false},
+		},
+		Writes: []KVWrite{
+			{Key: "k3", Value: []byte("v3")},
+			{Key: "k4", IsDelete: true},
+		},
+	}
+	got, err := UnmarshalRWSet(rw.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalRWSet: %v", err)
+	}
+	if len(got.Reads) != 2 || len(got.Writes) != 2 {
+		t.Fatalf("round-trip sizes: %+v", got)
+	}
+	if got.Reads[0] != rw.Reads[0] || got.Reads[1] != rw.Reads[1] {
+		t.Fatalf("reads mismatch: %+v", got.Reads)
+	}
+	if got.Writes[0].Key != "k3" || !bytes.Equal(got.Writes[0].Value, []byte("v3")) {
+		t.Fatalf("writes mismatch: %+v", got.Writes)
+	}
+	if !got.Writes[1].IsDelete {
+		t.Fatal("delete flag lost")
+	}
+}
+
+func TestRWSetStateWrites(t *testing.T) {
+	rw := &RWSet{Writes: []KVWrite{{Key: "a", Value: []byte("1")}, {Key: "b", IsDelete: true}}}
+	sw := rw.StateWrites()
+	if len(sw) != 2 || sw[0].Key != "a" || !sw[1].IsDelete {
+		t.Fatalf("StateWrites = %+v", sw)
+	}
+}
+
+func TestSignedPayloadCoversMutations(t *testing.T) {
+	base := func() *Transaction {
+		return &Transaction{
+			ID:        "tx1",
+			Chaincode: "cc",
+			Function:  "fn",
+			Args:      [][]byte{[]byte("a")},
+			Response:  []byte("resp"),
+			RWSet: RWSet{
+				Writes: []KVWrite{{Key: "k", Value: []byte("v")}},
+			},
+		}
+	}
+	orig := base().SignedPayload()
+
+	mutations := map[string]func(*Transaction){
+		"function": func(tx *Transaction) { tx.Function = "other" },
+		"args":     func(tx *Transaction) { tx.Args = [][]byte{[]byte("b")} },
+		"response": func(tx *Transaction) { tx.Response = []byte("forged") },
+		"writes":   func(tx *Transaction) { tx.RWSet.Writes[0].Value = []byte("forged") },
+		"id":       func(tx *Transaction) { tx.ID = "tx2" },
+		"event": func(tx *Transaction) {
+			tx.Event = &ChaincodeEvent{Chaincode: "cc", Name: "e", Payload: []byte("p")}
+		},
+	}
+	for name, mutate := range mutations {
+		tx := base()
+		mutate(tx)
+		if bytes.Equal(orig, tx.SignedPayload()) {
+			t.Fatalf("mutation %q does not change signed payload", name)
+		}
+	}
+	// Validation code must NOT affect the signed payload.
+	tx := base()
+	tx.Validation = MVCCConflict
+	if !bytes.Equal(orig, tx.SignedPayload()) {
+		t.Fatal("validation code changes signed payload")
+	}
+}
+
+func TestBlockStoreAppendAndChain(t *testing.T) {
+	s := NewBlockStore()
+	if s.Height() != 0 || s.TipHash() != nil {
+		t.Fatal("new store not empty")
+	}
+	b0 := &Block{Number: 0, Transactions: []*Transaction{txWith("t0")}}
+	if err := s.Append(b0); err != nil {
+		t.Fatalf("Append genesis: %v", err)
+	}
+	b1 := &Block{Number: 1, PrevHash: s.TipHash(), Transactions: []*Transaction{txWith("t1"), txWith("t2")}}
+	if err := s.Append(b1); err != nil {
+		t.Fatalf("Append block 1: %v", err)
+	}
+	if s.Height() != 2 {
+		t.Fatalf("Height = %d", s.Height())
+	}
+	if err := s.VerifyChain(); err != nil {
+		t.Fatalf("VerifyChain: %v", err)
+	}
+}
+
+func TestBlockStoreRejectsBadLinkage(t *testing.T) {
+	s := NewBlockStore()
+	if err := s.Append(&Block{Number: 1}); !errors.Is(err, ErrBrokenChain) {
+		t.Fatalf("wrong first block number: %v", err)
+	}
+	if err := s.Append(&Block{Number: 0, PrevHash: []byte("junk")}); !errors.Is(err, ErrBrokenChain) {
+		t.Fatalf("genesis with prev hash: %v", err)
+	}
+	_ = s.Append(&Block{Number: 0})
+	if err := s.Append(&Block{Number: 1, PrevHash: []byte("wrong")}); !errors.Is(err, ErrBrokenChain) {
+		t.Fatalf("bad prev hash: %v", err)
+	}
+}
+
+func TestBlockStoreTxLookup(t *testing.T) {
+	s := NewBlockStore()
+	_ = s.Append(&Block{Number: 0, Transactions: []*Transaction{txWith("alpha"), txWith("beta")}})
+	tx, err := s.TxByID("beta")
+	if err != nil || tx.ID != "beta" {
+		t.Fatalf("TxByID: %v, %v", tx, err)
+	}
+	if _, err := s.TxByID("gamma"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing tx: %v", err)
+	}
+	if _, err := s.Block(5); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing block: %v", err)
+	}
+}
+
+func TestVerifyChainDetectsTampering(t *testing.T) {
+	s := NewBlockStore()
+	_ = s.Append(&Block{Number: 0, Transactions: []*Transaction{txWith("t0")}})
+	_ = s.Append(&Block{Number: 1, PrevHash: s.TipHash(), Transactions: []*Transaction{txWith("t1")}})
+
+	// Tamper with a committed transaction's write set.
+	b, _ := s.Block(1)
+	b.Transactions[0].RWSet.Writes = []KVWrite{{Key: "evil", Value: []byte("x")}}
+	if err := s.VerifyChain(); !errors.Is(err, ErrBrokenChain) {
+		t.Fatalf("tampering not detected: %v", err)
+	}
+}
+
+func TestBlockHashDependsOnContents(t *testing.T) {
+	b1 := &Block{Number: 0, Transactions: []*Transaction{txWith("a")}}
+	b2 := &Block{Number: 0, Transactions: []*Transaction{txWith("b")}}
+	if bytes.Equal(b1.ComputeHash(), b2.ComputeHash()) {
+		t.Fatal("different blocks hash identically")
+	}
+}
+
+func TestValidationCodeString(t *testing.T) {
+	for code, want := range map[ValidationCode]string{
+		Valid:               "valid",
+		MVCCConflict:        "mvcc-conflict",
+		EndorsementFailure:  "endorsement-failure",
+		BadSignature:        "bad-signature",
+		ValidationCode(250): "validation(250)",
+	} {
+		if code.String() != want {
+			t.Fatalf("%d.String() = %q", int(code), code.String())
+		}
+	}
+}
+
+// TestRWSetRoundTripProperty round-trips arbitrary rwsets.
+func TestRWSetRoundTripProperty(t *testing.T) {
+	prop := func(key string, val []byte, bn, tn uint64, exists, isDelete bool) bool {
+		rw := &RWSet{
+			Reads:  []KVRead{{Key: key, Version: statedb.Version{BlockNum: bn, TxNum: tn}, Exists: exists}},
+			Writes: []KVWrite{{Key: key, Value: val, IsDelete: isDelete}},
+		}
+		got, err := UnmarshalRWSet(rw.Marshal())
+		if err != nil {
+			return false
+		}
+		return len(got.Reads) == 1 && len(got.Writes) == 1 &&
+			got.Reads[0] == rw.Reads[0] &&
+			got.Writes[0].Key == key && bytes.Equal(got.Writes[0].Value, val) &&
+			got.Writes[0].IsDelete == isDelete
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyBlocksChainIntact(t *testing.T) {
+	s := NewBlockStore()
+	for i := 0; i < 50; i++ {
+		b := &Block{
+			Number:       uint64(i),
+			PrevHash:     s.TipHash(),
+			Transactions: []*Transaction{txWith(fmt.Sprintf("tx-%d", i))},
+		}
+		if err := s.Append(b); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := s.VerifyChain(); err != nil {
+		t.Fatalf("VerifyChain: %v", err)
+	}
+	if s.Height() != 50 {
+		t.Fatalf("Height = %d", s.Height())
+	}
+}
+
+func BenchmarkBlockAppend(b *testing.B) {
+	s := NewBlockStore()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		blk := &Block{
+			Number:       uint64(i),
+			PrevHash:     s.TipHash(),
+			Transactions: []*Transaction{txWith(fmt.Sprintf("tx-%d", i))},
+		}
+		if err := s.Append(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSignedPayload(b *testing.B) {
+	tx := txWith("tx", KVWrite{Key: "k", Value: make([]byte, 512)})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tx.SignedPayload()
+	}
+}

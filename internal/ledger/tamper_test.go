@@ -1,0 +1,117 @@
+package ledger
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// buildChain commits n blocks of simple transactions.
+func buildChain(t *testing.T, n int) *BlockStore {
+	t.Helper()
+	s := NewBlockStore()
+	for i := 0; i < n; i++ {
+		b := &Block{
+			Number:   uint64(i),
+			PrevHash: s.TipHash(),
+			Transactions: []*Transaction{
+				{
+					ID:        fmt.Sprintf("tx-%d-a", i),
+					Chaincode: "cc",
+					Function:  "put",
+					Args:      [][]byte{[]byte(fmt.Sprintf("k%d", i))},
+					Response:  []byte("ok"),
+					RWSet: RWSet{Writes: []KVWrite{
+						{Key: fmt.Sprintf("k%d", i), Value: []byte(fmt.Sprintf("v%d", i))},
+					}},
+				},
+				{
+					ID:        fmt.Sprintf("tx-%d-b", i),
+					Chaincode: "cc",
+					Function:  "del",
+					RWSet:     RWSet{Writes: []KVWrite{{Key: "gone", IsDelete: true}}},
+				},
+			},
+		}
+		if err := s.Append(b); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := s.VerifyChain(); err != nil {
+		t.Fatalf("fresh chain invalid: %v", err)
+	}
+	return s
+}
+
+// TestRandomTamperingAlwaysDetected applies random single-field mutations
+// to committed transactions and checks VerifyChain catches every one —
+// the immutability property the trust argument rests on.
+func TestRandomTamperingAlwaysDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	mutations := []struct {
+		name   string
+		mutate func(tx *Transaction, rng *rand.Rand)
+	}{
+		{"function", func(tx *Transaction, _ *rand.Rand) { tx.Function += "x" }},
+		{"id", func(tx *Transaction, _ *rand.Rand) { tx.ID += "x" }},
+		{"response", func(tx *Transaction, _ *rand.Rand) { tx.Response = append(tx.Response, 'x') }},
+		{"arg", func(tx *Transaction, _ *rand.Rand) {
+			if len(tx.Args) > 0 {
+				tx.Args[0] = append(tx.Args[0], 'x')
+			} else {
+				tx.Args = [][]byte{[]byte("x")}
+			}
+		}},
+		{"write-value", func(tx *Transaction, _ *rand.Rand) {
+			tx.RWSet.Writes[0].Value = append(tx.RWSet.Writes[0].Value, 'x')
+		}},
+		{"write-key", func(tx *Transaction, _ *rand.Rand) {
+			tx.RWSet.Writes[0].Key += "x"
+		}},
+		{"delete-flag", func(tx *Transaction, _ *rand.Rand) {
+			tx.RWSet.Writes[0].IsDelete = !tx.RWSet.Writes[0].IsDelete
+		}},
+		{"creator", func(tx *Transaction, _ *rand.Rand) {
+			tx.CreatorCert = append(tx.CreatorCert, 'x')
+		}},
+	}
+	for _, m := range mutations {
+		for trial := 0; trial < 5; trial++ {
+			s := buildChain(t, 8)
+			blockNum := uint64(rng.Intn(8))
+			b, err := s.Block(blockNum)
+			if err != nil {
+				t.Fatalf("Block: %v", err)
+			}
+			tx := b.Transactions[rng.Intn(len(b.Transactions))]
+			m.mutate(tx, rng)
+			if err := s.VerifyChain(); err == nil {
+				t.Fatalf("mutation %q on block %d went undetected", m.name, blockNum)
+			}
+		}
+	}
+}
+
+// TestValidationCodeMutationNotDetected documents that the validation code
+// is intentionally outside the hash: it is assigned post-ordering by each
+// committer, not agreed by consensus.
+func TestValidationCodeMutationNotDetected(t *testing.T) {
+	s := buildChain(t, 3)
+	b, _ := s.Block(1)
+	b.Transactions[0].Validation = MVCCConflict
+	if err := s.VerifyChain(); err != nil {
+		t.Fatalf("validation code is hashed but must not be: %v", err)
+	}
+}
+
+// TestBlockSwapDetected moves a whole block's transactions to another
+// block.
+func TestBlockSwapDetected(t *testing.T) {
+	s := buildChain(t, 4)
+	b1, _ := s.Block(1)
+	b2, _ := s.Block(2)
+	b1.Transactions, b2.Transactions = b2.Transactions, b1.Transactions
+	if err := s.VerifyChain(); err == nil {
+		t.Fatal("transaction swap across blocks went undetected")
+	}
+}

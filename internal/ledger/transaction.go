@@ -1,0 +1,124 @@
+package ledger
+
+import (
+	"fmt"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/wire"
+)
+
+// ValidationCode records the committer's verdict on a transaction.
+type ValidationCode int
+
+const (
+	// Valid means the transaction passed endorsement-policy and MVCC checks
+	// and its writes were applied.
+	Valid ValidationCode = iota + 1
+	// MVCCConflict means a read version moved between simulation and
+	// commit; the transaction was skipped.
+	MVCCConflict
+	// EndorsementFailure means the endorsement policy was not satisfied.
+	EndorsementFailure
+	// BadSignature means an endorsement signature did not verify.
+	BadSignature
+)
+
+// String returns the validation code name.
+func (c ValidationCode) String() string {
+	switch c {
+	case Valid:
+		return "valid"
+	case MVCCConflict:
+		return "mvcc-conflict"
+	case EndorsementFailure:
+		return "endorsement-failure"
+	case BadSignature:
+		return "bad-signature"
+	default:
+		return fmt.Sprintf("validation(%d)", int(c))
+	}
+}
+
+// Endorsement is one peer's signature over a transaction's simulated
+// results.
+type Endorsement struct {
+	PeerName  string
+	OrgID     string
+	CertPEM   []byte
+	Signature []byte // over the transaction's SignedPayload
+}
+
+// ChaincodeEvent is an event emitted during simulation, delivered to
+// listeners after the transaction commits as Valid.
+type ChaincodeEvent struct {
+	Chaincode string
+	Name      string
+	Payload   []byte
+}
+
+// Transaction is an ordered, endorsed chaincode invocation.
+type Transaction struct {
+	ID           string
+	Chaincode    string
+	Function     string
+	Args         [][]byte
+	CreatorCert  []byte // PEM of the submitting client
+	RWSet        RWSet
+	Response     []byte // chaincode return value from simulation
+	Event        *ChaincodeEvent
+	Endorsements []Endorsement
+	UnixNano     uint64
+
+	// Validation is assigned by the committer; it is not part of the signed
+	// payload.
+	Validation ValidationCode
+}
+
+// SignedPayload returns the canonical bytes that endorsers sign: the
+// proposal identity plus the simulation outcome. Any post-endorsement
+// mutation of the function, arguments, read-write set or response
+// invalidates every endorsement.
+func (tx *Transaction) SignedPayload() []byte {
+	e := wire.NewEncoder(256)
+	e.String(1, tx.ID)
+	e.String(2, tx.Chaincode)
+	e.String(3, tx.Function)
+	for _, a := range tx.Args {
+		e.Message(4, a)
+	}
+	e.BytesField(5, tx.CreatorCert)
+	e.BytesField(6, tx.RWSet.Marshal())
+	e.BytesField(7, tx.Response)
+	if tx.Event != nil {
+		ev := wire.NewEncoder(32 + len(tx.Event.Payload))
+		ev.String(1, tx.Event.Chaincode)
+		ev.String(2, tx.Event.Name)
+		ev.BytesField(3, tx.Event.Payload)
+		e.Message(8, ev.Bytes())
+	}
+	return e.Bytes()
+}
+
+// Digest returns the SHA-256 digest of the signed payload.
+func (tx *Transaction) Digest() []byte {
+	return cryptoutil.Digest(tx.SignedPayload())
+}
+
+// Marshal encodes the full transaction, including endorsements, for block
+// storage.
+func (tx *Transaction) Marshal() []byte {
+	e := wire.NewEncoder(512)
+	e.BytesField(1, tx.SignedPayload())
+	for i := range tx.Endorsements {
+		en := &tx.Endorsements[i]
+		ee := wire.NewEncoder(128)
+		ee.String(1, en.PeerName)
+		ee.String(2, en.OrgID)
+		ee.BytesField(3, en.CertPEM)
+		ee.BytesField(4, en.Signature)
+		e.Message(2, ee.Bytes())
+	}
+	e.Uint(3, tx.UnixNano)
+	e.Uint(4, uint64(tx.Validation))
+	return e.Bytes()
+}

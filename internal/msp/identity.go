@@ -1,0 +1,139 @@
+package msp
+
+import (
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/pem"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cryptoutil"
+)
+
+// Identity is a key pair plus the certificate binding it to an organization
+// member. Peers hold identities to sign attestations; clients hold them to
+// authenticate cross-network queries.
+type Identity struct {
+	Name  string
+	OrgID string
+	Role  Role
+	Cert  *x509.Certificate
+	Key   *ecdsa.PrivateKey
+}
+
+// CertPEM returns the PEM encoding of the identity's certificate, the form
+// carried in wire messages so remote networks can authenticate the holder.
+func (id *Identity) CertPEM() []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: id.Cert.Raw})
+}
+
+// Sign signs msg with the identity's private key.
+func (id *Identity) Sign(msg []byte) ([]byte, error) {
+	return cryptoutil.Sign(id.Key, msg)
+}
+
+// PublicKey returns the identity's public key.
+func (id *Identity) PublicKey() *ecdsa.PublicKey {
+	return &id.Key.PublicKey
+}
+
+// ParseCertPEM decodes a PEM certificate as produced by CertPEM or
+// CA.RootCertPEM.
+func ParseCertPEM(pemBytes []byte) (*x509.Certificate, error) {
+	block, _ := pem.Decode(pemBytes)
+	if block == nil || block.Type != "CERTIFICATE" {
+		return nil, errors.New("msp: no CERTIFICATE block in PEM input")
+	}
+	cert, err := x509.ParseCertificate(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("msp: parse certificate: %w", err)
+	}
+	return cert, nil
+}
+
+// CertInfo is the identity information extracted from a verified
+// certificate.
+type CertInfo struct {
+	Name  string
+	OrgID string
+	Role  Role
+}
+
+// Verifier authenticates certificates against a set of organization root
+// certificates. A destination network constructs a Verifier from the source
+// network's recorded configuration to validate proof signers (§3.3, §4.3).
+type Verifier struct {
+	pool  *x509.CertPool
+	roots map[string]*x509.Certificate // orgID -> root
+}
+
+// NewVerifier builds a Verifier from PEM root certificates keyed by
+// organization ID.
+func NewVerifier(rootsPEM map[string][]byte) (*Verifier, error) {
+	v := &Verifier{
+		pool:  x509.NewCertPool(),
+		roots: make(map[string]*x509.Certificate, len(rootsPEM)),
+	}
+	for orgID, pemBytes := range rootsPEM {
+		cert, err := ParseCertPEM(pemBytes)
+		if err != nil {
+			return nil, fmt.Errorf("msp: root for org %q: %w", orgID, err)
+		}
+		v.pool.AddCert(cert)
+		v.roots[orgID] = cert
+	}
+	return v, nil
+}
+
+// Orgs returns the organization IDs this verifier knows about.
+func (v *Verifier) Orgs() []string {
+	orgs := make([]string, 0, len(v.roots))
+	for orgID := range v.roots {
+		orgs = append(orgs, orgID)
+	}
+	return orgs
+}
+
+// Verify checks that cert chains to one of the known organization roots and
+// is currently valid, returning the certified name, organization and role.
+func (v *Verifier) Verify(cert *x509.Certificate) (CertInfo, error) {
+	opts := x509.VerifyOptions{
+		Roots:     v.pool,
+		KeyUsages: []x509.ExtKeyUsage{x509.ExtKeyUsageAny},
+	}
+	if _, err := cert.Verify(opts); err != nil {
+		var certErr x509.CertificateInvalidError
+		if errors.As(err, &certErr) && certErr.Reason == x509.Expired {
+			return CertInfo{}, ErrExpired
+		}
+		return CertInfo{}, fmt.Errorf("%w: %v", ErrUnknownIssuer, err)
+	}
+	now := time.Now()
+	if now.Before(cert.NotBefore) || now.After(cert.NotAfter) {
+		return CertInfo{}, ErrExpired
+	}
+	info := CertInfo{Name: cert.Subject.CommonName}
+	if len(cert.Subject.Organization) > 0 {
+		info.OrgID = cert.Subject.Organization[0]
+	}
+	if len(cert.Subject.OrganizationalUnit) > 0 {
+		role, err := ParseRole(cert.Subject.OrganizationalUnit[0])
+		if err == nil {
+			info.Role = role
+		}
+	}
+	if _, known := v.roots[info.OrgID]; !known {
+		return CertInfo{}, fmt.Errorf("%w: org %q has no recorded root", ErrUnknownIssuer, info.OrgID)
+	}
+	return info, nil
+}
+
+// VerifyPEM is Verify over a PEM-encoded certificate.
+func (v *Verifier) VerifyPEM(pemBytes []byte) (CertInfo, error) {
+	cert, err := ParseCertPEM(pemBytes)
+	if err != nil {
+		return CertInfo{}, err
+	}
+	return v.Verify(cert)
+}

@@ -1,0 +1,86 @@
+package notary
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/endorsement"
+	"repro/internal/proof"
+	"repro/internal/relay"
+	"repro/internal/wire"
+)
+
+// Driver adapts a notary network to the relay's Driver interface,
+// demonstrating the paper's extensibility claim: the relay service and
+// wire protocol are reused unmodified; this file is the entirety of the
+// platform-specific work.
+type Driver struct {
+	net        *Network
+	ledgerName string
+}
+
+var _ relay.Driver = (*Driver)(nil)
+
+// NewDriver creates a relay driver for a notary network.
+func NewDriver(net *Network, ledgerName string) *Driver {
+	if ledgerName == "" {
+		ledgerName = "default"
+	}
+	return &Driver{net: net, ledgerName: ledgerName}
+}
+
+// Platform implements relay.Driver.
+func (d *Driver) Platform() string { return "notary" }
+
+// Query implements relay.Driver: authenticate and authorize the requester,
+// execute the view function, and collect an attestation from every notary
+// the verification policy names.
+func (d *Driver) Query(q *wire.Query) (*wire.QueryResponse, error) {
+	if q.Ledger != "" && q.Ledger != d.ledgerName {
+		return nil, fmt.Errorf("notary: unknown ledger %q", q.Ledger)
+	}
+	vp, err := endorsement.Parse(q.PolicyExpr)
+	if err != nil {
+		return nil, fmt.Errorf("notary: verification policy: %w", err)
+	}
+	// Exposure control: platform-level rather than chaincode-level, as the
+	// paper anticipates for Corda-style platforms.
+	if _, err := d.net.Authorize(q.RequestingNetwork, q.RequesterCertPEM, q.Contract, q.Function); err != nil {
+		return nil, err
+	}
+	clientPub, err := RequesterKey(q.RequesterCertPEM)
+	if err != nil {
+		return nil, err
+	}
+	result, err := d.net.View(q.Contract, q.Function, q.Args)
+	if err != nil {
+		return nil, err
+	}
+
+	wanted := make(map[string]bool)
+	for _, org := range vp.Orgs() {
+		wanted[org] = true
+	}
+	queryDigest := proof.QueryDigestOf(q)
+	resp := &wire.QueryResponse{RequestID: q.RequestID}
+	for _, notary := range d.net.Notaries() {
+		if !wanted[notary.OrgID] {
+			continue
+		}
+		att, err := proof.BuildAttestation(notary.Identity, d.net.ID(), queryDigest,
+			result, q.Nonce, clientPub, time.Now())
+		if err != nil {
+			return nil, fmt.Errorf("notary: attestation from %s: %w", notary.OrgID, err)
+		}
+		resp.Attestations = append(resp.Attestations, att)
+	}
+	if len(resp.Attestations) == 0 {
+		return nil, fmt.Errorf("notary: no notaries match verification policy %q", q.PolicyExpr)
+	}
+	encResult, err := proof.EncryptResult(clientPub, result)
+	if err != nil {
+		return nil, fmt.Errorf("notary: encrypt result: %w", err)
+	}
+	resp.EncryptedResult = encResult
+	return resp, nil
+}

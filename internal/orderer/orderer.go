@@ -1,0 +1,180 @@
+// Package orderer implements the solo ordering service of the simulated
+// platform: endorsed transactions are collected, cut into hash-chained
+// blocks by batch size (or an explicit flush / optional timer), and
+// delivered in order to every registered consumer — the peers' committers.
+package orderer
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ledger"
+)
+
+var (
+	// ErrStopped is returned when submitting to a stopped orderer.
+	ErrStopped = errors.New("orderer: stopped")
+)
+
+// Consumer receives ordered blocks. Delivery is sequential and in block
+// order; a consumer error aborts delivery of that block to later consumers
+// and is reported to the submitter.
+type Consumer interface {
+	CommitBlock(*ledger.Block) error
+}
+
+// ConsumerFunc adapts a function to Consumer.
+type ConsumerFunc func(*ledger.Block) error
+
+// CommitBlock implements Consumer.
+func (f ConsumerFunc) CommitBlock(b *ledger.Block) error { return f(b) }
+
+// Config controls block cutting.
+type Config struct {
+	// BatchSize is the number of transactions per block. Blocks are cut
+	// and delivered synchronously inside the Submit call that fills the
+	// batch. Defaults to 1, which makes the whole pipeline synchronous.
+	BatchSize int
+	// BatchTimeout, when positive and the timer is started with Start,
+	// cuts a partial batch that has been pending for this long.
+	BatchTimeout time.Duration
+}
+
+// Orderer is a solo ordering service.
+type Orderer struct {
+	mu        sync.Mutex
+	cfg       Config
+	pending   []*ledger.Transaction
+	consumers []Consumer
+	nextNum   uint64
+	tipHash   []byte
+	stopped   bool
+
+	timerStop chan struct{}
+	timerDone chan struct{}
+}
+
+// New creates an orderer with the given configuration.
+func New(cfg Config) *Orderer {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+	return &Orderer{cfg: cfg}
+}
+
+// Register adds a block consumer. Consumers registered earlier receive each
+// block first; networks register peers before auxiliary listeners so that
+// validation codes are assigned before event dispatch.
+func (o *Orderer) Register(c Consumer) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.consumers = append(o.consumers, c)
+}
+
+// Submit orders a transaction. If the pending batch reaches the configured
+// size, the block is cut and delivered before Submit returns.
+func (o *Orderer) Submit(tx *ledger.Transaction) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.stopped {
+		return ErrStopped
+	}
+	o.pending = append(o.pending, tx)
+	if len(o.pending) >= o.cfg.BatchSize {
+		return o.cutLocked()
+	}
+	return nil
+}
+
+// Flush cuts a block from any pending transactions immediately.
+func (o *Orderer) Flush() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if len(o.pending) == 0 {
+		return nil
+	}
+	return o.cutLocked()
+}
+
+// Height returns the number of blocks delivered so far.
+func (o *Orderer) Height() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.nextNum
+}
+
+// Pending returns the number of transactions waiting for the next cut.
+func (o *Orderer) Pending() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.pending)
+}
+
+func (o *Orderer) cutLocked() error {
+	block := &ledger.Block{
+		Number:       o.nextNum,
+		PrevHash:     o.tipHash,
+		Transactions: o.pending,
+	}
+	o.pending = nil
+	block.Hash = block.ComputeHash()
+	for _, c := range o.consumers {
+		if err := c.CommitBlock(block); err != nil {
+			return fmt.Errorf("deliver block %d: %w", block.Number, err)
+		}
+	}
+	o.nextNum++
+	o.tipHash = block.Hash
+	return nil
+}
+
+// Start launches the batch-timeout timer. It is a no-op when BatchTimeout
+// is zero. Stop must be called to release the goroutine.
+func (o *Orderer) Start() {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.cfg.BatchTimeout <= 0 || o.timerStop != nil {
+		return
+	}
+	o.timerStop = make(chan struct{})
+	o.timerDone = make(chan struct{})
+	go o.timerLoop(o.timerStop, o.timerDone)
+}
+
+func (o *Orderer) timerLoop(stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(o.cfg.BatchTimeout)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			// Best-effort: a delivery failure surfaces on the next Submit
+			// or Flush; the timer keeps running.
+			_ = o.Flush()
+		case <-stop:
+			return
+		}
+	}
+}
+
+// Stop halts the timer (if running), flushes any pending batch, and marks
+// the orderer stopped.
+func (o *Orderer) Stop() error {
+	o.mu.Lock()
+	stop, done := o.timerStop, o.timerDone
+	o.timerStop, o.timerDone = nil, nil
+	o.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.stopped = true
+	if len(o.pending) > 0 {
+		return o.cutLocked()
+	}
+	return nil
+}

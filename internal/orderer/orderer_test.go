@@ -1,0 +1,169 @@
+package orderer
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ledger"
+)
+
+func tx(id string) *ledger.Transaction {
+	return &ledger.Transaction{ID: id, Chaincode: "cc", Function: "fn"}
+}
+
+type capture struct {
+	mu     sync.Mutex
+	blocks []*ledger.Block
+}
+
+func (c *capture) CommitBlock(b *ledger.Block) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.blocks = append(c.blocks, b)
+	return nil
+}
+
+func (c *capture) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.blocks)
+}
+
+func TestBatchSizeOneIsSynchronous(t *testing.T) {
+	o := New(Config{BatchSize: 1})
+	c := &capture{}
+	o.Register(c)
+	if err := o.Submit(tx("a")); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if c.count() != 1 {
+		t.Fatalf("blocks = %d", c.count())
+	}
+	if o.Height() != 1 || o.Pending() != 0 {
+		t.Fatalf("height=%d pending=%d", o.Height(), o.Pending())
+	}
+}
+
+func TestBatching(t *testing.T) {
+	o := New(Config{BatchSize: 3})
+	c := &capture{}
+	o.Register(c)
+	_ = o.Submit(tx("a"))
+	_ = o.Submit(tx("b"))
+	if c.count() != 0 || o.Pending() != 2 {
+		t.Fatalf("premature cut: blocks=%d pending=%d", c.count(), o.Pending())
+	}
+	_ = o.Submit(tx("c"))
+	if c.count() != 1 {
+		t.Fatalf("blocks = %d", c.count())
+	}
+	if got := len(c.blocks[0].Transactions); got != 3 {
+		t.Fatalf("block tx count = %d", got)
+	}
+}
+
+func TestFlushCutsPartialBatch(t *testing.T) {
+	o := New(Config{BatchSize: 100})
+	c := &capture{}
+	o.Register(c)
+	_ = o.Submit(tx("a"))
+	if err := o.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if c.count() != 1 || len(c.blocks[0].Transactions) != 1 {
+		t.Fatalf("flush did not cut: %d", c.count())
+	}
+	// Flushing an empty batch is a no-op.
+	if err := o.Flush(); err != nil {
+		t.Fatalf("empty Flush: %v", err)
+	}
+	if c.count() != 1 {
+		t.Fatal("empty flush cut a block")
+	}
+}
+
+func TestBlocksAreChained(t *testing.T) {
+	o := New(Config{BatchSize: 1})
+	c := &capture{}
+	o.Register(c)
+	for _, id := range []string{"a", "b", "c"} {
+		_ = o.Submit(tx(id))
+	}
+	if c.count() != 3 {
+		t.Fatalf("blocks = %d", c.count())
+	}
+	for i, b := range c.blocks {
+		if b.Number != uint64(i) {
+			t.Fatalf("block %d numbered %d", i, b.Number)
+		}
+		if i > 0 && string(b.PrevHash) != string(c.blocks[i-1].Hash) {
+			t.Fatalf("block %d not chained", i)
+		}
+	}
+}
+
+func TestConsumerErrorPropagates(t *testing.T) {
+	o := New(Config{BatchSize: 1})
+	boom := errors.New("boom")
+	o.Register(ConsumerFunc(func(*ledger.Block) error { return boom }))
+	if err := o.Submit(tx("a")); !errors.Is(err, boom) {
+		t.Fatalf("Submit: %v", err)
+	}
+}
+
+func TestStopFlushesAndRejects(t *testing.T) {
+	o := New(Config{BatchSize: 10})
+	c := &capture{}
+	o.Register(c)
+	_ = o.Submit(tx("a"))
+	if err := o.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if c.count() != 1 {
+		t.Fatal("Stop did not flush")
+	}
+	if err := o.Submit(tx("b")); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Submit after Stop: %v", err)
+	}
+}
+
+func TestTimerCutsBatch(t *testing.T) {
+	o := New(Config{BatchSize: 100, BatchTimeout: 10 * time.Millisecond})
+	c := &capture{}
+	o.Register(c)
+	o.Start()
+	defer func() { _ = o.Stop() }()
+	_ = o.Submit(tx("a"))
+	deadline := time.Now().Add(2 * time.Second)
+	for c.count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.count() == 0 {
+		t.Fatal("timer never cut the batch")
+	}
+}
+
+func TestStartIdempotentAndStopWithoutStart(t *testing.T) {
+	o := New(Config{BatchTimeout: time.Millisecond})
+	o.Start()
+	o.Start() // second Start must not spawn a second timer
+	if err := o.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	o2 := New(Config{})
+	if err := o2.Stop(); err != nil {
+		t.Fatalf("Stop without Start: %v", err)
+	}
+}
+
+func TestDefaultBatchSize(t *testing.T) {
+	o := New(Config{})
+	c := &capture{}
+	o.Register(c)
+	_ = o.Submit(tx("a"))
+	if c.count() != 1 {
+		t.Fatal("default batch size is not 1")
+	}
+}

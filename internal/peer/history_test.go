@@ -1,0 +1,82 @@
+package peer
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ledger"
+)
+
+func commitOne(t *testing.T, p *Peer, num uint64, fn string, args ...string) *ledger.Transaction {
+	t.Helper()
+	proposal := inv(fn, args...)
+	proposal.TxID = "tx-" + args[0] + "-" + string(rune('0'+num))
+	resp, err := p.Endorse(proposal)
+	if err != nil {
+		t.Fatalf("Endorse: %v", err)
+	}
+	tx, err := AssembleTransaction(proposal, []*ProposalResponse{resp})
+	if err != nil {
+		t.Fatalf("AssembleTransaction: %v", err)
+	}
+	block := &ledger.Block{Number: num, PrevHash: p.Blocks().TipHash(),
+		Transactions: []*ledger.Transaction{tx}}
+	block.Hash = block.ComputeHash()
+	if err := p.CommitBlock(block); err != nil {
+		t.Fatalf("CommitBlock: %v", err)
+	}
+	return tx
+}
+
+func TestKeyHistoryRecordsChanges(t *testing.T) {
+	p, _ := newPeerFixture(t, "'org-a'")
+	commitOne(t, p, 0, "put", "k", "v1")
+	commitOne(t, p, 1, "put", "k", "v2")
+	commitOne(t, p, 2, "del", "k")
+
+	hist := p.KeyHistory("k")
+	if len(hist) != 3 {
+		t.Fatalf("history = %d entries", len(hist))
+	}
+	if !bytes.Equal(hist[0].Value, []byte("v1")) || hist[0].BlockNum != 0 {
+		t.Fatalf("hist[0] = %+v", hist[0])
+	}
+	if !bytes.Equal(hist[1].Value, []byte("v2")) || hist[1].BlockNum != 1 {
+		t.Fatalf("hist[1] = %+v", hist[1])
+	}
+	if !hist[2].IsDelete {
+		t.Fatalf("hist[2] = %+v", hist[2])
+	}
+}
+
+func TestKeyHistorySkipsInvalidTxs(t *testing.T) {
+	p, _ := newPeerFixture(t, "'org-a'")
+	// An unendorsed transaction fails validation; its writes must not
+	// appear in the history.
+	tx := &ledger.Transaction{
+		ID: "tx-bad", Chaincode: "kv", Function: "put",
+		RWSet: ledger.RWSet{Writes: []ledger.KVWrite{{Key: "k", Value: []byte("bad")}}},
+	}
+	block := &ledger.Block{Number: 0, Transactions: []*ledger.Transaction{tx}}
+	block.Hash = block.ComputeHash()
+	if err := p.CommitBlock(block); err != nil {
+		t.Fatalf("CommitBlock: %v", err)
+	}
+	if got := p.KeyHistory("k"); len(got) != 0 {
+		t.Fatalf("invalid tx recorded in history: %+v", got)
+	}
+}
+
+func TestKeyHistoryEmptyAndIsolated(t *testing.T) {
+	p, _ := newPeerFixture(t, "'org-a'")
+	if got := p.KeyHistory("never-written"); len(got) != 0 {
+		t.Fatalf("phantom history: %+v", got)
+	}
+	commitOne(t, p, 0, "put", "k", "v1")
+	hist := p.KeyHistory("k")
+	hist[0].Value[0] = 'X' // mutating the copy must not affect the index
+	hist2 := p.KeyHistory("k")
+	if hist2[0].Value[0] == 'X' {
+		t.Fatal("history exposes internal buffers")
+	}
+}

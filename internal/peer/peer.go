@@ -1,0 +1,242 @@
+// Package peer implements the peer node of the simulated platform. A peer
+// plays two roles from Fabric's execute-order-validate pipeline (§4.1 of
+// the paper): as an endorser it simulates transaction proposals against its
+// world state and signs the result; as a committer it validates ordered
+// blocks (endorsement signatures, endorsement policy, MVCC read conflicts)
+// and applies the surviving writes.
+package peer
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/chaincode"
+	"repro/internal/cryptoutil"
+	"repro/internal/endorsement"
+	"repro/internal/ledger"
+	"repro/internal/msp"
+	"repro/internal/statedb"
+)
+
+var (
+	// ErrProposalMismatch is returned when endorsers disagree on a
+	// proposal's simulation result.
+	ErrProposalMismatch = errors.New("peer: endorsers produced divergent results")
+)
+
+// PolicyProvider supplies the endorsement policy for a chaincode at
+// validation time.
+type PolicyProvider interface {
+	PolicyFor(chaincodeName string) *endorsement.Policy
+}
+
+// VerifierProvider supplies the current MSP verifier for the network. It is
+// an indirection rather than a fixed *msp.Verifier because organizations
+// can be added to a network after its peers are created.
+type VerifierProvider interface {
+	Verifier() *msp.Verifier
+}
+
+// ProposalResponse is an endorser's reply to a transaction proposal.
+type ProposalResponse struct {
+	Response    []byte
+	RWSet       ledger.RWSet
+	Event       *ledger.ChaincodeEvent
+	Endorsement ledger.Endorsement
+}
+
+// Peer is one node of a network.
+type Peer struct {
+	name     string
+	identity *msp.Identity
+
+	mu     sync.Mutex // serializes block commits
+	state  *statedb.Store
+	blocks *ledger.BlockStore
+
+	registry  *chaincode.Registry
+	verifiers VerifierProvider
+	policies  PolicyProvider
+	history   *historyIndex
+}
+
+// New creates a peer. The registry is shared chaincode logic; verifiers
+// supplies the local network's organization roots; policies supplies
+// per-chaincode endorsement policies for commit-time validation.
+func New(identity *msp.Identity, registry *chaincode.Registry, verifiers VerifierProvider, policies PolicyProvider) *Peer {
+	return &Peer{
+		name:      identity.Name,
+		identity:  identity,
+		state:     statedb.NewStore(),
+		blocks:    ledger.NewBlockStore(),
+		registry:  registry,
+		verifiers: verifiers,
+		policies:  policies,
+		history:   newHistoryIndex(),
+	}
+}
+
+// Name returns the peer's name.
+func (p *Peer) Name() string { return p.name }
+
+// OrgID returns the peer's organization.
+func (p *Peer) OrgID() string { return p.identity.OrgID }
+
+// Identity returns the peer's MSP identity.
+func (p *Peer) Identity() *msp.Identity { return p.identity }
+
+// State exposes the peer's world state for read-only inspection in tests
+// and tooling.
+func (p *Peer) State() *statedb.Store { return p.state }
+
+// Blocks exposes the peer's block store.
+func (p *Peer) Blocks() *ledger.BlockStore { return p.blocks }
+
+// Endorse simulates the proposal and signs the canonical transaction
+// payload derived from it (Fig. 2 step 6-7 happen inside the invoked
+// chaincode; the endorsement signature is this peer's attestation of the
+// simulation outcome).
+func (p *Peer) Endorse(inv chaincode.Invocation) (*ProposalResponse, error) {
+	res, err := chaincode.Simulate(p.registry, p.state, inv)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: simulate %s.%s: %w", p.name, inv.Chaincode, inv.Function, err)
+	}
+	tx := BuildTransaction(inv, res)
+	sig, err := p.identity.Sign(tx.SignedPayload())
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: sign endorsement: %w", p.name, err)
+	}
+	return &ProposalResponse{
+		Response: res.Response,
+		RWSet:    res.RWSet,
+		Event:    res.Event,
+		Endorsement: ledger.Endorsement{
+			PeerName:  p.name,
+			OrgID:     p.identity.OrgID,
+			CertPEM:   p.identity.CertPEM(),
+			Signature: sig,
+		},
+	}, nil
+}
+
+// Query simulates a read-only invocation and returns its response without
+// producing a transaction.
+func (p *Peer) Query(inv chaincode.Invocation) ([]byte, error) {
+	inv.ReadOnly = true
+	res, err := chaincode.Simulate(p.registry, p.state, inv)
+	if err != nil {
+		return nil, fmt.Errorf("peer %s: query %s.%s: %w", p.name, inv.Chaincode, inv.Function, err)
+	}
+	return res.Response, nil
+}
+
+// BuildTransaction assembles the canonical transaction from a proposal and
+// one endorser's simulation result. Every endorser and the client construct
+// the same bytes, which is what makes the endorsement signatures
+// comparable.
+func BuildTransaction(inv chaincode.Invocation, res *chaincode.SimResult) *ledger.Transaction {
+	return &ledger.Transaction{
+		ID:          inv.TxID,
+		Chaincode:   inv.Chaincode,
+		Function:    inv.Function,
+		Args:        inv.Args,
+		CreatorCert: inv.CreatorCert,
+		RWSet:       res.RWSet,
+		Response:    res.Response,
+		Event:       res.Event,
+		UnixNano:    uint64(inv.Timestamp.UnixNano()),
+	}
+}
+
+// AssembleTransaction merges proposal responses from several endorsers into
+// a single endorsed transaction, verifying that all endorsers simulated
+// identical results.
+func AssembleTransaction(inv chaincode.Invocation, responses []*ProposalResponse) (*ledger.Transaction, error) {
+	if len(responses) == 0 {
+		return nil, errors.New("peer: no proposal responses")
+	}
+	first := responses[0]
+	tx := BuildTransaction(inv, &chaincode.SimResult{
+		Response: first.Response,
+		RWSet:    first.RWSet,
+		Event:    first.Event,
+	})
+	payload := tx.SignedPayload()
+	for _, r := range responses {
+		other := BuildTransaction(inv, &chaincode.SimResult{
+			Response: r.Response,
+			RWSet:    r.RWSet,
+			Event:    r.Event,
+		})
+		if !bytes.Equal(payload, other.SignedPayload()) {
+			return nil, ErrProposalMismatch
+		}
+		tx.Endorsements = append(tx.Endorsements, r.Endorsement)
+	}
+	return tx, nil
+}
+
+// CommitBlock validates every transaction in the block and applies the
+// writes of the valid ones. Transactions are validated in order, so a
+// transaction that reads a key written earlier in the same block is
+// correctly invalidated (standard MVCC semantics).
+func (p *Peer) CommitBlock(block *ledger.Block) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for txNum, tx := range block.Transactions {
+		tx.Validation = p.validate(tx)
+		if tx.Validation != ledger.Valid {
+			continue
+		}
+		p.state.ApplyWrites(tx.RWSet.StateWrites(),
+			statedb.Version{BlockNum: block.Number, TxNum: uint64(txNum)})
+	}
+	if err := p.blocks.Append(block); err != nil {
+		return fmt.Errorf("peer %s: append block %d: %w", p.name, block.Number, err)
+	}
+	p.history.record(block)
+	return nil
+}
+
+// validate applies the three commit-time checks: endorsement signature
+// authenticity, endorsement policy satisfaction, and MVCC read freshness.
+func (p *Peer) validate(tx *ledger.Transaction) ledger.ValidationCode {
+	payload := tx.SignedPayload()
+	verifier := p.verifiers.Verifier()
+	signers := make([]endorsement.Principal, 0, len(tx.Endorsements))
+	for i := range tx.Endorsements {
+		en := &tx.Endorsements[i]
+		cert, err := msp.ParseCertPEM(en.CertPEM)
+		if err != nil {
+			return ledger.BadSignature
+		}
+		info, err := verifier.Verify(cert)
+		if err != nil {
+			return ledger.BadSignature
+		}
+		pub, ok := cert.PublicKey.(*ecdsa.PublicKey)
+		if !ok {
+			return ledger.BadSignature
+		}
+		if err := cryptoutil.Verify(pub, payload, en.Signature); err != nil {
+			return ledger.BadSignature
+		}
+		// Use the certificate contents, not the self-declared fields, as
+		// the authoritative principal.
+		signers = append(signers, endorsement.Principal{OrgID: info.OrgID, Role: info.Role})
+	}
+	policy := p.policies.PolicyFor(tx.Chaincode)
+	if policy == nil || !policy.Satisfied(signers) {
+		return ledger.EndorsementFailure
+	}
+	for _, r := range tx.RWSet.Reads {
+		ver, exists := p.state.Version(r.Key)
+		if exists != r.Exists || (exists && ver != r.Version) {
+			return ledger.MVCCConflict
+		}
+	}
+	return ledger.Valid
+}

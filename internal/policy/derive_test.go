@@ -1,0 +1,86 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/endorsement"
+	"repro/internal/msp"
+)
+
+func TestDeriveFromConsensusSimple(t *testing.T) {
+	vp, err := DeriveFromConsensus("tradelens", "TradeLensCC", "AND('seller-org','carrier-org')")
+	if err != nil {
+		t.Fatalf("DeriveFromConsensus: %v", err)
+	}
+	if vp.Network != "tradelens" || vp.Chaincode != "TradeLensCC" {
+		t.Fatalf("vp = %+v", vp)
+	}
+	// Every principal must have been narrowed to the peer role.
+	if !strings.Contains(vp.Expr, "seller-org.peer") || !strings.Contains(vp.Expr, "carrier-org.peer") {
+		t.Fatalf("expr = %q", vp.Expr)
+	}
+	// The derived policy accepts exactly peer attestors of those orgs.
+	compiled, err := vp.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	peers := []endorsement.Principal{
+		{OrgID: "seller-org", Role: msp.RolePeer},
+		{OrgID: "carrier-org", Role: msp.RolePeer},
+	}
+	if !compiled.Satisfied(peers) {
+		t.Fatal("derived policy rejects the endorsing peer set")
+	}
+	clients := []endorsement.Principal{
+		{OrgID: "seller-org", Role: msp.RoleClient},
+		{OrgID: "carrier-org", Role: msp.RoleClient},
+	}
+	if compiled.Satisfied(clients) {
+		t.Fatal("derived policy accepts client signers")
+	}
+}
+
+func TestDeriveFromConsensusNested(t *testing.T) {
+	vp, err := DeriveFromConsensus("net", "", "OR('reg', OutOf(2,'a','b','c'))")
+	if err != nil {
+		t.Fatalf("DeriveFromConsensus: %v", err)
+	}
+	compiled, _ := vp.Compile()
+	// 2-of-3 peer attestors satisfy the derived policy.
+	if !compiled.Satisfied([]endorsement.Principal{
+		{OrgID: "a", Role: msp.RolePeer}, {OrgID: "c", Role: msp.RolePeer},
+	}) {
+		t.Fatalf("derived policy %q rejects 2-of-3 peers", vp.Expr)
+	}
+	// One peer is not enough.
+	if compiled.Satisfied([]endorsement.Principal{{OrgID: "b", Role: msp.RolePeer}}) {
+		t.Fatal("derived policy accepts 1-of-3")
+	}
+}
+
+func TestDeriveFromConsensusPreservesExplicitRoles(t *testing.T) {
+	vp, err := DeriveFromConsensus("net", "", "AND('a.admin','b')")
+	if err != nil {
+		t.Fatalf("DeriveFromConsensus: %v", err)
+	}
+	if !strings.Contains(vp.Expr, "a.admin") {
+		t.Fatalf("explicit role overwritten: %q", vp.Expr)
+	}
+	if !strings.Contains(vp.Expr, "b.peer") {
+		t.Fatalf("role-less principal not narrowed: %q", vp.Expr)
+	}
+}
+
+func TestDeriveFromConsensusBadExpr(t *testing.T) {
+	if _, err := DeriveFromConsensus("net", "", "AND("); err == nil {
+		t.Fatal("bad consensus expression accepted")
+	}
+}
+
+func TestWithRoleNil(t *testing.T) {
+	var p *endorsement.Policy
+	if p.WithRole(msp.RolePeer) != nil {
+		t.Fatal("nil policy WithRole should stay nil")
+	}
+}

@@ -1,0 +1,165 @@
+package policy
+
+import (
+	"testing"
+)
+
+func TestRuleMatchesExact(t *testing.T) {
+	// The paper's example rule (§4.3).
+	r := AccessRule{Network: "we-trade", Org: "seller-org", Chaincode: "TradeLensCC", Function: "GetBillOfLading"}
+	if !r.Matches("we-trade", "seller-org", "TradeLensCC", "GetBillOfLading") {
+		t.Fatal("exact match failed")
+	}
+	if r.Matches("we-trade", "seller-org", "TradeLensCC", "GetShipment") {
+		t.Fatal("different function matched")
+	}
+	if r.Matches("other-net", "seller-org", "TradeLensCC", "GetBillOfLading") {
+		t.Fatal("different network matched")
+	}
+}
+
+func TestRuleWildcards(t *testing.T) {
+	r := AccessRule{Network: "we-trade", Org: Wildcard, Chaincode: "TradeLensCC", Function: Wildcard}
+	if !r.Matches("we-trade", "any-org", "TradeLensCC", "AnyFn") {
+		t.Fatal("wildcard match failed")
+	}
+	if r.Matches("we-trade", "any-org", "OtherCC", "AnyFn") {
+		t.Fatal("wildcard over-matched")
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	good := AccessRule{Network: "n", Org: "o", Chaincode: "c", Function: "f"}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for _, bad := range []AccessRule{
+		{Org: "o", Chaincode: "c", Function: "f"},
+		{Network: "n", Chaincode: "c", Function: "f"},
+		{Network: "n", Org: "o", Function: "f"},
+		{Network: "n", Org: "o", Chaincode: "c"},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("rule %+v validated", bad)
+		}
+	}
+}
+
+func TestRuleMarshalRoundTrip(t *testing.T) {
+	r := AccessRule{Network: "n", Org: "o", Chaincode: "c", Function: "f"}
+	data, err := r.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := UnmarshalAccessRule(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got != r {
+		t.Fatalf("round-trip: %+v", got)
+	}
+	if _, err := UnmarshalAccessRule([]byte("{")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := AccessRule{Network: "we-trade", Org: "seller-org", Chaincode: "cc", Function: "fn"}
+	if r.String() != "<we-trade, seller-org, cc, fn>" {
+		t.Fatalf("String = %q", r.String())
+	}
+}
+
+func TestRuleSetPermits(t *testing.T) {
+	var s RuleSet
+	if s.Permits("n", "o", "c", "f") {
+		t.Fatal("empty rule set permits")
+	}
+	if err := s.Add(AccessRule{Network: "n", Org: "o", Chaincode: "c", Function: "f"}); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if !s.Permits("n", "o", "c", "f") {
+		t.Fatal("added rule not honored")
+	}
+	if s.Permits("n", "other", "c", "f") {
+		t.Fatal("non-matching request permitted")
+	}
+}
+
+func TestRuleSetAddDedupAndRemove(t *testing.T) {
+	var s RuleSet
+	r := AccessRule{Network: "n", Org: "o", Chaincode: "c", Function: "f"}
+	_ = s.Add(r)
+	_ = s.Add(r)
+	if len(s.Rules) != 1 {
+		t.Fatalf("dedup failed: %d rules", len(s.Rules))
+	}
+	if !s.Remove(r) {
+		t.Fatal("Remove returned false")
+	}
+	if s.Remove(r) {
+		t.Fatal("double remove returned true")
+	}
+	if s.Permits("n", "o", "c", "f") {
+		t.Fatal("removed rule still permits")
+	}
+}
+
+func TestRuleSetAddInvalid(t *testing.T) {
+	var s RuleSet
+	if err := s.Add(AccessRule{}); err == nil {
+		t.Fatal("invalid rule added")
+	}
+}
+
+func TestVerificationPolicyValidate(t *testing.T) {
+	good := VerificationPolicy{Network: "tradelens", Expr: "AND('seller-org','carrier-org')"}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if err := (VerificationPolicy{Expr: "'a'"}).Validate(); err == nil {
+		t.Fatal("empty network accepted")
+	}
+	if err := (VerificationPolicy{Network: "n", Expr: "AND("}).Validate(); err == nil {
+		t.Fatal("bad expression accepted")
+	}
+}
+
+func TestVerificationPolicyCompile(t *testing.T) {
+	p := VerificationPolicy{Network: "tl", Expr: "AND('a','b')"}
+	compiled, err := p.Compile()
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	orgs := compiled.Orgs()
+	if len(orgs) != 2 {
+		t.Fatalf("Orgs = %v", orgs)
+	}
+}
+
+func TestVerificationPolicyMarshalRoundTrip(t *testing.T) {
+	p := VerificationPolicy{Network: "tl", Chaincode: "TradeLensCC", Expr: "'a'"}
+	data, err := p.Marshal()
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := UnmarshalVerificationPolicy(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got != p {
+		t.Fatalf("round-trip: %+v", got)
+	}
+}
+
+func BenchmarkPermits(b *testing.B) {
+	var s RuleSet
+	for i := 0; i < 50; i++ {
+		_ = s.Add(AccessRule{Network: "n", Org: string(rune('a' + i%26)), Chaincode: "c", Function: "f"})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Permits("n", "z", "c", "f")
+	}
+}

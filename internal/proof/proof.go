@@ -1,0 +1,320 @@
+// Package proof implements the attestation-based proofs that accompany
+// cross-network data (§4.3 of the paper). The life of a proof:
+//
+//  1. Source side: each peer selected to satisfy the verification policy
+//     produces an Attestation — an ECDSA signature over response Metadata
+//     (binding the query digest, result digest, client nonce and attestor
+//     identity), with the metadata ECIES-encrypted to the requesting
+//     client. The query result itself is likewise encrypted. An untrusted
+//     relay carrying the response can neither read the data nor strip out
+//     a usable proof.
+//
+//  2. Client side: the requesting application decrypts the result and each
+//     attestation's metadata, yielding a plaintext Bundle it embeds in its
+//     local transaction.
+//
+//  3. Destination side: every peer validating that transaction checks each
+//     attestation's signature and signer against the recorded source
+//     network configuration and evaluates the verification policy — the
+//     Data Acceptance role of the CMDAC.
+package proof
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/endorsement"
+	"repro/internal/msp"
+	"repro/internal/wire"
+)
+
+var (
+	// ErrBadAttestation is returned when an attestation's certificate or
+	// signature fails validation.
+	ErrBadAttestation = errors.New("proof: invalid attestation")
+	// ErrDigestMismatch is returned when metadata does not bind the
+	// expected query or result.
+	ErrDigestMismatch = errors.New("proof: digest mismatch")
+	// ErrNonceMismatch is returned when an attestation carries the wrong
+	// nonce.
+	ErrNonceMismatch = errors.New("proof: nonce mismatch")
+	// ErrWrongNetwork is returned when an attestation names an unexpected
+	// source network.
+	ErrWrongNetwork = errors.New("proof: wrong source network")
+	// ErrPolicyUnsatisfied is returned when the attestor set does not
+	// satisfy the verification policy.
+	ErrPolicyUnsatisfied = errors.New("proof: verification policy unsatisfied")
+	// ErrNotPeer is returned when an attestor certificate is not a peer
+	// identity.
+	ErrNotPeer = errors.New("proof: attestor is not a peer")
+)
+
+// QueryDigest computes the canonical digest binding a proof to the question
+// that was asked: target network, ledger, contract, function, arguments and
+// client nonce. Relay-routing fields are deliberately excluded so the
+// digest is recomputable by the destination chaincode.
+func QueryDigest(targetNetwork, ledgerName, contract, function string, args [][]byte, nonce []byte) []byte {
+	e := wire.NewEncoder(128)
+	e.String(1, targetNetwork)
+	e.String(2, ledgerName)
+	e.String(3, contract)
+	e.String(4, function)
+	for _, a := range args {
+		e.Message(5, a)
+	}
+	e.BytesField(6, nonce)
+	return cryptoutil.Digest(e.Bytes())
+}
+
+// QueryDigestOf is QueryDigest applied to a wire query.
+func QueryDigestOf(q *wire.Query) []byte {
+	return QueryDigest(q.TargetNetwork, q.Ledger, q.Contract, q.Function, q.Args, q.Nonce)
+}
+
+// BuildAttestation produces one peer's attestation for a query result. The
+// result digest is computed over the plaintext result; the metadata is
+// signed with the attestor's key and then encrypted to the client.
+func BuildAttestation(attestor *msp.Identity, networkID string, queryDigest, result, nonce []byte, clientPub *ecdsa.PublicKey, now time.Time) (wire.Attestation, error) {
+	md := wire.Metadata{
+		NetworkID:    networkID,
+		PeerName:     attestor.Name,
+		OrgID:        attestor.OrgID,
+		QueryDigest:  queryDigest,
+		ResultDigest: cryptoutil.Digest(result),
+		Nonce:        nonce,
+		UnixNano:     uint64(now.UnixNano()),
+	}
+	plain := md.Marshal()
+	sig, err := attestor.Sign(plain)
+	if err != nil {
+		return wire.Attestation{}, fmt.Errorf("proof: sign metadata: %w", err)
+	}
+	encMeta, err := cryptoutil.Encrypt(clientPub, plain)
+	if err != nil {
+		return wire.Attestation{}, fmt.Errorf("proof: encrypt metadata: %w", err)
+	}
+	return wire.Attestation{
+		PeerName:          attestor.Name,
+		OrgID:             attestor.OrgID,
+		CertPEM:           attestor.CertPEM(),
+		EncryptedMetadata: encMeta,
+		Signature:         sig,
+	}, nil
+}
+
+// EncryptResult encrypts a query result to the requesting client,
+// preventing the relay from reading it (the paper's ECC encryption call).
+func EncryptResult(clientPub *ecdsa.PublicKey, result []byte) ([]byte, error) {
+	return cryptoutil.Encrypt(clientPub, result)
+}
+
+// Element is one decrypted attestation inside a Bundle: the attestor
+// certificate, the plaintext metadata bytes, and the signature over them.
+type Element struct {
+	CertPEM   []byte
+	Metadata  []byte // plaintext wire.Metadata
+	Signature []byte
+}
+
+// Bundle is the decrypted, transaction-embeddable form of a proof: the
+// plaintext result plus one Element per attestor. The requesting client
+// constructs it from a QueryResponse; the destination chaincode validates
+// it via the Data Acceptance contract.
+type Bundle struct {
+	SourceNetwork string
+	Result        []byte
+	Nonce         []byte
+	Elements      []Element
+}
+
+// Marshal encodes the bundle for use as a transaction argument.
+func (b *Bundle) Marshal() []byte {
+	e := wire.NewEncoder(512)
+	e.String(1, b.SourceNetwork)
+	e.BytesField(2, b.Result)
+	e.BytesField(3, b.Nonce)
+	for i := range b.Elements {
+		el := &b.Elements[i]
+		ee := wire.NewEncoder(256)
+		ee.BytesField(1, el.CertPEM)
+		ee.BytesField(2, el.Metadata)
+		ee.BytesField(3, el.Signature)
+		e.Message(4, ee.Bytes())
+	}
+	return e.Bytes()
+}
+
+// UnmarshalBundle decodes a bundle.
+func UnmarshalBundle(buf []byte) (*Bundle, error) {
+	b := &Bundle{}
+	d := wire.NewDecoder(buf)
+	for {
+		field, ok, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("bundle: %w", err)
+		}
+		if !ok {
+			return b, nil
+		}
+		switch field {
+		case 1:
+			b.SourceNetwork, err = d.String()
+		case 2:
+			b.Result, err = d.BytesCopy()
+		case 3:
+			b.Nonce, err = d.BytesCopy()
+		case 4:
+			var raw []byte
+			raw, err = d.Bytes()
+			if err == nil {
+				var el Element
+				el, err = unmarshalElement(raw)
+				if err == nil {
+					b.Elements = append(b.Elements, el)
+				}
+			}
+		default:
+			err = d.Skip()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("bundle field %d: %w", field, err)
+		}
+	}
+}
+
+func unmarshalElement(buf []byte) (Element, error) {
+	var el Element
+	d := wire.NewDecoder(buf)
+	for {
+		field, ok, err := d.Next()
+		if err != nil {
+			return el, err
+		}
+		if !ok {
+			return el, nil
+		}
+		switch field {
+		case 1:
+			el.CertPEM, err = d.BytesCopy()
+		case 2:
+			el.Metadata, err = d.BytesCopy()
+		case 3:
+			el.Signature, err = d.BytesCopy()
+		default:
+			err = d.Skip()
+		}
+		if err != nil {
+			return el, err
+		}
+	}
+}
+
+// OpenResponse decrypts a query response with the requesting client's
+// private key and assembles the plaintext Bundle. It performs the client's
+// own sanity checks (result digest binding, nonce echo) so that obviously
+// broken responses are rejected before a transaction is attempted; full
+// trust validation happens on the destination peers via Verify.
+func OpenResponse(clientKey *ecdsa.PrivateKey, q *wire.Query, resp *wire.QueryResponse) (*Bundle, error) {
+	if resp.Error != "" {
+		return nil, fmt.Errorf("proof: remote error: %s", resp.Error)
+	}
+	result, err := cryptoutil.Decrypt(clientKey, resp.EncryptedResult)
+	if err != nil {
+		return nil, fmt.Errorf("proof: decrypt result: %w", err)
+	}
+	wantQueryDigest := QueryDigestOf(q)
+	wantResultDigest := cryptoutil.Digest(result)
+	bundle := &Bundle{
+		SourceNetwork: q.TargetNetwork,
+		Result:        result,
+		Nonce:         q.Nonce,
+	}
+	for i := range resp.Attestations {
+		att := &resp.Attestations[i]
+		plain, err := cryptoutil.Decrypt(clientKey, att.EncryptedMetadata)
+		if err != nil {
+			return nil, fmt.Errorf("proof: decrypt metadata of %s: %w", att.PeerName, err)
+		}
+		md, err := wire.UnmarshalMetadata(plain)
+		if err != nil {
+			return nil, fmt.Errorf("proof: metadata of %s: %w", att.PeerName, err)
+		}
+		if !bytes.Equal(md.QueryDigest, wantQueryDigest) {
+			return nil, fmt.Errorf("%w: attestation %s query digest", ErrDigestMismatch, att.PeerName)
+		}
+		if !bytes.Equal(md.ResultDigest, wantResultDigest) {
+			return nil, fmt.Errorf("%w: attestation %s result digest", ErrDigestMismatch, att.PeerName)
+		}
+		if !bytes.Equal(md.Nonce, q.Nonce) {
+			return nil, fmt.Errorf("%w: attestation %s", ErrNonceMismatch, att.PeerName)
+		}
+		bundle.Elements = append(bundle.Elements, Element{
+			CertPEM:   att.CertPEM,
+			Metadata:  plain,
+			Signature: att.Signature,
+		})
+	}
+	return bundle, nil
+}
+
+// Verify performs the destination network's Data Acceptance check: every
+// attestation must carry a valid signature from a peer identity anchored in
+// the recorded source-network configuration, bind the expected query digest
+// and nonce, match the bundle's result, and the attestor set must satisfy
+// the verification policy.
+func Verify(b *Bundle, verifier *msp.Verifier, vp *endorsement.Policy, expectedQueryDigest []byte) error {
+	if vp == nil {
+		return fmt.Errorf("%w: no verification policy", ErrPolicyUnsatisfied)
+	}
+	wantResultDigest := cryptoutil.Digest(b.Result)
+	signers := make([]endorsement.Principal, 0, len(b.Elements))
+	for i := range b.Elements {
+		el := &b.Elements[i]
+		cert, err := msp.ParseCertPEM(el.CertPEM)
+		if err != nil {
+			return fmt.Errorf("%w: element %d: %v", ErrBadAttestation, i, err)
+		}
+		info, err := verifier.Verify(cert)
+		if err != nil {
+			return fmt.Errorf("%w: element %d: %v", ErrBadAttestation, i, err)
+		}
+		if info.Role != msp.RolePeer {
+			return fmt.Errorf("%w: element %d signed by %s role", ErrNotPeer, i, info.Role)
+		}
+		pub, ok := cert.PublicKey.(*ecdsa.PublicKey)
+		if !ok {
+			return fmt.Errorf("%w: element %d: non-ECDSA key", ErrBadAttestation, i)
+		}
+		if err := cryptoutil.Verify(pub, el.Metadata, el.Signature); err != nil {
+			return fmt.Errorf("%w: element %d: signature", ErrBadAttestation, i)
+		}
+		md, err := wire.UnmarshalMetadata(el.Metadata)
+		if err != nil {
+			return fmt.Errorf("%w: element %d: metadata", ErrBadAttestation, i)
+		}
+		if md.NetworkID != b.SourceNetwork {
+			return fmt.Errorf("%w: element %d names %q", ErrWrongNetwork, i, md.NetworkID)
+		}
+		if md.OrgID != info.OrgID {
+			return fmt.Errorf("%w: element %d org mismatch", ErrBadAttestation, i)
+		}
+		if !bytes.Equal(md.QueryDigest, expectedQueryDigest) {
+			return fmt.Errorf("%w: element %d query digest", ErrDigestMismatch, i)
+		}
+		if !bytes.Equal(md.ResultDigest, wantResultDigest) {
+			return fmt.Errorf("%w: element %d result digest", ErrDigestMismatch, i)
+		}
+		if !bytes.Equal(md.Nonce, b.Nonce) {
+			return fmt.Errorf("%w: element %d", ErrNonceMismatch, i)
+		}
+		signers = append(signers, endorsement.Principal{OrgID: info.OrgID, Role: info.Role})
+	}
+	if !vp.Satisfied(signers) {
+		return fmt.Errorf("%w: attestors %v", ErrPolicyUnsatisfied, signers)
+	}
+	return nil
+}

@@ -1,0 +1,387 @@
+package proof
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/endorsement"
+	"repro/internal/msp"
+	"repro/internal/wire"
+)
+
+// setup creates the source-side fixture: two organizations with one
+// attesting peer each, plus the verifier a destination network would build
+// from their recorded root certificates.
+func setup(t *testing.T) (*msp.CA, *msp.CA, *msp.Identity, *msp.Identity, *msp.Verifier) {
+	t.Helper()
+	sellerCA, err := msp.NewCA("seller-org")
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	carrierCA, err := msp.NewCA("carrier-org")
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	sellerPeer, err := sellerCA.Issue("seller-org-peer0", msp.RolePeer)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	carrierPeer, err := carrierCA.Issue("carrier-org-peer0", msp.RolePeer)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	verifier, err := msp.NewVerifier(map[string][]byte{
+		"seller-org":  sellerCA.RootCertPEM(),
+		"carrier-org": carrierCA.RootCertPEM(),
+	})
+	if err != nil {
+		t.Fatalf("NewVerifier: %v", err)
+	}
+	return sellerCA, carrierCA, sellerPeer, carrierPeer, verifier
+}
+
+func sampleQuery(t *testing.T) *wire.Query {
+	t.Helper()
+	nonce, err := cryptoutil.NewNonce()
+	if err != nil {
+		t.Fatalf("NewNonce: %v", err)
+	}
+	return &wire.Query{
+		RequestID:         "req-1",
+		RequestingNetwork: "we-trade",
+		TargetNetwork:     "tradelens",
+		Ledger:            "default",
+		Contract:          "TradeLensCC",
+		Function:          "GetBillOfLading",
+		Args:              [][]byte{[]byte("po-1001")},
+		PolicyExpr:        "AND('seller-org','carrier-org')",
+		Nonce:             nonce,
+	}
+}
+
+func TestEndToEndProofFlow(t *testing.T) {
+	_, _, sellerPeer, carrierPeer, verifier := setup(t)
+	clientKey, err := cryptoutil.GenerateKey()
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	q := sampleQuery(t)
+	result := []byte(`{"blId":"bl-77","po":"po-1001"}`)
+	qd := QueryDigestOf(q)
+
+	encResult, err := EncryptResult(&clientKey.PublicKey, result)
+	if err != nil {
+		t.Fatalf("EncryptResult: %v", err)
+	}
+	resp := &wire.QueryResponse{RequestID: q.RequestID, EncryptedResult: encResult}
+	for _, attestor := range []*msp.Identity{sellerPeer, carrierPeer} {
+		att, err := BuildAttestation(attestor, "tradelens", qd, result, q.Nonce, &clientKey.PublicKey, time.Now())
+		if err != nil {
+			t.Fatalf("BuildAttestation: %v", err)
+		}
+		resp.Attestations = append(resp.Attestations, att)
+	}
+
+	bundle, err := OpenResponse(clientKey, q, resp)
+	if err != nil {
+		t.Fatalf("OpenResponse: %v", err)
+	}
+	if !bytes.Equal(bundle.Result, result) {
+		t.Fatalf("bundle result = %q", bundle.Result)
+	}
+	if len(bundle.Elements) != 2 {
+		t.Fatalf("elements = %d", len(bundle.Elements))
+	}
+
+	vp := endorsement.MustParse(q.PolicyExpr)
+	if err := Verify(bundle, verifier, vp, qd); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func buildBundle(t *testing.T, q *wire.Query, result []byte, attestors ...*msp.Identity) *Bundle {
+	t.Helper()
+	clientKey, err := cryptoutil.GenerateKey()
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	qd := QueryDigestOf(q)
+	encResult, err := EncryptResult(&clientKey.PublicKey, result)
+	if err != nil {
+		t.Fatalf("EncryptResult: %v", err)
+	}
+	resp := &wire.QueryResponse{RequestID: q.RequestID, EncryptedResult: encResult}
+	for _, attestor := range attestors {
+		att, err := BuildAttestation(attestor, q.TargetNetwork, qd, result, q.Nonce, &clientKey.PublicKey, time.Now())
+		if err != nil {
+			t.Fatalf("BuildAttestation: %v", err)
+		}
+		resp.Attestations = append(resp.Attestations, att)
+	}
+	bundle, err := OpenResponse(clientKey, q, resp)
+	if err != nil {
+		t.Fatalf("OpenResponse: %v", err)
+	}
+	return bundle
+}
+
+func TestVerifyRejectsTamperedResult(t *testing.T) {
+	_, _, sellerPeer, carrierPeer, verifier := setup(t)
+	q := sampleQuery(t)
+	bundle := buildBundle(t, q, []byte("genuine B/L"), sellerPeer, carrierPeer)
+	vp := endorsement.MustParse(q.PolicyExpr)
+	qd := QueryDigestOf(q)
+
+	bundle.Result = []byte("forged B/L")
+	if err := Verify(bundle, verifier, vp, qd); !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("tampered result: %v", err)
+	}
+}
+
+func TestVerifyRejectsForgedSignature(t *testing.T) {
+	_, _, sellerPeer, carrierPeer, verifier := setup(t)
+	q := sampleQuery(t)
+	bundle := buildBundle(t, q, []byte("doc"), sellerPeer, carrierPeer)
+	vp := endorsement.MustParse(q.PolicyExpr)
+	qd := QueryDigestOf(q)
+
+	bundle.Elements[0].Signature[8] ^= 0xFF
+	if err := Verify(bundle, verifier, vp, qd); !errors.Is(err, ErrBadAttestation) {
+		t.Fatalf("forged signature: %v", err)
+	}
+}
+
+func TestVerifyRejectsUnknownCA(t *testing.T) {
+	_, _, sellerPeer, _, verifier := setup(t)
+	q := sampleQuery(t)
+
+	// A rogue CA impersonating the carrier org.
+	rogueCA, _ := msp.NewCA("carrier-org")
+	roguePeer, _ := rogueCA.Issue("carrier-org-peer0", msp.RolePeer)
+
+	bundle := buildBundle(t, q, []byte("doc"), sellerPeer, roguePeer)
+	vp := endorsement.MustParse(q.PolicyExpr)
+	if err := Verify(bundle, verifier, vp, QueryDigestOf(q)); !errors.Is(err, ErrBadAttestation) {
+		t.Fatalf("rogue CA: %v", err)
+	}
+}
+
+func TestVerifyRejectsNonPeerAttestor(t *testing.T) {
+	sellerCA, _, sellerPeer, _, verifier := setup(t)
+	q := sampleQuery(t)
+	clientID, _ := sellerCA.Issue("some-client", msp.RoleClient)
+	bundle := buildBundle(t, q, []byte("doc"), sellerPeer, clientID)
+	vp := endorsement.MustParse("'seller-org'")
+	if err := Verify(bundle, verifier, vp, QueryDigestOf(q)); !errors.Is(err, ErrNotPeer) {
+		t.Fatalf("client attestor: %v", err)
+	}
+}
+
+func TestVerifyRejectsUnsatisfiedPolicy(t *testing.T) {
+	_, _, sellerPeer, _, verifier := setup(t)
+	q := sampleQuery(t)
+	// Only the seller org attests, but the policy wants both orgs.
+	bundle := buildBundle(t, q, []byte("doc"), sellerPeer)
+	vp := endorsement.MustParse("AND('seller-org','carrier-org')")
+	if err := Verify(bundle, verifier, vp, QueryDigestOf(q)); !errors.Is(err, ErrPolicyUnsatisfied) {
+		t.Fatalf("unsatisfied policy: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongQueryDigest(t *testing.T) {
+	_, _, sellerPeer, carrierPeer, verifier := setup(t)
+	q := sampleQuery(t)
+	bundle := buildBundle(t, q, []byte("doc"), sellerPeer, carrierPeer)
+	vp := endorsement.MustParse(q.PolicyExpr)
+
+	otherDigest := QueryDigest("tradelens", "default", "TradeLensCC", "GetBillOfLading",
+		[][]byte{[]byte("po-9999")}, q.Nonce)
+	if err := Verify(bundle, verifier, vp, otherDigest); !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("wrong query digest: %v", err)
+	}
+}
+
+func TestVerifyRejectsWrongNetwork(t *testing.T) {
+	_, _, sellerPeer, carrierPeer, verifier := setup(t)
+	q := sampleQuery(t)
+	bundle := buildBundle(t, q, []byte("doc"), sellerPeer, carrierPeer)
+	vp := endorsement.MustParse(q.PolicyExpr)
+	bundle.SourceNetwork = "some-other-net"
+	if err := Verify(bundle, verifier, vp, QueryDigestOf(q)); !errors.Is(err, ErrWrongNetwork) {
+		t.Fatalf("wrong network: %v", err)
+	}
+}
+
+func TestVerifyRejectsNonceSwap(t *testing.T) {
+	_, _, sellerPeer, carrierPeer, verifier := setup(t)
+	q := sampleQuery(t)
+	bundle := buildBundle(t, q, []byte("doc"), sellerPeer, carrierPeer)
+	vp := endorsement.MustParse(q.PolicyExpr)
+
+	// An attacker replays the bundle under a different nonce: the expected
+	// query digest changes with the nonce, and the metadata nonce check
+	// fires too.
+	newNonce, _ := cryptoutil.NewNonce()
+	bundle.Nonce = newNonce
+	err := Verify(bundle, verifier, vp, QueryDigestOf(q))
+	if err == nil {
+		t.Fatal("nonce swap accepted")
+	}
+}
+
+func TestVerifyNilPolicy(t *testing.T) {
+	_, _, sellerPeer, _, verifier := setup(t)
+	q := sampleQuery(t)
+	bundle := buildBundle(t, q, []byte("doc"), sellerPeer)
+	if err := Verify(bundle, verifier, nil, QueryDigestOf(q)); !errors.Is(err, ErrPolicyUnsatisfied) {
+		t.Fatalf("nil policy: %v", err)
+	}
+}
+
+func TestOpenResponseRejectsRemoteError(t *testing.T) {
+	clientKey, _ := cryptoutil.GenerateKey()
+	q := sampleQuery(t)
+	resp := &wire.QueryResponse{RequestID: q.RequestID, Error: "access denied"}
+	if _, err := OpenResponse(clientKey, q, resp); err == nil {
+		t.Fatal("error response accepted")
+	}
+}
+
+func TestOpenResponseWrongKey(t *testing.T) {
+	_, _, sellerPeer, _, _ := setup(t)
+	rightKey, _ := cryptoutil.GenerateKey()
+	wrongKey, _ := cryptoutil.GenerateKey()
+	q := sampleQuery(t)
+	result := []byte("doc")
+	qd := QueryDigestOf(q)
+	encResult, _ := EncryptResult(&rightKey.PublicKey, result)
+	att, err := BuildAttestation(sellerPeer, q.TargetNetwork, qd, result, q.Nonce, &rightKey.PublicKey, time.Now())
+	if err != nil {
+		t.Fatalf("BuildAttestation: %v", err)
+	}
+	resp := &wire.QueryResponse{EncryptedResult: encResult, Attestations: []wire.Attestation{att}}
+	if _, err := OpenResponse(wrongKey, q, resp); err == nil {
+		t.Fatal("wrong key opened the response")
+	}
+}
+
+func TestOpenResponseDetectsRelayResultSwap(t *testing.T) {
+	// A malicious relay swaps the encrypted result for another ciphertext
+	// encrypted to the same client; the metadata digest exposes it.
+	_, _, sellerPeer, _, _ := setup(t)
+	clientKey, _ := cryptoutil.GenerateKey()
+	q := sampleQuery(t)
+	genuine := []byte("genuine")
+	qd := QueryDigestOf(q)
+	att, err := BuildAttestation(sellerPeer, q.TargetNetwork, qd, genuine, q.Nonce, &clientKey.PublicKey, time.Now())
+	if err != nil {
+		t.Fatalf("BuildAttestation: %v", err)
+	}
+	swapped, _ := EncryptResult(&clientKey.PublicKey, []byte("swapped"))
+	resp := &wire.QueryResponse{EncryptedResult: swapped, Attestations: []wire.Attestation{att}}
+	if _, err := OpenResponse(clientKey, q, resp); !errors.Is(err, ErrDigestMismatch) {
+		t.Fatalf("result swap: %v", err)
+	}
+}
+
+func TestBundleMarshalRoundTrip(t *testing.T) {
+	_, _, sellerPeer, carrierPeer, _ := setup(t)
+	q := sampleQuery(t)
+	bundle := buildBundle(t, q, []byte("doc"), sellerPeer, carrierPeer)
+	got, err := UnmarshalBundle(bundle.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalBundle: %v", err)
+	}
+	if got.SourceNetwork != bundle.SourceNetwork || !bytes.Equal(got.Result, bundle.Result) ||
+		!bytes.Equal(got.Nonce, bundle.Nonce) || len(got.Elements) != len(bundle.Elements) {
+		t.Fatalf("round-trip: %+v", got)
+	}
+	for i := range got.Elements {
+		if !bytes.Equal(got.Elements[i].Metadata, bundle.Elements[i].Metadata) {
+			t.Fatalf("element %d metadata", i)
+		}
+	}
+}
+
+func TestBundleUnmarshalGarbage(t *testing.T) {
+	if _, err := UnmarshalBundle(bytes.Repeat([]byte{0xFE}, 10)); err == nil {
+		t.Fatal("garbage bundle accepted")
+	}
+}
+
+func TestQueryDigestSensitivity(t *testing.T) {
+	base := QueryDigest("net", "ledger", "cc", "fn", [][]byte{[]byte("a")}, []byte("n1"))
+	variants := []struct {
+		name string
+		d    []byte
+	}{
+		{"network", QueryDigest("net2", "ledger", "cc", "fn", [][]byte{[]byte("a")}, []byte("n1"))},
+		{"ledger", QueryDigest("net", "ledger2", "cc", "fn", [][]byte{[]byte("a")}, []byte("n1"))},
+		{"contract", QueryDigest("net", "ledger", "cc2", "fn", [][]byte{[]byte("a")}, []byte("n1"))},
+		{"function", QueryDigest("net", "ledger", "cc", "fn2", [][]byte{[]byte("a")}, []byte("n1"))},
+		{"args", QueryDigest("net", "ledger", "cc", "fn", [][]byte{[]byte("b")}, []byte("n1"))},
+		{"nonce", QueryDigest("net", "ledger", "cc", "fn", [][]byte{[]byte("a")}, []byte("n2"))},
+	}
+	for _, v := range variants {
+		if bytes.Equal(base, v.d) {
+			t.Fatalf("digest insensitive to %s", v.name)
+		}
+	}
+	again := QueryDigest("net", "ledger", "cc", "fn", [][]byte{[]byte("a")}, []byte("n1"))
+	if !bytes.Equal(base, again) {
+		t.Fatal("digest not deterministic")
+	}
+}
+
+func BenchmarkBuildAttestation(b *testing.B) {
+	ca, _ := msp.NewCA("org")
+	attestor, _ := ca.Issue("peer0", msp.RolePeer)
+	clientKey, _ := cryptoutil.GenerateKey()
+	qd := QueryDigest("net", "l", "cc", "fn", nil, []byte("nonce"))
+	result := make([]byte, 1024)
+	now := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildAttestation(attestor, "net", qd, result, []byte("nonce"), &clientKey.PublicKey, now); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyTwoAttestors(b *testing.B) {
+	sellerCA, _ := msp.NewCA("seller-org")
+	carrierCA, _ := msp.NewCA("carrier-org")
+	sellerPeer, _ := sellerCA.Issue("sp", msp.RolePeer)
+	carrierPeer, _ := carrierCA.Issue("cp", msp.RolePeer)
+	verifier, _ := msp.NewVerifier(map[string][]byte{
+		"seller-org":  sellerCA.RootCertPEM(),
+		"carrier-org": carrierCA.RootCertPEM(),
+	})
+	clientKey, _ := cryptoutil.GenerateKey()
+	nonce, _ := cryptoutil.NewNonce()
+	q := &wire.Query{TargetNetwork: "tl", Ledger: "l", Contract: "cc", Function: "fn", Nonce: nonce}
+	result := make([]byte, 1024)
+	qd := QueryDigestOf(q)
+	encResult, _ := EncryptResult(&clientKey.PublicKey, result)
+	resp := &wire.QueryResponse{EncryptedResult: encResult}
+	for _, at := range []*msp.Identity{sellerPeer, carrierPeer} {
+		att, _ := BuildAttestation(at, "tl", qd, result, nonce, &clientKey.PublicKey, time.Now())
+		resp.Attestations = append(resp.Attestations, att)
+	}
+	bundle, err := OpenResponse(clientKey, q, resp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vp := endorsement.MustParse("AND('seller-org','carrier-org')")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(bundle, verifier, vp, qd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package relay
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// eventHub tracks local subscriptions to remote events and the remote
+// subscriptions this relay is serving as a source.
+type eventHub struct {
+	mu sync.Mutex
+	// local subscriptions: events pushed to us by source relays.
+	localSubs map[string]chan wire.Event
+	// source-side cancellations for subscriptions we serve.
+	serving map[string]func()
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{
+		localSubs: make(map[string]chan wire.Event),
+		serving:   make(map[string]func()),
+	}
+}
+
+// SubscribeRemote registers interest in chaincode events from a remote
+// network (cross-network events, §7 future work implemented as an
+// extension). It sends a subscription request to the remote relay; matching
+// events are pushed back through this relay's discovery-registered address
+// and surface on the returned channel.
+func (r *Relay) SubscribeRemote(targetNetwork, eventName string, requesterCertPEM []byte) (<-chan wire.Event, func(), error) {
+	subID, err := newRequestID()
+	if err != nil {
+		return nil, nil, err
+	}
+	sub := &wire.Subscription{
+		SubscriptionID:    subID,
+		RequestingNetwork: r.localNetwork,
+		TargetNetwork:     targetNetwork,
+		EventName:         eventName,
+		RequesterCertPEM:  requesterCertPEM,
+	}
+	addrs, err := r.discovery.Resolve(targetNetwork)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload := sub.Marshal()
+	env := &wire.Envelope{
+		Version:   wire.ProtocolVersion,
+		Type:      wire.MsgSubscribe,
+		RequestID: subID,
+		Payload:   payload,
+	}
+	var lastErr error
+	subscribed := false
+	for _, addr := range addrs {
+		reply, err := r.transport.Send(addr, env)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if reply.Type == wire.MsgError {
+			return nil, nil, fmt.Errorf("relay: subscribe: %s", string(reply.Payload))
+		}
+		subscribed = true
+		break
+	}
+	if !subscribed {
+		return nil, nil, fmt.Errorf("%w for %s: %v", ErrAllRelaysFailed, targetNetwork, lastErr)
+	}
+
+	ch := make(chan wire.Event, 64)
+	r.events.mu.Lock()
+	r.events.localSubs[subID] = ch
+	r.events.mu.Unlock()
+	cancel := func() {
+		r.events.mu.Lock()
+		defer r.events.mu.Unlock()
+		if _, ok := r.events.localSubs[subID]; ok {
+			delete(r.events.localSubs, subID)
+			close(ch)
+		}
+	}
+	return ch, cancel, nil
+}
+
+// handleSubscribe serves an incoming subscription request: the local driver
+// must support events; matching events are pushed to the requesting
+// network's relay.
+func (r *Relay) handleSubscribe(env *wire.Envelope) *wire.Envelope {
+	sub, err := wire.UnmarshalSubscription(env.Payload)
+	if err != nil {
+		return errEnvelope(env.RequestID, fmt.Sprintf("malformed subscription: %v", err))
+	}
+	d, ok := r.driverFor(sub.TargetNetwork)
+	if !ok {
+		return errEnvelope(env.RequestID, fmt.Sprintf("network %q not served by this relay", sub.TargetNetwork))
+	}
+	src, ok := d.(EventSource)
+	if !ok {
+		return errEnvelope(env.RequestID, fmt.Sprintf("network %q does not support events", sub.TargetNetwork))
+	}
+	requesting := sub.RequestingNetwork
+	subID := sub.SubscriptionID
+	cancel, err := src.SubscribeEvents(sub.EventName, func(payload []byte, name string, unixNano uint64) {
+		ev := &wire.Event{
+			SubscriptionID: subID,
+			SourceNetwork:  sub.TargetNetwork,
+			Name:           name,
+			Payload:        payload,
+			UnixNano:       unixNano,
+		}
+		r.pushEvent(requesting, ev)
+	})
+	if err != nil {
+		return errEnvelope(env.RequestID, fmt.Sprintf("subscribe: %v", err))
+	}
+	r.events.mu.Lock()
+	r.events.serving[subID] = cancel
+	r.events.mu.Unlock()
+	return &wire.Envelope{Version: wire.ProtocolVersion, Type: wire.MsgQueryResponse, RequestID: env.RequestID}
+}
+
+// pushEvent delivers an event to the requesting network's relay,
+// best-effort across its addresses.
+func (r *Relay) pushEvent(requestingNetwork string, ev *wire.Event) {
+	addrs, err := r.discovery.Resolve(requestingNetwork)
+	if err != nil {
+		return
+	}
+	env := &wire.Envelope{
+		Version:   wire.ProtocolVersion,
+		Type:      wire.MsgEvent,
+		RequestID: ev.SubscriptionID,
+		Payload:   ev.Marshal(),
+	}
+	for _, addr := range addrs {
+		if _, err := r.transport.Send(addr, env); err == nil {
+			return
+		}
+	}
+}
+
+// handleEvent receives a pushed event and surfaces it to the local
+// subscriber.
+func (r *Relay) handleEvent(env *wire.Envelope) *wire.Envelope {
+	ev, err := wire.UnmarshalEvent(env.Payload)
+	if err != nil {
+		return errEnvelope(env.RequestID, fmt.Sprintf("malformed event: %v", err))
+	}
+	r.events.mu.Lock()
+	ch, ok := r.events.localSubs[ev.SubscriptionID]
+	r.events.mu.Unlock()
+	if ok {
+		r.countEvent()
+		select {
+		case ch <- *ev:
+		case <-time.After(50 * time.Millisecond):
+			// Slow subscriber: drop rather than wedge the server loop.
+		}
+	}
+	return &wire.Envelope{Version: wire.ProtocolVersion, Type: wire.MsgQueryResponse, RequestID: env.RequestID}
+}
+
+// StopServing cancels every source-side subscription this relay serves.
+func (r *Relay) StopServing() {
+	r.events.mu.Lock()
+	defer r.events.mu.Unlock()
+	for id, cancel := range r.events.serving {
+		cancel()
+		delete(r.events.serving, id)
+	}
+}

@@ -1,0 +1,258 @@
+package relay
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/chaincode"
+	"repro/internal/endorsement"
+	"repro/internal/fabric"
+	"repro/internal/ledger"
+	"repro/internal/msp"
+	"repro/internal/peer"
+	"repro/internal/proof"
+	"repro/internal/syscc"
+	"repro/internal/wire"
+)
+
+var (
+	// ErrDivergentResults is returned when peers selected for a proof
+	// disagree on the query result, i.e. there is no consensus view to
+	// attest.
+	ErrDivergentResults = errors.New("relay: peers returned divergent results")
+	// ErrNoAttestors is returned when no peer can satisfy any part of the
+	// verification policy.
+	ErrNoAttestors = errors.New("relay: no peers available for verification policy")
+)
+
+// FabricDriver translates network-neutral queries into invocations on a
+// fabric.Network (Fig. 2 step 5): it selects one peer from each
+// organization the verification policy names, runs the query on each,
+// checks that the results agree, and collects a signed+encrypted
+// attestation from every queried peer.
+type FabricDriver struct {
+	net        *fabric.Network
+	ledgerName string
+}
+
+var _ Driver = (*FabricDriver)(nil)
+
+// NewFabricDriver creates a driver for one fabric network. ledgerName is
+// the logical ledger identifier used in query digests; networks in this
+// implementation have a single ledger, conventionally "default".
+func NewFabricDriver(net *fabric.Network, ledgerName string) *FabricDriver {
+	if ledgerName == "" {
+		ledgerName = "default"
+	}
+	return &FabricDriver{net: net, ledgerName: ledgerName}
+}
+
+// Platform implements Driver.
+func (d *FabricDriver) Platform() string { return "fabric" }
+
+// Query implements Driver.
+func (d *FabricDriver) Query(q *wire.Query) (*wire.QueryResponse, error) {
+	if q.Ledger != "" && q.Ledger != d.ledgerName {
+		return nil, fmt.Errorf("relay: unknown ledger %q", q.Ledger)
+	}
+	vp, err := endorsement.Parse(q.PolicyExpr)
+	if err != nil {
+		return nil, fmt.Errorf("relay: verification policy: %w", err)
+	}
+	clientPub, err := requesterPublicKey(q.RequesterCertPEM)
+	if err != nil {
+		return nil, err
+	}
+
+	attestors := d.selectPeers(vp)
+	if len(attestors) == 0 {
+		return nil, ErrNoAttestors
+	}
+
+	queryDigest := proof.QueryDigestOf(q)
+	inv := chaincode.Invocation{
+		TxID:        "interop-" + q.RequestID,
+		Chaincode:   q.Contract,
+		Function:    q.Function,
+		Args:        q.Args,
+		CreatorCert: q.RequesterCertPEM,
+		ReadOnly:    true,
+		Transient: map[string][]byte{
+			syscc.TransientInteropFlag:       []byte("1"),
+			syscc.TransientRequestingNetwork: []byte(q.RequestingNetwork),
+			syscc.TransientNonce:             q.Nonce,
+		},
+	}
+
+	resp := &wire.QueryResponse{RequestID: q.RequestID}
+	var agreed []byte
+	for i, p := range attestors {
+		inv.Timestamp = time.Now()
+		result, err := p.Query(inv)
+		if err != nil {
+			return nil, fmt.Errorf("relay: query on %s: %w", p.Name(), err)
+		}
+		if i == 0 {
+			agreed = result
+		} else if !bytes.Equal(agreed, result) {
+			return nil, fmt.Errorf("%w: %s disagrees", ErrDivergentResults, p.Name())
+		}
+		att, err := proof.BuildAttestation(p.Identity(), d.net.ID(), queryDigest, result, q.Nonce, clientPub, inv.Timestamp)
+		if err != nil {
+			return nil, fmt.Errorf("relay: attestation from %s: %w", p.Name(), err)
+		}
+		resp.Attestations = append(resp.Attestations, att)
+	}
+	encResult, err := proof.EncryptResult(clientPub, agreed)
+	if err != nil {
+		return nil, fmt.Errorf("relay: encrypt result: %w", err)
+	}
+	resp.EncryptedResult = encResult
+	return resp, nil
+}
+
+// selectPeers picks one peer per verification-policy organization present
+// in the network.
+func (d *FabricDriver) selectPeers(vp *endorsement.Policy) []*peer.Peer {
+	var out []*peer.Peer
+	for _, orgID := range vp.Orgs() {
+		peers, err := d.net.PeersOf(orgID)
+		if err != nil || len(peers) == 0 {
+			continue
+		}
+		out = append(out, peers[0])
+	}
+	return out
+}
+
+// Invoke implements TxDriver: a cross-network transaction (§5 extension).
+// The invocation is endorsed across the target chaincode's endorsement
+// policy, ordered and committed like any local transaction — the invoked
+// chaincode's interop adaptation performs the ECC authorization, so a
+// foreign requester can only reach functions the exposure-control rules
+// permit. The committed response returns with the same attestation proof
+// queries carry.
+func (d *FabricDriver) Invoke(q *wire.Query) (*wire.QueryResponse, error) {
+	if q.Ledger != "" && q.Ledger != d.ledgerName {
+		return nil, fmt.Errorf("relay: unknown ledger %q", q.Ledger)
+	}
+	vp, err := endorsement.Parse(q.PolicyExpr)
+	if err != nil {
+		return nil, fmt.Errorf("relay: verification policy: %w", err)
+	}
+	clientPub, err := requesterPublicKey(q.RequesterCertPEM)
+	if err != nil {
+		return nil, err
+	}
+	endorsePolicy := d.net.PolicyFor(q.Contract)
+	if endorsePolicy == nil {
+		return nil, fmt.Errorf("relay: chaincode %q not deployed", q.Contract)
+	}
+	inv := chaincode.Invocation{
+		TxID:        "interop-tx-" + q.RequestID,
+		Chaincode:   q.Contract,
+		Function:    q.Function,
+		Args:        q.Args,
+		CreatorCert: q.RequesterCertPEM,
+		Timestamp:   time.Now(),
+		Transient: map[string][]byte{
+			syscc.TransientInteropFlag:       []byte("1"),
+			syscc.TransientRequestingNetwork: []byte(q.RequestingNetwork),
+			syscc.TransientNonce:             q.Nonce,
+		},
+	}
+	var responses []*peer.ProposalResponse
+	for _, orgID := range endorsePolicy.Orgs() {
+		peers, err := d.net.PeersOf(orgID)
+		if err != nil || len(peers) == 0 {
+			continue
+		}
+		resp, err := peers[0].Endorse(inv)
+		if err != nil {
+			return nil, fmt.Errorf("relay: endorse on %s: %w", peers[0].Name(), err)
+		}
+		responses = append(responses, resp)
+	}
+	if len(responses) == 0 {
+		return nil, ErrNoAttestors
+	}
+	tx, err := peer.AssembleTransaction(inv, responses)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.net.Orderer().Submit(tx); err != nil {
+		return nil, fmt.Errorf("relay: order cross-network tx: %w", err)
+	}
+	if tx.Validation == 0 {
+		if err := d.net.Orderer().Flush(); err != nil {
+			return nil, err
+		}
+	}
+	if tx.Validation != ledger.Valid {
+		return nil, fmt.Errorf("relay: cross-network tx invalidated: %s", tx.Validation)
+	}
+
+	// Attest the committed response for the requester's proof.
+	attestors := d.selectPeers(vp)
+	if len(attestors) == 0 {
+		return nil, ErrNoAttestors
+	}
+	queryDigest := proof.QueryDigestOf(q)
+	resp := &wire.QueryResponse{RequestID: q.RequestID}
+	for _, p := range attestors {
+		att, err := proof.BuildAttestation(p.Identity(), d.net.ID(), queryDigest, tx.Response, q.Nonce, clientPub, time.Now())
+		if err != nil {
+			return nil, fmt.Errorf("relay: attestation from %s: %w", p.Name(), err)
+		}
+		resp.Attestations = append(resp.Attestations, att)
+	}
+	encResult, err := proof.EncryptResult(clientPub, tx.Response)
+	if err != nil {
+		return nil, fmt.Errorf("relay: encrypt result: %w", err)
+	}
+	resp.EncryptedResult = encResult
+	return resp, nil
+}
+
+// SubscribeEvents implements EventSource over the network's committed
+// chaincode events.
+func (d *FabricDriver) SubscribeEvents(eventName string, deliver func(payload []byte, name string, unixNano uint64)) (func(), error) {
+	sub := d.net.SubscribeEvents("", eventName)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case ev, ok := <-sub.C:
+				if !ok {
+					return
+				}
+				deliver(ev.Payload, ev.Name, 0)
+			case <-stop:
+				return
+			}
+		}
+	}()
+	cancel := func() {
+		sub.Cancel()
+		close(stop)
+		<-done
+	}
+	return cancel, nil
+}
+
+func requesterPublicKey(certPEM []byte) (*ecdsa.PublicKey, error) {
+	cert, err := msp.ParseCertPEM(certPEM)
+	if err != nil {
+		return nil, fmt.Errorf("relay: requester certificate: %w", err)
+	}
+	pub, ok := cert.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, errors.New("relay: requester certificate key is not ECDSA")
+	}
+	return pub, nil
+}

@@ -1,0 +1,95 @@
+package relay
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileRegistry is a Discovery backed by a JSON file mapping network IDs to
+// relay address lists — the paper's "local file-based registry was plugged
+// into the SWT Relay" (§4.3). The file is re-read on every Resolve so
+// operators can edit it while relays run.
+type FileRegistry struct {
+	path string
+	mu   sync.Mutex
+}
+
+// NewFileRegistry returns a registry over the given JSON file. The file
+// holds an object of the form {"tradelens": ["127.0.0.1:9080"], ...}.
+func NewFileRegistry(path string) *FileRegistry {
+	return &FileRegistry{path: path}
+}
+
+// Resolve implements Discovery.
+func (r *FileRegistry) Resolve(networkID string) ([]string, error) {
+	entries, err := r.load()
+	if err != nil {
+		return nil, err
+	}
+	addrs := entries[networkID]
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNetwork, networkID)
+	}
+	return addrs, nil
+}
+
+// Register appends addresses for a network and persists the file.
+func (r *FileRegistry) Register(networkID string, addrs ...string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	entries, err := r.loadLocked()
+	if err != nil {
+		return err
+	}
+	entries[networkID] = append(entries[networkID], addrs...)
+	return r.storeLocked(entries)
+}
+
+// Networks lists the registered network IDs.
+func (r *FileRegistry) Networks() ([]string, error) {
+	entries, err := r.load()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(entries))
+	for id := range entries {
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+func (r *FileRegistry) load() (map[string][]string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.loadLocked()
+}
+
+func (r *FileRegistry) loadLocked() (map[string][]string, error) {
+	data, err := os.ReadFile(r.path)
+	if os.IsNotExist(err) {
+		return map[string][]string{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("relay: read registry %s: %w", r.path, err)
+	}
+	entries := make(map[string][]string)
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &entries); err != nil {
+			return nil, fmt.Errorf("relay: parse registry %s: %w", r.path, err)
+		}
+	}
+	return entries, nil
+}
+
+func (r *FileRegistry) storeLocked(entries map[string][]string) error {
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("relay: encode registry: %w", err)
+	}
+	if err := os.WriteFile(r.path, data, 0o644); err != nil {
+		return fmt.Errorf("relay: write registry %s: %w", r.path, err)
+	}
+	return nil
+}

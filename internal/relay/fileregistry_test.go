@@ -1,0 +1,64 @@
+package relay
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileRegistryRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "registry.json")
+	reg := NewFileRegistry(path)
+
+	if _, err := reg.Resolve("tradelens"); !errors.Is(err, ErrUnknownNetwork) {
+		t.Fatalf("empty registry: %v", err)
+	}
+	if err := reg.Register("tradelens", "127.0.0.1:9080"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := reg.Register("tradelens", "127.0.0.1:9081"); err != nil {
+		t.Fatalf("Register second: %v", err)
+	}
+	addrs, err := reg.Resolve("tradelens")
+	if err != nil || len(addrs) != 2 || addrs[0] != "127.0.0.1:9080" {
+		t.Fatalf("Resolve = %v, %v", addrs, err)
+	}
+
+	// A fresh registry instance over the same file sees the data.
+	reg2 := NewFileRegistry(path)
+	addrs, err = reg2.Resolve("tradelens")
+	if err != nil || len(addrs) != 2 {
+		t.Fatalf("reloaded Resolve = %v, %v", addrs, err)
+	}
+	nets, err := reg2.Networks()
+	if err != nil || len(nets) != 1 {
+		t.Fatalf("Networks = %v, %v", nets, err)
+	}
+}
+
+func TestFileRegistryLiveEdits(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "registry.json")
+	reg := NewFileRegistry(path)
+	_ = reg.Register("a", "addr1")
+
+	// Simulate an operator editing the file directly.
+	if err := os.WriteFile(path, []byte(`{"a":["addr9"]}`), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	addrs, err := reg.Resolve("a")
+	if err != nil || len(addrs) != 1 || addrs[0] != "addr9" {
+		t.Fatalf("live edit not observed: %v, %v", addrs, err)
+	}
+}
+
+func TestFileRegistryCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "registry.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	reg := NewFileRegistry(path)
+	if _, err := reg.Resolve("a"); err == nil {
+		t.Fatal("corrupt registry accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package relay
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// TxDriver is implemented by drivers whose platform supports cross-network
+// transaction submission — the extension §5 of the paper describes: "the
+// query protocol can be easily extended to enable cross-network chaincode
+// invocations", reusing the relay, system contracts and client support.
+type TxDriver interface {
+	// Invoke submits a transaction on the local network on behalf of an
+	// authorized foreign requester and returns the committed response with
+	// proof, exactly as Query does for reads.
+	Invoke(q *wire.Query) (*wire.QueryResponse, error)
+}
+
+// Invoke is the client-facing entry point for cross-network transactions:
+// it mirrors Query but asks the source network to execute and commit a
+// state change. The same discovery, failover and proof machinery apply.
+func (r *Relay) Invoke(q *wire.Query) (*wire.QueryResponse, error) {
+	if q.TargetNetwork == "" {
+		return nil, fmt.Errorf("%w: invoke without target network", ErrBadEnvelope)
+	}
+	if q.RequestID == "" {
+		reqID, err := newRequestID()
+		if err != nil {
+			return nil, err
+		}
+		q.RequestID = reqID
+	}
+	if q.RequestingNetwork == "" {
+		q.RequestingNetwork = r.localNetwork
+	}
+	if d, ok := r.driverFor(q.TargetNetwork); ok {
+		return invokeOn(d, q)
+	}
+	addrs, err := r.discovery.Resolve(q.TargetNetwork)
+	if err != nil {
+		return nil, err
+	}
+	env := &wire.Envelope{
+		Version:   wire.ProtocolVersion,
+		Type:      wire.MsgInvoke,
+		RequestID: q.RequestID,
+		Payload:   q.Marshal(),
+	}
+	var lastErr error
+	for _, addr := range addrs {
+		reply, err := r.transport.Send(addr, env)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return parseQueryReply(reply)
+	}
+	return nil, fmt.Errorf("%w for %s: %v", ErrAllRelaysFailed, q.TargetNetwork, lastErr)
+}
+
+// handleInvoke serves an incoming cross-network transaction request.
+func (r *Relay) handleInvoke(env *wire.Envelope) *wire.Envelope {
+	q, err := wire.UnmarshalQuery(env.Payload)
+	if err != nil {
+		return errEnvelope(env.RequestID, fmt.Sprintf("malformed invoke: %v", err))
+	}
+	if err := r.checkLimit(q.RequestingNetwork); err != nil {
+		return errEnvelope(env.RequestID, err.Error())
+	}
+	d, ok := r.driverFor(q.TargetNetwork)
+	if !ok {
+		return errEnvelope(env.RequestID, fmt.Sprintf("network %q not served by this relay", q.TargetNetwork))
+	}
+	r.countInvoke()
+	resp, err := invokeOn(d, q)
+	if err != nil {
+		r.countError()
+		resp = &wire.QueryResponse{RequestID: q.RequestID, Error: err.Error()}
+	}
+	if resp.RequestID == "" {
+		resp.RequestID = q.RequestID
+	}
+	return &wire.Envelope{
+		Version:   wire.ProtocolVersion,
+		Type:      wire.MsgQueryResponse,
+		RequestID: env.RequestID,
+		Payload:   resp.Marshal(),
+	}
+}
+
+func invokeOn(d Driver, q *wire.Query) (*wire.QueryResponse, error) {
+	td, ok := d.(TxDriver)
+	if !ok {
+		return nil, fmt.Errorf("relay: network %q does not support cross-network transactions", q.TargetNetwork)
+	}
+	return td.Invoke(q)
+}

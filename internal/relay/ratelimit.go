@@ -1,0 +1,115 @@
+package relay
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RateLimiter implements the relay-side DoS protection §5 of the paper
+// anticipates ("DoS protection can also be built into the relay service,
+// protecting the peers themselves from such attacks"): a token bucket per
+// requesting network bounds how fast any one network can drive queries into
+// the local peers. Unknown requesters share the "" bucket.
+type RateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	now     func() time.Time
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter allows `rate` requests per second with the given burst per
+// requesting network.
+func NewRateLimiter(rate float64, burst int) *RateLimiter {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// Allow reports whether a request from the given network may proceed,
+// consuming a token if so.
+func (l *RateLimiter) Allow(requestingNetwork string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[requestingNetwork]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[requestingNetwork] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// WithRateLimit installs a per-requesting-network rate limiter on the
+// relay's server side. Requests over the limit receive an error envelope
+// without ever reaching a driver or peer.
+func WithRateLimit(l *RateLimiter) Option {
+	return func(r *Relay) { r.limiter = l }
+}
+
+// Stats is a snapshot of the relay's served-request counters, the
+// operational visibility a production relay deployment needs.
+type Stats struct {
+	QueriesServed   uint64
+	InvokesServed   uint64
+	ErrorsReturned  uint64
+	RateLimited     uint64
+	EventsDelivered uint64
+}
+
+// Stats returns a copy of the relay's counters.
+func (r *Relay) Stats() Stats {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.stats
+}
+
+func (r *Relay) countQuery()  { r.statsMu.Lock(); r.stats.QueriesServed++; r.statsMu.Unlock() }
+func (r *Relay) countInvoke() { r.statsMu.Lock(); r.stats.InvokesServed++; r.statsMu.Unlock() }
+func (r *Relay) countError()  { r.statsMu.Lock(); r.stats.ErrorsReturned++; r.statsMu.Unlock() }
+func (r *Relay) countLimited() {
+	r.statsMu.Lock()
+	r.stats.RateLimited++
+	r.statsMu.Unlock()
+}
+func (r *Relay) countEvent() { r.statsMu.Lock(); r.stats.EventsDelivered++; r.statsMu.Unlock() }
+
+// checkLimit applies the rate limiter, if configured, to an incoming
+// request attributed to requestingNetwork.
+func (r *Relay) checkLimit(requestingNetwork string) error {
+	if r.limiter == nil {
+		return nil
+	}
+	if !r.limiter.Allow(requestingNetwork) {
+		r.countLimited()
+		return fmt.Errorf("relay: rate limit exceeded for network %q", requestingNetwork)
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package relay
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	l := NewRateLimiter(10, 3) // 10/s, burst 3
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if !l.Allow("we-trade") {
+			t.Fatalf("request %d within burst denied", i)
+		}
+	}
+	if l.Allow("we-trade") {
+		t.Fatal("request over burst allowed")
+	}
+	// Other networks have their own buckets.
+	if !l.Allow("other-net") {
+		t.Fatal("independent bucket shared")
+	}
+	// 100ms refills one token at 10/s.
+	now = now.Add(100 * time.Millisecond)
+	if !l.Allow("we-trade") {
+		t.Fatal("refilled token denied")
+	}
+	if l.Allow("we-trade") {
+		t.Fatal("second token granted after single refill")
+	}
+	// Tokens cap at the burst.
+	now = now.Add(time.Hour)
+	for i := 0; i < 3; i++ {
+		if !l.Allow("we-trade") {
+			t.Fatalf("request %d after long idle denied", i)
+		}
+	}
+	if l.Allow("we-trade") {
+		t.Fatal("burst cap not enforced")
+	}
+}
+
+func TestRateLimiterDefaults(t *testing.T) {
+	l := NewRateLimiter(0, 0)
+	if !l.Allow("x") {
+		t.Fatal("first request denied under defaults")
+	}
+}
+
+func TestRelayRateLimitsIncomingQueries(t *testing.T) {
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	src := newSourceEnv(t, reg, hub)
+	req := newRequester(t)
+	configureInterop(t, src, req)
+	_, _ = src.admin.Submit("docs", "PutDoc", []byte("bl-77"), []byte("doc"))
+
+	// Rebuild the source relay with a tight limiter.
+	limiter := NewRateLimiter(1000, 2)
+	now := time.Unix(2000, 0)
+	limiter.now = func() time.Time { return now }
+	limited := New("tradelens", reg, hub, WithRateLimit(limiter))
+	limited.RegisterDriver("tradelens", src.driver)
+	hub.Attach("stl-limited", limited)
+	reg.Register("tradelens", "stl-limited")
+
+	dest := New("we-trade", reg, hub)
+	query := func() error {
+		_, err := dest.Query(newQuery(t, req))
+		return err
+	}
+	if err := query(); err != nil {
+		t.Fatalf("first query: %v", err)
+	}
+	if err := query(); err != nil {
+		t.Fatalf("second query: %v", err)
+	}
+	err := query()
+	if err == nil || !strings.Contains(err.Error(), "rate limit") {
+		t.Fatalf("third query: %v", err)
+	}
+
+	stats := limited.Stats()
+	if stats.QueriesServed != 2 || stats.RateLimited != 1 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestStatsCountErrors(t *testing.T) {
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	src := newSourceEnv(t, reg, hub)
+	req := newRequester(t)
+	// No access rule: driver returns an error, counted as such.
+	if _, err := src.admin.Submit("docs", "PutDoc", []byte("bl-77"), []byte("doc")); err != nil {
+		t.Fatalf("PutDoc: %v", err)
+	}
+	if _, err := src.admin.Submit(
+		"cmdac", "SetNetworkConfig", req.cfg.Marshal()); err != nil {
+		t.Fatalf("SetNetworkConfig: %v", err)
+	}
+	hub.Attach("stl", src.relay)
+	reg.Register("tradelens", "stl")
+	dest := New("we-trade", reg, hub)
+	resp, err := dest.Query(newQuery(t, req))
+	if err == nil && resp.Error == "" {
+		t.Fatal("denied query succeeded")
+	}
+	stats := src.relay.Stats()
+	if stats.ErrorsReturned == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestPingBypassesRateLimit(t *testing.T) {
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	limiter := NewRateLimiter(1000, 1)
+	fixed := time.Unix(3000, 0)
+	limiter.now = func() time.Time { return fixed }
+	r := New("net", reg, hub, WithRateLimit(limiter))
+	hub.Attach("addr", r)
+	probe := New("probe", reg, hub)
+	// Liveness probes are not subject to the query limiter.
+	for i := 0; i < 5; i++ {
+		if err := probe.Ping("addr"); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+	var _ = wire.MsgPing
+}

@@ -1,0 +1,334 @@
+// Package relay implements the relay service of the paper's architecture
+// (§3.2): a component deployed within each network that serves requests for
+// authentic data by fetching it, with verifiable proofs, from remote
+// networks. Relays speak the network-neutral wire protocol among
+// themselves, resolve each other through pluggable discovery services, and
+// translate protocol messages into platform calls through pluggable network
+// drivers. The relay is assumed minimally trusted: everything it carries is
+// encrypted to the requesting client and every proof is validated on the
+// destination ledger.
+package relay
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/wire"
+)
+
+var (
+	// ErrUnknownNetwork is returned when discovery cannot resolve a
+	// network or an incoming query targets a network this relay does not
+	// serve.
+	ErrUnknownNetwork = errors.New("relay: unknown network")
+	// ErrAllRelaysFailed is returned when every discovered relay address
+	// for a network is unreachable.
+	ErrAllRelaysFailed = errors.New("relay: all relay addresses failed")
+	// ErrBadEnvelope is returned for malformed or incompatible envelopes.
+	ErrBadEnvelope = errors.New("relay: bad envelope")
+)
+
+// Discovery resolves a network ID to the addresses of its relays, in
+// preference order. Deploying multiple relays per network and listing them
+// all is the paper's mitigation for relay denial-of-service (§5).
+type Discovery interface {
+	Resolve(networkID string) ([]string, error)
+}
+
+// StaticRegistry is an in-memory Discovery, suitable for tests and
+// in-process deployments.
+type StaticRegistry struct {
+	mu    sync.RWMutex
+	addrs map[string][]string
+}
+
+// NewStaticRegistry returns an empty registry.
+func NewStaticRegistry() *StaticRegistry {
+	return &StaticRegistry{addrs: make(map[string][]string)}
+}
+
+// Register appends relay addresses for a network.
+func (r *StaticRegistry) Register(networkID string, addrs ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addrs[networkID] = append(r.addrs[networkID], addrs...)
+}
+
+// Unregister removes one address for a network.
+func (r *StaticRegistry) Unregister(networkID, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	list := r.addrs[networkID]
+	for i, a := range list {
+		if a == addr {
+			r.addrs[networkID] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// Resolve implements Discovery.
+func (r *StaticRegistry) Resolve(networkID string) ([]string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	addrs := r.addrs[networkID]
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNetwork, networkID)
+	}
+	out := make([]string, len(addrs))
+	copy(out, addrs)
+	return out, nil
+}
+
+// Networks lists registered network IDs, sorted.
+func (r *StaticRegistry) Networks() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.addrs))
+	for id := range r.addrs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Transport delivers an envelope to a remote relay address and returns the
+// reply envelope.
+type Transport interface {
+	Send(addr string, env *wire.Envelope) (*wire.Envelope, error)
+}
+
+// Driver translates network-neutral queries into calls on one local
+// network's platform (§3.2: "a set of pluggable network drivers").
+type Driver interface {
+	// Platform names the ledger technology the driver speaks.
+	Platform() string
+	// Query executes a cross-network query against the local network,
+	// orchestrating proof collection per the query's verification policy.
+	Query(q *wire.Query) (*wire.QueryResponse, error)
+}
+
+// EventSource is implemented by drivers whose platform can emit chaincode
+// events for cross-network subscriptions (an extension beyond the paper's
+// query protocol; §7 future work).
+type EventSource interface {
+	SubscribeEvents(eventName string, deliver func(payload []byte, name string, unixNano uint64)) (cancel func(), err error)
+}
+
+// Option configures a Relay.
+type Option func(*Relay)
+
+// WithClock overrides the relay's time source (used in tests).
+func WithClock(now func() time.Time) Option {
+	return func(r *Relay) { r.now = now }
+}
+
+// Relay is one network's relay service. The same instance plays both roles
+// of Fig. 2: as the destination relay it forwards local applications'
+// queries to remote relays; as the source relay it serves incoming queries
+// through its drivers.
+type Relay struct {
+	localNetwork string
+	discovery    Discovery
+	transport    Transport
+	now          func() time.Time
+
+	mu      sync.RWMutex
+	drivers map[string]Driver
+
+	events *eventHub
+
+	limiter *RateLimiter
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// New creates a relay for the given local network.
+func New(localNetworkID string, discovery Discovery, transport Transport, opts ...Option) *Relay {
+	r := &Relay{
+		localNetwork: localNetworkID,
+		discovery:    discovery,
+		transport:    transport,
+		now:          time.Now,
+		drivers:      make(map[string]Driver),
+		events:       newEventHub(),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// LocalNetwork returns the network this relay serves.
+func (r *Relay) LocalNetwork() string { return r.localNetwork }
+
+// RegisterDriver attaches a driver for a local network ID. A relay usually
+// serves one network but may front several co-located ones.
+func (r *Relay) RegisterDriver(networkID string, d Driver) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.drivers[networkID] = d
+}
+
+func (r *Relay) driverFor(networkID string) (Driver, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.drivers[networkID]
+	return d, ok
+}
+
+// Query is the client-facing entry point (Fig. 2 steps 1-3 and 9): resolve
+// the target network's relay addresses, forward the query, and return the
+// response. Addresses are tried in order; transport failures fail over to
+// the next address, implementing relay redundancy.
+func (r *Relay) Query(q *wire.Query) (*wire.QueryResponse, error) {
+	if q.TargetNetwork == "" {
+		return nil, fmt.Errorf("%w: query without target network", ErrBadEnvelope)
+	}
+	if q.RequestID == "" {
+		reqID, err := newRequestID()
+		if err != nil {
+			return nil, err
+		}
+		q.RequestID = reqID
+	}
+	if q.RequestingNetwork == "" {
+		q.RequestingNetwork = r.localNetwork
+	}
+
+	// Local shortcut: if this relay serves the target network itself, skip
+	// the wire entirely. Remote is the normal path.
+	if d, ok := r.driverFor(q.TargetNetwork); ok {
+		return d.Query(q)
+	}
+
+	addrs, err := r.discovery.Resolve(q.TargetNetwork)
+	if err != nil {
+		return nil, err
+	}
+	env := &wire.Envelope{
+		Version:   wire.ProtocolVersion,
+		Type:      wire.MsgQuery,
+		RequestID: q.RequestID,
+		Payload:   q.Marshal(),
+	}
+	var lastErr error
+	for _, addr := range addrs {
+		reply, err := r.transport.Send(addr, env)
+		if err != nil {
+			lastErr = err
+			continue // fail over to the next relay address
+		}
+		return parseQueryReply(reply)
+	}
+	return nil, fmt.Errorf("%w for %s: %v", ErrAllRelaysFailed, q.TargetNetwork, lastErr)
+}
+
+func parseQueryReply(env *wire.Envelope) (*wire.QueryResponse, error) {
+	switch env.Type {
+	case wire.MsgQueryResponse:
+		resp, err := wire.UnmarshalQueryResponse(env.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadEnvelope, err)
+		}
+		return resp, nil
+	case wire.MsgError:
+		return nil, fmt.Errorf("relay: remote error: %s", string(env.Payload))
+	default:
+		return nil, fmt.Errorf("%w: unexpected reply type %s", ErrBadEnvelope, env.Type)
+	}
+}
+
+// HandleEnvelope is the server-facing entry point (Fig. 2 steps 4-8): it
+// dispatches an incoming envelope and returns the reply envelope. Transport
+// servers (TCP, in-process) call this for every received frame.
+func (r *Relay) HandleEnvelope(env *wire.Envelope) *wire.Envelope {
+	if env.Version > wire.ProtocolVersion {
+		return errEnvelope(env.RequestID, fmt.Sprintf("unsupported protocol version %d", env.Version))
+	}
+	switch env.Type {
+	case wire.MsgPing:
+		return &wire.Envelope{Version: wire.ProtocolVersion, Type: wire.MsgPong, RequestID: env.RequestID}
+	case wire.MsgQuery:
+		return r.handleQuery(env)
+	case wire.MsgInvoke:
+		return r.handleInvoke(env)
+	case wire.MsgSubscribe:
+		return r.handleSubscribe(env)
+	case wire.MsgEvent:
+		return r.handleEvent(env)
+	default:
+		return errEnvelope(env.RequestID, fmt.Sprintf("unsupported message type %s", env.Type))
+	}
+}
+
+func (r *Relay) handleQuery(env *wire.Envelope) *wire.Envelope {
+	q, err := wire.UnmarshalQuery(env.Payload)
+	if err != nil {
+		return errEnvelope(env.RequestID, fmt.Sprintf("malformed query: %v", err))
+	}
+	if err := r.checkLimit(q.RequestingNetwork); err != nil {
+		return errEnvelope(env.RequestID, err.Error())
+	}
+	d, ok := r.driverFor(q.TargetNetwork)
+	if !ok {
+		return errEnvelope(env.RequestID, fmt.Sprintf("network %q not served by this relay", q.TargetNetwork))
+	}
+	r.countQuery()
+	resp, err := d.Query(q)
+	if err != nil {
+		// Application-level failures travel inside the response so the
+		// requester can distinguish them from transport failures.
+		r.countError()
+		resp = &wire.QueryResponse{RequestID: q.RequestID, Error: err.Error()}
+	}
+	if resp.RequestID == "" {
+		resp.RequestID = q.RequestID
+	}
+	return &wire.Envelope{
+		Version:   wire.ProtocolVersion,
+		Type:      wire.MsgQueryResponse,
+		RequestID: env.RequestID,
+		Payload:   resp.Marshal(),
+	}
+}
+
+// Ping probes a remote relay address, returning the round-trip error if
+// any.
+func (r *Relay) Ping(addr string) error {
+	reqID, err := newRequestID()
+	if err != nil {
+		return err
+	}
+	env := &wire.Envelope{Version: wire.ProtocolVersion, Type: wire.MsgPing, RequestID: reqID}
+	reply, err := r.transport.Send(addr, env)
+	if err != nil {
+		return err
+	}
+	if reply.Type != wire.MsgPong {
+		return fmt.Errorf("%w: ping reply type %s", ErrBadEnvelope, reply.Type)
+	}
+	return nil
+}
+
+func errEnvelope(requestID, msg string) *wire.Envelope {
+	return &wire.Envelope{
+		Version:   wire.ProtocolVersion,
+		Type:      wire.MsgError,
+		RequestID: requestID,
+		Payload:   []byte(msg),
+	}
+}
+
+func newRequestID() (string, error) {
+	nonce, err := cryptoutil.NewNonce()
+	if err != nil {
+		return "", fmt.Errorf("relay: request id: %w", err)
+	}
+	return hex.EncodeToString(nonce[:12]), nil
+}

@@ -1,0 +1,159 @@
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TCPTransport sends envelopes over TCP using the wire framing, one
+// connection per request. This stands in for the paper's gRPC channel; the
+// request/response semantics are identical.
+type TCPTransport struct {
+	// DialTimeout bounds connection establishment. Zero means 5s.
+	DialTimeout time.Duration
+	// IOTimeout bounds each request round-trip. Zero means 30s.
+	IOTimeout time.Duration
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// Send implements Transport.
+func (t *TCPTransport) Send(addr string, env *wire.Envelope) (*wire.Envelope, error) {
+	dialTimeout := t.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 5 * time.Second
+	}
+	ioTimeout := t.IOTimeout
+	if ioTimeout <= 0 {
+		ioTimeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(ioTimeout)); err != nil {
+		return nil, fmt.Errorf("relay: set deadline: %w", err)
+	}
+	if err := wire.WriteFrame(conn, env.Marshal()); err != nil {
+		return nil, fmt.Errorf("relay: send to %s: %w", addr, err)
+	}
+	frame, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("relay: reply from %s: %w", addr, err)
+	}
+	reply, err := wire.UnmarshalEnvelope(frame)
+	if err != nil {
+		return nil, fmt.Errorf("relay: reply from %s: %w", addr, err)
+	}
+	return reply, nil
+}
+
+// TCPServer accepts relay connections and dispatches envelopes to a Relay.
+type TCPServer struct {
+	relay    *Relay
+	listener net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	done   chan struct{}
+}
+
+// NewTCPServer starts serving on the given address ("host:port", ":0" for
+// an ephemeral port). The returned server is already accepting.
+func NewTCPServer(r *Relay, addr string) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("relay: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{
+		relay:    r,
+		listener: ln,
+		conns:    make(map[net.Conn]struct{}),
+		done:     make(chan struct{}),
+	}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
+
+func (s *TCPServer) acceptLoop() {
+	defer close(s.done)
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			return
+		}
+		env, err := wire.UnmarshalEnvelope(frame)
+		var reply *wire.Envelope
+		if err != nil {
+			reply = errEnvelope("", fmt.Sprintf("malformed envelope: %v", err))
+		} else {
+			reply = s.relay.HandleEnvelope(env)
+		}
+		if err := wire.WriteFrame(conn, reply.Marshal()); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes open connections and waits for handler
+// goroutines to exit.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	err := s.listener.Close()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	<-s.done
+	return err
+}

@@ -1,0 +1,51 @@
+package relay
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTCPFailoverAcrossRealServers runs E4's availability scenario over
+// real sockets: two TCP servers front the source network; the primary is
+// shut down mid-run and queries fail over to the standby.
+func TestTCPFailoverAcrossRealServers(t *testing.T) {
+	reg := NewStaticRegistry()
+	transport := &TCPTransport{DialTimeout: 500 * time.Millisecond, IOTimeout: 10 * time.Second}
+	src := newSourceEnv(t, reg, transport)
+	req := newRequester(t)
+	configureInterop(t, src, req)
+	if _, err := src.admin.Submit("docs", "PutDoc", []byte("bl-77"), []byte("doc")); err != nil {
+		t.Fatalf("PutDoc: %v", err)
+	}
+
+	primary, err := NewTCPServer(src.relay, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("primary: %v", err)
+	}
+	standby, err := NewTCPServer(src.relay, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("standby: %v", err)
+	}
+	defer standby.Close()
+	reg.Register("tradelens", primary.Addr(), standby.Addr())
+
+	dest := New("we-trade", reg, transport)
+
+	// Both up.
+	resp, err := dest.Query(newQuery(t, req))
+	if err != nil || resp.Error != "" {
+		t.Fatalf("query with both up: %v %s", err, respError(resp, err))
+	}
+
+	// Primary down: failover to the standby must succeed.
+	if err := primary.Close(); err != nil {
+		t.Fatalf("close primary: %v", err)
+	}
+	resp, err = dest.Query(newQuery(t, req))
+	if err != nil {
+		t.Fatalf("failover query: %v", err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("failover remote error: %s", resp.Error)
+	}
+}

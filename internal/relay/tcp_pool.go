@@ -1,0 +1,139 @@
+package relay
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// PooledTCPTransport is a TCP transport that reuses connections per relay
+// address, amortizing the dial cost the per-request transport pays (see
+// BenchmarkP5TransportRTT). A connection carries one request/response at a
+// time; checkout from the pool guarantees exclusivity. A send that fails on
+// a reused connection is retried once on a fresh one, since the failure is
+// usually a peer that closed an idle connection.
+type PooledTCPTransport struct {
+	// DialTimeout bounds connection establishment. Zero means 5s.
+	DialTimeout time.Duration
+	// IOTimeout bounds each request round-trip. Zero means 30s.
+	IOTimeout time.Duration
+	// MaxIdlePerAddr bounds pooled connections per address. Zero means 4.
+	MaxIdlePerAddr int
+
+	mu     sync.Mutex
+	idle   map[string][]net.Conn
+	closed bool
+}
+
+var _ Transport = (*PooledTCPTransport)(nil)
+
+// Send implements Transport.
+func (t *PooledTCPTransport) Send(addr string, env *wire.Envelope) (*wire.Envelope, error) {
+	payload := env.Marshal()
+	conn, reused, err := t.checkout(addr)
+	if err != nil {
+		return nil, err
+	}
+	reply, err := t.roundTrip(conn, payload)
+	if err != nil {
+		conn.Close()
+		if !reused {
+			return nil, err
+		}
+		// The pooled connection may have gone stale; retry once fresh.
+		conn, _, err = t.dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		reply, err = t.roundTrip(conn, payload)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	t.checkin(addr, conn)
+	return reply, nil
+}
+
+func (t *PooledTCPTransport) roundTrip(conn net.Conn, payload []byte) (*wire.Envelope, error) {
+	ioTimeout := t.IOTimeout
+	if ioTimeout <= 0 {
+		ioTimeout = 30 * time.Second
+	}
+	if err := conn.SetDeadline(time.Now().Add(ioTimeout)); err != nil {
+		return nil, fmt.Errorf("relay: set deadline: %w", err)
+	}
+	if err := wire.WriteFrame(conn, payload); err != nil {
+		return nil, fmt.Errorf("relay: send: %w", err)
+	}
+	frame, err := wire.ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("relay: reply: %w", err)
+	}
+	reply, err := wire.UnmarshalEnvelope(frame)
+	if err != nil {
+		return nil, fmt.Errorf("relay: reply: %w", err)
+	}
+	return reply, nil
+}
+
+func (t *PooledTCPTransport) checkout(addr string) (conn net.Conn, reused bool, err error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, false, fmt.Errorf("%w: transport closed", ErrUnreachable)
+	}
+	if conns := t.idle[addr]; len(conns) > 0 {
+		conn = conns[len(conns)-1]
+		t.idle[addr] = conns[:len(conns)-1]
+		t.mu.Unlock()
+		return conn, true, nil
+	}
+	t.mu.Unlock()
+	return t.dial(addr)
+}
+
+func (t *PooledTCPTransport) dial(addr string) (net.Conn, bool, error) {
+	dialTimeout := t.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	return conn, false, nil
+}
+
+func (t *PooledTCPTransport) checkin(addr string, conn net.Conn) {
+	maxIdle := t.MaxIdlePerAddr
+	if maxIdle <= 0 {
+		maxIdle = 4
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || len(t.idle[addr]) >= maxIdle {
+		conn.Close()
+		return
+	}
+	if t.idle == nil {
+		t.idle = make(map[string][]net.Conn)
+	}
+	t.idle[addr] = append(t.idle[addr], conn)
+}
+
+// Close releases every pooled connection; subsequent Sends fail.
+func (t *PooledTCPTransport) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	for _, conns := range t.idle {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	t.idle = nil
+}

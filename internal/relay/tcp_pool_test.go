@@ -1,0 +1,110 @@
+package relay
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func TestPooledTransportRoundTrip(t *testing.T) {
+	reg := NewStaticRegistry()
+	pool := &PooledTCPTransport{DialTimeout: time.Second, IOTimeout: 5 * time.Second}
+	defer pool.Close()
+	target := New("net", reg, pool)
+	server, err := NewTCPServer(target, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPServer: %v", err)
+	}
+	defer server.Close()
+
+	probe := New("probe", reg, pool)
+	for i := 0; i < 10; i++ {
+		if err := probe.Ping(server.Addr()); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+}
+
+func TestPooledTransportConcurrent(t *testing.T) {
+	reg := NewStaticRegistry()
+	pool := &PooledTCPTransport{DialTimeout: time.Second, IOTimeout: 5 * time.Second, MaxIdlePerAddr: 2}
+	defer pool.Close()
+	target := New("net", reg, pool)
+	server, err := NewTCPServer(target, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPServer: %v", err)
+	}
+	defer server.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			probe := New("probe", reg, pool)
+			for i := 0; i < 25; i++ {
+				if err := probe.Ping(server.Addr()); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent pooled ping: %v", err)
+	}
+}
+
+func TestPooledTransportRetriesStaleConnection(t *testing.T) {
+	reg := NewStaticRegistry()
+	pool := &PooledTCPTransport{DialTimeout: time.Second, IOTimeout: 2 * time.Second}
+	defer pool.Close()
+	target := New("net", reg, pool)
+	server, err := NewTCPServer(target, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPServer: %v", err)
+	}
+	addr := server.Addr()
+	probe := New("probe", reg, pool)
+	if err := probe.Ping(addr); err != nil {
+		t.Fatalf("first ping: %v", err)
+	}
+
+	// Restart the server on the same address: the pooled connection is now
+	// dead; Send must retry on a fresh one.
+	if err := server.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	server2, err := NewTCPServer(target, addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer server2.Close()
+	if err := probe.Ping(addr); err != nil {
+		t.Fatalf("ping after restart: %v", err)
+	}
+}
+
+func TestPooledTransportClosed(t *testing.T) {
+	pool := &PooledTCPTransport{}
+	pool.Close()
+	_, err := pool.Send("127.0.0.1:1", &wire.Envelope{Version: 1, Type: wire.MsgPing})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPooledTransportUnreachable(t *testing.T) {
+	pool := &PooledTCPTransport{DialTimeout: 200 * time.Millisecond}
+	defer pool.Close()
+	_, err := pool.Send("127.0.0.1:1", &wire.Envelope{Version: 1, Type: wire.MsgPing})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,142 @@
+package relay
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestTCPServerGarbageFrame sends a frame that is not a valid envelope; the
+// server must reply with an error envelope and keep the connection usable.
+func TestTCPServerGarbageFrame(t *testing.T) {
+	reg := NewStaticRegistry()
+	r := New("net", reg, &TCPTransport{})
+	server, err := NewTCPServer(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPServer: %v", err)
+	}
+	defer server.Close()
+
+	conn, err := net.Dial("tcp", server.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	if err := wire.WriteFrame(conn, []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	frame, err := wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	env, err := wire.UnmarshalEnvelope(frame)
+	if err != nil {
+		t.Fatalf("UnmarshalEnvelope: %v", err)
+	}
+	if env.Type != wire.MsgError {
+		t.Fatalf("reply type = %v", env.Type)
+	}
+
+	// The same connection still serves valid requests.
+	ping := &wire.Envelope{Version: wire.ProtocolVersion, Type: wire.MsgPing, RequestID: "p"}
+	if err := wire.WriteFrame(conn, ping.Marshal()); err != nil {
+		t.Fatalf("WriteFrame ping: %v", err)
+	}
+	frame, err = wire.ReadFrame(conn)
+	if err != nil {
+		t.Fatalf("ReadFrame pong: %v", err)
+	}
+	env, _ = wire.UnmarshalEnvelope(frame)
+	if env.Type != wire.MsgPong {
+		t.Fatalf("pong type = %v", env.Type)
+	}
+}
+
+// TestTCPServerAbruptDisconnect half-writes a frame and disconnects; the
+// server must survive and keep serving other clients.
+func TestTCPServerAbruptDisconnect(t *testing.T) {
+	reg := NewStaticRegistry()
+	r := New("net", reg, &TCPTransport{})
+	server, err := NewTCPServer(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPServer: %v", err)
+	}
+	defer server.Close()
+
+	conn, err := net.Dial("tcp", server.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	// Write a header promising 1000 bytes, send 3, vanish.
+	_, _ = conn.Write([]byte{0x00, 0x00, 0x03, 0xE8, 0x01, 0x02, 0x03})
+	conn.Close()
+
+	probe := New("probe", reg, &TCPTransport{})
+	if err := probe.Ping(server.Addr()); err != nil {
+		t.Fatalf("server wedged after abrupt disconnect: %v", err)
+	}
+}
+
+// TestTCPServerConcurrentClients hammers the server with parallel pings.
+func TestTCPServerConcurrentClients(t *testing.T) {
+	reg := NewStaticRegistry()
+	r := New("net", reg, &TCPTransport{})
+	server, err := NewTCPServer(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPServer: %v", err)
+	}
+	defer server.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			probe := New("probe", reg, &TCPTransport{})
+			for i := 0; i < 20; i++ {
+				if err := probe.Ping(server.Addr()); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent ping: %v", err)
+	}
+}
+
+// TestTCPServerCloseIdempotent double-closes and closes with live
+// connections.
+func TestTCPServerCloseIdempotent(t *testing.T) {
+	reg := NewStaticRegistry()
+	r := New("net", reg, &TCPTransport{})
+	server, err := NewTCPServer(r, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPServer: %v", err)
+	}
+	conn, err := net.Dial("tcp", server.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	if err := server.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := server.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The address no longer serves.
+	probe := New("probe", reg, &TCPTransport{DialTimeout: 300 * time.Millisecond})
+	if err := probe.Ping(server.Addr()); err == nil {
+		t.Fatal("closed server still answers")
+	}
+}

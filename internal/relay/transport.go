@@ -1,0 +1,74 @@
+package relay
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// ErrUnreachable is returned when a transport cannot reach an address.
+var ErrUnreachable = errors.New("relay: address unreachable")
+
+// Hub is an in-process Transport: relays attach under string addresses and
+// envelopes are delivered by direct function call. It gives tests and
+// single-process deployments the exact semantics of the TCP transport
+// without sockets, and supports fault injection by detaching relays.
+type Hub struct {
+	mu     sync.RWMutex
+	relays map[string]*Relay
+	down   map[string]bool
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{relays: make(map[string]*Relay), down: make(map[string]bool)}
+}
+
+// Attach registers a relay under an address.
+func (h *Hub) Attach(addr string, r *Relay) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.relays[addr] = r
+}
+
+// Detach removes a relay, making the address unreachable.
+func (h *Hub) Detach(addr string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.relays, addr)
+}
+
+// SetDown marks an address as failing without removing it, simulating a
+// crashed or DoS-ed relay (§5 availability analysis).
+func (h *Hub) SetDown(addr string, down bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.down[addr] = down
+}
+
+// Send implements Transport.
+func (h *Hub) Send(addr string, env *wire.Envelope) (*wire.Envelope, error) {
+	h.mu.RLock()
+	target, ok := h.relays[addr]
+	down := h.down[addr]
+	h.mu.RUnlock()
+	if !ok || down {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, addr)
+	}
+	// Round-trip through the wire format so in-process behaviour matches
+	// the TCP transport byte for byte.
+	encoded := env.Marshal()
+	decoded, err := wire.UnmarshalEnvelope(encoded)
+	if err != nil {
+		return nil, fmt.Errorf("relay: encode request: %w", err)
+	}
+	reply := target.HandleEnvelope(decoded)
+	replyBytes := reply.Marshal()
+	out, err := wire.UnmarshalEnvelope(replyBytes)
+	if err != nil {
+		return nil, fmt.Errorf("relay: decode reply: %w", err)
+	}
+	return out, nil
+}

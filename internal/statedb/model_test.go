@@ -1,0 +1,75 @@
+package statedb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestStoreAgainstModel drives the store and a plain map through the same
+// random operation sequence and checks full agreement, including range
+// scans — a model-based test of the world state.
+func TestStoreAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	store := NewStore()
+	model := make(map[string][]byte)
+
+	keys := make([]string, 20)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%02d", i)
+	}
+	for step := 0; step < 2000; step++ {
+		key := keys[rng.Intn(len(keys))]
+		switch rng.Intn(4) {
+		case 0, 1: // write
+			val := []byte(fmt.Sprintf("v-%d", step))
+			store.ApplyWrites([]Write{{Key: key, Value: val}}, Version{BlockNum: uint64(step)})
+			model[key] = val
+		case 2: // delete
+			store.ApplyWrites([]Write{{Key: key, IsDelete: true}}, Version{BlockNum: uint64(step)})
+			delete(model, key)
+		case 3: // read + compare
+			got, ok := store.Get(key)
+			want, wantOK := model[key]
+			if ok != wantOK {
+				t.Fatalf("step %d: Get(%q) ok=%v want %v", step, key, ok, wantOK)
+			}
+			if ok && !bytes.Equal(got.Value, want) {
+				t.Fatalf("step %d: Get(%q) = %q want %q", step, key, got.Value, want)
+			}
+		}
+		if step%100 == 0 {
+			compareRange(t, store, model, "key-05", "key-15")
+			compareRange(t, store, model, "", "")
+		}
+	}
+	if store.Keys() != len(model) {
+		t.Fatalf("Keys = %d, model has %d", store.Keys(), len(model))
+	}
+}
+
+func compareRange(t *testing.T, store *Store, model map[string][]byte, start, end string) {
+	t.Helper()
+	got := store.Range(start, end)
+	var wantKeys []string
+	for k := range model {
+		if k < start {
+			continue
+		}
+		if end != "" && k >= end {
+			continue
+		}
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Strings(wantKeys)
+	if len(got) != len(wantKeys) {
+		t.Fatalf("Range(%q,%q) = %d keys, want %d", start, end, len(got), len(wantKeys))
+	}
+	for i, k := range wantKeys {
+		if got[i].Key != k || !bytes.Equal(got[i].Value, model[k]) {
+			t.Fatalf("Range(%q,%q)[%d] = %q", start, end, i, got[i].Key)
+		}
+	}
+}

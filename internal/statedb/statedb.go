@@ -1,0 +1,172 @@
+// Package statedb implements the versioned key-value world state underlying
+// each ledger. Every committed value carries the (block, tx) version that
+// wrote it, which is what makes Fabric-style MVCC validation possible: a
+// transaction's read set records the versions observed during simulation,
+// and the committer rejects the transaction if any of those keys have moved
+// on by commit time.
+package statedb
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrInvalidKey is returned for keys that are empty or contain the composite
+// key separator.
+var ErrInvalidKey = errors.New("statedb: invalid key")
+
+// compositeSep separates the parts of a composite key. U+0000 cannot appear
+// in application key parts.
+const compositeSep = "\x00"
+
+// Version identifies the transaction that last wrote a key.
+type Version struct {
+	BlockNum uint64
+	TxNum    uint64
+}
+
+// Before reports whether v was committed strictly before other.
+func (v Version) Before(other Version) bool {
+	if v.BlockNum != other.BlockNum {
+		return v.BlockNum < other.BlockNum
+	}
+	return v.TxNum < other.TxNum
+}
+
+// VersionedValue is a stored value and the version that wrote it.
+type VersionedValue struct {
+	Value   []byte
+	Version Version
+}
+
+// KV is a key with its versioned value, as returned by range scans.
+type KV struct {
+	Key     string
+	Value   []byte
+	Version Version
+}
+
+// Write is a single update in a write batch: a put, or a delete when
+// IsDelete is set.
+type Write struct {
+	Key      string
+	Value    []byte
+	IsDelete bool
+}
+
+// Store is an in-memory versioned world state. It is safe for concurrent
+// use; reads see a consistent view under the lock.
+type Store struct {
+	mu   sync.RWMutex
+	data map[string]VersionedValue
+}
+
+// NewStore returns an empty world state.
+func NewStore() *Store {
+	return &Store{data: make(map[string]VersionedValue)}
+}
+
+// Get returns the value for key, or ok=false if absent. The returned value
+// is a copy; callers may mutate it freely.
+func (s *Store) Get(key string) (VersionedValue, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	vv, ok := s.data[key]
+	if !ok {
+		return VersionedValue{}, false
+	}
+	val := make([]byte, len(vv.Value))
+	copy(val, vv.Value)
+	return VersionedValue{Value: val, Version: vv.Version}, true
+}
+
+// Version returns the committed version for key and whether it exists.
+func (s *Store) Version(key string) (Version, bool) {
+	vv, ok := s.Get(key)
+	return vv.Version, ok
+}
+
+// ApplyWrites commits a batch of writes at the given version atomically.
+func (s *Store) ApplyWrites(writes []Write, v Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range writes {
+		if w.IsDelete {
+			delete(s.data, w.Key)
+			continue
+		}
+		val := make([]byte, len(w.Value))
+		copy(val, w.Value)
+		s.data[w.Key] = VersionedValue{Value: val, Version: v}
+	}
+}
+
+// Range returns all keys in [start, end) in lexical order. An empty end
+// means "to the last key". Values are copies.
+func (s *Store) Range(start, end string) []KV {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]KV, 0, 16)
+	for k, vv := range s.data {
+		if k < start {
+			continue
+		}
+		if end != "" && k >= end {
+			continue
+		}
+		val := make([]byte, len(vv.Value))
+		copy(val, vv.Value)
+		out = append(out, KV{Key: k, Value: val, Version: vv.Version})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Keys returns the number of keys currently stored.
+func (s *Store) Keys() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// CompositeKey builds a scan-friendly key from an object type and
+// attributes, e.g. CompositeKey("shipment", "po-1001"). Parts must not
+// contain the U+0000 separator.
+func CompositeKey(objectType string, parts ...string) (string, error) {
+	if objectType == "" || strings.Contains(objectType, compositeSep) {
+		return "", ErrInvalidKey
+	}
+	var b strings.Builder
+	b.WriteString(objectType)
+	for _, p := range parts {
+		if strings.Contains(p, compositeSep) {
+			return "", ErrInvalidKey
+		}
+		b.WriteString(compositeSep)
+		b.WriteString(p)
+	}
+	return b.String(), nil
+}
+
+// CompositeRange returns the [start, end) bounds that cover every composite
+// key with the given object type and attribute prefix.
+func CompositeRange(objectType string, parts ...string) (start, end string, err error) {
+	start, err = CompositeKey(objectType, parts...)
+	if err != nil {
+		return "", "", err
+	}
+	start += compositeSep
+	end = start + "\xff"
+	return start, end, nil
+}
+
+// SplitCompositeKey splits a composite key into its object type and parts.
+func SplitCompositeKey(key string) (objectType string, parts []string) {
+	segments := strings.Split(key, compositeSep)
+	if len(segments) == 0 {
+		return "", nil
+	}
+	return segments[0], segments[1:]
+}

@@ -1,0 +1,212 @@
+package statedb
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetAbsent(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("Get on empty store returned ok")
+	}
+}
+
+func TestApplyWritesAndGet(t *testing.T) {
+	s := NewStore()
+	v := Version{BlockNum: 3, TxNum: 1}
+	s.ApplyWrites([]Write{
+		{Key: "a", Value: []byte("1")},
+		{Key: "b", Value: []byte("2")},
+	}, v)
+	vv, ok := s.Get("a")
+	if !ok || !bytes.Equal(vv.Value, []byte("1")) || vv.Version != v {
+		t.Fatalf("Get(a) = %+v, %v", vv, ok)
+	}
+	if s.Keys() != 2 {
+		t.Fatalf("Keys = %d", s.Keys())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := NewStore()
+	s.ApplyWrites([]Write{{Key: "a", Value: []byte("1")}}, Version{BlockNum: 1})
+	s.ApplyWrites([]Write{{Key: "a", IsDelete: true}}, Version{BlockNum: 2})
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestOverwriteBumpsVersion(t *testing.T) {
+	s := NewStore()
+	s.ApplyWrites([]Write{{Key: "k", Value: []byte("v1")}}, Version{BlockNum: 1, TxNum: 0})
+	s.ApplyWrites([]Write{{Key: "k", Value: []byte("v2")}}, Version{BlockNum: 2, TxNum: 5})
+	ver, ok := s.Version("k")
+	if !ok || ver != (Version{BlockNum: 2, TxNum: 5}) {
+		t.Fatalf("Version = %+v, %v", ver, ok)
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	s := NewStore()
+	src := []byte("mutable")
+	s.ApplyWrites([]Write{{Key: "k", Value: src}}, Version{})
+	src[0] = 'X'
+	vv, _ := s.Get("k")
+	if vv.Value[0] == 'X' {
+		t.Fatal("store aliases caller's write buffer")
+	}
+	vv.Value[0] = 'Y'
+	vv2, _ := s.Get("k")
+	if vv2.Value[0] == 'Y' {
+		t.Fatal("store exposes internal buffer to readers")
+	}
+}
+
+func TestVersionBefore(t *testing.T) {
+	cases := []struct {
+		a, b Version
+		want bool
+	}{
+		{Version{1, 0}, Version{2, 0}, true},
+		{Version{2, 0}, Version{1, 9}, false},
+		{Version{1, 1}, Version{1, 2}, true},
+		{Version{1, 2}, Version{1, 2}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Before(c.b); got != c.want {
+			t.Fatalf("%+v.Before(%+v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestRangeOrderedAndBounded(t *testing.T) {
+	s := NewStore()
+	for _, k := range []string{"b", "d", "a", "c", "e"} {
+		s.ApplyWrites([]Write{{Key: k, Value: []byte(k)}}, Version{})
+	}
+	got := s.Range("b", "e")
+	if len(got) != 3 {
+		t.Fatalf("Range returned %d keys", len(got))
+	}
+	for i, want := range []string{"b", "c", "d"} {
+		if got[i].Key != want {
+			t.Fatalf("Range[%d] = %q, want %q", i, got[i].Key, want)
+		}
+	}
+}
+
+func TestRangeOpenEnd(t *testing.T) {
+	s := NewStore()
+	for _, k := range []string{"x1", "x2", "y1"} {
+		s.ApplyWrites([]Write{{Key: k, Value: []byte(k)}}, Version{})
+	}
+	got := s.Range("x2", "")
+	if len(got) != 2 || got[0].Key != "x2" || got[1].Key != "y1" {
+		t.Fatalf("open-ended Range = %+v", got)
+	}
+}
+
+func TestCompositeKeyRoundTrip(t *testing.T) {
+	key, err := CompositeKey("shipment", "po-1001", "v2")
+	if err != nil {
+		t.Fatalf("CompositeKey: %v", err)
+	}
+	objType, parts := SplitCompositeKey(key)
+	if objType != "shipment" || len(parts) != 2 || parts[0] != "po-1001" || parts[1] != "v2" {
+		t.Fatalf("SplitCompositeKey = %q, %q", objType, parts)
+	}
+}
+
+func TestCompositeKeyRejectsSeparator(t *testing.T) {
+	if _, err := CompositeKey("a\x00b"); err == nil {
+		t.Fatal("object type with separator accepted")
+	}
+	if _, err := CompositeKey("t", "a\x00b"); err == nil {
+		t.Fatal("part with separator accepted")
+	}
+	if _, err := CompositeKey(""); err == nil {
+		t.Fatal("empty object type accepted")
+	}
+}
+
+func TestCompositeRangeCoversChildren(t *testing.T) {
+	s := NewStore()
+	mk := func(parts ...string) string {
+		k, err := CompositeKey("lc", parts...)
+		if err != nil {
+			t.Fatalf("CompositeKey: %v", err)
+		}
+		return k
+	}
+	s.ApplyWrites([]Write{
+		{Key: mk("bank1", "lc-1"), Value: []byte("a")},
+		{Key: mk("bank1", "lc-2"), Value: []byte("b")},
+		{Key: mk("bank2", "lc-3"), Value: []byte("c")},
+	}, Version{})
+	start, end, err := CompositeRange("lc", "bank1")
+	if err != nil {
+		t.Fatalf("CompositeRange: %v", err)
+	}
+	got := s.Range(start, end)
+	if len(got) != 2 {
+		t.Fatalf("composite range returned %d keys, want 2", len(got))
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("k%d", i%10)
+				s.ApplyWrites([]Write{{Key: key, Value: []byte{byte(g)}}}, Version{BlockNum: uint64(i)})
+				s.Get(key)
+				s.Range("k0", "k9")
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestPutGetProperty: whatever is written is read back, for arbitrary keys
+// and values.
+func TestPutGetProperty(t *testing.T) {
+	s := NewStore()
+	prop := func(key string, val []byte) bool {
+		if key == "" {
+			return true
+		}
+		s.ApplyWrites([]Write{{Key: key, Value: val}}, Version{})
+		vv, ok := s.Get(key)
+		return ok && bytes.Equal(vv.Value, val)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkApplyWrites(b *testing.B) {
+	s := NewStore()
+	w := []Write{{Key: "key", Value: make([]byte, 256)}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ApplyWrites(w, Version{BlockNum: uint64(i)})
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := NewStore()
+	s.ApplyWrites([]Write{{Key: "key", Value: make([]byte, 256)}}, Version{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get("key")
+	}
+}

@@ -1,0 +1,263 @@
+package syscc
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/chaincode"
+	"repro/internal/policy"
+	"repro/internal/proof"
+	"repro/internal/statedb"
+	"repro/internal/wire"
+)
+
+// CMDAC function names.
+const (
+	CMDACSetNetworkConfig      = "SetNetworkConfig"
+	CMDACGetNetworkConfig      = "GetNetworkConfig"
+	CMDACListNetworks          = "ListNetworks"
+	CMDACSetVerificationPolicy = "SetVerificationPolicy"
+	CMDACGetVerificationPolicy = "GetVerificationPolicy"
+	CMDACValidateProof         = "ValidateProof"
+
+	cmdacConfigKeyType = "cmdac-config"
+	cmdacPolicyKeyType = "cmdac-policy"
+	cmdacNonceKeyType  = "cmdac-nonce"
+)
+
+// CMDAC is the combined Configuration Management & Data Acceptance
+// chaincode.
+type CMDAC struct{}
+
+var _ chaincode.Chaincode = (*CMDAC)(nil)
+
+// Invoke dispatches CMDAC functions.
+func (c *CMDAC) Invoke(stub chaincode.Stub) ([]byte, error) {
+	switch stub.Function() {
+	case CMDACSetNetworkConfig:
+		return c.setNetworkConfig(stub)
+	case CMDACGetNetworkConfig:
+		return c.getNetworkConfig(stub)
+	case CMDACListNetworks:
+		return c.listNetworks(stub)
+	case CMDACSetVerificationPolicy:
+		return c.setVerificationPolicy(stub)
+	case CMDACGetVerificationPolicy:
+		return c.getVerificationPolicy(stub)
+	case CMDACValidateProof:
+		return c.validateProof(stub)
+	default:
+		return nil, fmt.Errorf("%w: cmdac.%s", ErrUnknownFunction, stub.Function())
+	}
+}
+
+// setNetworkConfig records a foreign network's identity and topology
+// configuration: args = [configBytes] (wire.NetworkConfig).
+func (c *CMDAC) setNetworkConfig(stub chaincode.Stub) ([]byte, error) {
+	args := stub.Args()
+	if len(args) != 1 {
+		return nil, fmt.Errorf("%w: SetNetworkConfig expects 1 arg", ErrBadArgs)
+	}
+	cfg, err := wire.UnmarshalNetworkConfig(args[0])
+	if err != nil {
+		return nil, fmt.Errorf("syscc: network config: %w", err)
+	}
+	if cfg.NetworkID == "" {
+		return nil, fmt.Errorf("%w: network config without ID", ErrBadArgs)
+	}
+	if len(cfg.Orgs) == 0 {
+		return nil, fmt.Errorf("%w: network config without orgs", ErrBadArgs)
+	}
+	key, err := statedb.CompositeKey(cmdacConfigKeyType, cfg.NetworkID)
+	if err != nil {
+		return nil, err
+	}
+	if err := stub.PutState(key, args[0]); err != nil {
+		return nil, err
+	}
+	return []byte(cfg.NetworkID), nil
+}
+
+// getNetworkConfig returns a recorded configuration: args = [networkID].
+func (c *CMDAC) getNetworkConfig(stub chaincode.Stub) ([]byte, error) {
+	args := stub.StringArgs()
+	if len(args) != 1 {
+		return nil, fmt.Errorf("%w: GetNetworkConfig expects 1 arg", ErrBadArgs)
+	}
+	key, err := statedb.CompositeKey(cmdacConfigKeyType, args[0])
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := stub.GetState(key)
+	if err != nil {
+		return nil, err
+	}
+	if cfg == nil {
+		return nil, fmt.Errorf("syscc: no recorded configuration for network %q", args[0])
+	}
+	return cfg, nil
+}
+
+// listNetworks returns the IDs of all recorded foreign networks as JSON.
+func (c *CMDAC) listNetworks(stub chaincode.Stub) ([]byte, error) {
+	start, end, err := statedb.CompositeRange(cmdacConfigKeyType)
+	if err != nil {
+		return nil, err
+	}
+	kvs, err := stub.GetStateRange(start, end)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]string, 0, len(kvs))
+	for _, kv := range kvs {
+		cfg, err := wire.UnmarshalNetworkConfig(kv.Value)
+		if err != nil {
+			return nil, fmt.Errorf("syscc: corrupt config at %q: %w", kv.Key, err)
+		}
+		ids = append(ids, cfg.NetworkID)
+	}
+	return json.Marshal(ids)
+}
+
+// setVerificationPolicy records the acceptance criteria for one source
+// network (optionally scoped to a chaincode): args = [policyJSON].
+func (c *CMDAC) setVerificationPolicy(stub chaincode.Stub) ([]byte, error) {
+	args := stub.Args()
+	if len(args) != 1 {
+		return nil, fmt.Errorf("%w: SetVerificationPolicy expects 1 arg", ErrBadArgs)
+	}
+	vp, err := policyFromJSON(args[0])
+	if err != nil {
+		return nil, err
+	}
+	key, err := statedb.CompositeKey(cmdacPolicyKeyType, vp.Network, vp.Chaincode)
+	if err != nil {
+		return nil, err
+	}
+	if err := stub.PutState(key, args[0]); err != nil {
+		return nil, err
+	}
+	return []byte(vp.Expr), nil
+}
+
+// getVerificationPolicy returns the policy for (network, chaincode),
+// falling back to the network default: args = [networkID, chaincodeName].
+func (c *CMDAC) getVerificationPolicy(stub chaincode.Stub) ([]byte, error) {
+	args := stub.StringArgs()
+	if len(args) != 2 {
+		return nil, fmt.Errorf("%w: GetVerificationPolicy expects 2 args", ErrBadArgs)
+	}
+	data, err := lookupPolicy(stub, args[0], args[1])
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func lookupPolicy(stub chaincode.Stub, networkID, chaincodeName string) ([]byte, error) {
+	// Chaincode-specific policy first, then the network-wide default.
+	for _, scope := range []string{chaincodeName, ""} {
+		key, err := statedb.CompositeKey(cmdacPolicyKeyType, networkID, scope)
+		if err != nil {
+			return nil, err
+		}
+		data, err := stub.GetState(key)
+		if err != nil {
+			return nil, err
+		}
+		if data != nil {
+			return data, nil
+		}
+	}
+	return nil, fmt.Errorf("syscc: no verification policy for network %q", networkID)
+}
+
+// validateProof is the Data Acceptance check (Fig. 2 step 10). Args =
+// [sourceNetwork, ledger, contract, function, bundleBytes, queryArgs...].
+// It recomputes the expected query digest from the declared query, loads
+// the recorded source configuration and verification policy, verifies every
+// attestation, enforces nonce freshness, and returns the verified result.
+func (c *CMDAC) validateProof(stub chaincode.Stub) ([]byte, error) {
+	args := stub.Args()
+	if len(args) < 5 {
+		return nil, fmt.Errorf("%w: ValidateProof expects at least 5 args", ErrBadArgs)
+	}
+	sourceNetwork := string(args[0])
+	ledgerName := string(args[1])
+	contract := string(args[2])
+	function := string(args[3])
+	bundle, err := proof.UnmarshalBundle(args[4])
+	if err != nil {
+		return nil, fmt.Errorf("syscc: proof bundle: %w", err)
+	}
+	queryArgs := args[5:]
+
+	if bundle.SourceNetwork != sourceNetwork {
+		return nil, fmt.Errorf("syscc: bundle names source %q, expected %q",
+			bundle.SourceNetwork, sourceNetwork)
+	}
+
+	cfgKey, err := statedb.CompositeKey(cmdacConfigKeyType, sourceNetwork)
+	if err != nil {
+		return nil, err
+	}
+	cfgBytes, err := stub.GetState(cfgKey)
+	if err != nil {
+		return nil, err
+	}
+	if cfgBytes == nil {
+		return nil, fmt.Errorf("syscc: no recorded configuration for network %q", sourceNetwork)
+	}
+	verifier, err := verifierFromConfig(cfgBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	policyJSON, err := lookupPolicy(stub, sourceNetwork, contract)
+	if err != nil {
+		return nil, err
+	}
+	vp, err := policyFromJSON(policyJSON)
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := vp.Compile()
+	if err != nil {
+		return nil, err
+	}
+
+	expectedDigest := proof.QueryDigest(sourceNetwork, ledgerName, contract, function, queryArgs, bundle.Nonce)
+	if err := proof.Verify(bundle, verifier, compiled, expectedDigest); err != nil {
+		return nil, err
+	}
+
+	// Replay protection: the client nonce is recorded on the destination
+	// ledger; a second transaction presenting the same nonce fails here.
+	nonceKey, err := statedb.CompositeKey(cmdacNonceKeyType, hex.EncodeToString(bundle.Nonce))
+	if err != nil {
+		return nil, err
+	}
+	seen, err := stub.GetState(nonceKey)
+	if err != nil {
+		return nil, err
+	}
+	if seen != nil {
+		return nil, fmt.Errorf("syscc: replay detected: nonce already used in tx %s", seen)
+	}
+	if err := stub.PutState(nonceKey, []byte(stub.TxID())); err != nil {
+		return nil, err
+	}
+	return bundle.Result, nil
+}
+
+func policyFromJSON(data []byte) (policy.VerificationPolicy, error) {
+	vp, err := policy.UnmarshalVerificationPolicy(data)
+	if err != nil {
+		return policy.VerificationPolicy{}, err
+	}
+	if err := vp.Validate(); err != nil {
+		return policy.VerificationPolicy{}, err
+	}
+	return vp, nil
+}

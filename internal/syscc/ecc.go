@@ -1,0 +1,257 @@
+// Package syscc implements the paper's system contracts (§3.2): the
+// Exposure Control Chaincode (ECC), which enforces a source network's
+// access-control rules over incoming cross-network queries and encrypts
+// responses to the requester, and the Configuration Management & Data
+// Acceptance Chaincode (CMDAC), which records foreign network
+// configurations and verification policies and validates incoming proofs.
+// Both are ordinary chaincodes: rule and configuration changes are
+// transactions subject to the network's own consensus, which is what makes
+// exposure and acceptance decisions consensual.
+package syscc
+
+import (
+	"crypto/ecdsa"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/chaincode"
+	"repro/internal/cryptoutil"
+	"repro/internal/msp"
+	"repro/internal/policy"
+	"repro/internal/statedb"
+	"repro/internal/wire"
+)
+
+// Deployment names for the system contracts.
+const (
+	// ECCName is the chaincode name of the Exposure Control contract.
+	ECCName = "ecc"
+	// CMDACName is the chaincode name of the combined Configuration
+	// Management & Data Acceptance contract (§4.3: combined for runtime
+	// efficiency, since proof verification depends on recorded foreign
+	// configurations).
+	CMDACName = "cmdac"
+)
+
+// ECC function names.
+const (
+	ECCAddRule      = "AddAccessRule"
+	ECCRemoveRule   = "RemoveAccessRule"
+	ECCListRules    = "GetAccessRules"
+	ECCCheckAccess  = "CheckAccess"
+	ECCAuthorize    = "Authorize"
+	ECCEncrypt      = "EncryptForRequester"
+	eccRulesKeyType = "ecc-rule"
+)
+
+// Transient keys the relay driver attaches to cross-network queries.
+const (
+	// TransientInteropFlag marks an invocation as a relayed cross-network
+	// query.
+	TransientInteropFlag = "interop"
+	// TransientRequestingNetwork carries the requesting network's ID.
+	TransientRequestingNetwork = "interop-network"
+	// TransientNonce carries the client's replay nonce.
+	TransientNonce = "interop-nonce"
+)
+
+var (
+	// ErrAccessDenied is returned when no access rule permits a request.
+	ErrAccessDenied = errors.New("syscc: access denied")
+	// ErrBadArgs is returned for malformed invocation arguments.
+	ErrBadArgs = errors.New("syscc: bad arguments")
+	// ErrUnknownFunction is returned for unsupported function names.
+	ErrUnknownFunction = errors.New("syscc: unknown function")
+)
+
+// ECC is the Exposure Control Chaincode.
+type ECC struct{}
+
+var _ chaincode.Chaincode = (*ECC)(nil)
+
+// Invoke dispatches ECC functions.
+func (e *ECC) Invoke(stub chaincode.Stub) ([]byte, error) {
+	switch stub.Function() {
+	case ECCAddRule:
+		return e.addRule(stub)
+	case ECCRemoveRule:
+		return e.removeRule(stub)
+	case ECCListRules:
+		return e.listRules(stub)
+	case ECCCheckAccess:
+		return e.checkAccess(stub)
+	case ECCAuthorize:
+		return e.authorize(stub)
+	case ECCEncrypt:
+		return e.encrypt(stub)
+	default:
+		return nil, fmt.Errorf("%w: ecc.%s", ErrUnknownFunction, stub.Function())
+	}
+}
+
+func ruleKey(r policy.AccessRule) (string, error) {
+	return statedb.CompositeKey(eccRulesKeyType, r.Network, r.Org, r.Chaincode, r.Function)
+}
+
+// addRule records an access rule: args = [ruleJSON].
+func (e *ECC) addRule(stub chaincode.Stub) ([]byte, error) {
+	args := stub.Args()
+	if len(args) != 1 {
+		return nil, fmt.Errorf("%w: AddAccessRule expects 1 arg", ErrBadArgs)
+	}
+	rule, err := policy.UnmarshalAccessRule(args[0])
+	if err != nil {
+		return nil, err
+	}
+	if err := rule.Validate(); err != nil {
+		return nil, err
+	}
+	key, err := ruleKey(rule)
+	if err != nil {
+		return nil, err
+	}
+	if err := stub.PutState(key, args[0]); err != nil {
+		return nil, err
+	}
+	return []byte(rule.String()), nil
+}
+
+// removeRule deletes an access rule: args = [ruleJSON].
+func (e *ECC) removeRule(stub chaincode.Stub) ([]byte, error) {
+	args := stub.Args()
+	if len(args) != 1 {
+		return nil, fmt.Errorf("%w: RemoveAccessRule expects 1 arg", ErrBadArgs)
+	}
+	rule, err := policy.UnmarshalAccessRule(args[0])
+	if err != nil {
+		return nil, err
+	}
+	key, err := ruleKey(rule)
+	if err != nil {
+		return nil, err
+	}
+	existing, err := stub.GetState(key)
+	if err != nil {
+		return nil, err
+	}
+	if existing == nil {
+		return nil, fmt.Errorf("syscc: rule %s not found", rule)
+	}
+	return nil, stub.DelState(key)
+}
+
+// listRules returns all recorded rules as a JSON array.
+func (e *ECC) listRules(stub chaincode.Stub) ([]byte, error) {
+	rules, err := loadRules(stub)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(rules.Rules)
+}
+
+func loadRules(stub chaincode.Stub) (*policy.RuleSet, error) {
+	start, end, err := statedb.CompositeRange(eccRulesKeyType)
+	if err != nil {
+		return nil, err
+	}
+	kvs, err := stub.GetStateRange(start, end)
+	if err != nil {
+		return nil, err
+	}
+	set := &policy.RuleSet{}
+	for _, kv := range kvs {
+		rule, err := policy.UnmarshalAccessRule(kv.Value)
+		if err != nil {
+			return nil, fmt.Errorf("syscc: corrupt rule at %q: %w", kv.Key, err)
+		}
+		set.Rules = append(set.Rules, rule)
+	}
+	return set, nil
+}
+
+// checkAccess evaluates the rule set: args = [network, org, chaincode,
+// function]; returns "true" or "false".
+func (e *ECC) checkAccess(stub chaincode.Stub) ([]byte, error) {
+	args := stub.StringArgs()
+	if len(args) != 4 {
+		return nil, fmt.Errorf("%w: CheckAccess expects 4 args", ErrBadArgs)
+	}
+	rules, err := loadRules(stub)
+	if err != nil {
+		return nil, err
+	}
+	if rules.Permits(args[0], args[1], args[2], args[3]) {
+		return []byte("true"), nil
+	}
+	return []byte("false"), nil
+}
+
+// authorize performs the full source-side access decision of §4.3: validate
+// the requesting client's certificate against the recorded configuration of
+// its network (held by the CMDAC), then check the access rules. Args =
+// [requestingNetworkID, requesterCertPEM, chaincodeName, functionName];
+// returns the authenticated organization ID.
+func (e *ECC) authorize(stub chaincode.Stub) ([]byte, error) {
+	args := stub.Args()
+	if len(args) != 4 {
+		return nil, fmt.Errorf("%w: Authorize expects 4 args", ErrBadArgs)
+	}
+	networkID := string(args[0])
+	certPEM := args[1]
+	ccName := string(args[2])
+	function := string(args[3])
+
+	cfgBytes, err := stub.InvokeChaincode(CMDACName, CMDACGetNetworkConfig, [][]byte{[]byte(networkID)})
+	if err != nil {
+		return nil, fmt.Errorf("syscc: fetch config for %q: %w", networkID, err)
+	}
+	verifier, err := verifierFromConfig(cfgBytes)
+	if err != nil {
+		return nil, err
+	}
+	info, err := verifier.VerifyPEM(certPEM)
+	if err != nil {
+		return nil, fmt.Errorf("%w: requester certificate: %v", ErrAccessDenied, err)
+	}
+	rules, err := loadRules(stub)
+	if err != nil {
+		return nil, err
+	}
+	if !rules.Permits(networkID, info.OrgID, ccName, function) {
+		return nil, fmt.Errorf("%w: no rule permits <%s, %s, %s, %s>",
+			ErrAccessDenied, networkID, info.OrgID, ccName, function)
+	}
+	return []byte(info.OrgID), nil
+}
+
+// encrypt encrypts a response payload to the requesting client's public key
+// (the paper's post-execution ECC encryption call): args = [requesterCertPEM,
+// plaintext]; returns the ciphertext.
+func (e *ECC) encrypt(stub chaincode.Stub) ([]byte, error) {
+	args := stub.Args()
+	if len(args) != 2 {
+		return nil, fmt.Errorf("%w: EncryptForRequester expects 2 args", ErrBadArgs)
+	}
+	cert, err := msp.ParseCertPEM(args[0])
+	if err != nil {
+		return nil, fmt.Errorf("syscc: requester cert: %w", err)
+	}
+	pub, ok := cert.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, errors.New("syscc: requester cert key is not ECDSA")
+	}
+	return cryptoutil.Encrypt(pub, args[1])
+}
+
+func verifierFromConfig(cfgBytes []byte) (*msp.Verifier, error) {
+	cfg, err := wire.UnmarshalNetworkConfig(cfgBytes)
+	if err != nil {
+		return nil, fmt.Errorf("syscc: recorded network config: %w", err)
+	}
+	roots := make(map[string][]byte, len(cfg.Orgs))
+	for _, org := range cfg.Orgs {
+		roots[org.OrgID] = org.RootCertPEM
+	}
+	return msp.NewVerifier(roots)
+}

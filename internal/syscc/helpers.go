@@ -1,0 +1,53 @@
+package syscc
+
+import (
+	"fmt"
+
+	"repro/internal/chaincode"
+)
+
+// IsRelayQuery reports whether the current invocation arrived through a
+// relay as a cross-network query.
+func IsRelayQuery(stub chaincode.Stub) bool {
+	return stub.GetTransient(TransientInteropFlag) != nil
+}
+
+// AuthorizeRelayRequest is the source-side adaptation helper (§5 "ease of
+// adaptation"): a chaincode function that exposes data cross-network calls
+// this once at its top. For relayed invocations it asks the ECC to
+// authenticate the requester against the recorded foreign-network
+// configuration and to check the access rules; local invocations pass
+// through untouched. It returns the authorized foreign organization ID, or
+// "" for local calls.
+func AuthorizeRelayRequest(stub chaincode.Stub, chaincodeName string) (string, error) {
+	if !IsRelayQuery(stub) {
+		return "", nil
+	}
+	requestingNet := stub.GetTransient(TransientRequestingNetwork)
+	if len(requestingNet) == 0 {
+		return "", fmt.Errorf("%w: relay query without requesting network", ErrAccessDenied)
+	}
+	org, err := stub.InvokeChaincode(ECCName, ECCAuthorize, [][]byte{
+		requestingNet,
+		stub.CreatorCert(),
+		[]byte(chaincodeName),
+		[]byte(stub.Function()),
+	})
+	if err != nil {
+		return "", err
+	}
+	return string(org), nil
+}
+
+// ValidateProofArgs assembles the argument list for a CMDAC ValidateProof
+// invocation. Destination chaincode uses it as:
+//
+//	result, err := stub.InvokeChaincode(syscc.CMDACName, syscc.CMDACValidateProof,
+//	    syscc.ValidateProofArgs("tradelens", "default", "TradeLensCC",
+//	        "GetBillOfLading", bundleBytes, []byte(poRef)))
+func ValidateProofArgs(sourceNetwork, ledgerName, contract, function string, bundleBytes []byte, queryArgs ...[]byte) [][]byte {
+	args := make([][]byte, 0, 5+len(queryArgs))
+	args = append(args, []byte(sourceNetwork), []byte(ledgerName), []byte(contract), []byte(function), bundleBytes)
+	args = append(args, queryArgs...)
+	return args
+}

@@ -1,0 +1,128 @@
+package syscc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/chaincode"
+	"repro/internal/msp"
+	"repro/internal/policy"
+	"repro/internal/statedb"
+	"repro/internal/wire"
+)
+
+// helperEnv builds a registry holding the ECC + CMDAC plus a probe
+// chaincode that reports the AuthorizeRelayRequest outcome, simulated
+// directly against a state store.
+func helperEnv(t *testing.T) (*chaincode.Registry, *statedb.Store, *msp.CA) {
+	t.Helper()
+	reg := chaincode.NewRegistry()
+	reg.Register(ECCName, &ECC{})
+	reg.Register(CMDACName, &CMDAC{})
+	reg.Register("probe", chaincode.Func(func(stub chaincode.Stub) ([]byte, error) {
+		org, err := AuthorizeRelayRequest(stub, "probe")
+		if err != nil {
+			return nil, err
+		}
+		return []byte(org), nil
+	}))
+	state := statedb.NewStore()
+
+	// Record the foreign config + rule directly in state, as committed
+	// governance transactions would.
+	foreignCA, err := msp.NewCA("remote-org")
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	cfg := &wire.NetworkConfig{
+		NetworkID: "remote-net",
+		Platform:  "fabric",
+		Orgs:      []wire.OrgConfig{{OrgID: "remote-org", RootCertPEM: foreignCA.RootCertPEM()}},
+	}
+	cfgKey, _ := statedb.CompositeKey(cmdacConfigKeyType, "remote-net")
+	rule := policy.AccessRule{Network: "remote-net", Org: "remote-org", Chaincode: "probe", Function: "read"}
+	ruleJSON, _ := rule.Marshal()
+	rk, _ := ruleKey(rule)
+	state.ApplyWrites([]statedb.Write{
+		{Key: cfgKey, Value: cfg.Marshal()},
+		{Key: rk, Value: ruleJSON},
+	}, statedb.Version{})
+	return reg, state, foreignCA
+}
+
+func probeInv(fn string, transient map[string][]byte, creator []byte) chaincode.Invocation {
+	return chaincode.Invocation{
+		TxID: "tx", Chaincode: "probe", Function: fn,
+		CreatorCert: creator, Transient: transient, Timestamp: time.Unix(0, 0),
+	}
+}
+
+func TestIsRelayQueryAndLocalPassThrough(t *testing.T) {
+	reg, state, _ := helperEnv(t)
+	// No transient: local invocation, authorization is skipped, empty org.
+	res, err := chaincode.Simulate(reg, state, probeInv("read", nil, []byte("whatever")))
+	if err != nil {
+		t.Fatalf("local probe: %v", err)
+	}
+	if len(res.Response) != 0 {
+		t.Fatalf("local probe returned org %q", res.Response)
+	}
+}
+
+func TestAuthorizeRelayRequestHappyPath(t *testing.T) {
+	reg, state, foreignCA := helperEnv(t)
+	client, err := foreignCA.Issue("remote-client", msp.RoleClient)
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	transient := map[string][]byte{
+		TransientInteropFlag:       []byte("1"),
+		TransientRequestingNetwork: []byte("remote-net"),
+	}
+	res, err := chaincode.Simulate(reg, state, probeInv("read", transient, client.CertPEM()))
+	if err != nil {
+		t.Fatalf("relayed probe: %v", err)
+	}
+	if !bytes.Equal(res.Response, []byte("remote-org")) {
+		t.Fatalf("authorized org = %q", res.Response)
+	}
+}
+
+func TestAuthorizeRelayRequestMissingNetwork(t *testing.T) {
+	reg, state, foreignCA := helperEnv(t)
+	client, _ := foreignCA.Issue("remote-client", msp.RoleClient)
+	transient := map[string][]byte{TransientInteropFlag: []byte("1")}
+	if _, err := chaincode.Simulate(reg, state, probeInv("read", transient, client.CertPEM())); err == nil {
+		t.Fatal("relay query without requesting network authorized")
+	}
+}
+
+func TestAuthorizeRelayRequestWrongFunction(t *testing.T) {
+	reg, state, foreignCA := helperEnv(t)
+	client, _ := foreignCA.Issue("remote-client", msp.RoleClient)
+	transient := map[string][]byte{
+		TransientInteropFlag:       []byte("1"),
+		TransientRequestingNetwork: []byte("remote-net"),
+	}
+	// The recorded rule covers "read" only.
+	if _, err := chaincode.Simulate(reg, state, probeInv("write", transient, client.CertPEM())); err == nil {
+		t.Fatal("unpermitted function authorized")
+	}
+}
+
+func TestValidateProofArgsLayout(t *testing.T) {
+	args := ValidateProofArgs("net", "ledger", "cc", "fn", []byte("bundle"), []byte("a1"), []byte("a2"))
+	want := [][]byte{
+		[]byte("net"), []byte("ledger"), []byte("cc"), []byte("fn"),
+		[]byte("bundle"), []byte("a1"), []byte("a2"),
+	}
+	if len(args) != len(want) {
+		t.Fatalf("args = %d", len(args))
+	}
+	for i := range want {
+		if !bytes.Equal(args[i], want[i]) {
+			t.Fatalf("args[%d] = %q", i, args[i])
+		}
+	}
+}

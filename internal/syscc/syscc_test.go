@@ -1,0 +1,420 @@
+package syscc
+
+import (
+	"bytes"
+	"encoding/json"
+	"encoding/pem"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
+	"repro/internal/msp"
+	"repro/internal/orderer"
+	"repro/internal/policy"
+	"repro/internal/proof"
+	"repro/internal/wire"
+)
+
+// testBed is a destination-style network with the system contracts deployed,
+// plus a foreign "source" network's CAs for forging configurations.
+type testBed struct {
+	net       *fabric.Network
+	admin     *fabric.Gateway
+	sourceCfg *wire.NetworkConfig
+	sellerCA  *msp.CA
+	carrierCA *msp.CA
+}
+
+func newTestBed(t *testing.T) *testBed {
+	t.Helper()
+	n := fabric.NewNetwork("we-trade", orderer.Config{BatchSize: 1})
+	if _, err := n.AddOrg("buyer-bank-org", 1); err != nil {
+		t.Fatalf("AddOrg: %v", err)
+	}
+	if _, err := n.AddOrg("seller-bank-org", 1); err != nil {
+		t.Fatalf("AddOrg: %v", err)
+	}
+	sysPolicy := "OR('buyer-bank-org','seller-bank-org')"
+	if err := n.Deploy(ECCName, &ECC{}, sysPolicy); err != nil {
+		t.Fatalf("Deploy ECC: %v", err)
+	}
+	if err := n.Deploy(CMDACName, &CMDAC{}, sysPolicy); err != nil {
+		t.Fatalf("Deploy CMDAC: %v", err)
+	}
+	org, _ := n.Org("buyer-bank-org")
+	admin, err := org.CA.Issue("admin", msp.RoleAdmin)
+	if err != nil {
+		t.Fatalf("Issue admin: %v", err)
+	}
+
+	// Fabricate a source network config ("tradelens") with two orgs.
+	sellerCA, _ := msp.NewCA("seller-org")
+	carrierCA, _ := msp.NewCA("carrier-org")
+	cfg := &wire.NetworkConfig{
+		NetworkID: "tradelens",
+		Platform:  "fabric",
+		Orgs: []wire.OrgConfig{
+			{OrgID: "seller-org", RootCertPEM: sellerCA.RootCertPEM(), PeerNames: []string{"seller-org-peer0"}},
+			{OrgID: "carrier-org", RootCertPEM: carrierCA.RootCertPEM(), PeerNames: []string{"carrier-org-peer0"}},
+		},
+	}
+	return &testBed{
+		net:       n,
+		admin:     n.Gateway(admin),
+		sourceCfg: cfg,
+		sellerCA:  sellerCA,
+		carrierCA: carrierCA,
+	}
+}
+
+func (tb *testBed) recordConfig(t *testing.T) {
+	t.Helper()
+	if _, err := tb.admin.Submit(CMDACName, CMDACSetNetworkConfig, tb.sourceCfg.Marshal()); err != nil {
+		t.Fatalf("SetNetworkConfig: %v", err)
+	}
+}
+
+func (tb *testBed) recordPolicy(t *testing.T, vp policy.VerificationPolicy) {
+	t.Helper()
+	data, err := vp.Marshal()
+	if err != nil {
+		t.Fatalf("marshal policy: %v", err)
+	}
+	if _, err := tb.admin.Submit(CMDACName, CMDACSetVerificationPolicy, data); err != nil {
+		t.Fatalf("SetVerificationPolicy: %v", err)
+	}
+}
+
+func TestCMDACConfigRoundTrip(t *testing.T) {
+	tb := newTestBed(t)
+	tb.recordConfig(t)
+	got, err := tb.admin.EvaluateString(CMDACName, CMDACGetNetworkConfig, "tradelens")
+	if err != nil {
+		t.Fatalf("GetNetworkConfig: %v", err)
+	}
+	cfg, err := wire.UnmarshalNetworkConfig(got)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if cfg.NetworkID != "tradelens" || len(cfg.Orgs) != 2 {
+		t.Fatalf("config = %+v", cfg)
+	}
+}
+
+func TestCMDACGetMissingConfig(t *testing.T) {
+	tb := newTestBed(t)
+	if _, err := tb.admin.EvaluateString(CMDACName, CMDACGetNetworkConfig, "ghost"); err == nil {
+		t.Fatal("missing config returned")
+	}
+}
+
+func TestCMDACRejectsBadConfig(t *testing.T) {
+	tb := newTestBed(t)
+	empty := &wire.NetworkConfig{NetworkID: "x"}
+	if _, err := tb.admin.Submit(CMDACName, CMDACSetNetworkConfig, empty.Marshal()); err == nil {
+		t.Fatal("config without orgs accepted")
+	}
+	if _, err := tb.admin.Submit(CMDACName, CMDACSetNetworkConfig, []byte{0xFF, 0xFF}); err == nil {
+		t.Fatal("garbage config accepted")
+	}
+}
+
+func TestCMDACListNetworks(t *testing.T) {
+	tb := newTestBed(t)
+	tb.recordConfig(t)
+	got, err := tb.admin.EvaluateString(CMDACName, CMDACListNetworks)
+	if err != nil {
+		t.Fatalf("ListNetworks: %v", err)
+	}
+	var ids []string
+	if err := json.Unmarshal(got, &ids); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(ids) != 1 || ids[0] != "tradelens" {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestCMDACVerificationPolicyLookup(t *testing.T) {
+	tb := newTestBed(t)
+	tb.recordPolicy(t, policy.VerificationPolicy{Network: "tradelens", Expr: "'seller-org'"})
+	tb.recordPolicy(t, policy.VerificationPolicy{
+		Network: "tradelens", Chaincode: "TradeLensCC",
+		Expr: "AND('seller-org','carrier-org')",
+	})
+
+	// Chaincode-specific lookup.
+	got, err := tb.admin.EvaluateString(CMDACName, CMDACGetVerificationPolicy, "tradelens", "TradeLensCC")
+	if err != nil {
+		t.Fatalf("GetVerificationPolicy: %v", err)
+	}
+	vp, err := policy.UnmarshalVerificationPolicy(got)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !strings.Contains(vp.Expr, "AND") {
+		t.Fatalf("specific policy = %+v", vp)
+	}
+
+	// Fallback to the network default for other chaincodes.
+	got, err = tb.admin.EvaluateString(CMDACName, CMDACGetVerificationPolicy, "tradelens", "OtherCC")
+	if err != nil {
+		t.Fatalf("GetVerificationPolicy fallback: %v", err)
+	}
+	vp, _ = policy.UnmarshalVerificationPolicy(got)
+	if vp.Expr != "'seller-org'" {
+		t.Fatalf("fallback policy = %+v", vp)
+	}
+
+	// No policy at all for unknown networks.
+	if _, err := tb.admin.EvaluateString(CMDACName, CMDACGetVerificationPolicy, "ghost", "cc"); err == nil {
+		t.Fatal("missing policy returned")
+	}
+}
+
+func TestCMDACRejectsInvalidPolicy(t *testing.T) {
+	tb := newTestBed(t)
+	bad, _ := json.Marshal(map[string]string{"network": "tl", "expr": "AND("})
+	if _, err := tb.admin.Submit(CMDACName, CMDACSetVerificationPolicy, bad); err == nil {
+		t.Fatal("unparseable policy accepted")
+	}
+}
+
+func TestECCRuleLifecycle(t *testing.T) {
+	tb := newTestBed(t)
+	rule := policy.AccessRule{Network: "we-trade", Org: "seller-org", Chaincode: "TradeLensCC", Function: "GetBillOfLading"}
+	ruleJSON, _ := rule.Marshal()
+	if _, err := tb.admin.Submit(ECCName, ECCAddRule, ruleJSON); err != nil {
+		t.Fatalf("AddAccessRule: %v", err)
+	}
+
+	got, err := tb.admin.EvaluateString(ECCName, ECCCheckAccess, "we-trade", "seller-org", "TradeLensCC", "GetBillOfLading")
+	if err != nil {
+		t.Fatalf("CheckAccess: %v", err)
+	}
+	if string(got) != "true" {
+		t.Fatalf("CheckAccess = %q", got)
+	}
+	got, _ = tb.admin.EvaluateString(ECCName, ECCCheckAccess, "we-trade", "seller-org", "TradeLensCC", "GetShipment")
+	if string(got) != "false" {
+		t.Fatalf("CheckAccess other fn = %q", got)
+	}
+
+	list, err := tb.admin.EvaluateString(ECCName, ECCListRules)
+	if err != nil {
+		t.Fatalf("GetAccessRules: %v", err)
+	}
+	var rules []policy.AccessRule
+	if err := json.Unmarshal(list, &rules); err != nil {
+		t.Fatalf("unmarshal rules: %v", err)
+	}
+	if len(rules) != 1 || rules[0] != rule {
+		t.Fatalf("rules = %+v", rules)
+	}
+
+	if _, err := tb.admin.Submit(ECCName, ECCRemoveRule, ruleJSON); err != nil {
+		t.Fatalf("RemoveAccessRule: %v", err)
+	}
+	got, _ = tb.admin.EvaluateString(ECCName, ECCCheckAccess, "we-trade", "seller-org", "TradeLensCC", "GetBillOfLading")
+	if string(got) != "true" && string(got) != "false" {
+		t.Fatalf("CheckAccess = %q", got)
+	}
+	if string(got) != "false" {
+		t.Fatal("removed rule still grants access")
+	}
+	if _, err := tb.admin.Submit(ECCName, ECCRemoveRule, ruleJSON); err == nil {
+		t.Fatal("double remove accepted")
+	}
+}
+
+func TestECCAuthorize(t *testing.T) {
+	tb := newTestBed(t)
+	tb.recordConfig(t)
+	rule := policy.AccessRule{Network: "tradelens", Org: "seller-org", Chaincode: "SomeCC", Function: "ReadDoc"}
+	ruleJSON, _ := rule.Marshal()
+	if _, err := tb.admin.Submit(ECCName, ECCAddRule, ruleJSON); err != nil {
+		t.Fatalf("AddAccessRule: %v", err)
+	}
+
+	requester, _ := tb.sellerCA.Issue("remote-client", msp.RoleClient)
+	org, err := tb.admin.Evaluate(ECCName, ECCAuthorize,
+		[]byte("tradelens"), requester.CertPEM(), []byte("SomeCC"), []byte("ReadDoc"))
+	if err != nil {
+		t.Fatalf("Authorize: %v", err)
+	}
+	if string(org) != "seller-org" {
+		t.Fatalf("authorized org = %q", org)
+	}
+
+	// Carrier org has no rule.
+	carrierClient, _ := tb.carrierCA.Issue("other-client", msp.RoleClient)
+	if _, err := tb.admin.Evaluate(ECCName, ECCAuthorize,
+		[]byte("tradelens"), carrierClient.CertPEM(), []byte("SomeCC"), []byte("ReadDoc")); err == nil {
+		t.Fatal("unauthorized org authorized")
+	}
+
+	// A certificate from an unrecorded CA must be rejected even if it
+	// claims a permitted org.
+	rogueCA, _ := msp.NewCA("seller-org")
+	rogue, _ := rogueCA.Issue("imposter", msp.RoleClient)
+	if _, err := tb.admin.Evaluate(ECCName, ECCAuthorize,
+		[]byte("tradelens"), rogue.CertPEM(), []byte("SomeCC"), []byte("ReadDoc")); err == nil {
+		t.Fatal("imposter certificate authorized")
+	}
+}
+
+func TestECCAuthorizeWithoutConfig(t *testing.T) {
+	tb := newTestBed(t)
+	requester, _ := tb.sellerCA.Issue("remote-client", msp.RoleClient)
+	if _, err := tb.admin.Evaluate(ECCName, ECCAuthorize,
+		[]byte("tradelens"), requester.CertPEM(), []byte("cc"), []byte("fn")); err == nil {
+		t.Fatal("authorize without recorded config succeeded")
+	}
+}
+
+func TestECCEncryptForRequester(t *testing.T) {
+	tb := newTestBed(t)
+	clientKey, _ := cryptoutil.GenerateKey()
+	cert, err := tb.sellerCA.IssueForKey("swt-sc", msp.RoleClient, &clientKey.PublicKey)
+	if err != nil {
+		t.Fatalf("IssueForKey: %v", err)
+	}
+	certPEM := pemOf(cert.Raw)
+	plaintext := []byte("the B/L document")
+	ct, err := tb.admin.Evaluate(ECCName, ECCEncrypt, certPEM, plaintext)
+	if err != nil {
+		t.Fatalf("EncryptForRequester: %v", err)
+	}
+	got, err := cryptoutil.Decrypt(clientKey, ct)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if !bytes.Equal(got, plaintext) {
+		t.Fatalf("round-trip = %q", got)
+	}
+}
+
+func TestUnknownFunctions(t *testing.T) {
+	tb := newTestBed(t)
+	if _, err := tb.admin.EvaluateString(ECCName, "Bogus"); err == nil {
+		t.Fatal("unknown ECC function accepted")
+	}
+	if _, err := tb.admin.EvaluateString(CMDACName, "Bogus"); err == nil {
+		t.Fatal("unknown CMDAC function accepted")
+	}
+}
+
+// buildBundleFor constructs a valid proof bundle attested by the given
+// identities for query GetBillOfLading(po-1001) against tradelens.
+func buildBundleFor(t *testing.T, result []byte, nonce []byte, attestors ...*msp.Identity) []byte {
+	t.Helper()
+	clientKey, _ := cryptoutil.GenerateKey()
+	qd := proof.QueryDigest("tradelens", "default", "TradeLensCC", "GetBillOfLading",
+		[][]byte{[]byte("po-1001")}, nonce)
+	encResult, err := proof.EncryptResult(&clientKey.PublicKey, result)
+	if err != nil {
+		t.Fatalf("EncryptResult: %v", err)
+	}
+	resp := &wire.QueryResponse{EncryptedResult: encResult}
+	for _, at := range attestors {
+		att, err := proof.BuildAttestation(at, "tradelens", qd, result, nonce, &clientKey.PublicKey, time.Now())
+		if err != nil {
+			t.Fatalf("BuildAttestation: %v", err)
+		}
+		resp.Attestations = append(resp.Attestations, att)
+	}
+	q := &wire.Query{
+		TargetNetwork: "tradelens", Ledger: "default", Contract: "TradeLensCC",
+		Function: "GetBillOfLading", Args: [][]byte{[]byte("po-1001")}, Nonce: nonce,
+	}
+	bundle, err := proof.OpenResponse(clientKey, q, resp)
+	if err != nil {
+		t.Fatalf("OpenResponse: %v", err)
+	}
+	return bundle.Marshal()
+}
+
+func TestCMDACValidateProofAcceptsValid(t *testing.T) {
+	tb := newTestBed(t)
+	tb.recordConfig(t)
+	tb.recordPolicy(t, policy.VerificationPolicy{
+		Network: "tradelens", Expr: "AND('seller-org.peer','carrier-org.peer')",
+	})
+	sellerPeer, _ := tb.sellerCA.Issue("seller-org-peer0", msp.RolePeer)
+	carrierPeer, _ := tb.carrierCA.Issue("carrier-org-peer0", msp.RolePeer)
+	nonce, _ := cryptoutil.NewNonce()
+	bundleBytes := buildBundleFor(t, []byte("B/L-77"), nonce, sellerPeer, carrierPeer)
+
+	got, err := tb.admin.Submit(CMDACName, CMDACValidateProof,
+		[]byte("tradelens"), []byte("default"), []byte("TradeLensCC"), []byte("GetBillOfLading"),
+		bundleBytes, []byte("po-1001"))
+	if err != nil {
+		t.Fatalf("ValidateProof: %v", err)
+	}
+	if !bytes.Equal(got, []byte("B/L-77")) {
+		t.Fatalf("verified result = %q", got)
+	}
+}
+
+func TestCMDACValidateProofRejectsInsufficientAttestors(t *testing.T) {
+	tb := newTestBed(t)
+	tb.recordConfig(t)
+	tb.recordPolicy(t, policy.VerificationPolicy{
+		Network: "tradelens", Expr: "AND('seller-org.peer','carrier-org.peer')",
+	})
+	sellerPeer, _ := tb.sellerCA.Issue("seller-org-peer0", msp.RolePeer)
+	nonce, _ := cryptoutil.NewNonce()
+	bundleBytes := buildBundleFor(t, []byte("B/L-77"), nonce, sellerPeer)
+
+	if _, err := tb.admin.Submit(CMDACName, CMDACValidateProof,
+		[]byte("tradelens"), []byte("default"), []byte("TradeLensCC"), []byte("GetBillOfLading"),
+		bundleBytes, []byte("po-1001")); err == nil {
+		t.Fatal("single-org proof accepted against two-org policy")
+	}
+}
+
+func TestCMDACValidateProofRejectsWrongArgs(t *testing.T) {
+	tb := newTestBed(t)
+	tb.recordConfig(t)
+	tb.recordPolicy(t, policy.VerificationPolicy{Network: "tradelens", Expr: "'seller-org.peer'"})
+	sellerPeer, _ := tb.sellerCA.Issue("seller-org-peer0", msp.RolePeer)
+	nonce, _ := cryptoutil.NewNonce()
+	bundleBytes := buildBundleFor(t, []byte("B/L-77"), nonce, sellerPeer)
+
+	// The proof binds po-1001; claiming it answers po-2002 must fail.
+	if _, err := tb.admin.Submit(CMDACName, CMDACValidateProof,
+		[]byte("tradelens"), []byte("default"), []byte("TradeLensCC"), []byte("GetBillOfLading"),
+		bundleBytes, []byte("po-2002")); err == nil {
+		t.Fatal("proof accepted for a different query")
+	}
+}
+
+func TestCMDACValidateProofReplayRejected(t *testing.T) {
+	tb := newTestBed(t)
+	tb.recordConfig(t)
+	tb.recordPolicy(t, policy.VerificationPolicy{Network: "tradelens", Expr: "'seller-org.peer'"})
+	sellerPeer, _ := tb.sellerCA.Issue("seller-org-peer0", msp.RolePeer)
+	nonce, _ := cryptoutil.NewNonce()
+	bundleBytes := buildBundleFor(t, []byte("B/L-77"), nonce, sellerPeer)
+
+	submit := func() error {
+		_, err := tb.admin.Submit(CMDACName, CMDACValidateProof,
+			[]byte("tradelens"), []byte("default"), []byte("TradeLensCC"), []byte("GetBillOfLading"),
+			bundleBytes, []byte("po-1001"))
+		return err
+	}
+	if err := submit(); err != nil {
+		t.Fatalf("first ValidateProof: %v", err)
+	}
+	if err := submit(); err == nil {
+		t.Fatal("replayed proof accepted")
+	} else if !strings.Contains(err.Error(), "replay") {
+		t.Fatalf("unexpected replay error: %v", err)
+	}
+}
+
+func pemOf(der []byte) []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+}

@@ -1,0 +1,203 @@
+// Package wire implements the network-neutral communication protocol the
+// relays speak (§3.2 of the paper). The paper specifies the protocol with
+// Protocol Buffers; this implementation provides an equivalent
+// tag/length/value binary codec built only on the standard library, with the
+// same wire model: each field is a varint key carrying a field number and a
+// wire type, followed by either a varint scalar or a length-delimited byte
+// string. Messages round-trip deterministically and unknown fields are
+// skipped, which preserves protobuf's forward-compatibility property.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Wire types, mirroring the protobuf wire format.
+const (
+	wireVarint = 0 // uint64 varint scalars
+	wireBytes  = 2 // length-delimited byte strings
+)
+
+var (
+	// ErrTruncated is returned when a buffer ends mid-field.
+	ErrTruncated = errors.New("wire: truncated message")
+	// ErrMalformed is returned for structurally invalid encodings.
+	ErrMalformed = errors.New("wire: malformed message")
+	// ErrTooLarge is returned when a length prefix exceeds sane bounds.
+	ErrTooLarge = errors.New("wire: field exceeds size limit")
+)
+
+// maxFieldLen bounds any single length-delimited field. Cross-network query
+// results are documents (bills of lading, letters of credit), not bulk data.
+const maxFieldLen = 64 << 20 // 64 MiB
+
+// Encoder accumulates an encoded message.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an Encoder with the given initial capacity hint.
+func NewEncoder(sizeHint int) *Encoder {
+	return &Encoder{buf: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the encoded message. The returned slice aliases the
+// encoder's internal buffer; callers must not mutate it while continuing to
+// use the encoder.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Uint writes a varint scalar field. Zero values are omitted, as in proto3.
+func (e *Encoder) Uint(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	e.key(field, wireVarint)
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// Bool writes a bool field as a 0/1 varint. False is omitted.
+func (e *Encoder) Bool(field int, v bool) {
+	if v {
+		e.Uint(field, 1)
+	}
+}
+
+// BytesField writes a length-delimited field. Empty slices are omitted.
+func (e *Encoder) BytesField(field int, v []byte) {
+	if len(v) == 0 {
+		return
+	}
+	e.key(field, wireBytes)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// String writes a length-delimited string field. Empty strings are omitted.
+func (e *Encoder) String(field int, v string) {
+	if len(v) == 0 {
+		return
+	}
+	e.key(field, wireBytes)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// Message writes an embedded message field from its already-encoded form.
+// Unlike BytesField, empty messages are still written so that the presence
+// of an element in a repeated field is preserved.
+func (e *Encoder) Message(field int, encoded []byte) {
+	e.key(field, wireBytes)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(encoded)))
+	e.buf = append(e.buf, encoded...)
+}
+
+func (e *Encoder) key(field, wireType int) {
+	e.buf = binary.AppendUvarint(e.buf, uint64(field)<<3|uint64(wireType))
+}
+
+// Decoder iterates the fields of an encoded message.
+type Decoder struct {
+	buf         []byte
+	pos         int
+	pendingWire int
+}
+
+// NewDecoder returns a Decoder over buf.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Next advances to the next field, returning its field number. It returns
+// ok=false at the clean end of the buffer and an error for malformed input.
+func (d *Decoder) Next() (field int, ok bool, err error) {
+	if d.pos >= len(d.buf) {
+		return 0, false, nil
+	}
+	key, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, false, fmt.Errorf("%w: bad field key", ErrMalformed)
+	}
+	d.pos += n
+	d.pendingWire = int(key & 7)
+	field = int(key >> 3)
+	if field == 0 {
+		return 0, false, fmt.Errorf("%w: field number 0", ErrMalformed)
+	}
+	return field, true, nil
+}
+
+// Uint reads the current field as a varint scalar.
+func (d *Decoder) Uint() (uint64, error) {
+	if d.pendingWire != wireVarint {
+		return 0, fmt.Errorf("%w: expected varint wire type", ErrMalformed)
+	}
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.pos += n
+	return v, nil
+}
+
+// Bool reads the current field as a bool.
+func (d *Decoder) Bool() (bool, error) {
+	v, err := d.Uint()
+	return v != 0, err
+}
+
+// Bytes reads the current field as a length-delimited byte string. The
+// returned slice aliases the input buffer.
+func (d *Decoder) Bytes() ([]byte, error) {
+	if d.pendingWire != wireBytes {
+		return nil, fmt.Errorf("%w: expected bytes wire type", ErrMalformed)
+	}
+	length, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return nil, ErrTruncated
+	}
+	if length > maxFieldLen {
+		return nil, ErrTooLarge
+	}
+	d.pos += n
+	if uint64(len(d.buf)-d.pos) < length {
+		return nil, ErrTruncated
+	}
+	out := d.buf[d.pos : d.pos+int(length)]
+	d.pos += int(length)
+	return out, nil
+}
+
+// BytesCopy reads the current field as bytes and copies it out of the input
+// buffer, for values retained past the decode call.
+func (d *Decoder) BytesCopy() ([]byte, error) {
+	b, err := d.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+// String reads the current field as a string.
+func (d *Decoder) String() (string, error) {
+	b, err := d.Bytes()
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Skip discards the current field, whatever its type.
+func (d *Decoder) Skip() error {
+	switch d.pendingWire {
+	case wireVarint:
+		_, err := d.Uint()
+		return err
+	case wireBytes:
+		_, err := d.Bytes()
+		return err
+	default:
+		return fmt.Errorf("%w: unsupported wire type %d", ErrMalformed, d.pendingWire)
+	}
+}

@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize bounds a single relay-to-relay frame. It must accommodate a
+// query result plus its proof; see maxFieldLen for the per-field bound.
+const MaxFrameSize = 96 << 20 // 96 MiB
+
+// WriteFrame writes a length-prefixed frame to w: a 4-byte big-endian length
+// followed by the payload. This is the transport framing relays use over
+// TCP in place of the paper's gRPC streams.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("write frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("write frame payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("read frame header: %w", err)
+	}
+	length := binary.BigEndian.Uint32(hdr[:])
+	if length > MaxFrameSize {
+		return nil, fmt.Errorf("%w: frame of %d bytes", ErrTooLarge, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("read frame payload: %w", err)
+	}
+	return payload, nil
+}

@@ -1,0 +1,580 @@
+package wire
+
+import (
+	"fmt"
+)
+
+// ProtocolVersion identifies the relay protocol revision. A relay rejects
+// envelopes from a newer major version.
+const ProtocolVersion = 1
+
+// MsgType discriminates envelope payloads exchanged between relays.
+type MsgType int
+
+const (
+	// MsgQuery carries a Query from a destination relay to a source relay.
+	MsgQuery MsgType = iota + 1
+	// MsgQueryResponse carries a QueryResponse back.
+	MsgQueryResponse
+	// MsgError carries an error string for a failed request.
+	MsgError
+	// MsgPing and MsgPong implement relay liveness probing.
+	MsgPing
+	MsgPong
+	// MsgEvent carries an asynchronous event notification from a source
+	// relay to a subscribed destination relay (paper §7 future work:
+	// cross-network events).
+	MsgEvent
+	// MsgSubscribe registers an event subscription with a source relay.
+	MsgSubscribe
+	// MsgInvoke carries a cross-network transaction request (paper §5:
+	// the query protocol extended to chaincode invocations).
+	MsgInvoke
+)
+
+// String returns the message type name.
+func (t MsgType) String() string {
+	switch t {
+	case MsgQuery:
+		return "query"
+	case MsgQueryResponse:
+		return "query-response"
+	case MsgError:
+		return "error"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
+	case MsgEvent:
+		return "event"
+	case MsgSubscribe:
+		return "subscribe"
+	case MsgInvoke:
+		return "invoke"
+	default:
+		return fmt.Sprintf("msgtype(%d)", int(t))
+	}
+}
+
+// Envelope is the outermost frame exchanged between relays: a message type,
+// a correlation ID and a typed payload.
+type Envelope struct {
+	Version   uint64
+	Type      MsgType
+	RequestID string
+	Payload   []byte
+}
+
+// Marshal encodes the envelope.
+func (m *Envelope) Marshal() []byte {
+	e := NewEncoder(16 + len(m.RequestID) + len(m.Payload))
+	e.Uint(1, m.Version)
+	e.Uint(2, uint64(m.Type))
+	e.String(3, m.RequestID)
+	e.BytesField(4, m.Payload)
+	return e.Bytes()
+}
+
+// UnmarshalEnvelope decodes an Envelope.
+func UnmarshalEnvelope(buf []byte) (*Envelope, error) {
+	m := &Envelope{}
+	d := NewDecoder(buf)
+	for {
+		field, ok, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("envelope: %w", err)
+		}
+		if !ok {
+			return m, nil
+		}
+		switch field {
+		case 1:
+			m.Version, err = d.Uint()
+		case 2:
+			var v uint64
+			v, err = d.Uint()
+			m.Type = MsgType(v)
+		case 3:
+			m.RequestID, err = d.String()
+		case 4:
+			m.Payload, err = d.BytesCopy()
+		default:
+			err = d.Skip()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("envelope field %d: %w", field, err)
+		}
+	}
+}
+
+// Query is the cross-network data request (Fig. 2 step 1): it addresses a
+// network, ledger, contract and function, carries the requester's
+// authentication certificate and nonce, and states the verification policy
+// the source network must satisfy when assembling the proof.
+type Query struct {
+	RequestID         string
+	RequestingNetwork string // destination network issuing the query
+	TargetNetwork     string // source network holding the data
+	Ledger            string
+	Contract          string
+	Function          string
+	Args              [][]byte
+	PolicyExpr        string // verification policy, e.g. AND('seller-org','carrier-org')
+	RequesterCertPEM  []byte // client certificate for auth + result encryption
+	RequesterOrg      string
+	Nonce             []byte // replay protection, echoed in signed metadata
+}
+
+// Marshal encodes the query.
+func (m *Query) Marshal() []byte {
+	e := NewEncoder(128)
+	e.String(1, m.RequestID)
+	e.String(2, m.RequestingNetwork)
+	e.String(3, m.TargetNetwork)
+	e.String(4, m.Ledger)
+	e.String(5, m.Contract)
+	e.String(6, m.Function)
+	for _, a := range m.Args {
+		e.Message(7, a)
+	}
+	e.String(8, m.PolicyExpr)
+	e.BytesField(9, m.RequesterCertPEM)
+	e.String(10, m.RequesterOrg)
+	e.BytesField(11, m.Nonce)
+	return e.Bytes()
+}
+
+// UnmarshalQuery decodes a Query.
+func UnmarshalQuery(buf []byte) (*Query, error) {
+	m := &Query{}
+	d := NewDecoder(buf)
+	for {
+		field, ok, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("query: %w", err)
+		}
+		if !ok {
+			return m, nil
+		}
+		switch field {
+		case 1:
+			m.RequestID, err = d.String()
+		case 2:
+			m.RequestingNetwork, err = d.String()
+		case 3:
+			m.TargetNetwork, err = d.String()
+		case 4:
+			m.Ledger, err = d.String()
+		case 5:
+			m.Contract, err = d.String()
+		case 6:
+			m.Function, err = d.String()
+		case 7:
+			var arg []byte
+			arg, err = d.BytesCopy()
+			m.Args = append(m.Args, arg)
+		case 8:
+			m.PolicyExpr, err = d.String()
+		case 9:
+			m.RequesterCertPEM, err = d.BytesCopy()
+		case 10:
+			m.RequesterOrg, err = d.String()
+		case 11:
+			m.Nonce, err = d.BytesCopy()
+		default:
+			err = d.Skip()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("query field %d: %w", field, err)
+		}
+	}
+}
+
+// Attestation is one peer's contribution to a proof (Fig. 2 step 7): the
+// peer signs the response metadata and encrypts the metadata so only the
+// requesting client can read (and therefore use) it. The tuple mirrors the
+// paper's <encrypted metadata, signature> proof element.
+type Attestation struct {
+	PeerName          string
+	OrgID             string
+	CertPEM           []byte // attestor certificate, validated against recorded config
+	EncryptedMetadata []byte // ECIES to the requester; plaintext is a Metadata message
+	Signature         []byte // ECDSA over the plaintext metadata bytes
+}
+
+// Marshal encodes the attestation.
+func (m *Attestation) Marshal() []byte {
+	e := NewEncoder(64 + len(m.CertPEM) + len(m.EncryptedMetadata) + len(m.Signature))
+	e.String(1, m.PeerName)
+	e.String(2, m.OrgID)
+	e.BytesField(3, m.CertPEM)
+	e.BytesField(4, m.EncryptedMetadata)
+	e.BytesField(5, m.Signature)
+	return e.Bytes()
+}
+
+// UnmarshalAttestation decodes an Attestation.
+func UnmarshalAttestation(buf []byte) (*Attestation, error) {
+	m := &Attestation{}
+	d := NewDecoder(buf)
+	for {
+		field, ok, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("attestation: %w", err)
+		}
+		if !ok {
+			return m, nil
+		}
+		switch field {
+		case 1:
+			m.PeerName, err = d.String()
+		case 2:
+			m.OrgID, err = d.String()
+		case 3:
+			m.CertPEM, err = d.BytesCopy()
+		case 4:
+			m.EncryptedMetadata, err = d.BytesCopy()
+		case 5:
+			m.Signature, err = d.BytesCopy()
+		default:
+			err = d.Skip()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("attestation field %d: %w", field, err)
+		}
+	}
+}
+
+// Metadata is the plaintext signed by each attesting peer. It binds the
+// query (so a proof cannot be replayed for a different question), the
+// result digest (so the result cannot be swapped), the client nonce (replay
+// protection) and the attestor identity.
+type Metadata struct {
+	NetworkID    string
+	PeerName     string
+	OrgID        string
+	QueryDigest  []byte
+	ResultDigest []byte
+	Nonce        []byte
+	UnixNano     uint64
+}
+
+// Marshal encodes the metadata.
+func (m *Metadata) Marshal() []byte {
+	e := NewEncoder(128)
+	e.String(1, m.NetworkID)
+	e.String(2, m.PeerName)
+	e.String(3, m.OrgID)
+	e.BytesField(4, m.QueryDigest)
+	e.BytesField(5, m.ResultDigest)
+	e.BytesField(6, m.Nonce)
+	e.Uint(7, m.UnixNano)
+	return e.Bytes()
+}
+
+// UnmarshalMetadata decodes a Metadata message.
+func UnmarshalMetadata(buf []byte) (*Metadata, error) {
+	m := &Metadata{}
+	d := NewDecoder(buf)
+	for {
+		field, ok, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("metadata: %w", err)
+		}
+		if !ok {
+			return m, nil
+		}
+		switch field {
+		case 1:
+			m.NetworkID, err = d.String()
+		case 2:
+			m.PeerName, err = d.String()
+		case 3:
+			m.OrgID, err = d.String()
+		case 4:
+			m.QueryDigest, err = d.BytesCopy()
+		case 5:
+			m.ResultDigest, err = d.BytesCopy()
+		case 6:
+			m.Nonce, err = d.BytesCopy()
+		case 7:
+			m.UnixNano, err = d.Uint()
+		default:
+			err = d.Skip()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("metadata field %d: %w", field, err)
+		}
+	}
+}
+
+// QueryResponse carries the encrypted result plus the proof: one attestation
+// per peer selected to satisfy the verification policy (Fig. 2 step 8).
+type QueryResponse struct {
+	RequestID       string
+	EncryptedResult []byte
+	Attestations    []Attestation
+	Error           string
+}
+
+// Marshal encodes the response.
+func (m *QueryResponse) Marshal() []byte {
+	e := NewEncoder(256)
+	e.String(1, m.RequestID)
+	e.BytesField(2, m.EncryptedResult)
+	for i := range m.Attestations {
+		e.Message(3, m.Attestations[i].Marshal())
+	}
+	e.String(4, m.Error)
+	return e.Bytes()
+}
+
+// UnmarshalQueryResponse decodes a QueryResponse.
+func UnmarshalQueryResponse(buf []byte) (*QueryResponse, error) {
+	m := &QueryResponse{}
+	d := NewDecoder(buf)
+	for {
+		field, ok, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("query response: %w", err)
+		}
+		if !ok {
+			return m, nil
+		}
+		switch field {
+		case 1:
+			m.RequestID, err = d.String()
+		case 2:
+			m.EncryptedResult, err = d.BytesCopy()
+		case 3:
+			var raw []byte
+			raw, err = d.Bytes()
+			if err == nil {
+				var att *Attestation
+				att, err = UnmarshalAttestation(raw)
+				if err == nil {
+					m.Attestations = append(m.Attestations, *att)
+				}
+			}
+		case 4:
+			m.Error, err = d.String()
+		default:
+			err = d.Skip()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("query response field %d: %w", field, err)
+		}
+	}
+}
+
+// OrgConfig describes one organization of a network in the shared
+// configuration schema: its identity root and its peer endpoints.
+type OrgConfig struct {
+	OrgID       string
+	RootCertPEM []byte
+	PeerNames   []string
+}
+
+// Marshal encodes the org config.
+func (m *OrgConfig) Marshal() []byte {
+	e := NewEncoder(64 + len(m.RootCertPEM))
+	e.String(1, m.OrgID)
+	e.BytesField(2, m.RootCertPEM)
+	for _, p := range m.PeerNames {
+		e.String(3, p)
+	}
+	return e.Bytes()
+}
+
+// UnmarshalOrgConfig decodes an OrgConfig.
+func UnmarshalOrgConfig(buf []byte) (*OrgConfig, error) {
+	m := &OrgConfig{}
+	d := NewDecoder(buf)
+	for {
+		field, ok, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("org config: %w", err)
+		}
+		if !ok {
+			return m, nil
+		}
+		switch field {
+		case 1:
+			m.OrgID, err = d.String()
+		case 2:
+			m.RootCertPEM, err = d.BytesCopy()
+		case 3:
+			var p string
+			p, err = d.String()
+			m.PeerNames = append(m.PeerNames, p)
+		default:
+			err = d.Skip()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("org config field %d: %w", field, err)
+		}
+	}
+}
+
+// NetworkConfig is the identity and topology information one network records
+// about another before interoperating (§3.3: "interoperating networks have a
+// priori knowledge of each others' identities and configurations, recorded
+// on their ledgers").
+type NetworkConfig struct {
+	NetworkID string
+	Platform  string // e.g. "fabric", "notary"
+	Orgs      []OrgConfig
+}
+
+// Marshal encodes the network config.
+func (m *NetworkConfig) Marshal() []byte {
+	e := NewEncoder(256)
+	e.String(1, m.NetworkID)
+	e.String(2, m.Platform)
+	for i := range m.Orgs {
+		e.Message(3, m.Orgs[i].Marshal())
+	}
+	return e.Bytes()
+}
+
+// UnmarshalNetworkConfig decodes a NetworkConfig.
+func UnmarshalNetworkConfig(buf []byte) (*NetworkConfig, error) {
+	m := &NetworkConfig{}
+	d := NewDecoder(buf)
+	for {
+		field, ok, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("network config: %w", err)
+		}
+		if !ok {
+			return m, nil
+		}
+		switch field {
+		case 1:
+			m.NetworkID, err = d.String()
+		case 2:
+			m.Platform, err = d.String()
+		case 3:
+			var raw []byte
+			raw, err = d.Bytes()
+			if err == nil {
+				var org *OrgConfig
+				org, err = UnmarshalOrgConfig(raw)
+				if err == nil {
+					m.Orgs = append(m.Orgs, *org)
+				}
+			}
+		default:
+			err = d.Skip()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("network config field %d: %w", field, err)
+		}
+	}
+}
+
+// Event is an asynchronous cross-network notification (extension beyond the
+// paper's query protocol; listed as future work in §7).
+type Event struct {
+	SubscriptionID string
+	SourceNetwork  string
+	Name           string
+	Payload        []byte
+	UnixNano       uint64
+}
+
+// Marshal encodes the event.
+func (m *Event) Marshal() []byte {
+	e := NewEncoder(64 + len(m.Payload))
+	e.String(1, m.SubscriptionID)
+	e.String(2, m.SourceNetwork)
+	e.String(3, m.Name)
+	e.BytesField(4, m.Payload)
+	e.Uint(5, m.UnixNano)
+	return e.Bytes()
+}
+
+// UnmarshalEvent decodes an Event.
+func UnmarshalEvent(buf []byte) (*Event, error) {
+	m := &Event{}
+	d := NewDecoder(buf)
+	for {
+		field, ok, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("event: %w", err)
+		}
+		if !ok {
+			return m, nil
+		}
+		switch field {
+		case 1:
+			m.SubscriptionID, err = d.String()
+		case 2:
+			m.SourceNetwork, err = d.String()
+		case 3:
+			m.Name, err = d.String()
+		case 4:
+			m.Payload, err = d.BytesCopy()
+		case 5:
+			m.UnixNano, err = d.Uint()
+		default:
+			err = d.Skip()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("event field %d: %w", field, err)
+		}
+	}
+}
+
+// Subscription asks a source relay to forward chaincode events matching a
+// name pattern to the requesting network's relay.
+type Subscription struct {
+	SubscriptionID    string
+	RequestingNetwork string
+	TargetNetwork     string
+	EventName         string
+	RequesterCertPEM  []byte
+}
+
+// Marshal encodes the subscription.
+func (m *Subscription) Marshal() []byte {
+	e := NewEncoder(128)
+	e.String(1, m.SubscriptionID)
+	e.String(2, m.RequestingNetwork)
+	e.String(3, m.TargetNetwork)
+	e.String(4, m.EventName)
+	e.BytesField(5, m.RequesterCertPEM)
+	return e.Bytes()
+}
+
+// UnmarshalSubscription decodes a Subscription.
+func UnmarshalSubscription(buf []byte) (*Subscription, error) {
+	m := &Subscription{}
+	d := NewDecoder(buf)
+	for {
+		field, ok, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("subscription: %w", err)
+		}
+		if !ok {
+			return m, nil
+		}
+		switch field {
+		case 1:
+			m.SubscriptionID, err = d.String()
+		case 2:
+			m.RequestingNetwork, err = d.String()
+		case 3:
+			m.TargetNetwork, err = d.String()
+		case 4:
+			m.EventName, err = d.String()
+		case 5:
+			m.RequesterCertPEM, err = d.BytesCopy()
+		default:
+			err = d.Skip()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("subscription field %d: %w", field, err)
+		}
+	}
+}
