@@ -7,7 +7,9 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"testing"
 	"time"
 
@@ -29,6 +31,10 @@ import (
 	"repro/internal/syscc"
 	"repro/internal/wire"
 )
+
+// ctx is the benchmarks' shared unbounded context; per-benchmark deadlines
+// are derived where a bounded budget is the point of the measurement.
+var ctx = context.Background()
 
 // assembleOne builds a single-endorsement transaction for the batching
 // ablation.
@@ -57,16 +63,16 @@ func tradeWorld(b *testing.B) (*scenario.TradeWorld, *scenario.Actors) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := actors.STLSeller.CreateShipment("po-1001", "S", "B", "goods"); err != nil {
+	if _, err := actors.STLSeller.CreateShipment(ctx, "po-1001", "S", "B", "goods"); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := actors.STLCarrier.BookShipment("po-1001", "C"); err != nil {
+	if _, err := actors.STLCarrier.BookShipment(ctx, "po-1001", "C"); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := actors.STLCarrier.RecordGateIn("po-1001"); err != nil {
+	if _, err := actors.STLCarrier.RecordGateIn(ctx, "po-1001"); err != nil {
 		b.Fatal(err)
 	}
-	if err := actors.STLCarrier.IssueBillOfLading(&tradelens.BillOfLading{
+	if err := actors.STLCarrier.IssueBillOfLading(ctx, &tradelens.BillOfLading{
 		BLID: "bl-1", PORef: "po-1001", Carrier: "C",
 	}); err != nil {
 		b.Fatal(err)
@@ -93,7 +99,7 @@ func BenchmarkE1EndToEndQuery(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.RemoteQuery(spec); err != nil {
+		if _, err := client.RemoteQuery(ctx, spec); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -210,10 +216,10 @@ func BenchmarkE4FailoverLatency(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		_, _ = actors.STLSeller.CreateShipment("po-1001", "S", "B", "g")
-		_, _ = actors.STLCarrier.BookShipment("po-1001", "C")
-		_, _ = actors.STLCarrier.RecordGateIn("po-1001")
-		_ = actors.STLCarrier.IssueBillOfLading(&tradelens.BillOfLading{BLID: "bl-1", PORef: "po-1001", Carrier: "C"})
+		_, _ = actors.STLSeller.CreateShipment(ctx, "po-1001", "S", "B", "g")
+		_, _ = actors.STLCarrier.BookShipment(ctx, "po-1001", "C")
+		_, _ = actors.STLCarrier.RecordGateIn(ctx, "po-1001")
+		_ = actors.STLCarrier.IssueBillOfLading(ctx, &tradelens.BillOfLading{BLID: "bl-1", PORef: "po-1001", Carrier: "C"})
 		hub.SetDown("primary", primaryDown)
 		return actors.SWTSeller.Client(), blQuerySpec("po-1001")
 	}
@@ -222,7 +228,7 @@ func BenchmarkE4FailoverLatency(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := client.RemoteQuery(spec); err != nil {
+			if _, err := client.RemoteQuery(ctx, spec); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -232,7 +238,7 @@ func BenchmarkE4FailoverLatency(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := client.RemoteQuery(spec); err != nil {
+			if _, err := client.RemoteQuery(ctx, spec); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -258,7 +264,7 @@ func BenchmarkE6CrossPlatformQuery(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.RemoteQuery(spec); err != nil {
+		if _, err := client.RemoteQuery(ctx, spec); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -280,37 +286,37 @@ func BenchmarkE7TradeLifecycle(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		po := fmt.Sprintf("po-%d", i)
 		lcID := fmt.Sprintf("lc-%d", i)
-		if _, err := actors.STLSeller.CreateShipment(po, "S", "B", "goods"); err != nil {
+		if _, err := actors.STLSeller.CreateShipment(ctx, po, "S", "B", "goods"); err != nil {
 			b.Fatal(err)
 		}
 		lc := &wetrade.LetterOfCredit{LCID: lcID, PORef: po, Buyer: "B", Seller: "S", Amount: 100, Currency: "USD"}
-		if _, err := actors.SWTBuyer.RequestLC(lc); err != nil {
+		if _, err := actors.SWTBuyer.RequestLC(ctx, lc); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := actors.SWTBuyer.IssueLC(lcID); err != nil {
+		if _, err := actors.SWTBuyer.IssueLC(ctx, lcID); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := actors.SWTSeller.AcceptLC(lcID); err != nil {
+		if _, err := actors.SWTSeller.AcceptLC(ctx, lcID); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := actors.STLCarrier.BookShipment(po, "C"); err != nil {
+		if _, err := actors.STLCarrier.BookShipment(ctx, po, "C"); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := actors.STLCarrier.RecordGateIn(po); err != nil {
+		if _, err := actors.STLCarrier.RecordGateIn(ctx, po); err != nil {
 			b.Fatal(err)
 		}
-		if err := actors.STLCarrier.IssueBillOfLading(&tradelens.BillOfLading{
+		if err := actors.STLCarrier.IssueBillOfLading(ctx, &tradelens.BillOfLading{
 			BLID: "bl-" + po, PORef: po, Carrier: "C",
 		}); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := actors.SWTSeller.FetchAndUploadBL(lcID, po); err != nil {
+		if _, err := actors.SWTSeller.FetchAndUploadBL(ctx, lcID, po); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := actors.SWTSeller.RequestPayment(lcID); err != nil {
+		if _, err := actors.SWTSeller.RequestPayment(ctx, lcID); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := actors.SWTBuyer.MakePayment(lcID); err != nil {
+		if _, err := actors.SWTBuyer.MakePayment(ctx, lcID); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -449,7 +455,7 @@ func BenchmarkP5TransportRTT(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := probe.Ping("addr"); err != nil {
+			if err := probe.Ping(ctx, "addr"); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -466,7 +472,7 @@ func BenchmarkP5TransportRTT(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := probe.Ping(server.Addr()); err != nil {
+			if err := probe.Ping(ctx, server.Addr()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -484,7 +490,7 @@ func BenchmarkP5TransportRTT(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := probe.Ping(server.Addr()); err != nil {
+			if err := probe.Ping(ctx, server.Addr()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -548,10 +554,151 @@ func BenchmarkP6PayloadSize(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := client.RemoteQuery(spec); err != nil {
+				if _, err := client.RemoteQuery(ctx, spec); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 	}
+}
+
+// slowTransport wraps another transport and injects a fixed service delay,
+// modelling network RTT or a degraded (but live) relay. An empty slowAddr
+// delays every address; otherwise only the named one. The delay honours
+// context cancellation so hedged losers release immediately.
+type slowTransport struct {
+	inner    relay.Transport
+	slowAddr string
+	delay    time.Duration
+}
+
+func (s *slowTransport) Send(ctx context.Context, addr string, env *wire.Envelope) (*wire.Envelope, error) {
+	if s.delay > 0 && (s.slowAddr == "" || addr == s.slowAddr) {
+		select {
+		case <-time.After(s.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return s.inner.Send(ctx, addr, env)
+}
+
+// buildFanoutWorld assembles a payload-style src/dst pair where the source
+// network is fronted by two relay addresses ("src-slow" preferred,
+// "src-fast" standby) with slowDelay injected at slowAddr ("" = all).
+// relayOpts configure the destination relay's fan-out.
+func buildFanoutWorld(b *testing.B, slowDelay time.Duration, slowAddr string, relayOpts ...relay.Option) (*core.Client, core.RemoteQuerySpec) {
+	b.Helper()
+	hub := relay.NewHub()
+	registry := relay.NewStaticRegistry()
+	srcFab := fabric.NewNetwork("src", orderer.Config{BatchSize: 1})
+	_, _ = srcFab.AddOrg("org-a", 1)
+	_, _ = srcFab.AddOrg("org-b", 1)
+	payload := []byte(`{"doc":"bl-77"}`)
+	_ = srcFab.Deploy("data", chaincode.Func(func(stub chaincode.Stub) ([]byte, error) {
+		if _, err := syscc.AuthorizeRelayRequest(stub, "data"); err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}), "AND('org-a','org-b')")
+	src, err := core.EnableInterop(srcFab, registry, hub, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	transport := &slowTransport{inner: hub, slowAddr: slowAddr, delay: slowDelay}
+	destFab := fabric.NewNetwork("dst", orderer.Config{BatchSize: 1})
+	_, _ = destFab.AddOrg("dst-org", 1)
+	dest, err := core.EnableInterop(destFab, registry, transport, core.Options{RelayOptions: relayOpts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hub.Attach("src-slow", src.Relay)
+	hub.Attach("src-fast", src.Relay)
+	registry.Register("src", "src-slow", "src-fast")
+
+	srcOrg, _ := srcFab.Org("org-a")
+	srcAdminID, _ := srcOrg.CA.Issue("admin", msp.RoleAdmin)
+	srcAdmin := srcFab.Gateway(srcAdminID)
+	dstOrg, _ := destFab.Org("dst-org")
+	dstAdminID, _ := dstOrg.CA.Issue("admin", msp.RoleAdmin)
+	dstAdmin := destFab.Gateway(dstAdminID)
+	if err := src.ConfigureForeignNetwork(srcAdmin, dest.ExportConfig()); err != nil {
+		b.Fatal(err)
+	}
+	if err := dest.ConfigureForeignNetwork(dstAdmin, src.ExportConfig()); err != nil {
+		b.Fatal(err)
+	}
+	if err := dest.SetVerificationPolicy(dstAdmin, policyFor("src")); err != nil {
+		b.Fatal(err)
+	}
+	if err := src.GrantAccess(srcAdmin, accessFor()); err != nil {
+		b.Fatal(err)
+	}
+	client, err := core.NewClient(dest, "dst-org", "c")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return client, core.RemoteQuerySpec{Network: "src", Contract: "data", Function: "Get"}
+}
+
+// BenchmarkP7HedgedFanout measures tail latency with one degraded relay
+// address: sequential failover waits out the slow preferred address on
+// every query (it is slow, not down, so failover never triggers), while
+// hedged fan-out opens the standby after the hedge delay and the fast
+// response wins. p50/p99 are reported as custom metrics.
+func BenchmarkP7HedgedFanout(b *testing.B) {
+	const slowDelay = 10 * time.Millisecond
+	const hedgeDelay = 1 * time.Millisecond
+	run := func(b *testing.B, opts ...relay.Option) {
+		client, spec := buildFanoutWorld(b, slowDelay, "src-slow", opts...)
+		lat := make([]time.Duration, 0, b.N)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			if _, err := client.RemoteQuery(ctx, spec); err != nil {
+				b.Fatal(err)
+			}
+			lat = append(lat, time.Since(start))
+		}
+		b.StopTimer()
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		b.ReportMetric(float64(lat[len(lat)/2].Microseconds()), "p50-µs")
+		b.ReportMetric(float64(lat[len(lat)*99/100].Microseconds()), "p99-µs")
+	}
+	b.Run("sequential-failover", func(b *testing.B) { run(b) })
+	b.Run("hedged", func(b *testing.B) { run(b, relay.WithHedging(hedgeDelay, 2)) })
+}
+
+// BenchmarkP8RemoteQueryBatch measures batched cross-network query
+// throughput against issuing the same specs one at a time, with a 2ms
+// simulated network RTT on every relay hop: the batch overlaps the waits
+// under its bounded parallelism while the loop pays them serially.
+func BenchmarkP8RemoteQueryBatch(b *testing.B) {
+	const batchSize = 16
+	client, spec := buildFanoutWorld(b, 2*time.Millisecond, "")
+	specs := make([]core.RemoteQuerySpec, batchSize)
+	for i := range specs {
+		specs[i] = spec
+	}
+	b.Run("sequential-loop", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range specs {
+				if _, err := client.RemoteQuery(ctx, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, res := range client.RemoteQueryBatch(ctx, specs) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	})
 }

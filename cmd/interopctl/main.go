@@ -8,10 +8,12 @@
 // Usage:
 //
 //	interopctl -dir ./deploy -po po-1001
+//	interopctl -dir ./deploy -po po-1001 -timeout 5s
 //	interopctl -dir ./deploy -ping
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -37,7 +39,12 @@ func run() error {
 	dir := flag.String("dir", "./deploy", "deployment directory written by relayd")
 	po := flag.String("po", "po-1001", "purchase order reference to fetch the bill of lading for")
 	ping := flag.Bool("ping", false, "only probe the source relay for liveness")
+	timeout := flag.Duration("timeout", 30*time.Second, "deadline for the whole operation; propagated to the source relay")
+	hedge := flag.Duration("hedge", 0, "hedge delay before trying the next relay address (0 disables hedging)")
 	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
 
 	kit, err := deploy.LoadKit(*dir)
 	if err != nil {
@@ -45,16 +52,30 @@ func run() error {
 	}
 	registry := relay.NewFileRegistry(deploy.RegistryPath(*dir))
 	transport := &relay.TCPTransport{DialTimeout: 5 * time.Second, IOTimeout: 30 * time.Second}
-	local := relay.New(kit.RequestingNetwork, registry, transport)
+	var relayOpts []relay.Option
+	if *hedge > 0 {
+		relayOpts = append(relayOpts, relay.WithHedging(*hedge, 2))
+	}
+	local := relay.New(kit.RequestingNetwork, registry, transport, relayOpts...)
 
 	if *ping {
 		addrs, err := registry.Resolve(kit.SourceNetwork)
 		if err != nil {
 			return err
 		}
+		// Fair per-address slices of the whole-operation budget: one hung
+		// relay must not starve the probes of the addresses after it, and
+		// the total stays bounded by -timeout.
+		perProbe := *timeout / time.Duration(len(addrs))
+		if perProbe <= 0 {
+			perProbe = *timeout
+		}
 		for _, addr := range addrs {
+			pingCtx, cancel := context.WithTimeout(ctx, perProbe)
 			start := time.Now()
-			if err := local.Ping(addr); err != nil {
+			err := local.Ping(pingCtx, addr)
+			cancel()
+			if err != nil {
 				fmt.Printf("%-24s DOWN  (%v)\n", addr, err)
 				continue
 			}
@@ -84,7 +105,7 @@ func run() error {
 		Nonce:             nonce,
 	}
 	start := time.Now()
-	resp, err := local.Query(q)
+	resp, err := local.Query(ctx, q)
 	if err != nil {
 		return fmt.Errorf("query: %w", err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ func main() {
 
 func run() error {
 	dir := flag.String("dir", "./deploy", "deployment directory to inspect")
+	probeTimeout := flag.Duration("probe-timeout", 3*time.Second, "per-address liveness probe deadline")
 	flag.Parse()
 
 	registry := relay.NewFileRegistry(deploy.RegistryPath(*dir))
@@ -52,7 +54,10 @@ func run() error {
 		fmt.Printf("network %q: %d relay(s)\n", network, len(addrs))
 		for _, addr := range addrs {
 			start := time.Now()
-			if err := probe.Ping(addr); err != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), *probeTimeout)
+			err := probe.Ping(ctx, addr)
+			cancel()
+			if err != nil {
 				fmt.Printf("  %-24s DOWN  (%v)\n", addr, err)
 				continue
 			}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -103,7 +104,7 @@ func run() error {
 	}
 
 	if *seed {
-		if err := seedDemoData(stl); err != nil {
+		if err := seedDemoData(context.Background(), stl); err != nil {
 			return err
 		}
 		log.Printf("seeded shipment po-1001 with bill of lading bl-7734")
@@ -149,7 +150,7 @@ func run() error {
 
 // seedDemoData drives the STL lifecycle for the paper's po-1001 shipment:
 // creation, booking, gate-in, and bill-of-lading issuance.
-func seedDemoData(stl *core.Network) error {
+func seedDemoData(ctx context.Context, stl *core.Network) error {
 	seller, err := tradelens.NewSellerApp(stl, "stl-seller-app")
 	if err != nil {
 		return err
@@ -158,16 +159,16 @@ func seedDemoData(stl *core.Network) error {
 	if err != nil {
 		return err
 	}
-	if _, err := seller.CreateShipment("po-1001", "Acme Exports", "Globex Imports", "4x40ft machinery"); err != nil {
+	if _, err := seller.CreateShipment(ctx, "po-1001", "Acme Exports", "Globex Imports", "4x40ft machinery"); err != nil {
 		return err
 	}
-	if _, err := carrier.BookShipment("po-1001", "Oceanic Lines"); err != nil {
+	if _, err := carrier.BookShipment(ctx, "po-1001", "Oceanic Lines"); err != nil {
 		return err
 	}
-	if _, err := carrier.RecordGateIn("po-1001"); err != nil {
+	if _, err := carrier.RecordGateIn(ctx, "po-1001"); err != nil {
 		return err
 	}
-	return carrier.IssueBillOfLading(&tradelens.BillOfLading{
+	return carrier.IssueBillOfLading(ctx, &tradelens.BillOfLading{
 		BLID: "bl-7734", PORef: "po-1001", Carrier: "Oceanic Lines",
 		Vessel: "MV Meridian", PortFrom: "Shanghai", PortTo: "Rotterdam",
 		Goods: "4x40ft machinery", IssuedAt: time.Now(),

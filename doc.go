@@ -5,10 +5,22 @@
 // exposure control, verification-policy-driven attestation proofs, and
 // end-to-end confidentiality against untrusted relays.
 //
-// The library layout:
+// Every request-path operation is context-first: the ctx passed to
+// core.Client.RemoteQuery travels with the query — its deadline is stamped
+// into the wire envelope (Envelope.DeadlineUnixNano) so the source relay
+// serves under the requester's remaining budget, and cancellation aborts
+// in-flight transport sends. Redundant relay addresses can be raced with
+// hedged fan-out (relay.WithHedging) instead of sequential failover, and
+// core.Client.RemoteQueryBatch fans many queries out under one shared
+// deadline with bounded parallelism.
 //
-//   - internal/core        — public interop API (EnableInterop, Client.RemoteQuery)
-//   - internal/relay       — relay service, discovery, transports, drivers
+// The module layout — everything lives under internal/; programs in cmd/
+// and examples/ are the runnable surface:
+//
+//   - internal/core        — application-facing interop layer: EnableInterop,
+//     Client (RemoteQuery/RemoteInvoke/RemoteQueryBatch), governance ops
+//   - internal/relay       — relay service, discovery, transports (in-process
+//     hub, TCP, pooled TCP), hedged fan-out, pluggable drivers
 //   - internal/wire        — network-neutral protocol codec and messages
 //   - internal/proof       — attestation proofs and verification
 //   - internal/policy      — access-control rules and verification policies
@@ -17,9 +29,14 @@
 //   - internal/fabric      — the Fabric-model platform substrate (MSPs,
 //     endorsement, ordering, MVCC validation, gateway)
 //   - internal/notary      — a second, notary-attested platform substrate
+//   - internal/htlc        — hash-time-locked contract chaincode for swaps
 //   - internal/apps        — the paper's STL / SWT use-case applications
+//   - cmd/                 — relayd, interopctl, netadmin, slocreport
+//   - examples/            — quickstart, tradefinance, multirelay,
+//     crossplatform, atomicswap walkthroughs
 //
-// See README.md for a walkthrough, DESIGN.md for the system inventory and
-// EXPERIMENTS.md for the paper-versus-measured record. The bench_test.go
-// file in this directory regenerates every experiment.
+// See README.md for a walkthrough. The bench_test.go file in this
+// directory regenerates every experiment (E1-E7 mirror the paper's
+// evaluation; P1-P8 are supplemental performance characterizations,
+// including the hedged-fan-out and batched-query measurements).
 package repro

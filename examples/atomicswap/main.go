@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"fmt"
 	"log"
@@ -55,6 +56,7 @@ func adminOf(n *core.Network, orgID string) (*fabric.Gateway, error) {
 }
 
 func run() error {
+	ctx := context.Background()
 	hub := relay.NewHub()
 	registry := relay.NewStaticRegistry()
 
@@ -115,10 +117,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if _, err := aliceGold.Submit(htlc.ChaincodeName, htlc.FnMint, []byte("alice"), []byte("100")); err != nil {
+	if _, err := aliceGold.Submit(ctx, htlc.ChaincodeName, htlc.FnMint, []byte("alice"), []byte("100")); err != nil {
 		return err
 	}
-	if _, err := bobSilver.Submit(htlc.ChaincodeName, htlc.FnMint, []byte("bob"), []byte("50")); err != nil {
+	if _, err := bobSilver.Submit(ctx, htlc.ChaincodeName, htlc.FnMint, []byte("bob"), []byte("50")); err != nil {
 		return err
 	}
 	fmt.Println("   alice holds 100 gold; bob holds 50 silver")
@@ -134,24 +136,24 @@ func run() error {
 			[]byte(strconv.FormatInt(amount, 10)),
 		}
 	}
-	if _, err := aliceGold.Submit(htlc.ChaincodeName, htlc.FnLock,
+	if _, err := aliceGold.Submit(ctx, htlc.ChaincodeName, htlc.FnLock,
 		lockArgs("swap-g", "bob", time.Now().Add(2*time.Hour), 40)...); err != nil {
 		return err
 	}
 	fmt.Println("   1. alice locked 40 gold for bob (expiry 2h)")
-	if _, err := bobSilver.Submit(htlc.ChaincodeName, htlc.FnLock,
+	if _, err := bobSilver.Submit(ctx, htlc.ChaincodeName, htlc.FnLock,
 		lockArgs("swap-s", "alice", time.Now().Add(time.Hour), 20)...); err != nil {
 		return err
 	}
 	fmt.Println("   2. bob locked 20 silver for alice (expiry 1h)")
 
-	if _, err := aliceSilver.Submit(htlc.ChaincodeName, htlc.FnClaim,
+	if _, err := aliceSilver.Submit(ctx, htlc.ChaincodeName, htlc.FnClaim,
 		[]byte("swap-s"), []byte(hex.EncodeToString(preimage))); err != nil {
 		return err
 	}
 	fmt.Println("   3. alice claimed the silver, revealing the preimage on silver-net")
 
-	data, err := bobGold.RemoteQuery(core.RemoteQuerySpec{
+	data, err := bobGold.RemoteQuery(ctx, core.RemoteQuerySpec{
 		Network: "silver", Contract: htlc.ChaincodeName, Function: htlc.FnGetLock,
 		Args: [][]byte{[]byte("swap-s")},
 	})
@@ -165,14 +167,14 @@ func run() error {
 	fmt.Printf("   4. bob fetched the revealed preimage cross-network with proof (%d attestations)\n",
 		len(data.Bundle.Elements))
 
-	if _, err := bobGold.Submit(htlc.ChaincodeName, htlc.FnClaim,
+	if _, err := bobGold.Submit(ctx, htlc.ChaincodeName, htlc.FnClaim,
 		[]byte("swap-g"), []byte(revealed.Preimage)); err != nil {
 		return err
 	}
 	fmt.Println("   5. bob claimed the gold with the proven preimage")
 
-	bobGoldBal, _ := bobGold.Evaluate(htlc.ChaincodeName, htlc.FnBalance, []byte("bob"))
-	aliceSilverBal, _ := aliceSilver.Evaluate(htlc.ChaincodeName, htlc.FnBalance, []byte("alice"))
+	bobGoldBal, _ := bobGold.Evaluate(ctx, htlc.ChaincodeName, htlc.FnBalance, []byte("bob"))
+	aliceSilverBal, _ := aliceSilver.Evaluate(ctx, htlc.ChaincodeName, htlc.FnBalance, []byte("alice"))
 	fmt.Printf("final: bob holds %s gold, alice holds %s silver — swap complete\n", bobGoldBal, aliceSilverBal)
 	return nil
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,6 +22,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	fmt.Println("== building notary-hosted TradeLens + Fabric-hosted We.Trade ==")
 	world, err := scenario.BuildCrossPlatform()
 	if err != nil {
@@ -57,27 +59,27 @@ func run() error {
 		LCID: "lc-5001", PORef: "po-1001", Buyer: "Globex", Seller: "Acme",
 		Amount: 2_500_000_00, Currency: "USD",
 	}
-	if _, err := buyer.RequestLC(lc); err != nil {
+	if _, err := buyer.RequestLC(ctx, lc); err != nil {
 		return err
 	}
-	if _, err := buyer.IssueLC("lc-5001"); err != nil {
+	if _, err := buyer.IssueLC(ctx, "lc-5001"); err != nil {
 		return err
 	}
-	if _, err := seller.AcceptLC("lc-5001"); err != nil {
+	if _, err := seller.AcceptLC(ctx, "lc-5001"); err != nil {
 		return err
 	}
 
 	fmt.Println("== cross-platform query: Fabric network verifies notary attestations ==")
-	updated, err := seller.FetchAndUploadBL("lc-5001", "po-1001")
+	updated, err := seller.FetchAndUploadBL(ctx, "lc-5001", "po-1001")
 	if err != nil {
 		return err
 	}
 	fmt.Printf("   L/C %s now %s with verified B/L %s\n", updated.LCID, updated.Status, updated.BLID)
 
-	if _, err := seller.RequestPayment("lc-5001"); err != nil {
+	if _, err := seller.RequestPayment(ctx, "lc-5001"); err != nil {
 		return err
 	}
-	payment, err := buyer.MakePayment("lc-5001")
+	payment, err := buyer.MakePayment(ctx, "lc-5001")
 	if err != nil {
 		return err
 	}

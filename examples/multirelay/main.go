@@ -6,9 +6,11 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/apps/scenario"
 	"repro/internal/apps/tradelens"
@@ -28,6 +30,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	hub := relay.NewHub()
 	registry := relay.NewStaticRegistry()
 	world, err := scenario.BuildWith(registry, hub)
@@ -47,16 +50,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if _, err := actors.STLSeller.CreateShipment("po-1001", "S", "B", "goods"); err != nil {
+	if _, err := actors.STLSeller.CreateShipment(ctx, "po-1001", "S", "B", "goods"); err != nil {
 		return err
 	}
-	if _, err := actors.STLCarrier.BookShipment("po-1001", "C"); err != nil {
+	if _, err := actors.STLCarrier.BookShipment(ctx, "po-1001", "C"); err != nil {
 		return err
 	}
-	if _, err := actors.STLCarrier.RecordGateIn("po-1001"); err != nil {
+	if _, err := actors.STLCarrier.RecordGateIn(ctx, "po-1001"); err != nil {
 		return err
 	}
-	if err := actors.STLCarrier.IssueBillOfLading(&tradelens.BillOfLading{
+	if err := actors.STLCarrier.IssueBillOfLading(ctx, &tradelens.BillOfLading{
 		BLID: "bl-1", PORef: "po-1001", Carrier: "C",
 	}); err != nil {
 		return err
@@ -71,21 +74,36 @@ func run() error {
 	client := actors.SWTSeller.Client()
 
 	fmt.Println("== both relays up ==")
-	if _, err := client.RemoteQuery(spec); err != nil {
+	if _, err := client.RemoteQuery(ctx, spec); err != nil {
 		return err
 	}
 	fmt.Println("   query served")
 
 	fmt.Println("== primary relay crashed ==")
 	hub.SetDown(primaryAddr, true)
-	if _, err := client.RemoteQuery(spec); err != nil {
+	if _, err := client.RemoteQuery(ctx, spec); err != nil {
 		return fmt.Errorf("failover query failed: %w", err)
 	}
 	fmt.Println("   query failed over to the standby relay and was served")
 
+	fmt.Println("== primary hung, not crashed: the deadline bounds the stall ==")
+	hub.SetDown(primaryAddr, false)
+	hub.SetStall(primaryAddr, true)
+	deadlineCtx, cancel := context.WithTimeout(ctx, 500*time.Millisecond)
+	start := time.Now()
+	_, err = client.RemoteQuery(deadlineCtx, spec)
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("expected deadline expiry against the hung relay, got %v", err)
+	}
+	fmt.Printf("   query returned in %s instead of hanging forever: %v\n",
+		time.Since(start).Round(time.Millisecond), err)
+	hub.SetStall(primaryAddr, false)
+
 	fmt.Println("== both relays down (the paper's DoS scenario) ==")
+	hub.SetDown(primaryAddr, true)
 	hub.SetDown(standbyAddr, true)
-	_, err = client.RemoteQuery(spec)
+	_, err = client.RemoteQuery(ctx, spec)
 	if err == nil {
 		return errors.New("query succeeded with every relay down")
 	}
@@ -93,7 +111,7 @@ func run() error {
 
 	fmt.Println("== primary restored ==")
 	hub.SetDown(primaryAddr, false)
-	if _, err := client.RemoteQuery(spec); err != nil {
+	if _, err := client.RemoteQuery(ctx, spec); err != nil {
 		return err
 	}
 	fmt.Println("   service recovered")

@@ -4,8 +4,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro/internal/chaincode"
 	"repro/internal/core"
@@ -134,7 +136,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	data, err := client.RemoteQuery(core.RemoteQuerySpec{
+	// Every request-path call is context-first: this deadline travels in
+	// the envelope, so the source relay inherits the remaining budget.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	data, err := client.RemoteQuery(ctx, core.RemoteQuerySpec{
 		Network:  "alpha-net",
 		Contract: "records",
 		Function: "Get",
@@ -160,7 +166,7 @@ func run() error {
 	}
 
 	fmt.Println("== local transaction embedding the proof (Fig. 2 step 10) ==")
-	verified, err := client.Submit("import", "Import", data.BundleBytes, []byte("invoice-42"))
+	verified, err := client.Submit(ctx, "import", "Import", data.BundleBytes, []byte("invoice-42"))
 	if err != nil {
 		return err
 	}

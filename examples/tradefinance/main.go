@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -23,6 +24,7 @@ func main() {
 }
 
 func run() error {
+	ctx := context.Background()
 	fmt.Println("== building STL (TradeLens) and SWT (We.Trade), wiring relays ==")
 	world, err := scenario.Build()
 	if err != nil {
@@ -38,7 +40,7 @@ func run() error {
 	fmt.Println("   verification policy: AND('seller-org.peer','carrier-org.peer')")
 
 	fmt.Println("== step 1: purchase order po-1001 arranged on STL ==")
-	if _, err := actors.STLSeller.CreateShipment("po-1001", "Acme Exports", "Globex Imports", "4x40ft machinery"); err != nil {
+	if _, err := actors.STLSeller.CreateShipment(ctx, "po-1001", "Acme Exports", "Globex Imports", "4x40ft machinery"); err != nil {
 		return err
 	}
 
@@ -49,13 +51,13 @@ func run() error {
 		BuyerBank: "First Buyer Bank", SellerBank: "Seller Trust",
 		Amount: 2_500_000_00, Currency: "USD",
 	}
-	if _, err := actors.SWTBuyer.RequestLC(lc); err != nil {
+	if _, err := actors.SWTBuyer.RequestLC(ctx, lc); err != nil {
 		return err
 	}
-	if _, err := actors.SWTBuyer.IssueLC("lc-5001"); err != nil {
+	if _, err := actors.SWTBuyer.IssueLC(ctx, "lc-5001"); err != nil {
 		return err
 	}
-	if _, err := actors.SWTSeller.AcceptLC("lc-5001"); err != nil {
+	if _, err := actors.SWTSeller.AcceptLC(ctx, "lc-5001"); err != nil {
 		return err
 	}
 
@@ -65,17 +67,17 @@ func run() error {
 		Result:        []byte(`{"blId":"bl-fake","poRef":"po-1001"}`),
 		Nonce:         []byte("made-up-nonce"),
 	}
-	if err := actors.SWTSeller.UploadForgedBL("lc-5001", forged.Marshal()); err != nil {
+	if err := actors.SWTSeller.UploadForgedBL(ctx, "lc-5001", forged.Marshal()); err != nil {
 		fmt.Printf("   rejected on-chain, as designed: %v\n", firstLine(err))
 	} else {
 		return fmt.Errorf("forged B/L was accepted — this must never happen")
 	}
 
 	fmt.Println("== steps 5-8: booking, gate-in, genuine B/L issued on STL ==")
-	if _, err := actors.STLCarrier.BookShipment("po-1001", "Oceanic Lines"); err != nil {
+	if _, err := actors.STLCarrier.BookShipment(ctx, "po-1001", "Oceanic Lines"); err != nil {
 		return err
 	}
-	if _, err := actors.STLCarrier.RecordGateIn("po-1001"); err != nil {
+	if _, err := actors.STLCarrier.RecordGateIn(ctx, "po-1001"); err != nil {
 		return err
 	}
 	bl := &tradelens.BillOfLading{
@@ -83,30 +85,30 @@ func run() error {
 		Vessel: "MV Meridian", PortFrom: "Shanghai", PortTo: "Rotterdam",
 		Goods: "4x40ft machinery", IssuedAt: time.Now(),
 	}
-	if err := actors.STLCarrier.IssueBillOfLading(bl); err != nil {
+	if err := actors.STLCarrier.IssueBillOfLading(ctx, bl); err != nil {
 		return err
 	}
 	fmt.Println("   bl-7734 committed on STL by consensus of both organizations")
 
 	fmt.Println("== step 9: cross-network query with proof (Fig. 4) ==")
-	updated, err := actors.SWTSeller.FetchAndUploadBL("lc-5001", "po-1001")
+	updated, err := actors.SWTSeller.FetchAndUploadBL(ctx, "lc-5001", "po-1001")
 	if err != nil {
 		return err
 	}
 	fmt.Printf("   L/C %s now %s with verified B/L %s\n", updated.LCID, updated.Status, updated.BLID)
 
 	fmt.Println("== step 10: payment ==")
-	if _, err := actors.SWTSeller.RequestPayment("lc-5001"); err != nil {
+	if _, err := actors.SWTSeller.RequestPayment(ctx, "lc-5001"); err != nil {
 		return err
 	}
-	payment, err := actors.SWTBuyer.MakePayment("lc-5001")
+	payment, err := actors.SWTBuyer.MakePayment(ctx, "lc-5001")
 	if err != nil {
 		return err
 	}
 	fmt.Printf("   settled %d.%02d %s under %s\n",
 		payment.Amount/100, payment.Amount%100, payment.Currency, payment.LCID)
 
-	final, err := actors.SWTBuyer.LC("lc-5001")
+	final, err := actors.SWTBuyer.LC(ctx, "lc-5001")
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/apps/wetrade"
@@ -34,26 +35,26 @@ func TestE6CrossPlatformQuery(t *testing.T) {
 		LCID: "lc-x", PORef: "po-1001", Buyer: "B", Seller: "S",
 		Amount: 100, Currency: "USD",
 	}
-	if _, err := buyer.RequestLC(lc); err != nil {
+	if _, err := buyer.RequestLC(context.Background(), lc); err != nil {
 		t.Fatalf("RequestLC: %v", err)
 	}
-	if _, err := buyer.IssueLC("lc-x"); err != nil {
+	if _, err := buyer.IssueLC(context.Background(), "lc-x"); err != nil {
 		t.Fatalf("IssueLC: %v", err)
 	}
-	if _, err := seller.AcceptLC("lc-x"); err != nil {
+	if _, err := seller.AcceptLC(context.Background(), "lc-x"); err != nil {
 		t.Fatalf("AcceptLC: %v", err)
 	}
-	got, err := seller.FetchAndUploadBL("lc-x", "po-1001")
+	got, err := seller.FetchAndUploadBL(context.Background(), "lc-x", "po-1001")
 	if err != nil {
 		t.Fatalf("FetchAndUploadBL (cross-platform): %v", err)
 	}
 	if got.Status != wetrade.StatusDocsReceived || got.BLID != "bl-7734" {
 		t.Fatalf("LC after upload = %+v", got)
 	}
-	if _, err := seller.RequestPayment("lc-x"); err != nil {
+	if _, err := seller.RequestPayment(context.Background(), "lc-x"); err != nil {
 		t.Fatalf("RequestPayment: %v", err)
 	}
-	if _, err := buyer.MakePayment("lc-x"); err != nil {
+	if _, err := buyer.MakePayment(context.Background(), "lc-x"); err != nil {
 		t.Fatalf("MakePayment: %v", err)
 	}
 }
@@ -69,7 +70,7 @@ func TestE6CrossPlatformDenied(t *testing.T) {
 
 	// The buyer's bank org has no access rule on the notary network.
 	buyer, _ := wetrade.NewBuyerApp(w.SWT, "buyer")
-	_, err = buyer.Client().RemoteQuery(remoteBLQuery("po-1001"))
+	_, err = buyer.Client().RemoteQuery(context.Background(), remoteBLQuery("po-1001"))
 	if err == nil {
 		t.Fatal("unauthorized cross-platform query succeeded")
 	}

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -21,7 +22,7 @@ func TestCrossNetworkBLIssuedEvent(t *testing.T) {
 		t.Fatalf("NewActors: %v", err)
 	}
 
-	events, cancel, err := actors.SWTSeller.Client().SubscribeRemoteEvents(
+	events, cancel, err := actors.SWTSeller.Client().SubscribeRemoteEvents(context.Background(),
 		tradelens.NetworkID, tradelens.EventBLIssued)
 	if err != nil {
 		t.Fatalf("SubscribeRemoteEvents: %v", err)
@@ -29,10 +30,10 @@ func TestCrossNetworkBLIssuedEvent(t *testing.T) {
 	defer cancel()
 	defer w.STL.Relay.StopServing()
 
-	_, _ = actors.STLSeller.CreateShipment("po-ev", "S", "B", "goods")
-	_, _ = actors.STLCarrier.BookShipment("po-ev", "C")
-	_, _ = actors.STLCarrier.RecordGateIn("po-ev")
-	if err := actors.STLCarrier.IssueBillOfLading(&tradelens.BillOfLading{
+	_, _ = actors.STLSeller.CreateShipment(context.Background(), "po-ev", "S", "B", "goods")
+	_, _ = actors.STLCarrier.BookShipment(context.Background(), "po-ev", "C")
+	_, _ = actors.STLCarrier.RecordGateIn(context.Background(), "po-ev")
+	if err := actors.STLCarrier.IssueBillOfLading(context.Background(), &tradelens.BillOfLading{
 		BLID: "bl-ev", PORef: "po-ev", Carrier: "C",
 	}); err != nil {
 		t.Fatalf("IssueBillOfLading: %v", err)

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -25,7 +26,7 @@ func runTradeLifecycle(t testing.TB) (*TradeWorld, *Actors) {
 	}
 
 	// Step 1: seller and carrier arrange shipment against the PO.
-	if _, err := actors.STLSeller.CreateShipment("po-1001", "Acme Exports", "Globex Imports", "4x40ft machinery"); err != nil {
+	if _, err := actors.STLSeller.CreateShipment(context.Background(), "po-1001", "Acme Exports", "Globex Imports", "4x40ft machinery"); err != nil {
 		t.Fatalf("CreateShipment: %v", err)
 	}
 
@@ -36,21 +37,21 @@ func runTradeLifecycle(t testing.TB) (*TradeWorld, *Actors) {
 		BuyerBank: "First Buyer Bank", SellerBank: "Seller Trust",
 		Amount: 2_500_000_00, Currency: "USD",
 	}
-	if _, err := actors.SWTBuyer.RequestLC(lc); err != nil {
+	if _, err := actors.SWTBuyer.RequestLC(context.Background(), lc); err != nil {
 		t.Fatalf("RequestLC: %v", err)
 	}
-	if _, err := actors.SWTBuyer.IssueLC("lc-5001"); err != nil {
+	if _, err := actors.SWTBuyer.IssueLC(context.Background(), "lc-5001"); err != nil {
 		t.Fatalf("IssueLC: %v", err)
 	}
-	if _, err := actors.SWTSeller.AcceptLC("lc-5001"); err != nil {
+	if _, err := actors.SWTSeller.AcceptLC(context.Background(), "lc-5001"); err != nil {
 		t.Fatalf("AcceptLC: %v", err)
 	}
 
 	// Steps 5-8: booking, gate-in, B/L issuance on STL.
-	if _, err := actors.STLCarrier.BookShipment("po-1001", "Oceanic Lines"); err != nil {
+	if _, err := actors.STLCarrier.BookShipment(context.Background(), "po-1001", "Oceanic Lines"); err != nil {
 		t.Fatalf("BookShipment: %v", err)
 	}
-	if _, err := actors.STLCarrier.RecordGateIn("po-1001"); err != nil {
+	if _, err := actors.STLCarrier.RecordGateIn(context.Background(), "po-1001"); err != nil {
 		t.Fatalf("RecordGateIn: %v", err)
 	}
 	bl := &tradelens.BillOfLading{
@@ -58,20 +59,20 @@ func runTradeLifecycle(t testing.TB) (*TradeWorld, *Actors) {
 		Vessel: "MV Meridian", PortFrom: "Shanghai", PortTo: "Rotterdam",
 		Goods: "4x40ft machinery", IssuedAt: time.Now(),
 	}
-	if err := actors.STLCarrier.IssueBillOfLading(bl); err != nil {
+	if err := actors.STLCarrier.IssueBillOfLading(context.Background(), bl); err != nil {
 		t.Fatalf("IssueBillOfLading: %v", err)
 	}
 
 	// Step 9: cross-network query + proof-carrying upload.
-	if _, err := actors.SWTSeller.FetchAndUploadBL("lc-5001", "po-1001"); err != nil {
+	if _, err := actors.SWTSeller.FetchAndUploadBL(context.Background(), "lc-5001", "po-1001"); err != nil {
 		t.Fatalf("FetchAndUploadBL: %v", err)
 	}
 
 	// Step 10: payment request and settlement.
-	if _, err := actors.SWTSeller.RequestPayment("lc-5001"); err != nil {
+	if _, err := actors.SWTSeller.RequestPayment(context.Background(), "lc-5001"); err != nil {
 		t.Fatalf("RequestPayment: %v", err)
 	}
-	if _, err := actors.SWTBuyer.MakePayment("lc-5001"); err != nil {
+	if _, err := actors.SWTBuyer.MakePayment(context.Background(), "lc-5001"); err != nil {
 		t.Fatalf("MakePayment: %v", err)
 	}
 	return w, actors
@@ -79,7 +80,7 @@ func runTradeLifecycle(t testing.TB) (*TradeWorld, *Actors) {
 
 func TestE7TradeLifecycle(t *testing.T) {
 	_, actors := runTradeLifecycle(t)
-	lc, err := actors.SWTBuyer.LC("lc-5001")
+	lc, err := actors.SWTBuyer.LC(context.Background(), "lc-5001")
 	if err != nil {
 		t.Fatalf("LC: %v", err)
 	}
@@ -89,7 +90,7 @@ func TestE7TradeLifecycle(t *testing.T) {
 	if lc.BLID != "bl-7734" {
 		t.Fatalf("recorded B/L = %q", lc.BLID)
 	}
-	shipment, err := actors.STLSeller.Shipment("po-1001")
+	shipment, err := actors.STLSeller.Shipment(context.Background(), "po-1001")
 	if err != nil {
 		t.Fatalf("Shipment: %v", err)
 	}
@@ -108,11 +109,11 @@ func TestE7PaymentBlockedWithoutDocs(t *testing.T) {
 		LCID: "lc-1", PORef: "po-1", Buyer: "B", Seller: "S",
 		Amount: 100, Currency: "USD",
 	}
-	_, _ = actors.SWTBuyer.RequestLC(lc)
-	_, _ = actors.SWTBuyer.IssueLC("lc-1")
-	_, _ = actors.SWTSeller.AcceptLC("lc-1")
+	_, _ = actors.SWTBuyer.RequestLC(context.Background(), lc)
+	_, _ = actors.SWTBuyer.IssueLC(context.Background(), "lc-1")
+	_, _ = actors.SWTSeller.AcceptLC(context.Background(), "lc-1")
 	// No dispatch documents: payment request must fail the state machine.
-	if _, err := actors.SWTSeller.RequestPayment("lc-1"); err == nil {
+	if _, err := actors.SWTSeller.RequestPayment(context.Background(), "lc-1"); err == nil {
 		t.Fatal("payment requested without verified dispatch documents")
 	}
 }
@@ -129,9 +130,9 @@ func TestE7ForgedBLRejected(t *testing.T) {
 		LCID: "lc-9", PORef: "po-9", Buyer: "B", Seller: "S",
 		Amount: 100, Currency: "USD",
 	}
-	_, _ = actors.SWTBuyer.RequestLC(lc)
-	_, _ = actors.SWTBuyer.IssueLC("lc-9")
-	_, _ = actors.SWTSeller.AcceptLC("lc-9")
+	_, _ = actors.SWTBuyer.RequestLC(context.Background(), lc)
+	_, _ = actors.SWTBuyer.IssueLC(context.Background(), "lc-9")
+	_, _ = actors.SWTSeller.AcceptLC(context.Background(), "lc-9")
 
 	// The seller forges a B/L document and wraps it in a bundle with no
 	// valid attestations (they cannot produce STL peer signatures).
@@ -140,11 +141,11 @@ func TestE7ForgedBLRejected(t *testing.T) {
 		Result:        []byte(`{"blId":"bl-fake","poRef":"po-9"}`),
 		Nonce:         []byte("fresh-nonce"),
 	}
-	if err := actors.SWTSeller.UploadForgedBL("lc-9", forged.Marshal()); err == nil {
+	if err := actors.SWTSeller.UploadForgedBL(context.Background(), "lc-9", forged.Marshal()); err == nil {
 		t.Fatal("forged B/L accepted")
 	}
 	// The L/C must still be waiting for documents.
-	got, _ := actors.SWTSeller.LC("lc-9")
+	got, _ := actors.SWTSeller.LC(context.Background(), "lc-9")
 	if got.Status != wetrade.StatusAccepted {
 		t.Fatalf("status after forgery attempt = %s", got.Status)
 	}
@@ -156,17 +157,17 @@ func TestE7CrossNetworkQueryBeforeBLIssued(t *testing.T) {
 		t.Fatalf("Build: %v", err)
 	}
 	actors, _ := w.NewActors()
-	_, _ = actors.STLSeller.CreateShipment("po-2", "S", "B", "goods")
+	_, _ = actors.STLSeller.CreateShipment(context.Background(), "po-2", "S", "B", "goods")
 	lc := &wetrade.LetterOfCredit{
 		LCID: "lc-2", PORef: "po-2", Buyer: "B", Seller: "S",
 		Amount: 100, Currency: "USD",
 	}
-	_, _ = actors.SWTBuyer.RequestLC(lc)
-	_, _ = actors.SWTBuyer.IssueLC("lc-2")
-	_, _ = actors.SWTSeller.AcceptLC("lc-2")
+	_, _ = actors.SWTBuyer.RequestLC(context.Background(), lc)
+	_, _ = actors.SWTBuyer.IssueLC(context.Background(), "lc-2")
+	_, _ = actors.SWTSeller.AcceptLC(context.Background(), "lc-2")
 	// The shipment exists but no B/L yet: the remote query must fail with
 	// the source chaincode's error.
-	_, err = actors.SWTSeller.FetchAndUploadBL("lc-2", "po-2")
+	_, err = actors.SWTSeller.FetchAndUploadBL(context.Background(), "lc-2", "po-2")
 	if err == nil {
 		t.Fatal("fetched a B/L that does not exist")
 	}
@@ -181,21 +182,21 @@ func TestShipmentLifecycleOrderEnforced(t *testing.T) {
 		t.Fatalf("Build: %v", err)
 	}
 	actors, _ := w.NewActors()
-	_, _ = actors.STLSeller.CreateShipment("po-3", "S", "B", "goods")
+	_, _ = actors.STLSeller.CreateShipment(context.Background(), "po-3", "S", "B", "goods")
 	// Gate-in before booking must fail.
-	if _, err := actors.STLCarrier.RecordGateIn("po-3"); err == nil {
+	if _, err := actors.STLCarrier.RecordGateIn(context.Background(), "po-3"); err == nil {
 		t.Fatal("gate-in before booking accepted")
 	}
 	// B/L before gate-in must fail.
-	_, _ = actors.STLCarrier.BookShipment("po-3", "C")
+	_, _ = actors.STLCarrier.BookShipment(context.Background(), "po-3", "C")
 	bl := &tradelens.BillOfLading{BLID: "bl-3", PORef: "po-3", Carrier: "C"}
 	_ = bl
-	if _, err := actors.STLCarrier.RecordGateIn("po-3"); err != nil {
+	if _, err := actors.STLCarrier.RecordGateIn(context.Background(), "po-3"); err != nil {
 		t.Fatalf("gate-in after booking: %v", err)
 	}
 	// Wrong carrier on the B/L must fail.
 	wrong := &tradelens.BillOfLading{BLID: "bl-3", PORef: "po-3", Carrier: "Other Carrier"}
-	if err := actors.STLCarrier.IssueBillOfLading(wrong); err == nil {
+	if err := actors.STLCarrier.IssueBillOfLading(context.Background(), wrong); err == nil {
 		t.Fatal("B/L from wrong carrier accepted")
 	}
 }
@@ -206,10 +207,10 @@ func TestDuplicateShipmentRejected(t *testing.T) {
 		t.Fatalf("Build: %v", err)
 	}
 	actors, _ := w.NewActors()
-	if _, err := actors.STLSeller.CreateShipment("po-4", "S", "B", "goods"); err != nil {
+	if _, err := actors.STLSeller.CreateShipment(context.Background(), "po-4", "S", "B", "goods"); err != nil {
 		t.Fatalf("CreateShipment: %v", err)
 	}
-	if _, err := actors.STLSeller.CreateShipment("po-4", "S", "B", "goods"); err == nil {
+	if _, err := actors.STLSeller.CreateShipment(context.Background(), "po-4", "S", "B", "goods"); err == nil {
 		t.Fatal("duplicate shipment accepted")
 	}
 }
@@ -221,10 +222,10 @@ func TestDuplicateLCRejected(t *testing.T) {
 	}
 	actors, _ := w.NewActors()
 	lc := &wetrade.LetterOfCredit{LCID: "lc-d", PORef: "po-d", Buyer: "B", Seller: "S", Amount: 1, Currency: "USD"}
-	if _, err := actors.SWTBuyer.RequestLC(lc); err != nil {
+	if _, err := actors.SWTBuyer.RequestLC(context.Background(), lc); err != nil {
 		t.Fatalf("RequestLC: %v", err)
 	}
-	if _, err := actors.SWTBuyer.RequestLC(lc); err == nil {
+	if _, err := actors.SWTBuyer.RequestLC(context.Background(), lc); err == nil {
 		t.Fatal("duplicate L/C accepted")
 	}
 }
@@ -237,20 +238,20 @@ func TestBLPORefMismatchRejected(t *testing.T) {
 	actors, _ := w.NewActors()
 
 	// Full STL flow for po-A.
-	_, _ = actors.STLSeller.CreateShipment("po-A", "S", "B", "goods")
-	_, _ = actors.STLCarrier.BookShipment("po-A", "C")
-	_, _ = actors.STLCarrier.RecordGateIn("po-A")
-	_ = actors.STLCarrier.IssueBillOfLading(&tradelens.BillOfLading{BLID: "bl-A", PORef: "po-A", Carrier: "C"})
+	_, _ = actors.STLSeller.CreateShipment(context.Background(), "po-A", "S", "B", "goods")
+	_, _ = actors.STLCarrier.BookShipment(context.Background(), "po-A", "C")
+	_, _ = actors.STLCarrier.RecordGateIn(context.Background(), "po-A")
+	_ = actors.STLCarrier.IssueBillOfLading(context.Background(), &tradelens.BillOfLading{BLID: "bl-A", PORef: "po-A", Carrier: "C"})
 
 	// L/C for a DIFFERENT purchase order.
 	lc := &wetrade.LetterOfCredit{LCID: "lc-B", PORef: "po-B", Buyer: "B", Seller: "S", Amount: 1, Currency: "USD"}
-	_, _ = actors.SWTBuyer.RequestLC(lc)
-	_, _ = actors.SWTBuyer.IssueLC("lc-B")
-	_, _ = actors.SWTSeller.AcceptLC("lc-B")
+	_, _ = actors.SWTBuyer.RequestLC(context.Background(), lc)
+	_, _ = actors.SWTBuyer.IssueLC(context.Background(), "lc-B")
+	_, _ = actors.SWTSeller.AcceptLC(context.Background(), "lc-B")
 
 	// Fetching po-A's B/L and attaching it to lc-B must fail: the CMDAC
 	// recomputes the expected query digest from the L/C's own PO ref.
-	if _, err := actors.SWTSeller.FetchAndUploadBL("lc-B", "po-A"); err == nil {
+	if _, err := actors.SWTSeller.FetchAndUploadBL(context.Background(), "lc-B", "po-A"); err == nil {
 		t.Fatal("B/L for a different purchase order accepted")
 	}
 }
@@ -264,10 +265,10 @@ func TestEventsOnLifecycle(t *testing.T) {
 	defer sub.Cancel()
 
 	actors, _ := w.NewActors()
-	_, _ = actors.STLSeller.CreateShipment("po-e", "S", "B", "goods")
-	_, _ = actors.STLCarrier.BookShipment("po-e", "C")
-	_, _ = actors.STLCarrier.RecordGateIn("po-e")
-	_ = actors.STLCarrier.IssueBillOfLading(&tradelens.BillOfLading{BLID: "bl-e", PORef: "po-e", Carrier: "C"})
+	_, _ = actors.STLSeller.CreateShipment(context.Background(), "po-e", "S", "B", "goods")
+	_, _ = actors.STLCarrier.BookShipment(context.Background(), "po-e", "C")
+	_, _ = actors.STLCarrier.RecordGateIn(context.Background(), "po-e")
+	_ = actors.STLCarrier.IssueBillOfLading(context.Background(), &tradelens.BillOfLading{BLID: "bl-e", PORef: "po-e", Carrier: "C"})
 
 	select {
 	case ev := <-sub.C:
@@ -288,15 +289,15 @@ func BenchmarkE1EndToEndTradeQuery(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	_, _ = actors.STLSeller.CreateShipment("po-1001", "S", "B", "goods")
-	_, _ = actors.STLCarrier.BookShipment("po-1001", "C")
-	_, _ = actors.STLCarrier.RecordGateIn("po-1001")
-	_ = actors.STLCarrier.IssueBillOfLading(&tradelens.BillOfLading{BLID: "bl-1", PORef: "po-1001", Carrier: "C"})
+	_, _ = actors.STLSeller.CreateShipment(context.Background(), "po-1001", "S", "B", "goods")
+	_, _ = actors.STLCarrier.BookShipment(context.Background(), "po-1001", "C")
+	_, _ = actors.STLCarrier.RecordGateIn(context.Background(), "po-1001")
+	_ = actors.STLCarrier.IssueBillOfLading(context.Background(), &tradelens.BillOfLading{BLID: "bl-1", PORef: "po-1001", Carrier: "C"})
 
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := actors.SWTSeller.Client().RemoteQuery(remoteBLQuery("po-1001")); err != nil {
+		if _, err := actors.SWTSeller.Client().RemoteQuery(context.Background(), remoteBLQuery("po-1001")); err != nil {
 			b.Fatal(err)
 		}
 	}

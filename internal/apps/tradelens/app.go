@@ -1,6 +1,8 @@
 package tradelens
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/core"
@@ -52,8 +54,8 @@ func NewSellerApp(n *core.Network, name string) (*SellerApp, error) {
 func (a *SellerApp) Client() *core.Client { return a.client }
 
 // CreateShipment registers an export against a purchase order.
-func (a *SellerApp) CreateShipment(poRef, seller, buyer, goods string) (*Shipment, error) {
-	data, err := a.client.Submit(ChaincodeName, FnCreateShipment,
+func (a *SellerApp) CreateShipment(ctx context.Context, poRef, seller, buyer, goods string) (*Shipment, error) {
+	data, err := a.client.Submit(ctx, ChaincodeName, FnCreateShipment,
 		[]byte(poRef), []byte(seller), []byte(buyer), []byte(goods))
 	if err != nil {
 		return nil, err
@@ -62,8 +64,8 @@ func (a *SellerApp) CreateShipment(poRef, seller, buyer, goods string) (*Shipmen
 }
 
 // Shipment fetches a shipment record.
-func (a *SellerApp) Shipment(poRef string) (*Shipment, error) {
-	data, err := a.client.Evaluate(ChaincodeName, FnGetShipment, []byte(poRef))
+func (a *SellerApp) Shipment(ctx context.Context, poRef string) (*Shipment, error) {
+	data, err := a.client.Evaluate(ctx, ChaincodeName, FnGetShipment, []byte(poRef))
 	if err != nil {
 		return nil, err
 	}
@@ -89,8 +91,8 @@ func NewCarrierApp(n *core.Network, name string) (*CarrierApp, error) {
 func (a *CarrierApp) Client() *core.Client { return a.client }
 
 // BookShipment accepts a booking.
-func (a *CarrierApp) BookShipment(poRef, carrier string) (*Shipment, error) {
-	data, err := a.client.Submit(ChaincodeName, FnBookShipment, []byte(poRef), []byte(carrier))
+func (a *CarrierApp) BookShipment(ctx context.Context, poRef, carrier string) (*Shipment, error) {
+	data, err := a.client.Submit(ctx, ChaincodeName, FnBookShipment, []byte(poRef), []byte(carrier))
 	if err != nil {
 		return nil, err
 	}
@@ -98,8 +100,8 @@ func (a *CarrierApp) BookShipment(poRef, carrier string) (*Shipment, error) {
 }
 
 // RecordGateIn records that the goods reached the carrier.
-func (a *CarrierApp) RecordGateIn(poRef string) (*Shipment, error) {
-	data, err := a.client.Submit(ChaincodeName, FnRecordGateIn, []byte(poRef))
+func (a *CarrierApp) RecordGateIn(ctx context.Context, poRef string) (*Shipment, error) {
+	data, err := a.client.Submit(ctx, ChaincodeName, FnRecordGateIn, []byte(poRef))
 	if err != nil {
 		return nil, err
 	}
@@ -107,12 +109,12 @@ func (a *CarrierApp) RecordGateIn(poRef string) (*Shipment, error) {
 }
 
 // IssueBillOfLading records the B/L, completing §4.2 step 8.
-func (a *CarrierApp) IssueBillOfLading(bl *BillOfLading) error {
+func (a *CarrierApp) IssueBillOfLading(ctx context.Context, bl *BillOfLading) error {
 	data, err := bl.Marshal()
 	if err != nil {
 		return err
 	}
-	_, err = a.client.Submit(ChaincodeName, FnIssueBL, data)
+	_, err = a.client.Submit(ctx, ChaincodeName, FnIssueBL, data)
 	return err
 }
 

@@ -2,6 +2,7 @@ package tradelens
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"testing"
@@ -29,33 +30,33 @@ func buildSTL(t testing.TB) (*SellerApp, *CarrierApp) {
 
 func TestShipmentLifecycle(t *testing.T) {
 	seller, carrier := buildSTL(t)
-	s, err := seller.CreateShipment("po-1", "Acme", "Globex", "widgets")
+	s, err := seller.CreateShipment(context.Background(), "po-1", "Acme", "Globex", "widgets")
 	if err != nil {
 		t.Fatalf("CreateShipment: %v", err)
 	}
 	if s.Status != StatusCreated || s.PORef != "po-1" {
 		t.Fatalf("created = %+v", s)
 	}
-	s, err = carrier.BookShipment("po-1", "Oceanic")
+	s, err = carrier.BookShipment(context.Background(), "po-1", "Oceanic")
 	if err != nil {
 		t.Fatalf("BookShipment: %v", err)
 	}
 	if s.Status != StatusBooked || s.Carrier != "Oceanic" {
 		t.Fatalf("booked = %+v", s)
 	}
-	s, err = carrier.RecordGateIn("po-1")
+	s, err = carrier.RecordGateIn(context.Background(), "po-1")
 	if err != nil {
 		t.Fatalf("RecordGateIn: %v", err)
 	}
 	if s.Status != StatusGateIn {
 		t.Fatalf("gate-in = %+v", s)
 	}
-	if err := carrier.IssueBillOfLading(&BillOfLading{
+	if err := carrier.IssueBillOfLading(context.Background(), &BillOfLading{
 		BLID: "bl-1", PORef: "po-1", Carrier: "Oceanic", IssuedAt: time.Now(),
 	}); err != nil {
 		t.Fatalf("IssueBillOfLading: %v", err)
 	}
-	s, err = seller.Shipment("po-1")
+	s, err = seller.Shipment(context.Background(), "po-1")
 	if err != nil {
 		t.Fatalf("Shipment: %v", err)
 	}
@@ -66,10 +67,10 @@ func TestShipmentLifecycle(t *testing.T) {
 
 func TestBLRequiresGateIn(t *testing.T) {
 	seller, carrier := buildSTL(t)
-	_, _ = seller.CreateShipment("po-1", "A", "B", "g")
-	_, _ = carrier.BookShipment("po-1", "C")
+	_, _ = seller.CreateShipment(context.Background(), "po-1", "A", "B", "g")
+	_, _ = carrier.BookShipment(context.Background(), "po-1", "C")
 	// Skipping gate-in: issuing a B/L must fail.
-	if err := carrier.IssueBillOfLading(&BillOfLading{BLID: "bl", PORef: "po-1", Carrier: "C"}); err == nil {
+	if err := carrier.IssueBillOfLading(context.Background(), &BillOfLading{BLID: "bl", PORef: "po-1", Carrier: "C"}); err == nil {
 		t.Fatal("B/L issued before gate-in")
 	}
 }
@@ -92,16 +93,16 @@ func TestBLValidation(t *testing.T) {
 
 func TestGetMissingShipment(t *testing.T) {
 	seller, _ := buildSTL(t)
-	if _, err := seller.Shipment("ghost"); err == nil {
+	if _, err := seller.Shipment(context.Background(), "ghost"); err == nil {
 		t.Fatal("missing shipment returned")
 	}
 }
 
 func TestListShipments(t *testing.T) {
 	seller, _ := buildSTL(t)
-	_, _ = seller.CreateShipment("po-1", "A", "B", "g1")
-	_, _ = seller.CreateShipment("po-2", "A", "B", "g2")
-	data, err := seller.Client().Evaluate(ChaincodeName, FnListShipments)
+	_, _ = seller.CreateShipment(context.Background(), "po-1", "A", "B", "g1")
+	_, _ = seller.CreateShipment(context.Background(), "po-2", "A", "B", "g2")
+	data, err := seller.Client().Evaluate(context.Background(), ChaincodeName, FnListShipments)
 	if err != nil {
 		t.Fatalf("ListShipments: %v", err)
 	}
@@ -116,7 +117,7 @@ func TestListShipments(t *testing.T) {
 
 func TestListShipmentsEmpty(t *testing.T) {
 	seller, _ := buildSTL(t)
-	data, err := seller.Client().Evaluate(ChaincodeName, FnListShipments)
+	data, err := seller.Client().Evaluate(context.Background(), ChaincodeName, FnListShipments)
 	if err != nil {
 		t.Fatalf("ListShipments: %v", err)
 	}
@@ -128,12 +129,12 @@ func TestListShipmentsEmpty(t *testing.T) {
 func TestGetBillOfLadingLocalBypassesACL(t *testing.T) {
 	// Local (non-relay) invocations are not subject to exposure control.
 	seller, carrier := buildSTL(t)
-	_, _ = seller.CreateShipment("po-1", "A", "B", "g")
-	_, _ = carrier.BookShipment("po-1", "C")
-	_, _ = carrier.RecordGateIn("po-1")
-	_ = carrier.IssueBillOfLading(&BillOfLading{BLID: "bl-1", PORef: "po-1", Carrier: "C"})
+	_, _ = seller.CreateShipment(context.Background(), "po-1", "A", "B", "g")
+	_, _ = carrier.BookShipment(context.Background(), "po-1", "C")
+	_, _ = carrier.RecordGateIn(context.Background(), "po-1")
+	_ = carrier.IssueBillOfLading(context.Background(), &BillOfLading{BLID: "bl-1", PORef: "po-1", Carrier: "C"})
 
-	data, err := seller.Client().Evaluate(ChaincodeName, FnGetBillOfLading, []byte("po-1"))
+	data, err := seller.Client().Evaluate(context.Background(), ChaincodeName, FnGetBillOfLading, []byte("po-1"))
 	if err != nil {
 		t.Fatalf("local GetBillOfLading: %v", err)
 	}
@@ -171,7 +172,7 @@ func TestShipmentAdvanceTable(t *testing.T) {
 
 func TestUnknownFunction(t *testing.T) {
 	seller, _ := buildSTL(t)
-	if _, err := seller.Client().Evaluate(ChaincodeName, "Bogus"); err == nil {
+	if _, err := seller.Client().Evaluate(context.Background(), ChaincodeName, "Bogus"); err == nil {
 		t.Fatal("unknown function accepted")
 	}
 }

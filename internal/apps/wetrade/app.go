@@ -1,6 +1,8 @@
 package wetrade
 
 import (
+	"context"
+
 	"fmt"
 
 	"repro/internal/core"
@@ -53,12 +55,12 @@ func NewBuyerApp(n *core.Network, name string) (*BuyerApp, error) {
 func (a *BuyerApp) Client() *core.Client { return a.client }
 
 // RequestLC applies for a letter of credit.
-func (a *BuyerApp) RequestLC(lc *LetterOfCredit) (*LetterOfCredit, error) {
+func (a *BuyerApp) RequestLC(ctx context.Context, lc *LetterOfCredit) (*LetterOfCredit, error) {
 	data, err := lc.Marshal()
 	if err != nil {
 		return nil, err
 	}
-	out, err := a.client.Submit(ChaincodeName, FnRequestLC, data)
+	out, err := a.client.Submit(ctx, ChaincodeName, FnRequestLC, data)
 	if err != nil {
 		return nil, err
 	}
@@ -66,13 +68,13 @@ func (a *BuyerApp) RequestLC(lc *LetterOfCredit) (*LetterOfCredit, error) {
 }
 
 // IssueLC records the buyer's bank issuing the L/C.
-func (a *BuyerApp) IssueLC(lcID string) (*LetterOfCredit, error) {
-	return a.lcOp(FnIssueLC, lcID)
+func (a *BuyerApp) IssueLC(ctx context.Context, lcID string) (*LetterOfCredit, error) {
+	return a.lcOp(ctx, FnIssueLC, lcID)
 }
 
 // MakePayment settles the L/C.
-func (a *BuyerApp) MakePayment(lcID string) (*Payment, error) {
-	data, err := a.client.Submit(ChaincodeName, FnMakePayment, []byte(lcID))
+func (a *BuyerApp) MakePayment(ctx context.Context, lcID string) (*Payment, error) {
+	data, err := a.client.Submit(ctx, ChaincodeName, FnMakePayment, []byte(lcID))
 	if err != nil {
 		return nil, err
 	}
@@ -80,16 +82,16 @@ func (a *BuyerApp) MakePayment(lcID string) (*Payment, error) {
 }
 
 // LC fetches the letter of credit.
-func (a *BuyerApp) LC(lcID string) (*LetterOfCredit, error) {
-	data, err := a.client.Evaluate(ChaincodeName, FnGetLC, []byte(lcID))
+func (a *BuyerApp) LC(ctx context.Context, lcID string) (*LetterOfCredit, error) {
+	data, err := a.client.Evaluate(ctx, ChaincodeName, FnGetLC, []byte(lcID))
 	if err != nil {
 		return nil, err
 	}
 	return UnmarshalLetterOfCredit(data)
 }
 
-func (a *BuyerApp) lcOp(fn, lcID string) (*LetterOfCredit, error) {
-	data, err := a.client.Submit(ChaincodeName, fn, []byte(lcID))
+func (a *BuyerApp) lcOp(ctx context.Context, fn, lcID string) (*LetterOfCredit, error) {
+	data, err := a.client.Submit(ctx, ChaincodeName, fn, []byte(lcID))
 	if err != nil {
 		return nil, err
 	}
@@ -116,8 +118,8 @@ func NewSellerApp(n *core.Network, name string) (*SellerApp, error) {
 func (a *SellerApp) Client() *core.Client { return a.client }
 
 // AcceptLC records the seller's bank accepting the L/C.
-func (a *SellerApp) AcceptLC(lcID string) (*LetterOfCredit, error) {
-	data, err := a.client.Submit(ChaincodeName, FnAcceptLC, []byte(lcID))
+func (a *SellerApp) AcceptLC(ctx context.Context, lcID string) (*LetterOfCredit, error) {
+	data, err := a.client.Submit(ctx, ChaincodeName, FnAcceptLC, []byte(lcID))
 	if err != nil {
 		return nil, err
 	}
@@ -129,10 +131,11 @@ func (a *SellerApp) AcceptLC(lcID string) (*LetterOfCredit, error) {
 // an UploadDispatchDocs transaction embedding the result and its proof.
 // The destination chaincode re-validates the proof via the CMDAC on every
 // endorsing peer. (§5 reports ~80 SLOC for this application adaptation;
-// the calls below are that adaptation.)
-func (a *SellerApp) FetchAndUploadBL(lcID, poRef string) (*LetterOfCredit, error) {
+// the calls below are that adaptation.) ctx bounds the cross-network query
+// and gates the upload.
+func (a *SellerApp) FetchAndUploadBL(ctx context.Context, lcID, poRef string) (*LetterOfCredit, error) {
 	// interop-adaptation-begin (destination application, §5 ease of adaptation)
-	data, err := a.client.RemoteQuery(core.RemoteQuerySpec{
+	data, err := a.client.RemoteQuery(ctx, core.RemoteQuerySpec{
 		Network:  "tradelens",
 		Contract: "TradeLensCC",
 		Function: "GetBillOfLading",
@@ -141,7 +144,7 @@ func (a *SellerApp) FetchAndUploadBL(lcID, poRef string) (*LetterOfCredit, error
 	if err != nil {
 		return nil, fmt.Errorf("wetrade: fetch B/L for %s: %w", poRef, err)
 	}
-	out, err := a.client.Submit(ChaincodeName, FnUploadDispatchDocs, []byte(lcID), data.BundleBytes)
+	out, err := a.client.Submit(ctx, ChaincodeName, FnUploadDispatchDocs, []byte(lcID), data.BundleBytes)
 	// interop-adaptation-end
 	if err != nil {
 		return nil, err
@@ -152,15 +155,15 @@ func (a *SellerApp) FetchAndUploadBL(lcID, poRef string) (*LetterOfCredit, error
 // UploadForgedBL attempts to upload a document without a valid proof — the
 // fraud the interoperation step exists to prevent. It is exercised by the
 // E7 experiments and always fails on-chain.
-func (a *SellerApp) UploadForgedBL(lcID string, forgedBundle []byte) error {
-	_, err := a.client.Submit(ChaincodeName, FnUploadDispatchDocs, []byte(lcID), forgedBundle)
+func (a *SellerApp) UploadForgedBL(ctx context.Context, lcID string, forgedBundle []byte) error {
+	_, err := a.client.Submit(ctx, ChaincodeName, FnUploadDispatchDocs, []byte(lcID), forgedBundle)
 	return err
 }
 
 // RequestPayment claims payment under the L/C; the chaincode enforces that
 // verified dispatch documents were uploaded first.
-func (a *SellerApp) RequestPayment(lcID string) (*LetterOfCredit, error) {
-	data, err := a.client.Submit(ChaincodeName, FnRequestPayment, []byte(lcID))
+func (a *SellerApp) RequestPayment(ctx context.Context, lcID string) (*LetterOfCredit, error) {
+	data, err := a.client.Submit(ctx, ChaincodeName, FnRequestPayment, []byte(lcID))
 	if err != nil {
 		return nil, err
 	}
@@ -168,8 +171,8 @@ func (a *SellerApp) RequestPayment(lcID string) (*LetterOfCredit, error) {
 }
 
 // LC fetches the letter of credit.
-func (a *SellerApp) LC(lcID string) (*LetterOfCredit, error) {
-	data, err := a.client.Evaluate(ChaincodeName, FnGetLC, []byte(lcID))
+func (a *SellerApp) LC(ctx context.Context, lcID string) (*LetterOfCredit, error) {
+	data, err := a.client.Evaluate(ctx, ChaincodeName, FnGetLC, []byte(lcID))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package wetrade
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -124,13 +125,13 @@ func interopSWT(t *testing.T, f *stlFixture) (*BuyerApp, *SellerApp) {
 func acceptedLC(t *testing.T, buyer *BuyerApp, seller *SellerApp, lcID, poRef string) {
 	t.Helper()
 	lc := &LetterOfCredit{LCID: lcID, PORef: poRef, Buyer: "B", Seller: "S", Amount: 100, Currency: "USD"}
-	if _, err := buyer.RequestLC(lc); err != nil {
+	if _, err := buyer.RequestLC(context.Background(), lc); err != nil {
 		t.Fatalf("RequestLC: %v", err)
 	}
-	if _, err := buyer.IssueLC(lcID); err != nil {
+	if _, err := buyer.IssueLC(context.Background(), lcID); err != nil {
 		t.Fatalf("IssueLC: %v", err)
 	}
-	if _, err := seller.AcceptLC(lcID); err != nil {
+	if _, err := seller.AcceptLC(context.Background(), lcID); err != nil {
 		t.Fatalf("AcceptLC: %v", err)
 	}
 }
@@ -141,7 +142,7 @@ func TestUploadDispatchDocsWithValidProof(t *testing.T) {
 	acceptedLC(t, buyer, seller, "lc-1", "po-1")
 
 	bundle := f.bundleFor(t, "po-1", []byte(`{"blId":"bl-9","poRef":"po-1"}`))
-	got, err := seller.Client().Submit(ChaincodeName, FnUploadDispatchDocs, []byte("lc-1"), bundle)
+	got, err := seller.Client().Submit(context.Background(), ChaincodeName, FnUploadDispatchDocs, []byte("lc-1"), bundle)
 	if err != nil {
 		t.Fatalf("UploadDispatchDocs: %v", err)
 	}
@@ -151,10 +152,10 @@ func TestUploadDispatchDocsWithValidProof(t *testing.T) {
 	}
 
 	// The full payment tail now runs inside this package.
-	if _, err := seller.RequestPayment("lc-1"); err != nil {
+	if _, err := seller.RequestPayment(context.Background(), "lc-1"); err != nil {
 		t.Fatalf("RequestPayment: %v", err)
 	}
-	payment, err := buyer.MakePayment("lc-1")
+	payment, err := buyer.MakePayment(context.Background(), "lc-1")
 	if err != nil {
 		t.Fatalf("MakePayment: %v", err)
 	}
@@ -162,7 +163,7 @@ func TestUploadDispatchDocsWithValidProof(t *testing.T) {
 		t.Fatalf("payment = %+v", payment)
 	}
 	// Settlement record readable.
-	data, err := buyer.Client().Evaluate(ChaincodeName, FnGetPayment, []byte("lc-1"))
+	data, err := buyer.Client().Evaluate(context.Background(), ChaincodeName, FnGetPayment, []byte("lc-1"))
 	if err != nil {
 		t.Fatalf("GetPayment: %v", err)
 	}
@@ -178,7 +179,7 @@ func TestUploadDispatchDocsWrongPO(t *testing.T) {
 
 	// Proof answers po-OTHER; the L/C covers po-2.
 	bundle := f.bundleFor(t, "po-OTHER", []byte(`{"blId":"bl-9","poRef":"po-OTHER"}`))
-	if _, err := seller.Client().Submit(ChaincodeName, FnUploadDispatchDocs, []byte("lc-2"), bundle); err == nil {
+	if _, err := seller.Client().Submit(context.Background(), ChaincodeName, FnUploadDispatchDocs, []byte("lc-2"), bundle); err == nil {
 		t.Fatal("B/L for another purchase order accepted")
 	}
 }
@@ -190,7 +191,7 @@ func TestUploadDispatchDocsNotJSON(t *testing.T) {
 
 	// Valid proof over a non-B/L document.
 	bundle := f.bundleFor(t, "po-3", []byte("not json at all"))
-	if _, err := seller.Client().Submit(ChaincodeName, FnUploadDispatchDocs, []byte("lc-3"), bundle); err == nil {
+	if _, err := seller.Client().Submit(context.Background(), ChaincodeName, FnUploadDispatchDocs, []byte("lc-3"), bundle); err == nil {
 		t.Fatal("non-B/L document accepted")
 	}
 }
@@ -201,7 +202,7 @@ func TestUploadDispatchDocsMissingBLID(t *testing.T) {
 	acceptedLC(t, buyer, seller, "lc-4", "po-4")
 
 	bundle := f.bundleFor(t, "po-4", []byte(`{"poRef":"po-4"}`))
-	if _, err := seller.Client().Submit(ChaincodeName, FnUploadDispatchDocs, []byte("lc-4"), bundle); err == nil {
+	if _, err := seller.Client().Submit(context.Background(), ChaincodeName, FnUploadDispatchDocs, []byte("lc-4"), bundle); err == nil {
 		t.Fatal("B/L without identifier accepted")
 	}
 }
@@ -214,7 +215,7 @@ func TestUploadDispatchDocsEmitsEvent(t *testing.T) {
 	sub := seller.Client().Gateway().Network().SubscribeEvents(ChaincodeName, EventDocsReceived)
 	defer sub.Cancel()
 	bundle := f.bundleFor(t, "po-5", []byte(`{"blId":"bl-5","poRef":"po-5"}`))
-	if _, err := seller.Client().Submit(ChaincodeName, FnUploadDispatchDocs, []byte("lc-5"), bundle); err != nil {
+	if _, err := seller.Client().Submit(context.Background(), ChaincodeName, FnUploadDispatchDocs, []byte("lc-5"), bundle); err != nil {
 		t.Fatalf("UploadDispatchDocs: %v", err)
 	}
 	select {

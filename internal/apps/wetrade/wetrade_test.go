@@ -1,6 +1,7 @@
 package wetrade
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"testing"
@@ -35,18 +36,18 @@ func sampleLC(id string) *LetterOfCredit {
 
 func TestLCLifecycleToAccepted(t *testing.T) {
 	buyer, seller := buildSWT(t)
-	lc, err := buyer.RequestLC(sampleLC("1"))
+	lc, err := buyer.RequestLC(context.Background(), sampleLC("1"))
 	if err != nil {
 		t.Fatalf("RequestLC: %v", err)
 	}
 	if lc.Status != StatusRequested {
 		t.Fatalf("status = %s", lc.Status)
 	}
-	lc, err = buyer.IssueLC("1")
+	lc, err = buyer.IssueLC(context.Background(), "1")
 	if err != nil || lc.Status != StatusIssued {
 		t.Fatalf("IssueLC: %+v, %v", lc, err)
 	}
-	lc, err = seller.AcceptLC("1")
+	lc, err = seller.AcceptLC(context.Background(), "1")
 	if err != nil || lc.Status != StatusAccepted {
 		t.Fatalf("AcceptLC: %+v, %v", lc, err)
 	}
@@ -69,36 +70,36 @@ func TestLCValidation(t *testing.T) {
 
 func TestOutOfOrderTransitions(t *testing.T) {
 	buyer, seller := buildSWT(t)
-	_, _ = buyer.RequestLC(sampleLC("1"))
+	_, _ = buyer.RequestLC(context.Background(), sampleLC("1"))
 
 	// Accept before issue.
-	if _, err := seller.AcceptLC("1"); err == nil {
+	if _, err := seller.AcceptLC(context.Background(), "1"); err == nil {
 		t.Fatal("accept before issue allowed")
 	}
 	// Pay before anything.
-	if _, err := buyer.MakePayment("1"); err == nil {
+	if _, err := buyer.MakePayment(context.Background(), "1"); err == nil {
 		t.Fatal("payment on requested L/C allowed")
 	}
 	// Double issue.
-	if _, err := buyer.IssueLC("1"); err != nil {
+	if _, err := buyer.IssueLC(context.Background(), "1"); err != nil {
 		t.Fatalf("IssueLC: %v", err)
 	}
-	if _, err := buyer.IssueLC("1"); err == nil {
+	if _, err := buyer.IssueLC(context.Background(), "1"); err == nil {
 		t.Fatal("double issue allowed")
 	}
 }
 
 func TestUploadDocsRequiresValidProof(t *testing.T) {
 	buyer, seller := buildSWT(t)
-	_, _ = buyer.RequestLC(sampleLC("1"))
-	_, _ = buyer.IssueLC("1")
-	_, _ = seller.AcceptLC("1")
+	_, _ = buyer.RequestLC(context.Background(), sampleLC("1"))
+	_, _ = buyer.IssueLC(context.Background(), "1")
+	_, _ = seller.AcceptLC(context.Background(), "1")
 	// Garbage bundle must fail inside the CMDAC.
-	if err := seller.UploadForgedBL("1", []byte{0xFF, 0xFE}); err == nil {
+	if err := seller.UploadForgedBL(context.Background(), "1", []byte{0xFF, 0xFE}); err == nil {
 		t.Fatal("garbage bundle accepted")
 	}
 	// The state machine must not have advanced.
-	lc, _ := seller.LC("1")
+	lc, _ := seller.LC(context.Background(), "1")
 	if lc.Status != StatusAccepted {
 		t.Fatalf("status = %s", lc.Status)
 	}
@@ -106,17 +107,17 @@ func TestUploadDocsRequiresValidProof(t *testing.T) {
 
 func TestGetPayment(t *testing.T) {
 	buyer, _ := buildSWT(t)
-	_, _ = buyer.RequestLC(sampleLC("1"))
-	if _, err := buyer.Client().Evaluate(ChaincodeName, FnGetPayment, []byte("1")); err == nil {
+	_, _ = buyer.RequestLC(context.Background(), sampleLC("1"))
+	if _, err := buyer.Client().Evaluate(context.Background(), ChaincodeName, FnGetPayment, []byte("1")); err == nil {
 		t.Fatal("payment returned before settlement")
 	}
 }
 
 func TestListLCs(t *testing.T) {
 	buyer, _ := buildSWT(t)
-	_, _ = buyer.RequestLC(sampleLC("1"))
-	_, _ = buyer.RequestLC(sampleLC("2"))
-	data, err := buyer.Client().Evaluate(ChaincodeName, FnListLCs)
+	_, _ = buyer.RequestLC(context.Background(), sampleLC("1"))
+	_, _ = buyer.RequestLC(context.Background(), sampleLC("2"))
+	data, err := buyer.Client().Evaluate(context.Background(), ChaincodeName, FnListLCs)
 	if err != nil {
 		t.Fatalf("ListLCs: %v", err)
 	}
@@ -131,7 +132,7 @@ func TestListLCs(t *testing.T) {
 
 func TestGetMissingLC(t *testing.T) {
 	buyer, _ := buildSWT(t)
-	if _, err := buyer.LC("ghost"); err == nil {
+	if _, err := buyer.LC(context.Background(), "ghost"); err == nil {
 		t.Fatal("missing L/C returned")
 	}
 }
@@ -165,7 +166,7 @@ func TestLCAdvanceTable(t *testing.T) {
 
 func TestUnknownFunction(t *testing.T) {
 	buyer, _ := buildSWT(t)
-	if _, err := buyer.Client().Evaluate(ChaincodeName, "Bogus"); err == nil {
+	if _, err := buyer.Client().Evaluate(context.Background(), ChaincodeName, "Bogus"); err == nil {
 		t.Fatal("unknown function accepted")
 	}
 }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// DefaultBatchParallelism bounds how many cross-network queries a
+// RemoteQueryBatch keeps in flight at once when the client has no explicit
+// limit configured.
+const DefaultBatchParallelism = 8
+
+// BatchResult pairs one spec of a RemoteQueryBatch with its outcome. Data
+// is nil exactly when Err is non-nil.
+type BatchResult struct {
+	// Spec echoes the query spec this result answers.
+	Spec RemoteQuerySpec
+	// Data is the verified remote data on success.
+	Data *RemoteData
+	// Err is the per-query failure, including ctx.Err() for specs that
+	// never ran because the shared deadline expired first.
+	Err error
+}
+
+// SetBatchParallelism overrides the in-flight bound RemoteQueryBatch uses.
+// Values below one restore DefaultBatchParallelism. Not safe to call
+// concurrently with RemoteQueryBatch.
+func (c *Client) SetBatchParallelism(n int) {
+	if n < 1 {
+		n = 0
+	}
+	c.batchParallelism = n
+}
+
+func (c *Client) batchLimit() int {
+	if c.batchParallelism > 0 {
+		return c.batchParallelism
+	}
+	return DefaultBatchParallelism
+}
+
+// RemoteQueryBatch fans a slice of query specs out concurrently under one
+// shared context: every query inherits ctx's deadline, at most
+// the configured parallelism are in flight at once, and the returned slice
+// is index-aligned with specs. Individual failures land in their
+// BatchResult rather than aborting the batch; a cancelled or expired ctx
+// surfaces as ctx.Err() on every spec that had not completed.
+func (c *Client) RemoteQueryBatch(ctx context.Context, specs []RemoteQuerySpec) []BatchResult {
+	results := make([]BatchResult, len(specs))
+	if len(specs) == 0 {
+		return results
+	}
+	limit := c.batchLimit()
+	if limit > len(specs) {
+		limit = len(specs)
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i := range specs {
+		results[i].Spec = specs[i]
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			// Shared deadline expired: mark this and every remaining spec
+			// without launching them.
+			for j := i; j < len(specs); j++ {
+				results[j].Spec = specs[j]
+				results[j].Err = ctx.Err()
+			}
+			wg.Wait()
+			return results
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			data, err := c.RemoteQuery(ctx, specs[i])
+			results[i].Data, results[i].Err = data, err
+		}(i)
+	}
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// seedDocs commits n documents on the source ledger and returns their specs.
+func seedDocs(t *testing.T, w *world, n int) []RemoteQuerySpec {
+	t.Helper()
+	specs := make([]RemoteQuerySpec, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		if _, err := w.srcAdmin.Submit("sourceCC", "Put", []byte(key), []byte("v-"+key)); err != nil {
+			t.Fatalf("Put %s: %v", key, err)
+		}
+		specs[i] = RemoteQuerySpec{
+			Network: "source-net", Contract: "sourceCC", Function: "Get",
+			Args: [][]byte{[]byte(key)},
+		}
+	}
+	return specs
+}
+
+func TestRemoteQueryBatch(t *testing.T) {
+	w := buildWorld(t)
+	client, _ := NewClient(w.dest, "seller-bank-org", "c")
+	specs := seedDocs(t, w, 10)
+
+	results := client.RemoteQueryBatch(context.Background(), specs)
+	if len(results) != len(specs) {
+		t.Fatalf("results = %d, want %d", len(results), len(specs))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("spec %d: %v", i, res.Err)
+		}
+		want := []byte(fmt.Sprintf("v-doc-%d", i))
+		if !bytes.Equal(res.Data.Result, want) {
+			t.Fatalf("spec %d result = %q, want %q", i, res.Data.Result, want)
+		}
+		if res.Data.RequestID == "" {
+			t.Fatalf("spec %d missing request ID", i)
+		}
+	}
+}
+
+func TestRemoteQueryBatchPartialFailure(t *testing.T) {
+	w := buildWorld(t)
+	client, _ := NewClient(w.dest, "seller-bank-org", "c")
+	specs := seedDocs(t, w, 3)
+	// A spec against an unknown network fails alone; the rest succeed.
+	specs = append(specs, RemoteQuerySpec{
+		Network: "ghost-net", Contract: "cc", Function: "fn",
+		VerificationPolicy: "'seller-org'",
+	})
+
+	results := client.RemoteQueryBatch(context.Background(), specs)
+	for i := 0; i < 3; i++ {
+		if results[i].Err != nil {
+			t.Fatalf("spec %d: %v", i, results[i].Err)
+		}
+	}
+	if results[3].Err == nil {
+		t.Fatal("ghost-net spec succeeded")
+	}
+}
+
+func TestRemoteQueryBatchSharedDeadline(t *testing.T) {
+	w := buildWorld(t)
+	client, _ := NewClient(w.dest, "seller-bank-org", "c")
+	client.SetBatchParallelism(1)
+	specs := seedDocs(t, w, 4)
+	w.hub.SetStall("source-relay", true)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	results := client.RemoteQueryBatch(ctx, specs)
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("batch blocked %v past the shared 100ms deadline", elapsed)
+	}
+	for i, res := range results {
+		if res.Err == nil {
+			t.Fatalf("spec %d succeeded against a stalled relay", i)
+		}
+		if !errors.Is(res.Err, context.DeadlineExceeded) {
+			t.Fatalf("spec %d err = %v, want DeadlineExceeded", i, res.Err)
+		}
+	}
+}
+
+func TestRemoteQueryBatchEmpty(t *testing.T) {
+	w := buildWorld(t)
+	client, _ := NewClient(w.dest, "seller-bank-org", "c")
+	if results := client.RemoteQueryBatch(context.Background(), nil); len(results) != 0 {
+		t.Fatalf("results = %v, want empty", results)
+	}
+}
+
+func TestSubmitRefusedOnExpiredContext(t *testing.T) {
+	w := buildWorld(t)
+	client, _ := NewClient(w.dest, "seller-bank-org", "c")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := client.Submit(ctx, "destCC", "Read", []byte("x")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit err = %v, want Canceled", err)
+	}
+	if _, err := client.Evaluate(ctx, "destCC", "Read", []byte("x")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Evaluate err = %v, want Canceled", err)
+	}
+	if _, err := client.RemoteQuery(ctx, RemoteQuerySpec{
+		Network: "source-net", Contract: "sourceCC", Function: "Get",
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RemoteQuery err = %v, want Canceled", err)
+	}
+}
+
+// TestRemoteQueryDeadlineEndToEnd: the whole client-level operation returns
+// within its deadline when the source relay is hung.
+func TestRemoteQueryDeadlineEndToEnd(t *testing.T) {
+	w := buildWorld(t)
+	client, _ := NewClient(w.dest, "seller-bank-org", "c")
+	specs := seedDocs(t, w, 1)
+	w.hub.SetStall("source-relay", true)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.RemoteQuery(ctx, specs[0])
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("RemoteQuery blocked %v past its deadline", elapsed)
+	}
+}

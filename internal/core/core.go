@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"crypto/ecdsa"
 	"errors"
 	"fmt"
@@ -37,6 +38,10 @@ type Options struct {
 	// LedgerName is the logical ledger identifier used in query digests.
 	// Empty means "default".
 	LedgerName string
+	// RelayOptions configures the attached relay service, e.g.
+	// relay.WithHedging for hedged fan-out across redundant relay
+	// addresses, or relay.WithRateLimit for server-side DoS protection.
+	RelayOptions []relay.Option
 }
 
 // Network is an interop-enabled permissioned network: the underlying
@@ -80,7 +85,7 @@ func EnableInterop(net *fabric.Network, discovery relay.Discovery, transport rel
 	if ledgerName == "" {
 		ledgerName = "default"
 	}
-	r := relay.New(net.ID(), discovery, transport)
+	r := relay.New(net.ID(), discovery, transport, opts.RelayOptions...)
 	d := relay.NewFabricDriver(net, ledgerName)
 	r.RegisterDriver(net.ID(), d)
 	return &Network{Fabric: net, Relay: r, Driver: d, ledgerName: ledgerName}, nil
@@ -153,6 +158,10 @@ type Client struct {
 	gateway  *fabric.Gateway
 	identity *msp.Identity
 	key      *ecdsa.PrivateKey
+
+	// batchParallelism bounds RemoteQueryBatch fan-out; zero means
+	// DefaultBatchParallelism.
+	batchParallelism int
 }
 
 // NewClient creates a client identity named name under the given
@@ -185,13 +194,21 @@ func (c *Client) Identity() *msp.Identity { return c.identity }
 // Gateway returns the client's local-network gateway.
 func (c *Client) Gateway() *fabric.Gateway { return c.gateway }
 
-// Submit submits a local transaction.
-func (c *Client) Submit(chaincodeName, function string, args ...[]byte) ([]byte, error) {
+// Submit submits a local transaction. ctx gates entry: an already-expired
+// context refuses the submission, but a transaction handed to the platform
+// runs to completion — local consensus cannot be cancelled halfway.
+func (c *Client) Submit(ctx context.Context, chaincodeName, function string, args ...[]byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: submit %s.%s: %w", chaincodeName, function, err)
+	}
 	return c.gateway.Submit(chaincodeName, function, args...)
 }
 
-// Evaluate runs a local read-only query.
-func (c *Client) Evaluate(chaincodeName, function string, args ...[]byte) ([]byte, error) {
+// Evaluate runs a local read-only query. ctx gates entry.
+func (c *Client) Evaluate(ctx context.Context, chaincodeName, function string, args ...[]byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: evaluate %s.%s: %w", chaincodeName, function, err)
+	}
 	return c.gateway.Evaluate(chaincodeName, function, args...)
 }
 
@@ -208,6 +225,13 @@ type RemoteQuerySpec struct {
 	// source network in the local CMDAC. Empty means "use the recorded
 	// policy", which is the paper's initialization-time flow.
 	VerificationPolicy string
+	// RequestID is an optional idempotency key, meaningful for
+	// RemoteInvoke: a retry after an ambiguous failure (the reply was
+	// lost, but the transaction may have committed) should reuse the same
+	// RequestID so the source relay replays the committed outcome instead
+	// of executing the transaction a second time. Empty means the relay
+	// assigns a fresh ID (returned in RemoteData.RequestID).
+	RequestID string
 }
 
 // RemoteData is the outcome of a verified cross-network query: the
@@ -222,6 +246,9 @@ type RemoteData struct {
 	BundleBytes []byte
 	// Query echoes the query that was sent, including the generated nonce.
 	Query *wire.Query
+	// RequestID is the request identifier the relay assigned, as echoed in
+	// the response. The query struct itself is never mutated by the relay.
+	RequestID string
 }
 
 // RemoteQuery performs the complete trusted data transfer of Fig. 2 from
@@ -230,77 +257,73 @@ type RemoteData struct {
 // the proof against the locally recorded source configuration before
 // handing the data back. The authoritative verification still happens on
 // every destination peer when the returned bundle is submitted in a
-// transaction (Data Acceptance).
-func (c *Client) RemoteQuery(spec RemoteQuerySpec) (*RemoteData, error) {
-	policyExpr := spec.VerificationPolicy
-	if policyExpr == "" {
-		data, err := c.gateway.EvaluateString(syscc.CMDACName, syscc.CMDACGetVerificationPolicy, spec.Network, spec.Contract)
-		if err != nil {
-			return nil, fmt.Errorf("%w: verification policy for %q: %v", ErrNotConfigured, spec.Network, err)
-		}
-		vp, err := policy.UnmarshalVerificationPolicy(data)
-		if err != nil {
-			return nil, err
-		}
-		policyExpr = vp.Expr
-	}
-	nonce, err := cryptoutil.NewNonce()
-	if err != nil {
-		return nil, fmt.Errorf("core: nonce: %w", err)
-	}
-	q := &wire.Query{
-		RequestingNetwork: c.network.ID(),
-		TargetNetwork:     spec.Network,
-		Ledger:            c.network.ledgerName,
-		Contract:          spec.Contract,
-		Function:          spec.Function,
-		Args:              spec.Args,
-		PolicyExpr:        policyExpr,
-		RequesterCertPEM:  c.identity.CertPEM(),
-		RequesterOrg:      c.identity.OrgID,
-		Nonce:             nonce,
-	}
-	resp, err := c.network.Relay.Query(q)
+// transaction (Data Acceptance). ctx bounds the entire operation including
+// the remote round-trip; its deadline travels with the query so the source
+// relay inherits the remaining budget.
+func (c *Client) RemoteQuery(ctx context.Context, spec RemoteQuerySpec) (*RemoteData, error) {
+	q, policyExpr, err := c.buildQuery(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
-	bundle, err := proof.OpenResponse(c.key, q, resp)
+	resp, err := c.network.Relay.Query(ctx, q)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.preVerify(q, bundle, policyExpr); err != nil {
-		return nil, err
-	}
-	return &RemoteData{
-		Result:      bundle.Result,
-		Bundle:      bundle,
-		BundleBytes: bundle.Marshal(),
-		Query:       q,
-	}, nil
+	return c.openResponse(q, resp, policyExpr)
 }
 
 // RemoteInvoke performs a cross-network transaction (the §5 extension):
 // the source network executes and commits a state change on behalf of this
 // authorized client, returning the committed response with the same
-// attestation proof a query carries.
-func (c *Client) RemoteInvoke(spec RemoteQuerySpec) (*RemoteData, error) {
+// attestation proof a query carries. ctx bounds the operation; failover
+// stays sequential because a transaction is not idempotent.
+func (c *Client) RemoteInvoke(ctx context.Context, spec RemoteQuerySpec) (*RemoteData, error) {
+	q, policyExpr, err := c.buildQuery(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.network.Relay.Invoke(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return c.openResponse(q, resp, policyExpr)
+}
+
+// buildQuery resolves the verification policy (from the spec or the local
+// CMDAC) and assembles the wire query with a fresh nonce.
+func (c *Client) buildQuery(ctx context.Context, spec RemoteQuerySpec) (*wire.Query, string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, "", fmt.Errorf("core: remote request to %q: %w", spec.Network, err)
+	}
 	policyExpr := spec.VerificationPolicy
 	if policyExpr == "" {
 		data, err := c.gateway.EvaluateString(syscc.CMDACName, syscc.CMDACGetVerificationPolicy, spec.Network, spec.Contract)
 		if err != nil {
-			return nil, fmt.Errorf("%w: verification policy for %q: %v", ErrNotConfigured, spec.Network, err)
+			return nil, "", fmt.Errorf("%w: verification policy for %q: %v", ErrNotConfigured, spec.Network, err)
 		}
 		vp, err := policy.UnmarshalVerificationPolicy(data)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		policyExpr = vp.Expr
 	}
-	nonce, err := cryptoutil.NewNonce()
-	if err != nil {
-		return nil, fmt.Errorf("core: nonce: %w", err)
+	var nonce []byte
+	if spec.RequestID != "" {
+		// Idempotent retries must present the same nonce as the original
+		// attempt or the replayed response's proof (which binds the
+		// original nonce) would never verify. Derive it from the client's
+		// private key and the idempotency key: deterministic for this
+		// client+RequestID, unpredictable to anyone else.
+		nonce = cryptoutil.Digest(c.key.D.Bytes(), []byte("idempotent-nonce"), []byte(spec.RequestID))[:cryptoutil.NonceSize]
+	} else {
+		var err error
+		nonce, err = cryptoutil.NewNonce()
+		if err != nil {
+			return nil, "", fmt.Errorf("core: nonce: %w", err)
+		}
 	}
-	q := &wire.Query{
+	return &wire.Query{
+		RequestID:         spec.RequestID,
 		RequestingNetwork: c.network.ID(),
 		TargetNetwork:     spec.Network,
 		Ledger:            c.network.ledgerName,
@@ -311,11 +334,12 @@ func (c *Client) RemoteInvoke(spec RemoteQuerySpec) (*RemoteData, error) {
 		RequesterCertPEM:  c.identity.CertPEM(),
 		RequesterOrg:      c.identity.OrgID,
 		Nonce:             nonce,
-	}
-	resp, err := c.network.Relay.Invoke(q)
-	if err != nil {
-		return nil, err
-	}
+	}, policyExpr, nil
+}
+
+// openResponse decrypts the response, pre-verifies the proof, and packages
+// the verified remote data.
+func (c *Client) openResponse(q *wire.Query, resp *wire.QueryResponse, policyExpr string) (*RemoteData, error) {
 	bundle, err := proof.OpenResponse(c.key, q, resp)
 	if err != nil {
 		return nil, err
@@ -328,6 +352,7 @@ func (c *Client) RemoteInvoke(spec RemoteQuerySpec) (*RemoteData, error) {
 		Bundle:      bundle,
 		BundleBytes: bundle.Marshal(),
 		Query:       q,
+		RequestID:   resp.RequestID,
 	}, nil
 }
 
@@ -363,17 +388,17 @@ func (c *Client) preVerify(q *wire.Query, bundle *proof.Bundle, policyExpr strin
 // SubmitWithRemoteData submits a local transaction whose arguments include
 // verified remote data (Fig. 2 step 10). The destination chaincode is
 // expected to pass the bundle to the CMDAC for Data Acceptance validation.
-func (c *Client) SubmitWithRemoteData(chaincodeName, function string, data *RemoteData, extraArgs ...[]byte) ([]byte, error) {
+func (c *Client) SubmitWithRemoteData(ctx context.Context, chaincodeName, function string, data *RemoteData, extraArgs ...[]byte) ([]byte, error) {
 	args := make([][]byte, 0, 1+len(extraArgs))
 	args = append(args, data.BundleBytes)
 	args = append(args, extraArgs...)
-	return c.gateway.Submit(chaincodeName, function, args...)
+	return c.Submit(ctx, chaincodeName, function, args...)
 }
 
 // SubscribeRemoteEvents subscribes to committed chaincode events on a
 // remote network (the §7 cross-network events extension). Matching events
-// are pushed back through this network's relay. Cancel releases the
-// subscription.
-func (c *Client) SubscribeRemoteEvents(targetNetwork, eventName string) (<-chan wire.Event, func(), error) {
-	return c.network.Relay.SubscribeRemote(targetNetwork, eventName, c.identity.CertPEM())
+// are pushed back through this network's relay. ctx bounds subscription
+// establishment only; cancel releases the subscription.
+func (c *Client) SubscribeRemoteEvents(ctx context.Context, targetNetwork, eventName string) (<-chan wire.Event, func(), error) {
+	return c.network.Relay.SubscribeRemote(ctx, targetNetwork, eventName, c.identity.CertPEM())
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -148,7 +149,7 @@ func TestEndToEndTrustedDataTransfer(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewClient: %v", err)
 	}
-	data, err := client.RemoteQuery(RemoteQuerySpec{
+	data, err := client.RemoteQuery(context.Background(), RemoteQuerySpec{
 		Network:  "source-net",
 		Contract: "sourceCC",
 		Function: "Get",
@@ -163,14 +164,14 @@ func TestEndToEndTrustedDataTransfer(t *testing.T) {
 
 	// Step 10: local transaction embedding the remote data, validated by
 	// the CMDAC on every destination peer.
-	verified, err := client.SubmitWithRemoteData("destCC", "Accept", data, []byte("bl-77"))
+	verified, err := client.SubmitWithRemoteData(context.Background(), "destCC", "Accept", data, []byte("bl-77"))
 	if err != nil {
 		t.Fatalf("SubmitWithRemoteData: %v", err)
 	}
 	if !bytes.Equal(verified, []byte("the document")) {
 		t.Fatalf("verified = %q", verified)
 	}
-	got, err := client.Evaluate("destCC", "Read", []byte("bl-77"))
+	got, err := client.Evaluate(context.Background(), "destCC", "Read", []byte("bl-77"))
 	if err != nil {
 		t.Fatalf("Read: %v", err)
 	}
@@ -183,7 +184,7 @@ func TestRemoteQueryUsesRecordedPolicy(t *testing.T) {
 	w := buildWorld(t)
 	_, _ = w.srcAdmin.Submit("sourceCC", "Put", []byte("k"), []byte("v"))
 	client, _ := NewClient(w.dest, "seller-bank-org", "c")
-	data, err := client.RemoteQuery(RemoteQuerySpec{
+	data, err := client.RemoteQuery(context.Background(), RemoteQuerySpec{
 		Network: "source-net", Contract: "sourceCC", Function: "Get",
 		Args: [][]byte{[]byte("k")},
 	})
@@ -202,7 +203,7 @@ func TestRemoteQueryUsesRecordedPolicy(t *testing.T) {
 func TestRemoteQueryNoPolicyConfigured(t *testing.T) {
 	w := buildWorld(t)
 	client, _ := NewClient(w.dest, "seller-bank-org", "c")
-	_, err := client.RemoteQuery(RemoteQuerySpec{
+	_, err := client.RemoteQuery(context.Background(), RemoteQuerySpec{
 		Network: "unknown-net", Contract: "cc", Function: "fn",
 	})
 	if !errors.Is(err, ErrNotConfigured) {
@@ -215,7 +216,7 @@ func TestRemoteQueryDeniedOrg(t *testing.T) {
 	_, _ = w.srcAdmin.Submit("sourceCC", "Put", []byte("k"), []byte("v"))
 	// buyer-bank-org has no access rule on the source network.
 	client, _ := NewClient(w.dest, "buyer-bank-org", "nosy-client")
-	_, err := client.RemoteQuery(RemoteQuerySpec{
+	_, err := client.RemoteQuery(context.Background(), RemoteQuerySpec{
 		Network: "source-net", Contract: "sourceCC", Function: "Get",
 		Args: [][]byte{[]byte("k")},
 	})
@@ -232,14 +233,14 @@ func TestRevokeAccessCutsQueries(t *testing.T) {
 		Network: "source-net", Contract: "sourceCC", Function: "Get",
 		Args: [][]byte{[]byte("k")},
 	}
-	if _, err := client.RemoteQuery(spec); err != nil {
+	if _, err := client.RemoteQuery(context.Background(), spec); err != nil {
 		t.Fatalf("query before revoke: %v", err)
 	}
 	rule := policy.AccessRule{Network: "dest-net", Org: "seller-bank-org", Chaincode: "sourceCC", Function: "Get"}
 	if err := w.source.RevokeAccess(w.srcAdmin, rule); err != nil {
 		t.Fatalf("RevokeAccess: %v", err)
 	}
-	if _, err := client.RemoteQuery(spec); err == nil {
+	if _, err := client.RemoteQuery(context.Background(), spec); err == nil {
 		t.Fatal("query after revoke succeeded")
 	}
 }
@@ -248,18 +249,18 @@ func TestReplayedBundleRejectedOnChain(t *testing.T) {
 	w := buildWorld(t)
 	_, _ = w.srcAdmin.Submit("sourceCC", "Put", []byte("bl-77"), []byte("doc"))
 	client, _ := NewClient(w.dest, "seller-bank-org", "c")
-	data, err := client.RemoteQuery(RemoteQuerySpec{
+	data, err := client.RemoteQuery(context.Background(), RemoteQuerySpec{
 		Network: "source-net", Contract: "sourceCC", Function: "Get",
 		Args: [][]byte{[]byte("bl-77")},
 	})
 	if err != nil {
 		t.Fatalf("RemoteQuery: %v", err)
 	}
-	if _, err := client.SubmitWithRemoteData("destCC", "Accept", data, []byte("bl-77")); err != nil {
+	if _, err := client.SubmitWithRemoteData(context.Background(), "destCC", "Accept", data, []byte("bl-77")); err != nil {
 		t.Fatalf("first Accept: %v", err)
 	}
 	// Submitting the same bundle again must fail on nonce replay.
-	if _, err := client.SubmitWithRemoteData("destCC", "Accept", data, []byte("bl-77")); err == nil {
+	if _, err := client.SubmitWithRemoteData(context.Background(), "destCC", "Accept", data, []byte("bl-77")); err == nil {
 		t.Fatal("replayed bundle accepted")
 	}
 }
@@ -268,7 +269,7 @@ func TestTamperedBundleRejectedOnChain(t *testing.T) {
 	w := buildWorld(t)
 	_, _ = w.srcAdmin.Submit("sourceCC", "Put", []byte("bl-77"), []byte("real")) //nolint
 	client, _ := NewClient(w.dest, "seller-bank-org", "c")
-	data, err := client.RemoteQuery(RemoteQuerySpec{
+	data, err := client.RemoteQuery(context.Background(), RemoteQuerySpec{
 		Network: "source-net", Contract: "sourceCC", Function: "Get",
 		Args: [][]byte{[]byte("bl-77")},
 	})
@@ -278,7 +279,7 @@ func TestTamperedBundleRejectedOnChain(t *testing.T) {
 	// Tamper with the result inside the marshaled bundle by rebuilding it.
 	data.Bundle.Result = []byte("fake")
 	data.BundleBytes = data.Bundle.Marshal()
-	if _, err := client.SubmitWithRemoteData("destCC", "Accept", data, []byte("bl-77")); err == nil {
+	if _, err := client.SubmitWithRemoteData(context.Background(), "destCC", "Accept", data, []byte("bl-77")); err == nil {
 		t.Fatal("tampered bundle accepted")
 	}
 }
@@ -315,11 +316,11 @@ func TestDestinationLedgerRecordsValidTx(t *testing.T) {
 	w := buildWorld(t)
 	_, _ = w.srcAdmin.Submit("sourceCC", "Put", []byte("bl-77"), []byte("doc"))
 	client, _ := NewClient(w.dest, "seller-bank-org", "c")
-	data, _ := client.RemoteQuery(RemoteQuerySpec{
+	data, _ := client.RemoteQuery(context.Background(), RemoteQuerySpec{
 		Network: "source-net", Contract: "sourceCC", Function: "Get",
 		Args: [][]byte{[]byte("bl-77")},
 	})
-	if _, err := client.SubmitWithRemoteData("destCC", "Accept", data, []byte("bl-77")); err != nil {
+	if _, err := client.SubmitWithRemoteData(context.Background(), "destCC", "Accept", data, []byte("bl-77")); err != nil {
 		t.Fatalf("Accept: %v", err)
 	}
 	// Every destination peer holds the committed transaction with the
@@ -357,7 +358,7 @@ func BenchmarkRemoteQueryEndToEnd(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.RemoteQuery(spec); err != nil {
+		if _, err := client.RemoteQuery(context.Background(), spec); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -61,7 +62,7 @@ func accessRuleFor(fn string) policy.AccessRule {
 
 func TestRemoteInvokeCommitsOnSource(t *testing.T) {
 	w, client := buildInvokeWorld(t)
-	data, err := client.RemoteInvoke(RemoteQuerySpec{
+	data, err := client.RemoteInvoke(context.Background(), RemoteQuerySpec{
 		Network: "source-net", Contract: "writable", Function: "Append",
 		Args: [][]byte{[]byte("audit"), []byte("entry-1;")},
 	})
@@ -88,7 +89,7 @@ func TestRemoteInvokeCommitsOnSource(t *testing.T) {
 func TestRemoteInvokeSequential(t *testing.T) {
 	w, client := buildInvokeWorld(t)
 	for i := 1; i <= 3; i++ {
-		if _, err := client.RemoteInvoke(RemoteQuerySpec{
+		if _, err := client.RemoteInvoke(context.Background(), RemoteQuerySpec{
 			Network: "source-net", Contract: "writable", Function: "Append",
 			Args: [][]byte{[]byte("audit"), []byte(fmt.Sprintf("e%d;", i))},
 		}); err != nil {
@@ -108,7 +109,7 @@ func TestRemoteInvokeDeniedWithoutRule(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewClient: %v", err)
 	}
-	_, err = other.RemoteInvoke(RemoteQuerySpec{
+	_, err = other.RemoteInvoke(context.Background(), RemoteQuerySpec{
 		Network: "source-net", Contract: "writable", Function: "Append",
 		Args: [][]byte{[]byte("audit"), []byte("evil")},
 	})
@@ -124,7 +125,7 @@ func TestRemoteInvokeDeniedWithoutRule(t *testing.T) {
 
 func TestRemoteInvokeUndeployedContract(t *testing.T) {
 	_, client := buildInvokeWorld(t)
-	if _, err := client.RemoteInvoke(RemoteQuerySpec{
+	if _, err := client.RemoteInvoke(context.Background(), RemoteQuerySpec{
 		Network: "source-net", Contract: "ghost", Function: "Append",
 		Args: [][]byte{[]byte("a"), []byte("b")},
 	}); err == nil {
@@ -138,10 +139,45 @@ func TestRemoteInvokeNotSupportedByNotary(t *testing.T) {
 	// network it serves through a query-only driver stub.
 	w, client := buildInvokeWorld(t)
 	_ = w
-	_, err := client.RemoteInvoke(RemoteQuerySpec{
+	_, err := client.RemoteInvoke(context.Background(), RemoteQuerySpec{
 		Network: "nowhere-net", Contract: "cc", Function: "fn",
 	})
 	if err == nil {
 		t.Fatal("invoke on unknown network succeeded")
+	}
+}
+
+// TestRemoteInvokeIdempotentRetry: retrying a RemoteInvoke with the same
+// spec.RequestID replays the committed outcome end to end — the source
+// executes the transaction once and the retry's proof still verifies,
+// because the nonce is derived from the idempotency key.
+func TestRemoteInvokeIdempotentRetry(t *testing.T) {
+	w, client := buildInvokeWorld(t)
+	spec := RemoteQuerySpec{
+		Network: "source-net", Contract: "writable", Function: "Append",
+		Args:      [][]byte{[]byte("audit"), []byte("once;")},
+		RequestID: "idem-tx-1",
+	}
+	first, err := client.RemoteInvoke(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("first RemoteInvoke: %v", err)
+	}
+	retry, err := client.RemoteInvoke(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("retry RemoteInvoke: %v", err)
+	}
+	if !bytes.Equal(first.Result, retry.Result) {
+		t.Fatalf("retry result %q != original %q", retry.Result, first.Result)
+	}
+	if first.RequestID != "idem-tx-1" || retry.RequestID != "idem-tx-1" {
+		t.Fatalf("request IDs = %q, %q", first.RequestID, retry.RequestID)
+	}
+	// The transaction committed exactly once.
+	got, err := w.srcAdmin.Evaluate("writable", "Read", []byte("audit"))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, []byte("once;")) {
+		t.Fatalf("source state = %q, want single append", got)
 	}
 }

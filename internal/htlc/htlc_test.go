@@ -1,6 +1,7 @@
 package htlc
 
 import (
+	"context"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -48,14 +49,14 @@ func newClient(t testing.TB, n *core.Network, org, name string) *core.Client {
 
 func mint(t testing.TB, c *core.Client, account string, amount int64) {
 	t.Helper()
-	if _, err := c.Submit(ChaincodeName, FnMint, []byte(account), []byte(strconv.FormatInt(amount, 10))); err != nil {
+	if _, err := c.Submit(context.Background(), ChaincodeName, FnMint, []byte(account), []byte(strconv.FormatInt(amount, 10))); err != nil {
 		t.Fatalf("Mint: %v", err)
 	}
 }
 
 func balanceOf(t testing.TB, c *core.Client, account string) int64 {
 	t.Helper()
-	data, err := c.Evaluate(ChaincodeName, FnBalance, []byte(account))
+	data, err := c.Evaluate(context.Background(), ChaincodeName, FnBalance, []byte(account))
 	if err != nil {
 		t.Fatalf("Balance: %v", err)
 	}
@@ -73,7 +74,7 @@ func TestMintTransferBalance(t *testing.T) {
 	if got := balanceOf(t, alice, "alice"); got != 100 {
 		t.Fatalf("balance = %d", got)
 	}
-	if _, err := alice.Submit(ChaincodeName, FnTransfer, []byte("bob"), []byte("30")); err != nil {
+	if _, err := alice.Submit(context.Background(), ChaincodeName, FnTransfer, []byte("bob"), []byte("30")); err != nil {
 		t.Fatalf("Transfer: %v", err)
 	}
 	if got := balanceOf(t, alice, "alice"); got != 70 {
@@ -88,7 +89,7 @@ func TestTransferInsufficientFunds(t *testing.T) {
 	n := assetNet(t, "gold", relay.NewStaticRegistry(), relay.NewHub())
 	alice := newClient(t, n, "gold-org-a", "alice")
 	mint(t, alice, "alice", 10)
-	if _, err := alice.Submit(ChaincodeName, FnTransfer, []byte("bob"), []byte("11")); err == nil {
+	if _, err := alice.Submit(context.Background(), ChaincodeName, FnTransfer, []byte("bob"), []byte("11")); err == nil {
 		t.Fatal("overdraft allowed")
 	}
 	if got := balanceOf(t, alice, "alice"); got != 10 {
@@ -114,7 +115,7 @@ func TestLockClaimFlow(t *testing.T) {
 	hashlock := HashPreimage(preimage)
 	expiry := time.Now().Add(time.Hour)
 
-	if _, err := alice.Submit(ChaincodeName, FnLock, lockArgs("swap-1", "bob", hashlock, expiry, 40)...); err != nil {
+	if _, err := alice.Submit(context.Background(), ChaincodeName, FnLock, lockArgs("swap-1", "bob", hashlock, expiry, 40)...); err != nil {
 		t.Fatalf("Lock: %v", err)
 	}
 	if got := balanceOf(t, alice, "alice"); got != 60 {
@@ -122,15 +123,15 @@ func TestLockClaimFlow(t *testing.T) {
 	}
 
 	// Wrong preimage rejected.
-	if _, err := bob.Submit(ChaincodeName, FnClaim, []byte("swap-1"), []byte(hex.EncodeToString([]byte("guess")))); err == nil {
+	if _, err := bob.Submit(context.Background(), ChaincodeName, FnClaim, []byte("swap-1"), []byte(hex.EncodeToString([]byte("guess")))); err == nil {
 		t.Fatal("wrong preimage claimed")
 	}
 	// Wrong party rejected.
-	if _, err := alice.Submit(ChaincodeName, FnClaim, []byte("swap-1"), []byte(hex.EncodeToString(preimage))); err == nil {
+	if _, err := alice.Submit(context.Background(), ChaincodeName, FnClaim, []byte("swap-1"), []byte(hex.EncodeToString(preimage))); err == nil {
 		t.Fatal("sender claimed their own lock")
 	}
 	// Valid claim.
-	data, err := bob.Submit(ChaincodeName, FnClaim, []byte("swap-1"), []byte(hex.EncodeToString(preimage)))
+	data, err := bob.Submit(context.Background(), ChaincodeName, FnClaim, []byte("swap-1"), []byte(hex.EncodeToString(preimage)))
 	if err != nil {
 		t.Fatalf("Claim: %v", err)
 	}
@@ -145,7 +146,7 @@ func TestLockClaimFlow(t *testing.T) {
 		t.Fatalf("bob = %d", got)
 	}
 	// Double claim rejected.
-	if _, err := bob.Submit(ChaincodeName, FnClaim, []byte("swap-1"), []byte(hex.EncodeToString(preimage))); err == nil {
+	if _, err := bob.Submit(context.Background(), ChaincodeName, FnClaim, []byte("swap-1"), []byte(hex.EncodeToString(preimage))); err == nil {
 		t.Fatal("double claim allowed")
 	}
 }
@@ -158,19 +159,19 @@ func TestRefundAfterExpiry(t *testing.T) {
 
 	hashlock := HashPreimage([]byte("p"))
 	past := time.Now().Add(-time.Minute)
-	if _, err := alice.Submit(ChaincodeName, FnLock, lockArgs("swap-2", "bob", hashlock, past, 25)...); err != nil {
+	if _, err := alice.Submit(context.Background(), ChaincodeName, FnLock, lockArgs("swap-2", "bob", hashlock, past, 25)...); err != nil {
 		t.Fatalf("Lock: %v", err)
 	}
 	// Claim after expiry fails.
-	if _, err := bob.Submit(ChaincodeName, FnClaim, []byte("swap-2"), []byte(hex.EncodeToString([]byte("p")))); err == nil {
+	if _, err := bob.Submit(context.Background(), ChaincodeName, FnClaim, []byte("swap-2"), []byte(hex.EncodeToString([]byte("p")))); err == nil {
 		t.Fatal("claim after expiry allowed")
 	}
 	// Refund by non-sender fails.
-	if _, err := bob.Submit(ChaincodeName, FnRefund, []byte("swap-2")); err == nil {
+	if _, err := bob.Submit(context.Background(), ChaincodeName, FnRefund, []byte("swap-2")); err == nil {
 		t.Fatal("non-sender refunded")
 	}
 	// Refund by sender succeeds.
-	if _, err := alice.Submit(ChaincodeName, FnRefund, []byte("swap-2")); err != nil {
+	if _, err := alice.Submit(context.Background(), ChaincodeName, FnRefund, []byte("swap-2")); err != nil {
 		t.Fatalf("Refund: %v", err)
 	}
 	if got := balanceOf(t, alice, "alice"); got != 100 {
@@ -183,10 +184,10 @@ func TestRefundBeforeExpiryRejected(t *testing.T) {
 	alice := newClient(t, n, "gold-org-a", "alice")
 	mint(t, alice, "alice", 100)
 	hashlock := HashPreimage([]byte("p"))
-	if _, err := alice.Submit(ChaincodeName, FnLock, lockArgs("swap-3", "bob", hashlock, time.Now().Add(time.Hour), 5)...); err != nil {
+	if _, err := alice.Submit(context.Background(), ChaincodeName, FnLock, lockArgs("swap-3", "bob", hashlock, time.Now().Add(time.Hour), 5)...); err != nil {
 		t.Fatalf("Lock: %v", err)
 	}
-	if _, err := alice.Submit(ChaincodeName, FnRefund, []byte("swap-3")); err == nil {
+	if _, err := alice.Submit(context.Background(), ChaincodeName, FnRefund, []byte("swap-3")); err == nil {
 		t.Fatal("early refund allowed")
 	}
 }
@@ -195,7 +196,7 @@ func TestLockRequiresFunds(t *testing.T) {
 	n := assetNet(t, "gold", relay.NewStaticRegistry(), relay.NewHub())
 	alice := newClient(t, n, "gold-org-a", "alice")
 	hashlock := HashPreimage([]byte("p"))
-	_, err := alice.Submit(ChaincodeName, FnLock, lockArgs("swap-4", "bob", hashlock, time.Now().Add(time.Hour), 5)...)
+	_, err := alice.Submit(context.Background(), ChaincodeName, FnLock, lockArgs("swap-4", "bob", hashlock, time.Now().Add(time.Hour), 5)...)
 	if err == nil || !strings.Contains(err.Error(), "insufficient") {
 		t.Fatalf("unfunded lock: %v", err)
 	}
@@ -266,20 +267,20 @@ func TestAtomicCrossNetworkSwap(t *testing.T) {
 	silverExpiry := time.Now().Add(1 * time.Hour) // Bob's lock: shorter
 
 	// 1. Alice locks 40 gold for Bob.
-	if _, err := aliceGold.Submit(ChaincodeName, FnLock, lockArgs("swap-g", "bob", hashlock, goldExpiry, 40)...); err != nil {
+	if _, err := aliceGold.Submit(context.Background(), ChaincodeName, FnLock, lockArgs("swap-g", "bob", hashlock, goldExpiry, 40)...); err != nil {
 		t.Fatalf("Alice lock gold: %v", err)
 	}
 	// 2. Bob locks 20 silver for Alice under the same hashlock.
-	if _, err := bobSilver.Submit(ChaincodeName, FnLock, lockArgs("swap-s", "alice", hashlock, silverExpiry, 20)...); err != nil {
+	if _, err := bobSilver.Submit(context.Background(), ChaincodeName, FnLock, lockArgs("swap-s", "alice", hashlock, silverExpiry, 20)...); err != nil {
 		t.Fatalf("Bob lock silver: %v", err)
 	}
 	// 3. Alice claims the silver, revealing the preimage on silver-net.
-	if _, err := aliceSilver.Submit(ChaincodeName, FnClaim, []byte("swap-s"), []byte(hex.EncodeToString(preimage))); err != nil {
+	if _, err := aliceSilver.Submit(context.Background(), ChaincodeName, FnClaim, []byte("swap-s"), []byte(hex.EncodeToString(preimage))); err != nil {
 		t.Fatalf("Alice claim silver: %v", err)
 	}
 	// 4. Bob fetches the revealed preimage from silver-net WITH PROOF via
 	// his gold-side client (trusted data transfer, not trust in Alice).
-	data, err := bobGold.RemoteQuery(core.RemoteQuerySpec{
+	data, err := bobGold.RemoteQuery(context.Background(), core.RemoteQuerySpec{
 		Network: "silver", Contract: ChaincodeName, Function: FnGetLock,
 		Args: [][]byte{[]byte("swap-s")},
 	})
@@ -294,7 +295,7 @@ func TestAtomicCrossNetworkSwap(t *testing.T) {
 		t.Fatalf("revealed lock = %+v", revealed)
 	}
 	// 5. Bob claims the gold with the proven preimage.
-	if _, err := bobGold.Submit(ChaincodeName, FnClaim, []byte("swap-g"), []byte(revealed.Preimage)); err != nil {
+	if _, err := bobGold.Submit(context.Background(), ChaincodeName, FnClaim, []byte("swap-g"), []byte(revealed.Preimage)); err != nil {
 		t.Fatalf("Bob claim gold: %v", err)
 	}
 
@@ -336,7 +337,7 @@ func TestGetLockDeniedCrossNetworkWithoutRule(t *testing.T) {
 	_ = silver.ConfigureForeignNetwork(silverAdmin, gold.ExportConfig())
 
 	bobGold := newClient(t, gold, "gold-org-b", "bob")
-	if _, err := bobGold.RemoteQuery(core.RemoteQuerySpec{
+	if _, err := bobGold.RemoteQuery(context.Background(), core.RemoteQuerySpec{
 		Network: "silver", Contract: ChaincodeName, Function: FnGetLock,
 		Args: [][]byte{[]byte("any")},
 	}); err == nil {
@@ -350,7 +351,7 @@ func TestLockValidationErrors(t *testing.T) {
 	mint(t, alice, "alice", 100)
 
 	// Bad hashlock length.
-	if _, err := alice.Submit(ChaincodeName, FnLock,
+	if _, err := alice.Submit(context.Background(), ChaincodeName, FnLock,
 		[]byte("l1"), []byte("bob"), []byte("deadbeef"),
 		[]byte(strconv.FormatInt(time.Now().Add(time.Hour).UnixNano(), 10)), []byte("5")); err == nil {
 		t.Fatal("short hashlock accepted")
@@ -358,14 +359,14 @@ func TestLockValidationErrors(t *testing.T) {
 	// Duplicate lock ID.
 	h := HashPreimage([]byte("p"))
 	args := lockArgs("dup", "bob", h, time.Now().Add(time.Hour), 5)
-	if _, err := alice.Submit(ChaincodeName, FnLock, args...); err != nil {
+	if _, err := alice.Submit(context.Background(), ChaincodeName, FnLock, args...); err != nil {
 		t.Fatalf("Lock: %v", err)
 	}
-	if _, err := alice.Submit(ChaincodeName, FnLock, args...); err == nil {
+	if _, err := alice.Submit(context.Background(), ChaincodeName, FnLock, args...); err == nil {
 		t.Fatal("duplicate lock accepted")
 	}
 	// Claim on missing lock.
-	if _, err := alice.Submit(ChaincodeName, FnClaim, []byte("ghost"), []byte("00")); err == nil {
+	if _, err := alice.Submit(context.Background(), ChaincodeName, FnClaim, []byte("ghost"), []byte("00")); err == nil {
 		t.Fatal("claim on missing lock accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package notary
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -34,10 +35,14 @@ func (d *Driver) Platform() string { return "notary" }
 
 // Query implements relay.Driver: authenticate and authorize the requester,
 // execute the view function, and collect an attestation from every notary
-// the verification policy names.
-func (d *Driver) Query(q *wire.Query) (*wire.QueryResponse, error) {
+// the verification policy names. ctx is checked before the view executes
+// and between notary attestations.
+func (d *Driver) Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
 	if q.Ledger != "" && q.Ledger != d.ledgerName {
 		return nil, fmt.Errorf("notary: unknown ledger %q", q.Ledger)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("notary: query aborted: %w", err)
 	}
 	vp, err := endorsement.Parse(q.PolicyExpr)
 	if err != nil {
@@ -66,6 +71,9 @@ func (d *Driver) Query(q *wire.Query) (*wire.QueryResponse, error) {
 	for _, notary := range d.net.Notaries() {
 		if !wanted[notary.OrgID] {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("notary: query aborted: %w", err)
 		}
 		att, err := proof.BuildAttestation(notary.Identity, d.net.ID(), queryDigest,
 			result, q.Nonce, clientPub, time.Now())

@@ -2,6 +2,7 @@ package notary
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -133,7 +134,7 @@ func TestDriverQueryWithProof(t *testing.T) {
 		t.Fatalf("Platform = %q", d.Platform())
 	}
 	q := notaryQuery(t, certPEM)
-	resp, err := d.Query(q)
+	resp, err := d.Query(context.Background(), q)
 	if err != nil {
 		t.Fatalf("Query: %v", err)
 	}
@@ -168,7 +169,7 @@ func TestDriverDeniesWithoutRule(t *testing.T) {
 	n.RecordForeignConfig(cfg)
 	_, _ = n.Update("bl/po-1", 0, []byte("doc"))
 	d := NewDriver(n, "default")
-	if _, err := d.Query(notaryQuery(t, certPEM)); !errors.Is(err, ErrAccessDenied) {
+	if _, err := d.Query(context.Background(), notaryQuery(t, certPEM)); !errors.Is(err, ErrAccessDenied) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -178,7 +179,7 @@ func TestDriverDeniesUnknownRequesterNetwork(t *testing.T) {
 	certPEM, _, _ := foreignRequester(t)
 	// Config never recorded.
 	d := NewDriver(n, "default")
-	if _, err := d.Query(notaryQuery(t, certPEM)); !errors.Is(err, ErrAccessDenied) {
+	if _, err := d.Query(context.Background(), notaryQuery(t, certPEM)); !errors.Is(err, ErrAccessDenied) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -196,7 +197,7 @@ func TestDriverRejectsImposterCert(t *testing.T) {
 	rogueID := &msp.Identity{Name: "imposter", OrgID: "seller-bank-org", Role: msp.RoleClient, Cert: rogueCert, Key: rogueKey}
 
 	d := NewDriver(n, "default")
-	if _, err := d.Query(notaryQuery(t, rogueID.CertPEM())); !errors.Is(err, ErrAccessDenied) {
+	if _, err := d.Query(context.Background(), notaryQuery(t, rogueID.CertPEM())); !errors.Is(err, ErrAccessDenied) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -218,7 +219,7 @@ func TestDriverThroughRelay(t *testing.T) {
 
 	dest := relay.New("we-trade", reg, hub)
 	q := notaryQuery(t, certPEM)
-	resp, err := dest.Query(q)
+	resp, err := dest.Query(context.Background(), q)
 	if err != nil {
 		t.Fatalf("Query: %v", err)
 	}

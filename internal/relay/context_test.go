@@ -1,0 +1,590 @@
+package relay
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// captureDriver records the serving context's deadline for each query and
+// answers immediately.
+type captureDriver struct {
+	deadlines chan time.Time
+}
+
+func (d *captureDriver) Platform() string { return "test" }
+
+func (d *captureDriver) Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
+	deadline, _ := ctx.Deadline()
+	select {
+	case d.deadlines <- deadline:
+	default:
+	}
+	return &wire.QueryResponse{RequestID: q.RequestID}, nil
+}
+
+// newCaptureRelay builds a relay serving network "srcnet" through a
+// captureDriver.
+func newCaptureRelay(discovery Discovery, transport Transport, opts ...Option) (*Relay, *captureDriver) {
+	d := &captureDriver{deadlines: make(chan time.Time, 1)}
+	r := New("srcnet", discovery, transport, opts...)
+	r.RegisterDriver("srcnet", d)
+	return r, d
+}
+
+func captureQuery(t *testing.T) *wire.Query {
+	t.Helper()
+	return &wire.Query{TargetNetwork: "srcnet", Contract: "cc", Function: "fn"}
+}
+
+// TestQueryDoesNotMutateCallerQuery: the relay operates on a copy; the
+// assigned request ID comes back in the response instead of being written
+// into the caller's struct.
+func TestQueryDoesNotMutateCallerQuery(t *testing.T) {
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	src, _ := newCaptureRelay(reg, hub)
+	hub.Attach("src-relay", src)
+	reg.Register("srcnet", "src-relay")
+
+	dest := New("destnet", reg, hub)
+	q := captureQuery(t)
+	resp, err := dest.Query(context.Background(), q)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if q.RequestID != "" {
+		t.Fatalf("caller's RequestID mutated to %q", q.RequestID)
+	}
+	if q.RequestingNetwork != "" {
+		t.Fatalf("caller's RequestingNetwork mutated to %q", q.RequestingNetwork)
+	}
+	if resp.RequestID == "" {
+		t.Fatal("assigned request ID not returned in the response")
+	}
+}
+
+// TestQueryDeadlineAgainstStalledTransport: a hung relay (reachable but
+// never replying) cannot block a query past its deadline.
+func TestQueryDeadlineAgainstStalledTransport(t *testing.T) {
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	src, _ := newCaptureRelay(reg, hub)
+	hub.Attach("src-relay", src)
+	reg.Register("srcnet", "src-relay")
+	hub.SetStall("src-relay", true)
+
+	dest := New("destnet", reg, hub)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := dest.Query(ctx, captureQuery(t))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("query blocked %v past its 100ms deadline", elapsed)
+	}
+}
+
+// TestQueryCancellationMidFlight: cancelling the context releases a query
+// blocked on a hung transport immediately.
+func TestQueryCancellationMidFlight(t *testing.T) {
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	src, _ := newCaptureRelay(reg, hub)
+	hub.Attach("src-relay", src)
+	reg.Register("srcnet", "src-relay")
+	hub.SetStall("src-relay", true)
+
+	dest := New("destnet", reg, hub)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := dest.Query(ctx, captureQuery(t))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the query reach the stall
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled query never returned")
+	}
+}
+
+// TestHedgedFanoutWinnerLoserAccounting: with the preferred address hung
+// and hedging enabled, the standby wins after the hedge delay, the stalled
+// loser is cancelled, and the stats record one attempt each, one hedged
+// win and one loser.
+func TestHedgedFanoutWinnerLoserAccounting(t *testing.T) {
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	src, _ := newCaptureRelay(reg, hub)
+	hub.Attach("src-stalled", src)
+	hub.Attach("src-healthy", src)
+	reg.Register("srcnet", "src-stalled", "src-healthy")
+	hub.SetStall("src-stalled", true)
+
+	dest := New("destnet", reg, hub, WithHedging(5*time.Millisecond, 2))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	resp, err := dest.Query(ctx, captureQuery(t))
+	if err != nil {
+		t.Fatalf("hedged query: %v", err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("remote error: %s", resp.Error)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hedged query took %v; the stalled primary was not hedged around", elapsed)
+	}
+	stats := dest.Stats()
+	if stats.FanoutAttempts != 2 {
+		t.Fatalf("FanoutAttempts = %d, want 2", stats.FanoutAttempts)
+	}
+	if stats.HedgedWins != 1 {
+		t.Fatalf("HedgedWins = %d, want 1", stats.HedgedWins)
+	}
+	if stats.HedgedLosses != 1 {
+		t.Fatalf("HedgedLosses = %d, want 1", stats.HedgedLosses)
+	}
+}
+
+// TestHedgedFanoutAllAddressesFail: every address failing still surfaces
+// ErrAllRelaysFailed under hedging.
+func TestHedgedFanoutAllAddressesFail(t *testing.T) {
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	src, _ := newCaptureRelay(reg, hub)
+	hub.Attach("a1", src)
+	hub.Attach("a2", src)
+	hub.Attach("a3", src)
+	reg.Register("srcnet", "a1", "a2", "a3")
+	for _, a := range []string{"a1", "a2", "a3"} {
+		hub.SetDown(a, true)
+	}
+
+	dest := New("destnet", reg, hub, WithHedging(time.Millisecond, 2))
+	if _, err := dest.Query(context.Background(), captureQuery(t)); !errors.Is(err, ErrAllRelaysFailed) {
+		t.Fatalf("err = %v, want ErrAllRelaysFailed", err)
+	}
+}
+
+// TestHedgedFanoutFailoverOnFailure: a hard failure (address down) opens
+// the next attempt immediately, well before the hedge delay.
+func TestHedgedFanoutFailoverOnFailure(t *testing.T) {
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	src, _ := newCaptureRelay(reg, hub)
+	hub.Attach("down", src)
+	hub.Attach("up", src)
+	reg.Register("srcnet", "down", "up")
+	hub.SetDown("down", true)
+
+	// Hedge delay far longer than the test budget: only the
+	// failure-triggered launch can explain a fast success.
+	dest := New("destnet", reg, hub, WithHedging(time.Minute, 2))
+	start := time.Now()
+	resp, err := dest.Query(context.Background(), captureQuery(t))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("remote error: %s", resp.Error)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("failure-triggered hedge took %v", elapsed)
+	}
+}
+
+// TestDeadlinePropagatesAcrossWire: the requester's deadline travels in the
+// envelope over real TCP and the source relay serves the query under a
+// context carrying exactly that deadline.
+func TestDeadlinePropagatesAcrossWire(t *testing.T) {
+	reg := NewStaticRegistry()
+	transport := &TCPTransport{DialTimeout: 2 * time.Second, IOTimeout: 10 * time.Second}
+	src, drv := newCaptureRelay(reg, transport)
+	server, err := NewTCPServer(src, "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewTCPServer: %v", err)
+	}
+	defer server.Close()
+	reg.Register("srcnet", server.Addr())
+
+	dest := New("destnet", reg, transport)
+	deadline := time.Now().Add(3 * time.Second)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+	if _, err := dest.Query(ctx, captureQuery(t)); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	select {
+	case got := <-drv.deadlines:
+		if got.IsZero() {
+			t.Fatal("source relay served the query with no deadline")
+		}
+		if got.UnixNano() != deadline.UnixNano() {
+			t.Fatalf("source deadline = %v, want %v", got, deadline)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("driver never observed the query")
+	}
+}
+
+// TestTCPSendDeadlineAgainstHungServer: a TCP peer that accepts the
+// connection but never replies cannot hold Send past the context deadline.
+func TestTCPSendDeadlineAgainstHungServer(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // hold the connection open, never reply
+		}
+	}()
+
+	transport := &TCPTransport{DialTimeout: 2 * time.Second, IOTimeout: 30 * time.Second}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = transport.Send(ctx, ln.Addr().String(), &wire.Envelope{Version: 1, Type: wire.MsgPing, RequestID: "p"})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Send blocked %v past its deadline", elapsed)
+	}
+}
+
+// TestTCPSendCancellationUnblocksRead: cancelling mid-read interrupts a
+// blocked TCP round-trip immediately, without waiting for IOTimeout.
+func TestTCPSendCancellationUnblocksRead(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 4096)
+		_, _ = conn.Read(buf) // consume the request, never answer
+		time.Sleep(5 * time.Second)
+	}()
+
+	transport := &TCPTransport{DialTimeout: 2 * time.Second, IOTimeout: 30 * time.Second}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := transport.Send(ctx, ln.Addr().String(), &wire.Envelope{Version: 1, Type: wire.MsgPing, RequestID: "p"})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled Send never returned")
+	}
+}
+
+// TestInvokeDoesNotHedge: hedging configuration must not apply to invokes —
+// with the preferred address stalled, an invoke waits (bounded by its
+// deadline) instead of racing a second, potentially duplicate transaction.
+func TestInvokeDoesNotHedge(t *testing.T) {
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	src, _ := newCaptureRelay(reg, hub)
+	hub.Attach("stalled", src)
+	hub.Attach("healthy", src)
+	reg.Register("srcnet", "stalled", "healthy")
+	hub.SetStall("stalled", true)
+
+	dest := New("destnet", reg, hub, WithHedging(time.Millisecond, 2))
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	_, err := dest.Invoke(ctx, captureQuery(t))
+	// Sequential failover blocks on the stalled primary until the deadline;
+	// it must NOT hedge to the healthy standby.
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded (sequential failover)", err)
+	}
+}
+
+// countingTxDriver counts executions, for invoke idempotency tests.
+type countingTxDriver struct {
+	mu    sync.Mutex
+	count int
+}
+
+func (d *countingTxDriver) Platform() string { return "test" }
+
+func (d *countingTxDriver) Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
+	return &wire.QueryResponse{RequestID: q.RequestID}, nil
+}
+
+func (d *countingTxDriver) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
+	d.mu.Lock()
+	d.count++
+	d.mu.Unlock()
+	return &wire.QueryResponse{RequestID: q.RequestID, EncryptedResult: []byte("committed")}, nil
+}
+
+// TestInvokeResendDeduplicated: a transport-level resend of the same invoke
+// request ID (failover after delivery, stale-connection retry) replays the
+// committed response instead of executing the transaction twice.
+func TestInvokeResendDeduplicated(t *testing.T) {
+	reg := NewStaticRegistry()
+	d := &countingTxDriver{}
+	src := New("srcnet", reg, NewHub())
+	src.RegisterDriver("srcnet", d)
+
+	q := &wire.Query{TargetNetwork: "srcnet", Contract: "cc", Function: "fn", RequestID: "inv-1"}
+	env := &wire.Envelope{
+		Version:   wire.ProtocolVersion,
+		Type:      wire.MsgInvoke,
+		RequestID: "inv-1",
+		Payload:   q.Marshal(),
+	}
+	first := src.HandleEnvelope(context.Background(), env)
+	if first.Type != wire.MsgQueryResponse {
+		t.Fatalf("first reply type = %v", first.Type)
+	}
+	second := src.HandleEnvelope(context.Background(), env)
+	if second.Type != wire.MsgQueryResponse {
+		t.Fatalf("resend reply type = %v", second.Type)
+	}
+	if !bytes.Equal(first.Payload, second.Payload) {
+		t.Fatal("resend returned a different response than the original")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count != 1 {
+		t.Fatalf("transaction executed %d times, want 1", d.count)
+	}
+}
+
+// TestInvokeFailsOverOnlyWhenUnreachable: invoke failover moves past an
+// address whose connection was never established (safe — nothing was
+// delivered), which is the only resend the at-most-once contract allows.
+func TestInvokeFailsOverOnlyWhenUnreachable(t *testing.T) {
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	d := &countingTxDriver{}
+	src := New("srcnet", reg, hub)
+	src.RegisterDriver("srcnet", d)
+	hub.Attach("down", src)
+	hub.Attach("up", src)
+	reg.Register("srcnet", "down", "up")
+	hub.SetDown("down", true) // unreachable: connection refused, nothing delivered
+
+	dest := New("destnet", reg, hub)
+	resp, err := dest.Invoke(context.Background(), captureQuery(t))
+	if err != nil {
+		t.Fatalf("Invoke with unreachable primary: %v", err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("remote error: %s", resp.Error)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count != 1 {
+		t.Fatalf("transaction executed %d times, want 1", d.count)
+	}
+}
+
+// TestSubscribeResendIdempotent: a duplicate subscribe envelope (same
+// subscription ID) does not register a second source-side subscription.
+type countingEventSource struct {
+	countingTxDriver
+	subs int
+}
+
+func (d *countingEventSource) SubscribeEvents(ctx context.Context, eventName string, deliver func([]byte, string, uint64)) (func(), error) {
+	d.mu.Lock()
+	d.subs++
+	d.mu.Unlock()
+	return func() {}, nil
+}
+
+func TestSubscribeResendIdempotent(t *testing.T) {
+	reg := NewStaticRegistry()
+	d := &countingEventSource{}
+	src := New("srcnet", reg, NewHub())
+	src.RegisterDriver("srcnet", d)
+
+	sub := &wire.Subscription{
+		SubscriptionID: "sub-1", RequestingNetwork: "destnet",
+		TargetNetwork: "srcnet", EventName: "ev",
+	}
+	env := &wire.Envelope{
+		Version: wire.ProtocolVersion, Type: wire.MsgSubscribe,
+		RequestID: "sub-1", Payload: sub.Marshal(),
+	}
+	for i := 0; i < 3; i++ {
+		if reply := src.HandleEnvelope(context.Background(), env); reply.Type != wire.MsgQueryResponse {
+			t.Fatalf("reply %d type = %v", i, reply.Type)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.subs != 1 {
+		t.Fatalf("driver subscriptions = %d, want 1", d.subs)
+	}
+}
+
+// errorThenSlowTransport answers one address instantly with an
+// application-level MsgError and the other with a delayed success.
+type errorThenSlowTransport struct {
+	errAddr  string
+	slowAddr string
+	delay    time.Duration
+	inner    Transport
+}
+
+func (t *errorThenSlowTransport) Send(ctx context.Context, addr string, env *wire.Envelope) (*wire.Envelope, error) {
+	if addr == t.errAddr {
+		return errEnvelope(env.RequestID, "rate limit exceeded"), nil
+	}
+	select {
+	case <-time.After(t.delay):
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return t.inner.Send(ctx, addr, env)
+}
+
+// TestHedgedFanoutErrorReplyDoesNotWin: an instant MsgError from a hedge
+// attempt (e.g. the duplicate tripping a rate limiter) must not cancel a
+// slower attempt that is about to succeed.
+func TestHedgedFanoutErrorReplyDoesNotWin(t *testing.T) {
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	src, _ := newCaptureRelay(reg, hub)
+	hub.Attach("slow-ok", src)
+	hub.Attach("fast-err", src)
+	reg.Register("srcnet", "fast-err", "slow-ok")
+
+	transport := &errorThenSlowTransport{
+		errAddr: "fast-err", slowAddr: "slow-ok",
+		delay: 30 * time.Millisecond, inner: hub,
+	}
+	dest := New("destnet", reg, transport, WithHedging(time.Millisecond, 2))
+	resp, err := dest.Query(context.Background(), captureQuery(t))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("error reply won the hedge race: %s", resp.Error)
+	}
+}
+
+// TestInvokeReplayCacheBounded: the replay cache evicts FIFO past its
+// entry limit and refuses duplicates whose oversized response was dropped.
+func TestInvokeReplayCacheBounded(t *testing.T) {
+	reg := NewStaticRegistry()
+	r := New("srcnet", reg, NewHub())
+
+	for i := 0; i < invokeDedupLimit+10; i++ {
+		r.invokeRemember(fmt.Sprintf("id-%d", i), []byte("resp"))
+	}
+	r.invokeMu.Lock()
+	entries := len(r.invokeServed)
+	r.invokeMu.Unlock()
+	if entries != invokeDedupLimit {
+		t.Fatalf("cache entries = %d, want %d", entries, invokeDedupLimit)
+	}
+	cached := func(id string) ([]byte, bool) {
+		r.invokeMu.Lock()
+		defer r.invokeMu.Unlock()
+		payload, ok := r.invokeServed[id]
+		return payload, ok
+	}
+	if _, ok := cached("id-0"); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := cached(fmt.Sprintf("id-%d", invokeDedupLimit+9)); !ok {
+		t.Fatal("newest entry missing")
+	}
+
+	// Oversized responses are remembered by ID with a nil payload.
+	big := make([]byte, invokeDedupMaxEntryBytes+1)
+	r.invokeRemember("big-1", big)
+	payload, ok := cached("big-1")
+	if !ok || payload != nil {
+		t.Fatalf("oversized entry: payload=%v ok=%v, want nil/true", payload != nil, ok)
+	}
+}
+
+// slowTxDriver blocks each Invoke until released, to model a commit that
+// outlives a transport timeout.
+type slowTxDriver struct {
+	countingTxDriver
+	release chan struct{}
+}
+
+func (d *slowTxDriver) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
+	<-d.release
+	return d.countingTxDriver.Invoke(ctx, q)
+}
+
+// TestInvokeDuplicateWaitsForInflight: a duplicate arriving while the
+// original invoke is still executing waits for it and replays the single
+// committed outcome — the transaction never runs twice.
+func TestInvokeDuplicateWaitsForInflight(t *testing.T) {
+	reg := NewStaticRegistry()
+	d := &slowTxDriver{release: make(chan struct{})}
+	src := New("srcnet", reg, NewHub())
+	src.RegisterDriver("srcnet", d)
+
+	q := &wire.Query{TargetNetwork: "srcnet", Contract: "cc", Function: "fn", RequestID: "inv-slow"}
+	env := &wire.Envelope{
+		Version: wire.ProtocolVersion, Type: wire.MsgInvoke,
+		RequestID: "inv-slow", Payload: q.Marshal(),
+	}
+	replies := make(chan *wire.Envelope, 2)
+	for i := 0; i < 2; i++ {
+		go func() { replies <- src.HandleEnvelope(context.Background(), env) }()
+	}
+	time.Sleep(20 * time.Millisecond) // both attempts in flight
+	close(d.release)
+	for i := 0; i < 2; i++ {
+		select {
+		case reply := <-replies:
+			if reply.Type != wire.MsgQueryResponse {
+				t.Fatalf("reply %d: %s: %s", i, reply.Type, reply.Payload)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("duplicate invoke never returned")
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count != 1 {
+		t.Fatalf("transaction executed %d times, want 1", d.count)
+	}
+}

@@ -1,6 +1,7 @@
 package relay
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -29,8 +30,9 @@ func newEventHub() *eventHub {
 // network (cross-network events, §7 future work implemented as an
 // extension). It sends a subscription request to the remote relay; matching
 // events are pushed back through this relay's discovery-registered address
-// and surface on the returned channel.
-func (r *Relay) SubscribeRemote(targetNetwork, eventName string, requesterCertPEM []byte) (<-chan wire.Event, func(), error) {
+// and surface on the returned channel. ctx bounds subscription
+// establishment only; delivery continues until the returned cancel runs.
+func (r *Relay) SubscribeRemote(ctx context.Context, targetNetwork, eventName string, requesterCertPEM []byte) (<-chan wire.Event, func(), error) {
 	subID, err := newRequestID()
 	if err != nil {
 		return nil, nil, err
@@ -53,22 +55,18 @@ func (r *Relay) SubscribeRemote(targetNetwork, eventName string, requesterCertPE
 		RequestID: subID,
 		Payload:   payload,
 	}
-	var lastErr error
-	subscribed := false
-	for _, addr := range addrs {
-		reply, err := r.transport.Send(addr, env)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if reply.Type == wire.MsgError {
-			return nil, nil, fmt.Errorf("relay: subscribe: %s", string(reply.Payload))
-		}
-		subscribed = true
-		break
+	// At-most-once across addresses: failing over to a *different* relay
+	// after a delivered-but-lost reply would register a second live
+	// subscription on another process and double every event. Same-relay
+	// resends are safe (handleSubscribe is idempotent by subscription ID);
+	// cross-relay ones are not, so only never-connected addresses are
+	// retried.
+	reply, err := r.sendAtMostOnce(ctx, targetNetwork, addrs, env)
+	if err != nil {
+		return nil, nil, err
 	}
-	if !subscribed {
-		return nil, nil, fmt.Errorf("%w for %s: %v", ErrAllRelaysFailed, targetNetwork, lastErr)
+	if reply.Type == wire.MsgError {
+		return nil, nil, fmt.Errorf("relay: subscribe: %s", string(reply.Payload))
 	}
 
 	ch := make(chan wire.Event, 64)
@@ -89,7 +87,7 @@ func (r *Relay) SubscribeRemote(targetNetwork, eventName string, requesterCertPE
 // handleSubscribe serves an incoming subscription request: the local driver
 // must support events; matching events are pushed to the requesting
 // network's relay.
-func (r *Relay) handleSubscribe(env *wire.Envelope) *wire.Envelope {
+func (r *Relay) handleSubscribe(ctx context.Context, env *wire.Envelope) *wire.Envelope {
 	sub, err := wire.UnmarshalSubscription(env.Payload)
 	if err != nil {
 		return errEnvelope(env.RequestID, fmt.Sprintf("malformed subscription: %v", err))
@@ -104,7 +102,18 @@ func (r *Relay) handleSubscribe(env *wire.Envelope) *wire.Envelope {
 	}
 	requesting := sub.RequestingNetwork
 	subID := sub.SubscriptionID
-	cancel, err := src.SubscribeEvents(sub.EventName, func(payload []byte, name string, unixNano uint64) {
+	// Idempotency: a resent subscribe (transport retry or failover after a
+	// lost reply) must not register a duplicate source-side subscription.
+	r.events.mu.Lock()
+	_, exists := r.events.serving[subID]
+	r.events.mu.Unlock()
+	if exists {
+		return &wire.Envelope{Version: wire.ProtocolVersion, Type: wire.MsgQueryResponse, RequestID: env.RequestID}
+	}
+	// ctx bounds establishment only — it is cancelled once the reply is
+	// sent, so per the EventSource contract the driver must not tie the
+	// delivery lifetime to it; teardown happens through the cancel func.
+	cancel, err := src.SubscribeEvents(ctx, sub.EventName, func(payload []byte, name string, unixNano uint64) {
 		ev := &wire.Event{
 			SubscriptionID: subID,
 			SourceNetwork:  sub.TargetNetwork,
@@ -118,13 +127,21 @@ func (r *Relay) handleSubscribe(env *wire.Envelope) *wire.Envelope {
 		return errEnvelope(env.RequestID, fmt.Sprintf("subscribe: %v", err))
 	}
 	r.events.mu.Lock()
-	r.events.serving[subID] = cancel
-	r.events.mu.Unlock()
+	if _, raced := r.events.serving[subID]; raced {
+		// A concurrent duplicate won the race; tear down this copy.
+		r.events.mu.Unlock()
+		cancel()
+	} else {
+		r.events.serving[subID] = cancel
+		r.events.mu.Unlock()
+	}
 	return &wire.Envelope{Version: wire.ProtocolVersion, Type: wire.MsgQueryResponse, RequestID: env.RequestID}
 }
 
 // pushEvent delivers an event to the requesting network's relay,
-// best-effort across its addresses.
+// best-effort across its addresses. Delivery is asynchronous with respect
+// to any request, so it runs under its own bounded context rather than a
+// caller's.
 func (r *Relay) pushEvent(requestingNetwork string, ev *wire.Event) {
 	addrs, err := r.discovery.Resolve(requestingNetwork)
 	if err != nil {
@@ -137,7 +154,12 @@ func (r *Relay) pushEvent(requestingNetwork string, ev *wire.Event) {
 		Payload:   ev.Marshal(),
 	}
 	for _, addr := range addrs {
-		if _, err := r.transport.Send(addr, env); err == nil {
+		// Per-address budget: a wedged-but-reachable primary must not
+		// consume the whole delivery budget and starve a live standby.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_, err := r.transport.Send(ctx, addr, env)
+		cancel()
+		if err == nil {
 			return
 		}
 	}

@@ -2,6 +2,7 @@ package relay
 
 import (
 	"bytes"
+	"context"
 	"crypto/ecdsa"
 	"errors"
 	"fmt"
@@ -53,8 +54,9 @@ func NewFabricDriver(net *fabric.Network, ledgerName string) *FabricDriver {
 // Platform implements Driver.
 func (d *FabricDriver) Platform() string { return "fabric" }
 
-// Query implements Driver.
-func (d *FabricDriver) Query(q *wire.Query) (*wire.QueryResponse, error) {
+// Query implements Driver. Peer queries and attestation collection check
+// ctx between peers, so an expired budget stops the remaining proof work.
+func (d *FabricDriver) Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
 	if q.Ledger != "" && q.Ledger != d.ledgerName {
 		return nil, fmt.Errorf("relay: unknown ledger %q", q.Ledger)
 	}
@@ -90,6 +92,9 @@ func (d *FabricDriver) Query(q *wire.Query) (*wire.QueryResponse, error) {
 	resp := &wire.QueryResponse{RequestID: q.RequestID}
 	var agreed []byte
 	for i, p := range attestors {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("relay: query aborted: %w", err)
+		}
 		inv.Timestamp = time.Now()
 		result, err := p.Query(inv)
 		if err != nil {
@@ -135,9 +140,15 @@ func (d *FabricDriver) selectPeers(vp *endorsement.Policy) []*peer.Peer {
 // foreign requester can only reach functions the exposure-control rules
 // permit. The committed response returns with the same attestation proof
 // queries carry.
-func (d *FabricDriver) Invoke(q *wire.Query) (*wire.QueryResponse, error) {
+// ctx is checked before endorsement and before ordering; once the
+// transaction reaches the orderer it runs to completion — a commit cannot
+// be cancelled halfway.
+func (d *FabricDriver) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
 	if q.Ledger != "" && q.Ledger != d.ledgerName {
 		return nil, fmt.Errorf("relay: unknown ledger %q", q.Ledger)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("relay: invoke aborted: %w", err)
 	}
 	vp, err := endorsement.Parse(q.PolicyExpr)
 	if err != nil {
@@ -166,6 +177,9 @@ func (d *FabricDriver) Invoke(q *wire.Query) (*wire.QueryResponse, error) {
 	}
 	var responses []*peer.ProposalResponse
 	for _, orgID := range endorsePolicy.Orgs() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("relay: invoke aborted: %w", err)
+		}
 		peers, err := d.net.PeersOf(orgID)
 		if err != nil || len(peers) == 0 {
 			continue
@@ -178,6 +192,9 @@ func (d *FabricDriver) Invoke(q *wire.Query) (*wire.QueryResponse, error) {
 	}
 	if len(responses) == 0 {
 		return nil, ErrNoAttestors
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("relay: invoke aborted before ordering: %w", err)
 	}
 	tx, err := peer.AssembleTransaction(inv, responses)
 	if err != nil {
@@ -218,8 +235,12 @@ func (d *FabricDriver) Invoke(q *wire.Query) (*wire.QueryResponse, error) {
 }
 
 // SubscribeEvents implements EventSource over the network's committed
-// chaincode events.
-func (d *FabricDriver) SubscribeEvents(eventName string, deliver func(payload []byte, name string, unixNano uint64)) (func(), error) {
+// chaincode events. ctx bounds establishment only; an already-cancelled
+// context refuses the subscription.
+func (d *FabricDriver) SubscribeEvents(ctx context.Context, eventName string, deliver func(payload []byte, name string, unixNano uint64)) (func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("relay: subscribe aborted: %w", err)
+	}
 	sub := d.net.SubscribeEvents("", eventName)
 	stop := make(chan struct{})
 	done := make(chan struct{})

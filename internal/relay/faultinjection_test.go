@@ -1,6 +1,7 @@
 package relay
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -24,7 +25,7 @@ func newFlakyTransport(inner Transport, failRate float64, seed int64) *flakyTran
 	return &flakyTransport{inner: inner, rng: rand.New(rand.NewSource(seed)), failRate: failRate}
 }
 
-func (f *flakyTransport) Send(addr string, env *wire.Envelope) (*wire.Envelope, error) {
+func (f *flakyTransport) Send(ctx context.Context, addr string, env *wire.Envelope) (*wire.Envelope, error) {
 	f.mu.Lock()
 	f.sends++
 	fail := f.rng.Float64() < f.failRate
@@ -35,7 +36,7 @@ func (f *flakyTransport) Send(addr string, env *wire.Envelope) (*wire.Envelope, 
 	if fail {
 		return nil, fmt.Errorf("%w: injected fault", ErrUnreachable)
 	}
-	return f.inner.Send(addr, env)
+	return f.inner.Send(ctx, addr, env)
 }
 
 // TestQuerySurvivesFlakyTransportWithRedundancy: with enough redundant
@@ -68,7 +69,7 @@ func TestQuerySurvivesFlakyTransportWithRedundancy(t *testing.T) {
 	// fixed seed this run is deterministic.
 	failures := 0
 	for i := 0; i < 40; i++ {
-		resp, err := dest.Query(newQuery(t, req))
+		resp, err := dest.Query(context.Background(), newQuery(t, req))
 		if err != nil {
 			failures++
 			continue
@@ -105,7 +106,7 @@ func TestQueryFailsDeterministicallyWithoutRedundancy(t *testing.T) {
 
 	failures := 0
 	for i := 0; i < 40; i++ {
-		if _, err := dest.Query(newQuery(t, req)); err != nil {
+		if _, err := dest.Query(context.Background(), newQuery(t, req)); err != nil {
 			failures++
 		}
 	}

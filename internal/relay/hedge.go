@@ -1,0 +1,207 @@
+package relay
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Hedging configures hedged fan-out over a target network's relay
+// addresses: instead of waiting for an attempt to fail outright before
+// trying the next address (sequential failover), the relay opens a hedge
+// attempt against the next address once the current one has been
+// outstanding for Delay. The first valid response wins and every other
+// in-flight attempt is cancelled. This bounds the tail latency a slow or
+// DoS-ed relay can impose (§5) at the cost of some duplicate load.
+type Hedging struct {
+	// Delay is how long an attempt may stay outstanding before a hedge
+	// opens against the next address. Zero means 50ms.
+	Delay time.Duration
+	// MaxParallel bounds concurrently outstanding attempts. Zero or one
+	// means 2.
+	MaxParallel int
+}
+
+// WithHedging enables hedged fan-out for client-facing queries. Hedging
+// applies to Query only; Invoke keeps strict sequential failover because a
+// cross-network transaction is not idempotent and a hedge could commit it
+// twice.
+func WithHedging(delay time.Duration, maxParallel int) Option {
+	return func(r *Relay) { r.hedge = &Hedging{Delay: delay, MaxParallel: maxParallel} }
+}
+
+// stampDeadline records ctx's absolute deadline in the envelope so the
+// source relay inherits the requester's remaining budget.
+func stampDeadline(ctx context.Context, env *wire.Envelope) {
+	if deadline, ok := ctx.Deadline(); ok {
+		env.DeadlineUnixNano = uint64(deadline.UnixNano())
+	}
+}
+
+// sendFanout delivers env to the first responsive relay among addrs. With
+// hedging configured and more than one address available it races
+// attempts; otherwise it fails over sequentially.
+func (r *Relay) sendFanout(ctx context.Context, network string, addrs []string, env *wire.Envelope) (*wire.Envelope, error) {
+	if r.hedge == nil || len(addrs) < 2 {
+		return r.sendSequential(ctx, network, addrs, env)
+	}
+	return r.sendHedged(ctx, network, addrs, env)
+}
+
+// sendSequential tries each address in order, failing over on transport
+// errors, and stops early once ctx is done.
+func (r *Relay) sendSequential(ctx context.Context, network string, addrs []string, env *wire.Envelope) (*wire.Envelope, error) {
+	stampDeadline(ctx, env)
+	var lastErr error
+	for _, addr := range addrs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r.countFanoutAttempt()
+		reply, err := r.transport.Send(ctx, addr, env)
+		if err != nil {
+			lastErr = err
+			continue // fail over to the next relay address
+		}
+		return reply, nil
+	}
+	if lastErr == nil {
+		lastErr = ctx.Err()
+	}
+	return nil, fmt.Errorf("%w for %s: %w", ErrAllRelaysFailed, network, lastErr)
+}
+
+// sendHedged races attempts across addrs: the first address is tried
+// immediately, the next one after the hedge delay (or immediately when an
+// attempt fails), up to MaxParallel outstanding at once. The first reply
+// wins; losers are cancelled through the shared attempt context.
+func (r *Relay) sendHedged(ctx context.Context, network string, addrs []string, env *wire.Envelope) (*wire.Envelope, error) {
+	stampDeadline(ctx, env)
+	hedgeDelay := r.hedge.Delay
+	if hedgeDelay <= 0 {
+		hedgeDelay = 50 * time.Millisecond
+	}
+	maxParallel := r.hedge.MaxParallel
+	if maxParallel <= 1 {
+		maxParallel = 2
+	}
+
+	attemptCtx, cancelAll := context.WithCancel(ctx)
+	defer cancelAll()
+
+	type outcome struct {
+		index int
+		reply *wire.Envelope
+		err   error
+	}
+	// Buffered to the maximum number of attempts so late losers never
+	// block: every launched goroutine can deliver and exit.
+	results := make(chan outcome, len(addrs))
+	next, inflight := 0, 0
+	launch := func() {
+		index, addr := next, addrs[next]
+		next++
+		inflight++
+		r.countFanoutAttempt()
+		go func() {
+			reply, err := r.transport.Send(attemptCtx, addr, env)
+			results <- outcome{index: index, reply: reply, err: err}
+		}()
+	}
+	launch()
+	timer := time.NewTimer(hedgeDelay)
+	defer timer.Stop()
+	var lastErr error
+	// An application-level MsgError reply must not win the race outright:
+	// the duplicate load hedging creates can itself trip server-side
+	// checks (e.g. the rate limiter), and letting that instant error
+	// cancel a healthy-but-slower attempt would turn hedging into an
+	// availability loss. Error replies are held as the fallback outcome
+	// while real responses are still possible.
+	var errorReply *wire.Envelope
+	exhausted := func() (*wire.Envelope, error) {
+		if errorReply != nil {
+			return errorReply, nil
+		}
+		return nil, fmt.Errorf("%w for %s: %w", ErrAllRelaysFailed, network, lastErr)
+	}
+	for {
+		var hedgeC <-chan time.Time
+		if next < len(addrs) && inflight < maxParallel {
+			hedgeC = timer.C
+		}
+		select {
+		case <-ctx.Done():
+			if errorReply != nil {
+				// Surface the diagnostic the relay already gave us rather
+				// than a bare deadline error.
+				return errorReply, nil
+			}
+			return nil, ctx.Err()
+		case <-hedgeC:
+			launch()
+			timer.Reset(hedgeDelay)
+		case out := <-results:
+			inflight--
+			if out.err == nil && out.reply.Type != wire.MsgError {
+				if out.index > 0 {
+					r.countHedgedWin()
+				}
+				r.countHedgedLosses(inflight)
+				return out.reply, nil
+			}
+			if out.err != nil {
+				lastErr = out.err
+			} else {
+				errorReply = out.reply
+			}
+			if next < len(addrs) && inflight < maxParallel {
+				// A failed attempt frees its slot: open the next hedge
+				// immediately rather than waiting out the delay.
+				launch()
+				if !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(hedgeDelay)
+			} else if inflight == 0 && next == len(addrs) {
+				return exhausted()
+			}
+		}
+	}
+}
+
+// sendAtMostOnce delivers env trying addresses in order, but fails over
+// only while delivery provably did not happen — ErrUnreachable means the
+// connection was never established, so the envelope cannot have reached a
+// relay. Any error after that point (write/read failure, stall, deadline)
+// aborts instead of resending, because a non-idempotent request may
+// already have been executed by a relay whose reply was lost. Used for
+// cross-network invokes.
+func (r *Relay) sendAtMostOnce(ctx context.Context, network string, addrs []string, env *wire.Envelope) (*wire.Envelope, error) {
+	stampDeadline(ctx, env)
+	var lastErr error
+	for _, addr := range addrs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r.countFanoutAttempt()
+		reply, err := r.transport.Send(ctx, addr, env)
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrUnreachable) {
+			return nil, err
+		}
+	}
+	if lastErr == nil {
+		lastErr = ctx.Err()
+	}
+	return nil, fmt.Errorf("%w for %s: %w", ErrAllRelaysFailed, network, lastErr)
+}

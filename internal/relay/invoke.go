@@ -1,8 +1,10 @@
 package relay
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/cryptoutil"
 	"repro/internal/wire"
 )
 
@@ -13,29 +15,35 @@ import (
 type TxDriver interface {
 	// Invoke submits a transaction on the local network on behalf of an
 	// authorized foreign requester and returns the committed response with
-	// proof, exactly as Query does for reads.
-	Invoke(q *wire.Query) (*wire.QueryResponse, error)
+	// proof, exactly as Query does for reads. ctx carries the requester's
+	// remaining time budget.
+	Invoke(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error)
 }
 
 // Invoke is the client-facing entry point for cross-network transactions:
 // it mirrors Query but asks the source network to execute and commit a
-// state change. The same discovery, failover and proof machinery apply.
-func (r *Relay) Invoke(q *wire.Query) (*wire.QueryResponse, error) {
-	if q.TargetNetwork == "" {
-		return nil, fmt.Errorf("%w: invoke without target network", ErrBadEnvelope)
+// state change. Discovery and proof machinery are shared with Query; the
+// caller's struct is never modified. Because a transaction is not
+// idempotent, the envelope is delivered at most once: hedging never
+// applies, and failover moves to the next relay address only while the
+// connection was provably never established (sendAtMostOnce). As a second
+// guard, the source relay deduplicates invokes by request ID (see
+// handleInvoke), so a retried request that reaches a relay which already
+// committed replays the original response instead of re-executing. That
+// cache protects the pooled transport's same-address stale-connection
+// retry, and lets an application retry safely by setting the same
+// q.RequestID explicitly (a fresh ID is generated only when it is empty).
+func (r *Relay) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
+	q, err := r.prepareRequest(q)
+	if err != nil {
+		return nil, err
 	}
-	if q.RequestID == "" {
-		reqID, err := newRequestID()
+	if d, ok := r.driverFor(q.TargetNetwork); ok {
+		resp, err := invokeOn(ctx, d, q)
 		if err != nil {
 			return nil, err
 		}
-		q.RequestID = reqID
-	}
-	if q.RequestingNetwork == "" {
-		q.RequestingNetwork = r.localNetwork
-	}
-	if d, ok := r.driverFor(q.TargetNetwork); ok {
-		return invokeOn(d, q)
+		return ensureRequestID(resp, q), nil
 	}
 	addrs, err := r.discovery.Resolve(q.TargetNetwork)
 	if err != nil {
@@ -47,23 +55,47 @@ func (r *Relay) Invoke(q *wire.Query) (*wire.QueryResponse, error) {
 		RequestID: q.RequestID,
 		Payload:   q.Marshal(),
 	}
-	var lastErr error
-	for _, addr := range addrs {
-		reply, err := r.transport.Send(addr, env)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		return parseQueryReply(reply)
+	reply, err := r.sendAtMostOnce(ctx, q.TargetNetwork, addrs, env)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("%w for %s: %v", ErrAllRelaysFailed, q.TargetNetwork, lastErr)
+	return parseQueryReply(reply)
 }
 
+// invokeDedupLimit bounds the source-side cache of served invoke request
+// IDs. 1024 recent responses comfortably covers any realistic failover
+// window while keeping memory bounded.
+const invokeDedupLimit = 1024
+
+// invokeDedupMaxEntryBytes caps the payload size the cache will retain.
+// Outsized responses are remembered by ID only (nil payload): a resend is
+// still refused instead of re-executed, it just cannot replay the original
+// response.
+const invokeDedupMaxEntryBytes = 1 << 20 // 1 MiB
+
+// invokeDedupMaxTotalBytes bounds the cache's total resident payload
+// bytes across all entries.
+const invokeDedupMaxTotalBytes = 64 << 20 // 64 MiB
+
 // handleInvoke serves an incoming cross-network transaction request.
-func (r *Relay) handleInvoke(env *wire.Envelope) *wire.Envelope {
+// Served responses are remembered by request ID: a transport-level resend
+// (address failover or a connection that died after delivery) replays the
+// committed outcome instead of executing the transaction a second time.
+func (r *Relay) handleInvoke(ctx context.Context, env *wire.Envelope) *wire.Envelope {
 	q, err := wire.UnmarshalQuery(env.Payload)
 	if err != nil {
 		return errEnvelope(env.RequestID, fmt.Sprintf("malformed invoke: %v", err))
+	}
+	dedupKey := ""
+	if q.RequestID != "" {
+		// The key binds the requester's network and certificate to the
+		// request ID so one requester cannot occupy or poison another's
+		// ID (request IDs travel in plaintext).
+		dedupKey = invokeDedupKey(q)
+		if reply, done := r.invokeDedup(ctx, env.RequestID, q.RequestID, dedupKey); done {
+			return reply
+		}
+		defer r.invokeRelease(dedupKey)
 	}
 	if err := r.checkLimit(q.RequestingNetwork); err != nil {
 		return errEnvelope(env.RequestID, err.Error())
@@ -73,26 +105,141 @@ func (r *Relay) handleInvoke(env *wire.Envelope) *wire.Envelope {
 		return errEnvelope(env.RequestID, fmt.Sprintf("network %q not served by this relay", q.TargetNetwork))
 	}
 	r.countInvoke()
-	resp, err := invokeOn(d, q)
+	resp, err := invokeOn(ctx, d, q)
 	if err != nil {
 		r.countError()
 		resp = &wire.QueryResponse{RequestID: q.RequestID, Error: err.Error()}
 	}
-	if resp.RequestID == "" {
-		resp.RequestID = q.RequestID
+	payload := ensureRequestID(resp, q).Marshal()
+	if dedupKey != "" && err == nil {
+		// Only committed outcomes are replayable; a failed attempt may
+		// legitimately be retried by the client with the same ID.
+		r.invokeRemember(dedupKey, payload)
 	}
 	return &wire.Envelope{
 		Version:   wire.ProtocolVersion,
 		Type:      wire.MsgQueryResponse,
 		RequestID: env.RequestID,
-		Payload:   resp.Marshal(),
+		Payload:   payload,
 	}
 }
 
-func invokeOn(d Driver, q *wire.Query) (*wire.QueryResponse, error) {
+// invokeDedup decides whether this request may execute. done=true means
+// the returned envelope is the final answer: a replay of the committed
+// response, or an error for a duplicate of an attempt that is still in
+// flight or whose response was not retained. done=false means the caller
+// is the single executor for this request ID and must invokeRelease when
+// finished.
+func (r *Relay) invokeDedup(ctx context.Context, envelopeID, requestID, key string) (*wire.Envelope, bool) {
+	r.invokeMu.Lock()
+	if payload, ok := r.invokeServed[key]; ok {
+		r.invokeMu.Unlock()
+		return r.replayEnvelope(envelopeID, requestID, payload), true
+	}
+	if r.invokePending == nil {
+		r.invokePending = make(map[string]chan struct{})
+	}
+	inflight, ok := r.invokePending[key]
+	if !ok {
+		// First sighting: this caller executes.
+		r.invokePending[key] = make(chan struct{})
+		r.invokeMu.Unlock()
+		return nil, false
+	}
+	r.invokeMu.Unlock()
+	// A duplicate of an attempt still executing (e.g. a transport retry
+	// after a slow commit outran the I/O timeout): wait for the original
+	// rather than executing the transaction a second time.
+	select {
+	case <-inflight:
+		r.invokeMu.Lock()
+		payload, ok := r.invokeServed[key]
+		r.invokeMu.Unlock()
+		if !ok {
+			// The original attempt failed; the duplicate reports that
+			// rather than re-executing with unknowable partial effects.
+			return errEnvelope(envelopeID, fmt.Sprintf("duplicate invoke %s: original attempt failed", requestID)), true
+		}
+		return r.replayEnvelope(envelopeID, requestID, payload), true
+	case <-ctx.Done():
+		return errEnvelope(envelopeID, fmt.Sprintf("duplicate invoke %s: %v", requestID, ctx.Err())), true
+	}
+}
+
+// replayEnvelope wraps a cached (or dropped-as-oversized) response for a
+// duplicate invoke.
+func (r *Relay) replayEnvelope(envelopeID, requestID string, payload []byte) *wire.Envelope {
+	if payload == nil {
+		// Committed, but the response was too large to retain.
+		return errEnvelope(envelopeID,
+			fmt.Sprintf("duplicate invoke %s: already committed, original response not retained for replay", requestID))
+	}
+	return &wire.Envelope{
+		Version:   wire.ProtocolVersion,
+		Type:      wire.MsgQueryResponse,
+		RequestID: envelopeID,
+		Payload:   payload,
+	}
+}
+
+// invokeRelease marks the request's execution finished, waking duplicates
+// blocked in invokeDedup.
+func (r *Relay) invokeRelease(key string) {
+	r.invokeMu.Lock()
+	defer r.invokeMu.Unlock()
+	if ch, ok := r.invokePending[key]; ok {
+		close(ch)
+		delete(r.invokePending, key)
+	}
+}
+
+// invokeDedupKey builds the cache key for an invoke: the requester's
+// network and certificate digest bound to the request ID, so the ID space
+// is private to each requester.
+func invokeDedupKey(q *wire.Query) string {
+	certDigest := cryptoutil.Digest(q.RequesterCertPEM)
+	return q.RequestingNetwork + "\x00" + string(certDigest) + "\x00" + q.RequestID
+}
+
+// invokeRemember records a served invoke response under its dedup key,
+// evicting the oldest entries FIFO once either the entry count or the
+// total byte budget is exceeded.
+func (r *Relay) invokeRemember(key string, payload []byte) {
+	if len(payload) > invokeDedupMaxEntryBytes {
+		payload = nil // remember the ID, drop the body (see invokeDedupMaxEntryBytes)
+	}
+	r.invokeMu.Lock()
+	defer r.invokeMu.Unlock()
+	if r.invokeServed == nil {
+		r.invokeServed = make(map[string][]byte)
+	}
+	if _, ok := r.invokeServed[key]; ok {
+		return
+	}
+	r.invokeServed[key] = payload
+	r.invokeOrder = append(r.invokeOrder, key)
+	r.invokeBytes += len(payload)
+	for len(r.invokeOrder)-r.invokeHead > invokeDedupLimit || r.invokeBytes > invokeDedupMaxTotalBytes {
+		if r.invokeHead >= len(r.invokeOrder) {
+			break
+		}
+		oldest := r.invokeOrder[r.invokeHead]
+		r.invokeBytes -= len(r.invokeServed[oldest])
+		delete(r.invokeServed, oldest)
+		r.invokeHead++
+	}
+	// Compact only once the dead prefix dominates, keeping eviction
+	// amortized O(1) instead of copying the order slice on every insert.
+	if r.invokeHead > len(r.invokeOrder)/2 {
+		r.invokeOrder = append([]string(nil), r.invokeOrder[r.invokeHead:]...)
+		r.invokeHead = 0
+	}
+}
+
+func invokeOn(ctx context.Context, d Driver, q *wire.Query) (*wire.QueryResponse, error) {
 	td, ok := d.(TxDriver)
 	if !ok {
 		return nil, fmt.Errorf("relay: network %q does not support cross-network transactions", q.TargetNetwork)
 	}
-	return td.Invoke(q)
+	return td.Invoke(ctx, q)
 }

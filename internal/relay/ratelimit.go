@@ -82,6 +82,11 @@ type Stats struct {
 	ErrorsReturned  uint64
 	RateLimited     uint64
 	EventsDelivered uint64
+
+	// Client-side fan-out accounting (destination relay role).
+	FanoutAttempts uint64 // transport sends launched by client-side fan-out (queries, invokes, subscribes)
+	HedgedWins     uint64 // requests won by a hedge attempt rather than the first address
+	HedgedLosses   uint64 // in-flight attempts cancelled because another attempt won
 }
 
 // Stats returns a copy of the relay's counters.
@@ -100,6 +105,20 @@ func (r *Relay) countLimited() {
 	r.statsMu.Unlock()
 }
 func (r *Relay) countEvent() { r.statsMu.Lock(); r.stats.EventsDelivered++; r.statsMu.Unlock() }
+func (r *Relay) countFanoutAttempt() {
+	r.statsMu.Lock()
+	r.stats.FanoutAttempts++
+	r.statsMu.Unlock()
+}
+func (r *Relay) countHedgedWin() { r.statsMu.Lock(); r.stats.HedgedWins++; r.statsMu.Unlock() }
+func (r *Relay) countHedgedLosses(n int) {
+	if n <= 0 {
+		return
+	}
+	r.statsMu.Lock()
+	r.stats.HedgedLosses += uint64(n)
+	r.statsMu.Unlock()
+}
 
 // checkLimit applies the rate limiter, if configured, to an incoming
 // request attributed to requestingNetwork.

@@ -1,6 +1,7 @@
 package relay
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -71,7 +72,7 @@ func TestRelayRateLimitsIncomingQueries(t *testing.T) {
 
 	dest := New("we-trade", reg, hub)
 	query := func() error {
-		_, err := dest.Query(newQuery(t, req))
+		_, err := dest.Query(context.Background(), newQuery(t, req))
 		return err
 	}
 	if err := query(); err != nil {
@@ -107,7 +108,7 @@ func TestStatsCountErrors(t *testing.T) {
 	hub.Attach("stl", src.relay)
 	reg.Register("tradelens", "stl")
 	dest := New("we-trade", reg, hub)
-	resp, err := dest.Query(newQuery(t, req))
+	resp, err := dest.Query(context.Background(), newQuery(t, req))
 	if err == nil && resp.Error == "" {
 		t.Fatal("denied query succeeded")
 	}
@@ -128,7 +129,7 @@ func TestPingBypassesRateLimit(t *testing.T) {
 	probe := New("probe", reg, hub)
 	// Liveness probes are not subject to the query limiter.
 	for i := 0; i < 5; i++ {
-		if err := probe.Ping("addr"); err != nil {
+		if err := probe.Ping(context.Background(), "addr"); err != nil {
 			t.Fatalf("ping %d: %v", i, err)
 		}
 	}

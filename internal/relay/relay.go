@@ -10,6 +10,7 @@
 package relay
 
 import (
+	"context"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -98,9 +99,10 @@ func (r *StaticRegistry) Networks() []string {
 }
 
 // Transport delivers an envelope to a remote relay address and returns the
-// reply envelope.
+// reply envelope. Implementations must honour ctx: cancellation or deadline
+// expiry aborts the round-trip and returns ctx.Err() (possibly wrapped).
 type Transport interface {
-	Send(addr string, env *wire.Envelope) (*wire.Envelope, error)
+	Send(ctx context.Context, addr string, env *wire.Envelope) (*wire.Envelope, error)
 }
 
 // Driver translates network-neutral queries into calls on one local
@@ -110,14 +112,17 @@ type Driver interface {
 	Platform() string
 	// Query executes a cross-network query against the local network,
 	// orchestrating proof collection per the query's verification policy.
-	Query(q *wire.Query) (*wire.QueryResponse, error)
+	// ctx carries the requester's remaining time budget; drivers abandon
+	// work once it is done.
+	Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error)
 }
 
 // EventSource is implemented by drivers whose platform can emit chaincode
 // events for cross-network subscriptions (an extension beyond the paper's
-// query protocol; §7 future work).
+// query protocol; §7 future work). ctx bounds subscription establishment
+// only; delivery continues until cancel is called.
 type EventSource interface {
-	SubscribeEvents(eventName string, deliver func(payload []byte, name string, unixNano uint64)) (cancel func(), err error)
+	SubscribeEvents(ctx context.Context, eventName string, deliver func(payload []byte, name string, unixNano uint64)) (cancel func(), err error)
 }
 
 // Option configures a Relay.
@@ -138,6 +143,8 @@ type Relay struct {
 	transport    Transport
 	now          func() time.Time
 
+	hedge *Hedging
+
 	mu      sync.RWMutex
 	drivers map[string]Driver
 
@@ -146,6 +153,15 @@ type Relay struct {
 	limiter *RateLimiter
 	statsMu sync.Mutex
 	stats   Stats
+
+	// Source-side invoke idempotency: recently served invoke responses by
+	// request ID, replayed on transport-level resends (see handleInvoke).
+	invokeMu      sync.Mutex
+	invokeServed  map[string][]byte
+	invokePending map[string]chan struct{}
+	invokeOrder   []string
+	invokeHead    int
+	invokeBytes   int
 }
 
 // New creates a relay for the given local network.
@@ -184,27 +200,29 @@ func (r *Relay) driverFor(networkID string) (Driver, bool) {
 
 // Query is the client-facing entry point (Fig. 2 steps 1-3 and 9): resolve
 // the target network's relay addresses, forward the query, and return the
-// response. Addresses are tried in order; transport failures fail over to
-// the next address, implementing relay redundancy.
-func (r *Relay) Query(q *wire.Query) (*wire.QueryResponse, error) {
-	if q.TargetNetwork == "" {
-		return nil, fmt.Errorf("%w: query without target network", ErrBadEnvelope)
-	}
-	if q.RequestID == "" {
-		reqID, err := newRequestID()
-		if err != nil {
-			return nil, err
-		}
-		q.RequestID = reqID
-	}
-	if q.RequestingNetwork == "" {
-		q.RequestingNetwork = r.localNetwork
+// response. The caller's Query struct is never modified; the relay operates
+// on a copy and the assigned request ID travels back in the response's
+// RequestID field. Without hedging, addresses are tried in order and
+// transport failures fail over to the next address; with WithHedging
+// configured, a hedge attempt opens against the next address after the
+// hedge delay and the first valid response wins (relay redundancy, §5).
+// ctx bounds the whole operation: its deadline is stamped into the envelope
+// so the source relay inherits the remaining budget, and cancellation
+// aborts in-flight transport sends.
+func (r *Relay) Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
+	q, err := r.prepareRequest(q)
+	if err != nil {
+		return nil, err
 	}
 
 	// Local shortcut: if this relay serves the target network itself, skip
 	// the wire entirely. Remote is the normal path.
 	if d, ok := r.driverFor(q.TargetNetwork); ok {
-		return d.Query(q)
+		resp, err := d.Query(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		return ensureRequestID(resp, q), nil
 	}
 
 	addrs, err := r.discovery.Resolve(q.TargetNetwork)
@@ -217,16 +235,41 @@ func (r *Relay) Query(q *wire.Query) (*wire.QueryResponse, error) {
 		RequestID: q.RequestID,
 		Payload:   q.Marshal(),
 	}
-	var lastErr error
-	for _, addr := range addrs {
-		reply, err := r.transport.Send(addr, env)
-		if err != nil {
-			lastErr = err
-			continue // fail over to the next relay address
-		}
-		return parseQueryReply(reply)
+	reply, err := r.sendFanout(ctx, q.TargetNetwork, addrs, env)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("%w for %s: %v", ErrAllRelaysFailed, q.TargetNetwork, lastErr)
+	return parseQueryReply(reply)
+}
+
+// ensureRequestID backfills the assigned request ID into a response that
+// lacks one — the invariant (introduced with the no-mutation Query
+// contract) that the response always echoes the ID the relay assigned.
+func ensureRequestID(resp *wire.QueryResponse, q *wire.Query) *wire.QueryResponse {
+	if resp.RequestID == "" {
+		resp.RequestID = q.RequestID
+	}
+	return resp
+}
+
+// prepareRequest validates the query and returns a copy with the request ID
+// and requesting network filled in, leaving the caller's struct untouched.
+func (r *Relay) prepareRequest(q *wire.Query) (*wire.Query, error) {
+	if q.TargetNetwork == "" {
+		return nil, fmt.Errorf("%w: query without target network", ErrBadEnvelope)
+	}
+	prepared := *q
+	if prepared.RequestID == "" {
+		reqID, err := newRequestID()
+		if err != nil {
+			return nil, err
+		}
+		prepared.RequestID = reqID
+	}
+	if prepared.RequestingNetwork == "" {
+		prepared.RequestingNetwork = r.localNetwork
+	}
+	return &prepared, nil
 }
 
 func parseQueryReply(env *wire.Envelope) (*wire.QueryResponse, error) {
@@ -246,20 +289,27 @@ func parseQueryReply(env *wire.Envelope) (*wire.QueryResponse, error) {
 
 // HandleEnvelope is the server-facing entry point (Fig. 2 steps 4-8): it
 // dispatches an incoming envelope and returns the reply envelope. Transport
-// servers (TCP, in-process) call this for every received frame.
-func (r *Relay) HandleEnvelope(env *wire.Envelope) *wire.Envelope {
+// servers (TCP, in-process) call this for every received frame. The serving
+// context is ctx narrowed by the envelope's DeadlineUnixNano, so the source
+// side never works past the requester's remaining budget.
+func (r *Relay) HandleEnvelope(ctx context.Context, env *wire.Envelope) *wire.Envelope {
 	if env.Version > wire.ProtocolVersion {
 		return errEnvelope(env.RequestID, fmt.Sprintf("unsupported protocol version %d", env.Version))
+	}
+	if env.DeadlineUnixNano != 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.Unix(0, int64(env.DeadlineUnixNano)))
+		defer cancel()
 	}
 	switch env.Type {
 	case wire.MsgPing:
 		return &wire.Envelope{Version: wire.ProtocolVersion, Type: wire.MsgPong, RequestID: env.RequestID}
 	case wire.MsgQuery:
-		return r.handleQuery(env)
+		return r.handleQuery(ctx, env)
 	case wire.MsgInvoke:
-		return r.handleInvoke(env)
+		return r.handleInvoke(ctx, env)
 	case wire.MsgSubscribe:
-		return r.handleSubscribe(env)
+		return r.handleSubscribe(ctx, env)
 	case wire.MsgEvent:
 		return r.handleEvent(env)
 	default:
@@ -267,7 +317,7 @@ func (r *Relay) HandleEnvelope(env *wire.Envelope) *wire.Envelope {
 	}
 }
 
-func (r *Relay) handleQuery(env *wire.Envelope) *wire.Envelope {
+func (r *Relay) handleQuery(ctx context.Context, env *wire.Envelope) *wire.Envelope {
 	q, err := wire.UnmarshalQuery(env.Payload)
 	if err != nil {
 		return errEnvelope(env.RequestID, fmt.Sprintf("malformed query: %v", err))
@@ -280,16 +330,14 @@ func (r *Relay) handleQuery(env *wire.Envelope) *wire.Envelope {
 		return errEnvelope(env.RequestID, fmt.Sprintf("network %q not served by this relay", q.TargetNetwork))
 	}
 	r.countQuery()
-	resp, err := d.Query(q)
+	resp, err := d.Query(ctx, q)
 	if err != nil {
 		// Application-level failures travel inside the response so the
 		// requester can distinguish them from transport failures.
 		r.countError()
 		resp = &wire.QueryResponse{RequestID: q.RequestID, Error: err.Error()}
 	}
-	if resp.RequestID == "" {
-		resp.RequestID = q.RequestID
-	}
+	resp = ensureRequestID(resp, q)
 	return &wire.Envelope{
 		Version:   wire.ProtocolVersion,
 		Type:      wire.MsgQueryResponse,
@@ -299,14 +347,15 @@ func (r *Relay) handleQuery(env *wire.Envelope) *wire.Envelope {
 }
 
 // Ping probes a remote relay address, returning the round-trip error if
-// any.
-func (r *Relay) Ping(addr string) error {
+// any. ctx bounds the probe.
+func (r *Relay) Ping(ctx context.Context, addr string) error {
 	reqID, err := newRequestID()
 	if err != nil {
 		return err
 	}
 	env := &wire.Envelope{Version: wire.ProtocolVersion, Type: wire.MsgPing, RequestID: reqID}
-	reply, err := r.transport.Send(addr, env)
+	stampDeadline(ctx, env)
+	reply, err := r.transport.Send(ctx, addr, env)
 	if err != nil {
 		return err
 	}

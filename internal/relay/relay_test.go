@@ -2,6 +2,7 @@ package relay
 
 import (
 	"bytes"
+	"context"
 	"crypto/ecdsa"
 	"encoding/pem"
 	"errors"
@@ -187,7 +188,7 @@ func TestCrossNetworkQueryEndToEnd(t *testing.T) {
 
 	dest := New("we-trade", reg, hub)
 	q := newQuery(t, req)
-	resp, err := dest.Query(q)
+	resp, err := dest.Query(context.Background(), q)
 	if err != nil {
 		t.Fatalf("Query: %v", err)
 	}
@@ -237,7 +238,7 @@ func TestQueryDeniedWithoutRule(t *testing.T) {
 	reg.Register("tradelens", "stl-relay")
 	dest := New("we-trade", reg, hub)
 
-	resp, err := dest.Query(newQuery(t, req))
+	resp, err := dest.Query(context.Background(), newQuery(t, req))
 	if err == nil && resp.Error == "" {
 		t.Fatal("query without access rule succeeded")
 	}
@@ -250,7 +251,7 @@ func TestQueryUnknownNetwork(t *testing.T) {
 	reg := NewStaticRegistry()
 	dest := New("we-trade", reg, NewHub())
 	q := &wire.Query{TargetNetwork: "ghost-net", Contract: "cc", Function: "fn"}
-	if _, err := dest.Query(q); !errors.Is(err, ErrUnknownNetwork) {
+	if _, err := dest.Query(context.Background(), q); !errors.Is(err, ErrUnknownNetwork) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -270,7 +271,7 @@ func TestFailoverToRedundantRelay(t *testing.T) {
 	hub.SetDown("stl-relay-1", true)
 
 	dest := New("we-trade", reg, hub)
-	resp, err := dest.Query(newQuery(t, req))
+	resp, err := dest.Query(context.Background(), newQuery(t, req))
 	if err != nil {
 		t.Fatalf("failover query: %v", err)
 	}
@@ -291,7 +292,7 @@ func TestAllRelaysDown(t *testing.T) {
 	hub.SetDown("stl-relay-1", true)
 
 	dest := New("we-trade", reg, hub)
-	if _, err := dest.Query(newQuery(t, req)); !errors.Is(err, ErrAllRelaysFailed) {
+	if _, err := dest.Query(context.Background(), newQuery(t, req)); !errors.Is(err, ErrAllRelaysFailed) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -306,7 +307,7 @@ func TestLocalNetworkShortcut(t *testing.T) {
 
 	// The source relay itself serves queries for its own network without
 	// any discovery or transport.
-	resp, err := src.relay.Query(newQuery(t, req))
+	resp, err := src.relay.Query(context.Background(), newQuery(t, req))
 	if err != nil {
 		t.Fatalf("local query: %v", err)
 	}
@@ -332,7 +333,7 @@ func TestDivergentPeerResultsRejected(t *testing.T) {
 	hub.Attach("stl-relay", src.relay)
 	reg.Register("tradelens", "stl-relay")
 	dest := New("we-trade", reg, hub)
-	resp, err := dest.Query(newQuery(t, req))
+	resp, err := dest.Query(context.Background(), newQuery(t, req))
 	if err == nil && resp.Error == "" {
 		t.Fatal("divergent results not detected")
 	}
@@ -343,7 +344,7 @@ func TestUnsupportedVersionRejected(t *testing.T) {
 	reg := NewStaticRegistry()
 	src := newSourceEnv(t, reg, hub)
 	env := &wire.Envelope{Version: 99, Type: wire.MsgQuery, RequestID: "x"}
-	reply := src.relay.HandleEnvelope(env)
+	reply := src.relay.HandleEnvelope(context.Background(), env)
 	if reply.Type != wire.MsgError {
 		t.Fatalf("reply = %+v", reply)
 	}
@@ -355,7 +356,7 @@ func TestUnknownTargetAtSourceRelay(t *testing.T) {
 	src := newSourceEnv(t, reg, hub)
 	q := &wire.Query{TargetNetwork: "not-served", Contract: "cc", Function: "fn"}
 	env := &wire.Envelope{Version: wire.ProtocolVersion, Type: wire.MsgQuery, RequestID: "r", Payload: q.Marshal()}
-	reply := src.relay.HandleEnvelope(env)
+	reply := src.relay.HandleEnvelope(context.Background(), env)
 	if reply.Type != wire.MsgError {
 		t.Fatalf("reply = %+v", reply)
 	}
@@ -402,7 +403,7 @@ func TestTCPTransportEndToEnd(t *testing.T) {
 
 	dest := New("we-trade", reg, transport)
 	q := newQuery(t, req)
-	resp, err := dest.Query(q)
+	resp, err := dest.Query(context.Background(), q)
 	if err != nil {
 		t.Fatalf("Query over TCP: %v", err)
 	}
@@ -429,14 +430,14 @@ func TestTCPPing(t *testing.T) {
 	defer server.Close()
 
 	probe := New("we-trade", reg, transport)
-	if err := probe.Ping(server.Addr()); err != nil {
+	if err := probe.Ping(context.Background(), server.Addr()); err != nil {
 		t.Fatalf("Ping: %v", err)
 	}
 }
 
 func TestTCPUnreachable(t *testing.T) {
 	transport := &TCPTransport{DialTimeout: 200 * time.Millisecond, IOTimeout: time.Second}
-	_, err := transport.Send("127.0.0.1:1", &wire.Envelope{Version: 1, Type: wire.MsgPing})
+	_, err := transport.Send(context.Background(), "127.0.0.1:1", &wire.Envelope{Version: 1, Type: wire.MsgPing})
 	if !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("err = %v", err)
 	}
@@ -462,7 +463,7 @@ func TestCrossNetworkEvents(t *testing.T) {
 	hub.Attach("swt-relay", dest)
 	reg.Register("we-trade", "swt-relay")
 
-	events, cancel, err := dest.SubscribeRemote("tradelens", "bl-issued", req.certPEM)
+	events, cancel, err := dest.SubscribeRemote(context.Background(), "tradelens", "bl-issued", req.certPEM)
 	if err != nil {
 		t.Fatalf("SubscribeRemote: %v", err)
 	}
@@ -506,7 +507,7 @@ func BenchmarkCrossNetworkQueryInProc(b *testing.B) {
 			Args: [][]byte{[]byte("bl-77")}, PolicyExpr: "AND('seller-org','carrier-org')",
 			RequesterCertPEM: req.certPEM, Nonce: nonce,
 		}
-		resp, err := dest.Query(q)
+		resp, err := dest.Query(context.Background(), q)
 		if err != nil || resp.Error != "" {
 			b.Fatal(respError(resp, err))
 		}

@@ -1,6 +1,7 @@
 package relay
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -15,16 +16,58 @@ import (
 // connection per request. This stands in for the paper's gRPC channel; the
 // request/response semantics are identical.
 type TCPTransport struct {
-	// DialTimeout bounds connection establishment. Zero means 5s.
+	// DialTimeout bounds connection establishment. Zero means 5s. The
+	// context's deadline applies on top when sooner.
 	DialTimeout time.Duration
-	// IOTimeout bounds each request round-trip. Zero means 30s.
+	// IOTimeout bounds each request round-trip. Zero means 30s. The
+	// context's deadline applies on top when sooner.
 	IOTimeout time.Duration
 }
 
 var _ Transport = (*TCPTransport)(nil)
 
+// ioDeadline returns the connection deadline for a round-trip: the sooner
+// of now+ioTimeout and the context's own deadline.
+func ioDeadline(ctx context.Context, ioTimeout time.Duration) time.Time {
+	deadline := time.Now().Add(ioTimeout)
+	if ctxDeadline, ok := ctx.Deadline(); ok && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	return deadline
+}
+
+// watchCancel interrupts blocked connection I/O when ctx is cancelled by
+// forcing the deadline into the past. The returned stop func must be called
+// once the round-trip completes; it blocks until the watcher has exited, so
+// the watcher can never touch the connection afterwards (a stale async set
+// would poison a connection already returned to a pool).
+func watchCancel(ctx context.Context, conn net.Conn) (stop func()) {
+	if ctx.Done() == nil {
+		return func() {}
+	}
+	finished := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			select {
+			case <-finished:
+				// Round-trip already complete; leave the conn alone.
+			default:
+				conn.SetDeadline(time.Unix(1, 0)) // unblock pending reads/writes
+			}
+		case <-finished:
+		}
+	}()
+	return func() {
+		close(finished)
+		<-done
+	}
+}
+
 // Send implements Transport.
-func (t *TCPTransport) Send(addr string, env *wire.Envelope) (*wire.Envelope, error) {
+func (t *TCPTransport) Send(ctx context.Context, addr string, env *wire.Envelope) (*wire.Envelope, error) {
 	dialTimeout := t.DialTimeout
 	if dialTimeout <= 0 {
 		dialTimeout = 5 * time.Second
@@ -33,26 +76,47 @@ func (t *TCPTransport) Send(addr string, env *wire.Envelope) (*wire.Envelope, er
 	if ioTimeout <= 0 {
 		ioTimeout = 30 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	dialer := &net.Dialer{Timeout: dialTimeout}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+		return nil, fmt.Errorf("%w: %s: %w", ErrUnreachable, addr, err)
 	}
 	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(ioTimeout)); err != nil {
+	if err := conn.SetDeadline(ioDeadline(ctx, ioTimeout)); err != nil {
 		return nil, fmt.Errorf("relay: set deadline: %w", err)
 	}
+	// Started after SetDeadline: a cancellation landing between the two
+	// would otherwise have its forced past-deadline overwritten. A watcher
+	// started on an already-cancelled context fires immediately.
+	stop := watchCancel(ctx, conn)
+	defer stop()
 	if err := wire.WriteFrame(conn, env.Marshal()); err != nil {
-		return nil, fmt.Errorf("relay: send to %s: %w", addr, err)
+		return nil, fmt.Errorf("relay: send to %s: %w", addr, wrapCtxErr(ctx, err))
 	}
 	frame, err := wire.ReadFrame(conn)
 	if err != nil {
-		return nil, fmt.Errorf("relay: reply from %s: %w", addr, err)
+		return nil, fmt.Errorf("relay: reply from %s: %w", addr, wrapCtxErr(ctx, err))
 	}
 	reply, err := wire.UnmarshalEnvelope(frame)
 	if err != nil {
 		return nil, fmt.Errorf("relay: reply from %s: %w", addr, err)
 	}
 	return reply, nil
+}
+
+// wrapCtxErr substitutes the context's error for an I/O timeout caused by
+// cancellation or deadline expiry, so callers can match context.Canceled
+// and context.DeadlineExceeded with errors.Is. The explicit deadline check
+// covers the race where the connection deadline (derived from the context)
+// fires a moment before the context's own timer.
+func wrapCtxErr(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	if deadline, ok := ctx.Deadline(); ok && !time.Now().Before(deadline) {
+		return context.DeadlineExceeded
+	}
+	return err
 }
 
 // TCPServer accepts relay connections and dispatches envelopes to a Relay.
@@ -131,7 +195,9 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			reply = errEnvelope("", fmt.Sprintf("malformed envelope: %v", err))
 		} else {
-			reply = s.relay.HandleEnvelope(env)
+			// The requester's remaining budget arrives in the envelope's
+			// DeadlineUnixNano; HandleEnvelope narrows this context by it.
+			reply = s.relay.HandleEnvelope(context.Background(), env)
 		}
 		if err := wire.WriteFrame(conn, reply.Marshal()); err != nil {
 			return

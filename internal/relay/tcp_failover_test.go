@@ -1,6 +1,7 @@
 package relay
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -32,7 +33,7 @@ func TestTCPFailoverAcrossRealServers(t *testing.T) {
 	dest := New("we-trade", reg, transport)
 
 	// Both up.
-	resp, err := dest.Query(newQuery(t, req))
+	resp, err := dest.Query(context.Background(), newQuery(t, req))
 	if err != nil || resp.Error != "" {
 		t.Fatalf("query with both up: %v %s", err, respError(resp, err))
 	}
@@ -41,7 +42,7 @@ func TestTCPFailoverAcrossRealServers(t *testing.T) {
 	if err := primary.Close(); err != nil {
 		t.Fatalf("close primary: %v", err)
 	}
-	resp, err = dest.Query(newQuery(t, req))
+	resp, err = dest.Query(context.Background(), newQuery(t, req))
 	if err != nil {
 		t.Fatalf("failover query: %v", err)
 	}

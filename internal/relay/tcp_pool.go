@@ -1,6 +1,7 @@
 package relay
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -31,41 +32,57 @@ type PooledTCPTransport struct {
 var _ Transport = (*PooledTCPTransport)(nil)
 
 // Send implements Transport.
-func (t *PooledTCPTransport) Send(addr string, env *wire.Envelope) (*wire.Envelope, error) {
+func (t *PooledTCPTransport) Send(ctx context.Context, addr string, env *wire.Envelope) (*wire.Envelope, error) {
 	payload := env.Marshal()
-	conn, reused, err := t.checkout(addr)
+	conn, reused, err := t.checkout(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
-	reply, err := t.roundTrip(conn, payload)
+	reply, err := t.roundTrip(ctx, conn, payload)
 	if err != nil {
 		conn.Close()
-		if !reused {
-			return nil, err
+		// The stale-connection retry redials the SAME address, so the
+		// resend reaches the same relay process: queries and pings are
+		// idempotent outright, invokes are deduplicated there by request
+		// ID (handleInvoke replay cache), and subscribes are idempotent by
+		// subscription ID. Only events stay excluded — a resent MsgEvent
+		// would be delivered to the subscriber twice.
+		if !reused || ctx.Err() != nil || env.Type == wire.MsgEvent {
+			return nil, wrapCtxErr(ctx, err)
 		}
+		firstErr := err
 		// The pooled connection may have gone stale; retry once fresh.
-		conn, _, err = t.dial(addr)
+		conn, _, err = t.dial(ctx, addr)
 		if err != nil {
-			return nil, err
+			// Do NOT surface the dial failure's ErrUnreachable here: the
+			// first round-trip may already have delivered the envelope, so
+			// an at-most-once caller (sendAtMostOnce) must not read this
+			// as "provably never delivered" and fail over to another
+			// relay. Return the original round-trip error instead.
+			return nil, wrapCtxErr(ctx, firstErr)
 		}
-		reply, err = t.roundTrip(conn, payload)
+		reply, err = t.roundTrip(ctx, conn, payload)
 		if err != nil {
 			conn.Close()
-			return nil, err
+			return nil, wrapCtxErr(ctx, err)
 		}
 	}
 	t.checkin(addr, conn)
 	return reply, nil
 }
 
-func (t *PooledTCPTransport) roundTrip(conn net.Conn, payload []byte) (*wire.Envelope, error) {
+func (t *PooledTCPTransport) roundTrip(ctx context.Context, conn net.Conn, payload []byte) (*wire.Envelope, error) {
 	ioTimeout := t.IOTimeout
 	if ioTimeout <= 0 {
 		ioTimeout = 30 * time.Second
 	}
-	if err := conn.SetDeadline(time.Now().Add(ioTimeout)); err != nil {
+	if err := conn.SetDeadline(ioDeadline(ctx, ioTimeout)); err != nil {
 		return nil, fmt.Errorf("relay: set deadline: %w", err)
 	}
+	// Started after SetDeadline so a racing cancellation cannot have its
+	// forced past-deadline overwritten.
+	stop := watchCancel(ctx, conn)
+	defer stop()
 	if err := wire.WriteFrame(conn, payload); err != nil {
 		return nil, fmt.Errorf("relay: send: %w", err)
 	}
@@ -80,7 +97,7 @@ func (t *PooledTCPTransport) roundTrip(conn net.Conn, payload []byte) (*wire.Env
 	return reply, nil
 }
 
-func (t *PooledTCPTransport) checkout(addr string) (conn net.Conn, reused bool, err error) {
+func (t *PooledTCPTransport) checkout(ctx context.Context, addr string) (conn net.Conn, reused bool, err error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -93,17 +110,18 @@ func (t *PooledTCPTransport) checkout(addr string) (conn net.Conn, reused bool, 
 		return conn, true, nil
 	}
 	t.mu.Unlock()
-	return t.dial(addr)
+	return t.dial(ctx, addr)
 }
 
-func (t *PooledTCPTransport) dial(addr string) (net.Conn, bool, error) {
+func (t *PooledTCPTransport) dial(ctx context.Context, addr string) (net.Conn, bool, error) {
 	dialTimeout := t.DialTimeout
 	if dialTimeout <= 0 {
 		dialTimeout = 5 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	dialer := &net.Dialer{Timeout: dialTimeout}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, false, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+		return nil, false, fmt.Errorf("%w: %s: %w", ErrUnreachable, addr, err)
 	}
 	return conn, false, nil
 }

@@ -1,6 +1,7 @@
 package relay
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -22,7 +23,7 @@ func TestPooledTransportRoundTrip(t *testing.T) {
 
 	probe := New("probe", reg, pool)
 	for i := 0; i < 10; i++ {
-		if err := probe.Ping(server.Addr()); err != nil {
+		if err := probe.Ping(context.Background(), server.Addr()); err != nil {
 			t.Fatalf("ping %d: %v", i, err)
 		}
 	}
@@ -47,7 +48,7 @@ func TestPooledTransportConcurrent(t *testing.T) {
 			defer wg.Done()
 			probe := New("probe", reg, pool)
 			for i := 0; i < 25; i++ {
-				if err := probe.Ping(server.Addr()); err != nil {
+				if err := probe.Ping(context.Background(), server.Addr()); err != nil {
 					errs <- err
 					return
 				}
@@ -72,7 +73,7 @@ func TestPooledTransportRetriesStaleConnection(t *testing.T) {
 	}
 	addr := server.Addr()
 	probe := New("probe", reg, pool)
-	if err := probe.Ping(addr); err != nil {
+	if err := probe.Ping(context.Background(), addr); err != nil {
 		t.Fatalf("first ping: %v", err)
 	}
 
@@ -86,7 +87,7 @@ func TestPooledTransportRetriesStaleConnection(t *testing.T) {
 		t.Skipf("could not rebind %s: %v", addr, err)
 	}
 	defer server2.Close()
-	if err := probe.Ping(addr); err != nil {
+	if err := probe.Ping(context.Background(), addr); err != nil {
 		t.Fatalf("ping after restart: %v", err)
 	}
 }
@@ -94,7 +95,7 @@ func TestPooledTransportRetriesStaleConnection(t *testing.T) {
 func TestPooledTransportClosed(t *testing.T) {
 	pool := &PooledTCPTransport{}
 	pool.Close()
-	_, err := pool.Send("127.0.0.1:1", &wire.Envelope{Version: 1, Type: wire.MsgPing})
+	_, err := pool.Send(context.Background(), "127.0.0.1:1", &wire.Envelope{Version: 1, Type: wire.MsgPing})
 	if !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("err = %v", err)
 	}
@@ -103,7 +104,7 @@ func TestPooledTransportClosed(t *testing.T) {
 func TestPooledTransportUnreachable(t *testing.T) {
 	pool := &PooledTCPTransport{DialTimeout: 200 * time.Millisecond}
 	defer pool.Close()
-	_, err := pool.Send("127.0.0.1:1", &wire.Envelope{Version: 1, Type: wire.MsgPing})
+	_, err := pool.Send(context.Background(), "127.0.0.1:1", &wire.Envelope{Version: 1, Type: wire.MsgPing})
 	if !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("err = %v", err)
 	}

@@ -1,6 +1,7 @@
 package relay
 
 import (
+	"context"
 	"net"
 	"sync"
 	"testing"
@@ -77,7 +78,7 @@ func TestTCPServerAbruptDisconnect(t *testing.T) {
 	conn.Close()
 
 	probe := New("probe", reg, &TCPTransport{})
-	if err := probe.Ping(server.Addr()); err != nil {
+	if err := probe.Ping(context.Background(), server.Addr()); err != nil {
 		t.Fatalf("server wedged after abrupt disconnect: %v", err)
 	}
 }
@@ -100,7 +101,7 @@ func TestTCPServerConcurrentClients(t *testing.T) {
 			defer wg.Done()
 			probe := New("probe", reg, &TCPTransport{})
 			for i := 0; i < 20; i++ {
-				if err := probe.Ping(server.Addr()); err != nil {
+				if err := probe.Ping(context.Background(), server.Addr()); err != nil {
 					errs <- err
 					return
 				}
@@ -136,7 +137,7 @@ func TestTCPServerCloseIdempotent(t *testing.T) {
 	}
 	// The address no longer serves.
 	probe := New("probe", reg, &TCPTransport{DialTimeout: 300 * time.Millisecond})
-	if err := probe.Ping(server.Addr()); err == nil {
+	if err := probe.Ping(context.Background(), server.Addr()); err == nil {
 		t.Fatal("closed server still answers")
 	}
 }

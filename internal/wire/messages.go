@@ -63,6 +63,15 @@ type Envelope struct {
 	Type      MsgType
 	RequestID string
 	Payload   []byte
+	// DeadlineUnixNano is the absolute deadline of the requester's context
+	// (nanoseconds since the Unix epoch), zero when unbounded. The source
+	// relay derives its serving context from it, so the remaining time
+	// budget travels with the request instead of resetting at every hop.
+	// Being an absolute timestamp it assumes the consortium's relays run
+	// reasonably synchronized clocks (NTP-class skew); a relay whose clock
+	// is far behind the requester's would see an inflated budget, one far
+	// ahead a shrunken one.
+	DeadlineUnixNano uint64
 }
 
 // Marshal encodes the envelope.
@@ -72,6 +81,7 @@ func (m *Envelope) Marshal() []byte {
 	e.Uint(2, uint64(m.Type))
 	e.String(3, m.RequestID)
 	e.BytesField(4, m.Payload)
+	e.Uint(5, m.DeadlineUnixNano)
 	return e.Bytes()
 }
 
@@ -98,6 +108,8 @@ func UnmarshalEnvelope(buf []byte) (*Envelope, error) {
 			m.RequestID, err = d.String()
 		case 4:
 			m.Payload, err = d.BytesCopy()
+		case 5:
+			m.DeadlineUnixNano, err = d.Uint()
 		default:
 			err = d.Skip()
 		}

@@ -69,6 +69,32 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEnvelopeDeadlineRoundTrip(t *testing.T) {
+	env := &Envelope{
+		Version:          ProtocolVersion,
+		Type:             MsgQuery,
+		RequestID:        "req-8",
+		Payload:          []byte("inner"),
+		DeadlineUnixNano: 1_753_500_000_123_456_789,
+	}
+	got, err := UnmarshalEnvelope(env.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalEnvelope: %v", err)
+	}
+	if got.DeadlineUnixNano != env.DeadlineUnixNano {
+		t.Fatalf("deadline = %d, want %d", got.DeadlineUnixNano, env.DeadlineUnixNano)
+	}
+	// Zero means unbounded and round-trips as zero.
+	unbounded := &Envelope{Version: ProtocolVersion, Type: MsgPing, RequestID: "p"}
+	got, err = UnmarshalEnvelope(unbounded.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalEnvelope: %v", err)
+	}
+	if got.DeadlineUnixNano != 0 {
+		t.Fatalf("unbounded deadline = %d, want 0", got.DeadlineUnixNano)
+	}
+}
+
 func TestAttestationRoundTrip(t *testing.T) {
 	a := &Attestation{
 		PeerName:          "peer0",
