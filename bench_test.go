@@ -198,7 +198,10 @@ func BenchmarkE3ProofValidation(b *testing.B) {
 
 // BenchmarkE4FailoverLatency compares a query served by the primary relay
 // against one that must fail over to a standby after the primary is down —
-// the cost of the paper's relay-redundancy availability mitigation.
+// the cost of the paper's relay-redundancy availability mitigation. With
+// health-aware discovery that cost is paid once, not per query: the dead
+// primary is demoted after its first failed attempt, so the steady-state
+// failover number converges on the primary-up number.
 func BenchmarkE4FailoverLatency(b *testing.B) {
 	build := func(b *testing.B, primaryDown bool) (*core.Client, core.RemoteQuerySpec) {
 		hub := relay.NewHub()
@@ -642,10 +645,14 @@ func buildFanoutWorld(b *testing.B, slowDelay time.Duration, slowAddr string, re
 }
 
 // BenchmarkP7HedgedFanout measures tail latency with one degraded relay
-// address: sequential failover waits out the slow preferred address on
-// every query (it is slow, not down, so failover never triggers), while
-// hedged fan-out opens the standby after the hedge delay and the fast
-// response wins. p50/p99 are reported as custom metrics.
+// address. Historically the sequential arm waited out the slow preferred
+// address on every query (slow, not down, so failover never triggered);
+// with health-aware discovery the EWMA latency score demotes it after its
+// first sample, so the sequential arm now pays the slow address once and
+// runs fast thereafter. Hedging still bounds the tail without needing a
+// latency history — its remaining edge — but a hedge delay below the fast
+// path's RTT turns into pure duplicate load, visible in the hedged arm's
+// p50. p50/p99 are reported as custom metrics.
 func BenchmarkP7HedgedFanout(b *testing.B) {
 	const slowDelay = 10 * time.Millisecond
 	const hedgeDelay = 1 * time.Millisecond

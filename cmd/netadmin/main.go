@@ -1,11 +1,15 @@
-// Command netadmin inspects a deployment directory: it lists the networks
-// registered for discovery, probes every relay address for liveness, and
-// summarizes the client kit's interop configuration (requesting identity,
-// source network organizations, verification policy).
+// Command netadmin inspects and maintains a deployment directory. The
+// default status command lists the networks registered for discovery,
+// probes every relay address for liveness, and summarizes the client kit's
+// interop configuration (requesting identity, source network organizations,
+// verification policy). The registry subcommands inspect and maintain
+// lease-based discovery membership.
 //
 // Usage:
 //
-//	netadmin -dir ./deploy
+//	netadmin -dir ./deploy                 # status (default)
+//	netadmin -dir ./deploy registry list   # every entry with its lease state
+//	netadmin -dir ./deploy registry prune  # drop entries whose lease lapsed
 package main
 
 import (
@@ -33,6 +37,21 @@ func run() error {
 	flag.Parse()
 
 	registry := relay.NewFileRegistry(deploy.RegistryPath(*dir))
+	switch args := flag.Args(); {
+	case len(args) == 0 || (len(args) == 1 && args[0] == "status"):
+		return status(*dir, registry, *probeTimeout)
+	case len(args) == 2 && args[0] == "registry" && args[1] == "list":
+		return registryList(*dir, registry)
+	case len(args) == 2 && args[0] == "registry" && args[1] == "prune":
+		return registryPrune(registry)
+	default:
+		return fmt.Errorf("unknown command %q (expected: status, registry list, registry prune)", args)
+	}
+}
+
+// status is the default inspection: resolve and probe every live relay
+// address, then summarize the client kit.
+func status(dir string, registry *relay.FileRegistry, probeTimeout time.Duration) error {
 	networks, err := registry.Networks()
 	if err != nil {
 		return err
@@ -42,19 +61,22 @@ func run() error {
 	transport := &relay.TCPTransport{DialTimeout: 2 * time.Second, IOTimeout: 5 * time.Second}
 	probe := relay.New("netadmin", registry, transport)
 
-	fmt.Printf("registry: %s\n", deploy.RegistryPath(*dir))
+	fmt.Printf("registry: %s\n", deploy.RegistryPath(dir))
 	if len(networks) == 0 {
 		fmt.Println("  (no networks registered)")
 	}
 	for _, network := range networks {
 		addrs, err := registry.Resolve(network)
 		if err != nil {
-			return err
+			// Every entry's lease may have lapsed; the network still shows
+			// under `registry list` until pruned.
+			fmt.Printf("network %q: no live relay entries (%v)\n", network, err)
+			continue
 		}
 		fmt.Printf("network %q: %d relay(s)\n", network, len(addrs))
 		for _, addr := range addrs {
 			start := time.Now()
-			ctx, cancel := context.WithTimeout(context.Background(), *probeTimeout)
+			ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
 			err := probe.Ping(ctx, addr)
 			cancel()
 			if err != nil {
@@ -65,7 +87,7 @@ func run() error {
 		}
 	}
 
-	kit, err := deploy.LoadKit(*dir)
+	kit, err := deploy.LoadKit(dir)
 	if err != nil {
 		fmt.Printf("client kit: none (%v)\n", err)
 		return nil
@@ -82,4 +104,56 @@ func run() error {
 		fmt.Printf("    %-20s %d peer(s), root cert %d bytes\n", org.OrgID, len(org.PeerNames), len(org.RootCertPEM))
 	}
 	return nil
+}
+
+// registryList prints every entry, expired or not, with its lease state.
+func registryList(dir string, registry *relay.FileRegistry) error {
+	entries, err := registry.Entries()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registry: %s\n", deploy.RegistryPath(dir))
+	if len(entries) == 0 {
+		fmt.Println("  (no networks registered)")
+		return nil
+	}
+	networks := make([]string, 0, len(entries))
+	for id := range entries {
+		networks = append(networks, id)
+	}
+	sort.Strings(networks)
+	now := time.Now()
+	for _, network := range networks {
+		fmt.Printf("network %q:\n", network)
+		for _, entry := range entries[network] {
+			switch {
+			case entry.ExpiresUnixNano == 0:
+				fmt.Printf("  %-24s permanent\n", entry.Addr)
+			case time.Unix(0, entry.ExpiresUnixNano).After(now):
+				remaining := time.Unix(0, entry.ExpiresUnixNano).Sub(now).Round(time.Second)
+				fmt.Printf("  %-24s lease expires in %s\n", entry.Addr, remaining)
+			default:
+				expired := now.Sub(time.Unix(0, entry.ExpiresUnixNano)).Round(time.Second)
+				fmt.Printf("  %-24s EXPIRED %s ago (prune to remove)\n", entry.Addr, expired)
+			}
+		}
+	}
+	return nil
+}
+
+// registryPrune drops entries whose lease has lapsed.
+func registryPrune(registry *relay.FileRegistry) error {
+	pruned, err := registry.Prune()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pruned %d expired entr%s\n", pruned, pluralYIes(pruned))
+	return nil
+}
+
+func pluralYIes(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
 }

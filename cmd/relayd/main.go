@@ -2,7 +2,11 @@
 // boots the Simplified TradeLens network with seeded trade data, provisions
 // a foreign client (the We.Trade seller of the paper's use case) with full
 // interop configuration, writes the deployment artifacts (relay registry
-// and client kit), and serves the relay protocol until interrupted.
+// and client kit), and serves the relay protocol until interrupted. The
+// relay registers itself in the discovery registry under a TTL lease that
+// it renews on a heartbeat and withdraws on shutdown; restarting against
+// the same deployment directory refreshes the single registry entry rather
+// than accumulating duplicates.
 //
 // Usage:
 //
@@ -45,6 +49,8 @@ func run() error {
 	listen := flag.String("listen", "127.0.0.1:9080", "address to serve the relay protocol on")
 	dir := flag.String("dir", "./deploy", "deployment directory for registry and client kit")
 	seed := flag.Bool("seed", true, "seed the demo shipment and bill of lading")
+	leaseTTL := flag.Duration("lease-ttl", time.Minute,
+		"discovery lease TTL; the relay re-announces at a third of this and deregisters on shutdown (0 = permanent entry)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -136,15 +142,26 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := registry.Register(tradelens.NetworkID, server.Addr()); err != nil {
+	// Lease-based discovery membership: registration is deduplicated per
+	// address (a restart against the same deployment dir refreshes the
+	// entry instead of appending a duplicate), kept fresh by heartbeat
+	// re-announcement, and withdrawn on shutdown. If this process dies
+	// without cleaning up, the lease lapses and discovery stops handing the
+	// dead address out.
+	stopAnnounce, err := relay.Announce(registry, tradelens.NetworkID, server.Addr(), *leaseTTL, func(err error) {
+		log.Printf("lease renewal failed (lease lapses if this persists): %v", err)
+	})
+	if err != nil {
+		server.Close()
 		return err
 	}
-	log.Printf("tradelens relay serving on %s; deployment artifacts in %s", server.Addr(), *dir)
+	log.Printf("tradelens relay serving on %s (lease ttl %s); deployment artifacts in %s", server.Addr(), *leaseTTL, *dir)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
+	stopAnnounce() // halt the heartbeat and deregister from discovery
 	return server.Close()
 }
 

@@ -7,12 +7,27 @@
 //
 // Every request-path operation is context-first: the ctx passed to
 // core.Client.RemoteQuery travels with the query — its deadline is stamped
-// into the wire envelope (Envelope.DeadlineUnixNano) so the source relay
-// serves under the requester's remaining budget, and cancellation aborts
-// in-flight transport sends. Redundant relay addresses can be raced with
-// hedged fan-out (relay.WithHedging) instead of sequential failover, and
-// core.Client.RemoteQueryBatch fans many queries out under one shared
-// deadline with bounded parallelism.
+// into the wire envelope both as an absolute timestamp
+// (Envelope.DeadlineUnixNano) and as a relative remaining duration
+// (Envelope.TimeoutNanos, gRPC-style); the source relay takes the laxer of
+// the two, so deadline propagation survives clock skew between relays, and
+// cancellation aborts in-flight transport sends. Redundant relay addresses
+// can be raced with hedged fan-out (relay.WithHedging) instead of
+// sequential failover, and core.Client.RemoteQueryBatch fans many queries
+// out under one shared deadline with bounded parallelism.
+//
+// Discovery is health-aware and lease-based. Every transport outcome —
+// sequential failover, hedged attempts, liveness pings, event pushes —
+// feeds a per-address health tracker (consecutive-failure count, EWMA
+// round-trip latency, circuit breaker; relay/health.go), and resolved
+// address lists are reordered by health score so fan-out tries live, fast
+// relays first and demotes circuit-open addresses to last resort until
+// their cooldown elapses (relay.WithCircuitBreaker tunes the policy).
+// Registry membership is lease-based (relay.LeaseRegistrar): a relay
+// daemon announces its address under a TTL, renews it on a heartbeat
+// (relay.Announce), and deregisters on shutdown; registration deduplicates
+// by address, lapsed leases stop resolving, and `netadmin registry
+// list`/`registry prune` inspect and clean the registry file.
 //
 // The module layout — everything lives under internal/; programs in cmd/
 // and examples/ are the runnable surface:

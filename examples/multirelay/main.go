@@ -1,8 +1,9 @@
 // Multirelay: the paper's availability analysis (§5) made executable. The
 // source network deploys redundant relays; the example crashes the primary
-// mid-run and shows cross-network queries failing over to the standby, then
-// takes both down to show the failure mode the paper attributes to relay
-// DoS.
+// mid-run and shows cross-network queries failing over to the standby —
+// and, with health-aware discovery, shows failover stop wasting attempts
+// on the dead primary after its first failure. It then takes both relays
+// down to show the failure mode the paper attributes to relay DoS.
 package main
 
 import (
@@ -79,26 +80,42 @@ func run() error {
 	}
 	fmt.Println("   query served")
 
-	fmt.Println("== primary relay crashed ==")
+	fmt.Println("== primary relay crashed: service continues, waste stays bounded ==")
 	hub.SetDown(primaryAddr, true)
-	if _, err := client.RemoteQuery(ctx, spec); err != nil {
-		return fmt.Errorf("failover query failed: %w", err)
+	before := world.SWT.Relay.Stats().FanoutAttempts
+	const postCrashQueries = 6
+	for i := 0; i < postCrashQueries; i++ {
+		if _, err := client.RemoteQuery(ctx, spec); err != nil {
+			return fmt.Errorf("post-crash query %d failed: %w", i, err)
+		}
 	}
-	fmt.Println("   query failed over to the standby relay and was served")
+	attempts := world.SWT.Relay.Stats().FanoutAttempts - before
+	if attempts > postCrashQueries+1 {
+		return fmt.Errorf("dead primary retried %d times across %d queries; health demotion not working",
+			attempts-postCrashQueries, postCrashQueries)
+	}
+	fmt.Printf("   %d queries served with %d transport attempts — the dead primary cost at most\n",
+		postCrashQueries, attempts)
+	fmt.Printf("   one wasted attempt before its health score demoted it (strict address-list\n")
+	fmt.Printf("   order would have retried it first on every query: %d attempts)\n", 2*postCrashQueries)
 
-	fmt.Println("== primary hung, not crashed: the deadline bounds the stall ==")
+	fmt.Println("== every relay hung, not crashed: the deadline bounds the stall ==")
+	// Both relays wedged (health ordering would sidestep a single hung
+	// relay the same way it sidestepped the crashed primary above).
 	hub.SetDown(primaryAddr, false)
 	hub.SetStall(primaryAddr, true)
+	hub.SetStall(standbyAddr, true)
 	deadlineCtx, cancel := context.WithTimeout(ctx, 500*time.Millisecond)
 	start := time.Now()
 	_, err = client.RemoteQuery(deadlineCtx, spec)
 	cancel()
 	if !errors.Is(err, context.DeadlineExceeded) {
-		return fmt.Errorf("expected deadline expiry against the hung relay, got %v", err)
+		return fmt.Errorf("expected deadline expiry against the hung relays, got %v", err)
 	}
 	fmt.Printf("   query returned in %s instead of hanging forever: %v\n",
 		time.Since(start).Round(time.Millisecond), err)
 	hub.SetStall(primaryAddr, false)
+	hub.SetStall(standbyAddr, false)
 
 	fmt.Println("== both relays down (the paper's DoS scenario) ==")
 	hub.SetDown(primaryAddr, true)

@@ -1,0 +1,109 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/apps/tradelens"
+	"repro/internal/core"
+	"repro/internal/relay"
+)
+
+// TestHealthAwareFailoverSkipsDeadRelay is the §5 availability scenario
+// with discovery made health-aware: three registered relay addresses front
+// STL, the preferred one is dead, and repeated cross-network queries must
+// stop wasting a transport attempt on it. Seed behavior retried the dead
+// address first on every query (2 attempts per query, forever); with
+// failure-scored ordering it is attempted once, then demoted, and once the
+// circuit breaker opens (here via liveness probes, as netadmin would issue)
+// resolves skip it outright and account the skip.
+func TestHealthAwareFailoverSkipsDeadRelay(t *testing.T) {
+	hub := relay.NewHub()
+	registry := relay.NewStaticRegistry()
+	w, err := BuildWith(registry, hub)
+	if err != nil {
+		t.Fatalf("BuildWith: %v", err)
+	}
+	// Three redundant addresses for STL, dead primary listed first so seed
+	// preference order would hit it on every query.
+	addrs := []string{"stl-relay-dead", "stl-relay-b", "stl-relay-c"}
+	for _, addr := range addrs {
+		hub.Attach(addr, w.STL.Relay)
+	}
+	registry.Register(tradelens.NetworkID, addrs...)
+	hub.SetDown("stl-relay-dead", true)
+	hub.Attach(SWTRelayAddr, w.SWT.Relay)
+	registry.Register("we-trade", SWTRelayAddr)
+
+	actors, err := w.NewActors()
+	if err != nil {
+		t.Fatalf("NewActors: %v", err)
+	}
+	ctx := context.Background()
+	if _, err := actors.STLSeller.CreateShipment(ctx, "po-1001", "S", "B", "goods"); err != nil {
+		t.Fatalf("CreateShipment: %v", err)
+	}
+	if _, err := actors.STLCarrier.BookShipment(ctx, "po-1001", "C"); err != nil {
+		t.Fatalf("BookShipment: %v", err)
+	}
+	if _, err := actors.STLCarrier.RecordGateIn(ctx, "po-1001"); err != nil {
+		t.Fatalf("RecordGateIn: %v", err)
+	}
+	if err := actors.STLCarrier.IssueBillOfLading(ctx, &tradelens.BillOfLading{
+		BLID: "bl-1", PORef: "po-1001", Carrier: "C",
+	}); err != nil {
+		t.Fatalf("IssueBillOfLading: %v", err)
+	}
+
+	spec := core.RemoteQuerySpec{
+		Network:  tradelens.NetworkID,
+		Contract: tradelens.ChaincodeName,
+		Function: tradelens.FnGetBillOfLading,
+		Args:     [][]byte{[]byte("po-1001")},
+	}
+	client := actors.SWTSeller.Client()
+
+	const queries = 8
+	for i := 0; i < queries; i++ {
+		if _, err := client.RemoteQuery(ctx, spec); err != nil {
+			t.Fatalf("failover query %d: %v", i, err)
+		}
+	}
+	stats := w.SWT.Relay.Stats()
+	seedAttempts := uint64(2 * queries) // dead primary retried on every query
+	if stats.FanoutAttempts >= seedAttempts {
+		t.Fatalf("FanoutAttempts = %d, want fewer than seed behavior's %d", stats.FanoutAttempts, seedAttempts)
+	}
+	if want := uint64(queries + 1); stats.FanoutAttempts != want {
+		t.Fatalf("FanoutAttempts = %d, want %d (dead address attempted exactly once)", stats.FanoutAttempts, want)
+	}
+
+	// Liveness probes against the dead address (netadmin-style) open its
+	// circuit breaker; from then on every resolve demotes it and the skip
+	// shows up in the stats.
+	for i := 0; i < 3; i++ {
+		if err := w.SWT.Relay.Ping(ctx, "stl-relay-dead"); err == nil {
+			t.Fatal("ping against the dead relay succeeded")
+		}
+	}
+	before := w.SWT.Relay.Stats()
+	for i := 0; i < queries; i++ {
+		if _, err := client.RemoteQuery(ctx, spec); err != nil {
+			t.Fatalf("post-breaker query %d: %v", i, err)
+		}
+	}
+	after := w.SWT.Relay.Stats()
+	if got := after.FanoutAttempts - before.FanoutAttempts; got != queries {
+		t.Fatalf("post-breaker attempts = %d, want %d (dead address never attempted)", got, queries)
+	}
+	if after.BreakerSkips-before.BreakerSkips != queries {
+		t.Fatalf("BreakerSkips delta = %d, want %d", after.BreakerSkips-before.BreakerSkips, queries)
+	}
+
+	// The dead relay restored: service keeps working (and the address can
+	// earn its standing back through the health tracker).
+	hub.SetDown("stl-relay-dead", false)
+	if _, err := client.RemoteQuery(ctx, spec); err != nil {
+		t.Fatalf("query after recovery: %v", err)
+	}
+}

@@ -211,7 +211,9 @@ func TestHedgedFanoutFailoverOnFailure(t *testing.T) {
 
 // TestDeadlinePropagatesAcrossWire: the requester's deadline travels in the
 // envelope over real TCP and the source relay serves the query under a
-// context carrying exactly that deadline.
+// context carrying (at least) that deadline. Since the receiver takes the
+// laxer of the absolute and relative encodings, the observed deadline may
+// trail the requester's by the one-way transit time, never by more.
 func TestDeadlinePropagatesAcrossWire(t *testing.T) {
 	reg := NewStaticRegistry()
 	transport := &TCPTransport{DialTimeout: 2 * time.Second, IOTimeout: 10 * time.Second}
@@ -235,11 +237,154 @@ func TestDeadlinePropagatesAcrossWire(t *testing.T) {
 		if got.IsZero() {
 			t.Fatal("source relay served the query with no deadline")
 		}
-		if got.UnixNano() != deadline.UnixNano() {
-			t.Fatalf("source deadline = %v, want %v", got, deadline)
+		if got.Before(deadline) {
+			t.Fatalf("source deadline = %v, earlier than the requester's %v", got, deadline)
+		}
+		if got.Sub(deadline) > 2*time.Second {
+			t.Fatalf("source deadline = %v, inflated %v past the requester's", got, got.Sub(deadline))
 		}
 	case <-time.After(time.Second):
 		t.Fatal("driver never observed the query")
+	}
+}
+
+// deadlineRespectingDriver declines to serve once the serving context is
+// dead — the behaviour any real driver (and the FabricDriver) has, which
+// the skew test depends on.
+type deadlineRespectingDriver struct {
+	deadlines chan time.Time
+}
+
+func (d *deadlineRespectingDriver) Platform() string { return "test" }
+
+func (d *deadlineRespectingDriver) Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	deadline, _ := ctx.Deadline()
+	select {
+	case d.deadlines <- deadline:
+	default:
+	}
+	return &wire.QueryResponse{RequestID: q.RequestID}, nil
+}
+
+// TestSkewedClockDoesNotKillRequestOnArrival: a source relay whose clock
+// runs an hour fast reads the absolute deadline as long past — with only
+// DeadlineUnixNano stamped (an older sender) it kills the request on
+// arrival, but with the relative TimeoutNanos alongside it takes the laxer
+// interpretation and serves the request under the true remaining budget.
+func TestSkewedClockDoesNotKillRequestOnArrival(t *testing.T) {
+	reg := NewStaticRegistry()
+	fastClock := func() time.Time { return time.Now().Add(time.Hour) }
+	drv := &deadlineRespectingDriver{deadlines: make(chan time.Time, 1)}
+	src := New("srcnet", reg, NewHub(), WithClock(fastClock))
+	src.RegisterDriver("srcnet", drv)
+
+	makeEnv := func(deadline time.Time, timeout time.Duration) *wire.Envelope {
+		q := captureQuery(t)
+		q.RequestID = "skew-1"
+		env := &wire.Envelope{
+			Version:          wire.ProtocolVersion,
+			Type:             wire.MsgQuery,
+			RequestID:        q.RequestID,
+			Payload:          q.Marshal(),
+			DeadlineUnixNano: uint64(deadline.UnixNano()),
+		}
+		if timeout > 0 {
+			env.TimeoutNanos = uint64(timeout)
+		}
+		return env
+	}
+
+	// Absolute-only envelope (pre-TimeoutNanos sender): the fast clock sees
+	// the deadline an hour in the past and the query dies on arrival.
+	deadline := time.Now().Add(30 * time.Second)
+	reply := src.HandleEnvelope(context.Background(), makeEnv(deadline, 0))
+	resp, err := wire.UnmarshalQueryResponse(reply.Payload)
+	if err != nil {
+		t.Fatalf("unmarshal reply: %v", err)
+	}
+	if resp.Error == "" {
+		t.Fatal("absolute-only deadline survived an hour of clock skew; the skew fixture is not exercising the bug")
+	}
+
+	// Both encodings stamped (a current sender): the relative budget is the
+	// laxer interpretation and the query is served.
+	deadline = time.Now().Add(30 * time.Second)
+	reply = src.HandleEnvelope(context.Background(), makeEnv(deadline, 30*time.Second))
+	resp, err = wire.UnmarshalQueryResponse(reply.Payload)
+	if err != nil {
+		t.Fatalf("unmarshal reply: %v", err)
+	}
+	if resp.Error != "" {
+		t.Fatalf("skew-tolerant deadline still killed the query: %s", resp.Error)
+	}
+	select {
+	case got := <-drv.deadlines:
+		if remaining := time.Until(got); remaining <= 0 || remaining > 35*time.Second {
+			t.Fatalf("served budget = %v, want ~30s", remaining)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("driver never observed the query")
+	}
+}
+
+// stampRecordingTransport records each send's stamped TimeoutNanos and
+// fails every address except the last.
+type stampRecordingTransport struct {
+	inner Transport
+	mu    sync.Mutex
+	burn  time.Duration
+	seen  []uint64
+	last  string
+}
+
+func (t *stampRecordingTransport) Send(ctx context.Context, addr string, env *wire.Envelope) (*wire.Envelope, error) {
+	t.mu.Lock()
+	t.seen = append(t.seen, env.TimeoutNanos)
+	t.mu.Unlock()
+	if addr != t.last {
+		time.Sleep(t.burn) // a slow failure consuming the shared budget
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, addr)
+	}
+	return t.inner.Send(ctx, addr, env)
+}
+
+// TestFailoverRestampsRelativeBudget: the relative budget decays as fan-out
+// burns time, so the envelope resent to the next address must carry the
+// budget remaining at that attempt, not the budget at first stamp —
+// otherwise the receiver's laxer-interpretation rule would let it serve
+// past the requester's true deadline.
+func TestFailoverRestampsRelativeBudget(t *testing.T) {
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	src, _ := newCaptureRelay(reg, hub)
+	hub.Attach("slow-fail", src)
+	hub.Attach("ok", src)
+	reg.Register("srcnet", "slow-fail", "ok")
+
+	transport := &stampRecordingTransport{inner: hub, burn: 60 * time.Millisecond, last: "ok"}
+	dest := New("destnet", reg, transport)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := dest.Query(ctx, captureQuery(t)); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	transport.mu.Lock()
+	defer transport.mu.Unlock()
+	if len(transport.seen) != 2 {
+		t.Fatalf("sends = %d, want 2", len(transport.seen))
+	}
+	first, second := transport.seen[0], transport.seen[1]
+	if first == 0 || second == 0 {
+		t.Fatalf("TimeoutNanos not stamped: %d, %d", first, second)
+	}
+	if second >= first {
+		t.Fatalf("failover resend budget %d >= first attempt's %d; stale relative budget was resent", second, first)
+	}
+	if decayed := time.Duration(first - second); decayed < 50*time.Millisecond {
+		t.Fatalf("failover resend budget decayed by only %v, want >= the 60ms the failed attempt burned", decayed)
 	}
 }
 

@@ -44,7 +44,7 @@ func (r *Relay) SubscribeRemote(ctx context.Context, targetNetwork, eventName st
 		EventName:         eventName,
 		RequesterCertPEM:  requesterCertPEM,
 	}
-	addrs, err := r.discovery.Resolve(targetNetwork)
+	addrs, err := r.resolveOrdered(targetNetwork)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -139,13 +139,20 @@ func (r *Relay) handleSubscribe(ctx context.Context, env *wire.Envelope) *wire.E
 }
 
 // pushEvent delivers an event to the requesting network's relay,
-// best-effort across its addresses. Delivery is asynchronous with respect
-// to any request, so it runs under its own bounded context rather than a
-// caller's.
+// best-effort across its addresses, healthiest first. Delivery is
+// asynchronous with respect to any request, so it runs under its own
+// bounded context rather than a caller's. Unlike request fan-out,
+// circuit-open addresses are skipped outright when a healthier one exists:
+// best-effort delivery should not spend a 5s budget probing a relay already
+// known dead.
 func (r *Relay) pushEvent(requestingNetwork string, ev *wire.Event) {
 	addrs, err := r.discovery.Resolve(requestingNetwork)
 	if err != nil {
 		return
+	}
+	ordered, open := r.health.order(addrs)
+	if open > 0 {
+		ordered = ordered[:len(ordered)-open]
 	}
 	env := &wire.Envelope{
 		Version:   wire.ProtocolVersion,
@@ -153,11 +160,11 @@ func (r *Relay) pushEvent(requestingNetwork string, ev *wire.Event) {
 		RequestID: ev.SubscriptionID,
 		Payload:   ev.Marshal(),
 	}
-	for _, addr := range addrs {
+	for _, addr := range ordered {
 		// Per-address budget: a wedged-but-reachable primary must not
 		// consume the whole delivery budget and starve a live standby.
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		_, err := r.transport.Send(ctx, addr, env)
+		_, err := r.observeSend(ctx, addr, env)
 		cancel()
 		if err == nil {
 			return

@@ -4,38 +4,70 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
+	"time"
 )
 
 // FileRegistry is a Discovery backed by a JSON file mapping network IDs to
 // relay address lists — the paper's "local file-based registry was plugged
 // into the SWT Relay" (§4.3). The file is re-read on every Resolve so
-// operators can edit it while relays run.
+// operators can edit it while relays run, and every store is an atomic
+// write-to-temp-and-rename so a concurrent reader never observes torn JSON.
+//
+// Membership is lease-based (LeaseRegistrar): each entry may carry a lease
+// expiry; expired entries stop resolving and Prune removes them from the
+// file. Registration deduplicates by address, so a relay daemon restarting
+// against the same deployment directory refreshes its entry instead of
+// appending a duplicate.
+//
+// The file accepts two entry encodings per network and they may be mixed:
+// a bare string ("127.0.0.1:9080") is a permanent, operator-managed entry,
+// while an object ({"addr": "...", "expires_unix_nano": ...}) carries a
+// lease. Permanent entries are written back as bare strings to keep
+// hand-edited files stable.
 type FileRegistry struct {
 	path string
 	mu   sync.Mutex
+	now  func() time.Time // overridable in tests
+}
+
+var _ LeaseRegistrar = (*FileRegistry)(nil)
+
+// RegistryEntry is the exported view of one registered address, used by
+// inspection tooling (netadmin registry list).
+type RegistryEntry struct {
+	Addr string `json:"addr"`
+	// ExpiresUnixNano is the lease expiry in nanoseconds since the Unix
+	// epoch, zero for permanent entries.
+	ExpiresUnixNano int64 `json:"expires_unix_nano,omitempty"`
 }
 
 // NewFileRegistry returns a registry over the given JSON file. The file
-// holds an object of the form {"tradelens": ["127.0.0.1:9080"], ...}.
+// holds an object of the form {"tradelens": ["127.0.0.1:9080"], ...}; see
+// the type comment for the lease-entry encoding.
 func NewFileRegistry(path string) *FileRegistry {
-	return &FileRegistry{path: path}
+	return &FileRegistry{path: path, now: time.Now}
 }
 
-// Resolve implements Discovery.
+// Resolve implements Discovery, returning addresses whose lease has not
+// lapsed.
 func (r *FileRegistry) Resolve(networkID string) ([]string, error) {
-	entries, err := r.load()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	entries, err := r.loadLocked()
 	if err != nil {
 		return nil, err
 	}
-	addrs := entries[networkID]
+	addrs := liveAddrs(entries[networkID], r.now())
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownNetwork, networkID)
 	}
 	return addrs, nil
 }
 
-// Register appends addresses for a network and persists the file.
+// Register adds permanent addresses for a network, deduplicating by
+// address, and persists the file.
 func (r *FileRegistry) Register(networkID string, addrs ...string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -43,13 +75,89 @@ func (r *FileRegistry) Register(networkID string, addrs ...string) error {
 	if err != nil {
 		return err
 	}
-	entries[networkID] = append(entries[networkID], addrs...)
+	for _, addr := range addrs {
+		entries[networkID] = upsertLease(entries[networkID], addr, time.Time{})
+	}
 	return r.storeLocked(entries)
 }
 
-// Networks lists the registered network IDs.
+// RegisterLease implements LeaseRegistrar: the address is registered (or
+// its existing entry's lease refreshed) with a lease of ttl; zero ttl
+// means permanent.
+func (r *FileRegistry) RegisterLease(networkID, addr string, ttl time.Duration) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	entries, err := r.loadLocked()
+	if err != nil {
+		return err
+	}
+	var expires time.Time
+	if ttl > 0 {
+		expires = r.now().Add(ttl)
+	}
+	entries[networkID] = upsertLease(entries[networkID], addr, expires)
+	return r.storeLocked(entries)
+}
+
+// Deregister implements LeaseRegistrar, removing one address for a network
+// and persisting the file. Removing an absent address is a no-op.
+func (r *FileRegistry) Deregister(networkID, addr string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	entries, err := r.loadLocked()
+	if err != nil {
+		return err
+	}
+	list, removed := removeLease(entries[networkID], addr)
+	if !removed {
+		return nil
+	}
+	if len(list) == 0 {
+		delete(entries, networkID)
+	} else {
+		entries[networkID] = list
+	}
+	return r.storeLocked(entries)
+}
+
+// Prune removes expired lease entries (and networks left empty) from the
+// file, returning how many entries were dropped.
+func (r *FileRegistry) Prune() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	entries, err := r.loadLocked()
+	if err != nil {
+		return 0, err
+	}
+	now := r.now()
+	pruned := 0
+	for id, list := range entries {
+		kept := list[:0]
+		for _, e := range list {
+			if e.live(now) {
+				kept = append(kept, e)
+			} else {
+				pruned++
+			}
+		}
+		if len(kept) == 0 {
+			delete(entries, id)
+		} else {
+			entries[id] = kept
+		}
+	}
+	if pruned == 0 {
+		return 0, nil
+	}
+	return pruned, r.storeLocked(entries)
+}
+
+// Networks lists the registered network IDs, including networks whose
+// entries have all expired (Prune removes those).
 func (r *FileRegistry) Networks() ([]string, error) {
-	entries, err := r.load()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	entries, err := r.loadLocked()
 	if err != nil {
 		return nil, err
 	}
@@ -60,36 +168,122 @@ func (r *FileRegistry) Networks() ([]string, error) {
 	return out, nil
 }
 
-func (r *FileRegistry) load() (map[string][]string, error) {
+// Entries returns every registered entry with its lease expiry, for
+// inspection tooling.
+func (r *FileRegistry) Entries() (map[string][]RegistryEntry, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.loadLocked()
+	entries, err := r.loadLocked()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]RegistryEntry, len(entries))
+	for id, list := range entries {
+		exported := make([]RegistryEntry, len(list))
+		for i, e := range list {
+			exported[i] = RegistryEntry{Addr: e.addr}
+			if !e.expires.IsZero() {
+				exported[i].ExpiresUnixNano = e.expires.UnixNano()
+			}
+		}
+		out[id] = exported
+	}
+	return out, nil
 }
 
-func (r *FileRegistry) loadLocked() (map[string][]string, error) {
+func (r *FileRegistry) loadLocked() (map[string][]leaseEntry, error) {
 	data, err := os.ReadFile(r.path)
 	if os.IsNotExist(err) {
-		return map[string][]string{}, nil
+		return map[string][]leaseEntry{}, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("relay: read registry %s: %w", r.path, err)
 	}
-	entries := make(map[string][]string)
+	raw := make(map[string][]json.RawMessage)
 	if len(data) > 0 {
-		if err := json.Unmarshal(data, &entries); err != nil {
+		if err := json.Unmarshal(data, &raw); err != nil {
 			return nil, fmt.Errorf("relay: parse registry %s: %w", r.path, err)
 		}
+	}
+	entries := make(map[string][]leaseEntry, len(raw))
+	for id, list := range raw {
+		decoded := make([]leaseEntry, 0, len(list))
+		for _, item := range list {
+			entry, err := decodeRegistryEntry(item)
+			if err != nil {
+				return nil, fmt.Errorf("relay: parse registry %s, network %q: %w", r.path, id, err)
+			}
+			decoded = upsertLease(decoded, entry.addr, entry.expires)
+		}
+		entries[id] = decoded
 	}
 	return entries, nil
 }
 
-func (r *FileRegistry) storeLocked(entries map[string][]string) error {
-	data, err := json.MarshalIndent(entries, "", "  ")
+// decodeRegistryEntry accepts both entry encodings: a bare address string
+// (permanent) or a lease object.
+func decodeRegistryEntry(raw json.RawMessage) (leaseEntry, error) {
+	var addr string
+	if err := json.Unmarshal(raw, &addr); err == nil {
+		return leaseEntry{addr: addr}, nil
+	}
+	var obj RegistryEntry
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		return leaseEntry{}, err
+	}
+	if obj.Addr == "" {
+		return leaseEntry{}, fmt.Errorf("entry without addr")
+	}
+	entry := leaseEntry{addr: obj.Addr}
+	if obj.ExpiresUnixNano != 0 {
+		entry.expires = time.Unix(0, obj.ExpiresUnixNano)
+	}
+	return entry, nil
+}
+
+// storeLocked persists the registry atomically: the encoded file is written
+// to a temp file in the same directory and renamed over the target, so a
+// reader racing a writer sees either the old or the new contents, never a
+// torn prefix.
+func (r *FileRegistry) storeLocked(entries map[string][]leaseEntry) error {
+	encoded := make(map[string][]json.RawMessage, len(entries))
+	for id, list := range entries {
+		items := make([]json.RawMessage, 0, len(list))
+		for _, e := range list {
+			var item any = e.addr // permanent entries stay bare strings
+			if !e.expires.IsZero() {
+				item = RegistryEntry{Addr: e.addr, ExpiresUnixNano: e.expires.UnixNano()}
+			}
+			raw, err := json.Marshal(item)
+			if err != nil {
+				return fmt.Errorf("relay: encode registry: %w", err)
+			}
+			items = append(items, raw)
+		}
+		encoded[id] = items
+	}
+	data, err := json.MarshalIndent(encoded, "", "  ")
 	if err != nil {
 		return fmt.Errorf("relay: encode registry: %w", err)
 	}
-	if err := os.WriteFile(r.path, data, 0o644); err != nil {
+	tmp, err := os.CreateTemp(filepath.Dir(r.path), filepath.Base(r.path)+".tmp-*")
+	if err != nil {
 		return fmt.Errorf("relay: write registry %s: %w", r.path, err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmp.Name(), 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), r.path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("relay: write registry %s: %w", r.path, werr)
 	}
 	return nil
 }

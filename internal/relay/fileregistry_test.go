@@ -2,9 +2,12 @@ package relay
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestFileRegistryRoundTrip(t *testing.T) {
@@ -60,5 +63,207 @@ func TestFileRegistryCorruptFile(t *testing.T) {
 	reg := NewFileRegistry(path)
 	if _, err := reg.Resolve("a"); err == nil {
 		t.Fatal("corrupt registry accepted")
+	}
+}
+
+// TestFileRegistryRestartIdempotent models relayd restarting against the
+// same deployment dir: each run is a fresh FileRegistry instance announcing
+// the same address, and the file must end up with exactly one entry.
+func TestFileRegistryRestartIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "registry.json")
+	for restart := 0; restart < 3; restart++ {
+		reg := NewFileRegistry(path)
+		if err := reg.RegisterLease("tradelens", "127.0.0.1:9080", time.Minute); err != nil {
+			t.Fatalf("restart %d RegisterLease: %v", restart, err)
+		}
+	}
+	entries, err := NewFileRegistry(path).Entries()
+	if err != nil {
+		t.Fatalf("Entries: %v", err)
+	}
+	if got := entries["tradelens"]; len(got) != 1 || got[0].Addr != "127.0.0.1:9080" {
+		t.Fatalf("after three restarts entries = %+v, want exactly one", got)
+	}
+
+	// Permanent Register dedupes the same way.
+	reg := NewFileRegistry(path)
+	if err := reg.Register("tradelens", "127.0.0.1:9080", "127.0.0.1:9081"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := reg.Register("tradelens", "127.0.0.1:9081"); err != nil {
+		t.Fatalf("Register again: %v", err)
+	}
+	addrs, err := reg.Resolve("tradelens")
+	if err != nil || len(addrs) != 2 {
+		t.Fatalf("Resolve = %v, %v, want the two deduplicated addresses", addrs, err)
+	}
+}
+
+// TestFileRegistryLeaseExpiryAndPrune: a lapsed lease stops resolving (and
+// the laxer Entries view still shows it) until Prune removes it from the
+// file.
+func TestFileRegistryLeaseExpiryAndPrune(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "registry.json")
+	clk := newFakeClock()
+	reg := NewFileRegistry(path)
+	reg.now = clk.Now
+
+	if err := reg.RegisterLease("tradelens", "leased:1", 30*time.Second); err != nil {
+		t.Fatalf("RegisterLease: %v", err)
+	}
+	if err := reg.Register("tradelens", "permanent:1"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	addrs, err := reg.Resolve("tradelens")
+	if err != nil || len(addrs) != 2 {
+		t.Fatalf("Resolve = %v, %v", addrs, err)
+	}
+
+	// Renewal pushes the expiry out.
+	clk.Advance(20 * time.Second)
+	if err := reg.RegisterLease("tradelens", "leased:1", 30*time.Second); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	clk.Advance(20 * time.Second)
+	if addrs, _ = reg.Resolve("tradelens"); len(addrs) != 2 {
+		t.Fatalf("renewed lease lapsed early: %v", addrs)
+	}
+
+	// Left unrenewed, the lease lapses: only the permanent entry resolves.
+	clk.Advance(time.Minute)
+	addrs, err = reg.Resolve("tradelens")
+	if err != nil || len(addrs) != 1 || addrs[0] != "permanent:1" {
+		t.Fatalf("after expiry Resolve = %v, %v, want just the permanent entry", addrs, err)
+	}
+	entries, err := reg.Entries()
+	if err != nil || len(entries["tradelens"]) != 2 {
+		t.Fatalf("Entries = %+v, %v, want the expired entry still listed", entries, err)
+	}
+
+	pruned, err := reg.Prune()
+	if err != nil || pruned != 1 {
+		t.Fatalf("Prune = %d, %v, want 1", pruned, err)
+	}
+	entries, _ = reg.Entries()
+	if len(entries["tradelens"]) != 1 {
+		t.Fatalf("after prune Entries = %+v", entries)
+	}
+}
+
+// TestFileRegistryDeregister removes one address and drops the network once
+// its last entry is gone.
+func TestFileRegistryDeregister(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "registry.json")
+	reg := NewFileRegistry(path)
+	if err := reg.Register("a", "addr1", "addr2"); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := reg.Deregister("a", "addr1"); err != nil {
+		t.Fatalf("Deregister: %v", err)
+	}
+	addrs, err := reg.Resolve("a")
+	if err != nil || len(addrs) != 1 || addrs[0] != "addr2" {
+		t.Fatalf("Resolve = %v, %v", addrs, err)
+	}
+	if err := reg.Deregister("a", "missing"); err != nil {
+		t.Fatalf("Deregister of an absent address: %v", err)
+	}
+	if err := reg.Deregister("a", "addr2"); err != nil {
+		t.Fatalf("Deregister last: %v", err)
+	}
+	nets, err := reg.Networks()
+	if err != nil || len(nets) != 0 {
+		t.Fatalf("Networks after last deregister = %v, %v", nets, err)
+	}
+}
+
+// TestFileRegistryConcurrentRegisterResolve hammers one file with
+// concurrent writers (separate instances, like multiple relayds sharing a
+// deploy dir would each hold their own lock) and readers; under -race this
+// doubles as the locking test, and any torn write surfaces as a parse
+// error from Resolve.
+func TestFileRegistryConcurrentRegisterResolve(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "registry.json")
+	writer := NewFileRegistry(path)
+	reader := NewFileRegistry(path)
+	if err := writer.Register("net-0", "addr-0"); err != nil {
+		t.Fatalf("seed Register: %v", err)
+	}
+
+	const iterations = 100
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	report := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iterations; i++ {
+			if err := writer.RegisterLease("net-0", fmt.Sprintf("addr-%d", i%7), time.Minute); err != nil {
+				report(fmt.Errorf("RegisterLease: %w", err))
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iterations; i++ {
+			if err := writer.Register("net-1", fmt.Sprintf("addr-%d", i%5)); err != nil {
+				report(fmt.Errorf("Register: %w", err))
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iterations; i++ {
+			if _, err := reader.Resolve("net-0"); err != nil {
+				report(fmt.Errorf("Resolve observed a torn or missing file: %w", err))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	addrs, err := writer.Resolve("net-0")
+	if err != nil {
+		t.Fatalf("final Resolve: %v", err)
+	}
+	if len(addrs) > 7 {
+		t.Fatalf("dedup failed under concurrency: %d entries for 7 distinct addresses", len(addrs))
+	}
+}
+
+// TestAnnounceHeartbeatAndShutdown: the announcer keeps a lease alive well
+// past its TTL, and stop() deregisters the address. The TTL-to-runtime
+// margin is generous (a renewal would have to slip >2/3 of a 600ms TTL for
+// the lease to lapse) so a loaded CI scheduler cannot flake it.
+func TestAnnounceHeartbeatAndShutdown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "registry.json")
+	reg := NewFileRegistry(path)
+	const ttl = 600 * time.Millisecond
+	stop, err := Announce(reg, "tradelens", "127.0.0.1:9080", ttl, nil)
+	if err != nil {
+		t.Fatalf("Announce: %v", err)
+	}
+	deadline := time.Now().Add(2 * ttl)
+	for time.Now().Before(deadline) {
+		if addrs, err := reg.Resolve("tradelens"); err != nil || len(addrs) != 1 {
+			t.Fatalf("lease lapsed despite heartbeat: %v, %v", addrs, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	if _, err := reg.Resolve("tradelens"); !errors.Is(err, ErrUnknownNetwork) {
+		t.Fatalf("after stop Resolve err = %v, want ErrUnknownNetwork", err)
 	}
 }

@@ -1,0 +1,269 @@
+package relay
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutable time source for driving the health tracker's
+// circuit-breaker cooldown deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// TestHealthOrderFailuresDemote: an address with transport failures sorts
+// behind addresses without, regardless of registry preference order.
+func TestHealthOrderFailuresDemote(t *testing.T) {
+	h := newHealthTracker(time.Now, 3, time.Second)
+	h.reportFailure("a")
+	ordered, open := h.order([]string{"a", "b", "c"})
+	if open != 0 {
+		t.Fatalf("open = %d, want 0 (one failure does not open the breaker)", open)
+	}
+	if ordered[0] != "b" || ordered[1] != "c" || ordered[2] != "a" {
+		t.Fatalf("order = %v, want failing address demoted to last", ordered)
+	}
+
+	// A success resets the streak and restores registry preference order.
+	h.reportSuccess("a", time.Millisecond)
+	h.reportSuccess("b", time.Millisecond)
+	h.reportSuccess("c", time.Millisecond)
+	ordered, _ = h.order([]string{"a", "b", "c"})
+	if ordered[0] != "a" {
+		t.Fatalf("order after recovery = %v, want registry order restored", ordered)
+	}
+}
+
+// TestHealthOrderByEWMALatency: among addresses without failures, the
+// faster EWMA round-trip sorts first.
+func TestHealthOrderByEWMALatency(t *testing.T) {
+	h := newHealthTracker(time.Now, 3, time.Second)
+	h.reportSuccess("slow", 50*time.Millisecond)
+	h.reportSuccess("fast", time.Millisecond)
+	ordered, _ := h.order([]string{"slow", "fast"})
+	if ordered[0] != "fast" {
+		t.Fatalf("order = %v, want fast first", ordered)
+	}
+
+	// A sustained latency shift moves the estimate: the former-fast address
+	// degrades past the slow one within a few samples.
+	for i := 0; i < 10; i++ {
+		h.reportSuccess("fast", 200*time.Millisecond)
+	}
+	ordered, _ = h.order([]string{"slow", "fast"})
+	if ordered[0] != "slow" {
+		t.Fatalf("order after degradation = %v, want slow first", ordered)
+	}
+}
+
+// TestCircuitBreakerOpensAndCoolsDown: threshold consecutive failures open
+// the breaker (address demoted and counted open); the cooldown elapsing
+// makes it eligible again; a success closes it fully.
+func TestCircuitBreakerOpensAndCoolsDown(t *testing.T) {
+	clk := newFakeClock()
+	h := newHealthTracker(clk.Now, 3, 10*time.Second)
+	for i := 0; i < 2; i++ {
+		h.reportFailure("a")
+	}
+	if h.circuitOpen("a") {
+		t.Fatal("breaker open below the failure threshold")
+	}
+	h.reportFailure("a")
+	if !h.circuitOpen("a") {
+		t.Fatal("breaker not open after threshold failures")
+	}
+	if _, open := h.order([]string{"a", "b"}); open != 1 {
+		t.Fatalf("open = %d, want 1", open)
+	}
+
+	clk.Advance(11 * time.Second)
+	if h.circuitOpen("a") {
+		t.Fatal("breaker still open after the cooldown elapsed")
+	}
+	// Half-open: eligible again but still last by failure score, and a
+	// single further failure re-opens immediately.
+	ordered, open := h.order([]string{"a", "b"})
+	if open != 0 || ordered[0] != "b" || ordered[1] != "a" {
+		t.Fatalf("half-open order = %v (open %d), want a eligible but last", ordered, open)
+	}
+	h.reportFailure("a")
+	if !h.circuitOpen("a") {
+		t.Fatal("half-open breaker did not re-open on the next failure")
+	}
+
+	clk.Advance(11 * time.Second)
+	h.reportSuccess("a", time.Millisecond)
+	if h.circuitOpen("a") {
+		t.Fatal("breaker open after a success")
+	}
+	if st := func() int { h.mu.Lock(); defer h.mu.Unlock(); return h.byAddr["a"].consecFailures }(); st != 0 {
+		t.Fatalf("consecutive failures after success = %d, want 0", st)
+	}
+}
+
+// TestHealthOrderAllOpenKeepsAll: when every breaker is open there is
+// nothing healthier to prefer — all addresses stay eligible (open count 0)
+// so fan-out still probes them rather than failing by policy.
+func TestHealthOrderAllOpenKeepsAll(t *testing.T) {
+	h := newHealthTracker(time.Now, 1, time.Minute)
+	h.reportFailure("a")
+	h.reportFailure("b")
+	ordered, open := h.order([]string{"a", "b"})
+	if open != 0 {
+		t.Fatalf("open = %d, want 0 when every breaker is open", open)
+	}
+	if len(ordered) != 2 {
+		t.Fatalf("order = %v, want both addresses kept", ordered)
+	}
+}
+
+// TestFailoverStopsAttemptingDeadAddress: after the first failed attempt
+// the dead primary is demoted, so subsequent sequential queries go straight
+// to the live standby — one transport attempt each instead of seed
+// behavior's two (dead primary retried on every query).
+func TestFailoverStopsAttemptingDeadAddress(t *testing.T) {
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	src, _ := newCaptureRelay(reg, hub)
+	hub.Attach("dead", src)
+	hub.Attach("live", src)
+	reg.Register("srcnet", "dead", "live")
+	hub.SetDown("dead", true)
+
+	dest := New("destnet", reg, hub)
+	const queries = 10
+	for i := 0; i < queries; i++ {
+		resp, err := dest.Query(context.Background(), captureQuery(t))
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if resp.Error != "" {
+			t.Fatalf("query %d remote error: %s", i, resp.Error)
+		}
+	}
+	attempts := dest.Stats().FanoutAttempts
+	// Seed behavior: 2 attempts per query (dead primary first, every time).
+	if attempts >= 2*queries {
+		t.Fatalf("FanoutAttempts = %d, want fewer than the %d of always-retry-the-dead-primary", attempts, 2*queries)
+	}
+	// Health ordering: the dead address is attempted once, then demoted.
+	if attempts != queries+1 {
+		t.Fatalf("FanoutAttempts = %d, want %d (one wasted attempt total)", attempts, queries+1)
+	}
+}
+
+// TestBreakerSkipsCountedAfterProbes: failed pings open the dead address's
+// breaker; subsequent resolves demote it and account the skip in stats.
+func TestBreakerSkipsCountedAfterProbes(t *testing.T) {
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	src, _ := newCaptureRelay(reg, hub)
+	hub.Attach("dead", src)
+	hub.Attach("live", src)
+	reg.Register("srcnet", "dead", "live")
+	hub.SetDown("dead", true)
+
+	dest := New("destnet", reg, hub, WithCircuitBreaker(3, time.Minute))
+	for i := 0; i < 3; i++ {
+		if err := dest.Ping(context.Background(), "dead"); err == nil {
+			t.Fatal("ping against a down address succeeded")
+		}
+	}
+	if !dest.health.circuitOpen("dead") {
+		t.Fatal("breaker not open after three failed pings")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := dest.Query(context.Background(), captureQuery(t)); err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	stats := dest.Stats()
+	if stats.BreakerSkips != 5 {
+		t.Fatalf("BreakerSkips = %d, want 5 (one demotion per resolve)", stats.BreakerSkips)
+	}
+	if stats.FanoutAttempts != 5 {
+		t.Fatalf("FanoutAttempts = %d, want 5 (dead address never attempted)", stats.FanoutAttempts)
+	}
+}
+
+// TestBreakerCooldownRestoresRecoveredAddress: a dead-then-revived relay is
+// probed again once the cooldown elapses and earns back its standing with
+// one success.
+func TestBreakerCooldownRestoresRecoveredAddress(t *testing.T) {
+	clk := newFakeClock()
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	src, _ := newCaptureRelay(reg, hub)
+	hub.Attach("flappy", src)
+	reg.Register("srcnet", "flappy")
+	hub.SetDown("flappy", true)
+
+	dest := New("destnet", reg, hub, WithClock(clk.Now), WithCircuitBreaker(2, 10*time.Second))
+	for i := 0; i < 2; i++ {
+		if _, err := dest.Query(context.Background(), captureQuery(t)); !errors.Is(err, ErrAllRelaysFailed) {
+			t.Fatalf("query %d err = %v, want ErrAllRelaysFailed", i, err)
+		}
+	}
+	if !dest.health.circuitOpen("flappy") {
+		t.Fatal("breaker not open")
+	}
+	// Single address: the open breaker cannot demote it below anything, so
+	// queries still probe it (availability over purity) and keep failing.
+	if _, err := dest.Query(context.Background(), captureQuery(t)); !errors.Is(err, ErrAllRelaysFailed) {
+		t.Fatalf("err = %v, want ErrAllRelaysFailed", err)
+	}
+
+	hub.SetDown("flappy", false)
+	clk.Advance(11 * time.Second)
+	resp, err := dest.Query(context.Background(), captureQuery(t))
+	if err != nil || resp.Error != "" {
+		t.Fatalf("query after recovery: %v %v", err, resp)
+	}
+	if dest.health.circuitOpen("flappy") {
+		t.Fatal("breaker still open after a successful round-trip")
+	}
+}
+
+// TestHedgedLoserNotChargedAFailure: a hedged loser cancelled because
+// another attempt won must not accrue a failure — cancellation says nothing
+// about the address's health.
+func TestHedgedLoserNotChargedAFailure(t *testing.T) {
+	hub := NewHub()
+	reg := NewStaticRegistry()
+	src, _ := newCaptureRelay(reg, hub)
+	hub.Attach("stalled", src)
+	hub.Attach("healthy", src)
+	reg.Register("srcnet", "stalled", "healthy")
+	hub.SetStall("stalled", true)
+
+	dest := New("destnet", reg, hub, WithHedging(5*time.Millisecond, 2))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := dest.Query(ctx, captureQuery(t)); err != nil {
+		t.Fatalf("hedged query: %v", err)
+	}
+	dest.health.mu.Lock()
+	st := dest.health.byAddr["stalled"]
+	dest.health.mu.Unlock()
+	if st != nil && st.consecFailures != 0 {
+		t.Fatalf("cancelled loser charged %d failures", st.consecFailures)
+	}
+}

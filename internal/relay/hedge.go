@@ -33,11 +33,25 @@ func WithHedging(delay time.Duration, maxParallel int) Option {
 	return func(r *Relay) { r.hedge = &Hedging{Delay: delay, MaxParallel: maxParallel} }
 }
 
-// stampDeadline records ctx's absolute deadline in the envelope so the
-// source relay inherits the requester's remaining budget.
-func stampDeadline(ctx context.Context, env *wire.Envelope) {
-	if deadline, ok := ctx.Deadline(); ok {
-		env.DeadlineUnixNano = uint64(deadline.UnixNano())
+// stampDeadline records ctx's remaining budget in the envelope so the
+// source relay inherits it: both as an absolute deadline and as a relative
+// remaining duration. The receiver takes the laxer of the two (see
+// remainingBudget), which makes propagation robust to clock skew between
+// relays — a receiver with a fast clock no longer reads the absolute
+// deadline as already past and kills the request on arrival. Because the
+// relative encoding goes stale as time passes, fan-out restamps before
+// every transport attempt: a failover send after a slow first attempt must
+// carry the budget remaining now, not the budget at first stamp.
+func (r *Relay) stampDeadline(ctx context.Context, env *wire.Envelope) {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		env.DeadlineUnixNano, env.TimeoutNanos = 0, 0
+		return
+	}
+	env.DeadlineUnixNano = uint64(deadline.UnixNano())
+	env.TimeoutNanos = 0
+	if rem := deadline.Sub(r.now()); rem > 0 {
+		env.TimeoutNanos = uint64(rem)
 	}
 }
 
@@ -52,16 +66,18 @@ func (r *Relay) sendFanout(ctx context.Context, network string, addrs []string, 
 }
 
 // sendSequential tries each address in order, failing over on transport
-// errors, and stops early once ctx is done.
+// errors, and stops early once ctx is done. Callers pass health-ordered
+// addresses, so the failover order is live-and-fast first with circuit-open
+// addresses as last resort.
 func (r *Relay) sendSequential(ctx context.Context, network string, addrs []string, env *wire.Envelope) (*wire.Envelope, error) {
-	stampDeadline(ctx, env)
 	var lastErr error
 	for _, addr := range addrs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		r.stampDeadline(ctx, env) // per attempt: the relative budget decays
 		r.countFanoutAttempt()
-		reply, err := r.transport.Send(ctx, addr, env)
+		reply, err := r.observeSend(ctx, addr, env)
 		if err != nil {
 			lastErr = err
 			continue // fail over to the next relay address
@@ -79,7 +95,6 @@ func (r *Relay) sendSequential(ctx context.Context, network string, addrs []stri
 // attempt fails), up to MaxParallel outstanding at once. The first reply
 // wins; losers are cancelled through the shared attempt context.
 func (r *Relay) sendHedged(ctx context.Context, network string, addrs []string, env *wire.Envelope) (*wire.Envelope, error) {
-	stampDeadline(ctx, env)
 	hedgeDelay := r.hedge.Delay
 	if hedgeDelay <= 0 {
 		hedgeDelay = 50 * time.Millisecond
@@ -106,8 +121,13 @@ func (r *Relay) sendHedged(ctx context.Context, network string, addrs []string, 
 		next++
 		inflight++
 		r.countFanoutAttempt()
+		// Each attempt sends its own shallow copy restamped with the budget
+		// remaining at launch: hedges opened later carry a fresher relative
+		// budget, and no goroutine mutates the shared envelope.
+		attemptEnv := *env
+		r.stampDeadline(ctx, &attemptEnv)
 		go func() {
-			reply, err := r.transport.Send(attemptCtx, addr, env)
+			reply, err := r.observeSend(attemptCtx, addr, &attemptEnv)
 			results <- outcome{index: index, reply: reply, err: err}
 		}()
 	}
@@ -184,14 +204,14 @@ func (r *Relay) sendHedged(ctx context.Context, network string, addrs []string, 
 // already have been executed by a relay whose reply was lost. Used for
 // cross-network invokes.
 func (r *Relay) sendAtMostOnce(ctx context.Context, network string, addrs []string, env *wire.Envelope) (*wire.Envelope, error) {
-	stampDeadline(ctx, env)
 	var lastErr error
 	for _, addr := range addrs {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		r.stampDeadline(ctx, env) // per attempt: the relative budget decays
 		r.countFanoutAttempt()
-		reply, err := r.transport.Send(ctx, addr, env)
+		reply, err := r.observeSend(ctx, addr, env)
 		if err == nil {
 			return reply, nil
 		}

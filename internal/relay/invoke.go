@@ -45,7 +45,7 @@ func (r *Relay) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryResponse,
 		}
 		return ensureRequestID(resp, q), nil
 	}
-	addrs, err := r.discovery.Resolve(q.TargetNetwork)
+	addrs, err := r.resolveOrdered(q.TargetNetwork)
 	if err != nil {
 		return nil, err
 	}

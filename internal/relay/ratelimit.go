@@ -87,6 +87,7 @@ type Stats struct {
 	FanoutAttempts uint64 // transport sends launched by client-side fan-out (queries, invokes, subscribes)
 	HedgedWins     uint64 // requests won by a hedge attempt rather than the first address
 	HedgedLosses   uint64 // in-flight attempts cancelled because another attempt won
+	BreakerSkips   uint64 // circuit-open addresses demoted past healthy ones at resolve time
 }
 
 // Stats returns a copy of the relay's counters.
@@ -111,6 +112,11 @@ func (r *Relay) countFanoutAttempt() {
 	r.statsMu.Unlock()
 }
 func (r *Relay) countHedgedWin() { r.statsMu.Lock(); r.stats.HedgedWins++; r.statsMu.Unlock() }
+func (r *Relay) countBreakerSkips(n int) {
+	r.statsMu.Lock()
+	r.stats.BreakerSkips += uint64(n)
+	r.statsMu.Unlock()
+}
 func (r *Relay) countHedgedLosses(n int) {
 	if n <= 0 {
 		return

@@ -36,62 +36,86 @@ var (
 
 // Discovery resolves a network ID to the addresses of its relays, in
 // preference order. Deploying multiple relays per network and listing them
-// all is the paper's mitigation for relay denial-of-service (§5).
+// all is the paper's mitigation for relay denial-of-service (§5). Entries
+// are lease-based (see LeaseRegistrar): membership is kept fresh by
+// re-announcement instead of accumulating forever.
 type Discovery interface {
 	Resolve(networkID string) ([]string, error)
 }
 
-// StaticRegistry is an in-memory Discovery, suitable for tests and
-// in-process deployments.
+// StaticRegistry is an in-memory Discovery with lease-based membership,
+// suitable for tests and in-process deployments.
 type StaticRegistry struct {
-	mu    sync.RWMutex
-	addrs map[string][]string
+	mu      sync.RWMutex
+	entries map[string][]leaseEntry
+	now     func() time.Time // overridable in tests
 }
+
+var _ LeaseRegistrar = (*StaticRegistry)(nil)
 
 // NewStaticRegistry returns an empty registry.
 func NewStaticRegistry() *StaticRegistry {
-	return &StaticRegistry{addrs: make(map[string][]string)}
+	return &StaticRegistry{entries: make(map[string][]leaseEntry), now: time.Now}
 }
 
-// Register appends relay addresses for a network.
+// Register adds permanent relay addresses for a network, deduplicating by
+// address: re-registering an address already present is a no-op rather
+// than an appended duplicate.
 func (r *StaticRegistry) Register(networkID string, addrs ...string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.addrs[networkID] = append(r.addrs[networkID], addrs...)
+	for _, addr := range addrs {
+		r.entries[networkID] = upsertLease(r.entries[networkID], addr, time.Time{})
+	}
+}
+
+// RegisterLease implements LeaseRegistrar: the address is registered (or
+// its existing entry refreshed) with a lease of ttl; zero ttl means
+// permanent.
+func (r *StaticRegistry) RegisterLease(networkID, addr string, ttl time.Duration) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var expires time.Time
+	if ttl > 0 {
+		expires = r.now().Add(ttl)
+	}
+	r.entries[networkID] = upsertLease(r.entries[networkID], addr, expires)
+	return nil
+}
+
+// Deregister implements LeaseRegistrar, removing one address for a network.
+func (r *StaticRegistry) Deregister(networkID, addr string) error {
+	r.Unregister(networkID, addr)
+	return nil
 }
 
 // Unregister removes one address for a network.
 func (r *StaticRegistry) Unregister(networkID, addr string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	list := r.addrs[networkID]
-	for i, a := range list {
-		if a == addr {
-			r.addrs[networkID] = append(list[:i], list[i+1:]...)
-			return
-		}
+	if entries, removed := removeLease(r.entries[networkID], addr); removed {
+		r.entries[networkID] = entries
 	}
 }
 
-// Resolve implements Discovery.
+// Resolve implements Discovery, returning addresses whose lease has not
+// lapsed.
 func (r *StaticRegistry) Resolve(networkID string) ([]string, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	addrs := r.addrs[networkID]
+	addrs := liveAddrs(r.entries[networkID], r.now())
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownNetwork, networkID)
 	}
-	out := make([]string, len(addrs))
-	copy(out, addrs)
-	return out, nil
+	return addrs, nil
 }
 
 // Networks lists registered network IDs, sorted.
 func (r *StaticRegistry) Networks() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.addrs))
-	for id := range r.addrs {
+	out := make([]string, 0, len(r.entries))
+	for id := range r.entries {
 		out = append(out, id)
 	}
 	sort.Strings(out)
@@ -145,6 +169,12 @@ type Relay struct {
 
 	hedge *Hedging
 
+	// Per-address health scoring and circuit breaking, fed by every
+	// transport outcome (see health.go).
+	health           *healthTracker
+	breakerThreshold int
+	breakerCooldown  time.Duration
+
 	mu      sync.RWMutex
 	drivers map[string]Driver
 
@@ -177,6 +207,9 @@ func New(localNetworkID string, discovery Discovery, transport Transport, opts .
 	for _, opt := range opts {
 		opt(r)
 	}
+	// Built after options so the tracker shares an overridden clock and
+	// picks up WithCircuitBreaker tuning.
+	r.health = newHealthTracker(func() time.Time { return r.now() }, r.breakerThreshold, r.breakerCooldown)
 	return r
 }
 
@@ -202,13 +235,15 @@ func (r *Relay) driverFor(networkID string) (Driver, bool) {
 // the target network's relay addresses, forward the query, and return the
 // response. The caller's Query struct is never modified; the relay operates
 // on a copy and the assigned request ID travels back in the response's
-// RequestID field. Without hedging, addresses are tried in order and
-// transport failures fail over to the next address; with WithHedging
-// configured, a hedge attempt opens against the next address after the
-// hedge delay and the first valid response wins (relay redundancy, §5).
-// ctx bounds the whole operation: its deadline is stamped into the envelope
-// so the source relay inherits the remaining budget, and cancellation
-// aborts in-flight transport sends.
+// RequestID field. Resolved addresses are reordered by observed health —
+// live, fast relays first, circuit-open ones demoted to last resort — so
+// failover rarely wastes attempts on a relay already known to be down.
+// Without hedging, addresses are tried in order and transport failures fail
+// over to the next address; with WithHedging configured, a hedge attempt
+// opens against the next address after the hedge delay and the first valid
+// response wins (relay redundancy, §5). ctx bounds the whole operation: its
+// deadline is stamped into the envelope so the source relay inherits the
+// remaining budget, and cancellation aborts in-flight transport sends.
 func (r *Relay) Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
 	q, err := r.prepareRequest(q)
 	if err != nil {
@@ -225,7 +260,7 @@ func (r *Relay) Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse, 
 		return ensureRequestID(resp, q), nil
 	}
 
-	addrs, err := r.discovery.Resolve(q.TargetNetwork)
+	addrs, err := r.resolveOrdered(q.TargetNetwork)
 	if err != nil {
 		return nil, err
 	}
@@ -290,15 +325,16 @@ func parseQueryReply(env *wire.Envelope) (*wire.QueryResponse, error) {
 // HandleEnvelope is the server-facing entry point (Fig. 2 steps 4-8): it
 // dispatches an incoming envelope and returns the reply envelope. Transport
 // servers (TCP, in-process) call this for every received frame. The serving
-// context is ctx narrowed by the envelope's DeadlineUnixNano, so the source
-// side never works past the requester's remaining budget.
+// context is ctx narrowed by the envelope's remaining-budget fields (see
+// remainingBudget), so the source side never works past the requester's
+// remaining budget.
 func (r *Relay) HandleEnvelope(ctx context.Context, env *wire.Envelope) *wire.Envelope {
 	if env.Version > wire.ProtocolVersion {
 		return errEnvelope(env.RequestID, fmt.Sprintf("unsupported protocol version %d", env.Version))
 	}
-	if env.DeadlineUnixNano != 0 {
+	if env.DeadlineUnixNano != 0 || env.TimeoutNanos != 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithDeadline(ctx, time.Unix(0, int64(env.DeadlineUnixNano)))
+		ctx, cancel = context.WithTimeout(ctx, r.remainingBudget(env))
 		defer cancel()
 	}
 	switch env.Type {
@@ -346,16 +382,38 @@ func (r *Relay) handleQuery(ctx context.Context, env *wire.Envelope) *wire.Envel
 	}
 }
 
+// remainingBudget converts the envelope's two remaining-budget encodings —
+// absolute deadline and relative timeout — into a serving budget on this
+// relay's clock. When both are present the laxer (later) interpretation
+// wins: under clock skew one of the two is too strict, and serving slightly
+// past the requester's true deadline only wastes a little work, while
+// killing a live request on arrival (a receiver clock running fast reading
+// the absolute deadline as already past) breaks it outright. The
+// requester's own context still expires on its clock regardless.
+func (r *Relay) remainingBudget(env *wire.Envelope) time.Duration {
+	var budget time.Duration
+	haveAbsolute := env.DeadlineUnixNano != 0
+	if haveAbsolute {
+		budget = time.Unix(0, int64(env.DeadlineUnixNano)).Sub(r.now())
+	}
+	if rel := time.Duration(env.TimeoutNanos); env.TimeoutNanos != 0 && (!haveAbsolute || rel > budget) {
+		budget = rel
+	}
+	return budget
+}
+
 // Ping probes a remote relay address, returning the round-trip error if
-// any. ctx bounds the probe.
+// any. ctx bounds the probe. The outcome feeds the address's health score
+// like any other transport send, so operational probing doubles as health
+// maintenance.
 func (r *Relay) Ping(ctx context.Context, addr string) error {
 	reqID, err := newRequestID()
 	if err != nil {
 		return err
 	}
 	env := &wire.Envelope{Version: wire.ProtocolVersion, Type: wire.MsgPing, RequestID: reqID}
-	stampDeadline(ctx, env)
-	reply, err := r.transport.Send(ctx, addr, env)
+	r.stampDeadline(ctx, env)
+	reply, err := r.observeSend(ctx, addr, env)
 	if err != nil {
 		return err
 	}

@@ -368,6 +368,7 @@ func TestStaticRegistry(t *testing.T) {
 		t.Fatalf("empty resolve: %v", err)
 	}
 	reg.Register("a", "addr1", "addr2")
+	reg.Register("a", "addr1") // dedupe: re-registration is a no-op
 	addrs, err := reg.Resolve("a")
 	if err != nil || len(addrs) != 2 || addrs[0] != "addr1" {
 		t.Fatalf("Resolve = %v, %v", addrs, err)
@@ -379,6 +380,41 @@ func TestStaticRegistry(t *testing.T) {
 	}
 	if nets := reg.Networks(); len(nets) != 1 || nets[0] != "a" {
 		t.Fatalf("Networks = %v", nets)
+	}
+}
+
+// TestStaticRegistryLeases: leased entries resolve until their TTL lapses,
+// renewal extends them, and Deregister removes them.
+func TestStaticRegistryLeases(t *testing.T) {
+	clk := newFakeClock()
+	reg := NewStaticRegistry()
+	reg.now = clk.Now
+
+	if err := reg.RegisterLease("a", "leased", 30*time.Second); err != nil {
+		t.Fatalf("RegisterLease: %v", err)
+	}
+	reg.Register("a", "permanent")
+	if addrs, _ := reg.Resolve("a"); len(addrs) != 2 {
+		t.Fatalf("Resolve = %v", addrs)
+	}
+	clk.Advance(20 * time.Second)
+	if err := reg.RegisterLease("a", "leased", 30*time.Second); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	clk.Advance(20 * time.Second)
+	if addrs, _ := reg.Resolve("a"); len(addrs) != 2 {
+		t.Fatalf("renewed lease lapsed early: %v", addrs)
+	}
+	clk.Advance(time.Minute)
+	addrs, err := reg.Resolve("a")
+	if err != nil || len(addrs) != 1 || addrs[0] != "permanent" {
+		t.Fatalf("after expiry Resolve = %v, %v", addrs, err)
+	}
+	if err := reg.Deregister("a", "permanent"); err != nil {
+		t.Fatalf("Deregister: %v", err)
+	}
+	if _, err := reg.Resolve("a"); !errors.Is(err, ErrUnknownNetwork) {
+		t.Fatalf("after Deregister err = %v, want ErrUnknownNetwork", err)
 	}
 }
 

@@ -2,9 +2,7 @@ package relay
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
 	"time"
@@ -185,10 +183,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	for {
 		frame, err := wire.ReadFrame(conn)
 		if err != nil {
-			if errors.Is(err, io.EOF) {
-				return
-			}
-			return
+			return // clean EOF and read/framing errors alike drop the connection
 		}
 		env, err := wire.UnmarshalEnvelope(frame)
 		var reply *wire.Envelope

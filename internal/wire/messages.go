@@ -72,6 +72,14 @@ type Envelope struct {
 	// is far behind the requester's would see an inflated budget, one far
 	// ahead a shrunken one.
 	DeadlineUnixNano uint64
+	// TimeoutNanos is the same budget encoded relative: the time remaining
+	// at the instant the sender stamped the envelope (gRPC-style). Senders
+	// stamp both fields; receivers take the laxer interpretation (the later
+	// effective deadline), which removes the clock-sync assumption — under
+	// skew the relative encoding is off only by the one-way transit time,
+	// so a relay with a fast clock no longer kills requests on arrival.
+	// Zero when unbounded or when stamped by an older relay.
+	TimeoutNanos uint64
 }
 
 // Marshal encodes the envelope.
@@ -82,6 +90,7 @@ func (m *Envelope) Marshal() []byte {
 	e.String(3, m.RequestID)
 	e.BytesField(4, m.Payload)
 	e.Uint(5, m.DeadlineUnixNano)
+	e.Uint(6, m.TimeoutNanos)
 	return e.Bytes()
 }
 
@@ -110,6 +119,8 @@ func UnmarshalEnvelope(buf []byte) (*Envelope, error) {
 			m.Payload, err = d.BytesCopy()
 		case 5:
 			m.DeadlineUnixNano, err = d.Uint()
+		case 6:
+			m.TimeoutNanos, err = d.Uint()
 		default:
 			err = d.Skip()
 		}
