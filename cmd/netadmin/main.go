@@ -128,17 +128,31 @@ func registryList(dir string, registry *relay.FileRegistry) error {
 		for _, entry := range entries[network] {
 			switch {
 			case entry.ExpiresUnixNano == 0:
-				fmt.Printf("  %-24s permanent\n", entry.Addr)
+				fmt.Printf("  %-24s permanent%s\n", entry.Addr, healthSummary(entry.Health, now))
 			case time.Unix(0, entry.ExpiresUnixNano).After(now):
 				remaining := time.Unix(0, entry.ExpiresUnixNano).Sub(now).Round(time.Second)
-				fmt.Printf("  %-24s lease expires in %s\n", entry.Addr, remaining)
+				fmt.Printf("  %-24s lease expires in %s%s\n", entry.Addr, remaining, healthSummary(entry.Health, now))
 			default:
 				expired := now.Sub(time.Unix(0, entry.ExpiresUnixNano)).Round(time.Second)
-				fmt.Printf("  %-24s EXPIRED %s ago (prune to remove)\n", entry.Addr, expired)
+				fmt.Printf("  %-24s EXPIRED %s ago (prune to remove)%s\n", entry.Addr, expired, healthSummary(entry.Health, now))
 			}
 		}
 	}
 	return nil
+}
+
+// healthSummary renders the shared health record relays piggyback on lease
+// renewal, empty when none was published.
+func healthSummary(h *relay.SharedHealth, now time.Time) string {
+	if h == nil {
+		return ""
+	}
+	s := fmt.Sprintf("; health: %d consecutive failure(s), ewma rtt %s",
+		h.ConsecFailures, time.Duration(h.EWMALatencyNanos).Round(time.Microsecond))
+	if h.OpenUntilUnixNano != 0 && time.Unix(0, h.OpenUntilUnixNano).After(now) {
+		s += fmt.Sprintf(", circuit OPEN for %s", time.Unix(0, h.OpenUntilUnixNano).Sub(now).Round(time.Second))
+	}
+	return s
 }
 
 // registryPrune drops entries whose lease has lapsed.

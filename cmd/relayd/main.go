@@ -8,6 +8,17 @@
 // the same deployment directory refreshes the single registry entry rather
 // than accumulating duplicates.
 //
+// Several relayd processes may share one deployment directory: registry
+// mutations are flock-serialized, and each heartbeat publishes the relay's
+// health observations, which a starting relayd seeds its tracker from.
+// Note that each process boots its own in-memory demo network and writes
+// its own client kit, so in this simulation the processes genuinely share
+// discovery state, not a ledger — run interopctl against the relay whose
+// kit was written last, or use a per-process -dir when the data plane
+// matters. (Production relays front one real ledger; the ledger-level
+// exactly-once machinery is exercised across relay instances in the
+// scenario tests.)
+//
 // Usage:
 //
 //	relayd -listen 127.0.0.1:9080 -dir ./deploy
@@ -63,6 +74,13 @@ func run() error {
 	stl, err := tradelens.BuildNetwork(registry, transport)
 	if err != nil {
 		return err
+	}
+	// Seed the fresh relay's health tracker from observations other relayd
+	// processes published into the shared registry: a restarted relay then
+	// resolves peers in fleet-learned health order (circuit-open peers
+	// demoted) instead of blank registration order.
+	if err := relay.SeedHealthFromRegistry(stl.Relay, registry); err != nil {
+		log.Printf("health seed skipped: %v", err)
 	}
 	admin, err := tradelens.AdminGateway(stl, tradelens.SellerOrg)
 	if err != nil {
@@ -147,8 +165,11 @@ func run() error {
 	// entry instead of appending a duplicate), kept fresh by heartbeat
 	// re-announcement, and withdrawn on shutdown. If this process dies
 	// without cleaning up, the lease lapses and discovery stops handing the
-	// dead address out.
-	stopAnnounce, err := relay.Announce(registry, tradelens.NetworkID, server.Addr(), *leaseTTL, func(err error) {
+	// dead address out. Each heartbeat also publishes this relay's health
+	// observations into the registry (shared with any other relayd using
+	// the same deploy dir; the file registry serializes the concurrent
+	// writers with a flock).
+	stopAnnounce, err := relay.AnnounceWithHealth(registry, tradelens.NetworkID, server.Addr(), *leaseTTL, stl.Relay.HealthSnapshot, func(err error) {
 		log.Printf("lease renewal failed (lease lapses if this persists): %v", err)
 	})
 	if err != nil {

@@ -29,6 +29,25 @@
 // by address, lapsed leases stop resolving, and `netadmin registry
 // list`/`registry prune` inspect and clean the registry file.
 //
+// Redundant relay deployments get exactly-once cross-network invokes
+// anchored at the ledger rather than in any one relay's memory: the
+// request's interop key (wire.Query.InteropKey — requesting network +
+// requester certificate digest + request ID) travels into the committed
+// transaction's signed metadata, the committer marks a second commit of
+// the same TxID or interop key ledger.Duplicate and skips its writes, and
+// a relay whose in-memory replay cache misses recovers the committed
+// response from the ledger (relay.InvokeReplayer; BlockStore.
+// TxByInteropKey) and re-attests it instead of re-executing. The shared
+// registry file is safe for multiple relayd processes on one deployment
+// directory — mutations hold an exclusive flock across the whole
+// read-modify-write cycle — and lease heartbeats piggyback each relay's
+// per-address health observations (relay.SharedHealth) so a restarting
+// relay can seed its health tracker from fleet knowledge
+// (relay.SeedHealthFromRegistry) instead of rediscovering dead peers.
+// Cross-network atomic exchange remains the province of internal/htlc;
+// the ledger dedup governs duplicate commits of one logical invoke on one
+// network.
+//
 // The module layout — everything lives under internal/; programs in cmd/
 // and examples/ are the runnable surface:
 //

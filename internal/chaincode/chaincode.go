@@ -140,6 +140,13 @@ type Invocation struct {
 	Timestamp   time.Time
 	ReadOnly    bool              // queries may not write
 	Transient   map[string][]byte // proposal-scoped, never written to the ledger
+
+	// InteropKey is the exactly-once identity of the cross-network request
+	// behind this proposal (wire.Query.InteropKey), empty for local
+	// transactions. It travels into the committed transaction's signed
+	// metadata so the ledger itself can reject a second commit of the same
+	// logical invoke submitted through a different relay.
+	InteropKey string
 }
 
 // SimResult is the outcome of simulating an invocation.

@@ -45,6 +45,10 @@ type BlockStore struct {
 	mu     sync.RWMutex
 	blocks []*Block
 	byTxID map[string]txLocation
+	// byInterop locates the first transaction committed as Valid for each
+	// interop request key — the ledger-level replay index redundant relays
+	// consult to serve a duplicate of an invoke a sibling relay committed.
+	byInterop map[string]txLocation
 }
 
 type txLocation struct {
@@ -55,7 +59,10 @@ type txLocation struct {
 // NewBlockStore returns an empty block store. The first appended block must
 // have Number 0 and an empty PrevHash.
 func NewBlockStore() *BlockStore {
-	return &BlockStore{byTxID: make(map[string]txLocation)}
+	return &BlockStore{
+		byTxID:    make(map[string]txLocation),
+		byInterop: make(map[string]txLocation),
+	}
 }
 
 // Height returns the number of blocks in the chain.
@@ -94,9 +101,28 @@ func (s *BlockStore) Append(b *Block) error {
 	b.Hash = b.ComputeHash()
 	s.blocks = append(s.blocks, b)
 	for i, tx := range b.Transactions {
-		s.byTxID[tx.ID] = txLocation{blockNum: b.Number, txIndex: i}
+		loc := txLocation{blockNum: b.Number, txIndex: i}
+		// Duplicate TxIDs short-circuit rather than reindex: the first
+		// valid commit stays authoritative, so a later duplicate (which the
+		// committer marks Duplicate and skips) can never shadow the
+		// transaction whose effects are actually on the ledger. A valid
+		// commit does displace an earlier invalid attempt with the same ID
+		// — the failed-then-retried case — because lookups want the
+		// transaction that took effect.
+		if old, ok := s.byTxID[tx.ID]; !ok || (tx.Validation == Valid && s.txAtLocked(old).Validation != Valid) {
+			s.byTxID[tx.ID] = loc
+		}
+		if tx.Validation == Valid && tx.InteropKey != "" {
+			if _, ok := s.byInterop[tx.InteropKey]; !ok {
+				s.byInterop[tx.InteropKey] = loc
+			}
+		}
 	}
 	return nil
+}
+
+func (s *BlockStore) txAtLocked(loc txLocation) *Transaction {
+	return s.blocks[loc.blockNum].Transactions[loc.txIndex]
 }
 
 // Block returns the block at the given height.
@@ -118,6 +144,30 @@ func (s *BlockStore) TxByID(txID string) (*Transaction, error) {
 		return nil, fmt.Errorf("%w: tx %s", ErrNotFound, txID)
 	}
 	return s.blocks[loc.blockNum].Transactions[loc.txIndex], nil
+}
+
+// HasValidTx reports whether a transaction with this ID has been committed
+// as Valid — the committer's duplicate check. Invalid attempts (an
+// MVCC-conflicted first try, say) do not count: the same TxID may
+// legitimately be resubmitted until it commits.
+func (s *BlockStore) HasValidTx(txID string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	loc, ok := s.byTxID[txID]
+	return ok && s.txAtLocked(loc).Validation == Valid
+}
+
+// TxByInteropKey returns the transaction committed as Valid for an interop
+// request key (wire.Query.InteropKey) — the QueryByTxID-style lookup a
+// relay uses to replay a cross-network invoke a sibling relay committed.
+func (s *BlockStore) TxByInteropKey(key string) (*Transaction, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	loc, ok := s.byInterop[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: interop request %q", ErrNotFound, key)
+	}
+	return s.txAtLocked(loc), nil
 }
 
 // VerifyChain re-walks the chain, recomputing hashes, and returns an error

@@ -21,6 +21,13 @@ const (
 	EndorsementFailure
 	// BadSignature means an endorsement signature did not verify.
 	BadSignature
+	// Duplicate means a transaction with the same ID (or the same interop
+	// request key) was already committed as valid; the transaction was
+	// skipped so the original commit remains the only effect. This is the
+	// ledger-level anchor of cross-relay exactly-once: two relay processes
+	// fronting the same network can each submit the same logical invoke,
+	// but only the first commit applies.
+	Duplicate
 )
 
 // String returns the validation code name.
@@ -34,6 +41,8 @@ func (c ValidationCode) String() string {
 		return "endorsement-failure"
 	case BadSignature:
 		return "bad-signature"
+	case Duplicate:
+		return "duplicate"
 	default:
 		return fmt.Sprintf("validation(%d)", int(c))
 	}
@@ -69,6 +78,14 @@ type Transaction struct {
 	Endorsements []Endorsement
 	UnixNano     uint64
 
+	// InteropKey is the cross-network exactly-once identity of the interop
+	// request that produced this transaction (wire.Query.InteropKey), empty
+	// for local transactions. It is part of the signed payload, so a relay
+	// cannot re-bind a committed outcome to a different request, and it is
+	// indexed by the BlockStore so any relay fronting this network can
+	// recover the committed response for a request its sibling executed.
+	InteropKey string
+
 	// Validation is assigned by the committer; it is not part of the signed
 	// payload.
 	Validation ValidationCode
@@ -96,6 +113,9 @@ func (tx *Transaction) SignedPayload() []byte {
 		ev.BytesField(3, tx.Event.Payload)
 		e.Message(8, ev.Bytes())
 	}
+	// Empty keys are omitted by the encoder, so local transactions keep the
+	// exact payload bytes they had before interop metadata existed.
+	e.String(9, tx.InteropKey)
 	return e.Bytes()
 }
 

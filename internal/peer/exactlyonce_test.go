@@ -1,0 +1,145 @@
+package peer
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/chaincode"
+	"repro/internal/ledger"
+)
+
+// endorseTx endorses one invocation on p and assembles the single-endorser
+// transaction.
+func endorseTx(t *testing.T, p *Peer, proposal chaincode.Invocation) *ledger.Transaction {
+	t.Helper()
+	resp, err := p.Endorse(proposal)
+	if err != nil {
+		t.Fatalf("Endorse: %v", err)
+	}
+	tx, err := AssembleTransaction(proposal, []*ProposalResponse{resp})
+	if err != nil {
+		t.Fatalf("AssembleTransaction: %v", err)
+	}
+	return tx
+}
+
+func commit(t *testing.T, p *Peer, num uint64, txs ...*ledger.Transaction) {
+	t.Helper()
+	block := &ledger.Block{Number: num, PrevHash: p.Blocks().TipHash(), Transactions: txs}
+	block.Hash = block.ComputeHash()
+	if err := p.CommitBlock(block); err != nil {
+		t.Fatalf("CommitBlock %d: %v", num, err)
+	}
+}
+
+func interopInv(txID, key, k, v string) chaincode.Invocation {
+	return chaincode.Invocation{
+		TxID: txID, Chaincode: "kv", Function: "put",
+		Args:       [][]byte{[]byte(k), []byte(v)},
+		Timestamp:  time.Unix(1700000000, 0),
+		InteropKey: key,
+	}
+}
+
+// TestCommitMarksSecondTxIDDuplicate: a transaction whose ID already
+// committed as valid is marked Duplicate and its writes are not applied —
+// the cross-block half of the ledger-level exactly-once check.
+func TestCommitMarksSecondTxIDDuplicate(t *testing.T) {
+	p, _ := newPeerFixture(t, "'org-a'")
+	first := endorseTx(t, p, interopInv("interop-tx-1", "key-1", "k", "v1"))
+	commit(t, p, 0, first)
+	if first.Validation != ledger.Valid {
+		t.Fatalf("first commit = %v", first.Validation)
+	}
+
+	// The same logical invoke re-endorsed (same TxID, same interop key)
+	// through a second relay, landing in a later block.
+	second := endorseTx(t, p, interopInv("interop-tx-1", "key-1", "k", "v2"))
+	commit(t, p, 1, second)
+	if second.Validation != ledger.Duplicate {
+		t.Fatalf("second commit = %v, want %v", second.Validation, ledger.Duplicate)
+	}
+	vv, ok := p.State().Get("k")
+	if !ok || !bytes.Equal(vv.Value, []byte("v1")) {
+		t.Fatalf("state = %q, want the original write only", vv.Value)
+	}
+}
+
+// TestCommitMarksInBlockDuplicate: both copies of a raced invoke can land
+// in the same block, where the chain index cannot see either yet; the
+// in-block seen set must still collapse them.
+func TestCommitMarksInBlockDuplicate(t *testing.T) {
+	p, _ := newPeerFixture(t, "'org-a'")
+	first := endorseTx(t, p, interopInv("interop-tx-1", "key-1", "k", "v1"))
+	second := endorseTx(t, p, interopInv("interop-tx-1", "key-1", "k", "v1"))
+	commit(t, p, 0, first, second)
+	if first.Validation != ledger.Valid {
+		t.Fatalf("first tx = %v", first.Validation)
+	}
+	if second.Validation != ledger.Duplicate {
+		t.Fatalf("second tx = %v, want %v", second.Validation, ledger.Duplicate)
+	}
+}
+
+// TestCommitMarksDuplicateByInteropKey: different TxIDs, same interop
+// request key — still a duplicate. The request identity, not the platform
+// transaction identity, is what exactly-once is defined over.
+func TestCommitMarksDuplicateByInteropKey(t *testing.T) {
+	p, _ := newPeerFixture(t, "'org-a'")
+	first := endorseTx(t, p, interopInv("interop-tx-a", "key-1", "k", "v1"))
+	commit(t, p, 0, first)
+
+	second := endorseTx(t, p, interopInv("interop-tx-b", "key-1", "k2", "v2"))
+	commit(t, p, 1, second)
+	if second.Validation != ledger.Duplicate {
+		t.Fatalf("second tx = %v, want %v", second.Validation, ledger.Duplicate)
+	}
+	if _, ok := p.State().Get("k2"); ok {
+		t.Fatal("duplicate-by-interop-key write was applied")
+	}
+}
+
+// TestFailedAttemptMayRetrySameTxID: only valid commits count as
+// duplicates. A transaction that failed validation may be resubmitted
+// under the same TxID and interop key, and the retry commits.
+func TestFailedAttemptMayRetrySameTxID(t *testing.T) {
+	p, _ := newPeerFixture(t, "'org-a'")
+	// An unendorsable transaction fails validation.
+	naked := &ledger.Transaction{
+		ID: "interop-tx-1", InteropKey: "key-1", Chaincode: "kv", Function: "put",
+		RWSet: ledger.RWSet{Writes: []ledger.KVWrite{{Key: "k", Value: []byte("v0")}}},
+	}
+	commit(t, p, 0, naked)
+	if naked.Validation != ledger.EndorsementFailure {
+		t.Fatalf("naked tx = %v", naked.Validation)
+	}
+
+	retry := endorseTx(t, p, interopInv("interop-tx-1", "key-1", "k", "v1"))
+	commit(t, p, 1, retry)
+	if retry.Validation != ledger.Valid {
+		t.Fatalf("retry = %v, want valid (failed attempts are not duplicates)", retry.Validation)
+	}
+	vv, ok := p.State().Get("k")
+	if !ok || !bytes.Equal(vv.Value, []byte("v1")) {
+		t.Fatalf("state = %q", vv.Value)
+	}
+}
+
+// TestLocalTransactionsUnaffectedByInteropMetadata: a transaction without
+// an interop key never trips the interop half of the duplicate check, and
+// distinct local transactions commit as before.
+func TestLocalTransactionsUnaffectedByInteropMetadata(t *testing.T) {
+	p, _ := newPeerFixture(t, "'org-a'")
+	first := endorseTx(t, p, interopInv("tx-1", "", "k", "v1"))
+	commit(t, p, 0, first)
+	second := endorseTx(t, p, interopInv("tx-2", "", "k", "v2"))
+	commit(t, p, 1, second)
+	if first.Validation != ledger.Valid || second.Validation != ledger.Valid {
+		t.Fatalf("validations = %v, %v", first.Validation, second.Validation)
+	}
+	vv, _ := p.State().Get("k")
+	if !bytes.Equal(vv.Value, []byte("v2")) {
+		t.Fatalf("state = %q", vv.Value)
+	}
+}

@@ -148,6 +148,7 @@ func BuildTransaction(inv chaincode.Invocation, res *chaincode.SimResult) *ledge
 		Response:    res.Response,
 		Event:       res.Event,
 		UnixNano:    uint64(inv.Timestamp.UnixNano()),
+		InteropKey:  inv.InteropKey,
 	}
 }
 
@@ -186,10 +187,23 @@ func AssembleTransaction(inv chaincode.Invocation, responses []*ProposalResponse
 func (p *Peer) CommitBlock(block *ledger.Block) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// Exactly-once guard inside the block: two relays racing the same
+	// logical invoke can land both copies in one batch, where the chain
+	// index (which only sees committed blocks) cannot catch the second.
+	seenIDs := make(map[string]struct{})
+	seenKeys := make(map[string]struct{})
 	for txNum, tx := range block.Transactions {
+		if p.isDuplicate(tx, seenIDs, seenKeys) {
+			tx.Validation = ledger.Duplicate
+			continue
+		}
 		tx.Validation = p.validate(tx)
 		if tx.Validation != ledger.Valid {
 			continue
+		}
+		seenIDs[tx.ID] = struct{}{}
+		if tx.InteropKey != "" {
+			seenKeys[tx.InteropKey] = struct{}{}
 		}
 		p.state.ApplyWrites(tx.RWSet.StateWrites(),
 			statedb.Version{BlockNum: block.Number, TxNum: uint64(txNum)})
@@ -199,6 +213,30 @@ func (p *Peer) CommitBlock(block *ledger.Block) error {
 	}
 	p.history.record(block)
 	return nil
+}
+
+// isDuplicate reports whether a transaction with the same ID or the same
+// interop request key already committed as Valid — on the chain, or earlier
+// in the block being committed. Only valid commits count: a transaction
+// that failed validation may legitimately be resubmitted under the same ID
+// (the relay retry path), and rejecting the retry as a duplicate of a
+// no-effect attempt would wedge it forever.
+func (p *Peer) isDuplicate(tx *ledger.Transaction, seenIDs, seenKeys map[string]struct{}) bool {
+	if _, ok := seenIDs[tx.ID]; ok {
+		return true
+	}
+	if p.blocks.HasValidTx(tx.ID) {
+		return true
+	}
+	if tx.InteropKey != "" {
+		if _, ok := seenKeys[tx.InteropKey]; ok {
+			return true
+		}
+		if _, err := p.blocks.TxByInteropKey(tx.InteropKey); err == nil {
+			return true
+		}
+	}
+	return false
 }
 
 // validate applies the three commit-time checks: endorsement signature

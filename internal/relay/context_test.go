@@ -655,7 +655,7 @@ func TestInvokeReplayCacheBounded(t *testing.T) {
 	r := New("srcnet", reg, NewHub())
 
 	for i := 0; i < invokeDedupLimit+10; i++ {
-		r.invokeRemember(fmt.Sprintf("id-%d", i), []byte("resp"))
+		r.invokeRemember(fmt.Sprintf("id-%d", i), []byte("resp"), "fp")
 	}
 	r.invokeMu.Lock()
 	entries := len(r.invokeServed)
@@ -666,8 +666,8 @@ func TestInvokeReplayCacheBounded(t *testing.T) {
 	cached := func(id string) ([]byte, bool) {
 		r.invokeMu.Lock()
 		defer r.invokeMu.Unlock()
-		payload, ok := r.invokeServed[id]
-		return payload, ok
+		served, ok := r.invokeServed[id]
+		return served.payload, ok
 	}
 	if _, ok := cached("id-0"); ok {
 		t.Fatal("oldest entry not evicted")
@@ -678,7 +678,7 @@ func TestInvokeReplayCacheBounded(t *testing.T) {
 
 	// Oversized responses are remembered by ID with a nil payload.
 	big := make([]byte, invokeDedupMaxEntryBytes+1)
-	r.invokeRemember("big-1", big)
+	r.invokeRemember("big-1", big, "fp")
 	payload, ok := cached("big-1")
 	if !ok || payload != nil {
 		t.Fatalf("oversized entry: payload=%v ok=%v, want nil/true", payload != nil, ok)

@@ -6,9 +6,11 @@ import (
 	"crypto/ecdsa"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/chaincode"
+	"repro/internal/cryptoutil"
 	"repro/internal/endorsement"
 	"repro/internal/fabric"
 	"repro/internal/ledger"
@@ -37,6 +39,22 @@ var (
 type FabricDriver struct {
 	net        *fabric.Network
 	ledgerName string
+
+	// onLedgerReplay is notified when the driver answers an invoke from the
+	// ledger's committed record after its own submission was invalidated as
+	// a duplicate (the commit-race-loser path). Relay.RegisterDriver wires
+	// it to the relay's InvokeReplays counter so cross-relay duplicate
+	// traffic is visible whichever path served it. Atomic because a driver
+	// may be registered on a second relay while the first is already
+	// serving invokes.
+	onLedgerReplay atomic.Pointer[func()]
+}
+
+// OnLedgerReplay implements LedgerReplayNotifier. The first wiring wins: a
+// driver registered on several relays reports its internal replays to the
+// relay that registered it first.
+func (d *FabricDriver) OnLedgerReplay(fn func()) {
+	d.onLedgerReplay.CompareAndSwap(nil, &fn)
 }
 
 var _ Driver = (*FabricDriver)(nil)
@@ -150,25 +168,39 @@ func (d *FabricDriver) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryRe
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("relay: invoke aborted: %w", err)
 	}
-	vp, err := endorsement.Parse(q.PolicyExpr)
-	if err != nil {
+	// Fail fast on request defects before anything is committed; the same
+	// parses happen again when the response is attested.
+	if _, err := endorsement.Parse(q.PolicyExpr); err != nil {
 		return nil, fmt.Errorf("relay: verification policy: %w", err)
 	}
-	clientPub, err := requesterPublicKey(q.RequesterCertPEM)
-	if err != nil {
+	if _, err := requesterPublicKey(q.RequesterCertPEM); err != nil {
 		return nil, err
 	}
 	endorsePolicy := d.net.PolicyFor(q.Contract)
 	if endorsePolicy == nil {
 		return nil, fmt.Errorf("relay: chaincode %q not deployed", q.Contract)
 	}
+	// The TxID is derived deterministically from the interop key, so every
+	// relay fronting this network submits the same logical invoke under the
+	// same transaction identity and the committer's duplicate check can
+	// collapse them. A request without an ID has no exactly-once identity;
+	// it gets a random TxID so independent anonymous invokes never collide.
+	txID := InteropTxID(q)
+	if txID == "" {
+		fresh, err := newRequestID()
+		if err != nil {
+			return nil, err
+		}
+		txID = "interop-tx-" + fresh
+	}
 	inv := chaincode.Invocation{
-		TxID:        "interop-tx-" + q.RequestID,
+		TxID:        txID,
 		Chaincode:   q.Contract,
 		Function:    q.Function,
 		Args:        q.Args,
 		CreatorCert: q.RequesterCertPEM,
 		Timestamp:   time.Now(),
+		InteropKey:  q.InteropKey(),
 		Transient: map[string][]byte{
 			syscc.TransientInteropFlag:       []byte("1"),
 			syscc.TransientRequestingNetwork: []byte(q.RequestingNetwork),
@@ -208,11 +240,129 @@ func (d *FabricDriver) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryRe
 			return nil, err
 		}
 	}
+	if tx.Validation == ledger.Duplicate {
+		// The committer refused this submission because the same logical
+		// invoke is already on the ledger — typically committed through a
+		// sibling relay racing this one. The original outcome is the answer.
+		resp, found, err := d.ReplayInvoke(ctx, q)
+		if err != nil {
+			return nil, err
+		}
+		if found {
+			if fn := d.onLedgerReplay.Load(); fn != nil {
+				(*fn)()
+			}
+			return resp, nil
+		}
+		return nil, fmt.Errorf("relay: cross-network tx invalidated: %s", tx.Validation)
+	}
 	if tx.Validation != ledger.Valid {
 		return nil, fmt.Errorf("relay: cross-network tx invalidated: %s", tx.Validation)
 	}
 
 	// Attest the committed response for the requester's proof.
+	return d.attestResponse(q, tx.Response)
+}
+
+// InteropTxID derives the platform transaction ID for an interop invoke.
+// It digests the full interop key — requesting network, requester
+// certificate digest, request ID — rather than the bare request ID, so the
+// ID is identical no matter which relay submits the request (the
+// committer's TxID-level duplicate check must collapse sibling
+// submissions) while staying private to the requester: two requesters
+// choosing the same idempotency key get distinct TxIDs, so neither can
+// occupy or block the other's transaction identity. Empty when the query
+// carries no request ID.
+func InteropTxID(q *wire.Query) string {
+	key := q.InteropKey()
+	if key == "" {
+		return ""
+	}
+	return "interop-tx-" + cryptoutil.DigestHex([]byte(key))[:32]
+}
+
+// ReplayInvoke implements InvokeReplayer: it recovers the committed outcome
+// of an interop request from the ledger itself, the cross-relay half of the
+// exactly-once guarantee. The relay's in-memory replay cache only remembers
+// invokes this process served; when a requester fails over to a redundant
+// relay, that relay finds the sibling's commit here and re-attests the
+// original response instead of executing the transaction a second time.
+// found=false means no valid commit exists for the request (and is not an
+// error: the caller is then the legitimate first executor).
+func (d *FabricDriver) ReplayInvoke(ctx context.Context, q *wire.Query) (*wire.QueryResponse, bool, error) {
+	key := q.InteropKey()
+	if key == "" {
+		return nil, false, nil
+	}
+	if q.Ledger != "" && q.Ledger != d.ledgerName {
+		// The same gate the execution path applies: a duplicate aimed at a
+		// ledger this driver does not serve must not be answered from the
+		// one it does, and (worse) have its wrong-ledger fingerprint cached
+		// against the requester's legitimate retry.
+		return nil, false, fmt.Errorf("relay: unknown ledger %q", q.Ledger)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, fmt.Errorf("relay: replay lookup aborted: %w", err)
+	}
+	peers := d.net.AllPeers()
+	if len(peers) == 0 {
+		return nil, false, nil
+	}
+	// Any peer serves: every peer validates and commits every block.
+	tx, err := peers[0].Blocks().TxByInteropKey(key)
+	if err != nil {
+		return nil, false, nil
+	}
+	// The replayed proof binds the *incoming* query's digest to the
+	// *committed* response, so the two must describe the same invocation:
+	// re-attesting the old response under a new contract/function/argument
+	// binding would mint a valid-looking proof for a question the ledger
+	// never answered. A requester that reuses an idempotency key for a
+	// different request gets an error, not silently stale data.
+	if err := matchesCommitted(tx, q); err != nil {
+		return nil, false, err
+	}
+	resp, err := d.attestResponse(q, tx.Response)
+	if err != nil {
+		return nil, false, err
+	}
+	return resp, true, nil
+}
+
+// matchesCommitted checks that an incoming duplicate describes the same
+// invocation as the transaction committed under its interop key.
+func matchesCommitted(tx *ledger.Transaction, q *wire.Query) error {
+	mismatch := tx.Chaincode != q.Contract || tx.Function != q.Function || len(tx.Args) != len(q.Args)
+	if !mismatch {
+		for i := range tx.Args {
+			if !bytes.Equal(tx.Args[i], q.Args[i]) {
+				mismatch = true
+				break
+			}
+		}
+	}
+	if mismatch {
+		return fmt.Errorf("%w: request %s was already committed as %s.%s with different arguments", ErrRequestMismatch, q.RequestID, tx.Chaincode, tx.Function)
+	}
+	return nil
+}
+
+// attestResponse wraps a (committed or replayed) invoke result in the same
+// attestation proof a query response carries: one signed, encrypted
+// attestation per verification-policy organization, plus the result
+// encrypted to the requester. Replays re-attest rather than re-serve the
+// original ciphertext: the proof binds the requester's nonce, which a
+// deterministic idempotent retry presents again, so the fresh attestations
+// verify identically.
+func (d *FabricDriver) attestResponse(q *wire.Query, result []byte) (*wire.QueryResponse, error) {
+	vp, err := endorsement.Parse(q.PolicyExpr)
+	if err != nil {
+		return nil, fmt.Errorf("relay: verification policy: %w", err)
+	}
+	clientPub, err := requesterPublicKey(q.RequesterCertPEM)
+	if err != nil {
+		return nil, err
+	}
 	attestors := d.selectPeers(vp)
 	if len(attestors) == 0 {
 		return nil, ErrNoAttestors
@@ -220,13 +370,13 @@ func (d *FabricDriver) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryRe
 	queryDigest := proof.QueryDigestOf(q)
 	resp := &wire.QueryResponse{RequestID: q.RequestID}
 	for _, p := range attestors {
-		att, err := proof.BuildAttestation(p.Identity(), d.net.ID(), queryDigest, tx.Response, q.Nonce, clientPub, time.Now())
+		att, err := proof.BuildAttestation(p.Identity(), d.net.ID(), queryDigest, result, q.Nonce, clientPub, time.Now())
 		if err != nil {
 			return nil, fmt.Errorf("relay: attestation from %s: %w", p.Name(), err)
 		}
 		resp.Attestations = append(resp.Attestations, att)
 	}
-	encResult, err := proof.EncryptResult(clientPub, tx.Response)
+	encResult, err := proof.EncryptResult(clientPub, result)
 	if err != nil {
 		return nil, fmt.Errorf("relay: encrypt result: %w", err)
 	}

@@ -24,15 +24,27 @@ import (
 // The file accepts two entry encodings per network and they may be mixed:
 // a bare string ("127.0.0.1:9080") is a permanent, operator-managed entry,
 // while an object ({"addr": "...", "expires_unix_nano": ...}) carries a
-// lease. Permanent entries are written back as bare strings to keep
-// hand-edited files stable.
+// lease (and optionally a shared health record). Permanent entries are
+// written back as bare strings to keep hand-edited files stable.
+//
+// Cross-process safety: the atomic rename only guarantees readers never see
+// torn JSON; two relayd processes sharing a deploy dir still race their
+// read-modify-write cycles, and the last store would silently drop the
+// other's registration. Every mutating operation therefore serializes
+// through an exclusive flock on a sidecar lock file (<path>.lock) held
+// across the whole load-modify-store cycle. Read-only operations skip the
+// lock: rename atomicity already gives them a consistent snapshot.
 type FileRegistry struct {
 	path string
 	mu   sync.Mutex
 	now  func() time.Time // overridable in tests
 }
 
-var _ LeaseRegistrar = (*FileRegistry)(nil)
+var (
+	_ LeaseRegistrar  = (*FileRegistry)(nil)
+	_ HealthPublisher = (*FileRegistry)(nil)
+	_ HealthSource    = (*FileRegistry)(nil)
+)
 
 // RegistryEntry is the exported view of one registered address, used by
 // inspection tooling (netadmin registry list).
@@ -41,6 +53,9 @@ type RegistryEntry struct {
 	// ExpiresUnixNano is the lease expiry in nanoseconds since the Unix
 	// epoch, zero for permanent entries.
 	ExpiresUnixNano int64 `json:"expires_unix_nano,omitempty"`
+	// Health is the freshest published health observation for the address,
+	// nil when no relay has published one.
+	Health *SharedHealth `json:"health,omitempty"`
 }
 
 // NewFileRegistry returns a registry over the given JSON file. The file
@@ -66,90 +81,155 @@ func (r *FileRegistry) Resolve(networkID string) ([]string, error) {
 	return addrs, nil
 }
 
-// Register adds permanent addresses for a network, deduplicating by
-// address, and persists the file.
-func (r *FileRegistry) Register(networkID string, addrs ...string) error {
+// update runs one read-modify-write cycle over the decoded registry,
+// serialized against other relayd processes by an exclusive flock on the
+// sidecar lock file and against other goroutines of this process by the
+// instance mutex. The file is persisted only when fn reports a change, so
+// no-op cycles (an absent deregistration, a prune with nothing expired)
+// don't churn the file.
+func (r *FileRegistry) update(fn func(entries map[string][]leaseEntry) (changed bool, err error)) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	unlock, err := r.flock()
+	if err != nil {
+		return err
+	}
+	defer unlock()
 	entries, err := r.loadLocked()
 	if err != nil {
 		return err
 	}
-	for _, addr := range addrs {
-		entries[networkID] = upsertLease(entries[networkID], addr, time.Time{})
+	changed, err := fn(entries)
+	if err != nil || !changed {
+		return err
 	}
 	return r.storeLocked(entries)
+}
+
+// flock takes the cross-process exclusive lock, returning its release. The
+// lock lives on a sidecar file because the registry file itself is replaced
+// by rename on every store — a lock on the old inode would not exclude a
+// writer that opened the new one.
+func (r *FileRegistry) flock() (func(), error) {
+	lockPath := r.path + ".lock"
+	f, err := os.OpenFile(lockPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("relay: open registry lock %s: %w", lockPath, err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("relay: lock registry %s: %w", r.path, err)
+	}
+	return func() {
+		_ = unlockFile(f)
+		f.Close()
+	}, nil
+}
+
+// Register adds permanent addresses for a network, deduplicating by
+// address, and persists the file.
+func (r *FileRegistry) Register(networkID string, addrs ...string) error {
+	return r.update(func(entries map[string][]leaseEntry) (bool, error) {
+		changed := false
+		for _, addr := range addrs {
+			var c bool
+			entries[networkID], c = upsertLease(entries[networkID], addr, time.Time{})
+			changed = changed || c
+		}
+		return changed, nil
+	})
 }
 
 // RegisterLease implements LeaseRegistrar: the address is registered (or
 // its existing entry's lease refreshed) with a lease of ttl; zero ttl
 // means permanent.
 func (r *FileRegistry) RegisterLease(networkID, addr string, ttl time.Duration) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	entries, err := r.loadLocked()
-	if err != nil {
-		return err
-	}
-	var expires time.Time
-	if ttl > 0 {
-		expires = r.now().Add(ttl)
-	}
-	entries[networkID] = upsertLease(entries[networkID], addr, expires)
-	return r.storeLocked(entries)
+	return r.update(func(entries map[string][]leaseEntry) (bool, error) {
+		var expires time.Time
+		if ttl > 0 {
+			expires = r.now().Add(ttl)
+		}
+		var changed bool
+		entries[networkID], changed = upsertLease(entries[networkID], addr, expires)
+		return changed, nil
+	})
 }
 
 // Deregister implements LeaseRegistrar, removing one address for a network
 // and persisting the file. Removing an absent address is a no-op.
 func (r *FileRegistry) Deregister(networkID, addr string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	entries, err := r.loadLocked()
-	if err != nil {
-		return err
-	}
-	list, removed := removeLease(entries[networkID], addr)
-	if !removed {
-		return nil
-	}
-	if len(list) == 0 {
-		delete(entries, networkID)
-	} else {
-		entries[networkID] = list
-	}
-	return r.storeLocked(entries)
+	return r.update(func(entries map[string][]leaseEntry) (bool, error) {
+		list, removed := removeLease(entries[networkID], addr)
+		if !removed {
+			return false, nil
+		}
+		if len(list) == 0 {
+			delete(entries, networkID)
+		} else {
+			entries[networkID] = list
+		}
+		return true, nil
+	})
 }
 
 // Prune removes expired lease entries (and networks left empty) from the
 // file, returning how many entries were dropped.
 func (r *FileRegistry) Prune() (int, error) {
+	pruned := 0
+	err := r.update(func(entries map[string][]leaseEntry) (bool, error) {
+		now := r.now()
+		for id, list := range entries {
+			kept := list[:0]
+			for _, e := range list {
+				if e.live(now) {
+					kept = append(kept, e)
+				} else {
+					pruned++
+				}
+			}
+			if len(kept) == 0 {
+				delete(entries, id)
+			} else {
+				entries[id] = kept
+			}
+		}
+		return pruned > 0, nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return pruned, nil
+}
+
+// PublishHealth implements HealthPublisher: each record is attached to the
+// registered entries matching its address (in whatever networks they appear
+// under), keeping the fresher of the existing and published observations.
+// Addresses with no entry are dropped — health annotates membership.
+func (r *FileRegistry) PublishHealth(byAddr map[string]SharedHealth) error {
+	if len(byAddr) == 0 {
+		return nil
+	}
+	return r.update(func(entries map[string][]leaseEntry) (bool, error) {
+		changed := false
+		for _, list := range entries {
+			if applyHealth(list, byAddr) {
+				changed = true
+			}
+		}
+		return changed, nil
+	})
+}
+
+// HealthRecords implements HealthSource, returning the freshest published
+// health record per registered address.
+func (r *FileRegistry) HealthRecords() (map[string]SharedHealth, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	entries, err := r.loadLocked()
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	now := r.now()
-	pruned := 0
-	for id, list := range entries {
-		kept := list[:0]
-		for _, e := range list {
-			if e.live(now) {
-				kept = append(kept, e)
-			} else {
-				pruned++
-			}
-		}
-		if len(kept) == 0 {
-			delete(entries, id)
-		} else {
-			entries[id] = kept
-		}
-	}
-	if pruned == 0 {
-		return 0, nil
-	}
-	return pruned, r.storeLocked(entries)
+	return collectHealth(entries), nil
 }
 
 // Networks lists the registered network IDs, including networks whose
@@ -185,6 +265,10 @@ func (r *FileRegistry) Entries() (map[string][]RegistryEntry, error) {
 			if !e.expires.IsZero() {
 				exported[i].ExpiresUnixNano = e.expires.UnixNano()
 			}
+			if e.health != nil {
+				h := *e.health
+				exported[i].Health = &h
+			}
 		}
 		out[id] = exported
 	}
@@ -213,7 +297,10 @@ func (r *FileRegistry) loadLocked() (map[string][]leaseEntry, error) {
 			if err != nil {
 				return nil, fmt.Errorf("relay: parse registry %s, network %q: %w", r.path, id, err)
 			}
-			decoded = upsertLease(decoded, entry.addr, entry.expires)
+			decoded, _ = upsertLease(decoded, entry.addr, entry.expires)
+			if entry.health != nil {
+				applyHealth(decoded, map[string]SharedHealth{entry.addr: *entry.health})
+			}
 		}
 		entries[id] = decoded
 	}
@@ -238,6 +325,10 @@ func decodeRegistryEntry(raw json.RawMessage) (leaseEntry, error) {
 	if obj.ExpiresUnixNano != 0 {
 		entry.expires = time.Unix(0, obj.ExpiresUnixNano)
 	}
+	if obj.Health != nil {
+		h := *obj.Health
+		entry.health = &h
+	}
 	return entry, nil
 }
 
@@ -250,9 +341,13 @@ func (r *FileRegistry) storeLocked(entries map[string][]leaseEntry) error {
 	for id, list := range entries {
 		items := make([]json.RawMessage, 0, len(list))
 		for _, e := range list {
-			var item any = e.addr // permanent entries stay bare strings
-			if !e.expires.IsZero() {
-				item = RegistryEntry{Addr: e.addr, ExpiresUnixNano: e.expires.UnixNano()}
+			var item any = e.addr // permanent entries without health stay bare strings
+			if !e.expires.IsZero() || e.health != nil {
+				obj := RegistryEntry{Addr: e.addr, Health: e.health}
+				if !e.expires.IsZero() {
+					obj.ExpiresUnixNano = e.expires.UnixNano()
+				}
+				item = obj
 			}
 			raw, err := json.Marshal(item)
 			if err != nil {

@@ -1,0 +1,183 @@
+// The chaos tests assert that concurrent FileRegistry instances never lose
+// updates, which is precisely what the no-op flock fallback on non-unix
+// platforms cannot promise (see flock_other.go) — so they are unix-only,
+// like the guarantee.
+//go:build unix
+
+package relay
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFileRegistryConcurrentRegistrarProcesses chaos-drives the shared
+// deploy-dir protocol: every goroutine uses its own FileRegistry instance,
+// so the per-instance mutex serializes nothing across them — exactly the
+// situation of N relayd processes sharing one registry file, where only
+// the cross-process flock stands between concurrent read-modify-write
+// cycles and lost registrations. Each registrar churns through renewals,
+// deregister/re-register cycles and prunes; afterwards every registrar's
+// address must still be present. Before the flock this lost registrations
+// routinely (two loads, two stores, last store wins).
+func TestFileRegistryConcurrentRegistrarProcesses(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "registry.json")
+
+	// A decoy whose lease is already lapsed gives the concurrent Prunes
+	// something real to remove while registrations fly.
+	decoy := NewFileRegistry(path)
+	decoy.now = func() time.Time { return time.Now().Add(-time.Hour) }
+	if err := decoy.RegisterLease("net-0", "10.9.9.9:1", time.Minute); err != nil {
+		t.Fatalf("seed decoy: %v", err)
+	}
+
+	const registrars = 8
+	const rounds = 12
+	// Every (registrar, round) pair registers a distinct address that is
+	// never touched again, so a single lost read-modify-write anywhere in
+	// the run is permanently visible at the end — a registrar re-announcing
+	// the same address would instead silently heal the loss one round
+	// later and mask the bug.
+	addrFor := func(i, r int) string { return fmt.Sprintf("10.0.%d.%d:9080", i, r) }
+	netFor := func(i int) string { return fmt.Sprintf("net-%d", i%2) }
+	start := make(chan struct{})
+	errs := make(chan error, registrars)
+	var wg sync.WaitGroup
+	for i := 0; i < registrars; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// One registry instance per goroutine = one relayd process.
+			reg := NewFileRegistry(path)
+			churn := fmt.Sprintf("10.8.8.%d:9080", i)
+			<-start
+			for r := 0; r < rounds; r++ {
+				if err := reg.RegisterLease(netFor(i), addrFor(i, r), time.Minute); err != nil {
+					errs <- fmt.Errorf("registrar %d round %d: RegisterLease: %w", i, r, err)
+					return
+				}
+				switch r % 4 {
+				case 1:
+					// Restart churn on a dedicated address.
+					if err := reg.RegisterLease(netFor(i), churn, time.Minute); err != nil {
+						errs <- fmt.Errorf("registrar %d round %d: churn register: %w", i, r, err)
+						return
+					}
+					if err := reg.Deregister(netFor(i), churn); err != nil {
+						errs <- fmt.Errorf("registrar %d round %d: churn deregister: %w", i, r, err)
+						return
+					}
+				case 3:
+					if _, err := reg.Prune(); err != nil {
+						errs <- fmt.Errorf("registrar %d round %d: Prune: %w", i, r, err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Every registration of every round must have survived every concurrent
+	// writer.
+	final := NewFileRegistry(path)
+	lost := 0
+	for i := 0; i < registrars; i++ {
+		addrs, err := final.Resolve(netFor(i))
+		if err != nil {
+			t.Fatalf("Resolve(%s): %v", netFor(i), err)
+		}
+		for r := 0; r < rounds; r++ {
+			if !containsAddr(addrs, addrFor(i, r)) {
+				lost++
+			}
+		}
+	}
+	if lost > 0 {
+		t.Fatalf("%d of %d registrations lost to concurrent read-modify-write", lost, registrars*rounds)
+	}
+}
+
+// TestFileRegistryConcurrentHealthPublishers races health publication from
+// separate registry instances against lease renewals: published records
+// must land on the surviving entries without dropping either the
+// registrations or each other.
+func TestFileRegistryConcurrentHealthPublishers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "registry.json")
+	seed := NewFileRegistry(path)
+	const addrs = 4
+	for i := 0; i < addrs; i++ {
+		if err := seed.Register("net", fmt.Sprintf("10.1.0.%d:9080", i)); err != nil {
+			t.Fatalf("seed Register: %v", err)
+		}
+	}
+
+	const publishers = 6
+	errs := make(chan error, publishers)
+	var wg sync.WaitGroup
+	for i := 0; i < publishers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reg := NewFileRegistry(path)
+			for r := 0; r < 10; r++ {
+				records := map[string]SharedHealth{
+					fmt.Sprintf("10.1.0.%d:9080", r%addrs): {
+						ConsecFailures:   i + 1,
+						EWMALatencyNanos: int64(time.Millisecond),
+						ObservedUnixNano: int64(i*1000 + r),
+					},
+				}
+				if err := reg.PublishHealth(records); err != nil {
+					errs <- fmt.Errorf("publisher %d: %w", i, err)
+					return
+				}
+				if err := reg.RegisterLease("net", fmt.Sprintf("10.1.0.%d:9080", i%addrs), time.Minute); err != nil {
+					errs <- fmt.Errorf("publisher %d renew: %w", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	final := NewFileRegistry(path)
+	resolved, err := final.Resolve("net")
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(resolved) != addrs {
+		t.Fatalf("resolved %d addresses, want %d: %v", len(resolved), addrs, resolved)
+	}
+	records, err := final.HealthRecords()
+	if err != nil {
+		t.Fatalf("HealthRecords: %v", err)
+	}
+	if len(records) == 0 {
+		t.Fatal("no health records survived concurrent publication")
+	}
+}
+
+func containsAddr(addrs []string, want string) bool {
+	for _, a := range addrs {
+		if a == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package relay
+
+import "os"
+
+// Non-unix platforms fall back to in-process serialization only: the
+// registry file stays torn-read-safe (atomic rename) and writers within one
+// process stay serialized by the FileRegistry mutex, but separate processes
+// sharing a deploy dir can lose concurrent read-modify-write cycles. Run
+// one relayd per deploy dir on such platforms.
+func lockFile(*os.File) error   { return nil }
+func unlockFile(*os.File) error { return nil }

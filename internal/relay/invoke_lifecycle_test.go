@@ -1,0 +1,425 @@
+package relay
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// tallyTxDriver executes invokes against nothing, counting executions —
+// the instrument for pinning down how often the relay actually runs a
+// transaction versus replaying one.
+type tallyTxDriver struct {
+	executions atomic.Int64
+	fail       atomic.Bool
+	response   []byte
+}
+
+func (d *tallyTxDriver) Platform() string { return "test" }
+
+func (d *tallyTxDriver) Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
+	return &wire.QueryResponse{RequestID: q.RequestID}, nil
+}
+
+func (d *tallyTxDriver) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
+	d.executions.Add(1)
+	if d.fail.Load() {
+		return nil, errors.New("injected invoke failure")
+	}
+	return &wire.QueryResponse{RequestID: q.RequestID, EncryptedResult: d.response}, nil
+}
+
+// ledgerTxDriver is a tallyTxDriver with a stand-in ledger: committed
+// request keys shared across driver instances, the way two relay processes
+// front one network whose ledger both can read.
+type ledgerTxDriver struct {
+	tallyTxDriver
+	ledger *fakeInvokeLedger
+}
+
+type fakeInvokeLedger struct {
+	committed map[string][]byte // interop key -> response
+}
+
+func (d *ledgerTxDriver) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
+	resp, err := d.tallyTxDriver.Invoke(ctx, q)
+	if err == nil {
+		d.ledger.committed[q.InteropKey()] = d.response
+	}
+	return resp, err
+}
+
+func (d *ledgerTxDriver) ReplayInvoke(ctx context.Context, q *wire.Query) (*wire.QueryResponse, bool, error) {
+	payload, ok := d.ledger.committed[q.InteropKey()]
+	if !ok {
+		return nil, false, nil
+	}
+	return &wire.QueryResponse{RequestID: q.RequestID, EncryptedResult: payload}, true, nil
+}
+
+func invokeQuery(requestID string) *wire.Query {
+	return &wire.Query{
+		RequestID:         requestID,
+		RequestingNetwork: "dest-net",
+		TargetNetwork:     "src-net",
+		Contract:          "cc",
+		Function:          "fn",
+		RequesterCertPEM:  []byte("cert-pem"),
+	}
+}
+
+func invokeEnvelope(q *wire.Query) *wire.Envelope {
+	return &wire.Envelope{
+		Version:   wire.ProtocolVersion,
+		Type:      wire.MsgInvoke,
+		RequestID: q.RequestID,
+		Payload:   q.Marshal(),
+	}
+}
+
+// cacheState snapshots the replay cache's internal accounting.
+type cacheState struct {
+	served, pending, liveOrder, bytes int
+}
+
+func invokeCacheState(r *Relay) cacheState {
+	r.invokeMu.Lock()
+	defer r.invokeMu.Unlock()
+	total := 0
+	for _, s := range r.invokeServed {
+		total += len(s.payload)
+	}
+	if total != r.invokeBytes {
+		// Surface accounting drift through the snapshot rather than a
+		// separate assertion at every call site.
+		total = -total
+	}
+	return cacheState{
+		served:    len(r.invokeServed),
+		pending:   len(r.invokePending),
+		liveOrder: len(r.invokeOrder) - r.invokeHead,
+		bytes:     r.invokeBytes,
+	}
+}
+
+// TestInvokeReplayCacheLifecyclePinned is the regression test for the
+// replay-cache entry lifecycle: across an execution and any number of
+// replays of the same request, the cache holds exactly one served entry,
+// no pending entry survives (the executor's release fires exactly once,
+// and replayed responses own nothing to release), and the byte accounting
+// matches the retained payloads.
+func TestInvokeReplayCacheLifecyclePinned(t *testing.T) {
+	driver := &tallyTxDriver{response: []byte("committed-response")}
+	r := New("src-net", NewStaticRegistry(), NewHub())
+	r.RegisterDriver("src-net", driver)
+	q := invokeQuery("lifecycle-1")
+
+	first := r.HandleEnvelope(context.Background(), invokeEnvelope(q))
+	if first.Type != wire.MsgQueryResponse {
+		t.Fatalf("first reply = %s (%s)", first.Type, first.Payload)
+	}
+	if got := driver.executions.Load(); got != 1 {
+		t.Fatalf("executions after first invoke = %d", got)
+	}
+	baseline := invokeCacheState(r)
+	if baseline.served != 1 || baseline.pending != 0 || baseline.liveOrder != 1 {
+		t.Fatalf("cache after first invoke = %+v", baseline)
+	}
+	if baseline.bytes <= 0 {
+		t.Fatalf("byte accounting drifted: %+v", baseline)
+	}
+
+	// Repeated replays must neither re-execute nor grow any cache
+	// dimension: no duplicate served entries, no resurrected pending
+	// entries, no order-slice creep, no byte drift.
+	for i := 0; i < 50; i++ {
+		reply := r.HandleEnvelope(context.Background(), invokeEnvelope(q))
+		if reply.Type != wire.MsgQueryResponse {
+			t.Fatalf("replay %d reply = %s (%s)", i, reply.Type, reply.Payload)
+		}
+		if !bytes.Equal(reply.Payload, first.Payload) {
+			t.Fatalf("replay %d payload diverged from original", i)
+		}
+	}
+	if got := driver.executions.Load(); got != 1 {
+		t.Fatalf("executions after replays = %d, want 1", got)
+	}
+	if after := invokeCacheState(r); after != baseline {
+		t.Fatalf("cache state drifted across replays: %+v -> %+v", baseline, after)
+	}
+}
+
+// TestInvokeFailedAttemptReleasesPending: a failed execution must leave no
+// pending entry behind (or duplicates would block forever) and no served
+// entry (failures are not replayable), and a retry with the same ID must
+// execute again.
+func TestInvokeFailedAttemptReleasesPending(t *testing.T) {
+	driver := &tallyTxDriver{response: []byte("r")}
+	driver.fail.Store(true)
+	r := New("src-net", NewStaticRegistry(), NewHub())
+	r.RegisterDriver("src-net", driver)
+	q := invokeQuery("lifecycle-fail-1")
+
+	reply := r.HandleEnvelope(context.Background(), invokeEnvelope(q))
+	resp, err := wire.UnmarshalQueryResponse(reply.Payload)
+	if err != nil || resp.Error == "" {
+		t.Fatalf("expected application error reply, got %s (err=%v)", reply.Payload, err)
+	}
+	if st := invokeCacheState(r); st.served != 0 || st.pending != 0 || st.liveOrder != 0 || st.bytes != 0 {
+		t.Fatalf("cache after failed invoke = %+v, want empty", st)
+	}
+
+	driver.fail.Store(false)
+	if reply := r.HandleEnvelope(context.Background(), invokeEnvelope(q)); reply.Type != wire.MsgQueryResponse {
+		t.Fatalf("retry reply = %s (%s)", reply.Type, reply.Payload)
+	}
+	if got := driver.executions.Load(); got != 2 {
+		t.Fatalf("executions = %d, want 2 (failed attempt + successful retry)", got)
+	}
+	if st := invokeCacheState(r); st.served != 1 || st.pending != 0 {
+		t.Fatalf("cache after retry = %+v", st)
+	}
+}
+
+// TestInvokeLedgerReplaySecondRelay: a second relay process (fresh Relay,
+// empty replay cache) fronting the same ledger answers a duplicate from
+// the ledger without executing, counts it as a replay, and its cache
+// lifecycle stays as pinned as the first relay's — including across
+// repeated ledger-hit replays.
+func TestInvokeLedgerReplaySecondRelay(t *testing.T) {
+	shared := &fakeInvokeLedger{committed: make(map[string][]byte)}
+	driverA := &ledgerTxDriver{ledger: shared}
+	driverA.response = []byte("ledger-committed")
+	driverB := &ledgerTxDriver{ledger: shared}
+	driverB.response = []byte("ledger-committed")
+
+	relayA := New("src-net", NewStaticRegistry(), NewHub())
+	relayA.RegisterDriver("src-net", driverA)
+	relayB := New("src-net", NewStaticRegistry(), NewHub())
+	relayB.RegisterDriver("src-net", driverB)
+
+	q := invokeQuery("cross-relay-1")
+	original := relayA.HandleEnvelope(context.Background(), invokeEnvelope(q))
+	if original.Type != wire.MsgQueryResponse {
+		t.Fatalf("original reply = %s (%s)", original.Type, original.Payload)
+	}
+
+	var replayed *wire.Envelope
+	for i := 0; i < 10; i++ {
+		replayed = relayB.HandleEnvelope(context.Background(), invokeEnvelope(q))
+		if replayed.Type != wire.MsgQueryResponse {
+			t.Fatalf("replay %d via relay B = %s (%s)", i, replayed.Type, replayed.Payload)
+		}
+	}
+	if got := driverB.executions.Load(); got != 0 {
+		t.Fatalf("relay B executed %d times, want 0 (ledger replay)", got)
+	}
+	if got := driverA.executions.Load(); got != 1 {
+		t.Fatalf("relay A executed %d times, want 1", got)
+	}
+	respA, err := wire.UnmarshalQueryResponse(original.Payload)
+	if err != nil {
+		t.Fatalf("unmarshal original: %v", err)
+	}
+	respB, err := wire.UnmarshalQueryResponse(replayed.Payload)
+	if err != nil {
+		t.Fatalf("unmarshal replay: %v", err)
+	}
+	if !bytes.Equal(respA.EncryptedResult, respB.EncryptedResult) {
+		t.Fatalf("relay B replay %q != relay A original %q", respB.EncryptedResult, respA.EncryptedResult)
+	}
+	if stats := relayB.Stats(); stats.InvokeReplays != 1 || stats.InvokesServed != 0 {
+		// Only the first duplicate consults the ledger; the rest hit the
+		// now-warm in-memory cache.
+		t.Fatalf("relay B stats = %+v, want 1 ledger replay and 0 executions", stats)
+	}
+	if st := invokeCacheState(relayB); st.served != 1 || st.pending != 0 || st.liveOrder != 1 {
+		t.Fatalf("relay B cache after ledger replays = %+v", st)
+	}
+}
+
+// TestInvokeDuplicateWaiterDoesNotReleaseExecutor: a duplicate that gives
+// up (context cancelled) while the original is still executing must not
+// tear down the executor's pending entry — the fix pinned by binding
+// release to the claim. A later duplicate must still be able to wait for
+// and replay the original's outcome.
+func TestInvokeDuplicateWaiterDoesNotReleaseExecutor(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 1)
+	driver := &blockingTxDriver{gate: gate, started: started, response: []byte("slow-commit")}
+	r := New("src-net", NewStaticRegistry(), NewHub())
+	r.RegisterDriver("src-net", driver)
+	q := invokeQuery("waiter-1")
+
+	execDone := make(chan *wire.Envelope, 1)
+	go func() {
+		execDone <- r.HandleEnvelope(context.Background(), invokeEnvelope(q))
+	}()
+	<-started // the executor owns the pending entry and is now blocked
+
+	// A duplicate arrives and abandons the wait.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if reply := r.HandleEnvelope(ctx, invokeEnvelope(q)); reply.Type != wire.MsgError {
+		t.Fatalf("cancelled duplicate reply = %s, want error", reply.Type)
+	}
+	if st := invokeCacheState(r); st.pending != 1 {
+		t.Fatalf("pending entries after abandoned duplicate = %d, want 1 (executor still owns it)", st.pending)
+	}
+
+	// A patient duplicate waits for the executor's result.
+	waiterDone := make(chan *wire.Envelope, 1)
+	go func() {
+		waiterDone <- r.HandleEnvelope(context.Background(), invokeEnvelope(q))
+	}()
+	close(gate) // let the executor commit
+	exec := <-execDone
+	waited := <-waiterDone
+	if exec.Type != wire.MsgQueryResponse || waited.Type != wire.MsgQueryResponse {
+		t.Fatalf("executor=%s waiter=%s, want both query responses", exec.Type, waited.Type)
+	}
+	if !bytes.Equal(exec.Payload, waited.Payload) {
+		t.Fatal("waiter's replay diverged from executor's response")
+	}
+	if got := driver.executions.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1", got)
+	}
+	if st := invokeCacheState(r); st.served != 1 || st.pending != 0 {
+		t.Fatalf("cache after settle = %+v", st)
+	}
+}
+
+// TestInvokeCachedReplayRefusesMismatchedRequest: the in-memory replay
+// path applies the same request-match rule as the ledger path — a reused
+// idempotency key with different arguments gets an error, never the cached
+// response of a different question, and the cache is untouched.
+func TestInvokeCachedReplayRefusesMismatchedRequest(t *testing.T) {
+	driver := &tallyTxDriver{response: []byte("original")}
+	r := New("src-net", NewStaticRegistry(), NewHub())
+	r.RegisterDriver("src-net", driver)
+	q := invokeQuery("mismatch-1")
+	q.Args = [][]byte{[]byte("real")}
+
+	if reply := r.HandleEnvelope(context.Background(), invokeEnvelope(q)); reply.Type != wire.MsgQueryResponse {
+		t.Fatalf("original reply = %s (%s)", reply.Type, reply.Payload)
+	}
+	baseline := invokeCacheState(r)
+
+	altered := invokeQuery("mismatch-1")
+	altered.Args = [][]byte{[]byte("DIFFERENT")}
+	reply := r.HandleEnvelope(context.Background(), invokeEnvelope(altered))
+	if reply.Type != wire.MsgError {
+		t.Fatalf("mismatched duplicate reply = %s (%s), want error", reply.Type, reply.Payload)
+	}
+	if got := driver.executions.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1 (mismatch must not execute)", got)
+	}
+	if after := invokeCacheState(r); after != baseline {
+		t.Fatalf("cache drifted on refused mismatch: %+v -> %+v", baseline, after)
+	}
+	// The honest duplicate still replays.
+	if reply := r.HandleEnvelope(context.Background(), invokeEnvelope(q)); reply.Type != wire.MsgQueryResponse {
+		t.Fatalf("honest replay = %s (%s)", reply.Type, reply.Payload)
+	}
+}
+
+// TestInvokeOversizedResponseRecoveredFromLedger: a response too large for
+// the in-memory cache (remembered by ID with the body dropped) is still
+// replayed on a duplicate — the warm relay recovers it from the ledger
+// exactly as a cold sibling would, instead of refusing what the ledger can
+// answer.
+func TestInvokeOversizedResponseRecoveredFromLedger(t *testing.T) {
+	shared := &fakeInvokeLedger{committed: make(map[string][]byte)}
+	driver := &ledgerTxDriver{ledger: shared}
+	driver.response = bytes.Repeat([]byte("x"), invokeDedupMaxEntryBytes+1)
+	r := New("src-net", NewStaticRegistry(), NewHub())
+	r.RegisterDriver("src-net", driver)
+	q := invokeQuery("oversized-1")
+
+	if reply := r.HandleEnvelope(context.Background(), invokeEnvelope(q)); reply.Type != wire.MsgQueryResponse {
+		t.Fatalf("original reply = %s", reply.Type)
+	}
+	reply := r.HandleEnvelope(context.Background(), invokeEnvelope(q))
+	if reply.Type != wire.MsgQueryResponse {
+		t.Fatalf("duplicate of oversized response = %s (%s), want ledger-recovered replay", reply.Type, reply.Payload)
+	}
+	resp, err := wire.UnmarshalQueryResponse(reply.Payload)
+	if err != nil || !bytes.Equal(resp.EncryptedResult, driver.response) {
+		t.Fatalf("recovered payload wrong (err=%v, %d bytes)", err, len(resp.EncryptedResult))
+	}
+	if got := driver.executions.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1", got)
+	}
+	if stats := r.Stats(); stats.InvokeReplays != 1 {
+		t.Fatalf("InvokeReplays = %d, want 1", stats.InvokeReplays)
+	}
+	// A mismatched reuse of the key still gets the refusal, not the body.
+	altered := invokeQuery("oversized-1")
+	altered.Args = [][]byte{[]byte("other")}
+	if reply := r.HandleEnvelope(context.Background(), invokeEnvelope(altered)); reply.Type != wire.MsgError {
+		t.Fatalf("mismatched oversized duplicate = %s, want error", reply.Type)
+	}
+}
+
+// TestInvokeCacheScopedByTargetNetwork: one relay may front several
+// co-located networks, and the dedup key does not include the target
+// network — the fingerprint must, so a cached response for network A is
+// never replayed for an invoke aimed at network B under the same request
+// ID (the reuse is refused; use distinct request IDs per target).
+func TestInvokeCacheScopedByTargetNetwork(t *testing.T) {
+	driverA := &tallyTxDriver{response: []byte("net-a")}
+	driverB := &tallyTxDriver{response: []byte("net-b")}
+	r := New("src-net", NewStaticRegistry(), NewHub())
+	r.RegisterDriver("src-net", driverA)
+	r.RegisterDriver("other-net", driverB)
+
+	q := invokeQuery("cross-net-1")
+	if reply := r.HandleEnvelope(context.Background(), invokeEnvelope(q)); reply.Type != wire.MsgQueryResponse {
+		t.Fatalf("net A invoke = %s (%s)", reply.Type, reply.Payload)
+	}
+	other := invokeQuery("cross-net-1")
+	other.TargetNetwork = "other-net"
+	reply := r.HandleEnvelope(context.Background(), invokeEnvelope(other))
+	if reply.Type == wire.MsgQueryResponse {
+		resp, _ := wire.UnmarshalQueryResponse(reply.Payload)
+		if resp != nil && bytes.Equal(resp.EncryptedResult, []byte("net-a")) {
+			t.Fatal("network A's cached response replayed for a network B invoke")
+		}
+	}
+	if reply.Type != wire.MsgError {
+		t.Fatalf("cross-network key reuse reply = %s, want refusal", reply.Type)
+	}
+	if got := driverB.executions.Load(); got != 0 {
+		t.Fatalf("driver B executed %d times for a refused request", got)
+	}
+}
+
+// blockingTxDriver parks Invoke on a gate so tests can hold a request
+// in-flight deliberately.
+type blockingTxDriver struct {
+	executions atomic.Int64
+	gate       chan struct{}
+	started    chan struct{}
+	response   []byte
+}
+
+func (d *blockingTxDriver) Platform() string { return "test" }
+
+func (d *blockingTxDriver) Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
+	return nil, fmt.Errorf("not a query driver")
+}
+
+func (d *blockingTxDriver) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
+	d.executions.Add(1)
+	select {
+	case d.started <- struct{}{}:
+	default:
+	}
+	<-d.gate
+	return &wire.QueryResponse{RequestID: q.RequestID, EncryptedResult: d.response}, nil
+}

@@ -82,6 +82,13 @@ type Stats struct {
 	ErrorsReturned  uint64
 	RateLimited     uint64
 	EventsDelivered uint64
+	// InvokeReplays counts invokes answered from the ledger's committed
+	// record — duplicates of requests a sibling relay (or an earlier
+	// incarnation of this one) already committed, whether caught by the
+	// pre-execution lookup or by the driver after losing the commit race
+	// (the latter also count as InvokesServed, since an execution was
+	// attempted).
+	InvokeReplays uint64
 
 	// Client-side fan-out accounting (destination relay role).
 	FanoutAttempts uint64 // transport sends launched by client-side fan-out (queries, invokes, subscribes)
@@ -106,6 +113,11 @@ func (r *Relay) countLimited() {
 	r.statsMu.Unlock()
 }
 func (r *Relay) countEvent() { r.statsMu.Lock(); r.stats.EventsDelivered++; r.statsMu.Unlock() }
+func (r *Relay) countInvokeReplay() {
+	r.statsMu.Lock()
+	r.stats.InvokeReplays++
+	r.statsMu.Unlock()
+}
 func (r *Relay) countFanoutAttempt() {
 	r.statsMu.Lock()
 	r.stats.FanoutAttempts++

@@ -51,7 +51,11 @@ type StaticRegistry struct {
 	now     func() time.Time // overridable in tests
 }
 
-var _ LeaseRegistrar = (*StaticRegistry)(nil)
+var (
+	_ LeaseRegistrar  = (*StaticRegistry)(nil)
+	_ HealthPublisher = (*StaticRegistry)(nil)
+	_ HealthSource    = (*StaticRegistry)(nil)
+)
 
 // NewStaticRegistry returns an empty registry.
 func NewStaticRegistry() *StaticRegistry {
@@ -65,7 +69,7 @@ func (r *StaticRegistry) Register(networkID string, addrs ...string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, addr := range addrs {
-		r.entries[networkID] = upsertLease(r.entries[networkID], addr, time.Time{})
+		r.entries[networkID], _ = upsertLease(r.entries[networkID], addr, time.Time{})
 	}
 }
 
@@ -79,7 +83,7 @@ func (r *StaticRegistry) RegisterLease(networkID, addr string, ttl time.Duration
 	if ttl > 0 {
 		expires = r.now().Add(ttl)
 	}
-	r.entries[networkID] = upsertLease(r.entries[networkID], addr, expires)
+	r.entries[networkID], _ = upsertLease(r.entries[networkID], addr, expires)
 	return nil
 }
 
@@ -108,6 +112,25 @@ func (r *StaticRegistry) Resolve(networkID string) ([]string, error) {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownNetwork, networkID)
 	}
 	return addrs, nil
+}
+
+// PublishHealth implements HealthPublisher: records are attached to the
+// matching registered entries, fresher observations winning.
+func (r *StaticRegistry) PublishHealth(byAddr map[string]SharedHealth) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, list := range r.entries {
+		applyHealth(list, byAddr)
+	}
+	return nil
+}
+
+// HealthRecords implements HealthSource, returning the freshest published
+// health record per registered address.
+func (r *StaticRegistry) HealthRecords() (map[string]SharedHealth, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return collectHealth(r.entries), nil
 }
 
 // Networks lists registered network IDs, sorted.
@@ -187,7 +210,7 @@ type Relay struct {
 	// Source-side invoke idempotency: recently served invoke responses by
 	// request ID, replayed on transport-level resends (see handleInvoke).
 	invokeMu      sync.Mutex
-	invokeServed  map[string][]byte
+	invokeServed  map[string]servedInvoke
 	invokePending map[string]chan struct{}
 	invokeOrder   []string
 	invokeHead    int
@@ -217,11 +240,17 @@ func New(localNetworkID string, discovery Discovery, transport Transport, opts .
 func (r *Relay) LocalNetwork() string { return r.localNetwork }
 
 // RegisterDriver attaches a driver for a local network ID. A relay usually
-// serves one network but may front several co-located ones.
+// serves one network but may front several co-located ones. A driver that
+// serves ledger replays internally (LedgerReplayNotifier — e.g. after
+// losing a commit race) is wired to this relay's stats so those replays
+// are counted alongside the relay's own pre-execution replays.
 func (r *Relay) RegisterDriver(networkID string, d Driver) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.drivers[networkID] = d
+	if n, ok := d.(LedgerReplayNotifier); ok {
+		n.OnLedgerReplay(r.countInvokeReplay)
+	}
 }
 
 func (r *Relay) driverFor(networkID string) (Driver, bool) {

@@ -2,6 +2,8 @@ package wire
 
 import (
 	"fmt"
+
+	"repro/internal/cryptoutil"
 )
 
 // ProtocolVersion identifies the relay protocol revision. A relay rejects
@@ -146,6 +148,22 @@ type Query struct {
 	RequesterCertPEM  []byte // client certificate for auth + result encryption
 	RequesterOrg      string
 	Nonce             []byte // replay protection, echoed in signed metadata
+}
+
+// InteropKey derives the ledger-level exactly-once identity of this
+// request: the requester's network and certificate digest bound to the
+// request ID, so one requester cannot occupy or poison another's ID space
+// (request IDs travel in plaintext). The same derivation is used by the
+// relay's in-memory replay cache and by the transaction metadata committed
+// on the source ledger, which is what lets a second relay fronting the same
+// network recognise a request its sibling already committed. Empty when the
+// query carries no request ID — such requests have no exactly-once
+// identity.
+func (m *Query) InteropKey() string {
+	if m.RequestID == "" {
+		return ""
+	}
+	return m.RequestingNetwork + "\x00" + cryptoutil.DigestHex(m.RequesterCertPEM) + "\x00" + m.RequestID
 }
 
 // Marshal encodes the query.
