@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -35,6 +36,10 @@ import (
 // ctx is the benchmarks' shared unbounded context; per-benchmark deadlines
 // are derived where a bounded budget is the point of the measurement.
 var ctx = context.Background()
+
+// coldQueryID survives benchmark reruns at growing b.N so cold-path request
+// IDs never repeat within one process (see BenchmarkE7AttestationCache).
+var coldQueryID atomic.Uint64
 
 // assembleOne builds a single-endorsement transaction for the batching
 // ablation.
@@ -121,7 +126,7 @@ func BenchmarkE2EncryptionOverhead(b *testing.B) {
 	b.Run("attestation-with-encryption", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := proof.BuildAttestation(attestor, "net", qd, result, nonce, &clientKey.PublicKey, now); err != nil {
+			if _, err := proof.BuildAttestationPinned(attestor, "net", qd, nil, result, nonce, &clientKey.PublicKey, now); err != nil {
 				b.Fatal(err)
 			}
 			if _, err := proof.EncryptResult(&clientKey.PublicKey, result); err != nil {
@@ -177,7 +182,7 @@ func BenchmarkE3ProofValidation(b *testing.B) {
 			encResult, _ := proof.EncryptResult(&clientKey.PublicKey, result)
 			resp := &wire.QueryResponse{EncryptedResult: encResult}
 			for _, id := range identities {
-				att, _ := proof.BuildAttestation(id, "net", qd, result, nonce, &clientKey.PublicKey, time.Now())
+				att, _ := proof.BuildAttestationPinned(id, "net", qd, nil, result, nonce, &clientKey.PublicKey, time.Now())
 				resp.Attestations = append(resp.Attestations, att)
 			}
 			bundle, err := proof.OpenResponse(clientKey, q, resp)
@@ -188,7 +193,7 @@ func BenchmarkE3ProofValidation(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if err := proof.Verify(bundle, verifier, vp, qd); err != nil {
+				if err := proof.Verify(bundle, verifier, vp, qd, nil); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -325,6 +330,60 @@ func BenchmarkE7TradeLifecycle(b *testing.B) {
 	}
 }
 
+// BenchmarkE7AttestationCache isolates the relay's content-addressed
+// attestation cache on the query hot path. "cold-miss" gives every
+// iteration a fresh request ID (fresh nonce, hence a new content address),
+// paying the full per-query proof build: one ECDSA signature and one ECIES
+// encryption per verification-policy org plus the result encryption.
+// "warm-hit" repeats one identical query (pinned request ID, deterministic
+// nonce): after the priming call every timed iteration is served the
+// previously built proof verbatim — zero signatures, zero encryptions —
+// which the Stats.AttestationCacheHits assertion at the end enforces.
+func BenchmarkE7AttestationCache(b *testing.B) {
+	w, actors := tradeWorld(b)
+	client := actors.SWTSeller.Client()
+	b.Run("cold-miss", func(b *testing.B) {
+		spec := blQuerySpec("po-1001")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The counter persists across the framework's reruns of this
+			// function, so an ID cached during a smaller-N rerun can never
+			// be served from the cache inside the "cold" loop.
+			spec.RequestID = fmt.Sprintf("bench-cold-%d", coldQueryID.Add(1))
+			if _, err := client.RemoteQuery(ctx, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-hit", func(b *testing.B) {
+		// An effectively unbounded TTL so a long -benchtime cannot expire
+		// the primed entry mid-loop and trip the hit assertion below.
+		w.STL.Driver.ConfigureAttestationCache(1024, 24*time.Hour)
+		spec := blQuerySpec("po-1001")
+		spec.RequestID = "bench-warm"
+		// Two priming misses outside the timed loop: admission is
+		// two-touch, so the first records the key and the second stores.
+		for i := 0; i < 2; i++ {
+			if _, err := client.RemoteQuery(ctx, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		before := w.STL.Relay.Stats().AttestationCacheHits
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.RemoteQuery(ctx, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if hits := w.STL.Relay.Stats().AttestationCacheHits - before; hits < uint64(b.N) {
+			b.Fatalf("warm run hit the cache %d times, want >= %d", hits, b.N)
+		}
+	})
+}
+
 // BenchmarkP1WireCodec measures the network-neutral protocol codec.
 func BenchmarkP1WireCodec(b *testing.B) {
 	q := &wire.Query{
@@ -370,7 +429,7 @@ func BenchmarkP2ProofGeneration(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, id := range identities {
-					if _, err := proof.BuildAttestation(id, "net", qd, result, nonce, &clientKey.PublicKey, now); err != nil {
+					if _, err := proof.BuildAttestationPinned(id, "net", qd, nil, result, nonce, &clientKey.PublicKey, now); err != nil {
 						b.Fatal(err)
 					}
 				}

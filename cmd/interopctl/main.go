@@ -103,6 +103,7 @@ func run() error {
 		RequesterCertPEM:  kit.CertPEM,
 		RequesterOrg:      kit.Org,
 		Nonce:             nonce,
+		PolicyDigest:      proof.PolicyDigest(kit.VerificationPolicy),
 	}
 	start := time.Now()
 	resp, err := local.Query(ctx, q)
@@ -136,7 +137,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := proof.Verify(bundle, verifier, vp, proof.QueryDigestOf(q)); err != nil {
+	if err := proof.Verify(bundle, verifier, vp, proof.QueryDigestOf(q), proof.PolicyDigest(kit.VerificationPolicy)); err != nil {
 		return fmt.Errorf("proof verification: %w", err)
 	}
 

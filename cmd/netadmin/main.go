@@ -10,10 +10,18 @@
 //	netadmin -dir ./deploy                 # status (default)
 //	netadmin -dir ./deploy registry list   # every entry with its lease state
 //	netadmin -dir ./deploy registry prune  # drop entries whose lease lapsed
+//	netadmin proofs show bundle.bin        # dump a persisted proof bundle
+//
+// proofs show decodes a proof artifact file in either persisted form: the
+// sealed bundle a committed interop transaction carries
+// (ledger.Transaction.ProofBundle — the artifact ReplayInvoke re-serves
+// verbatim) or the plaintext bundle a client embeds in a destination
+// transaction (core.RemoteData.BundleBytes).
 package main
 
 import (
 	"context"
+	"encoding/hex"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +29,9 @@ import (
 	"time"
 
 	"repro/internal/deploy"
+	"repro/internal/proof"
 	"repro/internal/relay"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -44,8 +54,10 @@ func run() error {
 		return registryList(*dir, registry)
 	case len(args) == 2 && args[0] == "registry" && args[1] == "prune":
 		return registryPrune(registry)
+	case len(args) == 3 && args[0] == "proofs" && args[1] == "show":
+		return proofsShow(args[2])
 	default:
-		return fmt.Errorf("unknown command %q (expected: status, registry list, registry prune)", args)
+		return fmt.Errorf("unknown command %q (expected: status, registry list, registry prune, proofs show <file>)", args)
 	}
 }
 
@@ -142,17 +154,85 @@ func registryList(dir string, registry *relay.FileRegistry) error {
 }
 
 // healthSummary renders the shared health record relays piggyback on lease
-// renewal, empty when none was published.
+// renewal, empty when none was published. The circuit-breaker cooldown is
+// reported as remaining time, resolved through the record's relative
+// encoding (laxer interpretation, like the relay itself) rather than by
+// comparing an absolute foreign timestamp against this machine's clock.
 func healthSummary(h *relay.SharedHealth, now time.Time) string {
 	if h == nil {
 		return ""
 	}
 	s := fmt.Sprintf("; health: %d consecutive failure(s), ewma rtt %s",
 		h.ConsecFailures, time.Duration(h.EWMALatencyNanos).Round(time.Microsecond))
-	if h.OpenUntilUnixNano != 0 && time.Unix(0, h.OpenUntilUnixNano).After(now) {
-		s += fmt.Sprintf(", circuit OPEN for %s", time.Unix(0, h.OpenUntilUnixNano).Sub(now).Round(time.Second))
+	if open := h.CooldownExpiry(now); !open.IsZero() {
+		s += fmt.Sprintf(", circuit OPEN, %s cooldown remaining", open.Sub(now).Round(time.Second))
 	}
 	return s
+}
+
+// proofsShow decodes and prints a persisted proof artifact: first as the
+// sealed form a committed transaction carries, falling back to the
+// plaintext bundle form clients embed in destination transactions.
+func proofsShow(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if sealed, err := proof.UnmarshalSealed(data); err == nil && len(sealed.Response) > 0 {
+		return showSealed(sealed)
+	}
+	bundle, err := proof.UnmarshalBundle(data)
+	if err != nil {
+		return fmt.Errorf("not a sealed proof or a proof bundle: %w", err)
+	}
+	return showBundle(bundle)
+}
+
+func showSealed(s *proof.Sealed) error {
+	fmt.Println("sealed proof (as persisted with the committed transaction)")
+	fmt.Printf("  query digest    %s\n", hex.EncodeToString(s.QueryDigest))
+	fmt.Printf("  policy digest   %s\n", hex.EncodeToString(s.PolicyDigest))
+	fmt.Printf("  built           %s\n", time.Unix(0, int64(s.UnixNano)).UTC().Format(time.RFC3339Nano))
+	fmt.Printf("  attestors       %d\n", len(s.Attestors))
+	for _, a := range s.Attestors {
+		fmt.Printf("    %s\n", a)
+	}
+	resp, err := s.OpenWire()
+	if err != nil {
+		return fmt.Errorf("stored response: %w", err)
+	}
+	fmt.Printf("  response        %d attestation(s), %d result ciphertext bytes\n",
+		len(resp.Attestations), len(resp.EncryptedResult))
+	for i := range resp.Attestations {
+		att := &resp.Attestations[i]
+		fmt.Printf("    [%d] %s/%s  sig %d bytes, encrypted metadata %d bytes\n",
+			i, att.OrgID, att.PeerName, len(att.Signature), len(att.EncryptedMetadata))
+	}
+	return nil
+}
+
+func showBundle(b *proof.Bundle) error {
+	fmt.Println("proof bundle (client-side plaintext form)")
+	fmt.Printf("  source network  %s\n", b.SourceNetwork)
+	fmt.Printf("  query digest    %s\n", hex.EncodeToString(b.QueryDigest))
+	fmt.Printf("  policy digest   %s\n", hex.EncodeToString(b.PolicyDigest))
+	if b.UnixNano != 0 {
+		fmt.Printf("  built           %s\n", time.Unix(0, int64(b.UnixNano)).UTC().Format(time.RFC3339Nano))
+	}
+	fmt.Printf("  nonce           %s\n", hex.EncodeToString(b.Nonce))
+	fmt.Printf("  result          %d bytes\n", len(b.Result))
+	fmt.Printf("  attestations    %d\n", len(b.Elements))
+	for i := range b.Elements {
+		el := &b.Elements[i]
+		md, err := wire.UnmarshalMetadata(el.Metadata)
+		if err != nil {
+			fmt.Printf("    [%d] (metadata undecodable: %v)\n", i, err)
+			continue
+		}
+		fmt.Printf("    [%d] %s/%s of %s at %s\n", i, md.OrgID, md.PeerName, md.NetworkID,
+			time.Unix(0, int64(md.UnixNano)).UTC().Format(time.RFC3339Nano))
+	}
+	return nil
 }
 
 // registryPrune drops entries whose lease has lapsed.

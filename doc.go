@@ -37,7 +37,7 @@
 // the same TxID or interop key ledger.Duplicate and skips its writes, and
 // a relay whose in-memory replay cache misses recovers the committed
 // response from the ledger (relay.InvokeReplayer; BlockStore.
-// TxByInteropKey) and re-attests it instead of re-executing. The shared
+// TxByInteropKey) instead of re-executing. The shared
 // registry file is safe for multiple relayd processes on one deployment
 // directory — mutations hold an exclusive flock across the whole
 // read-modify-write cycle — and lease heartbeats piggyback each relay's
@@ -47,6 +47,28 @@
 // Cross-network atomic exchange remains the province of internal/htlc;
 // the ledger dedup governs duplicate commits of one logical invoke on one
 // network.
+//
+// Proofs are first-class, pinned, and persisted. The verification policy
+// is pinned at request time: the client stamps the digest of the policy it
+// resolved (wire.Query.PolicyDigest, proof.PolicyDigest), the source
+// refuses a pin that disagrees with the policy expression, every
+// attestation signs the pin inside its metadata, and verification —
+// client-side and CMDAC Data Acceptance — refuses a bundle pinned to a
+// different policy (proof.ErrPolicyDigestMismatch); absent pins from older
+// peers are tolerated, mismatched ones never. Invokes get proof-carrying
+// commits: the proof over the endorsed response is built before ordering
+// (proof.Build, concurrent per attestor) and persisted with the committed
+// transaction (ledger.Transaction.ProofBundle, a marshaled proof.Sealed),
+// so ReplayInvoke re-serves the original artifact byte for byte even after
+// an attestor organization leaves the source network — a replay can never
+// become unreproducible through an org change. On the query hot path a
+// content-addressed attestation cache (keyed by query digest + policy
+// digest + result digest + requester certificate digest; LRU + TTL with
+// two-touch admission, invalidated by any valid write into the queried
+// chaincode namespace) serves repeated identical queries with zero
+// signing or encryption;
+// Stats.AttestationCacheHits/Misses expose its effectiveness and `netadmin
+// proofs show` dumps a persisted artifact.
 //
 // The module layout — everything lives under internal/; programs in cmd/
 // and examples/ are the runnable surface:

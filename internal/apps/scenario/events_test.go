@@ -39,6 +39,7 @@ func TestCrossNetworkBLIssuedEvent(t *testing.T) {
 		t.Fatalf("IssueBillOfLading: %v", err)
 	}
 
+	before := uint64(time.Now().Add(-time.Minute).UnixNano())
 	select {
 	case ev := <-events:
 		if ev.Name != tradelens.EventBLIssued || string(ev.Payload) != "po-ev" {
@@ -46,6 +47,14 @@ func TestCrossNetworkBLIssuedEvent(t *testing.T) {
 		}
 		if ev.SourceNetwork != tradelens.NetworkID {
 			t.Fatalf("source = %q", ev.SourceNetwork)
+		}
+		// The event must carry its commit time (historically delivered as
+		// zero), or subscribers cannot order cross-network events.
+		if ev.UnixNano == 0 {
+			t.Fatal("event carries no commit timestamp")
+		}
+		if ev.UnixNano < before || ev.UnixNano > uint64(time.Now().Add(time.Minute).UnixNano()) {
+			t.Fatalf("event commit time %d implausible", ev.UnixNano)
 		}
 	case <-time.After(3 * time.Second):
 		t.Fatal("cross-network event never arrived")

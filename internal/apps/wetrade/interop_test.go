@@ -78,7 +78,7 @@ func (f *stlFixture) bundleFor(t *testing.T, poRef string, blJSON []byte) []byte
 	}
 	resp := &wire.QueryResponse{EncryptedResult: encResult}
 	for _, attestor := range []*msp.Identity{f.sellerPeer, f.carrierPeer} {
-		att, err := proof.BuildAttestation(attestor, "tradelens", qd, blJSON, nonce, &clientKey.PublicKey, time.Now())
+		att, err := proof.BuildAttestationPinned(attestor, "tradelens", qd, nil, blJSON, nonce, &clientKey.PublicKey, time.Now())
 		if err != nil {
 			t.Fatalf("BuildAttestation: %v", err)
 		}

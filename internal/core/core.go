@@ -334,6 +334,9 @@ func (c *Client) buildQuery(ctx context.Context, spec RemoteQuerySpec) (*wire.Qu
 		RequesterCertPEM:  c.identity.CertPEM(),
 		RequesterOrg:      c.identity.OrgID,
 		Nonce:             nonce,
+		// Pin the resolved policy: the source refuses to build, and this
+		// client refuses to accept, a proof under any other policy digest.
+		PolicyDigest: proof.PolicyDigest(policyExpr),
 	}, policyExpr, nil
 }
 
@@ -382,7 +385,7 @@ func (c *Client) preVerify(q *wire.Query, bundle *proof.Bundle, policyExpr strin
 	if err != nil {
 		return err
 	}
-	return proof.Verify(bundle, verifier, compiled, proof.QueryDigestOf(q))
+	return proof.Verify(bundle, verifier, compiled, proof.QueryDigestOf(q), proof.PolicyDigest(policyExpr))
 }
 
 // SubmitWithRemoteData submits a local transaction whose arguments include

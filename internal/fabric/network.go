@@ -134,6 +134,32 @@ func (n *Network) AddOrg(orgID string, peerCount int) (*Org, error) {
 	return org, nil
 }
 
+// RemoveOrg removes an organization from the network: its peers stop
+// serving, its identity root leaves the verifier, and endorsement or
+// attestation policies naming it can no longer be satisfied locally. The
+// chain the removed peers helped build remains committed on the surviving
+// peers — which is exactly the scenario proof-carrying commits exist for:
+// a proof persisted before the removal still verifies against the source
+// configuration the destination recorded, while a fresh proof under the
+// shrunk peer set cannot satisfy the old policy.
+func (n *Network) RemoveOrg(orgID string) error {
+	n.commitMu.Lock()
+	defer n.commitMu.Unlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.orgs[orgID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownOrg, orgID)
+	}
+	delete(n.orgs, orgID)
+	for i, id := range n.orgOrder {
+		if id == orgID {
+			n.orgOrder = append(n.orgOrder[:i], n.orgOrder[i+1:]...)
+			break
+		}
+	}
+	return n.rebuildVerifierLocked()
+}
+
 // catchUp replays every committed block from an existing peer into fresh
 // peers so they join at the current height. Replay re-runs full validation;
 // since validation is deterministic, the historical verdicts are reproduced
@@ -291,19 +317,25 @@ func (n *Network) dispatchEvents(block *ledger.Block) {
 	if len(n.eventSubs) == 0 {
 		return
 	}
+	// One commit timestamp for the whole block: events are ordered by
+	// commit, and stamping per-event would invent an ordering inside the
+	// block that the ledger does not define.
+	committed := uint64(time.Now().UnixNano())
 	for _, tx := range block.Transactions {
 		if tx.Validation != ledger.Valid || tx.Event == nil {
 			continue
 		}
+		ev := *tx.Event
+		ev.UnixNano = committed
 		for _, sub := range n.eventSubs {
-			if sub.chaincodeName != "" && sub.chaincodeName != tx.Event.Chaincode {
+			if sub.chaincodeName != "" && sub.chaincodeName != ev.Chaincode {
 				continue
 			}
-			if sub.eventName != "" && sub.eventName != tx.Event.Name {
+			if sub.eventName != "" && sub.eventName != ev.Name {
 				continue
 			}
 			select {
-			case sub.ch <- *tx.Event:
+			case sub.ch <- ev:
 			default: // slow subscriber: drop rather than stall commits
 			}
 		}

@@ -1,6 +1,7 @@
 package ledger
 
 import (
+	"bytes"
 	"testing"
 )
 
@@ -93,5 +94,39 @@ func TestInteropKeyInSignedPayload(t *testing.T) {
 	rebound := &Transaction{ID: "tx-1", Chaincode: "cc", Function: "fn", InteropKey: "k2"}
 	if string(keyed.SignedPayload()) == string(rebound.SignedPayload()) {
 		t.Fatal("re-binding the interop key does not change the signed payload")
+	}
+}
+
+// TestProofBundleRidesTheCommittedTransaction pins the proof-carrying-
+// commit contract at the ledger layer: the sealed proof attached before
+// ordering is retrievable through the interop replay index, it survives
+// the storage encoding, and it is deliberately outside the signed payload
+// (the proof attests the committed response; attaching it after
+// endorsement must not invalidate the endorsements).
+func TestProofBundleRidesTheCommittedTransaction(t *testing.T) {
+	s := NewBlockStore()
+	tx := &Transaction{
+		ID:         "interop-tx-7",
+		InteropKey: "net\x00cert\x00req-7",
+		Response:   []byte("committed"),
+		Validation: Valid,
+	}
+	unsigned := tx.SignedPayload()
+	tx.ProofBundle = []byte("sealed-proof-bytes")
+	if string(tx.SignedPayload()) != string(unsigned) {
+		t.Fatal("attaching the proof bundle changed the signed payload")
+	}
+	appendBlock(t, s, 0, tx)
+
+	got, err := s.TxByInteropKey("net\x00cert\x00req-7")
+	if err != nil {
+		t.Fatalf("TxByInteropKey: %v", err)
+	}
+	if string(got.ProofBundle) != "sealed-proof-bytes" {
+		t.Fatalf("replay index lost the bundle: %q", got.ProofBundle)
+	}
+	// The storage encoding carries it alongside validation metadata.
+	if !bytes.Contains(tx.Marshal(), []byte("sealed-proof-bytes")) {
+		t.Fatal("Marshal does not persist the proof bundle")
 	}
 }

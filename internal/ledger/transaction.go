@@ -63,6 +63,12 @@ type ChaincodeEvent struct {
 	Chaincode string
 	Name      string
 	Payload   []byte
+	// UnixNano is the commit time of the transaction that emitted the
+	// event, stamped at block delivery. It is not part of the endorsed
+	// payload (events are signed as chaincode/name/payload, which every
+	// endorser reproduces identically); it exists so subscribers — local
+	// and cross-network — can order events from different networks.
+	UnixNano uint64
 }
 
 // Transaction is an ordered, endorsed chaincode invocation.
@@ -85,6 +91,15 @@ type Transaction struct {
 	// indexed by the BlockStore so any relay fronting this network can
 	// recover the committed response for a request its sibling executed.
 	InteropKey string
+
+	// ProofBundle is the sealed attestation proof (proof.Sealed, marshaled)
+	// the relay built for an interop invoke, persisted with the transaction
+	// so a replay serves the original proof verbatim instead of re-attesting
+	// under whatever peer set exists at replay time. Empty for local
+	// transactions. Like Validation it is not part of the signed payload:
+	// the proof attests the committed response, it does not alter it, and
+	// endorsers sign before the relay attaches it.
+	ProofBundle []byte
 
 	// Validation is assigned by the committer; it is not part of the signed
 	// payload.
@@ -140,5 +155,6 @@ func (tx *Transaction) Marshal() []byte {
 	}
 	e.Uint(3, tx.UnixNano)
 	e.Uint(4, uint64(tx.Validation))
+	e.BytesField(5, tx.ProofBundle)
 	return e.Bytes()
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/endorsement"
+	"repro/internal/msp"
 	"repro/internal/proof"
 	"repro/internal/relay"
 	"repro/internal/wire"
@@ -62,33 +63,42 @@ func (d *Driver) Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse,
 		return nil, err
 	}
 
+	// The same pin gate the Fabric driver applies: a query whose explicit
+	// policy digest disagrees with its expression gets no proof at all —
+	// notaries must never sign a requester-chosen pin for a policy that did
+	// not select them.
+	policyDigest, err := proof.PinnedPolicyDigest(q)
+	if err != nil {
+		return nil, err
+	}
 	wanted := make(map[string]bool)
 	for _, org := range vp.Orgs() {
 		wanted[org] = true
 	}
-	queryDigest := proof.QueryDigestOf(q)
-	resp := &wire.QueryResponse{RequestID: q.RequestID}
+	var attestors []*msp.Identity
 	for _, notary := range d.net.Notaries() {
-		if !wanted[notary.OrgID] {
-			continue
+		if wanted[notary.OrgID] {
+			attestors = append(attestors, notary.Identity)
 		}
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("notary: query aborted: %w", err)
-		}
-		att, err := proof.BuildAttestation(notary.Identity, d.net.ID(), queryDigest,
-			result, q.Nonce, clientPub, time.Now())
-		if err != nil {
-			return nil, fmt.Errorf("notary: attestation from %s: %w", notary.OrgID, err)
-		}
-		resp.Attestations = append(resp.Attestations, att)
 	}
-	if len(resp.Attestations) == 0 {
+	if len(attestors) == 0 {
 		return nil, fmt.Errorf("notary: no notaries match verification policy %q", q.PolicyExpr)
 	}
-	encResult, err := proof.EncryptResult(clientPub, result)
-	if err != nil {
-		return nil, fmt.Errorf("notary: encrypt result: %w", err)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("notary: query aborted: %w", err)
 	}
-	resp.EncryptedResult = encResult
+	resp, err := proof.Build(proof.Spec{
+		NetworkID:    d.net.ID(),
+		QueryDigest:  proof.QueryDigestOf(q),
+		PolicyDigest: policyDigest,
+		Result:       result,
+		Nonce:        q.Nonce,
+		ClientPub:    clientPub,
+		Now:          time.Now(),
+	}, attestors)
+	if err != nil {
+		return nil, fmt.Errorf("notary: %w", err)
+	}
+	resp.RequestID = q.RequestID
 	return resp, nil
 }

@@ -1,0 +1,146 @@
+package proof
+
+import (
+	"crypto/ecdsa"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/msp"
+	"repro/internal/wire"
+)
+
+// Spec carries everything needed to build a proof once: the identity of the
+// question (query digest), the policy pin the attestors are selected under,
+// the agreed plaintext result, the requester's nonce and encryption key,
+// and the build time stamped into every attestation.
+type Spec struct {
+	NetworkID    string
+	QueryDigest  []byte
+	PolicyDigest []byte
+	Result       []byte
+	Nonce        []byte
+	ClientPub    *ecdsa.PublicKey
+	Now          time.Time
+}
+
+// Build is the single construction point for attestation proofs: it gathers
+// one pinned attestation per attestor concurrently (each attestation is an
+// independent ECDSA sign + ECIES encrypt, the dominant per-peer cost) and
+// encrypts the result to the requester. Callers that persist the proof
+// wrap the response with Seal; query paths use the response directly.
+func Build(spec Spec, attestors []*msp.Identity) (*wire.QueryResponse, error) {
+	resp := &wire.QueryResponse{PolicyDigest: spec.PolicyDigest}
+	resp.Attestations = make([]wire.Attestation, len(attestors))
+	errs := make([]error, len(attestors))
+	var wg sync.WaitGroup
+	for i, id := range attestors {
+		wg.Add(1)
+		go func(i int, id *msp.Identity) {
+			defer wg.Done()
+			att, err := BuildAttestationPinned(id, spec.NetworkID, spec.QueryDigest,
+				spec.PolicyDigest, spec.Result, spec.Nonce, spec.ClientPub, spec.Now)
+			if err != nil {
+				errs[i] = fmt.Errorf("proof: attestation from %s: %w", id.Name, err)
+				return
+			}
+			resp.Attestations[i] = att
+		}(i, id)
+	}
+	encResult, encErr := EncryptResult(spec.ClientPub, spec.Result)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if encErr != nil {
+		return nil, fmt.Errorf("proof: encrypt result: %w", encErr)
+	}
+	resp.EncryptedResult = encResult
+	return resp, nil
+}
+
+// Seal wraps a marshaled response Build produced into the persisted proof
+// artifact, binding it to the build spec's digests, timestamp and attestor
+// identities. Taking the already-marshaled bytes keeps proof construction
+// to a single serialization on every path.
+func Seal(spec Spec, marshaledResp []byte, attestors []*msp.Identity) *Sealed {
+	sealed := &Sealed{
+		QueryDigest:  spec.QueryDigest,
+		PolicyDigest: spec.PolicyDigest,
+		UnixNano:     uint64(spec.Now.UnixNano()),
+		Response:     marshaledResp,
+	}
+	for _, id := range attestors {
+		sealed.Attestors = append(sealed.Attestors, id.OrgID+"/"+id.Name)
+	}
+	return sealed
+}
+
+// Sealed is the persisted form of a proof: the exact wire response served
+// to the requester (encrypted result plus attestation set), bound to the
+// query digest, the pinned policy digest, the attestor identities and the
+// build time. It rides in ledger.Transaction next to the interop key, so a
+// replayed invoke re-serves the original proof byte for byte — no
+// re-signing, no re-encryption, and no dependence on which attestor
+// organizations still exist when the replay happens.
+type Sealed struct {
+	QueryDigest  []byte
+	PolicyDigest []byte
+	UnixNano     uint64
+	Attestors    []string // "orgID/peerName" per attestation, for tooling
+	Response     []byte   // marshaled wire.QueryResponse
+}
+
+// Marshal encodes the sealed proof for transaction storage.
+func (s *Sealed) Marshal() []byte {
+	e := wire.NewEncoder(128 + len(s.Response))
+	e.BytesField(1, s.QueryDigest)
+	e.BytesField(2, s.PolicyDigest)
+	e.Uint(3, s.UnixNano)
+	for _, a := range s.Attestors {
+		e.String(4, a)
+	}
+	e.BytesField(5, s.Response)
+	return e.Bytes()
+}
+
+// UnmarshalSealed decodes a sealed proof.
+func UnmarshalSealed(buf []byte) (*Sealed, error) {
+	s := &Sealed{}
+	d := wire.NewDecoder(buf)
+	for {
+		field, ok, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("sealed proof: %w", err)
+		}
+		if !ok {
+			return s, nil
+		}
+		switch field {
+		case 1:
+			s.QueryDigest, err = d.BytesCopy()
+		case 2:
+			s.PolicyDigest, err = d.BytesCopy()
+		case 3:
+			s.UnixNano, err = d.Uint()
+		case 4:
+			var a string
+			a, err = d.String()
+			s.Attestors = append(s.Attestors, a)
+		case 5:
+			s.Response, err = d.BytesCopy()
+		default:
+			err = d.Skip()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("sealed proof field %d: %w", field, err)
+		}
+	}
+}
+
+// OpenWire decodes the sealed proof's stored wire response.
+func (s *Sealed) OpenWire() (*wire.QueryResponse, error) {
+	return wire.UnmarshalQueryResponse(s.Response)
+}

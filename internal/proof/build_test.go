@@ -1,0 +1,141 @@
+package proof
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/endorsement"
+	"repro/internal/msp"
+	"repro/internal/wire"
+)
+
+// buildFixture runs Build over the standard two-org fixture and returns
+// everything a caller needs to open and verify the outcome.
+func buildFixture(t *testing.T) (spec Spec, resp *respAndSealed, verifier *msp.Verifier) {
+	t.Helper()
+	_, _, sellerPeer, carrierPeer, v := setup(t)
+	clientKey, err := cryptoutil.GenerateKey()
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	q := sampleQuery(t)
+	spec = Spec{
+		NetworkID:    "tradelens",
+		QueryDigest:  QueryDigestOf(q),
+		PolicyDigest: PolicyDigest(q.PolicyExpr),
+		Result:       []byte(`{"blId":"bl-77"}`),
+		Nonce:        q.Nonce,
+		ClientPub:    &clientKey.PublicKey,
+		Now:          time.Now(),
+	}
+	attestors := []*msp.Identity{sellerPeer, carrierPeer}
+	wireResp, err := Build(spec, attestors)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	sealed := Seal(spec, wireResp.Marshal(), attestors)
+	return spec, &respAndSealed{q: q, key: clientKey, resp: wireResp, sealed: sealed}, v
+}
+
+type respAndSealed struct {
+	q      *wire.Query
+	key    *ecdsa.PrivateKey
+	resp   *wire.QueryResponse
+	sealed *Sealed
+}
+
+func TestBuildProducesVerifiableProof(t *testing.T) {
+	spec, out, verifier := buildFixture(t)
+
+	bundle, err := OpenResponse(out.key, out.q, out.resp)
+	if err != nil {
+		t.Fatalf("OpenResponse: %v", err)
+	}
+	if !bytes.Equal(bundle.Result, spec.Result) {
+		t.Fatalf("result = %q", bundle.Result)
+	}
+	if !bytes.Equal(bundle.PolicyDigest, spec.PolicyDigest) {
+		t.Fatal("bundle not pinned to the build policy")
+	}
+	if bundle.UnixNano == 0 {
+		t.Fatal("bundle carries no build timestamp")
+	}
+	vp := endorsement.MustParse(out.q.PolicyExpr)
+	if err := Verify(bundle, verifier, vp, spec.QueryDigest, spec.PolicyDigest); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// Verification against a different policy pin is refused even though
+	// the attestor set would satisfy the expression.
+	if err := Verify(bundle, verifier, vp, spec.QueryDigest, PolicyDigest("OR('rogue')")); !errors.Is(err, ErrPolicyDigestMismatch) {
+		t.Fatalf("foreign pin accepted: %v", err)
+	}
+}
+
+func TestSealedRoundTripServesOriginalResponse(t *testing.T) {
+	spec, out, _ := buildFixture(t)
+
+	if len(out.sealed.Attestors) != 2 {
+		t.Fatalf("attestors = %v", out.sealed.Attestors)
+	}
+	decoded, err := UnmarshalSealed(out.sealed.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalSealed: %v", err)
+	}
+	if !bytes.Equal(decoded.QueryDigest, spec.QueryDigest) ||
+		!bytes.Equal(decoded.PolicyDigest, spec.PolicyDigest) ||
+		decoded.UnixNano != out.sealed.UnixNano {
+		t.Fatal("sealed bindings did not round-trip")
+	}
+	if len(decoded.Attestors) != 2 || decoded.Attestors[0] != out.sealed.Attestors[0] {
+		t.Fatalf("attestors did not round-trip: %v", decoded.Attestors)
+	}
+	// The stored response is the exact artifact Build returned: replaying
+	// it decrypts to the identical bundle, no re-signing anywhere.
+	replayed, err := decoded.OpenWire()
+	if err != nil {
+		t.Fatalf("OpenWire: %v", err)
+	}
+	orig, err := OpenResponse(out.key, out.q, out.resp)
+	if err != nil {
+		t.Fatalf("OpenResponse original: %v", err)
+	}
+	again, err := OpenResponse(out.key, out.q, replayed)
+	if err != nil {
+		t.Fatalf("OpenResponse replayed: %v", err)
+	}
+	if !bytes.Equal(orig.Marshal(), again.Marshal()) {
+		t.Fatal("replayed sealed response decodes to a different bundle")
+	}
+}
+
+func TestOpenResponseRefusesForeignPolicyPin(t *testing.T) {
+	_, out, _ := buildFixture(t)
+	// The relay hands back a proof pinned to a different policy than the
+	// query asked for: refused before any signature checking.
+	forged := *out.resp
+	forged.PolicyDigest = PolicyDigest("OR('rogue')")
+	if _, err := OpenResponse(out.key, out.q, &forged); !errors.Is(err, ErrPolicyDigestMismatch) {
+		t.Fatalf("foreign response pin accepted: %v", err)
+	}
+}
+
+func TestBundleRoundTripKeepsPins(t *testing.T) {
+	_, out, _ := buildFixture(t)
+	bundle, err := OpenResponse(out.key, out.q, out.resp)
+	if err != nil {
+		t.Fatalf("OpenResponse: %v", err)
+	}
+	decoded, err := UnmarshalBundle(bundle.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalBundle: %v", err)
+	}
+	if !bytes.Equal(decoded.QueryDigest, bundle.QueryDigest) ||
+		!bytes.Equal(decoded.PolicyDigest, bundle.PolicyDigest) ||
+		decoded.UnixNano != bundle.UnixNano {
+		t.Fatal("bundle pins did not survive the round trip")
+	}
+}

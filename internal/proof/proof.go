@@ -51,6 +51,15 @@ var (
 	// ErrNotPeer is returned when an attestor certificate is not a peer
 	// identity.
 	ErrNotPeer = errors.New("proof: attestor is not a peer")
+	// ErrPolicyDigestMismatch is returned when a proof's pinned
+	// verification-policy digest differs from the policy the verifier
+	// expects it to satisfy.
+	ErrPolicyDigestMismatch = errors.New("proof: verification policy digest mismatch")
+	// ErrPolicyPinMismatch is returned when a query's explicit policy pin
+	// disagrees with the policy expression it carries — the requester and
+	// the source do not agree on which policy the proof must satisfy, so
+	// no proof may be built at all.
+	ErrPolicyPinMismatch = errors.New("proof: query policy pin does not match its policy expression")
 )
 
 // QueryDigest computes the canonical digest binding a proof to the question
@@ -75,10 +84,56 @@ func QueryDigestOf(q *wire.Query) []byte {
 	return QueryDigest(q.TargetNetwork, q.Ledger, q.Contract, q.Function, q.Args, q.Nonce)
 }
 
-// BuildAttestation produces one peer's attestation for a query result. The
-// result digest is computed over the plaintext result; the metadata is
-// signed with the attestor's key and then encrypted to the client.
-func BuildAttestation(attestor *msp.Identity, networkID string, queryDigest, result, nonce []byte, clientPub *ecdsa.PublicKey, now time.Time) (wire.Attestation, error) {
+// policyDigestDomain separates policy-expression digests from every other
+// digest in the system, so a policy digest can never collide with a query
+// or result digest by construction.
+var policyDigestDomain = []byte("interop-verification-policy\x00")
+
+// PolicyDigest computes the canonical digest of a verification-policy
+// expression — the pin carried in wire.Query/wire.QueryResponse and inside
+// each attestation's signed metadata. Requester and responder comparing
+// digests (rather than trusting whatever expression travels in the clear)
+// is what guarantees a bundle is verified against exactly the policy it was
+// built under.
+func PolicyDigest(policyExpr string) []byte {
+	return cryptoutil.Digest(policyDigestDomain, []byte(policyExpr))
+}
+
+// PolicyDigestOf returns the query's effective policy pin: the explicit
+// PolicyDigest when the requester stamped one, otherwise the digest of the
+// policy expression the query carries. Nil when the query has neither (an
+// unpinned legacy request).
+func PolicyDigestOf(q *wire.Query) []byte {
+	if len(q.PolicyDigest) > 0 {
+		return q.PolicyDigest
+	}
+	if q.PolicyExpr != "" {
+		return PolicyDigest(q.PolicyExpr)
+	}
+	return nil
+}
+
+// PinnedPolicyDigest is the source-side gate every driver must apply
+// before building a proof: it returns the digest of the query's policy
+// expression, refusing (ErrPolicyPinMismatch) a query whose explicit pin
+// disagrees with that expression. Honoring a mismatched pin would have the
+// attestors sign a requester-chosen digest for a policy that never
+// selected them.
+func PinnedPolicyDigest(q *wire.Query) ([]byte, error) {
+	expect := PolicyDigest(q.PolicyExpr)
+	if len(q.PolicyDigest) > 0 && !bytes.Equal(q.PolicyDigest, expect) {
+		return nil, ErrPolicyPinMismatch
+	}
+	return expect, nil
+}
+
+// BuildAttestationPinned produces one peer's attestation for a query
+// result. The result digest is computed over the plaintext result; the
+// metadata — including the verification-policy pin, when non-nil (nil
+// builds an unpinned legacy attestation) — is signed with the attestor's
+// key and then encrypted to the client. Proof construction normally goes
+// through Build, which fans attestors out concurrently.
+func BuildAttestationPinned(attestor *msp.Identity, networkID string, queryDigest, policyDigest, result, nonce []byte, clientPub *ecdsa.PublicKey, now time.Time) (wire.Attestation, error) {
 	md := wire.Metadata{
 		NetworkID:    networkID,
 		PeerName:     attestor.Name,
@@ -87,6 +142,7 @@ func BuildAttestation(attestor *msp.Identity, networkID string, queryDigest, res
 		ResultDigest: cryptoutil.Digest(result),
 		Nonce:        nonce,
 		UnixNano:     uint64(now.UnixNano()),
+		PolicyDigest: policyDigest,
 	}
 	plain := md.Marshal()
 	sig, err := attestor.Sign(plain)
@@ -121,14 +177,26 @@ type Element struct {
 }
 
 // Bundle is the decrypted, transaction-embeddable form of a proof: the
-// plaintext result plus one Element per attestor. The requesting client
-// constructs it from a QueryResponse; the destination chaincode validates
-// it via the Data Acceptance contract.
+// plaintext result plus one Element per attestor, bound to the query digest
+// and the pinned verification-policy digest, and stamped with when the
+// proof was built. The requesting client constructs it from a
+// QueryResponse; the destination chaincode validates it via the Data
+// Acceptance contract. Built once, it verifies anywhere a recorded source
+// configuration and policy are available — no party needs to re-contact the
+// source network.
 type Bundle struct {
 	SourceNetwork string
 	Result        []byte
 	Nonce         []byte
 	Elements      []Element
+	// QueryDigest binds the bundle to the question it answers
+	// (QueryDigestOf of the originating query).
+	QueryDigest []byte
+	// PolicyDigest is the verification-policy pin the proof was built
+	// under; nil for unpinned legacy bundles.
+	PolicyDigest []byte
+	// UnixNano is when the proof was built (the attestation timestamp).
+	UnixNano uint64
 }
 
 // Marshal encodes the bundle for use as a transaction argument.
@@ -145,6 +213,9 @@ func (b *Bundle) Marshal() []byte {
 		ee.BytesField(3, el.Signature)
 		e.Message(4, ee.Bytes())
 	}
+	e.BytesField(5, b.QueryDigest)
+	e.BytesField(6, b.PolicyDigest)
+	e.Uint(7, b.UnixNano)
 	return e.Bytes()
 }
 
@@ -177,6 +248,12 @@ func UnmarshalBundle(buf []byte) (*Bundle, error) {
 					b.Elements = append(b.Elements, el)
 				}
 			}
+		case 5:
+			b.QueryDigest, err = d.BytesCopy()
+		case 6:
+			b.PolicyDigest, err = d.BytesCopy()
+		case 7:
+			b.UnixNano, err = d.Uint()
 		default:
 			err = d.Skip()
 		}
@@ -222,6 +299,10 @@ func OpenResponse(clientKey *ecdsa.PrivateKey, q *wire.Query, resp *wire.QueryRe
 	if resp.Error != "" {
 		return nil, fmt.Errorf("proof: remote error: %s", resp.Error)
 	}
+	wantPolicyDigest := PolicyDigestOf(q)
+	if len(wantPolicyDigest) > 0 && len(resp.PolicyDigest) > 0 && !bytes.Equal(resp.PolicyDigest, wantPolicyDigest) {
+		return nil, fmt.Errorf("%w: response pinned to a different policy", ErrPolicyDigestMismatch)
+	}
 	result, err := cryptoutil.Decrypt(clientKey, resp.EncryptedResult)
 	if err != nil {
 		return nil, fmt.Errorf("proof: decrypt result: %w", err)
@@ -232,6 +313,8 @@ func OpenResponse(clientKey *ecdsa.PrivateKey, q *wire.Query, resp *wire.QueryRe
 		SourceNetwork: q.TargetNetwork,
 		Result:        result,
 		Nonce:         q.Nonce,
+		QueryDigest:   wantQueryDigest,
+		PolicyDigest:  wantPolicyDigest,
 	}
 	for i := range resp.Attestations {
 		att := &resp.Attestations[i]
@@ -252,6 +335,12 @@ func OpenResponse(clientKey *ecdsa.PrivateKey, q *wire.Query, resp *wire.QueryRe
 		if !bytes.Equal(md.Nonce, q.Nonce) {
 			return nil, fmt.Errorf("%w: attestation %s", ErrNonceMismatch, att.PeerName)
 		}
+		if len(wantPolicyDigest) > 0 && len(md.PolicyDigest) > 0 && !bytes.Equal(md.PolicyDigest, wantPolicyDigest) {
+			return nil, fmt.Errorf("%w: attestation %s", ErrPolicyDigestMismatch, att.PeerName)
+		}
+		if md.UnixNano > bundle.UnixNano {
+			bundle.UnixNano = md.UnixNano
+		}
 		bundle.Elements = append(bundle.Elements, Element{
 			CertPEM:   att.CertPEM,
 			Metadata:  plain,
@@ -266,9 +355,23 @@ func OpenResponse(clientKey *ecdsa.PrivateKey, q *wire.Query, resp *wire.QueryRe
 // the recorded source-network configuration, bind the expected query digest
 // and nonce, match the bundle's result, and the attestor set must satisfy
 // the verification policy.
-func Verify(b *Bundle, verifier *msp.Verifier, vp *endorsement.Policy, expectedQueryDigest []byte) error {
+//
+// expectedPolicyDigest is the pin of the policy the verifier is checking
+// against (PolicyDigest of its expression). When non-nil, any pin the
+// bundle or its signed metadata carries must match it — a bundle built
+// under a different policy is refused even if its attestor set would
+// incidentally satisfy this one. Bundles with no pin at all (legacy
+// builders) are still accepted; absence is tolerated, mismatch is not.
+// Pass nil to skip pin checking entirely.
+func Verify(b *Bundle, verifier *msp.Verifier, vp *endorsement.Policy, expectedQueryDigest, expectedPolicyDigest []byte) error {
 	if vp == nil {
 		return fmt.Errorf("%w: no verification policy", ErrPolicyUnsatisfied)
+	}
+	if len(expectedPolicyDigest) > 0 && len(b.PolicyDigest) > 0 && !bytes.Equal(b.PolicyDigest, expectedPolicyDigest) {
+		return fmt.Errorf("%w: bundle pinned to a different policy", ErrPolicyDigestMismatch)
+	}
+	if len(b.QueryDigest) > 0 && !bytes.Equal(b.QueryDigest, expectedQueryDigest) {
+		return fmt.Errorf("%w: bundle query digest", ErrDigestMismatch)
 	}
 	wantResultDigest := cryptoutil.Digest(b.Result)
 	signers := make([]endorsement.Principal, 0, len(b.Elements))
@@ -310,6 +413,9 @@ func Verify(b *Bundle, verifier *msp.Verifier, vp *endorsement.Policy, expectedQ
 		}
 		if !bytes.Equal(md.Nonce, b.Nonce) {
 			return fmt.Errorf("%w: element %d", ErrNonceMismatch, i)
+		}
+		if len(expectedPolicyDigest) > 0 && len(md.PolicyDigest) > 0 && !bytes.Equal(md.PolicyDigest, expectedPolicyDigest) {
+			return fmt.Errorf("%w: element %d", ErrPolicyDigestMismatch, i)
 		}
 		signers = append(signers, endorsement.Principal{OrgID: info.OrgID, Role: info.Role})
 	}

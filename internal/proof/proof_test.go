@@ -78,7 +78,7 @@ func TestEndToEndProofFlow(t *testing.T) {
 	}
 	resp := &wire.QueryResponse{RequestID: q.RequestID, EncryptedResult: encResult}
 	for _, attestor := range []*msp.Identity{sellerPeer, carrierPeer} {
-		att, err := BuildAttestation(attestor, "tradelens", qd, result, q.Nonce, &clientKey.PublicKey, time.Now())
+		att, err := BuildAttestationPinned(attestor, "tradelens", qd, nil, result, q.Nonce, &clientKey.PublicKey, time.Now())
 		if err != nil {
 			t.Fatalf("BuildAttestation: %v", err)
 		}
@@ -97,7 +97,7 @@ func TestEndToEndProofFlow(t *testing.T) {
 	}
 
 	vp := endorsement.MustParse(q.PolicyExpr)
-	if err := Verify(bundle, verifier, vp, qd); err != nil {
+	if err := Verify(bundle, verifier, vp, qd, nil); err != nil {
 		t.Fatalf("Verify: %v", err)
 	}
 }
@@ -115,7 +115,7 @@ func buildBundle(t *testing.T, q *wire.Query, result []byte, attestors ...*msp.I
 	}
 	resp := &wire.QueryResponse{RequestID: q.RequestID, EncryptedResult: encResult}
 	for _, attestor := range attestors {
-		att, err := BuildAttestation(attestor, q.TargetNetwork, qd, result, q.Nonce, &clientKey.PublicKey, time.Now())
+		att, err := BuildAttestationPinned(attestor, q.TargetNetwork, qd, nil, result, q.Nonce, &clientKey.PublicKey, time.Now())
 		if err != nil {
 			t.Fatalf("BuildAttestation: %v", err)
 		}
@@ -136,7 +136,7 @@ func TestVerifyRejectsTamperedResult(t *testing.T) {
 	qd := QueryDigestOf(q)
 
 	bundle.Result = []byte("forged B/L")
-	if err := Verify(bundle, verifier, vp, qd); !errors.Is(err, ErrDigestMismatch) {
+	if err := Verify(bundle, verifier, vp, qd, nil); !errors.Is(err, ErrDigestMismatch) {
 		t.Fatalf("tampered result: %v", err)
 	}
 }
@@ -149,7 +149,7 @@ func TestVerifyRejectsForgedSignature(t *testing.T) {
 	qd := QueryDigestOf(q)
 
 	bundle.Elements[0].Signature[8] ^= 0xFF
-	if err := Verify(bundle, verifier, vp, qd); !errors.Is(err, ErrBadAttestation) {
+	if err := Verify(bundle, verifier, vp, qd, nil); !errors.Is(err, ErrBadAttestation) {
 		t.Fatalf("forged signature: %v", err)
 	}
 }
@@ -164,7 +164,7 @@ func TestVerifyRejectsUnknownCA(t *testing.T) {
 
 	bundle := buildBundle(t, q, []byte("doc"), sellerPeer, roguePeer)
 	vp := endorsement.MustParse(q.PolicyExpr)
-	if err := Verify(bundle, verifier, vp, QueryDigestOf(q)); !errors.Is(err, ErrBadAttestation) {
+	if err := Verify(bundle, verifier, vp, QueryDigestOf(q), nil); !errors.Is(err, ErrBadAttestation) {
 		t.Fatalf("rogue CA: %v", err)
 	}
 }
@@ -175,7 +175,7 @@ func TestVerifyRejectsNonPeerAttestor(t *testing.T) {
 	clientID, _ := sellerCA.Issue("some-client", msp.RoleClient)
 	bundle := buildBundle(t, q, []byte("doc"), sellerPeer, clientID)
 	vp := endorsement.MustParse("'seller-org'")
-	if err := Verify(bundle, verifier, vp, QueryDigestOf(q)); !errors.Is(err, ErrNotPeer) {
+	if err := Verify(bundle, verifier, vp, QueryDigestOf(q), nil); !errors.Is(err, ErrNotPeer) {
 		t.Fatalf("client attestor: %v", err)
 	}
 }
@@ -186,7 +186,7 @@ func TestVerifyRejectsUnsatisfiedPolicy(t *testing.T) {
 	// Only the seller org attests, but the policy wants both orgs.
 	bundle := buildBundle(t, q, []byte("doc"), sellerPeer)
 	vp := endorsement.MustParse("AND('seller-org','carrier-org')")
-	if err := Verify(bundle, verifier, vp, QueryDigestOf(q)); !errors.Is(err, ErrPolicyUnsatisfied) {
+	if err := Verify(bundle, verifier, vp, QueryDigestOf(q), nil); !errors.Is(err, ErrPolicyUnsatisfied) {
 		t.Fatalf("unsatisfied policy: %v", err)
 	}
 }
@@ -199,7 +199,7 @@ func TestVerifyRejectsWrongQueryDigest(t *testing.T) {
 
 	otherDigest := QueryDigest("tradelens", "default", "TradeLensCC", "GetBillOfLading",
 		[][]byte{[]byte("po-9999")}, q.Nonce)
-	if err := Verify(bundle, verifier, vp, otherDigest); !errors.Is(err, ErrDigestMismatch) {
+	if err := Verify(bundle, verifier, vp, otherDigest, nil); !errors.Is(err, ErrDigestMismatch) {
 		t.Fatalf("wrong query digest: %v", err)
 	}
 }
@@ -210,7 +210,7 @@ func TestVerifyRejectsWrongNetwork(t *testing.T) {
 	bundle := buildBundle(t, q, []byte("doc"), sellerPeer, carrierPeer)
 	vp := endorsement.MustParse(q.PolicyExpr)
 	bundle.SourceNetwork = "some-other-net"
-	if err := Verify(bundle, verifier, vp, QueryDigestOf(q)); !errors.Is(err, ErrWrongNetwork) {
+	if err := Verify(bundle, verifier, vp, QueryDigestOf(q), nil); !errors.Is(err, ErrWrongNetwork) {
 		t.Fatalf("wrong network: %v", err)
 	}
 }
@@ -226,7 +226,7 @@ func TestVerifyRejectsNonceSwap(t *testing.T) {
 	// fires too.
 	newNonce, _ := cryptoutil.NewNonce()
 	bundle.Nonce = newNonce
-	err := Verify(bundle, verifier, vp, QueryDigestOf(q))
+	err := Verify(bundle, verifier, vp, QueryDigestOf(q), nil)
 	if err == nil {
 		t.Fatal("nonce swap accepted")
 	}
@@ -236,7 +236,7 @@ func TestVerifyNilPolicy(t *testing.T) {
 	_, _, sellerPeer, _, verifier := setup(t)
 	q := sampleQuery(t)
 	bundle := buildBundle(t, q, []byte("doc"), sellerPeer)
-	if err := Verify(bundle, verifier, nil, QueryDigestOf(q)); !errors.Is(err, ErrPolicyUnsatisfied) {
+	if err := Verify(bundle, verifier, nil, QueryDigestOf(q), nil); !errors.Is(err, ErrPolicyUnsatisfied) {
 		t.Fatalf("nil policy: %v", err)
 	}
 }
@@ -258,7 +258,7 @@ func TestOpenResponseWrongKey(t *testing.T) {
 	result := []byte("doc")
 	qd := QueryDigestOf(q)
 	encResult, _ := EncryptResult(&rightKey.PublicKey, result)
-	att, err := BuildAttestation(sellerPeer, q.TargetNetwork, qd, result, q.Nonce, &rightKey.PublicKey, time.Now())
+	att, err := BuildAttestationPinned(sellerPeer, q.TargetNetwork, qd, nil, result, q.Nonce, &rightKey.PublicKey, time.Now())
 	if err != nil {
 		t.Fatalf("BuildAttestation: %v", err)
 	}
@@ -276,7 +276,7 @@ func TestOpenResponseDetectsRelayResultSwap(t *testing.T) {
 	q := sampleQuery(t)
 	genuine := []byte("genuine")
 	qd := QueryDigestOf(q)
-	att, err := BuildAttestation(sellerPeer, q.TargetNetwork, qd, genuine, q.Nonce, &clientKey.PublicKey, time.Now())
+	att, err := BuildAttestationPinned(sellerPeer, q.TargetNetwork, qd, nil, genuine, q.Nonce, &clientKey.PublicKey, time.Now())
 	if err != nil {
 		t.Fatalf("BuildAttestation: %v", err)
 	}
@@ -346,7 +346,7 @@ func BenchmarkBuildAttestation(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := BuildAttestation(attestor, "net", qd, result, []byte("nonce"), &clientKey.PublicKey, now); err != nil {
+		if _, err := BuildAttestationPinned(attestor, "net", qd, nil, result, []byte("nonce"), &clientKey.PublicKey, now); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -369,7 +369,7 @@ func BenchmarkVerifyTwoAttestors(b *testing.B) {
 	encResult, _ := EncryptResult(&clientKey.PublicKey, result)
 	resp := &wire.QueryResponse{EncryptedResult: encResult}
 	for _, at := range []*msp.Identity{sellerPeer, carrierPeer} {
-		att, _ := BuildAttestation(at, "tl", qd, result, nonce, &clientKey.PublicKey, time.Now())
+		att, _ := BuildAttestationPinned(at, "tl", qd, nil, result, nonce, &clientKey.PublicKey, time.Now())
 		resp.Attestations = append(resp.Attestations, att)
 	}
 	bundle, err := OpenResponse(clientKey, q, resp)
@@ -380,7 +380,7 @@ func BenchmarkVerifyTwoAttestors(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := Verify(bundle, verifier, vp, qd); err != nil {
+		if err := Verify(bundle, verifier, vp, qd, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

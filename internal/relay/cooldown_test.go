@@ -1,0 +1,82 @@
+package relay
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSnapshotStampsBothCooldownEncodings: a published health record
+// carries the cooldown both absolute and relative, like envelope deadlines.
+func TestSnapshotStampsBothCooldownEncodings(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(5000, 0)}
+	h := newHealthTracker(clock.Now, 2, 10*time.Second)
+	h.reportFailure("addr")
+	h.reportFailure("addr") // opens the breaker for 10s
+	rec, ok := h.snapshot()["addr"]
+	if !ok {
+		t.Fatal("no record for addr")
+	}
+	if rec.OpenUntilUnixNano == 0 {
+		t.Fatal("absolute cooldown expiry not stamped")
+	}
+	if rec.CooldownRemainingNanos != int64(10*time.Second) {
+		t.Fatalf("CooldownRemainingNanos = %s, want 10s", time.Duration(rec.CooldownRemainingNanos))
+	}
+}
+
+// TestSeedUsesRelativeCooldown: a record carrying only the relative
+// encoding (or one whose absolute encoding is wildly skewed) still demotes
+// the address — for the remaining cooldown, on the reader's clock.
+func TestSeedUsesRelativeCooldown(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(9000, 0)}
+	h := newHealthTracker(clock.Now, defaultBreakerThreshold, defaultBreakerCooldown)
+	h.seed(map[string]SharedHealth{
+		"addr-rel": {ConsecFailures: 5, CooldownRemainingNanos: int64(8 * time.Second)},
+	})
+	if !h.circuitOpen("addr-rel") {
+		t.Fatal("relative-only cooldown did not open the breaker")
+	}
+	clock.Advance(9 * time.Second)
+	if h.circuitOpen("addr-rel") {
+		t.Fatal("breaker still open past the relative cooldown")
+	}
+}
+
+// TestSeedTakesLaxerCooldownInterpretation: when the publisher's clock runs
+// far ahead, the absolute expiry would demote the address for an hour; the
+// relative encoding bounds the demotion at the true remaining cooldown. The
+// laxer (earlier-expiry) interpretation wins, exactly as receivers treat
+// TimeoutNanos versus DeadlineUnixNano — erring toward *less* punishment.
+func TestSeedTakesLaxerCooldownInterpretation(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(9000, 0)}
+	h := newHealthTracker(clock.Now, defaultBreakerThreshold, defaultBreakerCooldown)
+	h.seed(map[string]SharedHealth{
+		"addr-skew": {
+			ConsecFailures:         5,
+			OpenUntilUnixNano:      clock.Now().Add(time.Hour).UnixNano(), // skewed publisher clock
+			CooldownRemainingNanos: int64(5 * time.Second),
+		},
+	})
+	if !h.circuitOpen("addr-skew") {
+		t.Fatal("breaker not seeded open")
+	}
+	clock.Advance(6 * time.Second)
+	if h.circuitOpen("addr-skew") {
+		t.Fatal("skewed absolute expiry out-demoted the relative cooldown")
+	}
+	// And symmetrically: an absolute expiry *earlier* than the relative one
+	// (stale record, synced clocks) also wins, so staleness cannot extend a
+	// demotion either.
+	h2 := newHealthTracker(clock.Now, defaultBreakerThreshold, defaultBreakerCooldown)
+	h2.seed(map[string]SharedHealth{
+		"addr-stale": {
+			ConsecFailures:         5,
+			OpenUntilUnixNano:      clock.Now().Add(2 * time.Second).UnixNano(),
+			CooldownRemainingNanos: int64(10 * time.Second),
+		},
+	})
+	clock.Advance(3 * time.Second)
+	if h2.circuitOpen("addr-stale") {
+		t.Fatal("stale record's remaining cooldown outlived its absolute expiry")
+	}
+}

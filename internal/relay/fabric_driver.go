@@ -31,14 +31,28 @@ var (
 	ErrNoAttestors = errors.New("relay: no peers available for verification policy")
 )
 
+// ErrPolicyPinMismatch is returned when a query's pinned policy digest
+// does not match the policy expression it carries — the requester and
+// this relay do not agree on which policy the proof must satisfy, so no
+// proof is built at all. It is proof.ErrPolicyPinMismatch, re-exported so
+// relay callers can match it without importing proof.
+var ErrPolicyPinMismatch = proof.ErrPolicyPinMismatch
+
 // FabricDriver translates network-neutral queries into invocations on a
 // fabric.Network (Fig. 2 step 5): it selects one peer from each
 // organization the verification policy names, runs the query on each,
 // checks that the results agree, and collects a signed+encrypted
-// attestation from every queried peer.
+// attestation from every queried peer. Proof construction is fronted by a
+// content-addressed attestation cache (see attestationCache): a repeated
+// identical query is answered with the previously built proof, skipping
+// every ECDSA signature and ECIES encryption.
 type FabricDriver struct {
 	net        *fabric.Network
 	ledgerName string
+
+	// cache is atomic so ConfigureAttestationCache can swap it while
+	// concurrent queries hold their own reference.
+	cache atomic.Pointer[attestationCache]
 
 	// onLedgerReplay is notified when the driver answers an invoke from the
 	// ledger's committed record after its own submission was invalidated as
@@ -48,6 +62,16 @@ type FabricDriver struct {
 	// may be registered on a second relay while the first is already
 	// serving invokes.
 	onLedgerReplay atomic.Pointer[func()]
+	// onCacheStats reports attestation-cache outcomes; wired by
+	// Relay.RegisterDriver to the Stats counters, first wiring wins.
+	onCacheStats atomic.Pointer[cacheCallbacks]
+}
+
+// cacheCallbacks pairs the hit and miss counters so both are wired to the
+// same relay atomically — a driver registered on two relays must not split
+// its hits to one relay's Stats and its misses to the other's.
+type cacheCallbacks struct {
+	hit, miss func()
 }
 
 // OnLedgerReplay implements LedgerReplayNotifier. The first wiring wins: a
@@ -55,6 +79,24 @@ type FabricDriver struct {
 // relay that registered it first.
 func (d *FabricDriver) OnLedgerReplay(fn func()) {
 	d.onLedgerReplay.CompareAndSwap(nil, &fn)
+}
+
+// OnAttestationCache implements AttestationCacheNotifier; first wiring
+// wins, as with OnLedgerReplay.
+func (d *FabricDriver) OnAttestationCache(hit, miss func()) {
+	d.onCacheStats.CompareAndSwap(nil, &cacheCallbacks{hit: hit, miss: miss})
+}
+
+func (d *FabricDriver) notifyCache(hit bool) {
+	cb := d.onCacheStats.Load()
+	if cb == nil {
+		return
+	}
+	if hit {
+		cb.hit()
+	} else {
+		cb.miss()
+	}
 }
 
 var _ Driver = (*FabricDriver)(nil)
@@ -66,14 +108,27 @@ func NewFabricDriver(net *fabric.Network, ledgerName string) *FabricDriver {
 	if ledgerName == "" {
 		ledgerName = "default"
 	}
-	return &FabricDriver{net: net, ledgerName: ledgerName}
+	d := &FabricDriver{net: net, ledgerName: ledgerName}
+	d.cache.Store(newAttestationCache(defaultAttestCacheSize, defaultAttestCacheTTL, time.Now))
+	return d
+}
+
+// ConfigureAttestationCache replaces the attestation cache with one of the
+// given bounds: max entries and TTL. max <= 0 disables caching. Intended
+// for tuning and tests; the defaults suit production traffic. Safe while
+// serving — in-flight queries finish against the cache they started with.
+func (d *FabricDriver) ConfigureAttestationCache(max int, ttl time.Duration) {
+	d.cache.Store(newAttestationCache(max, ttl, time.Now))
 }
 
 // Platform implements Driver.
 func (d *FabricDriver) Platform() string { return "fabric" }
 
-// Query implements Driver. Peer queries and attestation collection check
-// ctx between peers, so an expired budget stops the remaining proof work.
+// Query implements Driver. Peer queries check ctx between peers, so an
+// expired budget stops the remaining proof work. Result collection runs
+// first (peers must agree before anything is attested); proof construction
+// is then served from the attestation cache when an identical query was
+// answered before, and otherwise built fresh with per-attestor concurrency.
 func (d *FabricDriver) Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse, error) {
 	if q.Ledger != "" && q.Ledger != d.ledgerName {
 		return nil, fmt.Errorf("relay: unknown ledger %q", q.Ledger)
@@ -81,6 +136,10 @@ func (d *FabricDriver) Query(ctx context.Context, q *wire.Query) (*wire.QueryRes
 	vp, err := endorsement.Parse(q.PolicyExpr)
 	if err != nil {
 		return nil, fmt.Errorf("relay: verification policy: %w", err)
+	}
+	policyDigest, err := proof.PinnedPolicyDigest(q)
+	if err != nil {
+		return nil, err
 	}
 	clientPub, err := requesterPublicKey(q.RequesterCertPEM)
 	if err != nil {
@@ -107,7 +166,16 @@ func (d *FabricDriver) Query(ctx context.Context, q *wire.Query) (*wire.QueryRes
 		},
 	}
 
-	resp := &wire.QueryResponse{RequestID: q.RequestID}
+	// Namespace-write tracking advances first, then the height for this
+	// query's cache entry is sampled, then the reads run: every write the
+	// fast-forwarded scan baseline skips predates the baseline, and every
+	// write after it lands at a height above this entry's — so a write
+	// racing this query makes the cached entry look stale, never fresh.
+	store := attestors[0].Blocks()
+	cache := d.cache.Load()
+	cache.advance(store)
+	height := store.Height()
+
 	var agreed []byte
 	for i, p := range attestors {
 		if err := ctx.Err(); err != nil {
@@ -123,22 +191,44 @@ func (d *FabricDriver) Query(ctx context.Context, q *wire.Query) (*wire.QueryRes
 		} else if !bytes.Equal(agreed, result) {
 			return nil, fmt.Errorf("%w: %s disagrees", ErrDivergentResults, p.Name())
 		}
-		att, err := proof.BuildAttestation(p.Identity(), d.net.ID(), queryDigest, result, q.Nonce, clientPub, inv.Timestamp)
-		if err != nil {
-			return nil, fmt.Errorf("relay: attestation from %s: %w", p.Name(), err)
+	}
+
+	key := attestCacheKey(queryDigest, policyDigest, cryptoutil.Digest(agreed), cryptoutil.Digest(q.RequesterCertPEM))
+	// Second advance after the reads: a write that committed while this
+	// query was reading invalidates entries before the lookup, keeping a
+	// served entry no staler than the proof a fresh build of these same
+	// reads would produce. Single-flight scanning makes this near-free.
+	cache.advance(store)
+	if raw := cache.get(key); raw != nil {
+		if resp, err := wire.UnmarshalQueryResponse(raw); err == nil {
+			d.notifyCache(true)
+			resp.RequestID = q.RequestID
+			return resp, nil
 		}
-		resp.Attestations = append(resp.Attestations, att)
 	}
-	encResult, err := proof.EncryptResult(clientPub, agreed)
+	d.notifyCache(false)
+
+	resp, err := proof.Build(proof.Spec{
+		NetworkID:    d.net.ID(),
+		QueryDigest:  queryDigest,
+		PolicyDigest: policyDigest,
+		Result:       agreed,
+		Nonce:        q.Nonce,
+		ClientPub:    clientPub,
+		Now:          time.Now(),
+	}, identitiesOf(attestors))
 	if err != nil {
-		return nil, fmt.Errorf("relay: encrypt result: %w", err)
+		return nil, err
 	}
-	resp.EncryptedResult = encResult
+	// Cached without a request ID: the proof is identical for every resend
+	// of this question, but each resend echoes its own envelope's ID.
+	cache.put(key, resp.Marshal(), q.Contract, height)
+	resp.RequestID = q.RequestID
 	return resp, nil
 }
 
-// selectPeers picks one peer per verification-policy organization present
-// in the network.
+// selectPeers picks one peer from each verification-policy organization
+// present in the network.
 func (d *FabricDriver) selectPeers(vp *endorsement.Policy) []*peer.Peer {
 	var out []*peer.Peer
 	for _, orgID := range vp.Orgs() {
@@ -151,13 +241,24 @@ func (d *FabricDriver) selectPeers(vp *endorsement.Policy) []*peer.Peer {
 	return out
 }
 
+func identitiesOf(peers []*peer.Peer) []*msp.Identity {
+	ids := make([]*msp.Identity, len(peers))
+	for i, p := range peers {
+		ids[i] = p.Identity()
+	}
+	return ids
+}
+
 // Invoke implements TxDriver: a cross-network transaction (§5 extension).
 // The invocation is endorsed across the target chaincode's endorsement
 // policy, ordered and committed like any local transaction — the invoked
 // chaincode's interop adaptation performs the ECC authorization, so a
 // foreign requester can only reach functions the exposure-control rules
 // permit. The committed response returns with the same attestation proof
-// queries carry.
+// queries carry — and that proof is built before ordering and persisted
+// inside the committed transaction (proof-carrying commits), so a replay
+// serves the original proof verbatim no matter how the peer set has
+// changed since.
 // ctx is checked before endorsement and before ordering; once the
 // transaction reaches the orderer it runs to completion — a commit cannot
 // be cancelled halfway.
@@ -168,13 +269,24 @@ func (d *FabricDriver) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryRe
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("relay: invoke aborted: %w", err)
 	}
-	// Fail fast on request defects before anything is committed; the same
-	// parses happen again when the response is attested.
-	if _, err := endorsement.Parse(q.PolicyExpr); err != nil {
+	// Fail fast on request defects before anything is committed.
+	vp, err := endorsement.Parse(q.PolicyExpr)
+	if err != nil {
 		return nil, fmt.Errorf("relay: verification policy: %w", err)
 	}
-	if _, err := requesterPublicKey(q.RequesterCertPEM); err != nil {
+	policyDigest, err := proof.PinnedPolicyDigest(q)
+	if err != nil {
 		return nil, err
+	}
+	clientPub, err := requesterPublicKey(q.RequesterCertPEM)
+	if err != nil {
+		return nil, err
+	}
+	attestors := d.selectPeers(vp)
+	if len(attestors) == 0 {
+		// No peer set can satisfy the verification policy: refuse before
+		// committing a transaction whose proof could never be built.
+		return nil, ErrNoAttestors
 	}
 	endorsePolicy := d.net.PolicyFor(q.Contract)
 	if endorsePolicy == nil {
@@ -232,6 +344,26 @@ func (d *FabricDriver) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryRe
 	if err != nil {
 		return nil, err
 	}
+	// Proof-carrying commit: the attestation proof over the endorsed
+	// response is built now — while the verification-policy peer set that
+	// satisfies it still exists — and persisted inside the transaction. If
+	// the commit is invalidated the proof dies with it; if it commits, the
+	// exact response served below can be replayed verbatim forever.
+	spec := proof.Spec{
+		NetworkID:    d.net.ID(),
+		QueryDigest:  proof.QueryDigestOf(q),
+		PolicyDigest: policyDigest,
+		Result:       tx.Response,
+		Nonce:        q.Nonce,
+		ClientPub:    clientPub,
+		Now:          time.Now(),
+	}
+	attestorIDs := identitiesOf(attestors)
+	resp, err := proof.Build(spec, attestorIDs)
+	if err != nil {
+		return nil, err
+	}
+	tx.ProofBundle = proof.Seal(spec, resp.Marshal(), attestorIDs).Marshal()
 	if err := d.net.Orderer().Submit(tx); err != nil {
 		return nil, fmt.Errorf("relay: order cross-network tx: %w", err)
 	}
@@ -260,8 +392,8 @@ func (d *FabricDriver) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryRe
 		return nil, fmt.Errorf("relay: cross-network tx invalidated: %s", tx.Validation)
 	}
 
-	// Attest the committed response for the requester's proof.
-	return d.attestResponse(q, tx.Response)
+	resp.RequestID = q.RequestID
+	return resp, nil
 }
 
 // InteropTxID derives the platform transaction ID for an interop invoke.
@@ -285,8 +417,11 @@ func InteropTxID(q *wire.Query) string {
 // of an interop request from the ledger itself, the cross-relay half of the
 // exactly-once guarantee. The relay's in-memory replay cache only remembers
 // invokes this process served; when a requester fails over to a redundant
-// relay, that relay finds the sibling's commit here and re-attests the
-// original response instead of executing the transaction a second time.
+// relay, that relay finds the sibling's commit here and serves the proof
+// bundle persisted with it — the original attestations, byte for byte, with
+// no re-signing. Only commits that predate proof-carrying (or duplicates
+// whose nonce or policy genuinely differs from the original request) fall
+// back to re-attesting under the current peer set.
 // found=false means no valid commit exists for the request (and is not an
 // error: the caller is then the legitimate first executor).
 func (d *FabricDriver) ReplayInvoke(ctx context.Context, q *wire.Query) (*wire.QueryResponse, bool, error) {
@@ -315,18 +450,51 @@ func (d *FabricDriver) ReplayInvoke(ctx context.Context, q *wire.Query) (*wire.Q
 	}
 	// The replayed proof binds the *incoming* query's digest to the
 	// *committed* response, so the two must describe the same invocation:
-	// re-attesting the old response under a new contract/function/argument
+	// serving the old response under a new contract/function/argument
 	// binding would mint a valid-looking proof for a question the ledger
 	// never answered. A requester that reuses an idempotency key for a
 	// different request gets an error, not silently stale data.
 	if err := matchesCommitted(tx, q); err != nil {
 		return nil, false, err
 	}
+	if resp := d.persistedProof(tx, q); resp != nil {
+		return resp, true, nil
+	}
+	// No usable persisted bundle: re-attest under the current peer set, the
+	// pre-proof-carrying behavior. A deterministic idempotent retry never
+	// lands here; a retry with a fresh nonce or changed policy does, and
+	// gets a proof bound to what it actually presented.
 	resp, err := d.attestResponse(q, tx.Response)
 	if err != nil {
 		return nil, false, err
 	}
 	return resp, true, nil
+}
+
+// persistedProof returns the transaction's persisted proof as a response
+// for q when the sealed bundle answers exactly the question q asks — same
+// query digest (contract, function, args, nonce) and same policy pin. Nil
+// when the transaction predates proof-carrying commits or the pins differ.
+func (d *FabricDriver) persistedProof(tx *ledger.Transaction, q *wire.Query) *wire.QueryResponse {
+	if len(tx.ProofBundle) == 0 {
+		return nil
+	}
+	sealed, err := proof.UnmarshalSealed(tx.ProofBundle)
+	if err != nil {
+		return nil
+	}
+	if !bytes.Equal(sealed.QueryDigest, proof.QueryDigestOf(q)) {
+		return nil
+	}
+	if pd, err := proof.PinnedPolicyDigest(q); err != nil || !bytes.Equal(sealed.PolicyDigest, pd) {
+		return nil
+	}
+	resp, err := sealed.OpenWire()
+	if err != nil {
+		return nil
+	}
+	resp.RequestID = q.RequestID
+	return resp
 }
 
 // matchesCommitted checks that an incoming duplicate describes the same
@@ -347,17 +515,19 @@ func matchesCommitted(tx *ledger.Transaction, q *wire.Query) error {
 	return nil
 }
 
-// attestResponse wraps a (committed or replayed) invoke result in the same
-// attestation proof a query response carries: one signed, encrypted
-// attestation per verification-policy organization, plus the result
-// encrypted to the requester. Replays re-attest rather than re-serve the
-// original ciphertext: the proof binds the requester's nonce, which a
-// deterministic idempotent retry presents again, so the fresh attestations
-// verify identically.
+// attestResponse wraps a committed invoke result in a freshly built
+// attestation proof — the fallback for replays of transactions that carry
+// no usable persisted bundle. The proof binds the nonce and policy the
+// incoming query presents, so it verifies for that requester even though it
+// is not the original artifact.
 func (d *FabricDriver) attestResponse(q *wire.Query, result []byte) (*wire.QueryResponse, error) {
 	vp, err := endorsement.Parse(q.PolicyExpr)
 	if err != nil {
 		return nil, fmt.Errorf("relay: verification policy: %w", err)
+	}
+	policyDigest, err := proof.PinnedPolicyDigest(q)
+	if err != nil {
+		return nil, err
 	}
 	clientPub, err := requesterPublicKey(q.RequesterCertPEM)
 	if err != nil {
@@ -367,26 +537,27 @@ func (d *FabricDriver) attestResponse(q *wire.Query, result []byte) (*wire.Query
 	if len(attestors) == 0 {
 		return nil, ErrNoAttestors
 	}
-	queryDigest := proof.QueryDigestOf(q)
-	resp := &wire.QueryResponse{RequestID: q.RequestID}
-	for _, p := range attestors {
-		att, err := proof.BuildAttestation(p.Identity(), d.net.ID(), queryDigest, result, q.Nonce, clientPub, time.Now())
-		if err != nil {
-			return nil, fmt.Errorf("relay: attestation from %s: %w", p.Name(), err)
-		}
-		resp.Attestations = append(resp.Attestations, att)
-	}
-	encResult, err := proof.EncryptResult(clientPub, result)
+	resp, err := proof.Build(proof.Spec{
+		NetworkID:    d.net.ID(),
+		QueryDigest:  proof.QueryDigestOf(q),
+		PolicyDigest: policyDigest,
+		Result:       result,
+		Nonce:        q.Nonce,
+		ClientPub:    clientPub,
+		Now:          time.Now(),
+	}, identitiesOf(attestors))
 	if err != nil {
-		return nil, fmt.Errorf("relay: encrypt result: %w", err)
+		return nil, err
 	}
-	resp.EncryptedResult = encResult
+	resp.RequestID = q.RequestID
 	return resp, nil
 }
 
 // SubscribeEvents implements EventSource over the network's committed
 // chaincode events. ctx bounds establishment only; an already-cancelled
-// context refuses the subscription.
+// context refuses the subscription. Each delivery carries the emitting
+// transaction's commit time, so cross-network subscribers can order events
+// from different sources.
 func (d *FabricDriver) SubscribeEvents(ctx context.Context, eventName string, deliver func(payload []byte, name string, unixNano uint64)) (func(), error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("relay: subscribe aborted: %w", err)
@@ -402,7 +573,7 @@ func (d *FabricDriver) SubscribeEvents(ctx context.Context, eventName string, de
 				if !ok {
 					return
 				}
-				deliver(ev.Payload, ev.Name, 0)
+				deliver(ev.Payload, ev.Name, ev.UnixNano)
 			case <-stop:
 				return
 			}

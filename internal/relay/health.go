@@ -158,7 +158,11 @@ func (h *healthTracker) snapshot() map[string]SharedHealth {
 			ObservedUnixNano: st.lastObserved.UnixNano(),
 		}
 		if st.openUntil.After(now) {
+			// Both cooldown encodings are stamped (absolute expiry and
+			// remaining-at-snapshot); readers take the laxer of the two, so
+			// no clock-sync assumption survives the trip (see SharedHealth).
 			rec.OpenUntilUnixNano = st.openUntil.UnixNano()
+			rec.CooldownRemainingNanos = int64(st.openUntil.Sub(now))
 		}
 		out[addr] = rec
 	}
@@ -168,9 +172,10 @@ func (h *healthTracker) snapshot() map[string]SharedHealth {
 // seed imports shared health records for addresses this tracker has no
 // local signal on. First-hand observations always win: an address the
 // tracker has already probed keeps its own state, so seeding can only fill
-// blanks, never overwrite what this relay learned itself. A seeded
-// OpenUntilUnixNano already in the past (or one that expires later) demotes
-// the address only for whatever cooldown genuinely remains.
+// blanks, never overwrite what this relay learned itself. A seeded cooldown
+// already expired (under the laxer of its two encodings — see
+// SharedHealth.CooldownExpiry) demotes the address only for whatever
+// cooldown genuinely remains.
 func (h *healthTracker) seed(records map[string]SharedHealth) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -183,7 +188,7 @@ func (h *healthTracker) seed(records map[string]SharedHealth) {
 			seededFailures: rec.ConsecFailures,
 			ewmaLatency:    float64(rec.EWMALatencyNanos),
 		}
-		if open := time.Unix(0, rec.OpenUntilUnixNano); rec.OpenUntilUnixNano != 0 && open.After(now) {
+		if open := rec.CooldownExpiry(now); !open.IsZero() {
 			st.openUntil = open
 		}
 		h.byAddr[addr] = st

@@ -30,12 +30,43 @@ type SharedHealth struct {
 	// EWMALatencyNanos is the observer's smoothed round-trip estimate.
 	EWMALatencyNanos int64 `json:"ewma_latency_nanos,omitempty"`
 	// OpenUntilUnixNano is the observer's circuit-breaker cooldown expiry
-	// for the address, zero when the breaker is closed. Absolute, so it
-	// carries the usual NTP-class skew caveat.
+	// for the address, zero when the breaker is closed. Absolute — kept for
+	// readers of the older encoding; see CooldownRemainingNanos.
 	OpenUntilUnixNano int64 `json:"open_until_unix_nano,omitempty"`
+	// CooldownRemainingNanos is the same cooldown encoded relative: how
+	// much demotion remained at the instant the record was published
+	// (TimeoutNanos-style), zero when the breaker is closed or the record
+	// was published by an older relay. Publishers stamp both fields;
+	// readers take the laxer interpretation — the *earlier* expiry — so
+	// under clock skew an address is never demoted longer than either
+	// encoding supports. (For deadlines lax means serving longer; for a
+	// demotion it means banishing a possibly-recovered relay *less*.) This
+	// removes the NTP-class skew assumption the absolute encoding carried.
+	CooldownRemainingNanos int64 `json:"cooldown_remaining_nanos,omitempty"`
 	// ObservedUnixNano stamps when the observation was taken; fresher
 	// records replace staler ones when several relays publish.
 	ObservedUnixNano int64 `json:"observed_unix_nano,omitempty"`
+}
+
+// CooldownExpiry resolves the record's circuit-breaker cooldown to an
+// expiry instant on the reader's clock now, taking the laxer (earlier)
+// interpretation when both encodings are present. The zero time means the
+// breaker is closed or every encoding has already expired.
+func (h SharedHealth) CooldownExpiry(now time.Time) time.Time {
+	var expiry time.Time
+	if h.OpenUntilUnixNano != 0 {
+		expiry = time.Unix(0, h.OpenUntilUnixNano)
+	}
+	if h.CooldownRemainingNanos > 0 {
+		rel := now.Add(time.Duration(h.CooldownRemainingNanos))
+		if expiry.IsZero() || rel.Before(expiry) {
+			expiry = rel
+		}
+	}
+	if expiry.IsZero() || !expiry.After(now) {
+		return time.Time{}
+	}
+	return expiry
 }
 
 // HealthPublisher is the registry extension for sharing health: a relay

@@ -90,6 +90,13 @@ type Stats struct {
 	// attempted).
 	InvokeReplays uint64
 
+	// AttestationCacheHits counts queries whose proof was served from the
+	// driver's content-addressed attestation cache — zero ECDSA signatures
+	// and zero ECIES encryptions performed. AttestationCacheMisses counts
+	// the queries that had to build a fresh proof.
+	AttestationCacheHits   uint64
+	AttestationCacheMisses uint64
+
 	// Client-side fan-out accounting (destination relay role).
 	FanoutAttempts uint64 // transport sends launched by client-side fan-out (queries, invokes, subscribes)
 	HedgedWins     uint64 // requests won by a hedge attempt rather than the first address
@@ -116,6 +123,16 @@ func (r *Relay) countEvent() { r.statsMu.Lock(); r.stats.EventsDelivered++; r.st
 func (r *Relay) countInvokeReplay() {
 	r.statsMu.Lock()
 	r.stats.InvokeReplays++
+	r.statsMu.Unlock()
+}
+func (r *Relay) countAttestationCacheHit() {
+	r.statsMu.Lock()
+	r.stats.AttestationCacheHits++
+	r.statsMu.Unlock()
+}
+func (r *Relay) countAttestationCacheMiss() {
+	r.statsMu.Lock()
+	r.stats.AttestationCacheMisses++
 	r.statsMu.Unlock()
 }
 func (r *Relay) countFanoutAttempt() {

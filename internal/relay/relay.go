@@ -239,17 +239,30 @@ func New(localNetworkID string, discovery Discovery, transport Transport, opts .
 // LocalNetwork returns the network this relay serves.
 func (r *Relay) LocalNetwork() string { return r.localNetwork }
 
+// AttestationCacheNotifier is implemented by drivers that front proof
+// construction with an attestation cache and can report hit/miss outcomes
+// through callbacks; RegisterDriver wires them to the relay's Stats so
+// cache effectiveness is observable next to the traffic it saves.
+type AttestationCacheNotifier interface {
+	OnAttestationCache(hit, miss func())
+}
+
 // RegisterDriver attaches a driver for a local network ID. A relay usually
 // serves one network but may front several co-located ones. A driver that
 // serves ledger replays internally (LedgerReplayNotifier — e.g. after
 // losing a commit race) is wired to this relay's stats so those replays
-// are counted alongside the relay's own pre-execution replays.
+// are counted alongside the relay's own pre-execution replays; likewise a
+// driver with an attestation cache (AttestationCacheNotifier) reports its
+// hit/miss counts here.
 func (r *Relay) RegisterDriver(networkID string, d Driver) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.drivers[networkID] = d
 	if n, ok := d.(LedgerReplayNotifier); ok {
 		n.OnLedgerReplay(r.countInvokeReplay)
+	}
+	if n, ok := d.(AttestationCacheNotifier); ok {
+		n.OnAttestationCache(r.countAttestationCacheHit, r.countAttestationCacheMiss)
 	}
 }
 

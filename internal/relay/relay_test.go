@@ -218,7 +218,7 @@ func TestCrossNetworkQueryEndToEnd(t *testing.T) {
 		t.Fatalf("NewVerifier: %v", err)
 	}
 	vp := endorsement.MustParse(q.PolicyExpr)
-	if err := proof.Verify(bundle, verifier, vp, proof.QueryDigestOf(q)); err != nil {
+	if err := proof.Verify(bundle, verifier, vp, proof.QueryDigestOf(q), nil); err != nil {
 		t.Fatalf("Verify: %v", err)
 	}
 }

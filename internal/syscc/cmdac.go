@@ -228,7 +228,10 @@ func (c *CMDAC) validateProof(stub chaincode.Stub) ([]byte, error) {
 	}
 
 	expectedDigest := proof.QueryDigest(sourceNetwork, ledgerName, contract, function, queryArgs, bundle.Nonce)
-	if err := proof.Verify(bundle, verifier, compiled, expectedDigest); err != nil {
+	// The pin check binds the bundle to the policy recorded *here*: a proof
+	// built under some other policy expression is refused even when its
+	// attestor set would incidentally satisfy the recorded one.
+	if err := proof.Verify(bundle, verifier, compiled, expectedDigest, proof.PolicyDigest(vp.Expr)); err != nil {
 		return nil, err
 	}
 

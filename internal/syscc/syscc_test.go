@@ -319,7 +319,7 @@ func buildBundleFor(t *testing.T, result []byte, nonce []byte, attestors ...*msp
 	}
 	resp := &wire.QueryResponse{EncryptedResult: encResult}
 	for _, at := range attestors {
-		att, err := proof.BuildAttestation(at, "tradelens", qd, result, nonce, &clientKey.PublicKey, time.Now())
+		att, err := proof.BuildAttestationPinned(at, "tradelens", qd, nil, result, nonce, &clientKey.PublicKey, time.Now())
 		if err != nil {
 			t.Fatalf("BuildAttestation: %v", err)
 		}

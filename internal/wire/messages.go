@@ -148,6 +148,14 @@ type Query struct {
 	RequesterCertPEM  []byte // client certificate for auth + result encryption
 	RequesterOrg      string
 	Nonce             []byte // replay protection, echoed in signed metadata
+	// PolicyDigest pins the verification policy at request time: the digest
+	// of the exact policy expression the requester resolved (see
+	// proof.PolicyDigest). The source relay refuses a query whose expression
+	// does not match its pin, the proof it builds carries the pin, and the
+	// requester refuses a response built under any other pin — so requester
+	// and responder agree on exactly which policy the proof must satisfy.
+	// Empty on requests from older clients (no pinning).
+	PolicyDigest []byte
 }
 
 // InteropKey derives the ledger-level exactly-once identity of this
@@ -182,6 +190,7 @@ func (m *Query) Marshal() []byte {
 	e.BytesField(9, m.RequesterCertPEM)
 	e.String(10, m.RequesterOrg)
 	e.BytesField(11, m.Nonce)
+	e.BytesField(12, m.PolicyDigest)
 	return e.Bytes()
 }
 
@@ -222,6 +231,8 @@ func UnmarshalQuery(buf []byte) (*Query, error) {
 			m.RequesterOrg, err = d.String()
 		case 11:
 			m.Nonce, err = d.BytesCopy()
+		case 12:
+			m.PolicyDigest, err = d.BytesCopy()
 		default:
 			err = d.Skip()
 		}
@@ -298,6 +309,12 @@ type Metadata struct {
 	ResultDigest []byte
 	Nonce        []byte
 	UnixNano     uint64
+	// PolicyDigest is the verification-policy pin the attestor was selected
+	// under (proof.PolicyDigest of the query's policy expression). Being
+	// inside the signed metadata, the pin itself is attested: a relay cannot
+	// re-label a proof as satisfying a different policy. Empty for
+	// attestations built without pinning.
+	PolicyDigest []byte
 }
 
 // Marshal encodes the metadata.
@@ -310,6 +327,7 @@ func (m *Metadata) Marshal() []byte {
 	e.BytesField(5, m.ResultDigest)
 	e.BytesField(6, m.Nonce)
 	e.Uint(7, m.UnixNano)
+	e.BytesField(8, m.PolicyDigest)
 	return e.Bytes()
 }
 
@@ -340,6 +358,8 @@ func UnmarshalMetadata(buf []byte) (*Metadata, error) {
 			m.Nonce, err = d.BytesCopy()
 		case 7:
 			m.UnixNano, err = d.Uint()
+		case 8:
+			m.PolicyDigest, err = d.BytesCopy()
 		default:
 			err = d.Skip()
 		}
@@ -356,6 +376,10 @@ type QueryResponse struct {
 	EncryptedResult []byte
 	Attestations    []Attestation
 	Error           string
+	// PolicyDigest echoes the verification-policy pin the proof was built
+	// under. The requester refuses a response whose pin differs from the one
+	// it stamped on the query. Empty on responses from older relays.
+	PolicyDigest []byte
 }
 
 // Marshal encodes the response.
@@ -367,6 +391,7 @@ func (m *QueryResponse) Marshal() []byte {
 		e.Message(3, m.Attestations[i].Marshal())
 	}
 	e.String(4, m.Error)
+	e.BytesField(5, m.PolicyDigest)
 	return e.Bytes()
 }
 
@@ -399,6 +424,8 @@ func UnmarshalQueryResponse(buf []byte) (*QueryResponse, error) {
 			}
 		case 4:
 			m.Error, err = d.String()
+		case 5:
+			m.PolicyDigest, err = d.BytesCopy()
 		default:
 			err = d.Skip()
 		}

@@ -20,6 +20,7 @@ func sampleQuery() *Query {
 		RequesterCertPEM:  []byte("-----BEGIN CERTIFICATE-----..."),
 		RequesterOrg:      "seller-bank-org",
 		Nonce:             []byte{1, 2, 3, 4},
+		PolicyDigest:      []byte{0xEE, 0xFF, 0x01, 0x02},
 	}
 }
 
@@ -39,6 +40,9 @@ func TestQueryRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(got.Nonce, q.Nonce) {
 		t.Fatal("nonce mismatch")
+	}
+	if !bytes.Equal(got.PolicyDigest, q.PolicyDigest) {
+		t.Fatal("policy digest mismatch")
 	}
 }
 
@@ -125,6 +129,7 @@ func TestMetadataRoundTrip(t *testing.T) {
 		ResultDigest: bytes.Repeat([]byte{0xBB}, 32),
 		Nonce:        []byte{4, 5, 6},
 		UnixNano:     1700000000123456789,
+		PolicyDigest: bytes.Repeat([]byte{0xCC}, 32),
 	}
 	got, err := UnmarshalMetadata(m.Marshal())
 	if err != nil {
@@ -143,6 +148,7 @@ func TestQueryResponseRoundTrip(t *testing.T) {
 			{PeerName: "p0", OrgID: "o0", Signature: []byte{1}},
 			{PeerName: "p1", OrgID: "o1", Signature: []byte{2}},
 		},
+		PolicyDigest: bytes.Repeat([]byte{0xDD}, 32),
 	}
 	got, err := UnmarshalQueryResponse(r.Marshal())
 	if err != nil {
@@ -153,6 +159,9 @@ func TestQueryResponseRoundTrip(t *testing.T) {
 	}
 	if got.Attestations[1].PeerName != "p1" {
 		t.Fatalf("attestation order lost: %+v", got.Attestations)
+	}
+	if !bytes.Equal(got.PolicyDigest, r.PolicyDigest) {
+		t.Fatalf("policy digest lost: %x", got.PolicyDigest)
 	}
 }
 
