@@ -41,6 +41,8 @@ func run() error {
 	ping := flag.Bool("ping", false, "only probe the source relay for liveness")
 	timeout := flag.Duration("timeout", 30*time.Second, "deadline for the whole operation; propagated to the source relay")
 	hedge := flag.Duration("hedge", 0, "hedge delay before trying the next relay address (0 disables hedging)")
+	format := flag.String("registry", "auto",
+		"registry storage to read: 'auto' (journal when its artifacts exist, flat otherwise), 'journal', or 'flat'")
 	flag.Parse()
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
@@ -50,7 +52,17 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	registry := relay.NewFileRegistry(deploy.RegistryPath(*dir))
+	var registry relay.Registry
+	switch *format {
+	case "auto":
+		registry = relay.DetectRegistry(deploy.JournalPath(*dir), deploy.RegistryPath(*dir))
+	case "journal":
+		registry = relay.NewJournalRegistry(deploy.JournalPath(*dir))
+	case "flat":
+		registry = relay.NewFileRegistry(deploy.RegistryPath(*dir))
+	default:
+		return fmt.Errorf("unknown -registry format %q (expected 'auto', 'journal' or 'flat')", *format)
+	}
 	transport := &relay.TCPTransport{DialTimeout: 5 * time.Second, IOTimeout: 30 * time.Second}
 	var relayOpts []relay.Option
 	if *hedge > 0 {

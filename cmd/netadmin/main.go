@@ -7,10 +7,18 @@
 //
 // Usage:
 //
-//	netadmin -dir ./deploy                 # status (default)
-//	netadmin -dir ./deploy registry list   # every entry with its lease state
-//	netadmin -dir ./deploy registry prune  # drop entries whose lease lapsed
-//	netadmin proofs show bundle.bin        # dump a persisted proof bundle
+//	netadmin -dir ./deploy                  # status (default)
+//	netadmin -dir ./deploy registry list    # every entry with its lease state
+//	netadmin -dir ./deploy registry prune   # drop entries whose lease lapsed
+//	netadmin -dir ./deploy registry compact # roll the journal into a fresh snapshot
+//	netadmin proofs show bundle.bin         # dump a persisted proof bundle
+//
+// The registry subcommands auto-detect the storage format: the append-only
+// journal (registry.jsonl + generation/pointer files) when its artifacts
+// exist, the legacy flat registry.json otherwise. `registry compact`
+// always operates on the journal — run against a flat-file-only deployment
+// it performs the migration, folding registry.json in as the journal's
+// base and writing the first compacted generation.
 //
 // proofs show decodes a proof artifact file in either persisted form: the
 // sealed bundle a committed interop transaction carries
@@ -44,9 +52,14 @@ func main() {
 func run() error {
 	dir := flag.String("dir", "./deploy", "deployment directory to inspect")
 	probeTimeout := flag.Duration("probe-timeout", 3*time.Second, "per-address liveness probe deadline")
+	format := flag.String("registry", "auto",
+		"registry storage to read: 'auto' (journal when its artifacts exist, flat otherwise), 'journal', or 'flat'")
 	flag.Parse()
 
-	registry := relay.NewFileRegistry(deploy.RegistryPath(*dir))
+	registry, err := openRegistry(*dir, *format)
+	if err != nil {
+		return err
+	}
 	switch args := flag.Args(); {
 	case len(args) == 0 || (len(args) == 1 && args[0] == "status"):
 		return status(*dir, registry, *probeTimeout)
@@ -54,16 +67,18 @@ func run() error {
 		return registryList(*dir, registry)
 	case len(args) == 2 && args[0] == "registry" && args[1] == "prune":
 		return registryPrune(registry)
+	case len(args) == 2 && args[0] == "registry" && args[1] == "compact":
+		return registryCompact(*dir)
 	case len(args) == 3 && args[0] == "proofs" && args[1] == "show":
 		return proofsShow(args[2])
 	default:
-		return fmt.Errorf("unknown command %q (expected: status, registry list, registry prune, proofs show <file>)", args)
+		return fmt.Errorf("unknown command %q (expected: status, registry list, registry prune, registry compact, proofs show <file>)", args)
 	}
 }
 
 // status is the default inspection: resolve and probe every live relay
 // address, then summarize the client kit.
-func status(dir string, registry *relay.FileRegistry, probeTimeout time.Duration) error {
+func status(dir string, registry relay.Registry, probeTimeout time.Duration) error {
 	networks, err := registry.Networks()
 	if err != nil {
 		return err
@@ -73,7 +88,7 @@ func status(dir string, registry *relay.FileRegistry, probeTimeout time.Duration
 	transport := &relay.TCPTransport{DialTimeout: 2 * time.Second, IOTimeout: 5 * time.Second}
 	probe := relay.New("netadmin", registry, transport)
 
-	fmt.Printf("registry: %s\n", deploy.RegistryPath(dir))
+	fmt.Printf("registry: %s\n", registryLabel(dir, registry))
 	if len(networks) == 0 {
 		fmt.Println("  (no networks registered)")
 	}
@@ -119,12 +134,12 @@ func status(dir string, registry *relay.FileRegistry, probeTimeout time.Duration
 }
 
 // registryList prints every entry, expired or not, with its lease state.
-func registryList(dir string, registry *relay.FileRegistry) error {
+func registryList(dir string, registry relay.Registry) error {
 	entries, err := registry.Entries()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("registry: %s\n", deploy.RegistryPath(dir))
+	fmt.Printf("registry: %s\n", registryLabel(dir, registry))
 	if len(entries) == 0 {
 		fmt.Println("  (no networks registered)")
 		return nil
@@ -235,8 +250,58 @@ func showBundle(b *proof.Bundle) error {
 	return nil
 }
 
+// openRegistry opens the deployment's registry in the requested storage
+// format; 'auto' detects the journal by its artifacts. The explicit forms
+// exist so stale artifacts of the other format can never shadow the store
+// a relayd was actually told to use.
+func openRegistry(dir, format string) (relay.Registry, error) {
+	switch format {
+	case "auto":
+		return relay.DetectRegistry(deploy.JournalPath(dir), deploy.RegistryPath(dir)), nil
+	case "journal":
+		return relay.NewJournalRegistry(deploy.JournalPath(dir)), nil
+	case "flat":
+		return relay.NewFileRegistry(deploy.RegistryPath(dir)), nil
+	default:
+		return nil, fmt.Errorf("unknown -registry format %q (expected 'auto', 'journal' or 'flat')", format)
+	}
+}
+
+// registryLabel names the registry backing a Registry for display.
+func registryLabel(dir string, registry relay.Registry) string {
+	if _, ok := registry.(*relay.JournalRegistry); ok {
+		return deploy.JournalPath(dir) + " (journal)"
+	}
+	return deploy.RegistryPath(dir)
+}
+
+// registryCompact rolls the registry journal into a fresh generation
+// snapshot. Against a deployment that only has a flat registry.json this is
+// the migration: the flat file becomes the journal's base and the first
+// compacted generation is written next to it.
+func registryCompact(dir string) error {
+	journal := relay.NewJournalRegistry(deploy.JournalPath(dir))
+	migrating := !relay.JournalPresent(deploy.JournalPath(dir))
+	if err := journal.Compact(); err != nil {
+		return err
+	}
+	if migrating {
+		fmt.Printf("migrated %s into journal %s\n", deploy.RegistryPath(dir), deploy.JournalPath(dir))
+	}
+	entries, err := journal.Entries()
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, list := range entries {
+		total += len(list)
+	}
+	fmt.Printf("compacted journal to %d entr%s across %d network(s)\n", total, pluralYIes(total), len(entries))
+	return nil
+}
+
 // registryPrune drops entries whose lease has lapsed.
-func registryPrune(registry *relay.FileRegistry) error {
+func registryPrune(registry relay.Registry) error {
 	pruned, err := registry.Prune()
 	if err != nil {
 		return err

@@ -8,9 +8,13 @@
 // the same deployment directory refreshes the single registry entry rather
 // than accumulating duplicates.
 //
-// Several relayd processes may share one deployment directory: registry
-// mutations are flock-serialized, and each heartbeat publishes the relay's
-// health observations, which a starting relayd seeds its tracker from.
+// Several relayd processes may share one deployment directory: discovery
+// membership lives in an append-only lease journal (registry.jsonl) where
+// every heartbeat is one O(1) appended record, compacted in the background
+// (-registry flat falls back to the flock-serialized flat file; a legacy
+// registry.json is folded in as the journal's base). Each heartbeat also
+// publishes the relay's health observations, which a starting relayd seeds
+// its tracker from.
 // Note that each process boots its own in-memory demo network and writes
 // its own client kit, so in this simulation the processes genuinely share
 // discovery state, not a ledger — run interopctl against the relay whose
@@ -62,12 +66,41 @@ func run() error {
 	seed := flag.Bool("seed", true, "seed the demo shipment and bill of lading")
 	leaseTTL := flag.Duration("lease-ttl", time.Minute,
 		"discovery lease TTL; the relay re-announces at a third of this and deregisters on shutdown (0 = permanent entry)")
+	registryFormat := flag.String("registry", "journal",
+		"registry storage: 'journal' (append-only lease journal, O(1) heartbeats, background compaction; reads a legacy registry.json as its base) or 'flat' (flock-serialized registry.json)")
+	compactInterval := flag.Duration("compact-interval", 30*time.Second,
+		"how often the journal registry checks whether its log has outgrown the compaction threshold (journal format only; 0 disables background compaction)")
 	flag.Parse()
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
 		return fmt.Errorf("create deployment dir: %w", err)
 	}
-	registry := relay.NewFileRegistry(deploy.RegistryPath(*dir))
+	var registry relay.Registry
+	switch *registryFormat {
+	case "journal":
+		journal := relay.NewJournalRegistry(deploy.JournalPath(*dir))
+		if !relay.FlockSupported {
+			// Without a real flock, compaction cannot exclude appends from
+			// *other* processes; the documented constraint on such
+			// platforms is one relayd per deploy dir, under which this
+			// process's own serialization suffices.
+			log.Printf("warning: no cross-process file locking on this platform; run a single relayd per deployment directory")
+		}
+		if *compactInterval > 0 {
+			// The background compactor keeps the journal bounded under
+			// heartbeat churn; the log stays correct (just longer) between
+			// runs, so failures only warn and retry at the next tick.
+			stopCompactor := journal.StartCompactor(*compactInterval, func(err error) {
+				log.Printf("journal compaction failed (retried next tick): %v", err)
+			})
+			defer stopCompactor()
+		}
+		registry = journal
+	case "flat":
+		registry = relay.NewFileRegistry(deploy.RegistryPath(*dir))
+	default:
+		return fmt.Errorf("unknown -registry format %q (expected 'journal' or 'flat')", *registryFormat)
+	}
 	transport := &relay.TCPTransport{DialTimeout: 5 * time.Second, IOTimeout: 30 * time.Second}
 
 	// Boot the source network with its relay.
@@ -167,8 +200,9 @@ func run() error {
 	// without cleaning up, the lease lapses and discovery stops handing the
 	// dead address out. Each heartbeat also publishes this relay's health
 	// observations into the registry (shared with any other relayd using
-	// the same deploy dir; the file registry serializes the concurrent
-	// writers with a flock).
+	// the same deploy dir; with the journal every renewal and health
+	// publish is one appended record, so a fleet of heartbeating relayds
+	// contends on a short append apiece rather than whole-file rewrites).
 	stopAnnounce, err := relay.AnnounceWithHealth(registry, tradelens.NetworkID, server.Addr(), *leaseTTL, stl.Relay.HealthSnapshot, func(err error) {
 		log.Printf("lease renewal failed (lease lapses if this persists): %v", err)
 	})

@@ -27,7 +27,8 @@
 // daemon announces its address under a TTL, renews it on a heartbeat
 // (relay.Announce), and deregisters on shutdown; registration deduplicates
 // by address, lapsed leases stop resolving, and `netadmin registry
-// list`/`registry prune` inspect and clean the registry file.
+// list`/`registry prune`/`registry compact` inspect and maintain the
+// registry.
 //
 // Redundant relay deployments get exactly-once cross-network invokes
 // anchored at the ledger rather than in any one relay's memory: the
@@ -37,10 +38,21 @@
 // the same TxID or interop key ledger.Duplicate and skips its writes, and
 // a relay whose in-memory replay cache misses recovers the committed
 // response from the ledger (relay.InvokeReplayer; BlockStore.
-// TxByInteropKey) instead of re-executing. The shared
-// registry file is safe for multiple relayd processes on one deployment
-// directory — mutations hold an exclusive flock across the whole
-// read-modify-write cycle — and lease heartbeats piggyback each relay's
+// TxByInteropKey) instead of re-executing. The shared registry is safe for
+// multiple relayd processes on one deployment directory, in either storage
+// format: the default append-only lease journal (relay.JournalRegistry,
+// registry.jsonl) turns every announce, renewal and health publish into
+// one O(1) record appended under a flock held only for the append, with
+// readers tailing into a materialized view (last record wins, lapsed
+// leases filtered at read time; lease records carry absolute expiry plus
+// relative TTL and readers take the earlier interpretation, so skew never
+// stretches a dead relay's lease) and a background compactor rolling the
+// log into generation snapshots behind an atomic pointer flip — torn
+// appends are skipped, never fatal, and the next append self-heals the
+// tail. The legacy flat file (relay.FileRegistry, registry.json) holds the
+// flock across its whole read-modify-write cycle instead and doubles as
+// the journal's generation-0 base, which is the in-place migration path.
+// Lease heartbeats piggyback each relay's
 // per-address health observations (relay.SharedHealth) so a restarting
 // relay can seed its health tracker from fleet knowledge
 // (relay.SeedHealthFromRegistry) instead of rediscovering dead peers.

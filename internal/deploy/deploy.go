@@ -20,7 +20,12 @@ import (
 
 // Well-known file names inside a deployment directory.
 const (
-	RegistryFile  = "registry.json"
+	RegistryFile = "registry.json"
+	// JournalFile roots the append-only registry journal (plus its
+	// generation, pointer, and lock sidecars); a RegistryFile next to it is
+	// read as the journal's generation-0 base, which is the in-place
+	// migration path from the flat-file registry.
+	JournalFile   = "registry.jsonl"
 	ClientKitFile = "client-kit.json"
 )
 
@@ -96,7 +101,13 @@ func LoadKit(dir string) (*ClientKit, error) {
 	return &kit, nil
 }
 
-// RegistryPath returns the registry file path inside a deployment dir.
+// RegistryPath returns the flat registry file path inside a deployment dir.
 func RegistryPath(dir string) string {
 	return filepath.Join(dir, RegistryFile)
+}
+
+// JournalPath returns the registry journal root path inside a deployment
+// dir.
+func JournalPath(dir string) string {
+	return filepath.Join(dir, JournalFile)
 }

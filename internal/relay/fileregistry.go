@@ -41,6 +41,7 @@ type FileRegistry struct {
 }
 
 var (
+	_ Registry        = (*FileRegistry)(nil)
 	_ LeaseRegistrar  = (*FileRegistry)(nil)
 	_ HealthPublisher = (*FileRegistry)(nil)
 	_ HealthSource    = (*FileRegistry)(nil)
@@ -111,14 +112,20 @@ func (r *FileRegistry) update(fn func(entries map[string][]leaseEntry) (changed 
 // by rename on every store — a lock on the old inode would not exclude a
 // writer that opened the new one.
 func (r *FileRegistry) flock() (func(), error) {
-	lockPath := r.path + ".lock"
+	return acquireFlock(r.path+".lock", r.path)
+}
+
+// acquireFlock takes a blocking exclusive flock on the sidecar lock file,
+// returning its release; target only labels errors. Shared by the flat-file
+// and journal registries.
+func acquireFlock(lockPath, target string) (func(), error) {
 	f, err := os.OpenFile(lockPath, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("relay: open registry lock %s: %w", lockPath, err)
 	}
 	if err := lockFile(f); err != nil {
 		f.Close()
-		return nil, fmt.Errorf("relay: lock registry %s: %w", r.path, err)
+		return nil, fmt.Errorf("relay: lock registry %s: %w", target, err)
 	}
 	return func() {
 		_ = unlockFile(f)
@@ -257,6 +264,12 @@ func (r *FileRegistry) Entries() (map[string][]RegistryEntry, error) {
 	if err != nil {
 		return nil, err
 	}
+	return exportEntries(entries), nil
+}
+
+// exportEntries converts the decoded lease lists into the exported
+// inspection form, shared by the flat-file and journal registries.
+func exportEntries(entries map[string][]leaseEntry) map[string][]RegistryEntry {
 	out := make(map[string][]RegistryEntry, len(entries))
 	for id, list := range entries {
 		exported := make([]RegistryEntry, len(list))
@@ -272,21 +285,33 @@ func (r *FileRegistry) Entries() (map[string][]RegistryEntry, error) {
 		}
 		out[id] = exported
 	}
-	return out, nil
+	return out
 }
 
 func (r *FileRegistry) loadLocked() (map[string][]leaseEntry, error) {
-	data, err := os.ReadFile(r.path)
+	entries, err := loadRegistryFile(r.path)
 	if os.IsNotExist(err) {
 		return map[string][]leaseEntry{}, nil
 	}
+	return entries, err
+}
+
+// loadRegistryFile decodes a flat registry.json into lease lists. Unlike
+// FileRegistry.loadLocked it surfaces a missing file as os.IsNotExist so
+// the journal's legacy-base probe can distinguish "no flat file" from a
+// real error.
+func loadRegistryFile(path string) (map[string][]leaseEntry, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("relay: read registry %s: %w", r.path, err)
+		if os.IsNotExist(err) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("relay: read registry %s: %w", path, err)
 	}
 	raw := make(map[string][]json.RawMessage)
 	if len(data) > 0 {
 		if err := json.Unmarshal(data, &raw); err != nil {
-			return nil, fmt.Errorf("relay: parse registry %s: %w", r.path, err)
+			return nil, fmt.Errorf("relay: parse registry %s: %w", path, err)
 		}
 	}
 	entries := make(map[string][]leaseEntry, len(raw))
@@ -295,7 +320,7 @@ func (r *FileRegistry) loadLocked() (map[string][]leaseEntry, error) {
 		for _, item := range list {
 			entry, err := decodeRegistryEntry(item)
 			if err != nil {
-				return nil, fmt.Errorf("relay: parse registry %s, network %q: %w", r.path, id, err)
+				return nil, fmt.Errorf("relay: parse registry %s, network %q: %w", path, id, err)
 			}
 			decoded, _ = upsertLease(decoded, entry.addr, entry.expires)
 			if entry.health != nil {

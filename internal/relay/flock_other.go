@@ -11,3 +11,7 @@ import "os"
 // one relayd per deploy dir on such platforms.
 func lockFile(*os.File) error   { return nil }
 func unlockFile(*os.File) error { return nil }
+
+// FlockSupported reports whether this platform provides real cross-process
+// advisory locking for the registry files.
+const FlockSupported = false

@@ -20,3 +20,7 @@ func lockFile(f *os.File) error {
 func unlockFile(f *os.File) error {
 	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
 }
+
+// FlockSupported reports whether this platform provides real cross-process
+// advisory locking for the registry files.
+const FlockSupported = true

@@ -1,0 +1,795 @@
+package relay
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// JournalRegistry is a Discovery backed by an append-only lease journal —
+// the scaling successor to FileRegistry's flat file. Where FileRegistry
+// serializes every mutation through an exclusive flock held across a whole
+// load-modify-store cycle (read the file, decode, mutate, rewrite,
+// rename), the journal turns each RegisterLease / Deregister /
+// PublishHealth into one O(1) record appended to the log under a lock held
+// only for the append itself. N relayd processes heartbeating through one
+// registry therefore contend on a single short write apiece instead of N
+// full-file rewrites, which is what lets discovery keep up with the
+// redundant-relay fleet it fronts (the same write-ahead idea Fabric uses
+// for its block journal).
+//
+// Layout on disk, for a registry rooted at <path> (e.g. registry.jsonl):
+//
+//	<path>          generation-0 journal (records appended since genesis)
+//	<path>.<g>      generation-g journal, g >= 1 (post-compaction)
+//	<path>.gen      pointer file naming the current generation (atomic
+//	                temp+rename), absent until the first compaction
+//	<path>.lock     sidecar flock serializing appends and compactions
+//	                across processes
+//	<dir>/registry.json  optional legacy flat file, folded in as the
+//	                generation-0 base snapshot (migration path)
+//
+// Each journal line is one self-contained JSON record: a lease grant or
+// renewal (absolute expiry plus relative TTL — see leaseExpiry for how
+// readers reconcile the two), a deregistration, or a shared-health
+// observation. Readers keep an in-memory materialized view and tail the
+// journal from their last byte offset on every read; last record wins per
+// (network, address), lapsed leases are filtered at Resolve time. A torn
+// final line (a writer or the machine died mid-append) is skipped, never
+// fatal, and the next appender self-heals the tail by terminating the
+// partial line before writing its own record.
+//
+// Compaction bounds the file under heartbeat churn: Compact materializes
+// the current generation, writes the view as a snapshot into the next
+// generation file, atomically flips the pointer, and deletes the old
+// generations. Readers that observe the pointer move re-materialize from
+// the snapshot; because the pointer only flips after the snapshot is fully
+// written (and writers are excluded by the flock throughout), a reader
+// tailing mid-compaction sees either the complete old generation or the
+// complete new one — never a partial view. relayd runs Compact on a
+// background ticker (StartCompactor); netadmin exposes it as `registry
+// compact`, which doubles as the explicit flat-file-to-journal migration.
+//
+// Cross-process caveat: on platforms without flock support (see
+// flock_other.go) appends from separate processes are still each a single
+// O_APPEND write, but compaction cannot safely exclude them — run the
+// compactor from one process only there.
+type JournalRegistry struct {
+	path         string
+	legacyPath   string
+	compactBytes int64
+	now          func() time.Time // overridable in tests
+
+	mu   sync.Mutex // guards view, skipped, and same-process append ordering
+	view journalView
+	// skipped counts complete-but-undecodable journal lines tolerated while
+	// tailing — the visible trace of a torn append that a later writer
+	// healed over.
+	skipped int
+}
+
+var (
+	_ Registry        = (*JournalRegistry)(nil)
+	_ LeaseRegistrar  = (*JournalRegistry)(nil)
+	_ HealthPublisher = (*JournalRegistry)(nil)
+	_ HealthSource    = (*JournalRegistry)(nil)
+)
+
+// journalView is the in-memory materialization of the journal: the decoded
+// registry as of byte offset within generation gen.
+type journalView struct {
+	valid   bool
+	gen     uint64
+	offset  int64
+	entries map[string][]leaseEntry
+	health  map[string]SharedHealth
+}
+
+// journalRecord is one line of the journal. Keys are kept short because a
+// heartbeating fleet writes one of these per renewal.
+type journalRecord struct {
+	// Op is the record kind: "lease" (grant or renewal), "dereg", "health".
+	Op   string `json:"op"`
+	Net  string `json:"net,omitempty"`
+	Addr string `json:"addr,omitempty"`
+	// Exp is the absolute lease expiry (writer's clock, ns since epoch);
+	// zero with a zero TTL means a permanent entry.
+	Exp int64 `json:"exp,omitempty"`
+	// TTL is the lease duration at write time (ns, relative — the
+	// TimeoutNanos-style second encoding; readers take the earlier of the
+	// two interpretations, see leaseExpiry).
+	TTL int64 `json:"ttl,omitempty"`
+	// TS stamps the writer's clock at append, for forensics.
+	TS     int64         `json:"ts,omitempty"`
+	Health *SharedHealth `json:"health,omitempty"`
+}
+
+const (
+	opLease  = "lease"
+	opDereg  = "dereg"
+	opHealth = "health"
+)
+
+// defaultCompactBytes is the journal size past which CompactIfOversized
+// (and so the background compactor) rolls the generation.
+const defaultCompactBytes = 1 << 20
+
+// JournalOption configures a JournalRegistry.
+type JournalOption func(*JournalRegistry)
+
+// WithCompactBytes sets the journal size threshold CompactIfOversized
+// compacts past (default 1 MiB).
+func WithCompactBytes(n int64) JournalOption {
+	return func(r *JournalRegistry) { r.compactBytes = n }
+}
+
+// NewJournalRegistry returns a journal-backed registry rooted at path
+// (conventionally <deploy-dir>/registry.jsonl). A legacy flat registry.json
+// next to it is understood as the generation-0 base snapshot, so pointing
+// the journal at an existing FileRegistry deployment migrates it in place.
+func NewJournalRegistry(path string, opts ...JournalOption) *JournalRegistry {
+	legacy := strings.TrimSuffix(path, filepath.Ext(path)) + ".json"
+	if legacy == path {
+		legacy = path + ".legacy.json"
+	}
+	r := &JournalRegistry{
+		path:         path,
+		legacyPath:   legacy,
+		compactBytes: defaultCompactBytes,
+		now:          time.Now,
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// JournalPresent reports whether journal artifacts exist for the given
+// journal path — the detection tooling uses to decide between the journal
+// and a legacy flat file.
+func JournalPresent(path string) bool {
+	for _, p := range []string{path, path + ".gen"} {
+		if _, err := os.Stat(p); err == nil {
+			return true
+		}
+	}
+	matches, _ := filepath.Glob(path + ".[0-9]*")
+	for _, m := range matches {
+		if _, err := strconv.ParseUint(strings.TrimPrefix(m, path+"."), 10, 64); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectRegistry opens whichever durable registry backs a deployment
+// directory: the journal when its artifacts exist, otherwise the legacy
+// flat file. Tooling that only inspects or resolves uses this so it works
+// against both formats without a flag.
+func DetectRegistry(journalPath, flatPath string, opts ...JournalOption) Registry {
+	if JournalPresent(journalPath) {
+		return NewJournalRegistry(journalPath, opts...)
+	}
+	return NewFileRegistry(flatPath)
+}
+
+func (r *JournalRegistry) pointerPath() string { return r.path + ".gen" }
+func (r *JournalRegistry) lockPath() string    { return r.path + ".lock" }
+
+// genPath names generation g's journal file: the root path itself for
+// generation 0, a numeric suffix afterwards.
+func (r *JournalRegistry) genPath(g uint64) string {
+	if g == 0 {
+		return r.path
+	}
+	return fmt.Sprintf("%s.%d", r.path, g)
+}
+
+// readGen reads the current generation from the pointer file; an absent
+// pointer means generation 0 (no compaction has happened yet).
+func (r *JournalRegistry) readGen() (uint64, error) {
+	data, err := os.ReadFile(r.pointerPath())
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("relay: read journal generation %s: %w", r.pointerPath(), err)
+	}
+	gen, err := strconv.ParseUint(strings.TrimSpace(string(data)), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("relay: parse journal generation %s: %w", r.pointerPath(), err)
+	}
+	return gen, nil
+}
+
+// withFlock runs fn under the cross-process exclusive lock with the
+// current generation resolved. The lock is what keeps the generation
+// stable for the duration of fn — an appender cannot race a compactor's
+// pointer flip.
+func (r *JournalRegistry) withFlock(fn func(gen uint64) error) error {
+	unlock, err := acquireFlock(r.lockPath(), r.path)
+	if err != nil {
+		return err
+	}
+	defer unlock()
+	gen, err := r.readGen()
+	if err != nil {
+		return err
+	}
+	return fn(gen)
+}
+
+// appendRecords appends records as journal lines — the O(1) write path.
+// The flock is held only for the append itself, never across a
+// load-modify-store cycle.
+func (r *JournalRegistry) appendRecords(recs ...journalRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.withFlock(func(gen uint64) error {
+		return r.appendToGen(gen, recs)
+	})
+}
+
+// appendToGen writes records to generation gen's journal; the caller holds
+// the flock. If a previous writer died mid-append the file ends without a
+// newline; terminating that partial line first (self-healing the tail)
+// turns it into one complete-but-undecodable line readers skip, instead of
+// letting our record fuse onto it and corrupt both.
+func (r *JournalRegistry) appendToGen(gen uint64, recs []journalRecord) error {
+	f, err := os.OpenFile(r.genPath(gen), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("relay: open journal %s: %w", r.genPath(gen), err)
+	}
+	defer f.Close()
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], st.Size()-1); err == nil && last[0] != '\n' {
+			if _, err := f.Write([]byte("\n")); err != nil {
+				return fmt.Errorf("relay: heal journal tail %s: %w", r.genPath(gen), err)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("relay: encode journal record: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("relay: append journal %s: %w", r.genPath(gen), err)
+	}
+	return nil
+}
+
+// Register adds permanent addresses for a network (one lease record each,
+// no expiry).
+func (r *JournalRegistry) Register(networkID string, addrs ...string) error {
+	recs := make([]journalRecord, 0, len(addrs))
+	for _, addr := range addrs {
+		recs = append(recs, journalRecord{Op: opLease, Net: networkID, Addr: addr, TS: r.now().UnixNano()})
+	}
+	return r.appendRecords(recs...)
+}
+
+// RegisterLease implements LeaseRegistrar: one appended record carrying
+// the lease both as an absolute expiry and as the relative TTL, so readers
+// on skewed clocks can take the earlier interpretation.
+func (r *JournalRegistry) RegisterLease(networkID, addr string, ttl time.Duration) error {
+	now := r.now()
+	rec := journalRecord{Op: opLease, Net: networkID, Addr: addr, TS: now.UnixNano()}
+	if ttl > 0 {
+		rec.Exp = now.Add(ttl).UnixNano()
+		rec.TTL = int64(ttl)
+	}
+	return r.appendRecords(rec)
+}
+
+// Deregister implements LeaseRegistrar with one appended removal record.
+// Deregistering an absent address appends a harmless no-op record rather
+// than paying a read to find out.
+func (r *JournalRegistry) Deregister(networkID, addr string) error {
+	return r.appendRecords(journalRecord{Op: opDereg, Net: networkID, Addr: addr, TS: r.now().UnixNano()})
+}
+
+// PublishHealth implements HealthPublisher. Health annotates membership,
+// so records for unregistered addresses are dropped (best-effort at write
+// time, authoritatively by readers, who only surface health attached to a
+// live view entry), and records no fresher than what the view already
+// holds are skipped to keep heartbeat churn down.
+func (r *JournalRegistry) PublishHealth(byAddr map[string]SharedHealth) error {
+	if len(byAddr) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.refreshLocked(); err != nil {
+		return err
+	}
+	known := collectHealth(r.view.entries)
+	addrs := make([]string, 0, len(byAddr))
+	for addr := range byAddr {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	recs := make([]journalRecord, 0, len(addrs))
+	for _, addr := range addrs {
+		if !r.viewHasAddr(addr) {
+			continue
+		}
+		rec := byAddr[addr]
+		if cur, ok := known[addr]; ok && (cur == rec || rec.ObservedUnixNano < cur.ObservedUnixNano) {
+			continue
+		}
+		copied := rec
+		recs = append(recs, journalRecord{Op: opHealth, Addr: addr, TS: r.now().UnixNano(), Health: &copied})
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	return r.withFlock(func(gen uint64) error {
+		return r.appendToGen(gen, recs)
+	})
+}
+
+func (r *JournalRegistry) viewHasAddr(addr string) bool {
+	for _, list := range r.view.entries {
+		for _, e := range list {
+			if e.addr == addr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Resolve implements Discovery from the materialized view, filtering
+// lapsed leases at read time.
+func (r *JournalRegistry) Resolve(networkID string) ([]string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.refreshLocked(); err != nil {
+		return nil, err
+	}
+	addrs := liveAddrs(r.view.entries[networkID], r.now())
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownNetwork, networkID)
+	}
+	return addrs, nil
+}
+
+// Networks lists registered network IDs, including networks whose entries
+// have all lapsed (Prune removes those).
+func (r *JournalRegistry) Networks() ([]string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.refreshLocked(); err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(r.view.entries))
+	for id := range r.view.entries {
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// Entries returns every entry with its lease state for inspection tooling,
+// lapsed leases included.
+func (r *JournalRegistry) Entries() (map[string][]RegistryEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.refreshLocked(); err != nil {
+		return nil, err
+	}
+	return exportEntries(r.view.entries), nil
+}
+
+// HealthRecords implements HealthSource: the freshest record per address
+// that still has a registry entry.
+func (r *JournalRegistry) HealthRecords() (map[string]SharedHealth, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.refreshLocked(); err != nil {
+		return nil, err
+	}
+	return collectHealth(r.view.entries), nil
+}
+
+// SkippedRecords reports how many undecodable journal lines this instance
+// has tolerated while tailing — nonzero after recovering a torn append.
+func (r *JournalRegistry) SkippedRecords() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.skipped
+}
+
+// Prune appends deregistration records for every entry whose lease has
+// lapsed, returning how many were dropped. Unlike the hot append path this
+// holds the flock across its read-and-append so a renewal cannot slip
+// between the lapse check and the removal record — Prune is an
+// administrative operation, not a heartbeat.
+func (r *JournalRegistry) Prune() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pruned := 0
+	err := r.withFlock(func(gen uint64) error {
+		if err := r.refreshLocked(); err != nil {
+			return err
+		}
+		now := r.now()
+		var recs []journalRecord
+		ids := make([]string, 0, len(r.view.entries))
+		for id := range r.view.entries {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			for _, e := range r.view.entries[id] {
+				if !e.live(now) {
+					recs = append(recs, journalRecord{Op: opDereg, Net: id, Addr: e.addr, TS: now.UnixNano()})
+				}
+			}
+		}
+		pruned = len(recs)
+		if pruned == 0 {
+			return nil
+		}
+		return r.appendToGen(gen, recs)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return pruned, nil
+}
+
+// Compact rolls the journal over to a fresh generation: materialize the
+// current generation, write the view as a snapshot into <path>.<gen+1>,
+// atomically flip the pointer file, and delete the superseded generation
+// files. Writers are excluded by the flock for the duration; readers keep
+// serving their materialized view and re-materialize from the snapshot
+// when they observe the pointer move. Lapsed-but-unpruned entries survive
+// compaction (compaction bounds the file, Prune changes membership), with
+// their remaining TTL recomputed so the two lease encodings stay
+// consistent for the next reader.
+func (r *JournalRegistry) Compact() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.withFlock(func(gen uint64) error {
+		// Full materialization of the locked generation, not a tail: the
+		// snapshot must carry everything.
+		r.view.valid = false
+		if err := r.refreshGenLocked(gen); err != nil {
+			return err
+		}
+		next := gen + 1
+		if err := r.writeSnapshot(next); err != nil {
+			return err
+		}
+		if err := atomicWriteFile(r.pointerPath(), []byte(strconv.FormatUint(next, 10))); err != nil {
+			return fmt.Errorf("relay: flip journal generation: %w", err)
+		}
+		// The snapshot incorporates every superseded generation, the legacy
+		// flat base included; delete the old journal files actually on disk
+		// (normally just the one we materialized, plus crash leftovers —
+		// the operator's registry.json is left alone, it is simply no
+		// longer consulted).
+		_ = os.Remove(r.genPath(0))
+		if matches, err := filepath.Glob(r.path + ".[0-9]*"); err == nil {
+			for _, m := range matches {
+				if g, err := strconv.ParseUint(strings.TrimPrefix(m, r.path+"."), 10, 64); err == nil && g <= gen {
+					_ = os.Remove(m)
+				}
+			}
+		}
+		// Our own view now describes a deleted generation; re-materialize
+		// from the snapshot lazily on the next read.
+		r.view.valid = false
+		return nil
+	})
+}
+
+// CompactIfOversized compacts when the current generation's journal has
+// outgrown the configured threshold, reporting whether it did.
+func (r *JournalRegistry) CompactIfOversized() (bool, error) {
+	gen, err := r.readGen()
+	if err != nil {
+		return false, err
+	}
+	st, err := os.Stat(r.genPath(gen))
+	if err != nil || st.Size() <= r.compactBytes {
+		return false, nil
+	}
+	if err := r.Compact(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// StartCompactor runs CompactIfOversized on a background ticker, returning
+// a stop function. Errors are reported through onError (nil to ignore) and
+// retried at the next tick — compaction is maintenance, the journal stays
+// correct (just longer) without it.
+func (r *JournalRegistry) StartCompactor(interval time.Duration, onError func(error)) (stop func()) {
+	if interval <= 0 {
+		return func() {} // disabled; the journal stays correct, just unbounded
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				if _, err := r.CompactIfOversized(); err != nil && onError != nil {
+					onError(err)
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}
+
+// writeSnapshot writes the materialized view as generation gen's base:
+// one lease record per entry (deterministic order) followed by the
+// freshest health record per address. Temp-and-rename so a crash mid-write
+// leaves no half-snapshot under the generation's name.
+func (r *JournalRegistry) writeSnapshot(gen uint64) error {
+	now := r.now()
+	var buf bytes.Buffer
+	ids := make([]string, 0, len(r.view.entries))
+	for id := range r.view.entries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	writeRec := func(rec journalRecord) error {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("relay: encode journal snapshot: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+		return nil
+	}
+	for _, id := range ids {
+		for _, e := range r.view.entries[id] {
+			rec := journalRecord{Op: opLease, Net: id, Addr: e.addr, TS: now.UnixNano()}
+			if !e.expires.IsZero() {
+				rec.Exp = e.expires.UnixNano()
+				if remaining := e.expires.Sub(now); remaining > 0 {
+					rec.TTL = int64(remaining)
+				}
+			}
+			if err := writeRec(rec); err != nil {
+				return err
+			}
+		}
+	}
+	health := collectHealth(r.view.entries)
+	addrs := make([]string, 0, len(health))
+	for addr := range health {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		h := health[addr]
+		if err := writeRec(journalRecord{Op: opHealth, Addr: addr, TS: now.UnixNano(), Health: &h}); err != nil {
+			return err
+		}
+	}
+	if err := atomicWriteFile(r.genPath(gen), buf.Bytes()); err != nil {
+		return fmt.Errorf("relay: write journal snapshot: %w", err)
+	}
+	return nil
+}
+
+// refreshLocked brings the materialized view up to date with the journal:
+// re-read the generation pointer, re-materialize if it moved (or we have
+// no view yet), and tail new records from the last consumed offset. A
+// generation file that vanishes mid-read means a compactor rolled past us
+// — re-read the pointer and start over, bounded so a genuinely corrupt
+// deployment errors instead of spinning.
+func (r *JournalRegistry) refreshLocked() error {
+	for attempt := 0; ; attempt++ {
+		gen, err := r.readGen()
+		if err != nil {
+			return err
+		}
+		err = r.refreshGenLocked(gen)
+		if err == nil {
+			return nil
+		}
+		if os.IsNotExist(err) && attempt < 5 {
+			r.view.valid = false
+			continue
+		}
+		return err
+	}
+}
+
+// refreshGenLocked materializes or tails the view for one specific
+// generation. Returns an os.IsNotExist error when the generation's file
+// should exist but does not (rolled away underneath us).
+func (r *JournalRegistry) refreshGenLocked(gen uint64) error {
+	if !r.view.valid || gen != r.view.gen {
+		r.view = journalView{
+			valid:   true,
+			gen:     gen,
+			entries: make(map[string][]leaseEntry),
+			health:  make(map[string]SharedHealth),
+		}
+		// The legacy flat file is the generation-0 base snapshot: a
+		// deployment that upgraded in place keeps every registration it
+		// had. From generation 1 on, the compaction snapshot has folded it
+		// in.
+		if gen == 0 {
+			if legacy, err := loadRegistryFile(r.legacyPath); err == nil {
+				r.view.entries = legacy
+				for addr, h := range collectHealth(legacy) {
+					r.view.health[addr] = h
+				}
+			} else if !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	f, err := os.Open(r.genPath(r.view.gen))
+	if err != nil {
+		if os.IsNotExist(err) && r.view.gen == 0 {
+			return nil // journal not started yet; the legacy base (if any) is the view
+		}
+		return err
+	}
+	defer f.Close()
+	if st, err := f.Stat(); err == nil && st.Size() < r.view.offset {
+		// The file shrank under our offset (an operator truncated or
+		// replaced it). Rebuild from scratch rather than tailing garbage.
+		r.view.valid = false
+		return r.refreshGenLocked(r.view.gen)
+	}
+	if _, err := f.Seek(r.view.offset, io.SeekStart); err != nil {
+		return fmt.Errorf("relay: seek journal %s: %w", r.genPath(r.view.gen), err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("relay: read journal %s: %w", r.genPath(r.view.gen), err)
+	}
+	consumed := 0
+	for {
+		idx := bytes.IndexByte(data[consumed:], '\n')
+		if idx < 0 {
+			break // incomplete tail: an append in flight (or torn); re-read next refresh
+		}
+		line := data[consumed : consumed+idx]
+		consumed += idx + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			r.skipped++ // healed-over torn append; the prefix before it is intact
+			continue
+		}
+		r.applyLocked(rec)
+	}
+	r.view.offset += int64(consumed)
+	return nil
+}
+
+// applyLocked folds one record into the materialized view: last record
+// wins per (network, address), health freshest-wins per address.
+func (r *JournalRegistry) applyLocked(rec journalRecord) {
+	switch rec.Op {
+	case opLease:
+		if rec.Net == "" || rec.Addr == "" {
+			r.skipped++
+			return
+		}
+		r.view.entries[rec.Net], _ = upsertLease(r.view.entries[rec.Net], rec.Addr, r.leaseExpiry(rec))
+		if h, ok := r.view.health[rec.Addr]; ok {
+			applyHealth(r.view.entries[rec.Net], map[string]SharedHealth{rec.Addr: h})
+		}
+	case opDereg:
+		list, removed := removeLease(r.view.entries[rec.Net], rec.Addr)
+		if !removed {
+			return
+		}
+		if len(list) == 0 {
+			delete(r.view.entries, rec.Net)
+		} else {
+			r.view.entries[rec.Net] = list
+		}
+	case opHealth:
+		if rec.Health == nil || rec.Addr == "" {
+			r.skipped++
+			return
+		}
+		if cur, ok := r.view.health[rec.Addr]; ok && cur.ObservedUnixNano > rec.Health.ObservedUnixNano {
+			return
+		}
+		r.view.health[rec.Addr] = *rec.Health
+		for id := range r.view.entries {
+			applyHealth(r.view.entries[id], map[string]SharedHealth{rec.Addr: *rec.Health})
+		}
+	default:
+		r.skipped++
+	}
+}
+
+// leaseExpiry reconciles a lease record's two encodings on the reader's
+// clock: the writer-absolute expiry and the relative TTL anchored at the
+// instant this reader materializes the record. The entry stops resolving
+// at the *earlier* of the two — the laxer interpretation for a lease,
+// mirroring TimeoutNanos deadlines and SharedHealth cooldowns: under clock
+// skew a dead relay is never served longer than either encoding supports.
+// A writer with a fast clock cannot stretch its lease past the TTL the
+// reader just observed; a reader picking up a stale journal cannot extend
+// a long-lapsed lease by re-anchoring its TTL, because the absolute expiry
+// bounds it.
+func (r *JournalRegistry) leaseExpiry(rec journalRecord) time.Time {
+	var abs, rel time.Time
+	if rec.Exp != 0 {
+		abs = time.Unix(0, rec.Exp)
+	}
+	if rec.TTL > 0 {
+		rel = r.now().Add(time.Duration(rec.TTL))
+	}
+	switch {
+	case abs.IsZero():
+		return rel // zero when the record is permanent
+	case rel.IsZero():
+		return abs
+	case rel.Before(abs):
+		return rel
+	default:
+		return abs
+	}
+}
+
+// atomicWriteFile writes data to path via a same-directory temp file and
+// rename, so concurrent readers observe either the old file or the new —
+// never a torn prefix.
+func atomicWriteFile(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Chmod(tmp.Name(), 0o644)
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return nil
+}

@@ -17,6 +17,27 @@ type LeaseRegistrar interface {
 	Deregister(networkID, addr string) error
 }
 
+// Registry is the full administrative surface a durable discovery registry
+// offers — resolution, lease-based membership, shared health, and the
+// inspection/maintenance operations netadmin drives. Both the flat-file
+// FileRegistry and the journal-backed JournalRegistry implement it, which
+// is what lets the tooling (and the conformance/chaos suite) treat the two
+// storage formats interchangeably.
+type Registry interface {
+	Discovery
+	LeaseRegistrar
+	HealthPublisher
+	HealthSource
+	// Register adds permanent, operator-managed addresses for a network.
+	Register(networkID string, addrs ...string) error
+	// Prune drops entries whose lease has lapsed, returning how many.
+	Prune() (int, error)
+	// Entries exports every entry with its lease state, lapsed included.
+	Entries() (map[string][]RegistryEntry, error)
+	// Networks lists registered network IDs, including fully-lapsed ones.
+	Networks() ([]string, error)
+}
+
 // SharedHealth is one relay's published observation of a peer address's
 // health, stored alongside the address's registry entry and piggybacked on
 // lease renewal. A relay that restarts loses its in-memory health tracker;
