@@ -1,15 +1,25 @@
-// Command interopctl issues a trusted cross-network query against a
-// running relayd, playing the destination application's role (Fig. 2 steps
-// 1-9): it loads the client kit written by relayd, sends the query over
-// TCP through relay discovery, decrypts the response, verifies the proof
-// against the recorded source configuration and verification policy, and
-// prints the result with an attestation summary.
+// Command interopctl operates against the interop fabric from the
+// destination application's seat.
+//
+// The query subcommand (also the default) issues a trusted cross-network
+// query against a running relayd (Fig. 2 steps 1-9): it loads the client
+// kit written by relayd, sends the query over TCP through relay discovery,
+// decrypts the response, verifies the proof against the recorded source
+// configuration and verification policy, and prints the result with an
+// attestation summary.
+//
+// The loadgen subcommand builds a self-contained multi-relay TCP
+// deployment and measures it under sustained open-loop load — latency
+// percentiles, throughput, error budgets, relay counters and an
+// exactly-once audit — writing BENCH_loadgen.json.
 //
 // Usage:
 //
 //	interopctl -dir ./deploy -po po-1001
-//	interopctl -dir ./deploy -po po-1001 -timeout 5s
-//	interopctl -dir ./deploy -ping
+//	interopctl query -dir ./deploy -po po-1001 -timeout 5s
+//	interopctl query -dir ./deploy -ping
+//	interopctl loadgen -preset steady-query
+//	interopctl loadgen -preset churn -duration 30s -rate 200
 package main
 
 import (
@@ -29,21 +39,35 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	args := os.Args[1:]
+	var err error
+	switch {
+	case len(args) > 0 && args[0] == "loadgen":
+		err = runLoadgen(args[1:])
+	case len(args) > 0 && args[0] == "query":
+		err = runQuery(args[1:])
+	default:
+		// Bare flags keep meaning "query" so existing invocations survive.
+		err = runQuery(args)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "interopctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	dir := flag.String("dir", "./deploy", "deployment directory written by relayd")
-	po := flag.String("po", "po-1001", "purchase order reference to fetch the bill of lading for")
-	ping := flag.Bool("ping", false, "only probe the source relay for liveness")
-	timeout := flag.Duration("timeout", 30*time.Second, "deadline for the whole operation; propagated to the source relay")
-	hedge := flag.Duration("hedge", 0, "hedge delay before trying the next relay address (0 disables hedging)")
-	format := flag.String("registry", "auto",
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	dir := fs.String("dir", "./deploy", "deployment directory written by relayd")
+	po := fs.String("po", "po-1001", "purchase order reference to fetch the bill of lading for")
+	ping := fs.Bool("ping", false, "only probe the source relay for liveness")
+	timeout := fs.Duration("timeout", 30*time.Second, "deadline for the whole operation; propagated to the source relay")
+	hedge := fs.Duration("hedge", 0, "hedge delay before trying the next relay address (0 disables hedging)")
+	format := fs.String("registry", "auto",
 		"registry storage to read: 'auto' (journal when its artifacts exist, flat otherwise), 'journal', or 'flat'")
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()

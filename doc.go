@@ -82,6 +82,20 @@
 // Stats.AttestationCacheHits/Misses expose its effectiveness and `netadmin
 // proofs show` dumps a persisted artifact.
 //
+// The system is measurable under production-shaped load. `interopctl
+// loadgen` (internal/loadgen) builds a multi-relay TCP deployment, drives
+// concurrent clients through an open-loop arrival schedule — latency
+// charged from each operation's scheduled instant, so queueing delay is
+// never silently absorbed — over a configurable mix of cold queries,
+// attestation-cache-warm queries, writable invokes and event
+// subscriptions with zipf-skewed key selection, and can kill and restart
+// source relays mid-run. It reports HDR-style latency percentiles
+// (p50/p99/p999/max), throughput, a classed error budget
+// (availability/contention/protocol), the relay fleet's counter window
+// (relay.Stats.Sub/Merge over lock-free snapshots), and a post-run
+// exactly-once audit of every issued invoke against the source ledger,
+// written to BENCH_loadgen.json.
+//
 // The module layout — everything lives under internal/; programs in cmd/
 // and examples/ are the runnable surface:
 //
@@ -98,6 +112,8 @@
 //     endorsement, ordering, MVCC validation, gateway)
 //   - internal/notary      — a second, notary-attested platform substrate
 //   - internal/htlc        — hash-time-locked contract chaincode for swaps
+//   - internal/loadgen     — open-loop load generation, latency histograms,
+//     churn injection and the exactly-once audit
 //   - internal/apps        — the paper's STL / SWT use-case applications
 //   - cmd/                 — relayd, interopctl, netadmin, slocreport
 //   - examples/            — quickstart, tradefinance, multirelay,

@@ -11,15 +11,12 @@ import (
 
 	"repro/internal/apps/tradelens"
 	"repro/internal/apps/wetrade"
-	"repro/internal/chaincode"
 	"repro/internal/core"
 	"repro/internal/cryptoutil"
 	"repro/internal/ledger"
 	"repro/internal/msp"
-	"repro/internal/policy"
 	"repro/internal/proof"
 	"repro/internal/relay"
-	"repro/internal/syscc"
 	"repro/internal/wire"
 )
 
@@ -28,50 +25,17 @@ import (
 // standing in for a second relayd process in an HA deployment.
 const STLRelayAddrB = "stl-relay-b:9082"
 
-// auditCC is a writable cross-network contract on STL: Append grows a log
-// under the exposure-control adaptation, so every successful invoke has a
-// visible, countable effect — exactly what an exactly-once test needs.
-var auditCC = chaincode.Func(func(stub chaincode.Stub) ([]byte, error) {
-	switch stub.Function() {
-	case "Append":
-		if _, err := syscc.AuthorizeRelayRequest(stub, "auditcc"); err != nil {
-			return nil, err
-		}
-		key := "log/" + string(stub.Args()[0])
-		cur, err := stub.GetState(key)
-		if err != nil {
-			return nil, err
-		}
-		next := append(cur, stub.Args()[1]...)
-		if err := stub.PutState(key, next); err != nil {
-			return nil, err
-		}
-		return next, nil
-	case "Read":
-		return stub.GetState("log/" + string(stub.Args()[0]))
-	default:
-		return nil, fmt.Errorf("unknown function %q", stub.Function())
-	}
-})
-
 // buildExactlyOnceWorld wires the trade world plus: the audit contract and
-// its access rule on STL, and a second relay fronting STL registered in
-// discovery after the first.
+// its access rule on STL (DeployAuditLog), and a second relay fronting STL
+// registered in discovery after the first.
 func buildExactlyOnceWorld(t *testing.T) (*TradeWorld, *relay.Relay) {
 	t.Helper()
 	w, err := Build()
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
-	if err := w.STL.Fabric.Deploy("auditcc", auditCC,
-		fmt.Sprintf("AND('%s','%s')", tradelens.SellerOrg, tradelens.CarrierOrg)); err != nil {
-		t.Fatalf("Deploy auditcc: %v", err)
-	}
-	if err := w.STL.GrantAccess(w.STLAdmin, policy.AccessRule{
-		Network: wetrade.NetworkID, Org: wetrade.SellerBankOrg,
-		Chaincode: "auditcc", Function: "Append",
-	}); err != nil {
-		t.Fatalf("GrantAccess: %v", err)
+	if err := DeployAuditLog(w); err != nil {
+		t.Fatalf("DeployAuditLog: %v", err)
 	}
 	relayB := relay.New(tradelens.NetworkID, w.Registry, w.Hub)
 	relayB.RegisterDriver(tradelens.NetworkID, relay.NewFabricDriver(w.STL.Fabric, "default"))

@@ -15,7 +15,6 @@ import (
 	"repro/internal/apps/tradelens"
 	"repro/internal/apps/wetrade"
 	"repro/internal/core"
-	"repro/internal/policy"
 	"repro/internal/relay"
 )
 
@@ -42,15 +41,8 @@ func TestRestartStormThroughJournalRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatalf("BuildWith: %v", err)
 	}
-	if err := w.STL.Fabric.Deploy("auditcc", auditCC,
-		fmt.Sprintf("AND('%s','%s')", tradelens.SellerOrg, tradelens.CarrierOrg)); err != nil {
-		t.Fatalf("Deploy auditcc: %v", err)
-	}
-	if err := w.STL.GrantAccess(w.STLAdmin, policy.AccessRule{
-		Network: wetrade.NetworkID, Org: wetrade.SellerBankOrg,
-		Chaincode: "auditcc", Function: "Append",
-	}); err != nil {
-		t.Fatalf("GrantAccess: %v", err)
+	if err := DeployAuditLog(w); err != nil {
+		t.Fatalf("DeployAuditLog: %v", err)
 	}
 	relayB := relay.New(tradelens.NetworkID, journal, hub)
 	relayB.RegisterDriver(tradelens.NetworkID, relay.NewFabricDriver(w.STL.Fabric, "default"))

@@ -1,0 +1,213 @@
+// Package loadgen measures the interop fabric the way production would: a
+// multi-relay TCP deployment driven by concurrent clients under an
+// open-loop arrival schedule, with per-operation latency aggregated into
+// HDR-style histograms and relay-side counters windowed over the run. The
+// paper reports single-shot end-to-end latencies (§6); this package asks
+// the harder operational questions — what are the tail latencies at a
+// sustained offered rate, what does relay churn cost, and does the
+// exactly-once guarantee hold while the deployment is being shot at.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// subBits fixes the histogram's resolution: 2^subBits sub-buckets per
+// power of two, bounding quantization error at 2^-subBits (~0.4%).
+const subBits = 8
+
+// Histogram is a log-linear latency histogram in the HdrHistogram family:
+// values below 2^subBits are exact, larger values land in buckets whose
+// width doubles every power of two, so relative error stays bounded while
+// memory stays small regardless of range. Values are unit-agnostic; the
+// runner records microseconds. Not safe for concurrent use — each worker
+// owns one and they are merged afterwards.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	min    int64
+	max    int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+// bucketIndex maps a value to its bucket. Values < 2^subBits map to
+// themselves; above that, each power-of-two block contributes 2^subBits
+// buckets.
+func bucketIndex(v int64) int {
+	u := uint64(v)
+	if u < 1<<subBits {
+		return int(u)
+	}
+	exp := 63 - bits.LeadingZeros64(u)
+	shift := exp - subBits
+	return (shift+1)<<subBits + int(u>>uint(shift)) - (1 << subBits)
+}
+
+// valueAt returns the lowest value that maps to bucket i.
+func valueAt(i int) int64 {
+	if i < 1<<subBits {
+		return int64(i)
+	}
+	shift := i>>subBits - 1
+	sub := i & (1<<subBits - 1)
+	return int64(1<<subBits+sub) << uint(shift)
+}
+
+// LowestEquivalent returns the smallest value the histogram cannot
+// distinguish from v — the value a percentile query reports for any sample
+// in v's bucket. Exposed so tests can assert percentile exactness without
+// hard-coding the bucket layout.
+func LowestEquivalent(v int64) int64 {
+	if v < 0 {
+		v = 0
+	}
+	return valueAt(bucketIndex(v))
+}
+
+// Record adds one sample. Negative values clamp to zero (a latency
+// measured from a scheduled arrival time can never legitimately be
+// negative; clock steps should not crash the run).
+func (h *Histogram) Record(v int64) { h.RecordN(v, 1) }
+
+// RecordN adds n samples of the same value.
+func (h *Histogram) RecordN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := bucketIndex(v)
+	if i >= len(h.counts) {
+		grown := make([]uint64, i+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[i] += n
+	h.total += n
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Max returns the largest recorded value, exactly (not bucket-quantized).
+func (h *Histogram) Max() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Min returns the smallest recorded value, exactly.
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Percentile returns the value at the given percentile (0 < p <= 100)
+// under nearest-rank semantics: the lowest-equivalent value of the bucket
+// holding the ceil(p/100*count)-th smallest sample. p=100 lands in the
+// max sample's bucket.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return valueAt(i)
+		}
+	}
+	return h.max // unreachable: counts always sum to total
+}
+
+// Mean returns the average of the lowest-equivalent values of all samples.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for i, c := range h.counts {
+		if c > 0 {
+			sum += float64(valueAt(i)) * float64(c)
+		}
+	}
+	return sum / float64(h.total)
+}
+
+// Merge folds other's samples into h. Per-client histograms merged this
+// way are indistinguishable from one histogram that recorded everything.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]uint64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	if other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Summary is the fixed percentile set every report carries, in the unit
+// the histogram was recorded in.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Min   int64   `json:"min"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	P999  int64   `json:"p999"`
+	Max   int64   `json:"max"`
+}
+
+// Summarize extracts the standard percentile set.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(),
+		Min:   h.Min(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+		P999:  h.Percentile(99.9),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the summary compactly for logs.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d p50=%d p99=%d p999=%d max=%d", s.Count, s.P50, s.P99, s.P999, s.Max)
+}

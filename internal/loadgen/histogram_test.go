@@ -1,0 +1,151 @@
+package loadgen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHistogramExactBelowSubBucketRange: values under 2^subBits are stored
+// exactly, so nearest-rank percentiles over 1..100 are the textbook
+// answers with no quantization at all.
+func TestHistogramExactBelowSubBucketRange(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 100; v++ {
+		h.Record(v)
+	}
+	cases := []struct {
+		p    float64
+		want int64
+	}{
+		{50, 50},    // rank ceil(0.50*100) = 50
+		{90, 90},    // rank 90
+		{99, 99},    // rank 99
+		{99.9, 100}, // rank ceil(99.9) = 100
+		{100, 100},
+	}
+	for _, c := range cases {
+		if got := h.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("min/max = %d/%d, want 1/100", h.Min(), h.Max())
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d, want 100", h.Count())
+	}
+	if mean := h.Mean(); mean != 50.5 {
+		t.Errorf("mean = %v, want 50.5", mean)
+	}
+}
+
+// TestHistogramQuantizedPercentiles: above the exact range, percentiles
+// return the lowest value equivalent to the true rank value — the
+// documented contract, asserted with LowestEquivalent rather than a
+// tolerance band.
+func TestHistogramQuantizedPercentiles(t *testing.T) {
+	h := NewHistogram()
+	for v := int64(1); v <= 10_000; v++ {
+		h.Record(v)
+	}
+	for _, c := range []struct {
+		p    float64
+		rank int64
+	}{{50, 5000}, {90, 9000}, {99, 9900}, {99.9, 9990}, {100, 10_000}} {
+		want := LowestEquivalent(c.rank)
+		if got := h.Percentile(c.p); got != want {
+			t.Errorf("Percentile(%v) = %d, want LowestEquivalent(%d) = %d", c.p, got, c.rank, want)
+		}
+	}
+	// Max is exact even though its bucket is wide.
+	if h.Max() != 10_000 {
+		t.Errorf("max = %d, want exactly 10000", h.Max())
+	}
+}
+
+// TestLowestEquivalentProperties pins the bucket geometry: identity below
+// 2^subBits, idempotence, monotonicity, and bounded relative error
+// everywhere.
+func TestLowestEquivalentProperties(t *testing.T) {
+	for v := int64(0); v < 1<<subBits; v++ {
+		if got := LowestEquivalent(v); got != v {
+			t.Fatalf("LowestEquivalent(%d) = %d, want identity below 2^%d", v, got, subBits)
+		}
+	}
+	r := rand.New(rand.NewSource(7))
+	prev := int64(-1)
+	for i := 0; i < 100_000; i++ {
+		v := r.Int63n(1 << 40)
+		le := LowestEquivalent(v)
+		if le > v {
+			t.Fatalf("LowestEquivalent(%d) = %d > v", v, le)
+		}
+		if got := LowestEquivalent(le); got != le {
+			t.Fatalf("LowestEquivalent not idempotent at %d: %d", le, got)
+		}
+		// Quantization error bound: bucket width / value ≤ 2^-subBits.
+		if v > 0 && float64(v-le)/float64(v) > 1.0/float64(int64(1)<<subBits) {
+			t.Fatalf("relative error at %d is %d (> 2^-%d of value)", v, v-le, subBits)
+		}
+		_ = prev
+	}
+	// Monotonic over a dense sweep crossing several bucket blocks.
+	prev = 0
+	for v := int64(0); v < 1<<14; v++ {
+		le := LowestEquivalent(v)
+		if le < prev {
+			t.Fatalf("LowestEquivalent not monotonic at %d: %d < %d", v, le, prev)
+		}
+		prev = le
+	}
+}
+
+// TestHistogramMergeEqualsGlobal: samples split across per-client
+// histograms and merged must be indistinguishable from one histogram that
+// saw everything — count, min, max, mean and every percentile.
+func TestHistogramMergeEqualsGlobal(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	global := NewHistogram()
+	parts := make([]*Histogram, 4)
+	for i := range parts {
+		parts[i] = NewHistogram()
+	}
+	for i := 0; i < 50_000; i++ {
+		v := r.Int63n(1 << 30)
+		global.Record(v)
+		parts[r.Intn(len(parts))].Record(v)
+	}
+	merged := NewHistogram()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != global.Count() || merged.Min() != global.Min() || merged.Max() != global.Max() {
+		t.Fatalf("merged count/min/max = %d/%d/%d, global %d/%d/%d",
+			merged.Count(), merged.Min(), merged.Max(), global.Count(), global.Min(), global.Max())
+	}
+	if merged.Mean() != global.Mean() {
+		t.Fatalf("merged mean %v != global %v", merged.Mean(), global.Mean())
+	}
+	for p := 0.5; p <= 100; p += 0.5 {
+		if m, g := merged.Percentile(p), global.Percentile(p); m != g {
+			t.Fatalf("Percentile(%v): merged %d != global %d", p, m, g)
+		}
+	}
+}
+
+// TestHistogramEmptyAndClamp: an empty histogram reports zeros, and
+// negative samples clamp to zero instead of corrupting state.
+func TestHistogramEmptyAndClamp(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(99) != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-5)
+	if h.Count() != 1 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("negative sample: count=%d min=%d max=%d, want 1/0/0", h.Count(), h.Min(), h.Max())
+	}
+	s := h.Summarize()
+	if s.Count != 1 || s.P999 != 0 {
+		t.Fatalf("summary = %+v", s)
+	}
+}

@@ -1,0 +1,280 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/apps/scenario"
+	"repro/internal/apps/tradelens"
+	"repro/internal/apps/wetrade"
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/relay"
+	"repro/internal/wire"
+)
+
+// keyRef names the seeded purchase order for a key index.
+func keyRef(key int) string { return fmt.Sprintf("po-lg-%03d", key) }
+
+// issuedInvoke is one invoke the generator sent, remembered for the
+// post-run ledger audit.
+type issuedInvoke struct {
+	txID string
+	ok   bool
+}
+
+// liveDriver executes operations against a scenario TCP deployment: one
+// core client per worker, real sockets between the destination relay and
+// the source relay fleet.
+type liveDriver struct {
+	world   *scenario.TradeWorld
+	clients []*core.Client
+	// invokes[w] is worker w's private append log — no locking on the hot
+	// path, collected after the run.
+	invokes [][]issuedInvoke
+}
+
+func newLiveDriver(w *scenario.TradeWorld, workers int) (*liveDriver, error) {
+	d := &liveDriver{world: w, invokes: make([][]issuedInvoke, workers)}
+	for i := 0; i < workers; i++ {
+		c, err := core.NewClient(w.SWT, wetrade.SellerBankOrg, fmt.Sprintf("lg-client-%d", i))
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: client %d: %w", i, err)
+		}
+		d.clients = append(d.clients, c)
+	}
+	return d, nil
+}
+
+// Do implements Driver.
+func (d *liveDriver) Do(ctx context.Context, worker int, op Op) error {
+	client := d.clients[worker]
+	switch op.Kind {
+	case OpQuery:
+		// Empty RequestID: a fresh nonce per issue, so the source relay
+		// must build (sign + encrypt) a new proof — the cold path.
+		return checkData(client.RemoteQuery(ctx, core.RemoteQuerySpec{
+			Network: tradelens.NetworkID, Contract: tradelens.ChaincodeName,
+			Function: tradelens.FnGetBillOfLading, Args: [][]byte{[]byte(keyRef(op.Key))},
+		}))
+	case OpWarmQuery:
+		// A fixed (client, key) request ID derives a deterministic nonce,
+		// so the wire query is byte-identical on every issue and the
+		// source relay's attestation cache answers after the first.
+		return checkData(client.RemoteQuery(ctx, core.RemoteQuerySpec{
+			Network: tradelens.NetworkID, Contract: tradelens.ChaincodeName,
+			Function: tradelens.FnGetBillOfLading, Args: [][]byte{[]byte(keyRef(op.Key))},
+			RequestID: fmt.Sprintf("lg-warm-%d-%d", worker, op.Key),
+		}))
+	case OpInvoke:
+		return d.doInvoke(ctx, worker, op)
+	case OpSubscribe:
+		_, cancel, err := client.SubscribeRemoteEvents(ctx, tradelens.NetworkID, "lg-event")
+		if err != nil {
+			return err
+		}
+		cancel()
+		return nil
+	default:
+		return fmt.Errorf("loadgen: unknown op kind %q", op.Kind)
+	}
+}
+
+// doInvoke sends a writable append under a run-unique idempotency key,
+// retrying the two transient outcomes the way a production client would,
+// always under the same key: an availability failure (a relay dying under
+// the request) leaves the outcome ambiguous and the ledger-anchored dedup
+// resolves the retry; a contention failure (the commit invalidated by a
+// concurrent write to the same hot key) committed nothing and is safe to
+// resubmit. Every issue is remembered for the exactly-once audit.
+func (d *liveDriver) doInvoke(ctx context.Context, worker int, op Op) error {
+	client := d.clients[worker]
+	spec := core.RemoteQuerySpec{
+		Network: tradelens.NetworkID, Contract: scenario.AuditChaincodeName, Function: "Append",
+		Args:      [][]byte{[]byte(keyRef(op.Key)), []byte(fmt.Sprintf("op-%d;", op.Seq))},
+		RequestID: fmt.Sprintf("lg-inv-%d-%d", worker, op.Seq),
+	}
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		_, err = client.RemoteInvoke(ctx, spec)
+		if class := Classify(err); class != ErrClassAvailability && class != ErrClassContention {
+			break
+		}
+	}
+	d.invokes[worker] = append(d.invokes[worker], issuedInvoke{
+		txID: relay.InteropTxID(&wire.Query{
+			RequestID:         spec.RequestID,
+			RequestingNetwork: wetrade.NetworkID,
+			RequesterCertPEM:  client.Identity().CertPEM(),
+		}),
+		ok: err == nil,
+	})
+	return err
+}
+
+// checkData converts an empty successful query result into a protocol
+// error: the seeded key space guarantees every query has an answer.
+func checkData(data *core.RemoteData, err error) error {
+	if err != nil {
+		return err
+	}
+	if len(data.Result) == 0 {
+		return fmt.Errorf("loadgen: empty result for a seeded key")
+	}
+	return nil
+}
+
+// auditExactlyOnce scans the source ledger once and judges every issued
+// invoke: an invoke the generator saw succeed must have exactly one valid
+// commit; no idempotency key may ever have more than one.
+func (d *liveDriver) auditExactlyOnce() Audit {
+	validByTx := make(map[string]int)
+	peer := d.world.STL.Fabric.AllPeers()[0]
+	blocks := peer.Blocks()
+	for num := uint64(0); num < blocks.Height(); num++ {
+		b, err := blocks.Block(num)
+		if err != nil {
+			continue
+		}
+		for _, tx := range b.Transactions {
+			if tx.Validation == ledger.Valid {
+				validByTx[tx.ID]++
+			}
+		}
+	}
+	var audit Audit
+	for _, worker := range d.invokes {
+		for _, inv := range worker {
+			audit.InvokesIssued++
+			valid := validByTx[inv.txID]
+			audit.ValidCommits += valid
+			if valid > 1 {
+				audit.DuplicateCommits += valid - 1
+			}
+			if inv.ok && valid == 0 {
+				audit.MissingCommits++
+			}
+		}
+	}
+	return audit
+}
+
+// churner injects relay faults: every interval it kills one source relay,
+// holds it down for half the interval, restarts it, and moves to the next.
+type churner struct {
+	servers  []*scenario.TCPRelayServer
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	kills    int
+}
+
+func startChurner(servers []*scenario.TCPRelayServer, interval time.Duration) *churner {
+	c := &churner{servers: servers, interval: interval, stop: make(chan struct{}), done: make(chan struct{})}
+	go c.run()
+	return c
+}
+
+func (c *churner) run() {
+	defer close(c.done)
+	for i := 0; ; i++ {
+		select {
+		case <-time.After(c.interval / 2):
+		case <-c.stop:
+			return
+		}
+		victim := c.servers[i%len(c.servers)]
+		if err := victim.Kill(); err != nil {
+			continue
+		}
+		c.kills++
+		select {
+		case <-time.After(c.interval / 2):
+		case <-c.stop:
+		}
+		// Always restart — even on the way out, the deployment is left
+		// whole so the post-run audit and stats window see a full fleet.
+		_ = victim.Restart()
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+	}
+}
+
+// halt stops injection and waits for any in-progress kill to be restarted.
+func (c *churner) halt() int {
+	close(c.stop)
+	<-c.done
+	return c.kills
+}
+
+// fleetStats sums a consistent snapshot from every relay in the
+// deployment — source fleet and destination relay alike.
+func fleetStats(dep *scenario.TCPDeployment) relay.Stats {
+	var sum relay.Stats
+	for _, s := range dep.AllServers() {
+		sum = sum.Merge(s.Relay.Stats())
+	}
+	return sum
+}
+
+// RunLive builds the TCP deployment, seeds the key space, drives the
+// configured workload against it, and returns the full report: latency
+// percentiles per operation class, throughput, the error budget, the
+// relay fleet's counter window, and the exactly-once audit.
+func RunLive(ctx context.Context, cfg *Config) (*Report, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	startedAt := time.Now()
+	dep, err := scenario.BuildTCP(cfg.ExtraSTLRelays)
+	if err != nil {
+		return nil, err
+	}
+	defer dep.Close()
+	w := dep.World
+	if err := scenario.DeployAuditLog(w); err != nil {
+		return nil, err
+	}
+	actors, err := w.NewActors()
+	if err != nil {
+		return nil, err
+	}
+	refs := make([]string, cfg.Keys)
+	for i := range refs {
+		refs[i] = keyRef(i)
+	}
+	if err := scenario.SeedShipments(ctx, actors, refs...); err != nil {
+		return nil, err
+	}
+	driver, err := newLiveDriver(w, cfg.Clients)
+	if err != nil {
+		return nil, err
+	}
+
+	baseline := fleetStats(dep)
+	var faults *churner
+	if cfg.Churn {
+		faults = startChurner(dep.STLServers, cfg.churnInterval())
+	}
+	stats, err := Run(ctx, cfg, driver)
+	kills := 0
+	if faults != nil {
+		kills = faults.halt()
+	}
+	if err != nil {
+		return nil, err
+	}
+	window := fleetStats(dep).Sub(baseline)
+
+	report := NewReport(cfg, stats, window, startedAt)
+	report.Churn = kills
+	audit := driver.auditExactlyOnce()
+	report.Audit = &audit
+	return report, nil
+}
+
+var _ Driver = (*liveDriver)(nil)

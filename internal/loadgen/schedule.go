@@ -1,0 +1,70 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Op is one scheduled operation.
+type Op struct {
+	// Seq is the arrival's position in the schedule, unique across the run.
+	Seq int
+	// Kind is the operation class drawn from the mix.
+	Kind OpKind
+	// Key indexes the zipf-skewed hot key space.
+	Key int
+	// Due is the scheduled arrival instant. Latency is measured from Due,
+	// not from when a worker got around to starting the operation — an
+	// open-loop schedule charges queueing delay to the system under test
+	// instead of silently absorbing it (coordinated omission).
+	Due time.Time
+}
+
+// schedule produces the open-loop arrival stream. The channel is buffered
+// for the entire schedule so the generator never blocks on slow workers:
+// arrivals keep landing on time no matter how far behind the system is.
+// The generator stops early when ctx is cancelled.
+func schedule(ctx context.Context, cfg *Config, start time.Time) <-chan Op {
+	total := int(cfg.Rate * cfg.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	out := make(chan Op, total)
+	r := rand.New(rand.NewSource(cfg.Seed))
+	pickKey := cfg.newKeyPicker(r)
+
+	go func() {
+		defer close(out)
+		due := start
+		for seq := 0; seq < total; seq++ {
+			// Inter-arrival spacing: exponential (Poisson process) by
+			// default, fixed for the uniform law.
+			var gap time.Duration
+			if cfg.Arrival == "uniform" {
+				gap = time.Duration(float64(time.Second) / cfg.Rate)
+			} else {
+				gap = time.Duration(r.ExpFloat64() / cfg.Rate * float64(time.Second))
+			}
+			due = due.Add(gap)
+			if wait := time.Until(due); wait > 0 {
+				timer := time.NewTimer(wait)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					return
+				}
+			}
+			// Behind schedule: emit immediately, no sleeping — catching up
+			// is what keeps the offered rate honest.
+			op := Op{Seq: seq, Kind: cfg.Mix.pick(r), Key: pickKey(), Due: due}
+			select {
+			case out <- op:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}

@@ -50,7 +50,8 @@ import (
 // Compaction bounds the file under heartbeat churn: Compact materializes
 // the current generation, writes the view as a snapshot into the next
 // generation file, atomically flips the pointer, and deletes the old
-// generations. Readers that observe the pointer move re-materialize from
+// generations — except the single most-recent superseded one, kept as a
+// grace copy for manual recovery. Readers that observe the pointer move re-materialize from
 // the snapshot; because the pointer only flips after the snapshot is fully
 // written (and writers are excluded by the flock throughout), a reader
 // tailing mid-compaction sees either the complete old generation or the
@@ -458,7 +459,9 @@ func (r *JournalRegistry) Prune() (int, error) {
 // Compact rolls the journal over to a fresh generation: materialize the
 // current generation, write the view as a snapshot into <path>.<gen+1>,
 // atomically flip the pointer file, and delete the superseded generation
-// files. Writers are excluded by the flock for the duration; readers keep
+// files — all but the most recent one, which is kept for a one-generation
+// grace window so an operator can recover by hand if the fresh snapshot is
+// lost. Writers are excluded by the flock for the duration; readers keep
 // serving their materialized view and re-materialize from the snapshot
 // when they observe the pointer move. Lapsed-but-unpruned entries survive
 // compaction (compaction bounds the file, Prune changes membership), with
@@ -482,14 +485,19 @@ func (r *JournalRegistry) Compact() error {
 			return fmt.Errorf("relay: flip journal generation: %w", err)
 		}
 		// The snapshot incorporates every superseded generation, the legacy
-		// flat base included; delete the old journal files actually on disk
-		// (normally just the one we materialized, plus crash leftovers —
-		// the operator's registry.json is left alone, it is simply no
-		// longer consulted).
-		_ = os.Remove(r.genPath(0))
+		// flat base included. Keep the single most-recent superseded
+		// generation (the one we just materialized) as a grace copy — if the
+		// fresh snapshot is lost or corrupted before the next compaction, an
+		// operator can point the generation file back at it and lose nothing
+		// — and delete everything older (crash leftovers included; the
+		// operator's registry.json is left alone, it is simply no longer
+		// consulted).
+		if gen > 0 {
+			_ = os.Remove(r.genPath(0))
+		}
 		if matches, err := filepath.Glob(r.path + ".[0-9]*"); err == nil {
 			for _, m := range matches {
-				if g, err := strconv.ParseUint(strings.TrimPrefix(m, r.path+"."), 10, 64); err == nil && g <= gen {
+				if g, err := strconv.ParseUint(strings.TrimPrefix(m, r.path+"."), 10, 64); err == nil && g < gen {
 					_ = os.Remove(m)
 				}
 			}

@@ -1,0 +1,127 @@
+package relay
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestJournalCompactionGraceWindowRecovery is the crash scenario the
+// one-generation grace window exists for: the current generation's
+// snapshot is destroyed after a compaction (disk fault, botched copy, an
+// operator's stray rm), and recovery is performed by hand — point the
+// generation file back at the kept superseded snapshot. Nothing that was
+// registered before the lost compaction may be lost, and the journal must
+// keep accepting appends and compacting afterwards.
+func TestJournalCompactionGraceWindowRecovery(t *testing.T) {
+	dir := t.TempDir()
+	reg := journalAt(t, dir)
+	for i := 0; i < 4; i++ {
+		if err := reg.RegisterLease("net", fmt.Sprintf("relay-%d:9080", i), time.Hour); err != nil {
+			t.Fatalf("RegisterLease: %v", err)
+		}
+	}
+	// Two compactions: the current generation is 2, and the grace window
+	// holds generation 1 (generation 0 is gone).
+	for i := 0; i < 2; i++ {
+		if err := reg.Compact(); err != nil {
+			t.Fatalf("Compact %d: %v", i, err)
+		}
+	}
+	if gen, err := reg.readGen(); err != nil || gen != 2 {
+		t.Fatalf("generation = %d, %v, want 2", gen, err)
+	}
+
+	// The crash: generation 2's snapshot is lost. A fresh reader cannot
+	// materialize the registry any more.
+	if err := os.Remove(reg.genPath(2)); err != nil {
+		t.Fatalf("simulate snapshot loss: %v", err)
+	}
+	broken := journalAt(t, dir)
+	if _, err := broken.Resolve("net"); err == nil {
+		t.Fatal("Resolve succeeded against a lost current-generation snapshot")
+	}
+
+	// Manual recovery, as the runbook prescribes: rewrite the pointer to
+	// the grace generation. Every lease registered before the lost
+	// compaction resolves again.
+	if err := os.WriteFile(reg.pointerPath(), []byte("1"), 0o644); err != nil {
+		t.Fatalf("rewind generation pointer: %v", err)
+	}
+	recovered := journalAt(t, dir)
+	addrs, err := recovered.Resolve("net")
+	if err != nil || len(addrs) != 4 {
+		t.Fatalf("post-recovery Resolve = %v, %v, want 4 addrs", addrs, err)
+	}
+
+	// The recovered journal is fully live: appends land in the restored
+	// generation and the next compaction rolls forward over the crash
+	// site, re-establishing the grace chain.
+	if err := recovered.RegisterLease("net", "relay-new:9080", time.Hour); err != nil {
+		t.Fatalf("post-recovery RegisterLease: %v", err)
+	}
+	if err := recovered.Compact(); err != nil {
+		t.Fatalf("post-recovery Compact: %v", err)
+	}
+	if gen, err := recovered.readGen(); err != nil || gen != 2 {
+		t.Fatalf("post-recovery generation = %d, %v, want 2", gen, err)
+	}
+	if _, err := os.Stat(recovered.genPath(1)); err != nil {
+		t.Fatalf("grace copy missing after post-recovery compaction: %v", err)
+	}
+	addrs, err = recovered.Resolve("net")
+	if err != nil || len(addrs) != 5 {
+		t.Fatalf("final Resolve = %v, %v, want 5 addrs", addrs, err)
+	}
+}
+
+// TestJournalCompactionKeepsExactlyOneSupersededGeneration pins the
+// retention policy across a chain of compactions: after every Compact,
+// exactly the current generation and its immediate predecessor exist on
+// disk — older generations (crash leftovers included) are removed.
+func TestJournalCompactionKeepsExactlyOneSupersededGeneration(t *testing.T) {
+	dir := t.TempDir()
+	reg := journalAt(t, dir)
+	if err := reg.RegisterLease("net", "relay-0:9080", time.Hour); err != nil {
+		t.Fatalf("RegisterLease: %v", err)
+	}
+	for round := 1; round <= 4; round++ {
+		if err := reg.Compact(); err != nil {
+			t.Fatalf("Compact %d: %v", round, err)
+		}
+		gen, err := reg.readGen()
+		if err != nil || gen != uint64(round) {
+			t.Fatalf("generation after round %d = %d, %v", round, gen, err)
+		}
+		var want []string
+		if round == 1 {
+			// Generation 0 is the root path itself.
+			want = []string{reg.genPath(0), reg.genPath(1)}
+		} else {
+			want = []string{reg.genPath(uint64(round - 1)), reg.genPath(uint64(round))}
+		}
+		for _, p := range want {
+			if _, err := os.Stat(p); err != nil {
+				t.Fatalf("round %d: expected journal file %s missing: %v", round, filepath.Base(p), err)
+			}
+		}
+		// Nothing older than the grace generation survives.
+		matches, err := filepath.Glob(reg.path + ".[0-9]*")
+		if err != nil {
+			t.Fatalf("glob: %v", err)
+		}
+		for _, m := range matches {
+			if m == reg.genPath(uint64(round)) || (round > 1 && m == reg.genPath(uint64(round-1))) {
+				continue
+			}
+			t.Fatalf("round %d: stale generation file %s survived compaction", round, filepath.Base(m))
+		}
+		if round > 1 {
+			if _, err := os.Stat(reg.genPath(0)); !os.IsNotExist(err) {
+				t.Fatalf("round %d: generation-0 root journal survived: %v", round, err)
+			}
+		}
+	}
+}

@@ -353,8 +353,10 @@ func TestJournalRegistryCompactionBoundsFile(t *testing.T) {
 	if st.Size() > 2048 {
 		t.Fatalf("snapshot is %d bytes for %d entries — compaction did not bound the file", st.Size(), addrs)
 	}
-	if _, err := os.Stat(reg.genPath(0)); !os.IsNotExist(err) {
-		t.Fatalf("generation-0 journal survived compaction: %v", err)
+	// The grace window keeps the single most-recent superseded generation
+	// (here generation 0) as a manual-recovery fallback.
+	if _, err := os.Stat(reg.genPath(0)); err != nil {
+		t.Fatalf("generation-0 grace copy missing after first compaction: %v", err)
 	}
 	// Both the compacting instance and the mid-tail instance see the full
 	// view across the rollover.
@@ -365,9 +367,16 @@ func TestJournalRegistryCompactionBoundsFile(t *testing.T) {
 		}
 	}
 	// A second compaction rolls again; the chain of generations keeps
-	// working.
+	// working, and the grace window slides — generation 1 is kept,
+	// generation 0 finally deleted.
 	if err := reg.Compact(); err != nil {
 		t.Fatalf("second Compact: %v", err)
+	}
+	if _, err := os.Stat(reg.genPath(0)); !os.IsNotExist(err) {
+		t.Fatalf("generation-0 journal survived the second compaction: %v", err)
+	}
+	if _, err := os.Stat(reg.genPath(1)); err != nil {
+		t.Fatalf("generation-1 grace copy missing after second compaction: %v", err)
 	}
 	if got, err := tailer.Resolve("net"); err != nil || len(got) != addrs {
 		t.Fatalf("tailer after second rollover = %v, %v", got, err)

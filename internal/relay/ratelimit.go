@@ -3,6 +3,7 @@ package relay
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -75,7 +76,11 @@ func WithRateLimit(l *RateLimiter) Option {
 }
 
 // Stats is a snapshot of the relay's served-request counters, the
-// operational visibility a production relay deployment needs.
+// operational visibility a production relay deployment needs. A Stats
+// value is always produced whole by statsCounters.Snapshot — the single
+// consistent read point — never assembled field by field, so consumers
+// (loadgen, operational tooling) can difference and merge snapshots
+// without ever seeing a counter set that mixes two read moments.
 type Stats struct {
 	QueriesServed   uint64
 	InvokesServed   uint64
@@ -104,55 +109,117 @@ type Stats struct {
 	BreakerSkips   uint64 // circuit-open addresses demoted past healthy ones at resolve time
 }
 
-// Stats returns a copy of the relay's counters.
-func (r *Relay) Stats() Stats {
-	r.statsMu.Lock()
-	defer r.statsMu.Unlock()
-	return r.stats
+// Sub returns the counter-wise difference s − prev: the activity between
+// the two snapshots. Callers measuring a bounded window (a load-generation
+// run, a monitoring interval) take a snapshot before and after and
+// difference them, so traffic from setup or earlier windows never pollutes
+// the measurement.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		QueriesServed:          s.QueriesServed - prev.QueriesServed,
+		InvokesServed:          s.InvokesServed - prev.InvokesServed,
+		ErrorsReturned:         s.ErrorsReturned - prev.ErrorsReturned,
+		RateLimited:            s.RateLimited - prev.RateLimited,
+		EventsDelivered:        s.EventsDelivered - prev.EventsDelivered,
+		InvokeReplays:          s.InvokeReplays - prev.InvokeReplays,
+		AttestationCacheHits:   s.AttestationCacheHits - prev.AttestationCacheHits,
+		AttestationCacheMisses: s.AttestationCacheMisses - prev.AttestationCacheMisses,
+		FanoutAttempts:         s.FanoutAttempts - prev.FanoutAttempts,
+		HedgedWins:             s.HedgedWins - prev.HedgedWins,
+		HedgedLosses:           s.HedgedLosses - prev.HedgedLosses,
+		BreakerSkips:           s.BreakerSkips - prev.BreakerSkips,
+	}
 }
 
-func (r *Relay) countQuery()  { r.statsMu.Lock(); r.stats.QueriesServed++; r.statsMu.Unlock() }
-func (r *Relay) countInvoke() { r.statsMu.Lock(); r.stats.InvokesServed++; r.statsMu.Unlock() }
-func (r *Relay) countError()  { r.statsMu.Lock(); r.stats.ErrorsReturned++; r.statsMu.Unlock() }
-func (r *Relay) countLimited() {
-	r.statsMu.Lock()
-	r.stats.RateLimited++
-	r.statsMu.Unlock()
+// Merge returns the counter-wise sum of s and o — the fleet view when
+// aggregating snapshots from several relays fronting one deployment.
+func (s Stats) Merge(o Stats) Stats {
+	return Stats{
+		QueriesServed:          s.QueriesServed + o.QueriesServed,
+		InvokesServed:          s.InvokesServed + o.InvokesServed,
+		ErrorsReturned:         s.ErrorsReturned + o.ErrorsReturned,
+		RateLimited:            s.RateLimited + o.RateLimited,
+		EventsDelivered:        s.EventsDelivered + o.EventsDelivered,
+		InvokeReplays:          s.InvokeReplays + o.InvokeReplays,
+		AttestationCacheHits:   s.AttestationCacheHits + o.AttestationCacheHits,
+		AttestationCacheMisses: s.AttestationCacheMisses + o.AttestationCacheMisses,
+		FanoutAttempts:         s.FanoutAttempts + o.FanoutAttempts,
+		HedgedWins:             s.HedgedWins + o.HedgedWins,
+		HedgedLosses:           s.HedgedLosses + o.HedgedLosses,
+		BreakerSkips:           s.BreakerSkips + o.BreakerSkips,
+	}
 }
-func (r *Relay) countEvent() { r.statsMu.Lock(); r.stats.EventsDelivered++; r.statsMu.Unlock() }
-func (r *Relay) countInvokeReplay() {
-	r.statsMu.Lock()
-	r.stats.InvokeReplays++
-	r.statsMu.Unlock()
+
+// AttestationCacheHitRate returns hits/(hits+misses), or 0 before the
+// first proof build.
+func (s Stats) AttestationCacheHitRate() float64 {
+	total := s.AttestationCacheHits + s.AttestationCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.AttestationCacheHits) / float64(total)
 }
-func (r *Relay) countAttestationCacheHit() {
-	r.statsMu.Lock()
-	r.stats.AttestationCacheHits++
-	r.statsMu.Unlock()
+
+// statsCounters is the relay's live counter set: one independent atomic
+// per counter, so the hot paths (every served request bumps at least one)
+// never contend on a shared lock, and a snapshot is one method rather than
+// scattered field reads.
+type statsCounters struct {
+	queriesServed          atomic.Uint64
+	invokesServed          atomic.Uint64
+	errorsReturned         atomic.Uint64
+	rateLimited            atomic.Uint64
+	eventsDelivered        atomic.Uint64
+	invokeReplays          atomic.Uint64
+	attestationCacheHits   atomic.Uint64
+	attestationCacheMisses atomic.Uint64
+	fanoutAttempts         atomic.Uint64
+	hedgedWins             atomic.Uint64
+	hedgedLosses           atomic.Uint64
+	breakerSkips           atomic.Uint64
 }
-func (r *Relay) countAttestationCacheMiss() {
-	r.statsMu.Lock()
-	r.stats.AttestationCacheMisses++
-	r.statsMu.Unlock()
+
+// Snapshot copies every counter into an immutable Stats value — the single
+// read point for the relay's counters.
+func (c *statsCounters) Snapshot() Stats {
+	return Stats{
+		QueriesServed:          c.queriesServed.Load(),
+		InvokesServed:          c.invokesServed.Load(),
+		ErrorsReturned:         c.errorsReturned.Load(),
+		RateLimited:            c.rateLimited.Load(),
+		EventsDelivered:        c.eventsDelivered.Load(),
+		InvokeReplays:          c.invokeReplays.Load(),
+		AttestationCacheHits:   c.attestationCacheHits.Load(),
+		AttestationCacheMisses: c.attestationCacheMisses.Load(),
+		FanoutAttempts:         c.fanoutAttempts.Load(),
+		HedgedWins:             c.hedgedWins.Load(),
+		HedgedLosses:           c.hedgedLosses.Load(),
+		BreakerSkips:           c.breakerSkips.Load(),
+	}
 }
-func (r *Relay) countFanoutAttempt() {
-	r.statsMu.Lock()
-	r.stats.FanoutAttempts++
-	r.statsMu.Unlock()
-}
-func (r *Relay) countHedgedWin() { r.statsMu.Lock(); r.stats.HedgedWins++; r.statsMu.Unlock() }
+
+// Stats returns a consistent snapshot of the relay's counters.
+func (r *Relay) Stats() Stats { return r.stats.Snapshot() }
+
+func (r *Relay) countQuery()                { r.stats.queriesServed.Add(1) }
+func (r *Relay) countInvoke()               { r.stats.invokesServed.Add(1) }
+func (r *Relay) countError()                { r.stats.errorsReturned.Add(1) }
+func (r *Relay) countLimited()              { r.stats.rateLimited.Add(1) }
+func (r *Relay) countEvent()                { r.stats.eventsDelivered.Add(1) }
+func (r *Relay) countInvokeReplay()         { r.stats.invokeReplays.Add(1) }
+func (r *Relay) countAttestationCacheHit()  { r.stats.attestationCacheHits.Add(1) }
+func (r *Relay) countAttestationCacheMiss() { r.stats.attestationCacheMisses.Add(1) }
+func (r *Relay) countFanoutAttempt()        { r.stats.fanoutAttempts.Add(1) }
+func (r *Relay) countHedgedWin()            { r.stats.hedgedWins.Add(1) }
 func (r *Relay) countBreakerSkips(n int) {
-	r.statsMu.Lock()
-	r.stats.BreakerSkips += uint64(n)
-	r.statsMu.Unlock()
+	if n > 0 {
+		r.stats.breakerSkips.Add(uint64(n))
+	}
 }
 func (r *Relay) countHedgedLosses(n int) {
-	if n <= 0 {
-		return
+	if n > 0 {
+		r.stats.hedgedLosses.Add(uint64(n))
 	}
-	r.statsMu.Lock()
-	r.stats.HedgedLosses += uint64(n)
-	r.statsMu.Unlock()
 }
 
 // checkLimit applies the rate limiter, if configured, to an incoming

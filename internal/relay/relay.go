@@ -204,8 +204,7 @@ type Relay struct {
 	events *eventHub
 
 	limiter *RateLimiter
-	statsMu sync.Mutex
-	stats   Stats
+	stats   statsCounters
 
 	// Source-side invoke idempotency: recently served invoke responses by
 	// request ID, replayed on transport-level resends (see handleInvoke).
