@@ -466,20 +466,36 @@ func BenchmarkP3PolicyEvaluation(b *testing.B) {
 	}
 }
 
-// BenchmarkP4CommitThroughput is the block-batching ablation: transactions
-// per second as the orderer's batch size grows.
+// BenchmarkP4CommitThroughput is the commit-pipeline ablation. The batch-N
+// sub-benchmarks sweep the synchronous orderer's batch size (the original
+// block-batching ablation); the committers-N sub-benchmarks hold the
+// pipelined orderer fixed and sweep the peer's commit worker pool over a
+// conflict-free workload, where committers-1 is the serial fallback and the
+// wider pools parallelize endorsement verification and write application.
 func BenchmarkP4CommitThroughput(b *testing.B) {
+	deployKV := func(b *testing.B, n *fabric.Network) (*fabric.Gateway, []*peer.Peer) {
+		b.Helper()
+		if _, err := n.AddOrg("org", 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := n.Deploy("kv", chaincode.Func(func(stub chaincode.Stub) ([]byte, error) {
+			return nil, stub.PutState(string(stub.Args()[0]), stub.Args()[1])
+		}), "'org'"); err != nil {
+			b.Fatal(err)
+		}
+		org, _ := n.Org("org")
+		client, err := org.CA.Issue("c", msp.RoleClient)
+		if err != nil {
+			b.Fatal(err)
+		}
+		peers, _ := n.PeersOf("org")
+		return n.Gateway(client), peers
+	}
+
 	for _, batch := range []int{1, 10, 100} {
 		b.Run(fmt.Sprintf("batch-%d", batch), func(b *testing.B) {
 			n := fabric.NewNetwork("bench", orderer.Config{BatchSize: batch})
-			_, _ = n.AddOrg("org", 1)
-			_ = n.Deploy("kv", chaincode.Func(func(stub chaincode.Stub) ([]byte, error) {
-				return nil, stub.PutState(string(stub.Args()[0]), stub.Args()[1])
-			}), "'org'")
-			org, _ := n.Org("org")
-			client, _ := org.CA.Issue("c", msp.RoleClient)
-			gw := n.Gateway(client)
-			peers, _ := n.PeersOf("org")
+			gw, peers := deployKV(b, n)
 			val := make([]byte, 256)
 			b.ReportAllocs()
 			b.ResetTimer()
@@ -503,6 +519,63 @@ func BenchmarkP4CommitThroughput(b *testing.B) {
 			}
 			b.StopTimer()
 			_ = n.Orderer().Flush()
+		})
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("committers-%d", workers), func(b *testing.B) {
+			n := fabric.NewNetworkTuned("bench", fabric.Tuning{
+				Orderer: orderer.Config{
+					Pipelined: true, BatchSize: 16,
+					BatchTimeout: time.Millisecond, MaxPending: 256,
+				},
+				CommitterWorkers: workers,
+			})
+			defer func() {
+				if err := n.Orderer().Stop(); err != nil {
+					b.Fatal(err)
+				}
+			}()
+			gw, peers := deployKV(b, n)
+			val := make([]byte, 256)
+			var seq atomic.Uint64
+			b.ReportAllocs()
+			// Submitters are open-loop clients, not CPU-bound workers: run
+			// far more of them than GOMAXPROCS so the orderer's batches fill
+			// by size instead of stalling on the cut timer.
+			b.SetParallelism(32)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					// Fresh key per transaction: conflict-free, so every
+					// write set lands on the scheduler's first level.
+					i := seq.Add(1)
+					inv := chaincode.Invocation{
+						TxID: fmt.Sprintf("tx-%d", i), Chaincode: "kv", Function: "put",
+						Args:        [][]byte{[]byte(fmt.Sprintf("k%d", i)), val},
+						CreatorCert: gw.Identity().CertPEM(), Timestamp: time.Now(),
+					}
+					resp, err := peers[0].Endorse(inv)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					tx, err := assembleOne(inv, resp)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if err := n.Orderer().SubmitWait(tx); err != nil {
+						b.Error(err)
+						return
+					}
+					if tx.Validation != ledger.Valid {
+						b.Errorf("tx-%d validation = %v", i, tx.Validation)
+						return
+					}
+				}
+			})
+			b.StopTimer()
 		})
 	}
 }

@@ -36,6 +36,10 @@ func runLoadgen(args []string) error {
 	churn := fs.Bool("churn", false, "kill and restart source relays during the run")
 	churnInterval := fs.Duration("churn-interval", 0, "period of the kill/restart cycle")
 	seed := fs.Int64("seed", 0, "RNG seed for the schedule (0 keeps the preset's)")
+	pipelined := fs.Bool("pipelined", false, "pipelined orderer batching on both networks")
+	batchSize := fs.Int("batch-size", 0, "orderer batch size with -pipelined (0 = orderer default)")
+	committers := fs.Int("committers", 0, "committer workers per peer (<=1 = serial committer)")
+	baseline := fs.String("baseline", "", "prior report to diff p50/p99 against (warn-only, never fails the run)")
 	out := fs.String("out", loadgen.DefaultOutput, "report output path")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +89,12 @@ func runLoadgen(args []string) error {
 			cfg.ChurnInterval = *churnInterval
 		case "seed":
 			cfg.Seed = *seed
+		case "pipelined":
+			cfg.Pipelined = *pipelined
+		case "batch-size":
+			cfg.BatchSize = *batchSize
+		case "committers":
+			cfg.CommitterWorkers = *committers
 		}
 	})
 	cfg.Output = *out
@@ -113,6 +123,21 @@ func runLoadgen(args []string) error {
 		path = loadgen.DefaultOutput
 	}
 	fmt.Printf("\nreport written to %s\n", path)
+
+	// The baseline diff is advisory: latency on shared CI hardware jitters,
+	// so regressions print as warnings and never change the exit status.
+	if *baseline != "" {
+		base, err := loadgen.ReadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: baseline diff skipped: %v\n", err)
+		} else if warnings := report.DiffBaseline(base); len(warnings) > 0 {
+			for _, w := range warnings {
+				fmt.Fprintf(os.Stderr, "loadgen: warn: latency regression vs %s: %s\n", *baseline, w)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "loadgen: p50/p99 within slack of baseline %s\n", *baseline)
+		}
+	}
 
 	// Exit status carries the verdict: protocol errors and exactly-once
 	// violations fail the run even though it completed.

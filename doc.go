@@ -76,11 +76,30 @@
 // become unreproducible through an org change. On the query hot path a
 // content-addressed attestation cache (keyed by query digest + policy
 // digest + result digest + requester certificate digest; LRU + TTL with
-// two-touch admission, invalidated by any valid write into the queried
-// chaincode namespace) serves repeated identical queries with zero
-// signing or encryption;
+// two-touch admission) serves repeated identical queries with zero signing
+// or encryption. Cache invalidation is exact: each entry remembers the
+// chaincode namespaces its query's read set touched, and only a later
+// valid write into one of those namespaces evicts it — writes to unrelated
+// chaincodes leave it warm.
 // Stats.AttestationCacheHits/Misses expose its effectiveness and `netadmin
 // proofs show` dumps a persisted artifact.
+//
+// The commit path is pipelined and conflict-aware. World state is
+// namespaced per chaincode and sharded with one lock per namespace
+// (internal/statedb). The solo orderer gains a pipelined mode
+// (orderer.Config.Pipelined): a background cutter goroutine cuts blocks on
+// two triggers — BatchSize transactions accumulated, or BatchTimeout
+// elapsed since the batch opened — with MaxPending backpressure on
+// submitters, while SubmitWait couples a client to its block's delivery in
+// either mode. On the peer, Peer.SetCommitterWorkers widens commitment:
+// endorsement checks run on a bounded worker pool, a dependency scheduler
+// derived from each transaction's RWSet levels the block by write-write
+// conflicts on namespaced keys, and non-conflicting write sets apply in
+// parallel — validation codes, version stamps and world state are
+// byte-identical to the serial committer, which remains the default and
+// the rollback knob (workers <= 1). fabric.Tuning carries both knobs
+// through the application builders down to `interopctl loadgen
+// -pipelined -batch-size N -committers M`.
 //
 // The system is measurable under production-shaped load. `interopctl
 // loadgen` (internal/loadgen) builds a multi-relay TCP deployment, drives

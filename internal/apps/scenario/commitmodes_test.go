@@ -1,0 +1,32 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/orderer"
+)
+
+// commitModes are the two commit-pipeline configurations every invariant
+// suite in this package runs under: the historical synchronous serial path,
+// and the pipelined orderer feeding parallel committers. The guarantees —
+// exactly-once, proof-carrying replay, MVCC — must hold identically in
+// both.
+var commitModes = []struct {
+	name string
+	tune fabric.Tuning
+}{
+	{"serial", fabric.Tuning{Orderer: orderer.Config{BatchSize: 1}}},
+	{"pipelined", fabric.Tuning{
+		Orderer:          orderer.Config{Pipelined: true, BatchSize: 8},
+		CommitterWorkers: 8,
+	}},
+}
+
+// forEachCommitMode runs a scenario once per commit mode as subtests.
+func forEachCommitMode(t *testing.T, scenario func(t *testing.T, tune fabric.Tuning)) {
+	for _, mode := range commitModes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) { scenario(t, mode.tune) })
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/apps/wetrade"
 	"repro/internal/core"
 	"repro/internal/cryptoutil"
+	"repro/internal/fabric"
 	"repro/internal/ledger"
 	"repro/internal/msp"
 	"repro/internal/proof"
@@ -28,9 +29,9 @@ const STLRelayAddrB = "stl-relay-b:9082"
 // buildExactlyOnceWorld wires the trade world plus: the audit contract and
 // its access rule on STL (DeployAuditLog), and a second relay fronting STL
 // registered in discovery after the first.
-func buildExactlyOnceWorld(t *testing.T) (*TradeWorld, *relay.Relay) {
+func buildExactlyOnceWorld(t *testing.T, tune ...fabric.Tuning) (*TradeWorld, *relay.Relay) {
 	t.Helper()
-	w, err := Build()
+	w, err := Build(tune...)
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -93,7 +94,11 @@ func committedInvokes(t *testing.T, w *TradeWorld, txID string) (valid, duplicat
 // original committed response, recovered from the ledger, and the ledger
 // holds exactly one valid transaction for the request.
 func TestExactlyOnceFailoverToSecondRelay(t *testing.T) {
-	w, relayB := buildExactlyOnceWorld(t)
+	forEachCommitMode(t, testExactlyOnceFailoverToSecondRelay)
+}
+
+func testExactlyOnceFailoverToSecondRelay(t *testing.T, tune fabric.Tuning) {
+	w, relayB := buildExactlyOnceWorld(t, tune)
 	client, err := core.NewClient(w.SWT, wetrade.SellerBankOrg, "eo-client")
 	if err != nil {
 		t.Fatalf("NewClient: %v", err)
@@ -201,7 +206,11 @@ func (ri *rawInvoker) open(t *testing.T, q *wire.Query, resp *wire.QueryResponse
 // ledger-level duplicate check collapses the race: exactly one transaction
 // commits as valid, and both relays return that committed response.
 func TestExactlyOnceConcurrentRelays(t *testing.T) {
-	w, relayB := buildExactlyOnceWorld(t)
+	forEachCommitMode(t, testExactlyOnceConcurrentRelays)
+}
+
+func testExactlyOnceConcurrentRelays(t *testing.T, tune fabric.Tuning) {
+	w, relayB := buildExactlyOnceWorld(t, tune)
 	relayA := w.STL.Relay
 	ri := newRawInvoker(t, w)
 	nonce, err := cryptoutil.NewNonce()
@@ -263,7 +272,11 @@ func TestExactlyOnceConcurrentRelays(t *testing.T) {
 // ledger. The hedge-hungry client gets availability without a double
 // commit.
 func TestExactlyOnceHedgingClientNeverDuplicates(t *testing.T) {
-	w, _ := buildExactlyOnceWorld(t)
+	forEachCommitMode(t, testExactlyOnceHedgingClientNeverDuplicates)
+}
+
+func testExactlyOnceHedgingClientNeverDuplicates(t *testing.T, tune fabric.Tuning) {
+	w, _ := buildExactlyOnceWorld(t, tune)
 	ri := newRawInvoker(t, w)
 	nonce, err := cryptoutil.NewNonce()
 	if err != nil {
@@ -306,7 +319,11 @@ func TestExactlyOnceHedgingClientNeverDuplicates(t *testing.T) {
 // idempotency key neither blocks nor leaks into a different requester's
 // invoke that happens to choose the same key. Each commits independently.
 func TestDistinctRequestersMaySameRequestID(t *testing.T) {
-	w, _ := buildExactlyOnceWorld(t)
+	forEachCommitMode(t, testDistinctRequestersMaySameRequestID)
+}
+
+func testDistinctRequestersMaySameRequestID(t *testing.T, tune fabric.Tuning) {
+	w, _ := buildExactlyOnceWorld(t, tune)
 	alice := newRawInvoker(t, w)
 	bob := newRawInvoker(t, w)
 	nonceA, _ := cryptoutil.NewNonce()
@@ -341,7 +358,11 @@ func TestDistinctRequestersMaySameRequestID(t *testing.T) {
 // different arguments gets an error — never silently stale data — and the
 // original commit stays untouched.
 func TestIdempotencyKeyReuseWithDifferentRequestRefused(t *testing.T) {
-	w, _ := buildExactlyOnceWorld(t)
+	forEachCommitMode(t, testIdempotencyKeyReuseWithDifferentRequestRefused)
+}
+
+func testIdempotencyKeyReuseWithDifferentRequestRefused(t *testing.T, tune fabric.Tuning) {
+	w, _ := buildExactlyOnceWorld(t, tune)
 	ri := newRawInvoker(t, w)
 	nonce, _ := cryptoutil.NewNonce()
 	sendTo := func(addr string, q *wire.Query) *wire.Envelope {

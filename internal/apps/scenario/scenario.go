@@ -37,11 +37,13 @@ type TradeWorld struct {
 }
 
 // Build constructs and initializes the trade world over an in-process
-// transport.
-func Build() (*TradeWorld, error) {
+// transport. An optional fabric.Tuning applies to both networks — orderer
+// batching mode and committer worker pool; omitted, both run the
+// synchronous serial configuration.
+func Build(tune ...fabric.Tuning) (*TradeWorld, error) {
 	hub := relay.NewHub()
 	registry := relay.NewStaticRegistry()
-	w, err := BuildWith(registry, hub)
+	w, err := BuildWith(registry, hub, tune...)
 	if err != nil {
 		return nil, err
 	}
@@ -57,12 +59,12 @@ func Build() (*TradeWorld, error) {
 // BuildWith constructs the networks over caller-supplied discovery and
 // transport (used for TCP deployments), leaving relay registration to the
 // caller.
-func BuildWith(discovery relay.Discovery, transport relay.Transport) (*TradeWorld, error) {
-	stl, err := tradelens.BuildNetwork(discovery, transport)
+func BuildWith(discovery relay.Discovery, transport relay.Transport, tune ...fabric.Tuning) (*TradeWorld, error) {
+	stl, err := tradelens.BuildNetwork(discovery, transport, tune...)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: build STL: %w", err)
 	}
-	swt, err := wetrade.BuildNetwork(discovery, transport)
+	swt, err := wetrade.BuildNetwork(discovery, transport, tune...)
 	if err != nil {
 		return nil, fmt.Errorf("scenario: build SWT: %w", err)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/apps/tradelens"
 	"repro/internal/apps/wetrade"
+	"repro/internal/fabric"
 	"repro/internal/relay"
 )
 
@@ -95,12 +96,12 @@ type TCPDeployment struct {
 }
 
 // BuildTCP builds and initializes the trade world over TCP with
-// 1+extraSTLRelays relays fronting STL. Callers own the returned
-// deployment and must Close it.
-func BuildTCP(extraSTLRelays int) (*TCPDeployment, error) {
+// 1+extraSTLRelays relays fronting STL. An optional fabric.Tuning applies
+// to both networks. Callers own the returned deployment and must Close it.
+func BuildTCP(extraSTLRelays int, tune ...fabric.Tuning) (*TCPDeployment, error) {
 	registry := relay.NewStaticRegistry()
 	transport := &relay.TCPTransport{DialTimeout: 2 * time.Second, IOTimeout: 10 * time.Second}
-	w, err := BuildWith(registry, transport)
+	w, err := BuildWith(registry, transport, tune...)
 	if err != nil {
 		return nil, err
 	}
@@ -144,9 +145,14 @@ func (d *TCPDeployment) AllServers() []*TCPRelayServer {
 	return all
 }
 
-// Close tears every server down.
+// Close tears every server down and stops both networks' orderers, so a
+// pipelined deployment leaves no cutter goroutine behind.
 func (d *TCPDeployment) Close() {
 	for _, s := range d.AllServers() {
 		_ = s.Close()
+	}
+	if d.World != nil {
+		_ = d.World.STL.Fabric.Orderer().Stop()
+		_ = d.World.SWT.Fabric.Orderer().Stop()
 	}
 }

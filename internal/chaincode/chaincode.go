@@ -181,13 +181,21 @@ func Simulate(reg *Registry, state *statedb.Store, inv Invocation) (*SimResult, 
 
 type pendingWrite struct {
 	seq      int
+	ns       string
+	key      string
 	value    []byte
 	isDelete bool
 }
 
+// nsKey joins a namespace and key into one map key. U+0000 cannot appear in
+// namespace names, so the join is unambiguous.
+func nsKey(ns, key string) string { return ns + "\x00" + key }
+
 // simContext is shared across a proposal's stub and any stubs created by
 // cross-chaincode invocation, so the whole call tree yields one read-write
-// set (Fabric's same-channel chaincode-to-chaincode semantics).
+// set (Fabric's same-channel chaincode-to-chaincode semantics). Each stub
+// in the tree reads and writes its own chaincode's namespace, so the maps
+// are keyed by namespace+key.
 type simContext struct {
 	reg      *Registry
 	state    *statedb.Store
@@ -208,17 +216,13 @@ func (c *simContext) rwset() ledger.RWSet {
 	for _, k := range readKeys {
 		rw.Reads = append(rw.Reads, c.readVers[k])
 	}
-	type kw struct {
-		key string
-		pendingWrite
-	}
-	ordered := make([]kw, 0, len(c.writes))
-	for k, w := range c.writes {
-		ordered = append(ordered, kw{key: k, pendingWrite: w})
+	ordered := make([]pendingWrite, 0, len(c.writes))
+	for _, w := range c.writes {
+		ordered = append(ordered, w)
 	}
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].seq < ordered[j].seq })
 	for _, w := range ordered {
-		rw.Writes = append(rw.Writes, ledger.KVWrite{Key: w.key, Value: w.value, IsDelete: w.isDelete})
+		rw.Writes = append(rw.Writes, ledger.KVWrite{Namespace: w.ns, Key: w.key, Value: w.value, IsDelete: w.isDelete})
 	}
 	return rw
 }
@@ -252,8 +256,9 @@ func (s *simStub) GetState(key string) ([]byte, error) {
 	if key == "" {
 		return nil, statedb.ErrInvalidKey
 	}
+	nk := nsKey(s.chaincode, key)
 	// Read-your-writes within the invocation.
-	if w, ok := s.ctx.writes[key]; ok {
+	if w, ok := s.ctx.writes[nk]; ok {
 		if w.isDelete {
 			return nil, nil
 		}
@@ -261,10 +266,10 @@ func (s *simStub) GetState(key string) ([]byte, error) {
 		copy(out, w.value)
 		return out, nil
 	}
-	vv, exists := s.ctx.state.Get(key)
+	vv, exists := s.ctx.state.Get(s.chaincode, key)
 	// Record the first observed version for MVCC validation.
-	if _, seen := s.ctx.readVers[key]; !seen {
-		s.ctx.readVers[key] = ledger.KVRead{Key: key, Version: vv.Version, Exists: exists}
+	if _, seen := s.ctx.readVers[nk]; !seen {
+		s.ctx.readVers[nk] = ledger.KVRead{Namespace: s.chaincode, Key: key, Version: vv.Version, Exists: exists}
 	}
 	if !exists {
 		return nil, nil
@@ -282,7 +287,7 @@ func (s *simStub) PutState(key string, value []byte) error {
 	val := make([]byte, len(value))
 	copy(val, value)
 	s.ctx.writeSeq++
-	s.ctx.writes[key] = pendingWrite{seq: s.ctx.writeSeq, value: val}
+	s.ctx.writes[nsKey(s.chaincode, key)] = pendingWrite{seq: s.ctx.writeSeq, ns: s.chaincode, key: key, value: val}
 	return nil
 }
 
@@ -294,17 +299,18 @@ func (s *simStub) DelState(key string) error {
 		return ErrReadOnly
 	}
 	s.ctx.writeSeq++
-	s.ctx.writes[key] = pendingWrite{seq: s.ctx.writeSeq, isDelete: true}
+	s.ctx.writes[nsKey(s.chaincode, key)] = pendingWrite{seq: s.ctx.writeSeq, ns: s.chaincode, key: key, isDelete: true}
 	return nil
 }
 
 func (s *simStub) GetStateRange(start, end string) ([]KV, error) {
-	kvs := s.ctx.state.Range(start, end)
+	kvs := s.ctx.state.Range(s.chaincode, start, end)
 	out := make([]KV, 0, len(kvs))
 	for _, kv := range kvs {
 		// Range reads are recorded for MVCC like point reads.
-		if _, seen := s.ctx.readVers[kv.Key]; !seen {
-			s.ctx.readVers[kv.Key] = ledger.KVRead{Key: kv.Key, Version: kv.Version, Exists: true}
+		nk := nsKey(s.chaincode, kv.Key)
+		if _, seen := s.ctx.readVers[nk]; !seen {
+			s.ctx.readVers[nk] = ledger.KVRead{Namespace: s.chaincode, Key: kv.Key, Version: kv.Version, Exists: true}
 		}
 		out = append(out, KV{Key: kv.Key, Value: kv.Value})
 	}

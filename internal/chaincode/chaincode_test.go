@@ -64,18 +64,18 @@ func TestSimulatePutAndRead(t *testing.T) {
 	if !bytes.Equal(res.Response, []byte("hello")) {
 		t.Fatalf("response = %q", res.Response)
 	}
-	if len(res.RWSet.Writes) != 1 || res.RWSet.Writes[0].Key != "greeting" {
+	if len(res.RWSet.Writes) != 1 || res.RWSet.Writes[0].Key != "greeting" || res.RWSet.Writes[0].Namespace != "cc" {
 		t.Fatalf("writes = %+v", res.RWSet.Writes)
 	}
 	// Simulation must not touch committed state.
-	if _, ok := state.Get("greeting"); ok {
+	if _, ok := state.Get("cc", "greeting"); ok {
 		t.Fatal("simulation mutated committed state")
 	}
 }
 
 func TestSimulateRecordsReadVersions(t *testing.T) {
 	reg, state := newEnv(t)
-	state.ApplyWrites([]statedb.Write{{Key: "k", Value: []byte("v")}},
+	state.ApplyWrites([]statedb.Write{{Namespace: "cc", Key: "k", Value: []byte("v")}},
 		statedb.Version{BlockNum: 7, TxNum: 2})
 	reg.Register("cc", Func(func(stub Stub) ([]byte, error) {
 		if _, err := stub.GetState("k"); err != nil {
@@ -98,14 +98,14 @@ func TestSimulateRecordsReadVersions(t *testing.T) {
 		t.Fatalf("read[0] = %+v", res.RWSet.Reads[0])
 	}
 	got := res.RWSet.Reads[1]
-	if got.Key != "k" || !got.Exists || got.Version.BlockNum != 7 || got.Version.TxNum != 2 {
+	if got.Key != "k" || got.Namespace != "cc" || !got.Exists || got.Version.BlockNum != 7 || got.Version.TxNum != 2 {
 		t.Fatalf("read[1] = %+v", got)
 	}
 }
 
 func TestSimulateDelete(t *testing.T) {
 	reg, state := newEnv(t)
-	state.ApplyWrites([]statedb.Write{{Key: "k", Value: []byte("v")}}, statedb.Version{})
+	state.ApplyWrites([]statedb.Write{{Namespace: "cc", Key: "k", Value: []byte("v")}}, statedb.Version{})
 	reg.Register("cc", Func(func(stub Stub) ([]byte, error) {
 		if err := stub.DelState("k"); err != nil {
 			return nil, err
@@ -143,8 +143,8 @@ func TestReadOnlyInvocationRejectsWrites(t *testing.T) {
 func TestGetStateRangeExcludesPendingWrites(t *testing.T) {
 	reg, state := newEnv(t)
 	state.ApplyWrites([]statedb.Write{
-		{Key: "k1", Value: []byte("a")},
-		{Key: "k2", Value: []byte("b")},
+		{Namespace: "cc", Key: "k1", Value: []byte("a")},
+		{Namespace: "cc", Key: "k2", Value: []byte("b")},
 	}, statedb.Version{})
 	reg.Register("cc", Func(func(stub Stub) ([]byte, error) {
 		if err := stub.PutState("k3", []byte("c")); err != nil {
@@ -192,9 +192,13 @@ func TestCrossChaincodeInvokeSharesContext(t *testing.T) {
 	if len(res.RWSet.Writes) != 2 {
 		t.Fatalf("writes = %+v", res.RWSet.Writes)
 	}
-	// Write order must reflect execution order: callee wrote first.
+	// Write order must reflect execution order: callee wrote first. Each
+	// write is attributed to the chaincode that issued it.
 	if res.RWSet.Writes[0].Key != "callee-key" || res.RWSet.Writes[1].Key != "caller-key" {
 		t.Fatalf("write order = %+v", res.RWSet.Writes)
+	}
+	if res.RWSet.Writes[0].Namespace != "callee" || res.RWSet.Writes[1].Namespace != "caller" {
+		t.Fatalf("write namespaces = %+v", res.RWSet.Writes)
 	}
 }
 
@@ -305,7 +309,7 @@ func TestChaincodeErrorPropagates(t *testing.T) {
 func BenchmarkSimulateReadWrite(b *testing.B) {
 	reg := NewRegistry()
 	state := statedb.NewStore()
-	state.ApplyWrites([]statedb.Write{{Key: "in", Value: make([]byte, 256)}}, statedb.Version{})
+	state.ApplyWrites([]statedb.Write{{Namespace: "cc", Key: "in", Value: make([]byte, 256)}}, statedb.Version{})
 	reg.Register("cc", Func(func(stub Stub) ([]byte, error) {
 		v, err := stub.GetState("in")
 		if err != nil {

@@ -48,7 +48,7 @@ func TestLateOrgPeerStateSynced(t *testing.T) {
 		if err := p.Blocks().VerifyChain(); err != nil {
 			t.Fatalf("new peer chain: %v", err)
 		}
-		vv, ok := p.State().Get("k")
+		vv, ok := p.State().Get("kv", "k")
 		if !ok || string(vv.Value) != "v" {
 			t.Fatalf("new peer state = %+v %v", vv, ok)
 		}

@@ -77,7 +77,7 @@ func TestCommitReachesAllPeers(t *testing.T) {
 		t.Fatalf("Submit: %v", err)
 	}
 	for _, p := range n.AllPeers() {
-		vv, ok := p.State().Get("k")
+		vv, ok := p.State().Get("kv", "k")
 		if !ok || !bytes.Equal(vv.Value, []byte("v")) {
 			t.Fatalf("peer %s state: %+v %v", p.Name(), vv, ok)
 		}
@@ -156,8 +156,10 @@ func TestMVCCConflictDetected(t *testing.T) {
 	// Build a combined chaincode call that reads then writes via two
 	// endorsements is not possible with the kv contract; use a dedicated
 	// contract instead.
+	// Read through the kv chaincode so the read set records kv's
+	// namespace — the namespace the intervening write below lands in.
 	if err := n.Deploy("rmw", chaincode.Func(func(stub chaincode.Stub) ([]byte, error) {
-		cur, err := stub.GetState("k")
+		cur, err := stub.InvokeChaincode("kv", "get", [][]byte{[]byte("k")})
 		if err != nil {
 			return nil, err
 		}

@@ -12,18 +12,22 @@ import (
 )
 
 // KVRead records that a key was read at a given committed version during
-// simulation. A missing key is recorded with Exists=false.
+// simulation. A missing key is recorded with Exists=false. Namespace is the
+// chaincode whose state space the key belongs to.
 type KVRead struct {
-	Key     string
-	Version statedb.Version
-	Exists  bool
+	Namespace string
+	Key       string
+	Version   statedb.Version
+	Exists    bool
 }
 
-// KVWrite records a pending write produced during simulation.
+// KVWrite records a pending write produced during simulation, scoped to the
+// chaincode namespace that issued it.
 type KVWrite struct {
-	Key      string
-	Value    []byte
-	IsDelete bool
+	Namespace string
+	Key       string
+	Value     []byte
+	IsDelete  bool
 }
 
 // RWSet is the outcome of simulating a transaction proposal.
@@ -42,6 +46,7 @@ func (rw *RWSet) Marshal() []byte {
 		re.Uint(2, r.Version.BlockNum)
 		re.Uint(3, r.Version.TxNum)
 		re.Bool(4, r.Exists)
+		re.String(5, r.Namespace)
 		e.Message(1, re.Bytes())
 	}
 	for i := range rw.Writes {
@@ -50,6 +55,7 @@ func (rw *RWSet) Marshal() []byte {
 		we.String(1, w.Key)
 		we.BytesField(2, w.Value)
 		we.Bool(3, w.IsDelete)
+		we.String(4, w.Namespace)
 		e.Message(2, we.Bytes())
 	}
 	return e.Bytes()
@@ -116,6 +122,8 @@ func unmarshalKVRead(buf []byte) (KVRead, error) {
 			r.Version.TxNum, err = d.Uint()
 		case 4:
 			r.Exists, err = d.Bool()
+		case 5:
+			r.Namespace, err = d.String()
 		default:
 			err = d.Skip()
 		}
@@ -143,6 +151,8 @@ func unmarshalKVWrite(buf []byte) (KVWrite, error) {
 			w.Value, err = d.BytesCopy()
 		case 3:
 			w.IsDelete, err = d.Bool()
+		case 4:
+			w.Namespace, err = d.String()
 		default:
 			err = d.Skip()
 		}
@@ -156,7 +166,25 @@ func unmarshalKVWrite(buf []byte) (KVWrite, error) {
 func (rw *RWSet) StateWrites() []statedb.Write {
 	out := make([]statedb.Write, len(rw.Writes))
 	for i, w := range rw.Writes {
-		out[i] = statedb.Write{Key: w.Key, Value: w.Value, IsDelete: w.IsDelete}
+		out[i] = statedb.Write{Namespace: w.Namespace, Key: w.Key, Value: w.Value, IsDelete: w.IsDelete}
+	}
+	return out
+}
+
+// WriteNamespaces returns the distinct chaincode namespaces this
+// transaction writes to, in first-seen order. Callers use it for exact
+// cache invalidation: only readers of these namespaces can be affected by
+// the commit.
+func (rw *RWSet) WriteNamespaces() []string {
+	seen := make(map[string]struct{}, 2)
+	out := make([]string, 0, 2)
+	for i := range rw.Writes {
+		ns := rw.Writes[i].Namespace
+		if _, dup := seen[ns]; dup {
+			continue
+		}
+		seen[ns] = struct{}{}
+		out = append(out, ns)
 	}
 	return out
 }

@@ -1,0 +1,59 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReadReport loads a previously written BENCH_loadgen.json.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: read baseline: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("loadgen: parse baseline %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Baseline-diff thresholds: a latency regression is only worth a warning
+// when it is both relatively large and absolutely visible — short smoke
+// runs on shared CI hardware jitter far too much for tight gates, which is
+// also why the diff never fails the run.
+const (
+	baselineRelSlack = 0.25 // 25% over baseline
+	baselineAbsMs    = 1.0  // and at least 1ms absolute
+)
+
+// DiffBaseline compares this run's p50/p99 latencies against a baseline
+// report and returns one human-readable warning line per regression beyond
+// the slack. The comparison is advisory: callers print the lines and move
+// on, they never turn them into a failure.
+func (r *Report) DiffBaseline(base *Report) []string {
+	var warnings []string
+	check := func(scope, which string, got, want float64) {
+		if want <= 0 {
+			return
+		}
+		if got > want*(1+baselineRelSlack) && got-want > baselineAbsMs {
+			warnings = append(warnings, fmt.Sprintf(
+				"%s %s %.2fms vs baseline %.2fms (+%.0f%%)",
+				scope, which, got, want, (got/want-1)*100))
+		}
+	}
+	check("overall", "p50", r.Overall.P50, base.Overall.P50)
+	check("overall", "p99", r.Overall.P99, base.Overall.P99)
+	for _, k := range OpKinds {
+		cur, curOK := r.Ops[k]
+		prev, prevOK := base.Ops[k]
+		if !curOK || !prevOK {
+			continue
+		}
+		check(string(k), "p50", cur.Latency.P50, prev.Latency.P50)
+		check(string(k), "p99", cur.Latency.P99, prev.Latency.P99)
+	}
+	return warnings
+}

@@ -230,7 +230,7 @@ func RunLive(ctx context.Context, cfg *Config) (*Report, error) {
 		return nil, err
 	}
 	startedAt := time.Now()
-	dep, err := scenario.BuildTCP(cfg.ExtraSTLRelays)
+	dep, err := scenario.BuildTCP(cfg.ExtraSTLRelays, cfg.tuning())
 	if err != nil {
 		return nil, err
 	}

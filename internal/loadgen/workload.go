@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/orderer"
 )
 
 // OpKind names the operation classes a workload mixes.
@@ -91,6 +94,17 @@ type Config struct {
 	Churn         bool          `json:"churn"`
 	ChurnInterval time.Duration `json:"churn_interval_ns,omitempty"`
 
+	// Pipelined switches both networks' orderers to pipelined batching:
+	// blocks cut by size (BatchSize) or time in a background cutter instead
+	// of one synchronous block per transaction.
+	Pipelined bool `json:"pipelined,omitempty"`
+	// BatchSize is the orderer batch size when Pipelined is set (<=0 keeps
+	// the orderer default).
+	BatchSize int `json:"batch_size,omitempty"`
+	// CommitterWorkers sizes each peer's commit worker pool; <= 1 keeps the
+	// serial committer.
+	CommitterWorkers int `json:"committer_workers,omitempty"`
+
 	// Seed makes key selection and mix draws reproducible.
 	Seed int64 `json:"seed"`
 
@@ -130,6 +144,18 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("loadgen: churn needs at least one extra STL relay to keep serving")
 	}
 	return nil
+}
+
+// tuning translates the config's commit-pipeline knobs into the fabric
+// Tuning applied to both networks. The zero config reproduces the
+// pre-pipeline deployment: one synchronous block per transaction, serial
+// committer.
+func (c *Config) tuning() fabric.Tuning {
+	t := fabric.Tuning{Orderer: orderer.Config{BatchSize: 1}, CommitterWorkers: c.CommitterWorkers}
+	if c.Pipelined {
+		t.Orderer = orderer.Config{Pipelined: true, BatchSize: c.BatchSize}
+	}
+	return t
 }
 
 // zipfS returns the effective skew exponent.

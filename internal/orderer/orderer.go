@@ -1,13 +1,23 @@
 // Package orderer implements the solo ordering service of the simulated
 // platform: endorsed transactions are collected, cut into hash-chained
-// blocks by batch size (or an explicit flush / optional timer), and
+// blocks by batch size (or an explicit flush / batch timeout), and
 // delivered in order to every registered consumer — the peers' committers.
+//
+// Two operating modes share one API. In the default synchronous mode,
+// blocks are cut and delivered inside the Submit call that fills the batch
+// — simple, deterministic, and what most unit tests use. In pipelined mode
+// (Config.Pipelined) a background cutter goroutine owns batching: Submit
+// enqueues and returns, blocks are cut when BatchSize transactions
+// accumulate or BatchTimeout elapses since the batch opened, and a bounded
+// queue applies backpressure to submitters. SubmitWait gives clients
+// commit-coupled semantics in both modes.
 package orderer
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ledger"
@@ -33,35 +43,76 @@ func (f ConsumerFunc) CommitBlock(b *ledger.Block) error { return f(b) }
 
 // Config controls block cutting.
 type Config struct {
-	// BatchSize is the number of transactions per block. Blocks are cut
-	// and delivered synchronously inside the Submit call that fills the
-	// batch. Defaults to 1, which makes the whole pipeline synchronous.
+	// BatchSize is the number of transactions per block. In synchronous
+	// mode blocks are cut and delivered inside the Submit call that fills
+	// the batch. Defaults to 1, which makes the whole pipeline synchronous.
 	BatchSize int
-	// BatchTimeout, when positive and the timer is started with Start,
-	// cuts a partial batch that has been pending for this long.
+	// BatchTimeout cuts a partial batch that has been pending for this
+	// long. In synchronous mode it requires the Start timer; in pipelined
+	// mode the cutter enforces it natively and it defaults to 2ms so a
+	// lone transaction is never stranded waiting for a full batch.
 	BatchTimeout time.Duration
+	// Pipelined moves block cutting to a background goroutine so
+	// submitters overlap with validation/commit of earlier blocks — the
+	// load-scaling mode. Submit enqueues and returns; use SubmitWait to
+	// couple a submitter to its block's delivery.
+	Pipelined bool
+	// MaxPending bounds the enqueued-but-uncut transactions in pipelined
+	// mode; Submit blocks when the queue is full (backpressure instead of
+	// unbounded memory). Defaults to 4×BatchSize.
+	MaxPending int
+}
+
+// submission is one enqueued transaction; done, when non-nil, receives the
+// delivery outcome of the block the transaction was cut into.
+type submission struct {
+	tx   *ledger.Transaction
+	done chan error
 }
 
 // Orderer is a solo ordering service.
 type Orderer struct {
 	mu        sync.Mutex
 	cfg       Config
-	pending   []*ledger.Transaction
+	pending   []*ledger.Transaction // synchronous mode only
 	consumers []Consumer
 	nextNum   uint64
 	tipHash   []byte
 	stopped   bool
+	lastErr   error // sticky delivery failure (pipelined mode)
 
 	timerStop chan struct{}
 	timerDone chan struct{}
+
+	// Pipelined mode plumbing.
+	submitCh   chan submission
+	flushCh    chan chan error
+	stopCh     chan struct{}
+	cutterDone chan struct{}
+	batchLen   int32 // atomic: transactions held by the cutter
 }
 
-// New creates an orderer with the given configuration.
+// New creates an orderer with the given configuration. In pipelined mode
+// the cutter goroutine starts immediately; Stop shuts it down.
 func New(cfg Config) *Orderer {
 	if cfg.BatchSize <= 0 {
 		cfg.BatchSize = 1
 	}
-	return &Orderer{cfg: cfg}
+	o := &Orderer{cfg: cfg}
+	if cfg.Pipelined {
+		if o.cfg.MaxPending <= 0 {
+			o.cfg.MaxPending = 4 * o.cfg.BatchSize
+		}
+		if o.cfg.BatchTimeout <= 0 {
+			o.cfg.BatchTimeout = 2 * time.Millisecond
+		}
+		o.submitCh = make(chan submission, o.cfg.MaxPending)
+		o.flushCh = make(chan chan error)
+		o.stopCh = make(chan struct{})
+		o.cutterDone = make(chan struct{})
+		go o.cutterLoop()
+	}
+	return o
 }
 
 // Register adds a block consumer. Consumers registered earlier receive each
@@ -73,29 +124,90 @@ func (o *Orderer) Register(c Consumer) {
 	o.consumers = append(o.consumers, c)
 }
 
-// Submit orders a transaction. If the pending batch reaches the configured
-// size, the block is cut and delivered before Submit returns.
+// Submit orders a transaction. In synchronous mode, if the pending batch
+// reaches the configured size the block is cut and delivered before Submit
+// returns. In pipelined mode Submit enqueues and returns, blocking only
+// when MaxPending transactions are already waiting.
 func (o *Orderer) Submit(tx *ledger.Transaction) error {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	if o.stopped {
-		return ErrStopped
-	}
-	o.pending = append(o.pending, tx)
-	if len(o.pending) >= o.cfg.BatchSize {
-		return o.cutLocked()
-	}
-	return nil
+	return o.submit(tx, nil)
 }
 
-// Flush cuts a block from any pending transactions immediately.
-func (o *Orderer) Flush() error {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	if len(o.pending) == 0 {
+// SubmitWait orders a transaction and does not return until the block
+// containing it has been delivered (or delivery failed). This is the call
+// for clients that need the transaction's validation code: in synchronous
+// mode it flushes a partial batch holding the transaction; in pipelined
+// mode it waits for the size or time trigger to cut the block.
+func (o *Orderer) SubmitWait(tx *ledger.Transaction) error {
+	if !o.cfg.Pipelined {
+		if err := o.Submit(tx); err != nil {
+			return err
+		}
+		// Validation is zero until a committer saw the transaction: the
+		// batch hasn't filled, so force the cut.
+		if tx.Validation == 0 {
+			return o.Flush()
+		}
 		return nil
 	}
-	return o.cutLocked()
+	done := make(chan error, 1)
+	if err := o.submit(tx, done); err != nil {
+		return err
+	}
+	return <-done
+}
+
+func (o *Orderer) submit(tx *ledger.Transaction, done chan error) error {
+	o.mu.Lock()
+	if o.stopped {
+		o.mu.Unlock()
+		return ErrStopped
+	}
+	if !o.cfg.Pipelined {
+		defer o.mu.Unlock()
+		o.pending = append(o.pending, tx)
+		if len(o.pending) >= o.cfg.BatchSize {
+			return o.cutLocked()
+		}
+		return nil
+	}
+	o.mu.Unlock()
+	select {
+	case o.submitCh <- submission{tx: tx, done: done}:
+		return nil
+	case <-o.stopCh:
+		return ErrStopped
+	}
+}
+
+// Flush cuts a block from any pending transactions immediately. In
+// pipelined mode it also drains the submission queue first and returns the
+// sticky delivery error, if any block delivery has failed so far.
+func (o *Orderer) Flush() error {
+	if !o.cfg.Pipelined {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		if len(o.pending) == 0 {
+			return nil
+		}
+		return o.cutLocked()
+	}
+	o.mu.Lock()
+	if o.stopped {
+		defer o.mu.Unlock()
+		return o.lastErr
+	}
+	o.mu.Unlock()
+	ack := make(chan error, 1)
+	select {
+	case o.flushCh <- ack:
+		// The cutter always replies once it has accepted the request.
+		return <-ack
+	case <-o.stopCh:
+		<-o.cutterDone
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		return o.lastErr
+	}
 }
 
 // Height returns the number of blocks delivered so far.
@@ -107,6 +219,9 @@ func (o *Orderer) Height() uint64 {
 
 // Pending returns the number of transactions waiting for the next cut.
 func (o *Orderer) Pending() int {
+	if o.cfg.Pipelined {
+		return len(o.submitCh) + int(atomic.LoadInt32(&o.batchLen))
+	}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return len(o.pending)
@@ -130,12 +245,127 @@ func (o *Orderer) cutLocked() error {
 	return nil
 }
 
-// Start launches the batch-timeout timer. It is a no-op when BatchTimeout
-// is zero. Stop must be called to release the goroutine.
+// cutterLoop is the pipelined mode's single block cutter: it owns the open
+// batch, cuts on size or timeout, and delivers blocks strictly in order.
+func (o *Orderer) cutterLoop() {
+	defer close(o.cutterDone)
+	var batch []submission
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	timerArmed := false
+
+	disarm := func() {
+		if timerArmed && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timerArmed = false
+	}
+	cut := func() {
+		if len(batch) == 0 {
+			return
+		}
+		disarm()
+		o.deliverBatch(batch)
+		batch = nil
+		atomic.StoreInt32(&o.batchLen, 0)
+	}
+	add := func(s submission) {
+		batch = append(batch, s)
+		atomic.StoreInt32(&o.batchLen, int32(len(batch)))
+		if len(batch) == 1 {
+			timer.Reset(o.cfg.BatchTimeout)
+			timerArmed = true
+		}
+		if len(batch) >= o.cfg.BatchSize {
+			cut()
+		}
+	}
+	drain := func() {
+		for {
+			select {
+			case s := <-o.submitCh:
+				add(s)
+			default:
+				return
+			}
+		}
+	}
+
+	for {
+		select {
+		case s := <-o.submitCh:
+			add(s)
+		case <-timer.C:
+			timerArmed = false
+			cut()
+		case ack := <-o.flushCh:
+			drain()
+			cut()
+			o.mu.Lock()
+			err := o.lastErr
+			o.mu.Unlock()
+			ack <- err
+		case <-o.stopCh:
+			drain()
+			cut()
+			return
+		}
+	}
+}
+
+// deliverBatch cuts one block from the batch, delivers it, records any
+// delivery failure, and resolves every coupled submitter.
+func (o *Orderer) deliverBatch(batch []submission) {
+	txs := make([]*ledger.Transaction, len(batch))
+	for i, s := range batch {
+		txs[i] = s.tx
+	}
+	o.mu.Lock()
+	block := &ledger.Block{
+		Number:       o.nextNum,
+		PrevHash:     o.tipHash,
+		Transactions: txs,
+	}
+	block.Hash = block.ComputeHash()
+	consumers := append([]Consumer(nil), o.consumers...)
+	o.mu.Unlock()
+
+	var err error
+	for _, c := range consumers {
+		if cerr := c.CommitBlock(block); cerr != nil {
+			err = fmt.Errorf("deliver block %d: %w", block.Number, cerr)
+			break
+		}
+	}
+
+	o.mu.Lock()
+	if err != nil {
+		o.lastErr = err
+	} else {
+		o.nextNum++
+		o.tipHash = block.Hash
+	}
+	o.mu.Unlock()
+	for _, s := range batch {
+		if s.done != nil {
+			s.done <- err
+		}
+	}
+}
+
+// Start launches the batch-timeout timer for the synchronous mode. It is a
+// no-op when BatchTimeout is zero or in pipelined mode (whose cutter
+// enforces the timeout natively). Stop must be called to release the
+// goroutine.
 func (o *Orderer) Start() {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	if o.cfg.BatchTimeout <= 0 || o.timerStop != nil {
+	if o.cfg.Pipelined || o.cfg.BatchTimeout <= 0 || o.timerStop != nil {
 		return
 	}
 	o.timerStop = make(chan struct{})
@@ -159,9 +389,23 @@ func (o *Orderer) timerLoop(stop, done chan struct{}) {
 	}
 }
 
-// Stop halts the timer (if running), flushes any pending batch, and marks
-// the orderer stopped.
+// Stop halts the timer or cutter, flushes any pending batch, and marks the
+// orderer stopped. In pipelined mode it returns the sticky delivery error,
+// if any.
 func (o *Orderer) Stop() error {
+	if o.cfg.Pipelined {
+		o.mu.Lock()
+		already := o.stopped
+		o.stopped = true
+		o.mu.Unlock()
+		if !already {
+			close(o.stopCh)
+		}
+		<-o.cutterDone
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		return o.lastErr
+	}
 	o.mu.Lock()
 	stop, done := o.timerStop, o.timerDone
 	o.timerStop, o.timerDone = nil, nil

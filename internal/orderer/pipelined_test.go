@@ -1,0 +1,219 @@
+package orderer
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ledger"
+)
+
+func (c *capture) blockSizes() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sizes := make([]int, len(c.blocks))
+	for i, b := range c.blocks {
+		sizes[i] = len(b.Transactions)
+	}
+	return sizes
+}
+
+func TestPipelinedSizeCut(t *testing.T) {
+	o := New(Config{Pipelined: true, BatchSize: 4, BatchTimeout: time.Hour})
+	defer o.Stop()
+	c := &capture{}
+	o.Register(c)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := o.SubmitWait(tx(fmt.Sprintf("t%d", i))); err != nil {
+				t.Errorf("SubmitWait t%d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := c.blockSizes(); len(got) != 2 || got[0] != 4 || got[1] != 4 {
+		t.Fatalf("block sizes = %v, want [4 4]", got)
+	}
+	if o.Height() != 2 {
+		t.Fatalf("height = %d, want 2", o.Height())
+	}
+}
+
+func TestPipelinedTimeoutCutsPartialBatch(t *testing.T) {
+	// A lone transaction must not be stranded behind an unfillable batch:
+	// the cutter's timer cuts it, and SubmitWait returns once it commits.
+	o := New(Config{Pipelined: true, BatchSize: 100, BatchTimeout: 5 * time.Millisecond})
+	defer o.Stop()
+	c := &capture{}
+	o.Register(c)
+	done := make(chan error, 1)
+	go func() { done <- o.SubmitWait(tx("lonely")) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SubmitWait: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SubmitWait stuck: timeout never cut the partial batch")
+	}
+	if got := c.blockSizes(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("block sizes = %v, want [1]", got)
+	}
+}
+
+func TestPipelinedSubmitWaitSeesValidation(t *testing.T) {
+	// SubmitWait's contract: when it returns, a committer has assigned the
+	// transaction's validation code — the property Gateway.SubmitTx and the
+	// relay invoke path rely on.
+	o := New(Config{Pipelined: true, BatchSize: 2, BatchTimeout: time.Millisecond})
+	defer o.Stop()
+	o.Register(ConsumerFunc(func(b *ledger.Block) error {
+		for _, tx := range b.Transactions {
+			tx.Validation = ledger.Valid
+		}
+		return nil
+	}))
+	transaction := tx("v")
+	if err := o.SubmitWait(transaction); err != nil {
+		t.Fatalf("SubmitWait: %v", err)
+	}
+	if transaction.Validation != ledger.Valid {
+		t.Fatalf("validation = %v after SubmitWait, want Valid", transaction.Validation)
+	}
+}
+
+func TestPipelinedFlushDrainsQueue(t *testing.T) {
+	o := New(Config{Pipelined: true, BatchSize: 50, BatchTimeout: time.Hour, MaxPending: 64})
+	defer o.Stop()
+	c := &capture{}
+	o.Register(c)
+	for i := 0; i < 7; i++ {
+		if err := o.Submit(tx(fmt.Sprintf("f%d", i))); err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+	}
+	if err := o.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	c.mu.Lock()
+	total := 0
+	for _, b := range c.blocks {
+		total += len(b.Transactions)
+	}
+	c.mu.Unlock()
+	if total != 7 {
+		t.Fatalf("flushed %d transactions, want 7", total)
+	}
+	if o.Pending() != 0 {
+		t.Fatalf("pending = %d after flush", o.Pending())
+	}
+}
+
+func TestPipelinedBlocksAreChained(t *testing.T) {
+	o := New(Config{Pipelined: true, BatchSize: 1})
+	defer o.Stop()
+	c := &capture{}
+	o.Register(c)
+	for i := 0; i < 3; i++ {
+		if err := o.SubmitWait(tx(fmt.Sprintf("c%d", i))); err != nil {
+			t.Fatalf("SubmitWait: %v", err)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(c.blocks))
+	}
+	for i, b := range c.blocks {
+		if b.Number != uint64(i) {
+			t.Fatalf("block %d numbered %d", i, b.Number)
+		}
+		if i > 0 && !bytes.Equal(b.PrevHash, c.blocks[i-1].Hash) {
+			t.Fatalf("block %d not chained to its predecessor", i)
+		}
+	}
+}
+
+func TestPipelinedConsumerErrorIsStickyAndReported(t *testing.T) {
+	boom := errors.New("boom")
+	o := New(Config{Pipelined: true, BatchSize: 1})
+	o.Register(ConsumerFunc(func(*ledger.Block) error { return boom }))
+	if err := o.SubmitWait(tx("x")); !errors.Is(err, boom) {
+		t.Fatalf("SubmitWait error = %v, want %v", err, boom)
+	}
+	// The failure is sticky: Stop reports it too.
+	if err := o.Stop(); !errors.Is(err, boom) {
+		t.Fatalf("Stop error = %v, want %v", err, boom)
+	}
+}
+
+func TestPipelinedStopRejectsAndFlushes(t *testing.T) {
+	o := New(Config{Pipelined: true, BatchSize: 100, BatchTimeout: time.Hour})
+	c := &capture{}
+	o.Register(c)
+	if err := o.Submit(tx("pending")); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := o.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	// The pending transaction was cut on the way down, not dropped.
+	if c.count() != 1 {
+		t.Fatalf("blocks = %d, want 1 (stop flushes)", c.count())
+	}
+	if err := o.Submit(tx("late")); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Submit after stop = %v, want ErrStopped", err)
+	}
+	if err := o.SubmitWait(tx("late2")); !errors.Is(err, ErrStopped) {
+		t.Fatalf("SubmitWait after stop = %v, want ErrStopped", err)
+	}
+	// Stop twice is safe.
+	if err := o.Stop(); err != nil {
+		t.Fatalf("second Stop: %v", err)
+	}
+}
+
+func TestPipelinedConcurrentSubmitWaitAllCommit(t *testing.T) {
+	// Many concurrent waiters across many blocks: every SubmitWait returns,
+	// every transaction lands in exactly one block, order within the stream
+	// is preserved per submitter (trivially, one tx each).
+	o := New(Config{Pipelined: true, BatchSize: 8, BatchTimeout: time.Millisecond, MaxPending: 16})
+	defer o.Stop()
+	c := &capture{}
+	o.Register(c)
+	const n = 100
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := o.SubmitWait(tx(fmt.Sprintf("m%d", i))); err != nil {
+				t.Errorf("SubmitWait m%d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := make(map[string]int)
+	for _, b := range c.blocks {
+		for _, tr := range b.Transactions {
+			seen[tr.ID]++
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("distinct committed txs = %d, want %d", len(seen), n)
+	}
+	for id, count := range seen {
+		if count != 1 {
+			t.Fatalf("tx %s committed %d times", id, count)
+		}
+	}
+}

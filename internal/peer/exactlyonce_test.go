@@ -60,7 +60,7 @@ func TestCommitMarksSecondTxIDDuplicate(t *testing.T) {
 	if second.Validation != ledger.Duplicate {
 		t.Fatalf("second commit = %v, want %v", second.Validation, ledger.Duplicate)
 	}
-	vv, ok := p.State().Get("k")
+	vv, ok := p.State().Get("kv", "k")
 	if !ok || !bytes.Equal(vv.Value, []byte("v1")) {
 		t.Fatalf("state = %q, want the original write only", vv.Value)
 	}
@@ -95,7 +95,7 @@ func TestCommitMarksDuplicateByInteropKey(t *testing.T) {
 	if second.Validation != ledger.Duplicate {
 		t.Fatalf("second tx = %v, want %v", second.Validation, ledger.Duplicate)
 	}
-	if _, ok := p.State().Get("k2"); ok {
+	if _, ok := p.State().Get("kv", "k2"); ok {
 		t.Fatal("duplicate-by-interop-key write was applied")
 	}
 }
@@ -120,7 +120,7 @@ func TestFailedAttemptMayRetrySameTxID(t *testing.T) {
 	if retry.Validation != ledger.Valid {
 		t.Fatalf("retry = %v, want valid (failed attempts are not duplicates)", retry.Validation)
 	}
-	vv, ok := p.State().Get("k")
+	vv, ok := p.State().Get("kv", "k")
 	if !ok || !bytes.Equal(vv.Value, []byte("v1")) {
 		t.Fatalf("state = %q", vv.Value)
 	}
@@ -138,7 +138,7 @@ func TestLocalTransactionsUnaffectedByInteropMetadata(t *testing.T) {
 	if first.Validation != ledger.Valid || second.Validation != ledger.Valid {
 		t.Fatalf("validations = %v, %v", first.Validation, second.Validation)
 	}
-	vv, _ := p.State().Get("k")
+	vv, _ := p.State().Get("kv", "k")
 	if !bytes.Equal(vv.Value, []byte("v2")) {
 		t.Fatalf("state = %q", vv.Value)
 	}

@@ -38,7 +38,8 @@ func (h *historyIndex) record(block *ledger.Block) {
 		for _, w := range tx.RWSet.Writes {
 			val := make([]byte, len(w.Value))
 			copy(val, w.Value)
-			h.changes[w.Key] = append(h.changes[w.Key], KeyChange{
+			nk := nsKey(w.Namespace, w.Key)
+			h.changes[nk] = append(h.changes[nk], KeyChange{
 				TxID:     tx.ID,
 				BlockNum: block.Number,
 				TxNum:    uint64(txNum),
@@ -63,8 +64,8 @@ func (h *historyIndex) forKey(key string) []KeyChange {
 	return out
 }
 
-// KeyHistory returns every committed change to a key on this peer, oldest
-// first. Values are copies.
-func (p *Peer) KeyHistory(key string) []KeyChange {
-	return p.history.forKey(key)
+// KeyHistory returns every committed change to a namespaced key on this
+// peer, oldest first. Values are copies.
+func (p *Peer) KeyHistory(ns, key string) []KeyChange {
+	return p.history.forKey(nsKey(ns, key))
 }

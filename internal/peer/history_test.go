@@ -34,7 +34,7 @@ func TestKeyHistoryRecordsChanges(t *testing.T) {
 	commitOne(t, p, 1, "put", "k", "v2")
 	commitOne(t, p, 2, "del", "k")
 
-	hist := p.KeyHistory("k")
+	hist := p.KeyHistory("kv", "k")
 	if len(hist) != 3 {
 		t.Fatalf("history = %d entries", len(hist))
 	}
@@ -62,20 +62,20 @@ func TestKeyHistorySkipsInvalidTxs(t *testing.T) {
 	if err := p.CommitBlock(block); err != nil {
 		t.Fatalf("CommitBlock: %v", err)
 	}
-	if got := p.KeyHistory("k"); len(got) != 0 {
+	if got := p.KeyHistory("kv", "k"); len(got) != 0 {
 		t.Fatalf("invalid tx recorded in history: %+v", got)
 	}
 }
 
 func TestKeyHistoryEmptyAndIsolated(t *testing.T) {
 	p, _ := newPeerFixture(t, "'org-a'")
-	if got := p.KeyHistory("never-written"); len(got) != 0 {
+	if got := p.KeyHistory("kv", "never-written"); len(got) != 0 {
 		t.Fatalf("phantom history: %+v", got)
 	}
 	commitOne(t, p, 0, "put", "k", "v1")
-	hist := p.KeyHistory("k")
+	hist := p.KeyHistory("kv", "k")
 	hist[0].Value[0] = 'X' // mutating the copy must not affect the index
-	hist2 := p.KeyHistory("k")
+	hist2 := p.KeyHistory("kv", "k")
 	if hist2[0].Value[0] == 'X' {
 		t.Fatal("history exposes internal buffers")
 	}

@@ -4,6 +4,21 @@
 // world state and signs the result; as a committer it validates ordered
 // blocks (endorsement signatures, endorsement policy, MVCC read conflicts)
 // and applies the surviving writes.
+//
+// Commitment has two interchangeable engines. The serial committer walks
+// the block transaction by transaction — the reference semantics. With
+// SetCommitterWorkers(n > 1) the parallel committer takes over multi-
+// transaction blocks in three stages: endorsement signature and policy
+// checks run concurrently on a bounded worker pool; a serial pass then
+// validates duplicates and MVCC reads against a block-local overlay and
+// levels the survivors by write-write conflicts on their RWSet's
+// namespaced keys (a transaction's level is one past the deepest earlier
+// writer of any key it writes); finally each level's write sets apply
+// concurrently — different levels in order, so dependent writes never
+// race. Validation codes, version stamps and resulting world state are
+// identical to the serial committer's by construction (the property suite
+// in parallel_property_test.go holds the two engines to byte equality),
+// and workers <= 1 is the serial-fallback knob.
 package peer
 
 import (
@@ -12,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/chaincode"
 	"repro/internal/cryptoutil"
@@ -56,6 +72,12 @@ type Peer struct {
 	mu     sync.Mutex // serializes block commits
 	state  *statedb.Store
 	blocks *ledger.BlockStore
+
+	// workers is the committer worker-pool size. Values <= 1 select the
+	// serial committer (the historical one-transaction-at-a-time path);
+	// larger values fan signature validation and conflict-free write
+	// application across that many goroutines.
+	workers int
 
 	registry  *chaincode.Registry
 	verifiers VerifierProvider
@@ -125,12 +147,36 @@ func (p *Peer) Endorse(inv chaincode.Invocation) (*ProposalResponse, error) {
 // Query simulates a read-only invocation and returns its response without
 // producing a transaction.
 func (p *Peer) Query(inv chaincode.Invocation) ([]byte, error) {
+	res, err := p.QueryRW(inv)
+	if err != nil {
+		return nil, err
+	}
+	return res.Response, nil
+}
+
+// QueryRW simulates a read-only invocation and returns the full simulation
+// result including the read set. The relay driver uses the read set's
+// namespaces to key its attestation cache exactly: a cached response only
+// needs invalidating when one of the namespaces it actually read is
+// written.
+func (p *Peer) QueryRW(inv chaincode.Invocation) (*chaincode.SimResult, error) {
 	inv.ReadOnly = true
 	res, err := chaincode.Simulate(p.registry, p.state, inv)
 	if err != nil {
 		return nil, fmt.Errorf("peer %s: query %s.%s: %w", p.name, inv.Chaincode, inv.Function, err)
 	}
-	return res.Response, nil
+	return res, nil
+}
+
+// SetCommitterWorkers sets the committer worker-pool size for subsequent
+// CommitBlock calls. n <= 1 selects the serial committer, which reproduces
+// the historical behavior exactly; n > 1 validates endorsement signatures
+// concurrently and applies non-conflicting write-sets in parallel, with
+// results guaranteed identical to the serial path.
+func (p *Peer) SetCommitterWorkers(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.workers = n
 }
 
 // BuildTransaction assembles the canonical transaction from a proposal and
@@ -181,12 +227,31 @@ func AssembleTransaction(inv chaincode.Invocation, responses []*ProposalResponse
 }
 
 // CommitBlock validates every transaction in the block and applies the
-// writes of the valid ones. Transactions are validated in order, so a
+// writes of the valid ones, preserving in-order MVCC semantics: a
 // transaction that reads a key written earlier in the same block is
-// correctly invalidated (standard MVCC semantics).
+// invalidated exactly as if the block had been processed one transaction
+// at a time. With SetCommitterWorkers(n>1) the expensive parts run
+// concurrently — signature verification across transactions, and write-set
+// application across transactions that touch disjoint keys — while the
+// validation verdicts stay identical to the serial committer's.
 func (p *Peer) CommitBlock(block *ledger.Block) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.workers > 1 && len(block.Transactions) > 1 {
+		p.commitParallel(block, p.workers)
+	} else {
+		p.commitSerial(block)
+	}
+	if err := p.blocks.Append(block); err != nil {
+		return fmt.Errorf("peer %s: append block %d: %w", p.name, block.Number, err)
+	}
+	p.history.record(block)
+	return nil
+}
+
+// commitSerial is the historical one-transaction-at-a-time commit path,
+// kept verbatim as the reference semantics and the serial-fallback mode.
+func (p *Peer) commitSerial(block *ledger.Block) {
 	// Exactly-once guard inside the block: two relays racing the same
 	// logical invoke can land both copies in one batch, where the chain
 	// index (which only sees committed blocks) cannot catch the second.
@@ -208,11 +273,146 @@ func (p *Peer) CommitBlock(block *ledger.Block) error {
 		p.state.ApplyWrites(tx.RWSet.StateWrites(),
 			statedb.Version{BlockNum: block.Number, TxNum: uint64(txNum)})
 	}
-	if err := p.blocks.Append(block); err != nil {
-		return fmt.Errorf("peer %s: append block %d: %w", p.name, block.Number, err)
+}
+
+// overlayEntry mirrors what statedb.Version would report for a key after
+// the writes of the earlier valid transactions in the block had been
+// applied, without actually mutating state until scheduling is done.
+type overlayEntry struct {
+	exists  bool
+	version statedb.Version
+}
+
+// nsKey joins a namespace and key for map indexing; U+0000 cannot appear in
+// namespace names, so the join is unambiguous.
+func nsKey(ns, key string) string { return ns + "\x00" + key }
+
+// commitParallel is the concurrent commit path. It runs three stages:
+//
+//  1. Endorsement validation (certificate chains, ECDSA signatures,
+//     policy) is position-independent, so it fans out across the worker
+//     pool — this is where the commit path burns most of its CPU.
+//  2. A serial in-order pass performs duplicate detection and MVCC read
+//     validation against an overlay that emulates the earlier valid
+//     transactions' writes, guaranteeing verdicts identical to the serial
+//     committer. The same pass levels valid transactions by write-write
+//     conflict: a transaction lands one level after the latest earlier
+//     transaction writing any of the same namespaced keys.
+//  3. Write-sets are applied level by level; transactions within a level
+//     touch disjoint keys and apply concurrently.
+func (p *Peer) commitParallel(block *ledger.Block, workers int) {
+	txs := block.Transactions
+	if workers > len(txs) {
+		workers = len(txs)
 	}
-	p.history.record(block)
-	return nil
+
+	// Stage 1: concurrent signature/endorsement validation.
+	endorseCode := make([]ledger.ValidationCode, len(txs))
+	var cursor int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&cursor, 1))
+				if i >= len(txs) {
+					return
+				}
+				endorseCode[i] = p.validateEndorsements(txs[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Stage 2: serial in-order duplicate + MVCC pass, plus conflict
+	// leveling of the surviving writes.
+	overlay := make(map[string]overlayEntry)
+	keyLevel := make(map[string]int)
+	var levels [][]int
+	seenIDs := make(map[string]struct{})
+	seenKeys := make(map[string]struct{})
+	for txNum, tx := range txs {
+		if p.isDuplicate(tx, seenIDs, seenKeys) {
+			tx.Validation = ledger.Duplicate
+			continue
+		}
+		if endorseCode[txNum] != ledger.Valid {
+			tx.Validation = endorseCode[txNum]
+			continue
+		}
+		if !p.readsCurrent(tx, overlay) {
+			tx.Validation = ledger.MVCCConflict
+			continue
+		}
+		tx.Validation = ledger.Valid
+		seenIDs[tx.ID] = struct{}{}
+		if tx.InteropKey != "" {
+			seenKeys[tx.InteropKey] = struct{}{}
+		}
+		ver := statedb.Version{BlockNum: block.Number, TxNum: uint64(txNum)}
+		level := 0
+		for i := range tx.RWSet.Writes {
+			w := &tx.RWSet.Writes[i]
+			nk := nsKey(w.Namespace, w.Key)
+			if l := keyLevel[nk]; l > level {
+				level = l
+			}
+			overlay[nk] = overlayEntry{exists: !w.IsDelete, version: ver}
+		}
+		level++
+		for i := range tx.RWSet.Writes {
+			keyLevel[nsKey(tx.RWSet.Writes[i].Namespace, tx.RWSet.Writes[i].Key)] = level
+		}
+		for len(levels) < level {
+			levels = append(levels, nil)
+		}
+		levels[level-1] = append(levels[level-1], txNum)
+	}
+
+	// Stage 3: apply write-sets level by level; within a level all
+	// write-sets are key-disjoint by construction.
+	sem := make(chan struct{}, workers)
+	for _, level := range levels {
+		if len(level) == 1 {
+			txNum := level[0]
+			p.state.ApplyWrites(txs[txNum].RWSet.StateWrites(),
+				statedb.Version{BlockNum: block.Number, TxNum: uint64(txNum)})
+			continue
+		}
+		var awg sync.WaitGroup
+		for _, txNum := range level {
+			awg.Add(1)
+			sem <- struct{}{}
+			go func(txNum int) {
+				defer awg.Done()
+				p.state.ApplyWrites(txs[txNum].RWSet.StateWrites(),
+					statedb.Version{BlockNum: block.Number, TxNum: uint64(txNum)})
+				<-sem
+			}(txNum)
+		}
+		awg.Wait()
+	}
+}
+
+// readsCurrent performs the MVCC read-freshness check for the parallel
+// committer: each read must observe the same existence and version it saw
+// at simulation time, where "current" means committed state plus the
+// overlay of earlier in-block valid writes.
+func (p *Peer) readsCurrent(tx *ledger.Transaction, overlay map[string]overlayEntry) bool {
+	for _, r := range tx.RWSet.Reads {
+		if e, ok := overlay[nsKey(r.Namespace, r.Key)]; ok {
+			if e.exists != r.Exists || (e.exists && e.version != r.Version) {
+				return false
+			}
+			continue
+		}
+		ver, exists := p.state.Version(r.Namespace, r.Key)
+		if exists != r.Exists || (exists && ver != r.Version) {
+			return false
+		}
+	}
+	return true
 }
 
 // isDuplicate reports whether a transaction with the same ID or the same
@@ -242,6 +442,23 @@ func (p *Peer) isDuplicate(tx *ledger.Transaction, seenIDs, seenKeys map[string]
 // validate applies the three commit-time checks: endorsement signature
 // authenticity, endorsement policy satisfaction, and MVCC read freshness.
 func (p *Peer) validate(tx *ledger.Transaction) ledger.ValidationCode {
+	if code := p.validateEndorsements(tx); code != ledger.Valid {
+		return code
+	}
+	for _, r := range tx.RWSet.Reads {
+		ver, exists := p.state.Version(r.Namespace, r.Key)
+		if exists != r.Exists || (exists && ver != r.Version) {
+			return ledger.MVCCConflict
+		}
+	}
+	return ledger.Valid
+}
+
+// validateEndorsements performs the position-independent commit-time
+// checks: endorsement signature authenticity and endorsement policy
+// satisfaction. It never touches world state, so the parallel committer
+// runs it concurrently across a block's transactions.
+func (p *Peer) validateEndorsements(tx *ledger.Transaction) ledger.ValidationCode {
 	payload := tx.SignedPayload()
 	verifier := p.verifiers.Verifier()
 	signers := make([]endorsement.Principal, 0, len(tx.Endorsements))
@@ -269,12 +486,6 @@ func (p *Peer) validate(tx *ledger.Transaction) ledger.ValidationCode {
 	policy := p.policies.PolicyFor(tx.Chaincode)
 	if policy == nil || !policy.Satisfied(signers) {
 		return ledger.EndorsementFailure
-	}
-	for _, r := range tx.RWSet.Reads {
-		ver, exists := p.state.Version(r.Key)
-		if exists != r.Exists || (exists && ver != r.Version) {
-			return ledger.MVCCConflict
-		}
 	}
 	return ledger.Valid
 }

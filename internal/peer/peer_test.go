@@ -83,7 +83,7 @@ func TestEndorseSimulationDoesNotCommit(t *testing.T) {
 	if _, err := p.Endorse(inv("put", "k", "v")); err != nil {
 		t.Fatalf("Endorse: %v", err)
 	}
-	if _, ok := p.State().Get("k"); ok {
+	if _, ok := p.State().Get("kv", "k"); ok {
 		t.Fatal("endorsement mutated committed state")
 	}
 }
@@ -104,7 +104,7 @@ func TestCommitBlockAppliesValidTx(t *testing.T) {
 	if tx.Validation != ledger.Valid {
 		t.Fatalf("validation = %v", tx.Validation)
 	}
-	vv, ok := p.State().Get("k")
+	vv, ok := p.State().Get("kv", "k")
 	if !ok || !bytes.Equal(vv.Value, []byte("v")) {
 		t.Fatalf("state = %+v, %v", vv, ok)
 	}
@@ -127,7 +127,7 @@ func TestCommitRejectsUnendorsedTx(t *testing.T) {
 	if tx.Validation != ledger.EndorsementFailure {
 		t.Fatalf("validation = %v", tx.Validation)
 	}
-	if _, ok := p.State().Get("k"); ok {
+	if _, ok := p.State().Get("kv", "k"); ok {
 		t.Fatal("unendorsed write applied")
 	}
 }
@@ -268,7 +268,7 @@ func TestPeerAccessors(t *testing.T) {
 	if p.Identity() == nil || p.State() == nil || p.Blocks() == nil {
 		t.Fatal("nil accessors")
 	}
-	if _, ok := p.State().Get("nothing"); ok {
+	if _, ok := p.State().Get("kv", "nothing"); ok {
 		t.Fatal("empty state returned a value")
 	}
 }

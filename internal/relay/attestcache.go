@@ -30,11 +30,11 @@ type blockSource interface {
 // verbatim on a hit, plus the consistency metadata that decides whether the
 // hit is still sound.
 type attestEntry struct {
-	key       string
-	response  []byte
-	namespace string    // chaincode the query read
-	height    uint64    // chain height when the proof was built
-	storedAt  time.Time // for the TTL
+	key        string
+	response   []byte
+	namespaces []string  // chaincode namespaces the query's read set touched
+	height     uint64    // chain height when the proof was built
+	storedAt   time.Time // for the TTL
 }
 
 // attestationCache is the relay driver's content-addressed proof cache: a
@@ -46,9 +46,14 @@ type attestEntry struct {
 //
 //   - The result digest is part of the key, so a cached proof can never be
 //     served for data that changed — a changed result is a different key.
-//   - An entry dies when a later block commits a valid write into the
-//     entry's namespace (the chaincode the query read). This is belt and
-//     braces over the result-digest keying: the caller recomputes the
+//   - An entry dies when a later block commits a valid write into any of
+//     the entry's namespaces — the exact set of chaincode namespaces its
+//     query's read set touched, taken from the write-set namespaces of
+//     committed transactions rather than the submitting chaincode. A
+//     chaincode that writes through a cross-chaincode call still
+//     invalidates the namespace it actually wrote; a write to chaincode A
+//     no longer evicts entries that only read chaincode B. This is belt
+//     and braces over the result-digest keying: the caller recomputes the
 //     result before lookup, so even a stale-height entry could only be hit
 //     with the current result — but height invalidation keeps the cache
 //     from resurrecting proofs across writes that happen to restore an old
@@ -165,8 +170,19 @@ func (c *attestationCache) advance(src blockSource) {
 			continue
 		}
 		for _, tx := range block.Transactions {
-			if tx.Validation == ledger.Valid && len(tx.RWSet.Writes) > 0 {
-				updates[tx.Chaincode] = num + 1 // heights are 1-past the block number
+			if tx.Validation != ledger.Valid || len(tx.RWSet.Writes) == 0 {
+				continue
+			}
+			for _, w := range tx.RWSet.Writes {
+				// Exact invalidation: the namespace each write actually
+				// landed in, not the chaincode that submitted it. Writes
+				// from before namespaced state carry no namespace; fall
+				// back to the submitting chaincode for those.
+				ns := w.Namespace
+				if ns == "" {
+					ns = tx.Chaincode
+				}
+				updates[ns] = num + 1 // heights are 1-past the block number
 			}
 		}
 	}
@@ -199,9 +215,11 @@ func (c *attestationCache) get(key string) []byte {
 		c.removeLocked(el)
 		return nil
 	}
-	if c.lastWrite[e.namespace] > e.height {
-		c.removeLocked(el)
-		return nil
+	for _, ns := range e.namespaces {
+		if c.lastWrite[ns] > e.height {
+			c.removeLocked(el)
+			return nil
+		}
 	}
 	c.lru.MoveToFront(el)
 	return e.response
@@ -209,10 +227,11 @@ func (c *attestationCache) get(key string) []byte {
 
 // put stores a freshly built response under its content address — once the
 // key has missed twice (see the doorkeeper in the type comment). height is
-// the chain height the proof was built at; namespace is the chaincode the
-// query read. Entries built below the fast-forward baseline are refused:
-// write invalidation cannot vouch for them.
-func (c *attestationCache) put(key string, response []byte, namespace string, height uint64) {
+// the chain height the proof was built at; namespaces is the set of
+// chaincode namespaces the query's read set touched. Entries built below
+// the fast-forward baseline are refused: write invalidation cannot vouch
+// for them.
+func (c *attestationCache) put(key string, response []byte, namespaces []string, height uint64) {
 	if c.max <= 0 {
 		return
 	}
@@ -241,11 +260,11 @@ func (c *attestationCache) put(key string, response []byte, namespace string, he
 		return
 	}
 	el := c.lru.PushFront(&attestEntry{
-		key:       key,
-		response:  response,
-		namespace: namespace,
-		height:    height,
-		storedAt:  c.now(),
+		key:        key,
+		response:   response,
+		namespaces: namespaces,
+		height:     height,
+		storedAt:   c.now(),
 	})
 	c.entries[key] = el
 	for c.lru.Len() > c.max {

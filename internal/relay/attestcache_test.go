@@ -46,8 +46,8 @@ func testClock(start time.Time) (func() time.Time, func(time.Duration)) {
 // storeEntry passes a key through the two-touch doorkeeper so the entry is
 // actually resident, the steady state most tests exercise.
 func storeEntry(c *attestationCache, key string, resp []byte, ns string, h uint64) {
-	c.put(key, resp, ns, h)
-	c.put(key, resp, ns, h)
+	c.put(key, resp, []string{ns}, h)
+	c.put(key, resp, []string{ns}, h)
 }
 
 func TestAttestationCacheHitAndNamespaceInvalidation(t *testing.T) {
@@ -175,7 +175,7 @@ func TestAttestationCacheDisabled(t *testing.T) {
 	nowFn, _ := testClock(time.Unix(1000, 0))
 	c := newAttestationCache(0, time.Minute, nowFn)
 	key := attestCacheKey([]byte("q"), nil, nil, nil)
-	c.put(key, []byte("r"), "ns", 1)
+	c.put(key, []byte("r"), []string{"ns"}, 1)
 	if c.get(key) != nil {
 		t.Fatal("disabled cache served an entry")
 	}
@@ -188,7 +188,7 @@ func TestAttestationCacheDoorkeeperAdmission(t *testing.T) {
 	nowFn, _ := testClock(time.Unix(1000, 0))
 	c := newAttestationCache(2, time.Minute, nowFn)
 	oneShot := attestCacheKey([]byte("one-shot"), nil, nil, nil)
-	c.put(oneShot, []byte("r"), "ns", 1)
+	c.put(oneShot, []byte("r"), []string{"ns"}, 1)
 	if c.get(oneShot) != nil || c.len() != 0 {
 		t.Fatal("single-touch key was admitted")
 	}
@@ -199,7 +199,7 @@ func TestAttestationCacheDoorkeeperAdmission(t *testing.T) {
 	}
 	// A flood of distinct one-shot keys leaves the resident entry alone.
 	for i := 0; i < 100; i++ {
-		c.put(attestCacheKey([]byte{byte(i)}, nil, nil, nil), []byte("x"), "ns", 1)
+		c.put(attestCacheKey([]byte{byte(i)}, nil, nil, nil), []byte("x"), []string{"ns"}, 1)
 	}
 	if c.get(repeat) == nil {
 		t.Fatal("one-shot flood evicted a resident entry")

@@ -177,18 +177,30 @@ func (d *FabricDriver) Query(ctx context.Context, q *wire.Query) (*wire.QueryRes
 	height := store.Height()
 
 	var agreed []byte
+	var readNamespaces []string
 	for i, p := range attestors {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("relay: query aborted: %w", err)
 		}
 		inv.Timestamp = time.Now()
+		if i == 0 {
+			// The first peer's simulation also yields the read set, whose
+			// namespaces scope this query's cache entry: a later write
+			// invalidates the entry only if it lands in state the query
+			// actually read.
+			sim, err := p.QueryRW(inv)
+			if err != nil {
+				return nil, fmt.Errorf("relay: query on %s: %w", p.Name(), err)
+			}
+			agreed = sim.Response
+			readNamespaces = queryNamespaces(q.Contract, sim.RWSet)
+			continue
+		}
 		result, err := p.Query(inv)
 		if err != nil {
 			return nil, fmt.Errorf("relay: query on %s: %w", p.Name(), err)
 		}
-		if i == 0 {
-			agreed = result
-		} else if !bytes.Equal(agreed, result) {
+		if !bytes.Equal(agreed, result) {
 			return nil, fmt.Errorf("%w: %s disagrees", ErrDivergentResults, p.Name())
 		}
 	}
@@ -222,9 +234,30 @@ func (d *FabricDriver) Query(ctx context.Context, q *wire.Query) (*wire.QueryRes
 	}
 	// Cached without a request ID: the proof is identical for every resend
 	// of this question, but each resend echoes its own envelope's ID.
-	cache.put(key, resp.Marshal(), q.Contract, height)
+	cache.put(key, resp.Marshal(), readNamespaces, height)
 	resp.RequestID = q.RequestID
 	return resp, nil
+}
+
+// queryNamespaces returns the distinct chaincode namespaces a simulated
+// query read, always including the invoked contract (a query that reads
+// nothing is still answered from that chaincode's code, which redeploy
+// bumps rewrite). Reads recorded without a namespace — pre-namespacing
+// transactions — count against the contract itself.
+func queryNamespaces(contract string, rw ledger.RWSet) []string {
+	out := []string{contract}
+	seen := map[string]bool{contract: true}
+	for _, r := range rw.Reads {
+		ns := r.Namespace
+		if ns == "" {
+			ns = contract
+		}
+		if !seen[ns] {
+			seen[ns] = true
+			out = append(out, ns)
+		}
+	}
+	return out
 }
 
 // selectPeers picks one peer from each verification-policy organization
@@ -364,13 +397,12 @@ func (d *FabricDriver) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryRe
 		return nil, err
 	}
 	tx.ProofBundle = proof.Seal(spec, resp.Marshal(), attestorIDs).Marshal()
-	if err := d.net.Orderer().Submit(tx); err != nil {
+	// SubmitWait blocks until the batch containing this transaction commits
+	// — immediately in a synchronous orderer, at the next size or time cut
+	// in a pipelined one — so tx.Validation below reflects the committed
+	// outcome either way.
+	if err := d.net.Orderer().SubmitWait(tx); err != nil {
 		return nil, fmt.Errorf("relay: order cross-network tx: %w", err)
-	}
-	if tx.Validation == 0 {
-		if err := d.net.Orderer().Flush(); err != nil {
-			return nil, err
-		}
 	}
 	if tx.Validation == ledger.Duplicate {
 		// The committer refused this submission because the same logical

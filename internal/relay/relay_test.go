@@ -328,7 +328,7 @@ func TestDivergentPeerResultsRejected(t *testing.T) {
 	// compromised peer.
 	peers, _ := src.net.PeersOf("carrier-org")
 	peers[0].State().ApplyWrites(
-		[]statedb.Write{{Key: "doc/bl-77", Value: []byte("tampered")}}, statedb.Version{BlockNum: 99})
+		[]statedb.Write{{Namespace: "docs", Key: "doc/bl-77", Value: []byte("tampered")}}, statedb.Version{BlockNum: 99})
 
 	hub.Attach("stl-relay", src.relay)
 	reg.Register("tradelens", "stl-relay")

@@ -8,51 +8,61 @@ import (
 	"testing"
 )
 
-// TestStoreAgainstModel drives the store and a plain map through the same
-// random operation sequence and checks full agreement, including range
-// scans — a model-based test of the world state.
+// TestStoreAgainstModel drives the store and a plain per-namespace map
+// through the same random operation sequence and checks full agreement,
+// including range scans — a model-based test of the world state. Two
+// namespaces share the same key strings, so any cross-namespace leakage in
+// the sharded store shows up as a model divergence.
 func TestStoreAgainstModel(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	store := NewStore()
-	model := make(map[string][]byte)
+	namespaces := []string{"ccA", "ccB"}
+	model := map[string]map[string][]byte{
+		"ccA": make(map[string][]byte),
+		"ccB": make(map[string][]byte),
+	}
 
 	keys := make([]string, 20)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("key-%02d", i)
 	}
 	for step := 0; step < 2000; step++ {
+		ns := namespaces[rng.Intn(len(namespaces))]
 		key := keys[rng.Intn(len(keys))]
 		switch rng.Intn(4) {
 		case 0, 1: // write
 			val := []byte(fmt.Sprintf("v-%d", step))
-			store.ApplyWrites([]Write{{Key: key, Value: val}}, Version{BlockNum: uint64(step)})
-			model[key] = val
+			store.ApplyWrites([]Write{{Namespace: ns, Key: key, Value: val}}, Version{BlockNum: uint64(step)})
+			model[ns][key] = val
 		case 2: // delete
-			store.ApplyWrites([]Write{{Key: key, IsDelete: true}}, Version{BlockNum: uint64(step)})
-			delete(model, key)
+			store.ApplyWrites([]Write{{Namespace: ns, Key: key, IsDelete: true}}, Version{BlockNum: uint64(step)})
+			delete(model[ns], key)
 		case 3: // read + compare
-			got, ok := store.Get(key)
-			want, wantOK := model[key]
+			got, ok := store.Get(ns, key)
+			want, wantOK := model[ns][key]
 			if ok != wantOK {
-				t.Fatalf("step %d: Get(%q) ok=%v want %v", step, key, ok, wantOK)
+				t.Fatalf("step %d: Get(%q,%q) ok=%v want %v", step, ns, key, ok, wantOK)
 			}
 			if ok && !bytes.Equal(got.Value, want) {
-				t.Fatalf("step %d: Get(%q) = %q want %q", step, key, got.Value, want)
+				t.Fatalf("step %d: Get(%q,%q) = %q want %q", step, ns, key, got.Value, want)
 			}
 		}
 		if step%100 == 0 {
-			compareRange(t, store, model, "key-05", "key-15")
-			compareRange(t, store, model, "", "")
+			for _, n := range namespaces {
+				compareRange(t, store, model[n], n, "key-05", "key-15")
+				compareRange(t, store, model[n], n, "", "")
+			}
 		}
 	}
-	if store.Keys() != len(model) {
-		t.Fatalf("Keys = %d, model has %d", store.Keys(), len(model))
+	total := len(model["ccA"]) + len(model["ccB"])
+	if store.Keys() != total {
+		t.Fatalf("Keys = %d, model has %d", store.Keys(), total)
 	}
 }
 
-func compareRange(t *testing.T, store *Store, model map[string][]byte, start, end string) {
+func compareRange(t *testing.T, store *Store, model map[string][]byte, ns, start, end string) {
 	t.Helper()
-	got := store.Range(start, end)
+	got := store.Range(ns, start, end)
 	var wantKeys []string
 	for k := range model {
 		if k < start {
@@ -65,11 +75,11 @@ func compareRange(t *testing.T, store *Store, model map[string][]byte, start, en
 	}
 	sort.Strings(wantKeys)
 	if len(got) != len(wantKeys) {
-		t.Fatalf("Range(%q,%q) = %d keys, want %d", start, end, len(got), len(wantKeys))
+		t.Fatalf("Range(%q,%q,%q) = %d keys, want %d", ns, start, end, len(got), len(wantKeys))
 	}
 	for i, k := range wantKeys {
 		if got[i].Key != k || !bytes.Equal(got[i].Value, model[k]) {
-			t.Fatalf("Range(%q,%q)[%d] = %q", start, end, i, got[i].Key)
+			t.Fatalf("Range(%q,%q,%q)[%d] = %q", ns, start, end, i, got[i].Key)
 		}
 	}
 }

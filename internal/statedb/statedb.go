@@ -4,6 +4,12 @@
 // transaction's read set records the versions observed during simulation,
 // and the committer rejects the transaction if any of those keys have moved
 // on by commit time.
+//
+// Keys live inside chaincode namespaces, as in Fabric: chaincode A's "k"
+// and chaincode B's "k" are different keys. The store is sharded by
+// namespace with one lock per shard, so the parallel committer can apply
+// write-sets touching different namespaces concurrently without ever
+// contending on a global lock.
 package statedb
 
 import (
@@ -49,31 +55,62 @@ type KV struct {
 }
 
 // Write is a single update in a write batch: a put, or a delete when
-// IsDelete is set.
+// IsDelete is set. Namespace is the chaincode namespace the key lives in.
 type Write struct {
-	Key      string
-	Value    []byte
-	IsDelete bool
+	Namespace string
+	Key       string
+	Value     []byte
+	IsDelete  bool
 }
 
-// Store is an in-memory versioned world state. It is safe for concurrent
-// use; reads see a consistent view under the lock.
-type Store struct {
+// shard is one namespace's key space with its own lock.
+type shard struct {
 	mu   sync.RWMutex
 	data map[string]VersionedValue
 }
 
-// NewStore returns an empty world state.
-func NewStore() *Store {
-	return &Store{data: make(map[string]VersionedValue)}
+// Store is an in-memory versioned world state sharded by chaincode
+// namespace. It is safe for concurrent use; reads see a consistent view
+// under the owning shard's lock, and writes into different namespaces
+// never contend.
+type Store struct {
+	mu     sync.RWMutex // guards the shard map only
+	shards map[string]*shard
 }
 
-// Get returns the value for key, or ok=false if absent. The returned value
-// is a copy; callers may mutate it freely.
-func (s *Store) Get(key string) (VersionedValue, bool) {
+// NewStore returns an empty world state.
+func NewStore() *Store {
+	return &Store{shards: make(map[string]*shard)}
+}
+
+// shardOf returns the shard for a namespace, creating it when create is
+// set. Returns nil for an absent namespace when create is false.
+func (s *Store) shardOf(ns string, create bool) *shard {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	vv, ok := s.data[key]
+	sh := s.shards[ns]
+	s.mu.RUnlock()
+	if sh != nil || !create {
+		return sh
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sh = s.shards[ns]; sh == nil {
+		sh = &shard{data: make(map[string]VersionedValue)}
+		s.shards[ns] = sh
+	}
+	return sh
+}
+
+// Get returns the value for key in a namespace, or ok=false if absent. The
+// returned value is a copy; callers may mutate it freely.
+func (s *Store) Get(ns, key string) (VersionedValue, bool) {
+	sh := s.shardOf(ns, false)
+	if sh == nil {
+		return VersionedValue{}, false
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	vv, ok := sh.data[key]
 	if !ok {
 		return VersionedValue{}, false
 	}
@@ -82,34 +119,58 @@ func (s *Store) Get(key string) (VersionedValue, bool) {
 	return VersionedValue{Value: val, Version: vv.Version}, true
 }
 
-// Version returns the committed version for key and whether it exists.
-func (s *Store) Version(key string) (Version, bool) {
-	vv, ok := s.Get(key)
+// Version returns the committed version for a namespaced key and whether it
+// exists.
+func (s *Store) Version(ns, key string) (Version, bool) {
+	sh := s.shardOf(ns, false)
+	if sh == nil {
+		return Version{}, false
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	vv, ok := sh.data[key]
 	return vv.Version, ok
 }
 
-// ApplyWrites commits a batch of writes at the given version atomically.
+// ApplyWrites commits a batch of writes at the given version. The batch is
+// grouped by namespace and each namespace's portion is applied atomically
+// under that shard's lock; batches touching disjoint namespaces (or
+// disjoint keys — the committer's conflict scheduler guarantees no two
+// concurrent batches write the same key) may be applied concurrently.
 func (s *Store) ApplyWrites(writes []Write, v Version) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, w := range writes {
-		if w.IsDelete {
-			delete(s.data, w.Key)
-			continue
+	for start := 0; start < len(writes); {
+		ns := writes[start].Namespace
+		end := start + 1
+		for end < len(writes) && writes[end].Namespace == ns {
+			end++
 		}
-		val := make([]byte, len(w.Value))
-		copy(val, w.Value)
-		s.data[w.Key] = VersionedValue{Value: val, Version: v}
+		sh := s.shardOf(ns, true)
+		sh.mu.Lock()
+		for _, w := range writes[start:end] {
+			if w.IsDelete {
+				delete(sh.data, w.Key)
+				continue
+			}
+			val := make([]byte, len(w.Value))
+			copy(val, w.Value)
+			sh.data[w.Key] = VersionedValue{Value: val, Version: v}
+		}
+		sh.mu.Unlock()
+		start = end
 	}
 }
 
-// Range returns all keys in [start, end) in lexical order. An empty end
-// means "to the last key". Values are copies.
-func (s *Store) Range(start, end string) []KV {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+// Range returns all keys of one namespace in [start, end) in lexical order.
+// An empty end means "to the last key". Values are copies.
+func (s *Store) Range(ns, start, end string) []KV {
+	sh := s.shardOf(ns, false)
+	if sh == nil {
+		return nil
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	out := make([]KV, 0, 16)
-	for k, vv := range s.data {
+	for k, vv := range sh.data {
 		if k < start {
 			continue
 		}
@@ -124,11 +185,35 @@ func (s *Store) Range(start, end string) []KV {
 	return out
 }
 
-// Keys returns the number of keys currently stored.
+// Namespaces returns every namespace that currently holds at least one key,
+// sorted.
+func (s *Store) Namespaces() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.shards))
+	for ns, sh := range s.shards {
+		sh.mu.RLock()
+		n := len(sh.data)
+		sh.mu.RUnlock()
+		if n > 0 {
+			out = append(out, ns)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Keys returns the number of keys currently stored across all namespaces.
 func (s *Store) Keys() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.data)
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		total += len(sh.data)
+		sh.mu.RUnlock()
+	}
+	return total
 }
 
 // CompositeKey builds a scan-friendly key from an object type and

@@ -8,10 +8,36 @@ import (
 	"testing/quick"
 )
 
+// tns is the chaincode namespace most tests operate in.
+const tns = "cc"
+
 func TestGetAbsent(t *testing.T) {
 	s := NewStore()
-	if _, ok := s.Get("nope"); ok {
+	if _, ok := s.Get(tns, "nope"); ok {
 		t.Fatal("Get on empty store returned ok")
+	}
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	s := NewStore()
+	s.ApplyWrites([]Write{
+		{Namespace: "ccA", Key: "k", Value: []byte("a")},
+		{Namespace: "ccB", Key: "k", Value: []byte("b")},
+	}, Version{BlockNum: 1})
+	va, _ := s.Get("ccA", "k")
+	vb, _ := s.Get("ccB", "k")
+	if !bytes.Equal(va.Value, []byte("a")) || !bytes.Equal(vb.Value, []byte("b")) {
+		t.Fatalf("namespaces alias: a=%q b=%q", va.Value, vb.Value)
+	}
+	s.ApplyWrites([]Write{{Namespace: "ccA", Key: "k", IsDelete: true}}, Version{BlockNum: 2})
+	if _, ok := s.Get("ccA", "k"); ok {
+		t.Fatal("delete in ccA did not take")
+	}
+	if _, ok := s.Get("ccB", "k"); !ok {
+		t.Fatal("delete in ccA leaked into ccB")
+	}
+	if got := s.Namespaces(); len(got) != 1 || got[0] != "ccB" {
+		t.Fatalf("Namespaces = %v, want [ccB]", got)
 	}
 }
 
@@ -19,10 +45,10 @@ func TestApplyWritesAndGet(t *testing.T) {
 	s := NewStore()
 	v := Version{BlockNum: 3, TxNum: 1}
 	s.ApplyWrites([]Write{
-		{Key: "a", Value: []byte("1")},
-		{Key: "b", Value: []byte("2")},
+		{Namespace: tns, Key: "a", Value: []byte("1")},
+		{Namespace: tns, Key: "b", Value: []byte("2")},
 	}, v)
-	vv, ok := s.Get("a")
+	vv, ok := s.Get(tns, "a")
 	if !ok || !bytes.Equal(vv.Value, []byte("1")) || vv.Version != v {
 		t.Fatalf("Get(a) = %+v, %v", vv, ok)
 	}
@@ -33,18 +59,18 @@ func TestApplyWritesAndGet(t *testing.T) {
 
 func TestDelete(t *testing.T) {
 	s := NewStore()
-	s.ApplyWrites([]Write{{Key: "a", Value: []byte("1")}}, Version{BlockNum: 1})
-	s.ApplyWrites([]Write{{Key: "a", IsDelete: true}}, Version{BlockNum: 2})
-	if _, ok := s.Get("a"); ok {
+	s.ApplyWrites([]Write{{Namespace: tns, Key: "a", Value: []byte("1")}}, Version{BlockNum: 1})
+	s.ApplyWrites([]Write{{Namespace: tns, Key: "a", IsDelete: true}}, Version{BlockNum: 2})
+	if _, ok := s.Get(tns, "a"); ok {
 		t.Fatal("deleted key still present")
 	}
 }
 
 func TestOverwriteBumpsVersion(t *testing.T) {
 	s := NewStore()
-	s.ApplyWrites([]Write{{Key: "k", Value: []byte("v1")}}, Version{BlockNum: 1, TxNum: 0})
-	s.ApplyWrites([]Write{{Key: "k", Value: []byte("v2")}}, Version{BlockNum: 2, TxNum: 5})
-	ver, ok := s.Version("k")
+	s.ApplyWrites([]Write{{Namespace: tns, Key: "k", Value: []byte("v1")}}, Version{BlockNum: 1, TxNum: 0})
+	s.ApplyWrites([]Write{{Namespace: tns, Key: "k", Value: []byte("v2")}}, Version{BlockNum: 2, TxNum: 5})
+	ver, ok := s.Version(tns, "k")
 	if !ok || ver != (Version{BlockNum: 2, TxNum: 5}) {
 		t.Fatalf("Version = %+v, %v", ver, ok)
 	}
@@ -53,14 +79,14 @@ func TestOverwriteBumpsVersion(t *testing.T) {
 func TestValueIsolation(t *testing.T) {
 	s := NewStore()
 	src := []byte("mutable")
-	s.ApplyWrites([]Write{{Key: "k", Value: src}}, Version{})
+	s.ApplyWrites([]Write{{Namespace: tns, Key: "k", Value: src}}, Version{})
 	src[0] = 'X'
-	vv, _ := s.Get("k")
+	vv, _ := s.Get(tns, "k")
 	if vv.Value[0] == 'X' {
 		t.Fatal("store aliases caller's write buffer")
 	}
 	vv.Value[0] = 'Y'
-	vv2, _ := s.Get("k")
+	vv2, _ := s.Get(tns, "k")
 	if vv2.Value[0] == 'Y' {
 		t.Fatal("store exposes internal buffer to readers")
 	}
@@ -86,9 +112,9 @@ func TestVersionBefore(t *testing.T) {
 func TestRangeOrderedAndBounded(t *testing.T) {
 	s := NewStore()
 	for _, k := range []string{"b", "d", "a", "c", "e"} {
-		s.ApplyWrites([]Write{{Key: k, Value: []byte(k)}}, Version{})
+		s.ApplyWrites([]Write{{Namespace: tns, Key: k, Value: []byte(k)}}, Version{})
 	}
-	got := s.Range("b", "e")
+	got := s.Range(tns, "b", "e")
 	if len(got) != 3 {
 		t.Fatalf("Range returned %d keys", len(got))
 	}
@@ -102,9 +128,9 @@ func TestRangeOrderedAndBounded(t *testing.T) {
 func TestRangeOpenEnd(t *testing.T) {
 	s := NewStore()
 	for _, k := range []string{"x1", "x2", "y1"} {
-		s.ApplyWrites([]Write{{Key: k, Value: []byte(k)}}, Version{})
+		s.ApplyWrites([]Write{{Namespace: tns, Key: k, Value: []byte(k)}}, Version{})
 	}
-	got := s.Range("x2", "")
+	got := s.Range(tns, "x2", "")
 	if len(got) != 2 || got[0].Key != "x2" || got[1].Key != "y1" {
 		t.Fatalf("open-ended Range = %+v", got)
 	}
@@ -143,15 +169,15 @@ func TestCompositeRangeCoversChildren(t *testing.T) {
 		return k
 	}
 	s.ApplyWrites([]Write{
-		{Key: mk("bank1", "lc-1"), Value: []byte("a")},
-		{Key: mk("bank1", "lc-2"), Value: []byte("b")},
-		{Key: mk("bank2", "lc-3"), Value: []byte("c")},
+		{Namespace: tns, Key: mk("bank1", "lc-1"), Value: []byte("a")},
+		{Namespace: tns, Key: mk("bank1", "lc-2"), Value: []byte("b")},
+		{Namespace: tns, Key: mk("bank2", "lc-3"), Value: []byte("c")},
 	}, Version{})
 	start, end, err := CompositeRange("lc", "bank1")
 	if err != nil {
 		t.Fatalf("CompositeRange: %v", err)
 	}
-	got := s.Range(start, end)
+	got := s.Range(tns, start, end)
 	if len(got) != 2 {
 		t.Fatalf("composite range returned %d keys, want 2", len(got))
 	}
@@ -166,9 +192,9 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 100; i++ {
 				key := fmt.Sprintf("k%d", i%10)
-				s.ApplyWrites([]Write{{Key: key, Value: []byte{byte(g)}}}, Version{BlockNum: uint64(i)})
-				s.Get(key)
-				s.Range("k0", "k9")
+				s.ApplyWrites([]Write{{Namespace: tns, Key: key, Value: []byte{byte(g)}}}, Version{BlockNum: uint64(i)})
+				s.Get(tns, key)
+				s.Range(tns, "k0", "k9")
 			}
 		}(g)
 	}
@@ -183,8 +209,8 @@ func TestPutGetProperty(t *testing.T) {
 		if key == "" {
 			return true
 		}
-		s.ApplyWrites([]Write{{Key: key, Value: val}}, Version{})
-		vv, ok := s.Get(key)
+		s.ApplyWrites([]Write{{Namespace: tns, Key: key, Value: val}}, Version{})
+		vv, ok := s.Get(tns, key)
 		return ok && bytes.Equal(vv.Value, val)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
@@ -194,7 +220,7 @@ func TestPutGetProperty(t *testing.T) {
 
 func BenchmarkApplyWrites(b *testing.B) {
 	s := NewStore()
-	w := []Write{{Key: "key", Value: make([]byte, 256)}}
+	w := []Write{{Namespace: tns, Key: "key", Value: make([]byte, 256)}}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		s.ApplyWrites(w, Version{BlockNum: uint64(i)})
@@ -203,10 +229,10 @@ func BenchmarkApplyWrites(b *testing.B) {
 
 func BenchmarkGet(b *testing.B) {
 	s := NewStore()
-	s.ApplyWrites([]Write{{Key: "key", Value: make([]byte, 256)}}, Version{})
+	s.ApplyWrites([]Write{{Namespace: tns, Key: "key", Value: make([]byte, 256)}}, Version{})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Get("key")
+		s.Get(tns, "key")
 	}
 }

@@ -45,8 +45,8 @@ func helperEnv(t *testing.T) (*chaincode.Registry, *statedb.Store, *msp.CA) {
 	ruleJSON, _ := rule.Marshal()
 	rk, _ := ruleKey(rule)
 	state.ApplyWrites([]statedb.Write{
-		{Key: cfgKey, Value: cfg.Marshal()},
-		{Key: rk, Value: ruleJSON},
+		{Namespace: CMDACName, Key: cfgKey, Value: cfg.Marshal()},
+		{Namespace: ECCName, Key: rk, Value: ruleJSON},
 	}, statedb.Version{})
 	return reg, state, foreignCA
 }
