@@ -386,6 +386,62 @@ func BenchmarkE7AttestationCache(b *testing.B) {
 	})
 }
 
+// BenchmarkE8BatchedAttestation sweeps the Merkle-batching window width on
+// the cold query path: each iteration fires `width` concurrent cold
+// queries (fresh request IDs, so the attestation cache never helps) with
+// the driver's window sized to flush exactly when all of them are pending.
+// Every attestor signs once per window regardless of width, so the
+// reported ns/query falls as the window fills while the single-signature
+// ablation (window-1) pays one ECDSA signature per attestor per query.
+// Each client still verifies its own leaf + inclusion proof end to end.
+func BenchmarkE8BatchedAttestation(b *testing.B) {
+	w, actors := tradeWorld(b)
+	client := actors.SWTSeller.Client()
+	for _, width := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("window-%d", width), func(b *testing.B) {
+			// maxPending = width: the window flushes the instant the last
+			// concurrent query arrives, so the sweep measures batching, not
+			// the timer (the generous 50ms window is a straggler backstop,
+			// never the steady state). window-1 degenerates to the
+			// single-signature path.
+			w.STL.Driver.ConfigureAttestationBatching(50*time.Millisecond, width)
+			defer w.STL.Driver.ConfigureAttestationBatching(0, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make([]error, width)
+				sizes := make([]uint64, width)
+				for q := 0; q < width; q++ {
+					wg.Add(1)
+					go func(q int) {
+						defer wg.Done()
+						spec := blQuerySpec("po-1001")
+						spec.RequestID = fmt.Sprintf("bench-e8-%d", coldQueryID.Add(1))
+						data, err := client.RemoteQuery(ctx, spec)
+						if err != nil {
+							errs[q] = err
+							return
+						}
+						sizes[q] = data.Bundle.Elements[0].BatchSize
+					}(q)
+				}
+				wg.Wait()
+				for q := 0; q < width; q++ {
+					if errs[q] != nil {
+						b.Fatal(errs[q])
+					}
+					if width > 1 && sizes[q] < 2 {
+						b.Fatalf("query %d served un-batched (batch size %d) at width %d", q, sizes[q], width)
+					}
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*width), "ns/query")
+		})
+	}
+}
+
 // BenchmarkP1WireCodec measures the network-neutral protocol codec.
 func BenchmarkP1WireCodec(b *testing.B) {
 	q := &wire.Query{

@@ -82,7 +82,16 @@
 // valid write into one of those namespaces evicts it — writes to unrelated
 // chaincodes leave it warm.
 // Stats.AttestationCacheHits/Misses expose its effectiveness and `netadmin
-// proofs show` dumps a persisted artifact.
+// proofs show` dumps a persisted artifact. Concurrent distinct queries are
+// amortized by Merkle-batched attestation
+// (relay.FabricDriver.ConfigureAttestationBatching): cold queries that
+// announce the capability (wire.Query.AcceptBatched) share a short window,
+// each attestor signs one RFC 6962-shaped Merkle root per window under a
+// dedicated domain separator, and every requester verifies its own leaf +
+// inclusion proof (proof.Element.BatchSize/BatchIndex/BatchPath) — lone
+// queries and legacy requesters fall back to the single-signature path,
+// and batched invokes persist their batched Sealed artifact so the replay
+// guarantee covers inclusion proofs too.
 //
 // The commit path is pipelined and conflict-aware. World state is
 // namespaced per chaincode and sharded with one lock per namespace
@@ -139,7 +148,8 @@
 //     crossplatform, atomicswap walkthroughs
 //
 // See README.md for a walkthrough. The bench_test.go file in this
-// directory regenerates every experiment (E1-E7 mirror the paper's
-// evaluation; P1-P8 are supplemental performance characterizations,
+// directory regenerates every experiment (E1-E8 mirror and extend the
+// paper's evaluation, through the attestation cache and Merkle-batched
+// attestation; P1-P8 are supplemental performance characterizations,
 // including the hedged-fan-out and batched-query measurements).
 package repro

@@ -18,6 +18,10 @@ import (
 type TCPRelayServer struct {
 	NetworkID string
 	Relay     *relay.Relay
+	// Driver is the Fabric driver this relay serves queries through, when
+	// the relay fronts a Fabric network. Exposed so runners can flip
+	// driver-level knobs (attestation batching) per relay instance.
+	Driver *relay.FabricDriver
 
 	mu     sync.Mutex
 	server *relay.TCPServer
@@ -111,15 +115,18 @@ func BuildTCP(extraSTLRelays int, tune ...fabric.Tuning) (*TCPDeployment, error)
 	if err != nil {
 		return nil, err
 	}
+	primary.Driver = w.STL.Driver
 	d.STLServers = append(d.STLServers, primary)
 	for i := 0; i < extraSTLRelays; i++ {
 		extra := relay.New(tradelens.NetworkID, registry, transport)
-		extra.RegisterDriver(tradelens.NetworkID, relay.NewFabricDriver(w.STL.Fabric, "default"))
+		driver := relay.NewFabricDriver(w.STL.Fabric, "default")
+		extra.RegisterDriver(tradelens.NetworkID, driver)
 		srv, err := newTCPRelayServer(tradelens.NetworkID, extra)
 		if err != nil {
 			d.Close()
 			return nil, err
 		}
+		srv.Driver = driver
 		d.STLServers = append(d.STLServers, srv)
 	}
 	swt, err := newTCPRelayServer(wetrade.NetworkID, w.SWT.Relay)
@@ -127,6 +134,7 @@ func BuildTCP(extraSTLRelays int, tune ...fabric.Tuning) (*TCPDeployment, error)
 		d.Close()
 		return nil, err
 	}
+	swt.Driver = w.SWT.Driver
 	d.SWTServer = swt
 
 	for _, s := range d.STLServers {

@@ -337,6 +337,10 @@ func (c *Client) buildQuery(ctx context.Context, spec RemoteQuerySpec) (*wire.Qu
 		// Pin the resolved policy: the source refuses to build, and this
 		// client refuses to accept, a proof under any other policy digest.
 		PolicyDigest: proof.PolicyDigest(policyExpr),
+		// This client verifies Merkle-batched attestations (proof.Verify
+		// recomputes the signed root from the leaf's inclusion path), so
+		// advertise the capability; sources without batching ignore it.
+		AcceptBatched: true,
 	}, policyExpr, nil
 }
 

@@ -1,8 +1,10 @@
 package fabric
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/internal/ledger"
 	"repro/internal/msp"
 	"repro/internal/orderer"
 )
@@ -60,6 +62,65 @@ func TestLateOrgPeerStateSynced(t *testing.T) {
 	for _, p := range newOrg.Peers {
 		if p.Blocks().Height() != 6 {
 			t.Fatalf("post-join height = %d", p.Blocks().Height())
+		}
+	}
+}
+
+func TestCatchUpAfterOrgRemovalKeepsHistoricVerdicts(t *testing.T) {
+	// Blocks endorsed by an org that is later removed must replay cleanly
+	// when an even-later AddOrg catches a fresh peer up: each block is
+	// re-validated against the verifier of its committing era, not the
+	// current one (which no longer trusts the removed org's root).
+	n := NewNetwork("eras", orderer.Config{BatchSize: 1})
+	if _, err := n.AddOrg("org-a", 1); err != nil {
+		t.Fatalf("AddOrg a: %v", err)
+	}
+	if _, err := n.AddOrg("org-b", 1); err != nil {
+		t.Fatalf("AddOrg b: %v", err)
+	}
+	if err := n.Deploy("kv", kvChaincode, "AND('org-a','org-b')"); err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	org, _ := n.Org("org-a")
+	client, _ := org.CA.Issue("c", msp.RoleClient)
+	gw := n.Gateway(client)
+	const writes = 3
+	for i := 0; i < writes; i++ {
+		if _, err := gw.SubmitString("kv", "put", fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	if err := n.RemoveOrg("org-b"); err != nil {
+		t.Fatalf("RemoveOrg: %v", err)
+	}
+	newOrg, err := n.AddOrg("org-c", 1)
+	if err != nil {
+		t.Fatalf("AddOrg c: %v", err)
+	}
+	for _, p := range newOrg.Peers {
+		if got := p.Blocks().Height(); got != writes {
+			t.Fatalf("caught-up height = %d, want %d", got, writes)
+		}
+		if err := p.Blocks().VerifyChain(); err != nil {
+			t.Fatalf("caught-up chain: %v", err)
+		}
+		// Every historic transaction keeps its Valid verdict even though
+		// its org-b endorsement cannot validate under the current verifier.
+		for num := uint64(0); num < writes; num++ {
+			b, err := p.Blocks().Block(num)
+			if err != nil {
+				t.Fatalf("block %d: %v", num, err)
+			}
+			for _, tx := range b.Transactions {
+				if tx.Validation != ledger.Valid {
+					t.Fatalf("block %d tx %s re-validated as %v", num, tx.ID, tx.Validation)
+				}
+			}
+		}
+		for i := 0; i < writes; i++ {
+			if vv, ok := p.State().Get("kv", fmt.Sprintf("k%d", i)); !ok || string(vv.Value) != "v" {
+				t.Fatalf("caught-up state missing k%d (%+v %v)", i, vv, ok)
+			}
 		}
 	}
 }

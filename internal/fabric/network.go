@@ -60,6 +60,13 @@ type Network struct {
 	orgOrder []string
 	policies map[string]*endorsement.Policy
 	verifier *msp.Verifier
+	// eras records every verifier the network has had and the chain height
+	// it took effect at, so a later catch-up can re-validate each historic
+	// block against the verifier of its committing era (verifierAt) instead
+	// of the current one — without this, a catch-up after RemoveOrg would
+	// re-validate transactions the removed org endorsed against a verifier
+	// that no longer trusts its root and flip their verdicts to failed.
+	eras []verifierEra
 	// committerWorkers is applied to every current and future peer; <= 1
 	// means the serial committer.
 	committerWorkers int
@@ -80,6 +87,14 @@ type eventSub struct {
 	chaincodeName string
 	eventName     string
 	ch            chan ledger.ChaincodeEvent
+}
+
+// verifierEra is one entry of the network's verifier history: the
+// verifier that governed validation of every block committed at height
+// fromHeight or later, until the next era begins.
+type verifierEra struct {
+	fromHeight uint64
+	verifier   *msp.Verifier
 }
 
 // NewNetwork creates an empty network with the given identifier and orderer
@@ -168,7 +183,7 @@ func (n *Network) AddOrg(orgID string, peerCount int) (*Org, error) {
 	}
 	n.orgs[orgID] = org
 	n.orgOrder = append(n.orgOrder, orgID)
-	if err := n.rebuildVerifierLocked(); err != nil {
+	if err := n.rebuildVerifierLocked(n.chainHeightLocked()); err != nil {
 		return nil, err
 	}
 	return org, nil
@@ -190,6 +205,10 @@ func (n *Network) RemoveOrg(orgID string) error {
 	if _, ok := n.orgs[orgID]; !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownOrg, orgID)
 	}
+	// Capture the height before the org leaves: the departing org's peers
+	// may be the only remaining block source, and the new era begins at
+	// whatever height the chain had reached when the trust set shrank.
+	height := n.chainHeightLocked()
 	delete(n.orgs, orgID)
 	for i, id := range n.orgOrder {
 		if id == orgID {
@@ -197,14 +216,16 @@ func (n *Network) RemoveOrg(orgID string) error {
 			break
 		}
 	}
-	return n.rebuildVerifierLocked()
+	return n.rebuildVerifierLocked(height)
 }
 
 // catchUp replays every committed block from an existing peer into fresh
-// peers so they join at the current height. Replay re-runs full validation;
-// since validation is deterministic, the historical verdicts are reproduced
-// exactly. Callers hold commitMu (so the chain cannot advance) but not mu
-// (peer validation reads the verifier under mu's read lock).
+// peers so they join at the current height. Each block is re-validated
+// against the verifier of its committing era (verifierAt), not the
+// current one: validation is deterministic only relative to a verifier and
+// an org set, and the org set may have changed (RemoveOrg) since a block
+// committed. Callers hold commitMu (so the chain cannot advance) but not
+// mu (verifierAt takes mu's read lock per block).
 func (n *Network) catchUp(fresh []*peer.Peer) error {
 	n.mu.RLock()
 	var source *peer.Peer
@@ -224,8 +245,9 @@ func (n *Network) catchUp(fresh []*peer.Peer) error {
 		if err != nil {
 			return fmt.Errorf("fabric: catch-up read block %d: %w", num, err)
 		}
+		v := n.verifierAt(num)
 		for _, p := range fresh {
-			if err := p.CommitBlock(block); err != nil {
+			if err := p.CommitBlockPinned(block, v); err != nil {
 				return fmt.Errorf("fabric: catch-up replay block %d: %w", num, err)
 			}
 		}
@@ -233,7 +255,37 @@ func (n *Network) catchUp(fresh []*peer.Peer) error {
 	return nil
 }
 
-func (n *Network) rebuildVerifierLocked() error {
+// chainHeightLocked returns the committed chain height as seen by any
+// current peer (every peer holds the full chain). Callers hold mu.
+func (n *Network) chainHeightLocked() uint64 {
+	for _, orgID := range n.orgOrder {
+		if peers := n.orgs[orgID].Peers; len(peers) > 0 {
+			return peers[0].Blocks().Height()
+		}
+	}
+	return 0
+}
+
+// verifierAt returns the verifier that governed validation of block num:
+// the latest era whose fromHeight does not exceed num. Eras are appended
+// with non-decreasing fromHeight, so the last match wins. Returns nil
+// (caller falls back to the current verifier) if no era is recorded.
+func (n *Network) verifierAt(num uint64) *msp.Verifier {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	var v *msp.Verifier
+	for _, era := range n.eras {
+		if era.fromHeight <= num {
+			v = era.verifier
+		}
+	}
+	return v
+}
+
+// rebuildVerifierLocked rebuilds the current verifier from the present
+// org set and records it as the era governing blocks committed at
+// fromHeight and later. Callers hold mu.
+func (n *Network) rebuildVerifierLocked(fromHeight uint64) error {
 	roots := make(map[string][]byte, len(n.orgs))
 	for id, org := range n.orgs {
 		roots[id] = org.CA.RootCertPEM()
@@ -243,6 +295,7 @@ func (n *Network) rebuildVerifierLocked() error {
 		return fmt.Errorf("fabric: rebuild verifier: %w", err)
 	}
 	n.verifier = v
+	n.eras = append(n.eras, verifierEra{fromHeight: fromHeight, verifier: v})
 	return nil
 }
 

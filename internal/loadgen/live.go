@@ -236,6 +236,16 @@ func RunLive(ctx context.Context, cfg *Config) (*Report, error) {
 	}
 	defer dep.Close()
 	w := dep.World
+	if cfg.AttestBatchWindow > 0 {
+		// Batching is a per-driver knob: every relay fronting the source
+		// network (primary and redundant alike) groups concurrent queries
+		// into Merkle windows.
+		for _, srv := range dep.STLServers {
+			if srv.Driver != nil {
+				srv.Driver.ConfigureAttestationBatching(cfg.AttestBatchWindow, cfg.attestBatchMax())
+			}
+		}
+	}
 	if err := scenario.DeployAuditLog(w); err != nil {
 		return nil, err
 	}

@@ -105,6 +105,14 @@ type Config struct {
 	// serial committer.
 	CommitterWorkers int `json:"committer_workers,omitempty"`
 
+	// AttestBatchWindow enables Merkle-batched attestation on every source
+	// relay: concurrent queries arriving within the window share one
+	// signature over a Merkle root. Zero keeps the per-query signature path.
+	AttestBatchWindow time.Duration `json:"attest_batch_window_ns,omitempty"`
+	// AttestBatchMax flushes a batching window early once this many queries
+	// are pending (<=0 with a window set selects 32).
+	AttestBatchMax int `json:"attest_batch_max,omitempty"`
+
 	// Seed makes key selection and mix draws reproducible.
 	Seed int64 `json:"seed"`
 
@@ -143,7 +151,19 @@ func (c *Config) Validate() error {
 	if c.Churn && c.ExtraSTLRelays < 1 {
 		return fmt.Errorf("loadgen: churn needs at least one extra STL relay to keep serving")
 	}
+	if c.AttestBatchWindow < 0 {
+		return fmt.Errorf("loadgen: attest batch window must be non-negative, got %s", c.AttestBatchWindow)
+	}
 	return nil
+}
+
+// attestBatchMax returns the effective early-flush threshold when batching
+// is enabled.
+func (c *Config) attestBatchMax() int {
+	if c.AttestBatchMax > 0 {
+		return c.AttestBatchMax
+	}
+	return 32
 }
 
 // tuning translates the config's commit-pipeline knobs into the fabric
@@ -209,7 +229,20 @@ var Presets = map[string]Config{
 		Keys: 64, Seed: 3,
 		ExtraSTLRelays: 2, Churn: true, ChurnInterval: 2 * time.Second,
 	},
+	// batched-query: the steady-query read path with Merkle-batched
+	// attestation on: concurrent cold queries landing inside the window
+	// share one relay signature. The small invoke slice keeps the
+	// exactly-once audit meaningful under batching.
+	"batched-query": {
+		Preset:  "batched-query",
+		Clients: 16, Rate: 160, Duration: 10 * time.Second,
+		Mix:  Mix{QueryPct: 80, WarmQueryPct: 10, InvokePct: 10},
+		Keys: 64, Seed: 4,
+		AttestBatchWindow: 3 * time.Millisecond, AttestBatchMax: 32,
+	},
 }
 
 // PresetNames lists the presets in stable order for usage text.
-func PresetNames() []string { return []string{"steady-query", "invoke-heavy", "churn"} }
+func PresetNames() []string {
+	return []string{"steady-query", "invoke-heavy", "churn", "batched-query"}
+}

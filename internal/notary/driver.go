@@ -87,7 +87,7 @@ func (d *Driver) Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse,
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("notary: query aborted: %w", err)
 	}
-	resp, err := proof.Build(proof.Spec{
+	resp, err := proof.Build(ctx, proof.Spec{
 		NetworkID:    d.net.ID(),
 		QueryDigest:  proof.QueryDigestOf(q),
 		PolicyDigest: policyDigest,

@@ -235,12 +235,31 @@ func AssembleTransaction(inv chaincode.Invocation, responses []*ProposalResponse
 // application across transactions that touch disjoint keys — while the
 // validation verdicts stay identical to the serial committer's.
 func (p *Peer) CommitBlock(block *ledger.Block) error {
+	return p.commitWith(block, nil)
+}
+
+// CommitBlockPinned is CommitBlock with endorsement checks pinned to an
+// explicit verifier instead of the network's current one. Catch-up replay
+// uses it to validate each historical block against the organization set
+// of its committing era: a block endorsed by a since-removed org must keep
+// its original verdicts when a fresh peer replays the chain, or the
+// replica would diverge from every peer that committed the block live.
+func (p *Peer) CommitBlockPinned(block *ledger.Block, verifier *msp.Verifier) error {
+	return p.commitWith(block, verifier)
+}
+
+// commitWith commits a block using the given verifier for endorsement
+// checks; nil selects the network's current verifier.
+func (p *Peer) commitWith(block *ledger.Block, verifier *msp.Verifier) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if verifier == nil {
+		verifier = p.verifiers.Verifier()
+	}
 	if p.workers > 1 && len(block.Transactions) > 1 {
-		p.commitParallel(block, p.workers)
+		p.commitParallel(block, p.workers, verifier)
 	} else {
-		p.commitSerial(block)
+		p.commitSerial(block, verifier)
 	}
 	if err := p.blocks.Append(block); err != nil {
 		return fmt.Errorf("peer %s: append block %d: %w", p.name, block.Number, err)
@@ -251,7 +270,7 @@ func (p *Peer) CommitBlock(block *ledger.Block) error {
 
 // commitSerial is the historical one-transaction-at-a-time commit path,
 // kept verbatim as the reference semantics and the serial-fallback mode.
-func (p *Peer) commitSerial(block *ledger.Block) {
+func (p *Peer) commitSerial(block *ledger.Block, verifier *msp.Verifier) {
 	// Exactly-once guard inside the block: two relays racing the same
 	// logical invoke can land both copies in one batch, where the chain
 	// index (which only sees committed blocks) cannot catch the second.
@@ -262,7 +281,7 @@ func (p *Peer) commitSerial(block *ledger.Block) {
 			tx.Validation = ledger.Duplicate
 			continue
 		}
-		tx.Validation = p.validate(tx)
+		tx.Validation = p.validate(tx, verifier)
 		if tx.Validation != ledger.Valid {
 			continue
 		}
@@ -300,7 +319,7 @@ func nsKey(ns, key string) string { return ns + "\x00" + key }
 //     transaction writing any of the same namespaced keys.
 //  3. Write-sets are applied level by level; transactions within a level
 //     touch disjoint keys and apply concurrently.
-func (p *Peer) commitParallel(block *ledger.Block, workers int) {
+func (p *Peer) commitParallel(block *ledger.Block, workers int, verifier *msp.Verifier) {
 	txs := block.Transactions
 	if workers > len(txs) {
 		workers = len(txs)
@@ -319,7 +338,7 @@ func (p *Peer) commitParallel(block *ledger.Block, workers int) {
 				if i >= len(txs) {
 					return
 				}
-				endorseCode[i] = p.validateEndorsements(txs[i])
+				endorseCode[i] = p.validateEndorsements(txs[i], verifier)
 			}
 		}()
 	}
@@ -441,8 +460,8 @@ func (p *Peer) isDuplicate(tx *ledger.Transaction, seenIDs, seenKeys map[string]
 
 // validate applies the three commit-time checks: endorsement signature
 // authenticity, endorsement policy satisfaction, and MVCC read freshness.
-func (p *Peer) validate(tx *ledger.Transaction) ledger.ValidationCode {
-	if code := p.validateEndorsements(tx); code != ledger.Valid {
+func (p *Peer) validate(tx *ledger.Transaction, verifier *msp.Verifier) ledger.ValidationCode {
+	if code := p.validateEndorsements(tx, verifier); code != ledger.Valid {
 		return code
 	}
 	for _, r := range tx.RWSet.Reads {
@@ -458,9 +477,8 @@ func (p *Peer) validate(tx *ledger.Transaction) ledger.ValidationCode {
 // checks: endorsement signature authenticity and endorsement policy
 // satisfaction. It never touches world state, so the parallel committer
 // runs it concurrently across a block's transactions.
-func (p *Peer) validateEndorsements(tx *ledger.Transaction) ledger.ValidationCode {
+func (p *Peer) validateEndorsements(tx *ledger.Transaction, verifier *msp.Verifier) ledger.ValidationCode {
 	payload := tx.SignedPayload()
-	verifier := p.verifiers.Verifier()
 	signers := make([]endorsement.Principal, 0, len(tx.Endorsements))
 	for i := range tx.Endorsements {
 		en := &tx.Endorsements[i]

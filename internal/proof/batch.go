@@ -1,0 +1,138 @@
+package proof
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/msp"
+	"repro/internal/wire"
+)
+
+// BuildBatch builds proofs for a window of concurrent queries with one
+// ECDSA signature per attestor for the whole window: each attestor hashes
+// every query's metadata into a leaf, builds a Merkle tree over the
+// window, signs the domain-separated root once, and each query's
+// attestation carries its leaf index plus inclusion path instead of a
+// dedicated signature. ECIES encryption stays per query per attestor —
+// metadata and results are encrypted to each requester individually, so
+// batching changes nothing about confidentiality, only amortizes the
+// signing cost (the point of the batching window under heavy distinct-
+// query traffic). The returned slice is index-aligned with specs.
+//
+// Every spec in the window must share the same NetworkID and attestor
+// set — the batcher groups windows by attestor set before calling. A
+// one-entry window degenerates to the single-signature Build path, so
+// lone latency-critical queries never pay the batched proof overhead.
+// The first failure anywhere cancels the remaining fan-out.
+func BuildBatch(ctx context.Context, specs []Spec, attestors []*msp.Identity) ([]*wire.QueryResponse, error) {
+	switch len(specs) {
+	case 0:
+		return nil, nil
+	case 1:
+		resp, err := Build(ctx, specs[0], attestors)
+		if err != nil {
+			return nil, err
+		}
+		return []*wire.QueryResponse{resp}, nil
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	resps := make([]*wire.QueryResponse, len(specs))
+	for i := range specs {
+		resps[i] = &wire.QueryResponse{
+			PolicyDigest: specs[i].PolicyDigest,
+			Attestations: make([]wire.Attestation, len(attestors)),
+		}
+	}
+	errs := make([]error, len(attestors))
+	var wg sync.WaitGroup
+	for ai, id := range attestors {
+		wg.Add(1)
+		go func(ai int, id *msp.Identity) {
+			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[ai] = err
+				return
+			}
+			plains := make([][]byte, len(specs))
+			leaves := make([][]byte, len(specs))
+			for si := range specs {
+				sp := &specs[si]
+				md := wire.Metadata{
+					NetworkID:    sp.NetworkID,
+					PeerName:     id.Name,
+					OrgID:        id.OrgID,
+					QueryDigest:  sp.QueryDigest,
+					ResultDigest: cryptoutil.Digest(sp.Result),
+					Nonce:        sp.Nonce,
+					UnixNano:     uint64(sp.Now.UnixNano()),
+					PolicyDigest: sp.PolicyDigest,
+				}
+				plains[si] = md.Marshal()
+				leaves[si] = merkleLeafHash(plains[si])
+			}
+			sig, err := id.Sign(batchSigPayload(merkleRoot(leaves)))
+			if err != nil {
+				errs[ai] = fmt.Errorf("proof: batch signature from %s: %w", id.Name, err)
+				cancel()
+				return
+			}
+			cert := id.CertPEM()
+			for si := range specs {
+				if err := ctx.Err(); err != nil {
+					errs[ai] = err
+					return
+				}
+				encMeta, err := cryptoutil.Encrypt(specs[si].ClientPub, plains[si])
+				if err != nil {
+					errs[ai] = fmt.Errorf("proof: encrypt metadata from %s: %w", id.Name, err)
+					cancel()
+					return
+				}
+				resps[si].Attestations[ai] = wire.Attestation{
+					PeerName:          id.Name,
+					OrgID:             id.OrgID,
+					CertPEM:           cert,
+					EncryptedMetadata: encMeta,
+					Signature:         sig,
+					BatchSize:         uint64(len(specs)),
+					BatchIndex:        uint64(si),
+					BatchPath:         merklePath(leaves, si),
+				}
+			}
+		}(ai, id)
+	}
+	var resultErr error
+	for si := range specs {
+		if err := ctx.Err(); err != nil {
+			resultErr = err
+			break
+		}
+		enc, err := EncryptResult(specs[si].ClientPub, specs[si].Result)
+		if err != nil {
+			resultErr = fmt.Errorf("proof: encrypt result: %w", err)
+			cancel()
+			break
+		}
+		resps[si].EncryptedResult = enc
+	}
+	wg.Wait()
+	var ctxErr error
+	for _, err := range append(errs, resultErr) {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			ctxErr = err
+			continue
+		}
+		return nil, err
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
+	return resps, nil
+}

@@ -1,0 +1,263 @@
+package proof
+
+import (
+	"bytes"
+	"context"
+	"crypto/ecdsa"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/endorsement"
+	"repro/internal/msp"
+	"repro/internal/wire"
+)
+
+// batchFixture builds a window of n distinct queries (fresh nonce and
+// result each) from n distinct requesters and runs BuildBatch over the
+// standard two-org attestor set.
+func batchFixture(t *testing.T, n int) (queries []*wire.Query, keys []*ecdsa.PrivateKey, specs []Spec, resps []*wire.QueryResponse, verifier *msp.Verifier) {
+	t.Helper()
+	_, _, sellerPeer, carrierPeer, v := setup(t)
+	now := time.Now()
+	for i := 0; i < n; i++ {
+		key, err := cryptoutil.GenerateKey()
+		if err != nil {
+			t.Fatalf("GenerateKey: %v", err)
+		}
+		q := sampleQuery(t)
+		q.RequestID = fmt.Sprintf("req-batch-%d", i)
+		queries = append(queries, q)
+		keys = append(keys, key)
+		specs = append(specs, Spec{
+			NetworkID:    "tradelens",
+			QueryDigest:  QueryDigestOf(q),
+			PolicyDigest: PolicyDigest(q.PolicyExpr),
+			Result:       []byte(fmt.Sprintf(`{"blId":"bl-%d"}`, i)),
+			Nonce:        q.Nonce,
+			ClientPub:    &key.PublicKey,
+			Now:          now,
+		})
+	}
+	resps, err := BuildBatch(context.Background(), specs, []*msp.Identity{sellerPeer, carrierPeer})
+	if err != nil {
+		t.Fatalf("BuildBatch: %v", err)
+	}
+	if len(resps) != n {
+		t.Fatalf("responses = %d, want %d", len(resps), n)
+	}
+	return queries, keys, specs, resps, v
+}
+
+func TestBuildBatchProducesVerifiableProofs(t *testing.T) {
+	const n = 3
+	queries, keys, specs, resps, verifier := batchFixture(t, n)
+	vp := endorsement.MustParse(queries[0].PolicyExpr)
+	for i := 0; i < n; i++ {
+		bundle, err := OpenResponse(keys[i], queries[i], resps[i])
+		if err != nil {
+			t.Fatalf("OpenResponse %d: %v", i, err)
+		}
+		if !bytes.Equal(bundle.Result, specs[i].Result) {
+			t.Fatalf("result %d = %q", i, bundle.Result)
+		}
+		for _, el := range bundle.Elements {
+			if el.BatchSize != n {
+				t.Fatalf("element batch size = %d, want %d", el.BatchSize, n)
+			}
+			if el.BatchIndex != uint64(i) {
+				t.Fatalf("element batch index = %d, want %d", el.BatchIndex, i)
+			}
+		}
+		if err := Verify(bundle, verifier, vp, specs[i].QueryDigest, specs[i].PolicyDigest); err != nil {
+			t.Fatalf("Verify %d: %v", i, err)
+		}
+	}
+}
+
+func TestBuildBatchSharesOneSignaturePerAttestor(t *testing.T) {
+	// The point of batching: within a window every query carries the SAME
+	// signature from a given attestor — one ECDSA sign per attestor per
+	// window regardless of window width.
+	_, _, _, resps, _ := batchFixture(t, 4)
+	for ai := range resps[0].Attestations {
+		first := resps[0].Attestations[ai].Signature
+		for qi := 1; qi < len(resps); qi++ {
+			if !bytes.Equal(first, resps[qi].Attestations[ai].Signature) {
+				t.Fatalf("attestor %d signed query %d separately", ai, qi)
+			}
+		}
+	}
+}
+
+func TestBuildBatchSingleSpecFallsBackToSingleSignature(t *testing.T) {
+	queries, keys, specs, resps, verifier := batchFixture(t, 1)
+	for _, att := range resps[0].Attestations {
+		if att.BatchSize != 0 || len(att.BatchPath) != 0 {
+			t.Fatal("lone query paid the batched-proof overhead")
+		}
+	}
+	bundle, err := OpenResponse(keys[0], queries[0], resps[0])
+	if err != nil {
+		t.Fatalf("OpenResponse: %v", err)
+	}
+	vp := endorsement.MustParse(queries[0].PolicyExpr)
+	if err := Verify(bundle, verifier, vp, specs[0].QueryDigest, specs[0].PolicyDigest); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestBatchedElementTamperingRejected(t *testing.T) {
+	queries, keys, specs, resps, verifier := batchFixture(t, 3)
+	vp := endorsement.MustParse(queries[0].PolicyExpr)
+	open := func() *Bundle {
+		t.Helper()
+		b, err := OpenResponse(keys[1], queries[1], resps[1])
+		if err != nil {
+			t.Fatalf("OpenResponse: %v", err)
+		}
+		return b
+	}
+
+	// Claiming single-signature mode for a batch-signed element must fail:
+	// the signature is over the domain-separated root, not the metadata.
+	b := open()
+	for i := range b.Elements {
+		b.Elements[i].BatchSize = 0
+		b.Elements[i].BatchPath = nil
+	}
+	if err := Verify(b, verifier, vp, specs[1].QueryDigest, specs[1].PolicyDigest); !errors.Is(err, ErrBadAttestation) {
+		t.Fatalf("mode-stripped element accepted: %v", err)
+	}
+
+	// A lied-about leaf index recomputes a different root.
+	b = open()
+	b.Elements[0].BatchIndex = 0
+	if err := Verify(b, verifier, vp, specs[1].QueryDigest, specs[1].PolicyDigest); !errors.Is(err, ErrBadAttestation) {
+		t.Fatalf("wrong-index element accepted: %v", err)
+	}
+
+	// A corrupted sibling hash breaks the inclusion proof.
+	b = open()
+	b.Elements[0].BatchPath[0][0] ^= 0xff
+	if err := Verify(b, verifier, vp, specs[1].QueryDigest, specs[1].PolicyDigest); !errors.Is(err, ErrBadAttestation) {
+		t.Fatalf("corrupt-path element accepted: %v", err)
+	}
+
+	// A truncated path is structurally impossible for the claimed size.
+	b = open()
+	b.Elements[0].BatchPath = b.Elements[0].BatchPath[:1]
+	if err := Verify(b, verifier, vp, specs[1].QueryDigest, specs[1].PolicyDigest); !errors.Is(err, ErrBadAttestation) {
+		t.Fatalf("truncated-path element accepted: %v", err)
+	}
+}
+
+func TestBatchedBundleSurvivesMarshalRoundTrip(t *testing.T) {
+	// The batch fields ride inside the persisted Bundle encoding — a
+	// destination peer that receives the serialized bundle (the Data
+	// Acceptance path) must still be able to verify the batched proof.
+	queries, keys, specs, resps, verifier := batchFixture(t, 3)
+	bundle, err := OpenResponse(keys[2], queries[2], resps[2])
+	if err != nil {
+		t.Fatalf("OpenResponse: %v", err)
+	}
+	decoded, err := UnmarshalBundle(bundle.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalBundle: %v", err)
+	}
+	vp := endorsement.MustParse(queries[2].PolicyExpr)
+	if err := Verify(decoded, verifier, vp, specs[2].QueryDigest, specs[2].PolicyDigest); err != nil {
+		t.Fatalf("Verify after round trip: %v", err)
+	}
+}
+
+func TestBuildBatchHonorsCancelledContext(t *testing.T) {
+	_, _, sellerPeer, carrierPeer, _ := setup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var specs []Spec
+	for i := 0; i < 2; i++ {
+		key, err := cryptoutil.GenerateKey()
+		if err != nil {
+			t.Fatalf("GenerateKey: %v", err)
+		}
+		q := sampleQuery(t)
+		specs = append(specs, Spec{
+			NetworkID: "tradelens", QueryDigest: QueryDigestOf(q),
+			PolicyDigest: PolicyDigest(q.PolicyExpr), Result: []byte("r"),
+			Nonce: q.Nonce, ClientPub: &key.PublicKey, Now: time.Now(),
+		})
+	}
+	if _, err := BuildBatch(ctx, specs, []*msp.Identity{sellerPeer, carrierPeer}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch built anyway: %v", err)
+	}
+}
+
+func TestBuildHonorsCancelledContext(t *testing.T) {
+	_, _, sellerPeer, carrierPeer, _ := setup(t)
+	key, err := cryptoutil.GenerateKey()
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	q := sampleQuery(t)
+	spec := Spec{
+		NetworkID: "tradelens", QueryDigest: QueryDigestOf(q),
+		PolicyDigest: PolicyDigest(q.PolicyExpr), Result: []byte("r"),
+		Nonce: q.Nonce, ClientPub: &key.PublicKey, Now: time.Now(),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Build(ctx, spec, []*msp.Identity{sellerPeer, carrierPeer}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled build produced a proof: %v", err)
+	}
+}
+
+func TestUnmarshalSealedRejectsDuplicateScalarField(t *testing.T) {
+	// A crafted Sealed carrying the Response field twice would, under
+	// last-write-wins decoding, let an attacker prepend a decoy response
+	// while the digest pins still match the original bytes they copied. The
+	// decoder must refuse the second occurrence outright.
+	_, out, _ := buildFixture(t)
+	good := out.sealed.Marshal()
+	if _, err := UnmarshalSealed(good); err != nil {
+		t.Fatalf("control decode failed: %v", err)
+	}
+
+	for _, field := range []int{1, 2, 3, 5} {
+		crafted := append(append([]byte{}, good...), encodeDupField(field)...)
+		if _, err := UnmarshalSealed(crafted); err == nil {
+			t.Fatalf("duplicate scalar field %d accepted", field)
+		}
+	}
+
+	// Repeated fields stay legal: a second attestor entry (field 4) is not
+	// a duplicate scalar.
+	crafted := append(append([]byte{}, good...), encodeRepeatedAttestor()...)
+	decoded, err := UnmarshalSealed(crafted)
+	if err != nil {
+		t.Fatalf("legal repeated field refused: %v", err)
+	}
+	if len(decoded.Attestors) != len(out.sealed.Attestors)+1 {
+		t.Fatalf("attestors = %d", len(decoded.Attestors))
+	}
+}
+
+// encodeDupField encodes one extra occurrence of a Sealed scalar field.
+func encodeDupField(field int) []byte {
+	e := wire.NewEncoder(32)
+	switch field {
+	case 3: // UnixNano, varint
+		e.Uint(field, 12345)
+	default: // bytes fields
+		e.BytesField(field, []byte("dup"))
+	}
+	return e.Bytes()
+}
+
+func encodeRepeatedAttestor() []byte {
+	e := wire.NewEncoder(32)
+	e.String(4, "extra-org/extra-peer")
+	return e.Bytes()
+}

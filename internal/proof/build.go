@@ -1,7 +1,9 @@
 package proof
 
 import (
+	"context"
 	"crypto/ecdsa"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -27,9 +29,14 @@ type Spec struct {
 // Build is the single construction point for attestation proofs: it gathers
 // one pinned attestation per attestor concurrently (each attestation is an
 // independent ECDSA sign + ECIES encrypt, the dominant per-peer cost) and
-// encrypts the result to the requester. Callers that persist the proof
-// wrap the response with Seal; query paths use the response directly.
-func Build(spec Spec, attestors []*msp.Identity) (*wire.QueryResponse, error) {
+// encrypts the result to the requester. The first attestor failure — or a
+// cancelled ctx — aborts the remaining fan-out instead of burning full
+// crypto cost on a proof that can no longer be completed. Callers that
+// persist the proof wrap the response with Seal; query paths use the
+// response directly.
+func Build(ctx context.Context, spec Spec, attestors []*msp.Identity) (*wire.QueryResponse, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	resp := &wire.QueryResponse{PolicyDigest: spec.PolicyDigest}
 	resp.Attestations = make([]wire.Attestation, len(attestors))
 	errs := make([]error, len(attestors))
@@ -38,10 +45,15 @@ func Build(spec Spec, attestors []*msp.Identity) (*wire.QueryResponse, error) {
 		wg.Add(1)
 		go func(i int, id *msp.Identity) {
 			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			att, err := BuildAttestationPinned(id, spec.NetworkID, spec.QueryDigest,
 				spec.PolicyDigest, spec.Result, spec.Nonce, spec.ClientPub, spec.Now)
 			if err != nil {
 				errs[i] = fmt.Errorf("proof: attestation from %s: %w", id.Name, err)
+				cancel()
 				return
 			}
 			resp.Attestations[i] = att
@@ -49,10 +61,21 @@ func Build(spec Spec, attestors []*msp.Identity) (*wire.QueryResponse, error) {
 	}
 	encResult, encErr := EncryptResult(spec.ClientPub, spec.Result)
 	wg.Wait()
+	// Report a real attestation failure in preference to the context
+	// errors it induced in the goroutines that saw the cancellation.
+	var ctxErr error
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			ctxErr = err
+			continue
+		}
+		return nil, err
+	}
+	if ctxErr != nil {
+		return nil, ctxErr
 	}
 	if encErr != nil {
 		return nil, fmt.Errorf("proof: encrypt result: %w", encErr)
@@ -106,10 +129,17 @@ func (s *Sealed) Marshal() []byte {
 	return e.Bytes()
 }
 
+// sealedScalars omits field 4 (Attestors), the only repeated field. A
+// duplicate scalar occurrence is rejected rather than resolved last-write-
+// wins: a crafted bundle carrying two Response payloads could otherwise
+// swap in a second response behind the one that was verified.
+var sealedScalars = wire.FieldMask(1, 2, 3, 5)
+
 // UnmarshalSealed decodes a sealed proof.
 func UnmarshalSealed(buf []byte) (*Sealed, error) {
 	s := &Sealed{}
 	d := wire.NewDecoder(buf)
+	var g wire.ScalarGuard
 	for {
 		field, ok, err := d.Next()
 		if err != nil {
@@ -117,6 +147,9 @@ func UnmarshalSealed(buf []byte) (*Sealed, error) {
 		}
 		if !ok {
 			return s, nil
+		}
+		if err := g.Check(field, sealedScalars); err != nil {
+			return nil, fmt.Errorf("sealed proof field %d: %w", field, err)
 		}
 		switch field {
 		case 1:

@@ -2,6 +2,7 @@ package proof
 
 import (
 	"bytes"
+	"context"
 	"crypto/ecdsa"
 	"errors"
 	"testing"
@@ -33,7 +34,7 @@ func buildFixture(t *testing.T) (spec Spec, resp *respAndSealed, verifier *msp.V
 		Now:          time.Now(),
 	}
 	attestors := []*msp.Identity{sellerPeer, carrierPeer}
-	wireResp, err := Build(spec, attestors)
+	wireResp, err := Build(context.Background(), spec, attestors)
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}

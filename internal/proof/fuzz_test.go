@@ -1,0 +1,53 @@
+package proof
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// FuzzUnmarshalSealed exercises the persisted-proof decoder: the artifact
+// a replayed invoke serves byte-for-byte, so the decoder must be total
+// (no panics) and strict (no last-write-wins on duplicate scalars).
+func FuzzUnmarshalSealed(f *testing.F) {
+	f.Add([]byte{})
+	inner := &wire.QueryResponse{
+		RequestID: "r",
+		Attestations: []wire.Attestation{{
+			PeerName: "p0", OrgID: "org", CertPEM: []byte("cert"),
+			EncryptedMetadata: []byte("em"), Signature: []byte("sig"),
+			BatchSize: 4, BatchIndex: 2,
+			BatchPath: [][]byte{bytes.Repeat([]byte{0x11}, 32), bytes.Repeat([]byte{0x22}, 32)},
+		}},
+	}
+	sealed := &Sealed{
+		QueryDigest:  bytes.Repeat([]byte{0xab}, 32),
+		PolicyDigest: bytes.Repeat([]byte{0xcd}, 32),
+		UnixNano:     1700000000000000000,
+		Attestors:    []string{"org/p0", "org2/p1"},
+		Response:     inner.Marshal(),
+	}
+	valid := sealed.Marshal()
+	f.Add(valid)
+	// The attack shape the guard exists for: a second Response occurrence
+	// appended after the digest-pinned first one.
+	dupe := wire.NewEncoder(16)
+	dupe.BytesField(5, []byte("decoy"))
+	f.Add(append(append([]byte{}, valid...), dupe.Bytes()...))
+	f.Add(valid[:len(valid)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalSealed(data)
+		if err != nil {
+			return
+		}
+		again, err := UnmarshalSealed(s.Marshal())
+		if err != nil {
+			t.Fatalf("canonical re-encoding refused: %v", err)
+		}
+		if !bytes.Equal(s.Marshal(), again.Marshal()) {
+			t.Fatal("decode/encode is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package proof
+
+import (
+	"fmt"
+
+	"repro/internal/cryptoutil"
+)
+
+// Merkle tree over attestation metadata, RFC 6962-style: leaf and interior
+// hashes are domain-separated (0x00 / 0x01 prefixes) so a leaf can never be
+// reinterpreted as an interior node, and trees of non-power-of-two size
+// split at the largest power of two strictly less than n. Batched
+// attestation signs the root once per window; each requester receives its
+// leaf index plus the sibling-hash inclusion path and recomputes the root
+// independently.
+
+var (
+	merkleLeafPrefix = []byte{0x00}
+	merkleNodePrefix = []byte{0x01}
+	// batchSigDomain separates batch-root signatures from signatures over
+	// plain metadata bytes, so a root signature can never be replayed as a
+	// single-signature attestation of some crafted metadata (or vice versa).
+	batchSigDomain = []byte("interop-batch-root\x00")
+)
+
+// merkleLeafHash hashes one leaf's content with the leaf domain prefix.
+func merkleLeafHash(content []byte) []byte {
+	return cryptoutil.Digest(merkleLeafPrefix, content)
+}
+
+func merkleNodeHash(left, right []byte) []byte {
+	return cryptoutil.Digest(merkleNodePrefix, left, right)
+}
+
+// largestPowerOfTwoBelow returns the largest power of two strictly less
+// than n. n must be >= 2.
+func largestPowerOfTwoBelow(n int) int {
+	k := 1
+	for k<<1 < n {
+		k <<= 1
+	}
+	return k
+}
+
+// merkleRoot computes the tree root over the given leaf hashes.
+func merkleRoot(leaves [][]byte) []byte {
+	switch len(leaves) {
+	case 0:
+		return cryptoutil.Digest(nil)
+	case 1:
+		return leaves[0]
+	}
+	k := largestPowerOfTwoBelow(len(leaves))
+	return merkleNodeHash(merkleRoot(leaves[:k]), merkleRoot(leaves[k:]))
+}
+
+// merklePath computes the inclusion proof for leaves[index]: the sibling
+// hashes from the leaf up to (excluding) the root, leaf-side first.
+func merklePath(leaves [][]byte, index int) [][]byte {
+	if len(leaves) <= 1 {
+		return nil
+	}
+	k := largestPowerOfTwoBelow(len(leaves))
+	if index < k {
+		return append(merklePath(leaves[:k], index), merkleRoot(leaves[k:]))
+	}
+	return append(merklePath(leaves[k:], index-k), merkleRoot(leaves[:k]))
+}
+
+// merkleRootFromPath recomputes the root implied by a leaf hash, its index,
+// the tree size and an inclusion path (RFC 9162 §2.1.3.2 verification). It
+// rejects structurally impossible inputs — index out of range, path too
+// short or too long for the claimed size — before doing any hashing it
+// can't use.
+func merkleRootFromPath(leafHash []byte, index, size uint64, path [][]byte) ([]byte, error) {
+	if size == 0 || index >= size {
+		return nil, fmt.Errorf("proof: merkle index %d out of range for size %d", index, size)
+	}
+	fn, sn := index, size-1
+	root := leafHash
+	for _, sibling := range path {
+		if sn == 0 {
+			return nil, fmt.Errorf("proof: merkle path longer than tree height")
+		}
+		if fn&1 == 1 || fn == sn {
+			root = merkleNodeHash(sibling, root)
+			if fn&1 == 0 {
+				for fn&1 == 0 && fn != 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			root = merkleNodeHash(root, sibling)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	if sn != 0 {
+		return nil, fmt.Errorf("proof: merkle path shorter than tree height")
+	}
+	return root, nil
+}
+
+// batchSigPayload is the byte string an attestor signs in batched mode:
+// the domain tag followed by the Merkle root over the window's metadata
+// leaf hashes.
+func batchSigPayload(root []byte) []byte {
+	out := make([]byte, 0, len(batchSigDomain)+len(root))
+	out = append(out, batchSigDomain...)
+	return append(out, root...)
+}

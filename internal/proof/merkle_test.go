@@ -1,0 +1,77 @@
+package proof
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func testLeaves(n int) [][]byte {
+	leaves := make([][]byte, n)
+	for i := range leaves {
+		leaves[i] = merkleLeafHash([]byte(fmt.Sprintf("leaf-%d", i)))
+	}
+	return leaves
+}
+
+func TestMerklePathRoundTripsEverySizeAndIndex(t *testing.T) {
+	// Every index of every tree size through two levels past a power of
+	// two: the inclusion path must recompute exactly the tree root.
+	for size := 1; size <= 9; size++ {
+		leaves := testLeaves(size)
+		root := merkleRoot(leaves)
+		for index := 0; index < size; index++ {
+			path := merklePath(leaves, index)
+			got, err := merkleRootFromPath(leaves[index], uint64(index), uint64(size), path)
+			if err != nil {
+				t.Fatalf("size %d index %d: %v", size, index, err)
+			}
+			if !bytes.Equal(got, root) {
+				t.Fatalf("size %d index %d: recomputed root mismatch", size, index)
+			}
+		}
+	}
+}
+
+func TestMerkleRootFromPathRejectsStructuralLies(t *testing.T) {
+	leaves := testLeaves(5)
+	path := merklePath(leaves, 2)
+
+	if _, err := merkleRootFromPath(leaves[2], 5, 5, path); err == nil {
+		t.Fatal("index == size accepted")
+	}
+	if _, err := merkleRootFromPath(leaves[2], 2, 0, nil); err == nil {
+		t.Fatal("zero-size tree accepted")
+	}
+	if _, err := merkleRootFromPath(leaves[2], 2, 5, path[:len(path)-1]); err == nil {
+		t.Fatal("truncated path accepted")
+	}
+	long := append(append([][]byte{}, path...), merkleLeafHash([]byte("extra")))
+	if _, err := merkleRootFromPath(leaves[2], 2, 5, long); err == nil {
+		t.Fatal("overlong path accepted")
+	}
+}
+
+func TestMerklePathWrongIndexChangesRoot(t *testing.T) {
+	// A proof presented under the wrong leaf index must not resolve to the
+	// same root — that would let one requester's attestation stand in for
+	// another's.
+	leaves := testLeaves(4)
+	root := merkleRoot(leaves)
+	path := merklePath(leaves, 1)
+	got, err := merkleRootFromPath(leaves[1], 0, 4, path)
+	if err == nil && bytes.Equal(got, root) {
+		t.Fatal("wrong index resolved to the true root")
+	}
+}
+
+func TestBatchSigPayloadIsDomainSeparated(t *testing.T) {
+	root := merkleRoot(testLeaves(3))
+	payload := batchSigPayload(root)
+	if bytes.Equal(payload, root) {
+		t.Fatal("batch payload must not equal the bare root")
+	}
+	if !bytes.HasPrefix(payload, batchSigDomain) {
+		t.Fatal("batch payload must carry the domain tag")
+	}
+}

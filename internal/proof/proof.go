@@ -169,11 +169,20 @@ func EncryptResult(clientPub *ecdsa.PublicKey, result []byte) ([]byte, error) {
 }
 
 // Element is one decrypted attestation inside a Bundle: the attestor
-// certificate, the plaintext metadata bytes, and the signature over them.
+// certificate, the plaintext metadata bytes, and the signature over them —
+// directly over the metadata in single mode, or over the Merkle batch-root
+// payload the metadata's leaf hash chains up to in batched mode.
 type Element struct {
 	CertPEM   []byte
 	Metadata  []byte // plaintext wire.Metadata
 	Signature []byte
+	// BatchSize > 0 marks a batched element: Signature covers
+	// batchSigPayload(root) where root is recomputed from the metadata's
+	// leaf hash at BatchIndex via the BatchPath sibling hashes (see
+	// wire.Attestation). Zero for single-signature elements.
+	BatchSize  uint64
+	BatchIndex uint64
+	BatchPath  [][]byte
 }
 
 // Bundle is the decrypted, transaction-embeddable form of a proof: the
@@ -211,6 +220,11 @@ func (b *Bundle) Marshal() []byte {
 		ee.BytesField(1, el.CertPEM)
 		ee.BytesField(2, el.Metadata)
 		ee.BytesField(3, el.Signature)
+		ee.Uint(4, el.BatchSize)
+		ee.Uint(5, el.BatchIndex)
+		for _, h := range el.BatchPath {
+			ee.Message(6, h)
+		}
 		e.Message(4, ee.Bytes())
 	}
 	e.BytesField(5, b.QueryDigest)
@@ -219,10 +233,14 @@ func (b *Bundle) Marshal() []byte {
 	return e.Bytes()
 }
 
+// bundleScalars omits field 4 (Elements), the only repeated field.
+var bundleScalars = wire.FieldMask(1, 2, 3, 5, 6, 7)
+
 // UnmarshalBundle decodes a bundle.
 func UnmarshalBundle(buf []byte) (*Bundle, error) {
 	b := &Bundle{}
 	d := wire.NewDecoder(buf)
+	var g wire.ScalarGuard
 	for {
 		field, ok, err := d.Next()
 		if err != nil {
@@ -230,6 +248,9 @@ func UnmarshalBundle(buf []byte) (*Bundle, error) {
 		}
 		if !ok {
 			return b, nil
+		}
+		if err := g.Check(field, bundleScalars); err != nil {
+			return nil, fmt.Errorf("bundle field %d: %w", field, err)
 		}
 		switch field {
 		case 1:
@@ -263,9 +284,13 @@ func UnmarshalBundle(buf []byte) (*Bundle, error) {
 	}
 }
 
+// elementScalars omits field 6 (BatchPath), the only repeated field.
+var elementScalars = wire.FieldMask(1, 2, 3, 4, 5)
+
 func unmarshalElement(buf []byte) (Element, error) {
 	var el Element
 	d := wire.NewDecoder(buf)
+	var g wire.ScalarGuard
 	for {
 		field, ok, err := d.Next()
 		if err != nil {
@@ -274,6 +299,9 @@ func unmarshalElement(buf []byte) (Element, error) {
 		if !ok {
 			return el, nil
 		}
+		if err := g.Check(field, elementScalars); err != nil {
+			return el, err
+		}
 		switch field {
 		case 1:
 			el.CertPEM, err = d.BytesCopy()
@@ -281,6 +309,14 @@ func unmarshalElement(buf []byte) (Element, error) {
 			el.Metadata, err = d.BytesCopy()
 		case 3:
 			el.Signature, err = d.BytesCopy()
+		case 4:
+			el.BatchSize, err = d.Uint()
+		case 5:
+			el.BatchIndex, err = d.Uint()
+		case 6:
+			var h []byte
+			h, err = d.BytesCopy()
+			el.BatchPath = append(el.BatchPath, h)
 		default:
 			err = d.Skip()
 		}
@@ -342,9 +378,12 @@ func OpenResponse(clientKey *ecdsa.PrivateKey, q *wire.Query, resp *wire.QueryRe
 			bundle.UnixNano = md.UnixNano
 		}
 		bundle.Elements = append(bundle.Elements, Element{
-			CertPEM:   att.CertPEM,
-			Metadata:  plain,
-			Signature: att.Signature,
+			CertPEM:    att.CertPEM,
+			Metadata:   plain,
+			Signature:  att.Signature,
+			BatchSize:  att.BatchSize,
+			BatchIndex: att.BatchIndex,
+			BatchPath:  att.BatchPath,
 		})
 	}
 	return bundle, nil
@@ -392,7 +431,18 @@ func Verify(b *Bundle, verifier *msp.Verifier, vp *endorsement.Policy, expectedQ
 		if !ok {
 			return fmt.Errorf("%w: element %d: non-ECDSA key", ErrBadAttestation, i)
 		}
-		if err := cryptoutil.Verify(pub, el.Metadata, el.Signature); err != nil {
+		// Single mode signs the metadata bytes directly; batched mode signs
+		// the domain-separated Merkle root the metadata's leaf hash chains up
+		// to, so the signed payload is recomputed from the inclusion proof.
+		signedPayload := el.Metadata
+		if el.BatchSize > 0 {
+			root, err := merkleRootFromPath(merkleLeafHash(el.Metadata), el.BatchIndex, el.BatchSize, el.BatchPath)
+			if err != nil {
+				return fmt.Errorf("%w: element %d: %v", ErrBadAttestation, i, err)
+			}
+			signedPayload = batchSigPayload(root)
+		}
+		if err := cryptoutil.Verify(pub, signedPayload, el.Signature); err != nil {
 			return fmt.Errorf("%w: element %d: signature", ErrBadAttestation, i)
 		}
 		md, err := wire.UnmarshalMetadata(el.Metadata)

@@ -54,6 +54,14 @@ type FabricDriver struct {
 	// concurrent queries hold their own reference.
 	cache atomic.Pointer[attestationCache]
 
+	// batcher, when non-nil, collapses concurrent proof builds into
+	// Merkle-batched windows (one signature per attestor per window). Nil
+	// by default: batching trades a bounded latency window for signature
+	// amortization, which is an explicit deployment decision. Only queries
+	// that negotiated the capability (wire.Query.AcceptBatched) are routed
+	// through it.
+	batcher atomic.Pointer[attestBatcher]
+
 	// onLedgerReplay is notified when the driver answers an invoke from the
 	// ledger's committed record after its own submission was invalidated as
 	// a duplicate (the commit-race-loser path). Relay.RegisterDriver wires
@@ -119,6 +127,31 @@ func NewFabricDriver(net *fabric.Network, ledgerName string) *FabricDriver {
 // serving — in-flight queries finish against the cache they started with.
 func (d *FabricDriver) ConfigureAttestationCache(max int, ttl time.Duration) {
 	d.cache.Store(newAttestationCache(max, ttl, time.Now))
+}
+
+// ConfigureAttestationBatching enables Merkle-batched attestation: proof
+// builds for queries that accept batching are held for up to window and
+// signed together, one root signature per attestor per window, with each
+// requester handed its leaf's inclusion proof. A window also closes early
+// once maxPending builds are waiting. window <= 0 or maxPending <= 0
+// disables batching (the default). Safe while serving — in-flight builds
+// finish against the batcher they started with.
+func (d *FabricDriver) ConfigureAttestationBatching(window time.Duration, maxPending int) {
+	if window <= 0 || maxPending <= 0 {
+		d.batcher.Store(nil)
+		return
+	}
+	d.batcher.Store(newAttestBatcher(window, maxPending))
+}
+
+// buildProof routes one proof build either through the batching window
+// (when batching is configured and the requester negotiated it) or
+// directly through the single-signature builder.
+func (d *FabricDriver) buildProof(ctx context.Context, accepted bool, spec proof.Spec, attestors []*msp.Identity) (*wire.QueryResponse, error) {
+	if b := d.batcher.Load(); b != nil && accepted {
+		return b.submit(ctx, spec, attestors)
+	}
+	return proof.Build(ctx, spec, attestors)
 }
 
 // Platform implements Driver.
@@ -220,7 +253,7 @@ func (d *FabricDriver) Query(ctx context.Context, q *wire.Query) (*wire.QueryRes
 	}
 	d.notifyCache(false)
 
-	resp, err := proof.Build(proof.Spec{
+	resp, err := d.buildProof(ctx, q.AcceptBatched, proof.Spec{
 		NetworkID:    d.net.ID(),
 		QueryDigest:  queryDigest,
 		PolicyDigest: policyDigest,
@@ -392,7 +425,7 @@ func (d *FabricDriver) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryRe
 		Now:          time.Now(),
 	}
 	attestorIDs := identitiesOf(attestors)
-	resp, err := proof.Build(spec, attestorIDs)
+	resp, err := d.buildProof(ctx, q.AcceptBatched, spec, attestorIDs)
 	if err != nil {
 		return nil, err
 	}
@@ -496,7 +529,7 @@ func (d *FabricDriver) ReplayInvoke(ctx context.Context, q *wire.Query) (*wire.Q
 	// pre-proof-carrying behavior. A deterministic idempotent retry never
 	// lands here; a retry with a fresh nonce or changed policy does, and
 	// gets a proof bound to what it actually presented.
-	resp, err := d.attestResponse(q, tx.Response)
+	resp, err := d.attestResponse(ctx, q, tx.Response)
 	if err != nil {
 		return nil, false, err
 	}
@@ -552,7 +585,7 @@ func matchesCommitted(tx *ledger.Transaction, q *wire.Query) error {
 // no usable persisted bundle. The proof binds the nonce and policy the
 // incoming query presents, so it verifies for that requester even though it
 // is not the original artifact.
-func (d *FabricDriver) attestResponse(q *wire.Query, result []byte) (*wire.QueryResponse, error) {
+func (d *FabricDriver) attestResponse(ctx context.Context, q *wire.Query, result []byte) (*wire.QueryResponse, error) {
 	vp, err := endorsement.Parse(q.PolicyExpr)
 	if err != nil {
 		return nil, fmt.Errorf("relay: verification policy: %w", err)
@@ -569,7 +602,7 @@ func (d *FabricDriver) attestResponse(q *wire.Query, result []byte) (*wire.Query
 	if len(attestors) == 0 {
 		return nil, ErrNoAttestors
 	}
-	resp, err := proof.Build(proof.Spec{
+	resp, err := proof.Build(ctx, proof.Spec{
 		NetworkID:    d.net.ID(),
 		QueryDigest:  proof.QueryDigestOf(q),
 		PolicyDigest: policyDigest,

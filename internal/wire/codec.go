@@ -188,6 +188,57 @@ func (d *Decoder) String() (string, error) {
 	return string(b), nil
 }
 
+// ScalarGuard rejects duplicate occurrences of scalar (non-repeated)
+// fields while decoding a message. Every encoder in this package omits
+// zero values, so a well-formed message never carries the same scalar
+// field twice; when a decoder sees a second occurrence the input is
+// either corrupt or crafted to exploit last-write-wins field resolution
+// (e.g. a sealed proof bundle smuggling a second Response payload behind
+// the one that was verified). Repeated fields and unknown fields are not
+// tracked. Field numbers must be below 64.
+type ScalarGuard struct {
+	seen uint64
+}
+
+// Mark records an occurrence of a scalar field, returning ErrMalformed
+// (wrapped) if the field was already seen in this message.
+func (g *ScalarGuard) Mark(field int) error {
+	if field <= 0 || field >= 64 {
+		return fmt.Errorf("%w: scalar field %d out of guard range", ErrMalformed, field)
+	}
+	bit := uint64(1) << uint(field)
+	if g.seen&bit != 0 {
+		return fmt.Errorf("%w: duplicate scalar field %d", ErrMalformed, field)
+	}
+	g.seen |= bit
+	return nil
+}
+
+// Check marks field when it appears in the scalars bitmask (as built by
+// FieldMask), returning an error on a duplicate occurrence. Fields
+// outside the mask — repeated fields and unknown fields — pass
+// unconditionally, preserving forward compatibility.
+func (g *ScalarGuard) Check(field int, scalars uint64) error {
+	if field <= 0 || field >= 64 || scalars&(uint64(1)<<uint(field)) == 0 {
+		return nil
+	}
+	return g.Mark(field)
+}
+
+// FieldMask builds the scalar-field bitmask for ScalarGuard.Check from a
+// list of field numbers. It panics on field numbers outside (0, 64),
+// which is a programming error in the message definition, not bad input.
+func FieldMask(fields ...int) uint64 {
+	var mask uint64
+	for _, f := range fields {
+		if f <= 0 || f >= 64 {
+			panic(fmt.Sprintf("wire: FieldMask field %d out of range", f))
+		}
+		mask |= uint64(1) << uint(f)
+	}
+	return mask
+}
+
 // Skip discards the current field, whatever its type.
 func (d *Decoder) Skip() error {
 	switch d.pendingWire {

@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+// appendField re-encodes one extra occurrence of a field onto an already
+// valid message encoding. wt selects the shape: "uint" or "bytes".
+func appendField(valid []byte, field int, wt string) []byte {
+	e := NewEncoder(16)
+	switch wt {
+	case "uint":
+		e.Uint(field, 7)
+	default:
+		e.BytesField(field, []byte("dup"))
+	}
+	return append(append([]byte{}, valid...), e.Bytes()...)
+}
+
+func TestDecodersRejectDuplicateScalarFields(t *testing.T) {
+	// Our own encoders never emit a scalar field twice (zero values are
+	// omitted, non-zero values are written once), so a second occurrence is
+	// always a crafted message aiming at last-write-wins confusion: present
+	// digest-checked bytes in the first occurrence, smuggle different
+	// content in the second. Every decoder must hard-fail instead.
+	att := &Attestation{PeerName: "p0", OrgID: "org", CertPEM: []byte("cert"),
+		EncryptedMetadata: []byte("em"), Signature: []byte("sig"),
+		BatchSize: 2, BatchIndex: 1, BatchPath: [][]byte{[]byte("h0")}}
+	cases := []struct {
+		name   string
+		valid  []byte
+		field  int
+		wt     string
+		decode func([]byte) error
+	}{
+		{"envelope/type", (&Envelope{Type: MsgQuery, RequestID: "r", Payload: []byte("p")}).Marshal(), 2, "uint",
+			func(b []byte) error { _, err := UnmarshalEnvelope(b); return err }},
+		{"query/request_id", (&Query{RequestID: "r", Contract: "c", Function: "f"}).Marshal(), 1, "bytes",
+			func(b []byte) error { _, err := UnmarshalQuery(b); return err }},
+		{"query/accept_batched", (&Query{RequestID: "r", AcceptBatched: true}).Marshal(), 13, "uint",
+			func(b []byte) error { _, err := UnmarshalQuery(b); return err }},
+		{"attestation/signature", att.Marshal(), 5, "bytes",
+			func(b []byte) error { _, err := UnmarshalAttestation(b); return err }},
+		{"attestation/batch_size", att.Marshal(), 6, "uint",
+			func(b []byte) error { _, err := UnmarshalAttestation(b); return err }},
+		{"metadata/result_digest", (&Metadata{NetworkID: "n", ResultDigest: []byte("rd")}).Marshal(), 5, "bytes",
+			func(b []byte) error { _, err := UnmarshalMetadata(b); return err }},
+		{"query_response/encrypted_result", (&QueryResponse{RequestID: "r", EncryptedResult: []byte("enc")}).Marshal(), 2, "bytes",
+			func(b []byte) error { _, err := UnmarshalQueryResponse(b); return err }},
+		{"org_config/root_cert", (&OrgConfig{OrgID: "o", RootCertPEM: []byte("root")}).Marshal(), 2, "bytes",
+			func(b []byte) error { _, err := UnmarshalOrgConfig(b); return err }},
+		{"network_config/network_id", (&NetworkConfig{NetworkID: "n"}).Marshal(), 1, "bytes",
+			func(b []byte) error { _, err := UnmarshalNetworkConfig(b); return err }},
+		{"event/subscription_id", (&Event{SubscriptionID: "sub-1"}).Marshal(), 1, "bytes",
+			func(b []byte) error { _, err := UnmarshalEvent(b); return err }},
+		{"subscription/id", (&Subscription{SubscriptionID: "sub-1"}).Marshal(), 1, "bytes",
+			func(b []byte) error { _, err := UnmarshalSubscription(b); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.decode(tc.valid); err != nil {
+				t.Fatalf("control decode failed: %v", err)
+			}
+			crafted := appendField(tc.valid, tc.field, tc.wt)
+			err := tc.decode(crafted)
+			if err == nil {
+				t.Fatal("duplicate scalar field accepted")
+			}
+			if !strings.Contains(err.Error(), "duplicate scalar field") {
+				t.Fatalf("wrong refusal: %v", err)
+			}
+		})
+	}
+}
+
+func TestDecodersStillAcceptRepeatedFields(t *testing.T) {
+	// Genuinely repeated fields — list-valued by design — must keep
+	// accepting any number of occurrences.
+	q, err := UnmarshalQuery((&Query{RequestID: "r", Args: [][]byte{[]byte("a"), []byte("b"), []byte("c")}}).Marshal())
+	if err != nil {
+		t.Fatalf("query args: %v", err)
+	}
+	if len(q.Args) != 3 {
+		t.Fatalf("args = %d", len(q.Args))
+	}
+	att, err := UnmarshalAttestation((&Attestation{PeerName: "p", BatchSize: 4, BatchPath: [][]byte{[]byte("h0"), []byte("h1")}}).Marshal())
+	if err != nil {
+		t.Fatalf("attestation batch path: %v", err)
+	}
+	if len(att.BatchPath) != 2 {
+		t.Fatalf("batch path = %d", len(att.BatchPath))
+	}
+	oc, err := UnmarshalOrgConfig((&OrgConfig{OrgID: "o", PeerNames: []string{"p0", "p1"}}).Marshal())
+	if err != nil {
+		t.Fatalf("org config peers: %v", err)
+	}
+	if len(oc.PeerNames) != 2 {
+		t.Fatalf("peers = %d", len(oc.PeerNames))
+	}
+}
+
+func TestScalarGuardRange(t *testing.T) {
+	var g ScalarGuard
+	// Out-of-range and unmasked fields pass through Check untouched — they
+	// are unknown fields the decoder skips, not scalars to police.
+	if err := g.Check(0, FieldMask(1)); err != nil {
+		t.Fatalf("field 0: %v", err)
+	}
+	if err := g.Check(64, FieldMask(1)); err != nil {
+		t.Fatalf("field 64: %v", err)
+	}
+	if err := g.Check(2, FieldMask(1)); err != nil {
+		t.Fatalf("unmasked field: %v", err)
+	}
+	if err := g.Check(1, FieldMask(1)); err != nil {
+		t.Fatalf("first occurrence: %v", err)
+	}
+	if err := g.Check(1, FieldMask(1)); err == nil {
+		t.Fatal("second occurrence accepted")
+	}
+}

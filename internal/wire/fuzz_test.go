@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalQueryResponse drives the full response decode stack —
+// QueryResponse, nested Attestations with batch fields, the scalar-dup
+// guard — with arbitrary bytes. Properties: never panic, never accept a
+// message whose re-encoding decodes differently (the round-trip must be a
+// fixed point once through the canonical encoder).
+func FuzzUnmarshalQueryResponse(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&QueryResponse{RequestID: "r", EncryptedResult: []byte("enc"), PolicyDigest: []byte("pd")}).Marshal())
+	// A batched response: attestations carrying size/index/path.
+	batched := &QueryResponse{
+		RequestID: "r",
+		Attestations: []Attestation{{
+			PeerName: "p0", OrgID: "org", CertPEM: []byte("cert"),
+			EncryptedMetadata: []byte("em"), Signature: []byte("sig"),
+			BatchSize: 8, BatchIndex: 3,
+			BatchPath: [][]byte{bytes.Repeat([]byte{0xaa}, 32), bytes.Repeat([]byte{0xbb}, 32), bytes.Repeat([]byte{0xcc}, 32)},
+		}},
+	}
+	f.Add(batched.Marshal())
+	// A crafted duplicate scalar: valid encoding plus a second RequestID.
+	dupe := NewEncoder(16)
+	dupe.String(1, "other")
+	f.Add(append(append([]byte{}, batched.Marshal()...), dupe.Bytes()...))
+	// Truncated mid-message.
+	full := batched.Marshal()
+	f.Add(full[:len(full)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalQueryResponse(data)
+		if err != nil {
+			return
+		}
+		again, err := UnmarshalQueryResponse(m.Marshal())
+		if err != nil {
+			t.Fatalf("canonical re-encoding refused: %v", err)
+		}
+		if !bytes.Equal(m.Marshal(), again.Marshal()) {
+			t.Fatal("decode/encode is not a fixed point")
+		}
+	})
+}
+
+// FuzzUnmarshalQuery covers the request side including the AcceptBatched
+// capability bit and repeated Args.
+func FuzzUnmarshalQuery(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Query{RequestID: "r", Contract: "c", Function: "f",
+		Args: [][]byte{[]byte("a"), []byte("b")}, AcceptBatched: true,
+		Nonce: []byte("nonce"), PolicyDigest: []byte("pd")}).Marshal())
+	dupe := NewEncoder(8)
+	dupe.Bool(13, true)
+	valid := (&Query{RequestID: "r", AcceptBatched: true}).Marshal()
+	f.Add(append(append([]byte{}, valid...), dupe.Bytes()...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalQuery(data)
+		if err != nil {
+			return
+		}
+		again, err := UnmarshalQuery(m.Marshal())
+		if err != nil {
+			t.Fatalf("canonical re-encoding refused: %v", err)
+		}
+		if !bytes.Equal(m.Marshal(), again.Marshal()) {
+			t.Fatal("decode/encode is not a fixed point")
+		}
+	})
+}

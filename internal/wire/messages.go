@@ -96,10 +96,13 @@ func (m *Envelope) Marshal() []byte {
 	return e.Bytes()
 }
 
+var envelopeScalars = FieldMask(1, 2, 3, 4, 5, 6)
+
 // UnmarshalEnvelope decodes an Envelope.
 func UnmarshalEnvelope(buf []byte) (*Envelope, error) {
 	m := &Envelope{}
 	d := NewDecoder(buf)
+	var g ScalarGuard
 	for {
 		field, ok, err := d.Next()
 		if err != nil {
@@ -107,6 +110,9 @@ func UnmarshalEnvelope(buf []byte) (*Envelope, error) {
 		}
 		if !ok {
 			return m, nil
+		}
+		if err := g.Check(field, envelopeScalars); err != nil {
+			return nil, fmt.Errorf("envelope field %d: %w", field, err)
 		}
 		switch field {
 		case 1:
@@ -156,6 +162,11 @@ type Query struct {
 	// and responder agree on exactly which policy the proof must satisfy.
 	// Empty on requests from older clients (no pinning).
 	PolicyDigest []byte
+	// AcceptBatched announces that the requester can verify Merkle-batched
+	// attestations (root signature + per-leaf inclusion proof). A source
+	// relay only routes a query through its batching window when this is
+	// set; queries from older clients keep receiving per-query signatures.
+	AcceptBatched bool
 }
 
 // InteropKey derives the ledger-level exactly-once identity of this
@@ -191,13 +202,18 @@ func (m *Query) Marshal() []byte {
 	e.String(10, m.RequesterOrg)
 	e.BytesField(11, m.Nonce)
 	e.BytesField(12, m.PolicyDigest)
+	e.Bool(13, m.AcceptBatched)
 	return e.Bytes()
 }
+
+// queryScalars omits field 7 (Args), the only repeated field.
+var queryScalars = FieldMask(1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13)
 
 // UnmarshalQuery decodes a Query.
 func UnmarshalQuery(buf []byte) (*Query, error) {
 	m := &Query{}
 	d := NewDecoder(buf)
+	var g ScalarGuard
 	for {
 		field, ok, err := d.Next()
 		if err != nil {
@@ -205,6 +221,9 @@ func UnmarshalQuery(buf []byte) (*Query, error) {
 		}
 		if !ok {
 			return m, nil
+		}
+		if err := g.Check(field, queryScalars); err != nil {
+			return nil, fmt.Errorf("query field %d: %w", field, err)
 		}
 		switch field {
 		case 1:
@@ -233,6 +252,8 @@ func UnmarshalQuery(buf []byte) (*Query, error) {
 			m.Nonce, err = d.BytesCopy()
 		case 12:
 			m.PolicyDigest, err = d.BytesCopy()
+		case 13:
+			m.AcceptBatched, err = d.Bool()
 		default:
 			err = d.Skip()
 		}
@@ -251,7 +272,17 @@ type Attestation struct {
 	OrgID             string
 	CertPEM           []byte // attestor certificate, validated against recorded config
 	EncryptedMetadata []byte // ECIES to the requester; plaintext is a Metadata message
-	Signature         []byte // ECDSA over the plaintext metadata bytes
+	Signature         []byte // ECDSA over the plaintext metadata bytes (single mode) or over the batch-root payload (batched mode)
+	// BatchSize > 0 marks a Merkle-batched attestation: the attestor signed
+	// the root of a Merkle tree over BatchSize leaf hashes (one per query in
+	// the window) instead of this query's metadata directly. The Signature
+	// then covers the domain-separated root payload, BatchIndex names this
+	// query's leaf position, and BatchPath carries the sibling hashes of the
+	// RFC 6962 inclusion proof from that leaf to the signed root. Zero for
+	// classic single-signature attestations.
+	BatchSize  uint64
+	BatchIndex uint64
+	BatchPath  [][]byte
 }
 
 // Marshal encodes the attestation.
@@ -262,13 +293,22 @@ func (m *Attestation) Marshal() []byte {
 	e.BytesField(3, m.CertPEM)
 	e.BytesField(4, m.EncryptedMetadata)
 	e.BytesField(5, m.Signature)
+	e.Uint(6, m.BatchSize)
+	e.Uint(7, m.BatchIndex)
+	for _, h := range m.BatchPath {
+		e.Message(8, h)
+	}
 	return e.Bytes()
 }
+
+// attestationScalars omits field 8 (BatchPath), the only repeated field.
+var attestationScalars = FieldMask(1, 2, 3, 4, 5, 6, 7)
 
 // UnmarshalAttestation decodes an Attestation.
 func UnmarshalAttestation(buf []byte) (*Attestation, error) {
 	m := &Attestation{}
 	d := NewDecoder(buf)
+	var g ScalarGuard
 	for {
 		field, ok, err := d.Next()
 		if err != nil {
@@ -276,6 +316,9 @@ func UnmarshalAttestation(buf []byte) (*Attestation, error) {
 		}
 		if !ok {
 			return m, nil
+		}
+		if err := g.Check(field, attestationScalars); err != nil {
+			return nil, fmt.Errorf("attestation field %d: %w", field, err)
 		}
 		switch field {
 		case 1:
@@ -288,6 +331,14 @@ func UnmarshalAttestation(buf []byte) (*Attestation, error) {
 			m.EncryptedMetadata, err = d.BytesCopy()
 		case 5:
 			m.Signature, err = d.BytesCopy()
+		case 6:
+			m.BatchSize, err = d.Uint()
+		case 7:
+			m.BatchIndex, err = d.Uint()
+		case 8:
+			var h []byte
+			h, err = d.BytesCopy()
+			m.BatchPath = append(m.BatchPath, h)
 		default:
 			err = d.Skip()
 		}
@@ -331,10 +382,13 @@ func (m *Metadata) Marshal() []byte {
 	return e.Bytes()
 }
 
+var metadataScalars = FieldMask(1, 2, 3, 4, 5, 6, 7, 8)
+
 // UnmarshalMetadata decodes a Metadata message.
 func UnmarshalMetadata(buf []byte) (*Metadata, error) {
 	m := &Metadata{}
 	d := NewDecoder(buf)
+	var g ScalarGuard
 	for {
 		field, ok, err := d.Next()
 		if err != nil {
@@ -342,6 +396,9 @@ func UnmarshalMetadata(buf []byte) (*Metadata, error) {
 		}
 		if !ok {
 			return m, nil
+		}
+		if err := g.Check(field, metadataScalars); err != nil {
+			return nil, fmt.Errorf("metadata field %d: %w", field, err)
 		}
 		switch field {
 		case 1:
@@ -395,10 +452,14 @@ func (m *QueryResponse) Marshal() []byte {
 	return e.Bytes()
 }
 
+// queryResponseScalars omits field 3 (Attestations), the only repeated field.
+var queryResponseScalars = FieldMask(1, 2, 4, 5)
+
 // UnmarshalQueryResponse decodes a QueryResponse.
 func UnmarshalQueryResponse(buf []byte) (*QueryResponse, error) {
 	m := &QueryResponse{}
 	d := NewDecoder(buf)
+	var g ScalarGuard
 	for {
 		field, ok, err := d.Next()
 		if err != nil {
@@ -406,6 +467,9 @@ func UnmarshalQueryResponse(buf []byte) (*QueryResponse, error) {
 		}
 		if !ok {
 			return m, nil
+		}
+		if err := g.Check(field, queryResponseScalars); err != nil {
+			return nil, fmt.Errorf("query response field %d: %w", field, err)
 		}
 		switch field {
 		case 1:
@@ -454,10 +518,14 @@ func (m *OrgConfig) Marshal() []byte {
 	return e.Bytes()
 }
 
+// orgConfigScalars omits field 3 (PeerNames), the only repeated field.
+var orgConfigScalars = FieldMask(1, 2)
+
 // UnmarshalOrgConfig decodes an OrgConfig.
 func UnmarshalOrgConfig(buf []byte) (*OrgConfig, error) {
 	m := &OrgConfig{}
 	d := NewDecoder(buf)
+	var g ScalarGuard
 	for {
 		field, ok, err := d.Next()
 		if err != nil {
@@ -465,6 +533,9 @@ func UnmarshalOrgConfig(buf []byte) (*OrgConfig, error) {
 		}
 		if !ok {
 			return m, nil
+		}
+		if err := g.Check(field, orgConfigScalars); err != nil {
+			return nil, fmt.Errorf("org config field %d: %w", field, err)
 		}
 		switch field {
 		case 1:
@@ -505,10 +576,14 @@ func (m *NetworkConfig) Marshal() []byte {
 	return e.Bytes()
 }
 
+// networkConfigScalars omits field 3 (Orgs), the only repeated field.
+var networkConfigScalars = FieldMask(1, 2)
+
 // UnmarshalNetworkConfig decodes a NetworkConfig.
 func UnmarshalNetworkConfig(buf []byte) (*NetworkConfig, error) {
 	m := &NetworkConfig{}
 	d := NewDecoder(buf)
+	var g ScalarGuard
 	for {
 		field, ok, err := d.Next()
 		if err != nil {
@@ -516,6 +591,9 @@ func UnmarshalNetworkConfig(buf []byte) (*NetworkConfig, error) {
 		}
 		if !ok {
 			return m, nil
+		}
+		if err := g.Check(field, networkConfigScalars); err != nil {
+			return nil, fmt.Errorf("network config field %d: %w", field, err)
 		}
 		switch field {
 		case 1:
@@ -562,10 +640,13 @@ func (m *Event) Marshal() []byte {
 	return e.Bytes()
 }
 
+var eventScalars = FieldMask(1, 2, 3, 4, 5)
+
 // UnmarshalEvent decodes an Event.
 func UnmarshalEvent(buf []byte) (*Event, error) {
 	m := &Event{}
 	d := NewDecoder(buf)
+	var g ScalarGuard
 	for {
 		field, ok, err := d.Next()
 		if err != nil {
@@ -573,6 +654,9 @@ func UnmarshalEvent(buf []byte) (*Event, error) {
 		}
 		if !ok {
 			return m, nil
+		}
+		if err := g.Check(field, eventScalars); err != nil {
+			return nil, fmt.Errorf("event field %d: %w", field, err)
 		}
 		switch field {
 		case 1:
@@ -615,10 +699,13 @@ func (m *Subscription) Marshal() []byte {
 	return e.Bytes()
 }
 
+var subscriptionScalars = FieldMask(1, 2, 3, 4, 5)
+
 // UnmarshalSubscription decodes a Subscription.
 func UnmarshalSubscription(buf []byte) (*Subscription, error) {
 	m := &Subscription{}
 	d := NewDecoder(buf)
+	var g ScalarGuard
 	for {
 		field, ok, err := d.Next()
 		if err != nil {
@@ -626,6 +713,9 @@ func UnmarshalSubscription(buf []byte) (*Subscription, error) {
 		}
 		if !ok {
 			return m, nil
+		}
+		if err := g.Check(field, subscriptionScalars); err != nil {
+			return nil, fmt.Errorf("subscription field %d: %w", field, err)
 		}
 		switch field {
 		case 1:
