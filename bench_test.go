@@ -442,6 +442,84 @@ func BenchmarkE8BatchedAttestation(b *testing.B) {
 	}
 }
 
+// BenchmarkE9SessionedECIES measures ECIES amortization on the batched
+// cold-query path. Each iteration fires `width` concurrent cold queries
+// through one Merkle window (as in E8) and the sweep compares three
+// encryption regimes on the same driver:
+//
+//   - classic: sessioned mode off — every envelope pays a fresh ephemeral
+//     keygen plus ECDH agreement, attestors+1 per query.
+//   - session-cold: the session pool is replaced before every window, so
+//     each window starts with no cached secrets: (attestors+1) agreements
+//     per window, amortized to (attestors+1)/width per query.
+//   - session-warm: one long-lived pool — the warm-poller steady state,
+//     where every window after the first seals under cached secrets and
+//     ECDH per query goes to ~0.
+//
+// ecdh/query is measured from the driver's own crypto-op counters, not
+// modeled.
+func BenchmarkE9SessionedECIES(b *testing.B) {
+	w, actors := tradeWorld(b)
+	client := actors.SWTSeller.Client()
+	for _, width := range []int{8, 64} {
+		for _, mode := range []string{"classic", "session-cold", "session-warm"} {
+			b.Run(fmt.Sprintf("window-%d/%s", width, mode), func(b *testing.B) {
+				// maxPending = width: windows flush when full, the 50ms
+				// timer is only a straggler backstop (see E8).
+				w.STL.Driver.ConfigureAttestationBatching(50*time.Millisecond, width)
+				defer w.STL.Driver.ConfigureAttestationBatching(0, 0)
+				switch mode {
+				case "classic":
+					w.STL.Driver.ConfigureSessionedECIES(0)
+				default:
+					w.STL.Driver.ConfigureSessionedECIES(time.Hour)
+				}
+				defer w.STL.Driver.ConfigureSessionedECIES(cryptoutil.DefaultSessionTTL)
+
+				runWindow := func() {
+					var wg sync.WaitGroup
+					errs := make([]error, width)
+					for q := 0; q < width; q++ {
+						wg.Add(1)
+						go func(q int) {
+							defer wg.Done()
+							spec := blQuerySpec("po-1001")
+							spec.RequestID = fmt.Sprintf("bench-e9-%d", coldQueryID.Add(1))
+							_, errs[q] = client.RemoteQuery(ctx, spec)
+						}(q)
+					}
+					wg.Wait()
+					for q := 0; q < width; q++ {
+						if errs[q] != nil {
+							b.Fatal(errs[q])
+						}
+					}
+				}
+				if mode == "session-warm" {
+					// Pay the one-time agreements outside the measurement:
+					// the steady state being measured is the warm poller.
+					runWindow()
+				}
+				ecdhBefore, _, _ := w.STL.Driver.CryptoOps()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if mode == "session-cold" {
+						// A fresh pool discards every cached secret: this
+						// window is the first one its requesters ever hit.
+						w.STL.Driver.ConfigureSessionedECIES(time.Hour)
+					}
+					runWindow()
+				}
+				b.StopTimer()
+				ecdhAfter, _, _ := w.STL.Driver.CryptoOps()
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*width), "ns/query")
+				b.ReportMetric(float64(ecdhAfter-ecdhBefore)/float64(b.N*width), "ecdh/query")
+			})
+		}
+	}
+}
+
 // BenchmarkP1WireCodec measures the network-neutral protocol codec.
 func BenchmarkP1WireCodec(b *testing.B) {
 	q := &wire.Query{

@@ -41,6 +41,7 @@ func runLoadgen(args []string) error {
 	committers := fs.Int("committers", 0, "committer workers per peer (<=1 = serial committer)")
 	attestWindow := fs.Duration("attest-batch-window", 0, "Merkle-batched attestation window on source relays (0 = per-query signatures)")
 	attestMax := fs.Int("attest-batch-max", 0, "flush a batching window early at this many pending queries (0 = default 32)")
+	attestOff := fs.Bool("attest-batch-off", false, "disable attestation batching on every relay (per-query signatures)")
 	baseline := fs.String("baseline", "", "prior report to diff p50/p99 against (warn-only, never fails the run)")
 	out := fs.String("out", loadgen.DefaultOutput, "report output path")
 	if err := fs.Parse(args); err != nil {
@@ -101,6 +102,8 @@ func runLoadgen(args []string) error {
 			cfg.AttestBatchWindow = *attestWindow
 		case "attest-batch-max":
 			cfg.AttestBatchMax = *attestMax
+		case "attest-batch-off":
+			cfg.AttestBatchOff = *attestOff
 		}
 	})
 	cfg.Output = *out

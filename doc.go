@@ -81,17 +81,29 @@
 // chaincode namespaces its query's read set touched, and only a later
 // valid write into one of those namespaces evicts it — writes to unrelated
 // chaincodes leave it warm.
-// Stats.AttestationCacheHits/Misses expose its effectiveness and `netadmin
-// proofs show` dumps a persisted artifact. Concurrent distinct queries are
-// amortized by Merkle-batched attestation
-// (relay.FabricDriver.ConfigureAttestationBatching): cold queries that
+// Stats.AttestationCacheHits/Joins/Misses expose its effectiveness and
+// `netadmin proofs show` dumps a persisted artifact. Concurrent distinct
+// queries are amortized by Merkle-batched attestation
+// (relay.FabricDriver.ConfigureAttestationBatching, armed by default by
+// the scenario builders): cold queries that
 // announce the capability (wire.Query.AcceptBatched) share a short window,
 // each attestor signs one RFC 6962-shaped Merkle root per window under a
 // dedicated domain separator, and every requester verifies its own leaf +
 // inclusion proof (proof.Element.BatchSize/BatchIndex/BatchPath) — lone
 // queries and legacy requesters fall back to the single-signature path,
 // and batched invokes persist their batched Sealed artifact so the replay
-// guarantee covers inclusion proofs too.
+// guarantee covers inclusion proofs too. The encryption half is amortized
+// by sessioned ECIES (cryptoutil.SessionManager, proof.SessionPool):
+// requesters announcing wire.Query.AcceptSessioned get envelopes sealed
+// under one ephemeral key per TTL generation with one cached ECDH
+// agreement per requester certificate, a per-query AEAD key derived via
+// HKDF bound to the generation and query digest, and the session point
+// carried in explicit wire fields (Attestation.SessionEphemeral) — warm
+// pollers pay zero scalar multiplications per query, legacy requesters
+// keep byte-identical classic ECIES, and the driver's leaf-addressed
+// element records let a repeated question join an earlier window's proof,
+// reusing every signature. relay.Stats.ECDHOps/SignOps/EncryptOps count
+// the expensive primitives fleet-wide.
 //
 // The commit path is pipelined and conflict-aware. World state is
 // namespaced per chaincode and sharded with one lock per namespace

@@ -129,6 +129,12 @@ func TestBatchedInvokeReplayAfterOrgRemoval(t *testing.T) {
 			if att.BatchSize != 2 || len(att.BatchPath) == 0 {
 				t.Fatalf("persisted attestation %d not batched: size=%d path=%d", i, att.BatchSize, len(att.BatchPath))
 			}
+			// The client negotiated sessioned ECIES, so the persisted window
+			// is batched AND sessioned — the replay below therefore proves
+			// the sessioned batched Sealed artifact is served byte for byte.
+			if len(att.SessionEphemeral) == 0 || att.SessionGeneration == 0 {
+				t.Fatalf("persisted attestation %d is not sessioned", i)
+			}
 		}
 	}
 

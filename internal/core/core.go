@@ -341,6 +341,10 @@ func (c *Client) buildQuery(ctx context.Context, spec RemoteQuerySpec) (*wire.Qu
 		// recomputes the signed root from the leaf's inclusion path), so
 		// advertise the capability; sources without batching ignore it.
 		AcceptBatched: true,
+		// Likewise sessioned ECIES envelopes: proof.OpenResponse dispatches
+		// on the response's session fields, so both classic and sessioned
+		// sources are decryptable.
+		AcceptSessioned: true,
 	}, policyExpr, nil
 }
 

@@ -1,0 +1,275 @@
+package cryptoutil
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sessionInfo domain-separates sessioned AEAD keys from the classic
+// per-query ECIES keys (eciesInfo) and from any other use of the shared
+// secret. The trailing NUL keeps the generation/context suffix from
+// colliding with a longer prefix.
+var sessionInfo = []byte("interop-ecies-session-v1\x00")
+
+// DefaultSessionTTL is how long a session ephemeral key (and the ECDH
+// secrets agreed under it) lives before SessionManager rotates to a fresh
+// generation. Short enough that a leaked session key exposes only a few
+// seconds of traffic; long enough that a warm poller amortizes the
+// variable-base scalar multiplication across many windows.
+const DefaultSessionTTL = 10 * time.Second
+
+// OpCounter tallies expensive crypto operations. All methods are safe for
+// concurrent use and safe on a nil receiver, so call sites never need to
+// guard the "nobody is counting" case.
+type OpCounter struct {
+	ecdh    atomic.Uint64
+	sign    atomic.Uint64
+	encrypt atomic.Uint64
+}
+
+// AddECDH records n ECDH scalar multiplications.
+func (c *OpCounter) AddECDH(n uint64) {
+	if c != nil {
+		c.ecdh.Add(n)
+	}
+}
+
+// AddSign records n ECDSA signing operations.
+func (c *OpCounter) AddSign(n uint64) {
+	if c != nil {
+		c.sign.Add(n)
+	}
+}
+
+// AddEncrypt records n envelope encryptions (classic ECIES or sessioned
+// AEAD seals).
+func (c *OpCounter) AddEncrypt(n uint64) {
+	if c != nil {
+		c.encrypt.Add(n)
+	}
+}
+
+// ECDHOps returns the ECDH scalar multiplication count.
+func (c *OpCounter) ECDHOps() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.ecdh.Load()
+}
+
+// SignOps returns the signing operation count.
+func (c *OpCounter) SignOps() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.sign.Load()
+}
+
+// EncryptOps returns the envelope encryption count.
+func (c *OpCounter) EncryptOps() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.encrypt.Load()
+}
+
+// SessionManager amortizes the expensive half of ECIES. Classic Encrypt
+// burns one ephemeral P-256 keygen plus one variable-base ECDH scalar
+// multiplication per envelope; a SessionManager instead holds one ephemeral
+// key per generation (rotated on a TTL) and caches the ECDH secret per
+// requester label, so sealing N envelopes for R distinct requesters inside
+// a generation costs one keygen plus R agreements instead of 2N scalar
+// multiplications. Confidentiality stays per-query: each envelope's AEAD
+// key is derived from the cached secret via HKDF with a domain-separated
+// info string bound to the generation and a caller-supplied context
+// (the query digest), so no two queries share an AEAD key.
+//
+// The requester label must identify the requester's certificate, not just
+// its public key — a requester whose certificate rotates mid-session gets
+// a fresh agreement rather than silently reusing a secret across
+// identities.
+type SessionManager struct {
+	ttl     time.Duration
+	now     func() time.Time
+	counter *OpCounter
+
+	mu         sync.Mutex
+	generation uint64
+	priv       *ecdh.PrivateKey
+	pub        []byte // uncompressed point of priv's public key
+	born       time.Time
+	secrets    map[string][]byte // requester label -> ECDH secret, current generation only
+}
+
+// NewSessionManager builds a session manager that rotates its ephemeral key
+// every ttl (DefaultSessionTTL when ttl <= 0) and, when counter is non-nil,
+// records every real ECDH agreement it performs.
+func NewSessionManager(ttl time.Duration, counter *OpCounter) *SessionManager {
+	if ttl <= 0 {
+		ttl = DefaultSessionTTL
+	}
+	return &SessionManager{ttl: ttl, now: time.Now, counter: counter}
+}
+
+// SessionKey is the per-(generation, requester) sealing state handed out by
+// a SessionManager. It is immutable and safe for concurrent use.
+type SessionKey struct {
+	// Ephemeral is the uncompressed session public point the recipient
+	// needs to run its half of the agreement. It travels in explicit wire
+	// fields, not inline in the envelope.
+	Ephemeral []byte
+	// Generation is the session generation counter, bound into the AEAD
+	// key derivation so envelopes from different generations can never be
+	// confused even if an ephemeral key were ever reused.
+	Generation uint64
+
+	secret []byte
+}
+
+// KeyFor returns sealing state for the requester identified by label (the
+// requester's certificate digest) holding pub. A warm hit — same label,
+// same generation — performs zero scalar multiplications. A cold label
+// performs one ECDH agreement; an expired generation first rotates the
+// ephemeral key and drops all cached secrets.
+func (m *SessionManager) KeyFor(label string, pub *ecdsa.PublicKey) (*SessionKey, error) {
+	if pub == nil {
+		return nil, ErrInvalidKey
+	}
+	m.mu.Lock()
+	if m.priv == nil || m.now().Sub(m.born) >= m.ttl {
+		if err := m.rotateLocked(); err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+	}
+	if secret, ok := m.secrets[label]; ok {
+		key := &SessionKey{Ephemeral: m.pub, Generation: m.generation, secret: secret}
+		m.mu.Unlock()
+		return key, nil
+	}
+	priv, ephemeral, generation := m.priv, m.pub, m.generation
+	m.mu.Unlock()
+
+	// The variable-base multiplication runs outside the lock so concurrent
+	// requesters agree in parallel; the generation recheck below keeps a
+	// stale secret from being cached into a newer generation.
+	recipient, err := pub.ECDH()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidKey, err)
+	}
+	secret, err := priv.ECDH(recipient)
+	if err != nil {
+		return nil, fmt.Errorf("session ecdh agreement: %w", err)
+	}
+	m.counter.AddECDH(1)
+
+	m.mu.Lock()
+	if m.generation == generation {
+		m.secrets[label] = secret
+	}
+	m.mu.Unlock()
+	return &SessionKey{Ephemeral: ephemeral, Generation: generation, secret: secret}, nil
+}
+
+// rotateLocked installs a fresh ephemeral key, bumps the generation and
+// forgets every cached secret. Caller holds m.mu.
+func (m *SessionManager) rotateLocked() error {
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return fmt.Errorf("generate session key: %w", err)
+	}
+	m.priv = priv
+	m.pub = priv.PublicKey().Bytes()
+	m.generation++
+	m.born = m.now()
+	m.secrets = make(map[string][]byte)
+	return nil
+}
+
+// Seal encrypts plaintext under the per-query AEAD key derived from this
+// session key and context (the query digest). The envelope layout is:
+//
+//	GCM nonce || ciphertext
+//
+// — deliberately missing the 65-byte point prefix classic Decrypt demands,
+// so a sessioned envelope fed to the classic decoder fails cleanly. The
+// ephemeral point and generation travel in explicit wire fields instead.
+func (k *SessionKey) Seal(context, plaintext []byte) ([]byte, error) {
+	aead, err := sessionAEAD(k.secret, k.Ephemeral, k.Generation, context)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("generate gcm nonce: %w", err)
+	}
+	out := make([]byte, 0, len(nonce)+len(plaintext)+aead.Overhead())
+	out = append(out, nonce...)
+	out = aead.Seal(out, nonce, plaintext, nil)
+	return out, nil
+}
+
+// SessionDecrypt opens a sessioned envelope produced by SessionKey.Seal:
+// the recipient runs its half of the ECDH agreement against the session
+// ephemeral point, re-derives the per-query AEAD key from the generation
+// and context, and opens the nonce||ciphertext envelope. Any malformed
+// input yields ErrDecrypt.
+func SessionDecrypt(priv *ecdsa.PrivateKey, ephemeral []byte, generation uint64, context, ciphertext []byte) ([]byte, error) {
+	if priv == nil {
+		return nil, ErrInvalidKey
+	}
+	recipient, err := priv.ECDH()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidKey, err)
+	}
+	point, err := ecdh.P256().NewPublicKey(ephemeral)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad session ephemeral point", ErrDecrypt)
+	}
+	secret, err := recipient.ECDH(point)
+	if err != nil {
+		return nil, fmt.Errorf("%w: session ecdh agreement", ErrDecrypt)
+	}
+	aead, err := sessionAEAD(secret, ephemeral, generation, context)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < aead.NonceSize() {
+		return nil, ErrDecrypt
+	}
+	nonce, sealed := ciphertext[:aead.NonceSize()], ciphertext[aead.NonceSize():]
+	plaintext, err := aead.Open(nil, nonce, sealed, nil)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return plaintext, nil
+}
+
+// sessionAEAD derives the per-query AES-256-GCM cipher for a sessioned
+// envelope: HKDF-SHA256 over the cached ECDH secret, salted with the
+// session ephemeral point, with an info string binding the domain
+// separator, the generation and the query context.
+func sessionAEAD(secret, ephemeral []byte, generation uint64, context []byte) (cipher.AEAD, error) {
+	info := make([]byte, 0, len(sessionInfo)+8+len(context))
+	info = append(info, sessionInfo...)
+	info = binary.BigEndian.AppendUint64(info, generation)
+	info = append(info, context...)
+	key := hkdfSHA256(secret, ephemeral, info, 32)
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("new aes cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("new gcm: %w", err)
+	}
+	return aead, nil
+}

@@ -1,0 +1,278 @@
+package cryptoutil
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newTestManager(t testing.TB, ttl time.Duration, counter *OpCounter) *SessionManager {
+	t.Helper()
+	m := NewSessionManager(ttl, counter)
+	return m
+}
+
+func TestSessionSealDecryptRoundTrip(t *testing.T) {
+	key, _ := GenerateKey()
+	m := newTestManager(t, time.Minute, nil)
+	sk, err := m.KeyFor("requester-1", &key.PublicKey)
+	if err != nil {
+		t.Fatalf("KeyFor: %v", err)
+	}
+	context := []byte("query-digest-1")
+	plaintext := []byte("attested metadata")
+	env, err := sk.Seal(context, plaintext)
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	got, err := SessionDecrypt(key, sk.Ephemeral, sk.Generation, context, env)
+	if err != nil {
+		t.Fatalf("SessionDecrypt: %v", err)
+	}
+	if !bytes.Equal(got, plaintext) {
+		t.Fatalf("round trip = %q, want %q", got, plaintext)
+	}
+}
+
+// TestSessionedEnvelopeProperty is the sessioned sibling of
+// TestEncryptDecryptProperty: arbitrary plaintexts round-trip through
+// Seal/SessionDecrypt, and the very same envelope fed to the classic
+// Decrypt fails — the sessioned layout deliberately lacks the point
+// prefix the classic decoder demands, so a legacy client can never
+// half-open a sessioned envelope.
+func TestSessionedEnvelopeProperty(t *testing.T) {
+	key, _ := GenerateKey()
+	m := newTestManager(t, time.Minute, nil)
+	sk, err := m.KeyFor("prop-requester", &key.PublicKey)
+	if err != nil {
+		t.Fatalf("KeyFor: %v", err)
+	}
+	context := []byte("prop-query-digest")
+	prop := func(data []byte) bool {
+		env, err := sk.Seal(context, data)
+		if err != nil {
+			return false
+		}
+		got, err := SessionDecrypt(key, sk.Ephemeral, sk.Generation, context, env)
+		if err != nil || !bytes.Equal(got, data) {
+			return false
+		}
+		if _, err := Decrypt(key, env); !errors.Is(err, ErrDecrypt) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSessionCrossGenerationRoundTrip pins the generation binding: an
+// envelope sealed before a rotation still opens with its own (ephemeral,
+// generation) pair after the manager has moved on, and never opens under
+// the successor generation's parameters.
+func TestSessionCrossGenerationRoundTrip(t *testing.T) {
+	key, _ := GenerateKey()
+	m := newTestManager(t, time.Minute, nil)
+	clock := time.Unix(5000, 0)
+	m.now = func() time.Time { return clock }
+
+	context := []byte("qd-gen")
+	old, err := m.KeyFor("gen-requester", &key.PublicKey)
+	if err != nil {
+		t.Fatalf("KeyFor gen 1: %v", err)
+	}
+	oldEnv, err := old.Seal(context, []byte("sealed under gen 1"))
+	if err != nil {
+		t.Fatalf("Seal gen 1: %v", err)
+	}
+
+	clock = clock.Add(2 * time.Minute) // expire the generation
+	fresh, err := m.KeyFor("gen-requester", &key.PublicKey)
+	if err != nil {
+		t.Fatalf("KeyFor gen 2: %v", err)
+	}
+	if fresh.Generation == old.Generation {
+		t.Fatal("TTL expiry did not rotate the generation")
+	}
+	if bytes.Equal(fresh.Ephemeral, old.Ephemeral) {
+		t.Fatal("rotation reused the ephemeral point")
+	}
+	freshEnv, err := fresh.Seal(context, []byte("sealed under gen 2"))
+	if err != nil {
+		t.Fatalf("Seal gen 2: %v", err)
+	}
+
+	got, err := SessionDecrypt(key, old.Ephemeral, old.Generation, context, oldEnv)
+	if err != nil || string(got) != "sealed under gen 1" {
+		t.Fatalf("old-generation envelope: %q, %v", got, err)
+	}
+	got, err = SessionDecrypt(key, fresh.Ephemeral, fresh.Generation, context, freshEnv)
+	if err != nil || string(got) != "sealed under gen 2" {
+		t.Fatalf("new-generation envelope: %q, %v", got, err)
+	}
+	// The wrong generation (even with the right ephemeral) must not open.
+	if _, err := SessionDecrypt(key, old.Ephemeral, fresh.Generation, context, oldEnv); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("cross-generation open got %v, want ErrDecrypt", err)
+	}
+}
+
+// TestSessionWarmHitSkipsECDH is the amortization claim in miniature: the
+// first KeyFor pays one agreement, every further KeyFor under the same
+// label and generation pays zero.
+func TestSessionWarmHitSkipsECDH(t *testing.T) {
+	key, _ := GenerateKey()
+	var ops OpCounter
+	m := newTestManager(t, time.Minute, &ops)
+	for i := 0; i < 10; i++ {
+		if _, err := m.KeyFor("warm-poller", &key.PublicKey); err != nil {
+			t.Fatalf("KeyFor %d: %v", i, err)
+		}
+	}
+	if got := ops.ECDHOps(); got != 1 {
+		t.Fatalf("ECDH ops after 10 warm KeyFor = %d, want 1", got)
+	}
+}
+
+// TestSessionCertRotationFreshECDH: the label is the certificate digest,
+// so a requester presenting a rotated certificate — same underlying key
+// pair or not — triggers a fresh agreement instead of a silent reuse.
+func TestSessionCertRotationFreshECDH(t *testing.T) {
+	key, _ := GenerateKey()
+	var ops OpCounter
+	m := newTestManager(t, time.Minute, &ops)
+	if _, err := m.KeyFor("cert-digest-old", &key.PublicKey); err != nil {
+		t.Fatalf("KeyFor old cert: %v", err)
+	}
+	if _, err := m.KeyFor("cert-digest-new", &key.PublicKey); err != nil {
+		t.Fatalf("KeyFor new cert: %v", err)
+	}
+	if got := ops.ECDHOps(); got != 2 {
+		t.Fatalf("ECDH ops across a certificate rotation = %d, want 2", got)
+	}
+}
+
+// TestSessionManagerConcurrent hammers one manager from many goroutines
+// with a TTL short enough that rotations race live KeyFor calls; run
+// under -race this is the session cache's data-race proof. Every envelope
+// sealed must still open with the (ephemeral, generation) its key
+// reported, whatever generation it landed in.
+func TestSessionManagerConcurrent(t *testing.T) {
+	key, _ := GenerateKey()
+	m := newTestManager(t, 50*time.Microsecond, &OpCounter{})
+	labels := []string{"org-a", "org-b", "org-c"}
+	context := []byte("concurrent-qd")
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sk, err := m.KeyFor(labels[(g+i)%len(labels)], &key.PublicKey)
+				if err != nil {
+					errs <- err
+					return
+				}
+				env, err := sk.Seal(context, []byte{byte(g), byte(i)})
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := SessionDecrypt(key, sk.Ephemeral, sk.Generation, context, env)
+				if err != nil || !bytes.Equal(got, []byte{byte(g), byte(i)}) {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent session use: %v", err)
+	}
+}
+
+func TestSessionDecryptMalformed(t *testing.T) {
+	key, _ := GenerateKey()
+	m := newTestManager(t, time.Minute, nil)
+	sk, err := m.KeyFor("malformed", &key.PublicKey)
+	if err != nil {
+		t.Fatalf("KeyFor: %v", err)
+	}
+	context := []byte("qd-malformed")
+	env, err := sk.Seal(context, []byte("payload"))
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	cases := []struct {
+		name      string
+		ephemeral []byte
+		gen       uint64
+		ctx       []byte
+		ct        []byte
+	}{
+		{"truncated envelope", sk.Ephemeral, sk.Generation, context, env[:4]},
+		{"empty envelope", sk.Ephemeral, sk.Generation, context, nil},
+		{"garbage ephemeral", []byte{0x04, 0x01, 0x02}, sk.Generation, context, env},
+		{"wrong generation", sk.Ephemeral, sk.Generation + 1, context, env},
+		{"wrong context", sk.Ephemeral, sk.Generation, []byte("other-query"), env},
+		{"flipped byte", sk.Ephemeral, sk.Generation, context, flipLast(env)},
+	}
+	for _, tc := range cases {
+		if _, err := SessionDecrypt(key, tc.ephemeral, tc.gen, tc.ctx, tc.ct); !errors.Is(err, ErrDecrypt) {
+			t.Errorf("%s: got %v, want ErrDecrypt", tc.name, err)
+		}
+	}
+	if _, err := SessionDecrypt(nil, sk.Ephemeral, sk.Generation, context, env); !errors.Is(err, ErrInvalidKey) {
+		t.Errorf("nil key: got %v, want ErrInvalidKey", err)
+	}
+}
+
+func flipLast(b []byte) []byte {
+	out := append([]byte(nil), b...)
+	out[len(out)-1] ^= 0xff
+	return out
+}
+
+// FuzzSessionDecrypt drives the sessioned envelope decoder with arbitrary
+// ephemeral points, generations, contexts and ciphertexts: it must never
+// panic, and must only succeed on the genuine envelope it was seeded with.
+func FuzzSessionDecrypt(f *testing.F) {
+	key, err := GenerateKey()
+	if err != nil {
+		f.Fatalf("GenerateKey: %v", err)
+	}
+	m := NewSessionManager(time.Minute, nil)
+	sk, err := m.KeyFor("fuzz-requester", &key.PublicKey)
+	if err != nil {
+		f.Fatalf("KeyFor: %v", err)
+	}
+	context := []byte("fuzz-query-digest")
+	genuine, err := sk.Seal(context, []byte("fuzz plaintext"))
+	if err != nil {
+		f.Fatalf("Seal: %v", err)
+	}
+	f.Add(sk.Ephemeral, sk.Generation, context, genuine)
+	f.Add([]byte{}, uint64(0), []byte{}, []byte{})
+	f.Add(sk.Ephemeral, sk.Generation+1, context, genuine)
+	f.Add([]byte{0x04}, sk.Generation, context, genuine[:8])
+	f.Fuzz(func(t *testing.T, ephemeral []byte, generation uint64, ctx, ct []byte) {
+		plaintext, err := SessionDecrypt(key, ephemeral, generation, ctx, ct)
+		if err != nil {
+			if !errors.Is(err, ErrDecrypt) && !errors.Is(err, ErrInvalidKey) {
+				t.Fatalf("unexpected error class: %v", err)
+			}
+			return
+		}
+		// Success implies the exact seeded envelope: same parameters, same
+		// plaintext. Anything else is a forged open.
+		if !bytes.Equal(plaintext, []byte("fuzz plaintext")) {
+			t.Fatalf("decoder accepted a forged envelope: %q", plaintext)
+		}
+	})
+}

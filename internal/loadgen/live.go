@@ -236,7 +236,17 @@ func RunLive(ctx context.Context, cfg *Config) (*Report, error) {
 	}
 	defer dep.Close()
 	w := dep.World
-	if cfg.AttestBatchWindow > 0 {
+	// The scenario builders arm batching with conservative defaults on
+	// every driver; the config can widen the window or switch batching off
+	// entirely for the per-query-signature baseline.
+	switch {
+	case cfg.AttestBatchOff:
+		for _, srv := range dep.AllServers() {
+			if srv.Driver != nil {
+				srv.Driver.ConfigureAttestationBatching(0, 0)
+			}
+		}
+	case cfg.AttestBatchWindow > 0:
 		// Batching is a per-driver knob: every relay fronting the source
 		// network (primary and redundant alike) groups concurrent queries
 		// into Merkle windows.

@@ -177,8 +177,20 @@ func (r *Report) Table() string {
 	row("overall", r.OK, r.Overall)
 
 	s := r.Relay
-	fmt.Fprintf(&b, "\nrelay window: queries=%d invokes=%d replays=%d hedgedWins=%d breakerSkips=%d attCacheHit=%.1f%%\n",
-		s.QueriesServed, s.InvokesServed, s.InvokeReplays, s.HedgedWins, s.BreakerSkips, s.AttestationCacheHitRate*100)
+	fmt.Fprintf(&b, "\nrelay window: queries=%d invokes=%d replays=%d hedgedWins=%d breakerSkips=%d attCacheHit=%.1f%% joins=%d\n",
+		s.QueriesServed, s.InvokesServed, s.InvokeReplays, s.HedgedWins, s.BreakerSkips, s.AttestationCacheHitRate*100,
+		s.AttestationCacheJoins)
+	// Crypto-op totals locate the expensive primitives: with sessioned
+	// ECIES and batching armed, ECDH and Sign per served query drop well
+	// below the attestor count.
+	fmt.Fprintf(&b, "crypto ops: ecdh=%d sign=%d encrypt=%d", s.ECDHOps, s.SignOps, s.EncryptOps)
+	if s.QueriesServed > 0 {
+		fmt.Fprintf(&b, " (per query: ecdh=%.2f sign=%.2f encrypt=%.2f)",
+			float64(s.ECDHOps)/float64(s.QueriesServed),
+			float64(s.SignOps)/float64(s.QueriesServed),
+			float64(s.EncryptOps)/float64(s.QueriesServed))
+	}
+	b.WriteString("\n")
 	if r.Churn > 0 {
 		fmt.Fprintf(&b, "churn: %d relay kills injected\n", r.Churn)
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cryptoutil"
 	"repro/internal/endorsement"
 	"repro/internal/msp"
 	"repro/internal/proof"
@@ -19,16 +20,29 @@ import (
 type Driver struct {
 	net        *Network
 	ledgerName string
+	// sessions amortizes ECIES for capability-announcing requesters, the
+	// same sessioned mode the Fabric driver runs; cryptoOps feeds
+	// relay.Stats through CryptoOps.
+	sessions  *proof.SessionPool
+	cryptoOps cryptoutil.OpCounter
 }
 
 var _ relay.Driver = (*Driver)(nil)
+var _ relay.CryptoOpsReporter = (*Driver)(nil)
 
 // NewDriver creates a relay driver for a notary network.
 func NewDriver(net *Network, ledgerName string) *Driver {
 	if ledgerName == "" {
 		ledgerName = "default"
 	}
-	return &Driver{net: net, ledgerName: ledgerName}
+	d := &Driver{net: net, ledgerName: ledgerName}
+	d.sessions = proof.NewSessionPool(cryptoutil.DefaultSessionTTL, &d.cryptoOps)
+	return d
+}
+
+// CryptoOps implements relay.CryptoOpsReporter.
+func (d *Driver) CryptoOps() (ecdh, sign, encrypt uint64) {
+	return d.cryptoOps.ECDHOps(), d.cryptoOps.SignOps(), d.cryptoOps.EncryptOps()
 }
 
 // Platform implements relay.Driver.
@@ -87,7 +101,7 @@ func (d *Driver) Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse,
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("notary: query aborted: %w", err)
 	}
-	resp, err := proof.Build(ctx, proof.Spec{
+	spec := proof.Spec{
 		NetworkID:    d.net.ID(),
 		QueryDigest:  proof.QueryDigestOf(q),
 		PolicyDigest: policyDigest,
@@ -95,7 +109,13 @@ func (d *Driver) Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse,
 		Nonce:        q.Nonce,
 		ClientPub:    clientPub,
 		Now:          time.Now(),
-	}, attestors)
+		Counter:      &d.cryptoOps,
+	}
+	if q.AcceptSessioned {
+		spec.Sessions = d.sessions
+		spec.RequesterLabel = string(cryptoutil.Digest(q.RequesterCertPEM))
+	}
+	resp, err := proof.Build(ctx, spec, attestors)
 	if err != nil {
 		return nil, fmt.Errorf("notary: %w", err)
 	}

@@ -60,18 +60,7 @@ func BuildBatch(ctx context.Context, specs []Spec, attestors []*msp.Identity) ([
 			plains := make([][]byte, len(specs))
 			leaves := make([][]byte, len(specs))
 			for si := range specs {
-				sp := &specs[si]
-				md := wire.Metadata{
-					NetworkID:    sp.NetworkID,
-					PeerName:     id.Name,
-					OrgID:        id.OrgID,
-					QueryDigest:  sp.QueryDigest,
-					ResultDigest: cryptoutil.Digest(sp.Result),
-					Nonce:        sp.Nonce,
-					UnixNano:     uint64(sp.Now.UnixNano()),
-					PolicyDigest: sp.PolicyDigest,
-				}
-				plains[si] = md.Marshal()
+				plains[si] = MetadataPlain(id, &specs[si])
 				leaves[si] = merkleLeafHash(plains[si])
 			}
 			sig, err := id.Sign(batchSigPayload(merkleRoot(leaves)))
@@ -80,13 +69,23 @@ func BuildBatch(ctx context.Context, specs []Spec, attestors []*msp.Identity) ([
 				cancel()
 				return
 			}
+			// One real signature for the whole window; account it once.
+			specs[0].Counter.AddSign(1)
 			cert := id.CertPEM()
 			for si := range specs {
 				if err := ctx.Err(); err != nil {
 					errs[ai] = err
 					return
 				}
-				encMeta, err := cryptoutil.Encrypt(specs[si].ClientPub, plains[si])
+				// Sessioned vs classic is a per-spec choice: a window can mix
+				// requesters that announced AcceptSessioned with legacy ones,
+				// and the latter must keep byte-identical classic envelopes.
+				sp := &specs[si]
+				var mgr *cryptoutil.SessionManager
+				if sp.Sessions != nil {
+					mgr = sp.Sessions.ForAttestor(id)
+				}
+				encMeta, ephemeral, generation, err := sp.sealTo(mgr, plains[si])
 				if err != nil {
 					errs[ai] = fmt.Errorf("proof: encrypt metadata from %s: %w", id.Name, err)
 					cancel()
@@ -101,6 +100,8 @@ func BuildBatch(ctx context.Context, specs []Spec, attestors []*msp.Identity) ([
 					BatchSize:         uint64(len(specs)),
 					BatchIndex:        uint64(si),
 					BatchPath:         merklePath(leaves, si),
+					SessionEphemeral:  ephemeral,
+					SessionGeneration: generation,
 				}
 			}
 		}(ai, id)
@@ -111,13 +112,15 @@ func BuildBatch(ctx context.Context, specs []Spec, attestors []*msp.Identity) ([
 			resultErr = err
 			break
 		}
-		enc, err := EncryptResult(specs[si].ClientPub, specs[si].Result)
+		enc, ephemeral, generation, err := specs[si].sealResult()
 		if err != nil {
 			resultErr = fmt.Errorf("proof: encrypt result: %w", err)
 			cancel()
 			break
 		}
 		resps[si].EncryptedResult = enc
+		resps[si].SessionEphemeral = ephemeral
+		resps[si].SessionGeneration = generation
 	}
 	wg.Wait()
 	var ctxErr error

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cryptoutil"
 	"repro/internal/msp"
 	"repro/internal/wire"
 )
@@ -24,6 +25,142 @@ type Spec struct {
 	Nonce        []byte
 	ClientPub    *ecdsa.PublicKey
 	Now          time.Time
+
+	// Sessions, when non-nil, switches every envelope in this build to
+	// sessioned ECIES: metadata is sealed under the per-attestor session
+	// manager and the result under the pool's result session, with the
+	// session ephemeral point and generation carried in explicit wire
+	// fields. Nil keeps the classic byte-identical per-query ECIES path
+	// (legacy requesters).
+	Sessions *SessionPool
+	// RequesterLabel identifies the requester for session-secret caching:
+	// the digest of the requester's certificate, so a rotated certificate
+	// never reuses a secret agreed for the old identity. Required when
+	// Sessions is non-nil.
+	RequesterLabel string
+	// Counter, when non-nil, receives crypto-op accounting for this build
+	// (signs, envelope encryptions, and the ECDH agreements behind them).
+	Counter *cryptoutil.OpCounter
+}
+
+// SessionPool owns the ECIES session managers of one proof-building site
+// (a relay driver): one manager per attestor identity plus one for result
+// encryption, all sharing a TTL and an op counter. Managers persist across
+// batch windows, which is exactly what lets a warm poller skip the
+// variable-base ECDH multiply on every window after its first.
+type SessionPool struct {
+	ttl     time.Duration
+	counter *cryptoutil.OpCounter
+
+	mu       sync.Mutex
+	managers map[string]*cryptoutil.SessionManager
+}
+
+// NewSessionPool builds a session pool whose managers rotate every ttl
+// (cryptoutil.DefaultSessionTTL when ttl <= 0) and count agreements into
+// counter (may be nil).
+func NewSessionPool(ttl time.Duration, counter *cryptoutil.OpCounter) *SessionPool {
+	return &SessionPool{ttl: ttl, counter: counter, managers: make(map[string]*cryptoutil.SessionManager)}
+}
+
+// resultManagerKey is the reserved manager slot for result encryption; it
+// can never collide with an attestor key, which always contains "/".
+const resultManagerKey = ""
+
+func (p *SessionPool) manager(key string) *cryptoutil.SessionManager {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, ok := p.managers[key]
+	if !ok {
+		m = cryptoutil.NewSessionManager(p.ttl, p.counter)
+		p.managers[key] = m
+	}
+	return m
+}
+
+// ForAttestor returns the session manager sealing metadata on behalf of the
+// given attestor identity.
+func (p *SessionPool) ForAttestor(id *msp.Identity) *cryptoutil.SessionManager {
+	return p.manager(id.OrgID + "/" + id.Name)
+}
+
+// ForResult returns the session manager sealing query results.
+func (p *SessionPool) ForResult() *cryptoutil.SessionManager {
+	return p.manager(resultManagerKey)
+}
+
+// sealTo encrypts plaintext for this spec's requester: sessioned under mgr
+// when the spec carries a session pool, classic ECIES otherwise. It returns
+// the envelope plus the session ephemeral point and generation to stamp
+// into the wire message (nil/0 on the classic path).
+func (s *Spec) sealTo(mgr *cryptoutil.SessionManager, plaintext []byte) (enc, ephemeral []byte, generation uint64, err error) {
+	if s.Sessions == nil || mgr == nil {
+		enc, err = cryptoutil.Encrypt(s.ClientPub, plaintext)
+		if err == nil {
+			s.Counter.AddECDH(1)
+			s.Counter.AddEncrypt(1)
+		}
+		return enc, nil, 0, err
+	}
+	key, err := mgr.KeyFor(s.RequesterLabel, s.ClientPub)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	enc, err = key.Seal(s.QueryDigest, plaintext)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	s.Counter.AddEncrypt(1)
+	return enc, key.Ephemeral, key.Generation, nil
+}
+
+// sealResult encrypts the spec's result for the requester, sessioned when
+// enabled.
+func (s *Spec) sealResult() (enc, ephemeral []byte, generation uint64, err error) {
+	if s.Sessions == nil {
+		enc, err = EncryptResult(s.ClientPub, s.Result)
+		if err == nil {
+			s.Counter.AddECDH(1)
+			s.Counter.AddEncrypt(1)
+		}
+		return enc, nil, 0, err
+	}
+	return s.sealTo(s.Sessions.ForResult(), s.Result)
+}
+
+// buildAttestation produces one attestor's pinned attestation for the spec,
+// on the sessioned path when the spec carries a session pool and on the
+// classic single-query path otherwise.
+func buildAttestation(id *msp.Identity, spec *Spec) (wire.Attestation, error) {
+	if spec.Sessions == nil {
+		att, err := BuildAttestationPinned(id, spec.NetworkID, spec.QueryDigest,
+			spec.PolicyDigest, spec.Result, spec.Nonce, spec.ClientPub, spec.Now)
+		if err == nil {
+			spec.Counter.AddSign(1)
+			spec.Counter.AddECDH(1)
+			spec.Counter.AddEncrypt(1)
+		}
+		return att, err
+	}
+	plain := MetadataPlain(id, spec)
+	sig, err := id.Sign(plain)
+	if err != nil {
+		return wire.Attestation{}, fmt.Errorf("sign metadata: %w", err)
+	}
+	spec.Counter.AddSign(1)
+	enc, ephemeral, generation, err := spec.sealTo(spec.Sessions.ForAttestor(id), plain)
+	if err != nil {
+		return wire.Attestation{}, fmt.Errorf("encrypt metadata: %w", err)
+	}
+	return wire.Attestation{
+		PeerName:          id.Name,
+		OrgID:             id.OrgID,
+		CertPEM:           id.CertPEM(),
+		EncryptedMetadata: enc,
+		Signature:         sig,
+		SessionEphemeral:  ephemeral,
+		SessionGeneration: generation,
+	}, nil
 }
 
 // Build is the single construction point for attestation proofs: it gathers
@@ -49,8 +186,7 @@ func Build(ctx context.Context, spec Spec, attestors []*msp.Identity) (*wire.Que
 				errs[i] = err
 				return
 			}
-			att, err := BuildAttestationPinned(id, spec.NetworkID, spec.QueryDigest,
-				spec.PolicyDigest, spec.Result, spec.Nonce, spec.ClientPub, spec.Now)
+			att, err := buildAttestation(id, &spec)
 			if err != nil {
 				errs[i] = fmt.Errorf("proof: attestation from %s: %w", id.Name, err)
 				cancel()
@@ -59,7 +195,7 @@ func Build(ctx context.Context, spec Spec, attestors []*msp.Identity) (*wire.Que
 			resp.Attestations[i] = att
 		}(i, id)
 	}
-	encResult, encErr := EncryptResult(spec.ClientPub, spec.Result)
+	encResult, resultEphemeral, resultGeneration, encErr := spec.sealResult()
 	wg.Wait()
 	// Report a real attestation failure in preference to the context
 	// errors it induced in the goroutines that saw the cancellation.
@@ -81,6 +217,8 @@ func Build(ctx context.Context, spec Spec, attestors []*msp.Identity) (*wire.Que
 		return nil, fmt.Errorf("proof: encrypt result: %w", encErr)
 	}
 	resp.EncryptedResult = encResult
+	resp.SessionEphemeral = resultEphemeral
+	resp.SessionGeneration = resultGeneration
 	return resp, nil
 }
 

@@ -326,6 +326,19 @@ func unmarshalElement(buf []byte) (Element, error) {
 	}
 }
 
+// openEnvelope decrypts one response envelope, dispatching on the session
+// fields: a non-empty session ephemeral point marks a sessioned envelope
+// (per-query AEAD key bound to the generation and the query digest), an
+// empty one the classic self-contained ECIES layout. The dispatch is safe
+// against field-stripping: a sessioned envelope fed to the classic decoder
+// has no valid point prefix and fails authentication either way.
+func openEnvelope(clientKey *ecdsa.PrivateKey, ephemeral []byte, generation uint64, queryDigest, ciphertext []byte) ([]byte, error) {
+	if len(ephemeral) > 0 {
+		return cryptoutil.SessionDecrypt(clientKey, ephemeral, generation, queryDigest, ciphertext)
+	}
+	return cryptoutil.Decrypt(clientKey, ciphertext)
+}
+
 // OpenResponse decrypts a query response with the requesting client's
 // private key and assembles the plaintext Bundle. It performs the client's
 // own sanity checks (result digest binding, nonce echo) so that obviously
@@ -339,11 +352,12 @@ func OpenResponse(clientKey *ecdsa.PrivateKey, q *wire.Query, resp *wire.QueryRe
 	if len(wantPolicyDigest) > 0 && len(resp.PolicyDigest) > 0 && !bytes.Equal(resp.PolicyDigest, wantPolicyDigest) {
 		return nil, fmt.Errorf("%w: response pinned to a different policy", ErrPolicyDigestMismatch)
 	}
-	result, err := cryptoutil.Decrypt(clientKey, resp.EncryptedResult)
+	wantQueryDigest := QueryDigestOf(q)
+	result, err := openEnvelope(clientKey, resp.SessionEphemeral, resp.SessionGeneration,
+		wantQueryDigest, resp.EncryptedResult)
 	if err != nil {
 		return nil, fmt.Errorf("proof: decrypt result: %w", err)
 	}
-	wantQueryDigest := QueryDigestOf(q)
 	wantResultDigest := cryptoutil.Digest(result)
 	bundle := &Bundle{
 		SourceNetwork: q.TargetNetwork,
@@ -354,7 +368,8 @@ func OpenResponse(clientKey *ecdsa.PrivateKey, q *wire.Query, resp *wire.QueryRe
 	}
 	for i := range resp.Attestations {
 		att := &resp.Attestations[i]
-		plain, err := cryptoutil.Decrypt(clientKey, att.EncryptedMetadata)
+		plain, err := openEnvelope(clientKey, att.SessionEphemeral, att.SessionGeneration,
+			wantQueryDigest, att.EncryptedMetadata)
 		if err != nil {
 			return nil, fmt.Errorf("proof: decrypt metadata of %s: %w", att.PeerName, err)
 		}

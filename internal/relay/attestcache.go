@@ -126,6 +126,17 @@ func attestCacheKey(queryDigest, policyDigest, resultDigest, requesterCertDigest
 	return string(cryptoutil.Digest(queryDigest, policyDigest, resultDigest, requesterCertDigest))
 }
 
+// elemCacheKey derives the leaf address of a proof's plaintext elements:
+// the same content binding as attestCacheKey minus the requester — the
+// stored record holds plaintext metadata and signatures, both requester-
+// independent, so any requester presenting the identical question can have
+// the elements re-encrypted to it (joining the original window's proof).
+// The domain prefix keeps element records and full responses from ever
+// colliding in the shared cache.
+func elemCacheKey(queryDigest, policyDigest, resultDigest []byte) string {
+	return string(cryptoutil.Digest([]byte("attest-elems\x00"), queryDigest, policyDigest, resultDigest))
+}
+
 // advance scans blocks committed since the last scan, recording the height
 // of the most recent valid write per chaincode namespace. Called before
 // every lookup so invalidation is never staler than the caller's view of
@@ -259,6 +270,31 @@ func (c *attestationCache) put(key string, response []byte, namespaces []string,
 		}
 		return
 	}
+	c.storeLocked(key, response, namespaces, height)
+}
+
+// putDirect stores an entry immediately, bypassing the two-touch
+// doorkeeper. Used for plaintext element records: they are written once per
+// fresh build the driver already paid full crypto for, so there is no
+// one-off-key flood to keep out, and a record must be present on the very
+// next occurrence of its question for the join path to work at all.
+func (c *attestationCache) putDirect(key string, response []byte, namespaces []string, height uint64) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if height < c.baseline {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.storeLocked(key, response, namespaces, height)
+}
+
+func (c *attestationCache) storeLocked(key string, response []byte, namespaces []string, height uint64) {
 	el := c.lru.PushFront(&attestEntry{
 		key:        key,
 		response:   response,

@@ -62,6 +62,20 @@ type FabricDriver struct {
 	// through it.
 	batcher atomic.Pointer[attestBatcher]
 
+	// sessions, when non-nil, amortizes ECIES for requesters that
+	// negotiated the capability (wire.Query.AcceptSessioned): session
+	// ephemeral keys rotate on a TTL and per-requester ECDH secrets are
+	// cached per generation, so warm pollers skip the variable-base
+	// multiply entirely. Enabled by default — legacy requesters are
+	// unaffected (they keep byte-identical classic ECIES), so unlike
+	// batching there is no latency trade to opt into.
+	sessions atomic.Pointer[proof.SessionPool]
+
+	// cryptoOps counts the ECDH agreements, signatures and envelope
+	// encryptions behind every proof this driver builds, exposed through
+	// CryptoOps (relay.Stats) so amortization is observable in production.
+	cryptoOps cryptoutil.OpCounter
+
 	// onLedgerReplay is notified when the driver answers an invoke from the
 	// ledger's committed record after its own submission was invalidated as
 	// a duplicate (the commit-race-loser path). Relay.RegisterDriver wires
@@ -75,11 +89,12 @@ type FabricDriver struct {
 	onCacheStats atomic.Pointer[cacheCallbacks]
 }
 
-// cacheCallbacks pairs the hit and miss counters so both are wired to the
-// same relay atomically — a driver registered on two relays must not split
-// its hits to one relay's Stats and its misses to the other's.
+// cacheCallbacks bundles the hit, join and miss counters so all three are
+// wired to the same relay atomically — a driver registered on two relays
+// must not split its hits to one relay's Stats and its misses to the
+// other's.
 type cacheCallbacks struct {
-	hit, miss func()
+	hit, join, miss func()
 }
 
 // OnLedgerReplay implements LedgerReplayNotifier. The first wiring wins: a
@@ -91,20 +106,39 @@ func (d *FabricDriver) OnLedgerReplay(fn func()) {
 
 // OnAttestationCache implements AttestationCacheNotifier; first wiring
 // wins, as with OnLedgerReplay.
-func (d *FabricDriver) OnAttestationCache(hit, miss func()) {
-	d.onCacheStats.CompareAndSwap(nil, &cacheCallbacks{hit: hit, miss: miss})
+func (d *FabricDriver) OnAttestationCache(hit, join, miss func()) {
+	d.onCacheStats.CompareAndSwap(nil, &cacheCallbacks{hit: hit, join: join, miss: miss})
 }
 
-func (d *FabricDriver) notifyCache(hit bool) {
+// cacheOutcome labels how a query's proof was obtained, for stats wiring.
+type cacheOutcome int
+
+const (
+	cacheMiss cacheOutcome = iota // full fresh build
+	cacheHit                      // response served verbatim from the cache
+	cacheJoin                     // rebuilt from a leaf-addressed element record
+)
+
+func (d *FabricDriver) notifyCache(outcome cacheOutcome) {
 	cb := d.onCacheStats.Load()
 	if cb == nil {
 		return
 	}
-	if hit {
+	switch outcome {
+	case cacheHit:
 		cb.hit()
-	} else {
+	case cacheJoin:
+		cb.join()
+	default:
 		cb.miss()
 	}
+}
+
+// CryptoOps implements CryptoOpsReporter: monotonic totals of the ECDH
+// scalar multiplications, ECDSA signatures and envelope encryptions this
+// driver has performed across all proof builds.
+func (d *FabricDriver) CryptoOps() (ecdh, sign, encrypt uint64) {
+	return d.cryptoOps.ECDHOps(), d.cryptoOps.SignOps(), d.cryptoOps.EncryptOps()
 }
 
 var _ Driver = (*FabricDriver)(nil)
@@ -118,6 +152,7 @@ func NewFabricDriver(net *fabric.Network, ledgerName string) *FabricDriver {
 	}
 	d := &FabricDriver{net: net, ledgerName: ledgerName}
 	d.cache.Store(newAttestationCache(defaultAttestCacheSize, defaultAttestCacheTTL, time.Now))
+	d.sessions.Store(proof.NewSessionPool(cryptoutil.DefaultSessionTTL, &d.cryptoOps))
 	return d
 }
 
@@ -142,6 +177,45 @@ func (d *FabricDriver) ConfigureAttestationBatching(window time.Duration, maxPen
 		return
 	}
 	d.batcher.Store(newAttestBatcher(window, maxPending))
+}
+
+// ConfigureSessionedECIES replaces the sessioned-ECIES pool with one whose
+// ephemeral keys rotate every ttl. ttl <= 0 disables sessioned mode
+// entirely: every requester, capability or not, gets classic per-query
+// ECIES. The default (enabled, cryptoutil.DefaultSessionTTL) suits
+// production; short TTLs force per-window rotation for tests and
+// benchmarks. Safe while serving — in-flight builds finish against the
+// pool they started with.
+func (d *FabricDriver) ConfigureSessionedECIES(ttl time.Duration) {
+	if ttl <= 0 {
+		d.sessions.Store(nil)
+		return
+	}
+	d.sessions.Store(proof.NewSessionPool(ttl, &d.cryptoOps))
+}
+
+// newSpec assembles the proof spec for q, switching on sessioned ECIES
+// when the requester negotiated the capability and the driver has a
+// session pool. The requester label is the certificate digest, so a
+// rotated certificate always triggers a fresh ECDH agreement.
+func (d *FabricDriver) newSpec(q *wire.Query, queryDigest, policyDigest, result []byte, clientPub *ecdsa.PublicKey) proof.Spec {
+	spec := proof.Spec{
+		NetworkID:    d.net.ID(),
+		QueryDigest:  queryDigest,
+		PolicyDigest: policyDigest,
+		Result:       result,
+		Nonce:        q.Nonce,
+		ClientPub:    clientPub,
+		Now:          time.Now(),
+		Counter:      &d.cryptoOps,
+	}
+	if q.AcceptSessioned {
+		if pool := d.sessions.Load(); pool != nil {
+			spec.Sessions = pool
+			spec.RequesterLabel = string(cryptoutil.Digest(q.RequesterCertPEM))
+		}
+	}
+	return spec
 }
 
 // buildProof routes one proof build either through the batching window
@@ -238,7 +312,18 @@ func (d *FabricDriver) Query(ctx context.Context, q *wire.Query) (*wire.QueryRes
 		}
 	}
 
-	key := attestCacheKey(queryDigest, policyDigest, cryptoutil.Digest(agreed), cryptoutil.Digest(q.RequesterCertPEM))
+	// The requester's envelope capabilities partition the cache entry: a
+	// response sealed sessioned (or carrying batch fields) must never be
+	// served to a requester that did not announce it can decode that
+	// format, even under the same certificate.
+	caps := []byte{0}
+	if q.AcceptBatched {
+		caps[0] |= 1
+	}
+	if q.AcceptSessioned {
+		caps[0] |= 2
+	}
+	key := attestCacheKey(queryDigest, policyDigest, cryptoutil.Digest(agreed), cryptoutil.Digest(q.RequesterCertPEM, caps))
 	// Second advance after the reads: a write that committed while this
 	// query was reading invalidates entries before the lookup, keeping a
 	// served entry no staler than the proof a fresh build of these same
@@ -246,24 +331,44 @@ func (d *FabricDriver) Query(ctx context.Context, q *wire.Query) (*wire.QueryRes
 	cache.advance(store)
 	if raw := cache.get(key); raw != nil {
 		if resp, err := wire.UnmarshalQueryResponse(raw); err == nil {
-			d.notifyCache(true)
+			d.notifyCache(cacheHit)
 			resp.RequestID = q.RequestID
 			return resp, nil
 		}
 	}
-	d.notifyCache(false)
 
-	resp, err := d.buildProof(ctx, q.AcceptBatched, proof.Spec{
-		NetworkID:    d.net.ID(),
-		QueryDigest:  queryDigest,
-		PolicyDigest: policyDigest,
-		Result:       agreed,
-		Nonce:        q.Nonce,
-		ClientPub:    clientPub,
-		Now:          time.Now(),
-	}, identitiesOf(attestors))
+	spec := d.newSpec(q, queryDigest, policyDigest, agreed, clientPub)
+	attestorIDs := identitiesOf(attestors)
+
+	// Leaf-addressed join: when a requester-independent element record for
+	// this exact question (query digest, policy pin, result) is cached —
+	// typically stored when an earlier occurrence was built inside a
+	// batched window — re-encrypt its plaintext elements to this requester
+	// and reuse every signature and inclusion proof. This serves requesters
+	// the response cache cannot: a first-touch key the doorkeeper refused
+	// to admit, or the same requester under a rotated certificate.
+	elemKey := elemCacheKey(queryDigest, policyDigest, cryptoutil.Digest(agreed))
+	if raw := cache.get(elemKey); raw != nil {
+		if stored, err := wire.UnmarshalQueryResponse(raw); err == nil {
+			if resp, err := proof.JoinElements(&spec, stored, attestorIDs); err == nil {
+				d.notifyCache(cacheJoin)
+				cache.put(key, resp.Marshal(), readNamespaces, height)
+				resp.RequestID = q.RequestID
+				return resp, nil
+			}
+		}
+	}
+	d.notifyCache(cacheMiss)
+
+	resp, err := d.buildProof(ctx, q.AcceptBatched, spec, attestorIDs)
 	if err != nil {
 		return nil, err
+	}
+	// Store the plaintext element record immediately (no doorkeeper): the
+	// very next occurrence of this question must be able to join this
+	// build's proof instead of paying a fresh single-signature build.
+	if plain := proof.PlainElements(&spec, resp, attestorIDs); plain != nil {
+		cache.putDirect(elemKey, plain.Marshal(), readNamespaces, height)
 	}
 	// Cached without a request ID: the proof is identical for every resend
 	// of this question, but each resend echoes its own envelope's ID.
@@ -415,15 +520,7 @@ func (d *FabricDriver) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryRe
 	// satisfies it still exists — and persisted inside the transaction. If
 	// the commit is invalidated the proof dies with it; if it commits, the
 	// exact response served below can be replayed verbatim forever.
-	spec := proof.Spec{
-		NetworkID:    d.net.ID(),
-		QueryDigest:  proof.QueryDigestOf(q),
-		PolicyDigest: policyDigest,
-		Result:       tx.Response,
-		Nonce:        q.Nonce,
-		ClientPub:    clientPub,
-		Now:          time.Now(),
-	}
+	spec := d.newSpec(q, proof.QueryDigestOf(q), policyDigest, tx.Response, clientPub)
 	attestorIDs := identitiesOf(attestors)
 	resp, err := d.buildProof(ctx, q.AcceptBatched, spec, attestorIDs)
 	if err != nil {
@@ -602,15 +699,8 @@ func (d *FabricDriver) attestResponse(ctx context.Context, q *wire.Query, result
 	if len(attestors) == 0 {
 		return nil, ErrNoAttestors
 	}
-	resp, err := proof.Build(ctx, proof.Spec{
-		NetworkID:    d.net.ID(),
-		QueryDigest:  proof.QueryDigestOf(q),
-		PolicyDigest: policyDigest,
-		Result:       result,
-		Nonce:        q.Nonce,
-		ClientPub:    clientPub,
-		Now:          time.Now(),
-	}, identitiesOf(attestors))
+	spec := d.newSpec(q, proof.QueryDigestOf(q), policyDigest, result, clientPub)
+	resp, err := proof.Build(ctx, spec, identitiesOf(attestors))
 	if err != nil {
 		return nil, err
 	}

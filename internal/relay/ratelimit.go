@@ -97,10 +97,24 @@ type Stats struct {
 
 	// AttestationCacheHits counts queries whose proof was served from the
 	// driver's content-addressed attestation cache — zero ECDSA signatures
-	// and zero ECIES encryptions performed. AttestationCacheMisses counts
-	// the queries that had to build a fresh proof.
+	// and zero ECIES encryptions performed. AttestationCacheJoins counts
+	// queries rebuilt from a stored leaf-addressed element record — every
+	// signature and inclusion proof reused, only re-encryption paid.
+	// AttestationCacheMisses counts the queries that had to build a fully
+	// fresh proof. The three are mutually exclusive per query.
 	AttestationCacheHits   uint64
+	AttestationCacheJoins  uint64
 	AttestationCacheMisses uint64
+
+	// Crypto-op accounting from the relay's registered drivers, so ECIES
+	// and signature amortization (sessions, batching, cache joins) is
+	// observable in production: ECDH scalar multiplications performed,
+	// ECDSA signatures produced, and envelopes encrypted (classic ECIES or
+	// sessioned AEAD seals). Monotonic like every other counter, so Sub
+	// over a window yields per-window op counts.
+	ECDHOps    uint64
+	SignOps    uint64
+	EncryptOps uint64
 
 	// Client-side fan-out accounting (destination relay role).
 	FanoutAttempts uint64 // transport sends launched by client-side fan-out (queries, invokes, subscribes)
@@ -123,7 +137,11 @@ func (s Stats) Sub(prev Stats) Stats {
 		EventsDelivered:        s.EventsDelivered - prev.EventsDelivered,
 		InvokeReplays:          s.InvokeReplays - prev.InvokeReplays,
 		AttestationCacheHits:   s.AttestationCacheHits - prev.AttestationCacheHits,
+		AttestationCacheJoins:  s.AttestationCacheJoins - prev.AttestationCacheJoins,
 		AttestationCacheMisses: s.AttestationCacheMisses - prev.AttestationCacheMisses,
+		ECDHOps:                s.ECDHOps - prev.ECDHOps,
+		SignOps:                s.SignOps - prev.SignOps,
+		EncryptOps:             s.EncryptOps - prev.EncryptOps,
 		FanoutAttempts:         s.FanoutAttempts - prev.FanoutAttempts,
 		HedgedWins:             s.HedgedWins - prev.HedgedWins,
 		HedgedLosses:           s.HedgedLosses - prev.HedgedLosses,
@@ -142,7 +160,11 @@ func (s Stats) Merge(o Stats) Stats {
 		EventsDelivered:        s.EventsDelivered + o.EventsDelivered,
 		InvokeReplays:          s.InvokeReplays + o.InvokeReplays,
 		AttestationCacheHits:   s.AttestationCacheHits + o.AttestationCacheHits,
+		AttestationCacheJoins:  s.AttestationCacheJoins + o.AttestationCacheJoins,
 		AttestationCacheMisses: s.AttestationCacheMisses + o.AttestationCacheMisses,
+		ECDHOps:                s.ECDHOps + o.ECDHOps,
+		SignOps:                s.SignOps + o.SignOps,
+		EncryptOps:             s.EncryptOps + o.EncryptOps,
 		FanoutAttempts:         s.FanoutAttempts + o.FanoutAttempts,
 		HedgedWins:             s.HedgedWins + o.HedgedWins,
 		HedgedLosses:           s.HedgedLosses + o.HedgedLosses,
@@ -150,10 +172,11 @@ func (s Stats) Merge(o Stats) Stats {
 	}
 }
 
-// AttestationCacheHitRate returns hits/(hits+misses), or 0 before the
-// first proof build.
+// AttestationCacheHitRate returns hits/(hits+joins+misses), or 0 before
+// the first proof build. Joins count toward the denominator but not the
+// numerator: they avoid signatures, not encryption.
 func (s Stats) AttestationCacheHitRate() float64 {
-	total := s.AttestationCacheHits + s.AttestationCacheMisses
+	total := s.AttestationCacheHits + s.AttestationCacheJoins + s.AttestationCacheMisses
 	if total == 0 {
 		return 0
 	}
@@ -172,6 +195,7 @@ type statsCounters struct {
 	eventsDelivered        atomic.Uint64
 	invokeReplays          atomic.Uint64
 	attestationCacheHits   atomic.Uint64
+	attestationCacheJoins  atomic.Uint64
 	attestationCacheMisses atomic.Uint64
 	fanoutAttempts         atomic.Uint64
 	hedgedWins             atomic.Uint64
@@ -190,6 +214,7 @@ func (c *statsCounters) Snapshot() Stats {
 		EventsDelivered:        c.eventsDelivered.Load(),
 		InvokeReplays:          c.invokeReplays.Load(),
 		AttestationCacheHits:   c.attestationCacheHits.Load(),
+		AttestationCacheJoins:  c.attestationCacheJoins.Load(),
 		AttestationCacheMisses: c.attestationCacheMisses.Load(),
 		FanoutAttempts:         c.fanoutAttempts.Load(),
 		HedgedWins:             c.hedgedWins.Load(),
@@ -198,8 +223,28 @@ func (c *statsCounters) Snapshot() Stats {
 	}
 }
 
-// Stats returns a consistent snapshot of the relay's counters.
-func (r *Relay) Stats() Stats { return r.stats.Snapshot() }
+// Stats returns a consistent snapshot of the relay's counters, with the
+// crypto-op counters of every registered reporting driver summed in (each
+// driver's counters flow to every relay it is registered on; a driver is
+// registered on exactly one relay in all deployment shapes here).
+func (r *Relay) Stats() Stats {
+	s := r.stats.Snapshot()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	seen := make(map[CryptoOpsReporter]bool, len(r.drivers))
+	for _, d := range r.drivers {
+		rep, ok := d.(CryptoOpsReporter)
+		if !ok || seen[rep] {
+			continue
+		}
+		seen[rep] = true
+		ecdh, sign, encrypt := rep.CryptoOps()
+		s.ECDHOps += ecdh
+		s.SignOps += sign
+		s.EncryptOps += encrypt
+	}
+	return s
+}
 
 func (r *Relay) countQuery()                { r.stats.queriesServed.Add(1) }
 func (r *Relay) countInvoke()               { r.stats.invokesServed.Add(1) }
@@ -208,6 +253,7 @@ func (r *Relay) countLimited()              { r.stats.rateLimited.Add(1) }
 func (r *Relay) countEvent()                { r.stats.eventsDelivered.Add(1) }
 func (r *Relay) countInvokeReplay()         { r.stats.invokeReplays.Add(1) }
 func (r *Relay) countAttestationCacheHit()  { r.stats.attestationCacheHits.Add(1) }
+func (r *Relay) countAttestationCacheJoin() { r.stats.attestationCacheJoins.Add(1) }
 func (r *Relay) countAttestationCacheMiss() { r.stats.attestationCacheMisses.Add(1) }
 func (r *Relay) countFanoutAttempt()        { r.stats.fanoutAttempts.Add(1) }
 func (r *Relay) countHedgedWin()            { r.stats.hedgedWins.Add(1) }

@@ -239,11 +239,23 @@ func New(localNetworkID string, discovery Discovery, transport Transport, opts .
 func (r *Relay) LocalNetwork() string { return r.localNetwork }
 
 // AttestationCacheNotifier is implemented by drivers that front proof
-// construction with an attestation cache and can report hit/miss outcomes
-// through callbacks; RegisterDriver wires them to the relay's Stats so
-// cache effectiveness is observable next to the traffic it saves.
+// construction with an attestation cache and can report hit/join/miss
+// outcomes through callbacks; RegisterDriver wires them to the relay's
+// Stats so cache effectiveness is observable next to the traffic it saves.
+// A join is a query rebuilt from a stored leaf-addressed element record:
+// signatures reused, only re-encryption performed.
 type AttestationCacheNotifier interface {
-	OnAttestationCache(hit, miss func())
+	OnAttestationCache(hit, join, miss func())
+}
+
+// CryptoOpsReporter is implemented by drivers that count the expensive
+// crypto operations behind their proof builds. Relay.Stats sums the
+// reported counters into its snapshot so ECIES/signature amortization is
+// observable per deployment window.
+type CryptoOpsReporter interface {
+	// CryptoOps returns monotonic totals: ECDH scalar multiplications,
+	// ECDSA signatures, envelope encryptions.
+	CryptoOps() (ecdh, sign, encrypt uint64)
 }
 
 // RegisterDriver attaches a driver for a local network ID. A relay usually
@@ -261,7 +273,7 @@ func (r *Relay) RegisterDriver(networkID string, d Driver) {
 		n.OnLedgerReplay(r.countInvokeReplay)
 	}
 	if n, ok := d.(AttestationCacheNotifier); ok {
-		n.OnAttestationCache(r.countAttestationCacheHit, r.countAttestationCacheMiss)
+		n.OnAttestationCache(r.countAttestationCacheHit, r.countAttestationCacheJoin, r.countAttestationCacheMiss)
 	}
 }
 

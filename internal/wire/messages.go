@@ -167,6 +167,13 @@ type Query struct {
 	// relay only routes a query through its batching window when this is
 	// set; queries from older clients keep receiving per-query signatures.
 	AcceptBatched bool
+	// AcceptSessioned announces that the requester can decrypt sessioned
+	// ECIES envelopes (session ephemeral point + generation in explicit
+	// fields, per-query AEAD key derived from a cached ECDH secret). A
+	// source relay only amortizes ECIES for requesters that set this;
+	// queries from older clients keep receiving byte-identical classic
+	// per-query ECIES envelopes.
+	AcceptSessioned bool
 }
 
 // InteropKey derives the ledger-level exactly-once identity of this
@@ -203,11 +210,12 @@ func (m *Query) Marshal() []byte {
 	e.BytesField(11, m.Nonce)
 	e.BytesField(12, m.PolicyDigest)
 	e.Bool(13, m.AcceptBatched)
+	e.Bool(14, m.AcceptSessioned)
 	return e.Bytes()
 }
 
 // queryScalars omits field 7 (Args), the only repeated field.
-var queryScalars = FieldMask(1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13)
+var queryScalars = FieldMask(1, 2, 3, 4, 5, 6, 8, 9, 10, 11, 12, 13, 14)
 
 // UnmarshalQuery decodes a Query.
 func UnmarshalQuery(buf []byte) (*Query, error) {
@@ -254,6 +262,8 @@ func UnmarshalQuery(buf []byte) (*Query, error) {
 			m.PolicyDigest, err = d.BytesCopy()
 		case 13:
 			m.AcceptBatched, err = d.Bool()
+		case 14:
+			m.AcceptSessioned, err = d.Bool()
 		default:
 			err = d.Skip()
 		}
@@ -283,6 +293,14 @@ type Attestation struct {
 	BatchSize  uint64
 	BatchIndex uint64
 	BatchPath  [][]byte
+	// SessionEphemeral, when non-empty, marks a sessioned ECIES envelope:
+	// EncryptedMetadata is nonce||ciphertext under a per-query AEAD key
+	// derived from the ECDH agreement between the requester's key and this
+	// session ephemeral point, bound to SessionGeneration and the query
+	// digest (cryptoutil.SessionDecrypt). Empty for classic per-query
+	// ECIES, where the ephemeral point rides inline in the envelope.
+	SessionEphemeral  []byte
+	SessionGeneration uint64
 }
 
 // Marshal encodes the attestation.
@@ -298,11 +316,13 @@ func (m *Attestation) Marshal() []byte {
 	for _, h := range m.BatchPath {
 		e.Message(8, h)
 	}
+	e.BytesField(9, m.SessionEphemeral)
+	e.Uint(10, m.SessionGeneration)
 	return e.Bytes()
 }
 
 // attestationScalars omits field 8 (BatchPath), the only repeated field.
-var attestationScalars = FieldMask(1, 2, 3, 4, 5, 6, 7)
+var attestationScalars = FieldMask(1, 2, 3, 4, 5, 6, 7, 9, 10)
 
 // UnmarshalAttestation decodes an Attestation.
 func UnmarshalAttestation(buf []byte) (*Attestation, error) {
@@ -339,6 +359,10 @@ func UnmarshalAttestation(buf []byte) (*Attestation, error) {
 			var h []byte
 			h, err = d.BytesCopy()
 			m.BatchPath = append(m.BatchPath, h)
+		case 9:
+			m.SessionEphemeral, err = d.BytesCopy()
+		case 10:
+			m.SessionGeneration, err = d.Uint()
 		default:
 			err = d.Skip()
 		}
@@ -437,6 +461,12 @@ type QueryResponse struct {
 	// under. The requester refuses a response whose pin differs from the one
 	// it stamped on the query. Empty on responses from older relays.
 	PolicyDigest []byte
+	// SessionEphemeral, when non-empty, marks EncryptedResult as a
+	// sessioned ECIES envelope under the relay's result session (same
+	// layout and derivation as Attestation.SessionEphemeral). Empty when
+	// the result uses classic per-query ECIES.
+	SessionEphemeral  []byte
+	SessionGeneration uint64
 }
 
 // Marshal encodes the response.
@@ -449,11 +479,13 @@ func (m *QueryResponse) Marshal() []byte {
 	}
 	e.String(4, m.Error)
 	e.BytesField(5, m.PolicyDigest)
+	e.BytesField(6, m.SessionEphemeral)
+	e.Uint(7, m.SessionGeneration)
 	return e.Bytes()
 }
 
 // queryResponseScalars omits field 3 (Attestations), the only repeated field.
-var queryResponseScalars = FieldMask(1, 2, 4, 5)
+var queryResponseScalars = FieldMask(1, 2, 4, 5, 6, 7)
 
 // UnmarshalQueryResponse decodes a QueryResponse.
 func UnmarshalQueryResponse(buf []byte) (*QueryResponse, error) {
@@ -490,6 +522,10 @@ func UnmarshalQueryResponse(buf []byte) (*QueryResponse, error) {
 			m.Error, err = d.String()
 		case 5:
 			m.PolicyDigest, err = d.BytesCopy()
+		case 6:
+			m.SessionEphemeral, err = d.BytesCopy()
+		case 7:
+			m.SessionGeneration, err = d.Uint()
 		default:
 			err = d.Skip()
 		}
