@@ -520,6 +520,59 @@ func BenchmarkE9SessionedECIES(b *testing.B) {
 	}
 }
 
+// BenchmarkE10MultiHop sweeps the query hop depth over the TCP relay
+// chain: hops-1 is the direct two-network deployment (no forwarding hub, no
+// hop pins), hops-2 routes through one intermediate hub network, hops-3
+// through two. Each added hop pays one more TCP round trip plus the hop-pin
+// work — the hub verifies the downstream chain and signs its own pin, the
+// origin verifies one more pin — so the per-hop increment isolates the cost
+// of the chained path authentication.
+func BenchmarkE10MultiHop(b *testing.B) {
+	for hubs := 0; hubs <= 2; hubs++ {
+		b.Run(fmt.Sprintf("hops-%d", hubs+1), func(b *testing.B) {
+			d, err := scenario.BuildTCPChain(hubs, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer d.Close()
+			actors, err := d.World.NewActors()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := actors.STLSeller.CreateShipment(ctx, "po-1001", "S", "B", "goods"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := actors.STLCarrier.BookShipment(ctx, "po-1001", "C"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := actors.STLCarrier.RecordGateIn(ctx, "po-1001"); err != nil {
+				b.Fatal(err)
+			}
+			if err := actors.STLCarrier.IssueBillOfLading(ctx, &tradelens.BillOfLading{
+				BLID: "bl-1", PORef: "po-1001", Carrier: "C",
+			}); err != nil {
+				b.Fatal(err)
+			}
+			client, err := core.NewClient(d.World.SWT, wetrade.SellerBankOrg, "bench-e10")
+			if err != nil {
+				b.Fatal(err)
+			}
+			spec := blQuerySpec("po-1001")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data, err := client.RemoteQuery(ctx, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(data.Path) != hubs {
+					b.Fatalf("verified path %v, want %d hops", data.Path, hubs)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkP1WireCodec measures the network-neutral protocol codec.
 func BenchmarkP1WireCodec(b *testing.B) {
 	q := &wire.Query{

@@ -11,6 +11,7 @@
 //	netadmin -dir ./deploy registry list    # every entry with its lease state
 //	netadmin -dir ./deploy registry prune   # drop entries whose lease lapsed
 //	netadmin -dir ./deploy registry compact # roll the journal into a fresh snapshot
+//	netadmin -dir ./deploy route list       # the relay's static multi-hop routes
 //	netadmin proofs show bundle.bin         # dump a persisted proof bundle
 //
 // The registry subcommands auto-detect the storage format: the append-only
@@ -30,10 +31,12 @@ package main
 import (
 	"context"
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/deploy"
@@ -69,10 +72,12 @@ func run() error {
 		return registryPrune(registry)
 	case len(args) == 2 && args[0] == "registry" && args[1] == "compact":
 		return registryCompact(*dir)
+	case len(args) == 2 && args[0] == "route" && args[1] == "list":
+		return routeList(*dir)
 	case len(args) == 3 && args[0] == "proofs" && args[1] == "show":
 		return proofsShow(args[2])
 	default:
-		return fmt.Errorf("unknown command %q (expected: status, registry list, registry prune, registry compact, proofs show <file>)", args)
+		return fmt.Errorf("unknown command %q (expected: status, registry list, registry prune, registry compact, route list, proofs show <file>)", args)
 	}
 }
 
@@ -129,6 +134,35 @@ func status(dir string, registry relay.Registry, probeTimeout time.Duration) err
 	fmt.Printf("  source platform   %s with %d org(s):\n", cfg.Platform, len(cfg.Orgs))
 	for _, org := range cfg.Orgs {
 		fmt.Printf("    %-20s %d peer(s), root cert %d bytes\n", org.OrgID, len(org.PeerNames), len(org.RootCertPEM))
+	}
+	return nil
+}
+
+// routeList prints the static multi-hop route table relayd recorded in the
+// deployment directory: each target network with its ordered via networks,
+// plus the hop TTL stamped on routed envelopes.
+func routeList(dir string) error {
+	cfg, err := deploy.LoadRoutes(dir)
+	if err != nil {
+		if os.IsNotExist(errors.Unwrap(err)) {
+			fmt.Printf("routes: none configured (%s not present)\n", deploy.RoutesPath(dir))
+			return nil
+		}
+		return err
+	}
+	fmt.Printf("routes: %s\n", deploy.RoutesPath(dir))
+	ttl := cfg.MaxHops
+	if ttl == 0 {
+		ttl = relay.DefaultMaxHops
+	}
+	fmt.Printf("  hop TTL: %d transport leg(s)\n", ttl)
+	if len(cfg.Routes) == 0 {
+		fmt.Println("  (forwarding enabled with an empty table: only directly resolvable targets are forwarded)")
+		return nil
+	}
+	sort.Slice(cfg.Routes, func(i, j int) bool { return cfg.Routes[i].Target < cfg.Routes[j].Target })
+	for _, r := range cfg.Routes {
+		fmt.Printf("  %-24s via %s\n", r.Target, strings.Join(r.Vias, ", "))
 	}
 	return nil
 }

@@ -70,6 +70,11 @@ func run() error {
 		"registry storage: 'journal' (append-only lease journal, O(1) heartbeats, background compaction; reads a legacy registry.json as its base) or 'flat' (flock-serialized registry.json)")
 	compactInterval := flag.Duration("compact-interval", 30*time.Second,
 		"how often the journal registry checks whether its log has outgrown the compaction threshold (journal format only; 0 disables background compaction)")
+	var routeSpecs routeFlags
+	flag.Var(&routeSpecs, "route",
+		"static multi-hop route 'target=via1,via2' (repeatable); any -route enables forwarding: requests for networks this relay has no driver for are relayed onward and every carried response gains a signed hop pin")
+	maxHops := flag.Uint64("max-hops", 0,
+		fmt.Sprintf("hop TTL stamped on envelopes this relay routes (0 = default %d transport legs)", relay.DefaultMaxHops))
 	flag.Parse()
 
 	if err := os.MkdirAll(*dir, 0o755); err != nil {
@@ -118,6 +123,38 @@ func run() error {
 	admin, err := tradelens.AdminGateway(stl, tradelens.SellerOrg)
 	if err != nil {
 		return err
+	}
+
+	// Static multi-hop routes: parse the -route flags into a table, enable
+	// forwarding under a relay-held signing identity, and record the config
+	// in the deployment dir for `netadmin route list`.
+	if len(routeSpecs) > 0 || *maxHops > 0 {
+		routes := relay.NewRouteTable()
+		routesCfg := &deploy.RoutesConfig{MaxHops: *maxHops}
+		for _, spec := range routeSpecs {
+			target, vias, err := relay.ParseRoute(spec)
+			if err != nil {
+				return err
+			}
+			routes.Set(target, vias...)
+			routesCfg.Routes = append(routesCfg.Routes, deploy.RouteSpec{Target: target, Vias: vias})
+		}
+		if *maxHops > 0 {
+			routes.SetMaxHops(*maxHops)
+		}
+		relayCA, err := msp.NewCA(tradelens.SellerOrg + "-relay")
+		if err != nil {
+			return err
+		}
+		relayID, err := relayCA.Issue("relayd-forwarder", msp.RolePeer)
+		if err != nil {
+			return err
+		}
+		stl.Relay.EnableForwarding(routes, relayID)
+		if err := deploy.SaveRoutes(*dir, routesCfg); err != nil {
+			return err
+		}
+		log.Printf("forwarding enabled: %d static route(s), hop TTL %d", len(routesCfg.Routes), routes.MaxHops())
 	}
 
 	// Provision the foreign requester: a seller-bank client of a minimal
@@ -218,6 +255,16 @@ func run() error {
 	log.Printf("shutting down")
 	stopAnnounce() // halt the heartbeat and deregister from discovery
 	return server.Close()
+}
+
+// routeFlags collects repeated -route flags.
+type routeFlags []string
+
+func (f *routeFlags) String() string { return fmt.Sprint([]string(*f)) }
+
+func (f *routeFlags) Set(v string) error {
+	*f = append(*f, v)
+	return nil
 }
 
 // seedDemoData drives the STL lifecycle for the paper's po-1001 shipment:

@@ -105,6 +105,26 @@
 // reusing every signature. relay.Stats.ECDHOps/SignOps/EncryptOps count
 // the expensive primitives fleet-wide.
 //
+// Topologies are transitive: a relay with forwarding enabled
+// (relay.EnableForwarding) serves queries and invokes for networks it has
+// no driver for by relaying them toward the source — directly when its own
+// discovery resolves the target, else via a static route table
+// (relay.RouteTable; relayd -route target=via1,via2) — with each transport
+// leg re-wrapped under the remaining deadline budget. The envelope carries
+// the walked route and a hop TTL (wire.Envelope.Route/MaxHops), so cycles
+// are refused structurally and over-deep walks die at the hop that would
+// breach the TTL. Every forwarding relay first verifies the downstream
+// response's hop chain, then extends it with a signed pin
+// (proof.AppendHopPin) binding (previous pin, network, certificate, policy
+// digest) to an anchor derived from the query and response; the origin
+// (core.Client via proof.VerifyHopChainVia) authenticates the entire path
+// — mutation, truncation, reordering, cross-response splicing and
+// cross-query replay of any pin all fail — and surfaces it as
+// core.RemoteData.Path. Forwarded invokes are claimed in each hub's
+// ledger-anchored dedup before the downstream send, so exactly-once holds
+// across legs even when mid-path replicas die mid-run; forwarded legs feed
+// the same per-address health scoring and breaker as client fan-out.
+//
 // The commit path is pipelined and conflict-aware. World state is
 // namespaced per chaincode and sharded with one lock per namespace
 // (internal/statedb). The solo orderer gains a pipelined mode
@@ -160,8 +180,9 @@
 //     crossplatform, atomicswap walkthroughs
 //
 // See README.md for a walkthrough. The bench_test.go file in this
-// directory regenerates every experiment (E1-E8 mirror and extend the
-// paper's evaluation, through the attestation cache and Merkle-batched
-// attestation; P1-P8 are supplemental performance characterizations,
-// including the hedged-fan-out and batched-query measurements).
+// directory regenerates every experiment (E1-E10 mirror and extend the
+// paper's evaluation, through the attestation cache, Merkle-batched
+// attestation, sessioned ECIES and the multi-hop depth sweep; P1-P9 are
+// supplemental performance characterizations, including the
+// hedged-fan-out, batched-query and registry-announce measurements).
 package repro

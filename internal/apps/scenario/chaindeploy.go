@@ -1,0 +1,174 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/tradelens"
+	"repro/internal/apps/wetrade"
+	"repro/internal/fabric"
+	"repro/internal/msp"
+	"repro/internal/relay"
+)
+
+// HubNetworkID returns the network identifier of the i-th (0-based)
+// forwarding hub tier in a chain deployment: "hub-1-net" is adjacent to
+// the origin (SWT) side.
+func HubNetworkID(i int) string { return fmt.Sprintf("hub-%d-net", i+1) }
+
+// HubTier is one forwarding network in a chain deployment: its relay
+// servers (redundant replicas sharing one discovery view and one route
+// table, each with its own signing identity) and the partitioned registry
+// that lets them see exactly one network — the next tier, or the source.
+type HubTier struct {
+	NetworkID string
+	Registry  *relay.StaticRegistry
+	Routes    *relay.RouteTable
+	Servers   []*TCPRelayServer
+}
+
+// TCPChainDeployment is the trade world stretched over a multi-hop relay
+// chain: SWT → hub-1 → … → hub-N → STL, every relay behind its own TCP
+// listener, with discovery partitioned per tier so the only way a request
+// reaches the source network is the full walk. Hub relays serve no
+// drivers; they forward, sign hop pins, and fail over across the next
+// tier's replicas like any client-side fan-out.
+type TCPChainDeployment struct {
+	World     *TradeWorld
+	Transport *relay.TCPTransport
+
+	// Registry is the origin (SWT) relay's discovery view: the first hub
+	// tier's addresses plus the SWT relay itself — never the source.
+	Registry *relay.StaticRegistry
+	// Routes is the origin's route table: tradelens via hub-1.
+	Routes *relay.RouteTable
+
+	// Hubs[0] is adjacent to the origin; Hubs[len-1] resolves the source.
+	// Empty for a zero-hub (direct) chain.
+	Hubs []*HubTier
+
+	STLServer *TCPRelayServer
+	SWTServer *TCPRelayServer
+}
+
+// BuildTCPChain builds and initializes the trade world over a TCP relay
+// chain with the given number of intermediate hub networks (0 = direct)
+// and relay replicas per hub. An optional fabric.Tuning applies to both
+// networks. Callers own the returned deployment and must Close it.
+func BuildTCPChain(hubs, relaysPerHub int, tune ...fabric.Tuning) (*TCPChainDeployment, error) {
+	if hubs < 0 {
+		return nil, fmt.Errorf("scenario: %d hub tiers", hubs)
+	}
+	if relaysPerHub < 1 {
+		relaysPerHub = 1
+	}
+	registry := relay.NewStaticRegistry()
+	transport := &relay.TCPTransport{DialTimeout: 2 * time.Second, IOTimeout: 10 * time.Second}
+	w, err := BuildWith(registry, transport, tune...)
+	if err != nil {
+		return nil, err
+	}
+	d := &TCPChainDeployment{World: w, Transport: transport, Registry: registry}
+
+	stlSrv, err := newTCPRelayServer(tradelens.NetworkID, w.STL.Relay)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	stlSrv.Driver = w.STL.Driver
+	d.STLServer = stlSrv
+	swtSrv, err := newTCPRelayServer(wetrade.NetworkID, w.SWT.Relay)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	swtSrv.Driver = w.SWT.Driver
+	d.SWTServer = swtSrv
+	registry.Register(wetrade.NetworkID, swtSrv.Addr())
+
+	if hubs == 0 {
+		registry.Register(tradelens.NetworkID, stlSrv.Addr())
+		return d, nil
+	}
+
+	// Build tiers source-side first, so each tier can register the bound
+	// addresses of the one it forwards to.
+	tiers := make([]*HubTier, hubs)
+	for i := hubs - 1; i >= 0; i-- {
+		tier := &HubTier{
+			NetworkID: HubNetworkID(i),
+			Registry:  relay.NewStaticRegistry(),
+			Routes:    relay.NewRouteTable(),
+		}
+		tiers[i] = tier
+		d.Hubs = tiers[i:] // keep Close able to reach servers built so far
+		if i == hubs-1 {
+			tier.Registry.Register(tradelens.NetworkID, stlSrv.Addr())
+		} else {
+			for _, s := range tiers[i+1].Servers {
+				tier.Registry.Register(HubNetworkID(i+1), s.Addr())
+			}
+			tier.Routes.Set(tradelens.NetworkID, HubNetworkID(i+1))
+		}
+		ca, err := msp.NewCA(fmt.Sprintf("hub-%d-org", i+1))
+		if err != nil {
+			d.Close()
+			return nil, fmt.Errorf("scenario: hub %d CA: %w", i+1, err)
+		}
+		for j := 0; j < relaysPerHub; j++ {
+			id, err := ca.Issue(fmt.Sprintf("hub-%d-relay-%d", i+1, j), msp.RolePeer)
+			if err != nil {
+				d.Close()
+				return nil, fmt.Errorf("scenario: hub %d identity: %w", i+1, err)
+			}
+			hubRelay := relay.New(tier.NetworkID, tier.Registry, transport)
+			hubRelay.EnableForwarding(tier.Routes, id)
+			srv, err := newTCPRelayServer(tier.NetworkID, hubRelay)
+			if err != nil {
+				d.Close()
+				return nil, err
+			}
+			tier.Servers = append(tier.Servers, srv)
+		}
+	}
+	d.Hubs = tiers
+
+	for _, s := range tiers[0].Servers {
+		registry.Register(HubNetworkID(0), s.Addr())
+	}
+	routes := relay.NewRouteTable()
+	routes.Set(tradelens.NetworkID, HubNetworkID(0))
+	// The walk needs exactly hubs+1 transport legs; stamp the TTL tight so
+	// a routing mistake fails loudly instead of wandering.
+	routes.SetMaxHops(uint64(hubs) + 1)
+	w.SWT.Relay.SetRoutes(routes)
+	d.Routes = routes
+	return d, nil
+}
+
+// AllServers returns every relay server in the deployment: SWT, each hub
+// tier origin-side first, then STL.
+func (d *TCPChainDeployment) AllServers() []*TCPRelayServer {
+	var all []*TCPRelayServer
+	if d.SWTServer != nil {
+		all = append(all, d.SWTServer)
+	}
+	for _, tier := range d.Hubs {
+		all = append(all, tier.Servers...)
+	}
+	if d.STLServer != nil {
+		all = append(all, d.STLServer)
+	}
+	return all
+}
+
+// Close tears every server down and stops both networks' orderers.
+func (d *TCPChainDeployment) Close() {
+	for _, s := range d.AllServers() {
+		_ = s.Close()
+	}
+	if d.World != nil {
+		_ = d.World.STL.Fabric.Orderer().Stop()
+		_ = d.World.SWT.Fabric.Orderer().Stop()
+	}
+}

@@ -249,6 +249,12 @@ type RemoteData struct {
 	// RequestID is the request identifier the relay assigned, as echoed in
 	// the response. The query struct itself is never mutated by the relay.
 	RequestID string
+	// Path is the verified multi-hop route the response travelled, nearest
+	// the source first — one entry per forwarding relay that signed a hop
+	// pin. Empty for a direct (single-hop) answer. The chain is verified
+	// structurally before the data is handed back; a response with a
+	// broken, reordered or replayed pin never reaches the application.
+	Path []proof.Hop
 }
 
 // RemoteQuery performs the complete trusted data transfer of Fig. 2 from
@@ -351,6 +357,15 @@ func (c *Client) buildQuery(ctx context.Context, spec RemoteQuerySpec) (*wire.Qu
 // openResponse decrypts the response, pre-verifies the proof, and packages
 // the verified remote data.
 func (c *Client) openResponse(q *wire.Query, resp *wire.QueryResponse, policyExpr string) (*RemoteData, error) {
+	// Authenticate the path before the payload: a response carrying hop
+	// pins was forwarded, and the whole chain must verify against this
+	// query and this response's core bytes. The origin relay has already
+	// checked the outermost pin names the hub it actually used; this
+	// client-side pass re-checks structure end to end.
+	path, err := proof.VerifyHopChain(q, resp)
+	if err != nil {
+		return nil, err
+	}
 	bundle, err := proof.OpenResponse(c.key, q, resp)
 	if err != nil {
 		return nil, err
@@ -364,6 +379,7 @@ func (c *Client) openResponse(q *wire.Query, resp *wire.QueryResponse, policyExp
 		BundleBytes: bundle.Marshal(),
 		Query:       q,
 		RequestID:   resp.RequestID,
+		Path:        path,
 	}, nil
 }
 

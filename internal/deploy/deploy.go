@@ -27,6 +27,10 @@ const (
 	// migration path from the flat-file registry.
 	JournalFile   = "registry.jsonl"
 	ClientKitFile = "client-kit.json"
+	// RoutesFile records a relay's static multi-hop route table: the
+	// targets it forwards toward and the hop TTL it stamps, written by
+	// relayd and displayed by `netadmin route list`.
+	RoutesFile = "routes.json"
 )
 
 // ClientKit is everything a destination-side client needs to issue trusted
@@ -110,4 +114,50 @@ func RegistryPath(dir string) string {
 // dir.
 func JournalPath(dir string) string {
 	return filepath.Join(dir, JournalFile)
+}
+
+// RouteSpec is one static route: a target network and the ordered via
+// networks whose relays carry requests toward it. It mirrors the relay
+// package's route entries without making deploy depend on it.
+type RouteSpec struct {
+	Target string   `json:"target"`
+	Vias   []string `json:"vias"`
+}
+
+// RoutesConfig is the on-disk form of a relay's static route table.
+type RoutesConfig struct {
+	// MaxHops is the hop TTL stamped on routed envelopes (0 = the relay
+	// default).
+	MaxHops uint64      `json:"max_hops,omitempty"`
+	Routes  []RouteSpec `json:"routes"`
+}
+
+// RoutesPath returns the route config path inside a deployment dir.
+func RoutesPath(dir string) string {
+	return filepath.Join(dir, RoutesFile)
+}
+
+// SaveRoutes writes the route config into dir under the well-known name.
+func SaveRoutes(dir string, cfg *RoutesConfig) error {
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return fmt.Errorf("deploy: encode routes: %w", err)
+	}
+	if err := os.WriteFile(RoutesPath(dir), append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("deploy: write routes: %w", err)
+	}
+	return nil
+}
+
+// LoadRoutes reads the route config from dir.
+func LoadRoutes(dir string) (*RoutesConfig, error) {
+	data, err := os.ReadFile(RoutesPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("deploy: read routes: %w", err)
+	}
+	var cfg RoutesConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("deploy: parse routes: %w", err)
+	}
+	return &cfg, nil
 }

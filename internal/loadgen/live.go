@@ -30,13 +30,16 @@ type issuedInvoke struct {
 type liveDriver struct {
 	world   *scenario.TradeWorld
 	clients []*core.Client
+	// hops is the expected verified path length on every query answer: one
+	// per forwarding hub in a chain deployment, zero when direct.
+	hops int
 	// invokes[w] is worker w's private append log — no locking on the hot
 	// path, collected after the run.
 	invokes [][]issuedInvoke
 }
 
-func newLiveDriver(w *scenario.TradeWorld, workers int) (*liveDriver, error) {
-	d := &liveDriver{world: w, invokes: make([][]issuedInvoke, workers)}
+func newLiveDriver(w *scenario.TradeWorld, workers, hops int) (*liveDriver, error) {
+	d := &liveDriver{world: w, hops: hops, invokes: make([][]issuedInvoke, workers)}
 	for i := 0; i < workers; i++ {
 		c, err := core.NewClient(w.SWT, wetrade.SellerBankOrg, fmt.Sprintf("lg-client-%d", i))
 		if err != nil {
@@ -54,7 +57,7 @@ func (d *liveDriver) Do(ctx context.Context, worker int, op Op) error {
 	case OpQuery:
 		// Empty RequestID: a fresh nonce per issue, so the source relay
 		// must build (sign + encrypt) a new proof — the cold path.
-		return checkData(client.RemoteQuery(ctx, core.RemoteQuerySpec{
+		return d.checkData(client.RemoteQuery(ctx, core.RemoteQuerySpec{
 			Network: tradelens.NetworkID, Contract: tradelens.ChaincodeName,
 			Function: tradelens.FnGetBillOfLading, Args: [][]byte{[]byte(keyRef(op.Key))},
 		}))
@@ -62,7 +65,7 @@ func (d *liveDriver) Do(ctx context.Context, worker int, op Op) error {
 		// A fixed (client, key) request ID derives a deterministic nonce,
 		// so the wire query is byte-identical on every issue and the
 		// source relay's attestation cache answers after the first.
-		return checkData(client.RemoteQuery(ctx, core.RemoteQuerySpec{
+		return d.checkData(client.RemoteQuery(ctx, core.RemoteQuerySpec{
 			Network: tradelens.NetworkID, Contract: tradelens.ChaincodeName,
 			Function: tradelens.FnGetBillOfLading, Args: [][]byte{[]byte(keyRef(op.Key))},
 			RequestID: fmt.Sprintf("lg-warm-%d-%d", worker, op.Key),
@@ -114,13 +117,18 @@ func (d *liveDriver) doInvoke(ctx context.Context, worker int, op Op) error {
 }
 
 // checkData converts an empty successful query result into a protocol
-// error: the seeded key space guarantees every query has an answer.
-func checkData(data *core.RemoteData, err error) error {
+// error: the seeded key space guarantees every query has an answer. In a
+// chain deployment the verified hop path must name every hub — a shorter
+// path means a forwarding tier was bypassed or its pin dropped.
+func (d *liveDriver) checkData(data *core.RemoteData, err error) error {
 	if err != nil {
 		return err
 	}
 	if len(data.Result) == 0 {
 		return fmt.Errorf("loadgen: empty result for a seeded key")
+	}
+	if len(data.Path) != d.hops {
+		return fmt.Errorf("loadgen: verified hop path has %d pins, want %d", len(data.Path), d.hops)
 	}
 	return nil
 }
@@ -212,13 +220,20 @@ func (c *churner) halt() int {
 }
 
 // fleetStats sums a consistent snapshot from every relay in the
-// deployment — source fleet and destination relay alike.
-func fleetStats(dep *scenario.TCPDeployment) relay.Stats {
+// deployment — origin, forwarding hubs, and source fleet alike.
+func fleetStats(servers []*scenario.TCPRelayServer) relay.Stats {
 	var sum relay.Stats
-	for _, s := range dep.AllServers() {
+	for _, s := range servers {
 		sum = sum.Merge(s.Relay.Stats())
 	}
 	return sum
+}
+
+// liveDeployment abstracts the two TCP topologies the generator drives: the
+// flat source fleet and the multi-hop relay chain.
+type liveDeployment interface {
+	AllServers() []*scenario.TCPRelayServer
+	Close()
 }
 
 // RunLive builds the TCP deployment, seeds the key space, drives the
@@ -230,12 +245,33 @@ func RunLive(ctx context.Context, cfg *Config) (*Report, error) {
 		return nil, err
 	}
 	startedAt := time.Now()
-	dep, err := scenario.BuildTCP(cfg.ExtraSTLRelays, cfg.tuning())
-	if err != nil {
-		return nil, err
+	var (
+		dep liveDeployment
+		w   *scenario.TradeWorld
+		// stlServers front the source network (batching knobs apply there);
+		// churnPool is what the fault injector kills — the source fleet in a
+		// flat deployment, the origin-adjacent hub tier in a chain.
+		stlServers []*scenario.TCPRelayServer
+		churnPool  []*scenario.TCPRelayServer
+	)
+	if cfg.HubHops > 0 {
+		chain, err := scenario.BuildTCPChain(cfg.HubHops, cfg.hubRelays(), cfg.tuning())
+		if err != nil {
+			return nil, err
+		}
+		dep, w = chain, chain.World
+		stlServers = []*scenario.TCPRelayServer{chain.STLServer}
+		churnPool = chain.Hubs[0].Servers
+	} else {
+		flat, err := scenario.BuildTCP(cfg.ExtraSTLRelays, cfg.tuning())
+		if err != nil {
+			return nil, err
+		}
+		dep, w = flat, flat.World
+		stlServers = flat.STLServers
+		churnPool = flat.STLServers
 	}
 	defer dep.Close()
-	w := dep.World
 	// The scenario builders arm batching with conservative defaults on
 	// every driver; the config can widen the window or switch batching off
 	// entirely for the per-query-signature baseline.
@@ -250,7 +286,7 @@ func RunLive(ctx context.Context, cfg *Config) (*Report, error) {
 		// Batching is a per-driver knob: every relay fronting the source
 		// network (primary and redundant alike) groups concurrent queries
 		// into Merkle windows.
-		for _, srv := range dep.STLServers {
+		for _, srv := range stlServers {
 			if srv.Driver != nil {
 				srv.Driver.ConfigureAttestationBatching(cfg.AttestBatchWindow, cfg.attestBatchMax())
 			}
@@ -270,15 +306,15 @@ func RunLive(ctx context.Context, cfg *Config) (*Report, error) {
 	if err := scenario.SeedShipments(ctx, actors, refs...); err != nil {
 		return nil, err
 	}
-	driver, err := newLiveDriver(w, cfg.Clients)
+	driver, err := newLiveDriver(w, cfg.Clients, cfg.HubHops)
 	if err != nil {
 		return nil, err
 	}
 
-	baseline := fleetStats(dep)
+	baseline := fleetStats(dep.AllServers())
 	var faults *churner
 	if cfg.Churn {
-		faults = startChurner(dep.STLServers, cfg.churnInterval())
+		faults = startChurner(churnPool, cfg.churnInterval())
 	}
 	stats, err := Run(ctx, cfg, driver)
 	kills := 0
@@ -288,7 +324,7 @@ func RunLive(ctx context.Context, cfg *Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	window := fleetStats(dep).Sub(baseline)
+	window := fleetStats(dep.AllServers()).Sub(baseline)
 
 	report := NewReport(cfg, stats, window, startedAt)
 	report.Churn = kills

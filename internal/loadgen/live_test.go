@@ -65,6 +65,37 @@ func TestRunLiveSteadySmoke(t *testing.T) {
 	}
 }
 
+// TestRunLiveMultiHopSmoke drives the chain topology: two forwarding hub
+// tiers between the origin and the source. Every query answer must carry a
+// verified 2-pin hop path (the driver fails the op otherwise), invokes
+// commit through the chain exactly once, and the fleet window must show
+// forwarded traffic on the hubs.
+func TestRunLiveMultiHopSmoke(t *testing.T) {
+	cfg := &Config{
+		Clients: 4, Rate: 50, Duration: 2 * time.Second,
+		Mix:  Mix{QueryPct: 55, WarmQueryPct: 20, InvokePct: 25},
+		Keys: 8, Seed: 7,
+		HubHops: 2,
+	}
+	report, err := RunLive(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("RunLive over chain: %v", err)
+	}
+	if report.ProtocolErrors() != 0 {
+		t.Fatalf("protocol errors = %d over chain, want 0 (budget %v, samples %v)",
+			report.ProtocolErrors(), report.ErrorBudget, report.ErrorSamples)
+	}
+	if report.OK == 0 {
+		t.Fatal("no operation completed over the chain")
+	}
+	if report.Audit == nil || !report.Audit.Clean() || report.Audit.InvokesIssued == 0 {
+		t.Fatalf("audit = %+v, want clean with invokes issued", report.Audit)
+	}
+	if report.Relay.ForwardedQueries == 0 || report.Relay.ForwardedInvokes == 0 {
+		t.Fatalf("fleet window shows no forwarded traffic: %+v", report.Relay.Stats)
+	}
+}
+
 // TestRunLiveChurnSmoke injects relay kills and restarts mid-run. The run
 // must finish (error budget, not abort), the exactly-once invariant must
 // survive the churn, and no failure may be a protocol error.

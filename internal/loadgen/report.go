@@ -177,9 +177,13 @@ func (r *Report) Table() string {
 	row("overall", r.OK, r.Overall)
 
 	s := r.Relay
-	fmt.Fprintf(&b, "\nrelay window: queries=%d invokes=%d replays=%d hedgedWins=%d breakerSkips=%d attCacheHit=%.1f%% joins=%d\n",
+	fmt.Fprintf(&b, "\nrelay window: queries=%d invokes=%d replays=%d hedgedWins=%d breakerSkips=%d attCacheHit=%.1f%% joins=%d",
 		s.QueriesServed, s.InvokesServed, s.InvokeReplays, s.HedgedWins, s.BreakerSkips, s.AttestationCacheHitRate*100,
 		s.AttestationCacheJoins)
+	if s.ForwardedQueries > 0 || s.ForwardedInvokes > 0 {
+		fmt.Fprintf(&b, " fwdQueries=%d fwdInvokes=%d", s.ForwardedQueries, s.ForwardedInvokes)
+	}
+	b.WriteString("\n")
 	// Crypto-op totals locate the expensive primitives: with sessioned
 	// ECIES and batching armed, ECDH and Sign per served query drop well
 	// below the attestor count.

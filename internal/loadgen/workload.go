@@ -88,6 +88,16 @@ type Config struct {
 	// ExtraSTLRelays adds redundant relays fronting the source network.
 	ExtraSTLRelays int `json:"extra_stl_relays"`
 
+	// HubHops stretches the deployment over a multi-hop relay chain: the
+	// number of intermediate forwarding hub networks between the origin and
+	// the source (0 = direct). Every response then carries one signed hop
+	// pin per hub, verified end to end by each client.
+	HubHops int `json:"hub_hops,omitempty"`
+	// HubRelays is the number of redundant relay replicas per hub tier
+	// (<=0 selects 1). Churn over a chain kills hub replicas, so it needs
+	// at least 2.
+	HubRelays int `json:"hub_relays,omitempty"`
+
 	// Churn enables fault injection: every ChurnInterval a source relay is
 	// killed, held down for half the interval, then restarted on its
 	// original address.
@@ -153,7 +163,19 @@ func (c *Config) Validate() error {
 	if c.ExtraSTLRelays < 0 {
 		return fmt.Errorf("loadgen: extra_stl_relays must be non-negative")
 	}
-	if c.Churn && c.ExtraSTLRelays < 1 {
+	if c.HubHops < 0 {
+		return fmt.Errorf("loadgen: hub_hops must be non-negative, got %d", c.HubHops)
+	}
+	if c.HubHops > 0 && c.Mix.SubscribePct > 0 {
+		return fmt.Errorf("loadgen: subscriptions are not forwarded over a relay chain; set subscribe_pct to 0 with hub_hops")
+	}
+	switch {
+	case !c.Churn:
+	case c.HubHops > 0:
+		if c.hubRelays() < 2 {
+			return fmt.Errorf("loadgen: churn over a relay chain kills hub replicas; need hub_relays >= 2")
+		}
+	case c.ExtraSTLRelays < 1:
 		return fmt.Errorf("loadgen: churn needs at least one extra STL relay to keep serving")
 	}
 	if c.AttestBatchWindow < 0 {
@@ -192,6 +214,14 @@ func (c *Config) zipfS() float64 {
 		return 1.2
 	}
 	return c.ZipfS
+}
+
+// hubRelays returns the effective replica count per hub tier.
+func (c *Config) hubRelays() int {
+	if c.HubRelays > 0 {
+		return c.HubRelays
+	}
+	return 1
 }
 
 // churnInterval returns the effective fault-injection period.
@@ -248,6 +278,17 @@ var Presets = map[string]Config{
 		Keys: 64, Seed: 4,
 		AttestBatchWindow: 3 * time.Millisecond, AttestBatchMax: 32,
 	},
+	// multi-hop: the mixed workload over an A→B→C chain — two forwarding
+	// hub networks between the origin and the source, so every answer is a
+	// 3-leg walk carrying two signed hop pins that the clients verify, and
+	// every invoke commits through the chain under the exactly-once audit.
+	"multi-hop": {
+		Preset:  "multi-hop",
+		Clients: 8, Rate: 80, Duration: 10 * time.Second,
+		Mix:  Mix{QueryPct: 60, WarmQueryPct: 15, InvokePct: 25},
+		Keys: 64, Seed: 6,
+		HubHops: 2,
+	},
 	// batched-session: batched-query's window plus a cold-query-dominated
 	// mix from persistent clients — the shape sessioned ECIES amortizes.
 	// Every client keeps its certificate for the whole run, so after the
@@ -264,5 +305,5 @@ var Presets = map[string]Config{
 
 // PresetNames lists the presets in stable order for usage text.
 func PresetNames() []string {
-	return []string{"steady-query", "invoke-heavy", "churn", "batched-query", "batched-session"}
+	return []string{"steady-query", "invoke-heavy", "churn", "batched-query", "batched-session", "multi-hop"}
 }

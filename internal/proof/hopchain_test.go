@@ -1,0 +1,251 @@
+package proof
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/msp"
+	"repro/internal/wire"
+)
+
+// chainFixture builds a query, a response core, and a valid hop chain of
+// the given depth appended by freshly issued hub identities.
+type chainFixture struct {
+	q    *wire.Query
+	resp *wire.QueryResponse
+	ids  []*msp.Identity
+}
+
+func buildChain(t testing.TB, depth int) *chainFixture {
+	t.Helper()
+	q := &wire.Query{
+		RequestID:         "req-hop",
+		RequestingNetwork: "we-trade",
+		TargetNetwork:     "tradelens",
+		Contract:          "cc",
+		Function:          "Get",
+		Args:              [][]byte{[]byte("po-1")},
+		Nonce:             []byte("nonce-1"),
+		PolicyExpr:        "AND('a','b')",
+	}
+	resp := &wire.QueryResponse{
+		RequestID:       "req-hop",
+		EncryptedResult: []byte("ciphertext"),
+		PolicyDigest:    PolicyDigest(q.PolicyExpr),
+	}
+	f := &chainFixture{q: q, resp: resp}
+	for i := 0; i < depth; i++ {
+		ca, err := msp.NewCA(fmt.Sprintf("hub-%d-org", i))
+		if err != nil {
+			t.Fatalf("hub CA %d: %v", i, err)
+		}
+		id, err := ca.Issue(fmt.Sprintf("hub-relay-%d", i), msp.RolePeer)
+		if err != nil {
+			t.Fatalf("hub identity %d: %v", i, err)
+		}
+		f.ids = append(f.ids, id)
+		if err := AppendHopPin(resp, q, fmt.Sprintf("hub-%d-net", i), id); err != nil {
+			t.Fatalf("append pin %d: %v", i, err)
+		}
+	}
+	return f
+}
+
+func TestHopChainRoundTrip(t *testing.T) {
+	for depth := 0; depth <= 4; depth++ {
+		f := buildChain(t, depth)
+		hops, err := VerifyHopChain(f.q, f.resp)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if len(hops) != depth {
+			t.Fatalf("depth %d: verified %d hops", depth, len(hops))
+		}
+		for i, h := range hops {
+			if want := fmt.Sprintf("hub-%d-net", i); h.Network != want {
+				t.Fatalf("hop %d network = %q, want %q", i, h.Network, want)
+			}
+		}
+		// The chain survives a wire round trip.
+		decoded, err := wire.UnmarshalQueryResponse(f.resp.Marshal())
+		if err != nil {
+			t.Fatalf("depth %d decode: %v", depth, err)
+		}
+		if _, err := VerifyHopChain(f.q, decoded); err != nil {
+			t.Fatalf("depth %d after round trip: %v", depth, err)
+		}
+	}
+}
+
+func TestHopChainViaExpectation(t *testing.T) {
+	f := buildChain(t, 2)
+	// The origin forwarded to hub-1-net, so its pin must be outermost.
+	if _, err := VerifyHopChainVia(f.q, f.resp, "hub-1-net"); err != nil {
+		t.Fatalf("valid via: %v", err)
+	}
+	// The wrong expectation, a truncated tail, and an entirely stripped
+	// chain must all be refused.
+	if _, err := VerifyHopChainVia(f.q, f.resp, "hub-0-net"); !errors.Is(err, ErrHopChainMissing) {
+		t.Fatalf("wrong via accepted: %v", err)
+	}
+	truncated := *f.resp
+	truncated.HopPins = truncated.HopPins[:1]
+	if _, err := VerifyHopChainVia(f.q, &truncated, "hub-1-net"); !errors.Is(err, ErrHopChainMissing) {
+		t.Fatalf("truncated tail accepted: %v", err)
+	}
+	stripped := *f.resp
+	stripped.HopPins = nil
+	if _, err := VerifyHopChainVia(f.q, &stripped, "hub-1-net"); !errors.Is(err, ErrHopChainMissing) {
+		t.Fatalf("stripped chain accepted: %v", err)
+	}
+}
+
+// TestHopChainAdversarial mutates valid chains of randomized depth in
+// every structural way an on-path adversary could and requires each one to
+// fail verification. Table of mutations × property-style random depths.
+func TestHopChainAdversarial(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	mutations := []struct {
+		name  string
+		apply func(t *testing.T, f *chainFixture, resp *wire.QueryResponse, rng *rand.Rand) bool
+	}{
+		{"flip-pin-byte", func(t *testing.T, f *chainFixture, resp *wire.QueryResponse, rng *rand.Rand) bool {
+			i := rng.Intn(len(resp.HopPins))
+			resp.HopPins[i].Pin[0] ^= 0x01
+			return true
+		}},
+		{"flip-signature-byte", func(t *testing.T, f *chainFixture, resp *wire.QueryResponse, rng *rand.Rand) bool {
+			i := rng.Intn(len(resp.HopPins))
+			resp.HopPins[i].Signature[len(resp.HopPins[i].Signature)/2] ^= 0x01
+			return true
+		}},
+		{"rename-network", func(t *testing.T, f *chainFixture, resp *wire.QueryResponse, rng *rand.Rand) bool {
+			i := rng.Intn(len(resp.HopPins))
+			resp.HopPins[i].Network = "evil-net"
+			return true
+		}},
+		{"swap-certificate", func(t *testing.T, f *chainFixture, resp *wire.QueryResponse, rng *rand.Rand) bool {
+			// An attacker re-labels a pin with their own certificate: the
+			// signature no longer verifies under the swapped key.
+			ca, err := msp.NewCA("mallory-org")
+			if err != nil {
+				t.Fatal(err)
+			}
+			mallory, err := ca.Issue("mallory", msp.RolePeer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			i := rng.Intn(len(resp.HopPins))
+			resp.HopPins[i].CertPEM = mallory.CertPEM()
+			return true
+		}},
+		{"truncate-inner", func(t *testing.T, f *chainFixture, resp *wire.QueryResponse, rng *rand.Rand) bool {
+			// Dropping the pin nearest the source breaks the next pin's
+			// link to the anchor. Needs depth >= 2.
+			if len(resp.HopPins) < 2 {
+				return false
+			}
+			resp.HopPins = resp.HopPins[1:]
+			return true
+		}},
+		{"reorder", func(t *testing.T, f *chainFixture, resp *wire.QueryResponse, rng *rand.Rand) bool {
+			if len(resp.HopPins) < 2 {
+				return false
+			}
+			i := rng.Intn(len(resp.HopPins) - 1)
+			resp.HopPins[i], resp.HopPins[i+1] = resp.HopPins[i+1], resp.HopPins[i]
+			return true
+		}},
+		{"duplicate-hop", func(t *testing.T, f *chainFixture, resp *wire.QueryResponse, rng *rand.Rand) bool {
+			// Re-appending an already-pinned network: even with a valid
+			// signature, a repeated network is a routing cycle in the
+			// proof and refused outright.
+			last := len(resp.HopPins) - 1
+			if err := AppendHopPin(resp, f.q, resp.HopPins[0].Network, f.ids[0]); err != nil {
+				t.Fatal(err)
+			}
+			_ = last
+			return true
+		}},
+		{"replay-other-response", func(t *testing.T, f *chainFixture, resp *wire.QueryResponse, rng *rand.Rand) bool {
+			// Grafting the whole chain onto a different response core: the
+			// anchor digest changes, so pin 0 no longer chains.
+			resp.EncryptedResult = []byte("a different ciphertext")
+			return true
+		}},
+		{"replay-other-query", func(t *testing.T, f *chainFixture, resp *wire.QueryResponse, rng *rand.Rand) bool {
+			// Same response, different question (fresh nonce): the query
+			// digest in the anchor differs.
+			f.q.Nonce = []byte("nonce-2")
+			return true
+		}},
+		{"swap-cross-chain-pin", func(t *testing.T, f *chainFixture, resp *wire.QueryResponse, rng *rand.Rand) bool {
+			// A validly signed pin lifted from another request's chain at
+			// the same position does not link into this chain: the donor
+			// answers a different question, so its anchor differs.
+			other := buildChain(t, len(resp.HopPins))
+			other.q.Nonce = []byte("donor-nonce")
+			donor := &wire.QueryResponse{RequestID: "req-hop", EncryptedResult: []byte("ciphertext"),
+				PolicyDigest: PolicyDigest(other.q.PolicyExpr)}
+			for j, id := range other.ids {
+				if err := AppendHopPin(donor, other.q, fmt.Sprintf("hub-%d-net", j), id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			i := rng.Intn(len(resp.HopPins))
+			resp.HopPins[i] = donor.HopPins[i]
+			return true
+		}},
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			applied := 0
+			for round := 0; round < 6; round++ {
+				depth := 1 + rng.Intn(4)
+				f := buildChain(t, depth)
+				if _, err := VerifyHopChain(f.q, f.resp); err != nil {
+					t.Fatalf("control chain depth %d invalid: %v", depth, err)
+				}
+				if !m.apply(t, f, f.resp, rng) {
+					continue // mutation needs more depth than this round has
+				}
+				applied++
+				if _, err := VerifyHopChain(f.q, f.resp); err == nil {
+					t.Fatalf("mutated chain (depth %d) verified", depth)
+				} else if !errors.Is(err, ErrBadHopChain) {
+					t.Fatalf("mutated chain failed with unexpected error: %v", err)
+				}
+			}
+			if applied == 0 {
+				t.Fatal("mutation never applied")
+			}
+		})
+	}
+}
+
+// TestHopChainAnchorBindsCore pins the anchor derivation: any change to
+// the pin-free response bytes or to the query digest moves the anchor.
+func TestHopChainAnchorBindsCore(t *testing.T) {
+	f := buildChain(t, 0)
+	base := HopAnchor(f.q, f.resp)
+	r2 := *f.resp
+	r2.EncryptedResult = []byte("other")
+	if bytes.Equal(base, HopAnchor(f.q, &r2)) {
+		t.Fatal("anchor ignores the response core")
+	}
+	q2 := *f.q
+	q2.Nonce = []byte("other-nonce")
+	if bytes.Equal(base, HopAnchor(&q2, f.resp)) {
+		t.Fatal("anchor ignores the query digest")
+	}
+	// Appending pins does not move the anchor — it digests the core only.
+	withPins := buildChain(t, 3)
+	bare := *withPins.resp
+	bare.HopPins = nil
+	if !bytes.Equal(HopAnchor(withPins.q, withPins.resp), HopAnchor(withPins.q, &bare)) {
+		t.Fatal("anchor depends on the pins themselves")
+	}
+}

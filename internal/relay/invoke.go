@@ -76,7 +76,9 @@ func (r *Relay) Invoke(ctx context.Context, q *wire.Query) (*wire.QueryResponse,
 	}
 	addrs, err := r.resolveOrdered(q.TargetNetwork)
 	if err != nil {
-		return nil, err
+		// Discovery does not know the target: fall back to the static
+		// route table and launch a multi-hop walk through a via network.
+		return r.invokeViaRoute(ctx, q, err)
 	}
 	env := &wire.Envelope{
 		Version:   wire.ProtocolVersion,
@@ -186,6 +188,12 @@ func (r *Relay) handleInvoke(ctx context.Context, env *wire.Envelope) *wire.Enve
 	}
 	d, ok := r.driverFor(q.TargetNetwork)
 	if !ok {
+		if r.forwarderIdentity() != nil {
+			// The dedup claim made above stays in force: duplicates of a
+			// forwarded invoke wait here at the hub, and the forwarded
+			// outcome is remembered under the same key.
+			return r.forwardInvoke(ctx, env, q, dedupKey, fingerprint)
+		}
 		return errEnvelope(env.RequestID, fmt.Sprintf("network %q not served by this relay", q.TargetNetwork))
 	}
 	if dedupKey != "" {

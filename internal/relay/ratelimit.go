@@ -121,6 +121,13 @@ type Stats struct {
 	HedgedWins     uint64 // requests won by a hedge attempt rather than the first address
 	HedgedLosses   uint64 // in-flight attempts cancelled because another attempt won
 	BreakerSkips   uint64 // circuit-open addresses demoted past healthy ones at resolve time
+
+	// Multi-hop forwarding accounting (hub relay role): requests this
+	// relay carried one hop closer to their target and answered with its
+	// own hop pin appended. Refused forwards (cycle, TTL, no route) count
+	// under ErrorsReturned only.
+	ForwardedQueries uint64
+	ForwardedInvokes uint64
 }
 
 // Sub returns the counter-wise difference s − prev: the activity between
@@ -146,6 +153,8 @@ func (s Stats) Sub(prev Stats) Stats {
 		HedgedWins:             s.HedgedWins - prev.HedgedWins,
 		HedgedLosses:           s.HedgedLosses - prev.HedgedLosses,
 		BreakerSkips:           s.BreakerSkips - prev.BreakerSkips,
+		ForwardedQueries:       s.ForwardedQueries - prev.ForwardedQueries,
+		ForwardedInvokes:       s.ForwardedInvokes - prev.ForwardedInvokes,
 	}
 }
 
@@ -169,6 +178,8 @@ func (s Stats) Merge(o Stats) Stats {
 		HedgedWins:             s.HedgedWins + o.HedgedWins,
 		HedgedLosses:           s.HedgedLosses + o.HedgedLosses,
 		BreakerSkips:           s.BreakerSkips + o.BreakerSkips,
+		ForwardedQueries:       s.ForwardedQueries + o.ForwardedQueries,
+		ForwardedInvokes:       s.ForwardedInvokes + o.ForwardedInvokes,
 	}
 }
 
@@ -201,6 +212,8 @@ type statsCounters struct {
 	hedgedWins             atomic.Uint64
 	hedgedLosses           atomic.Uint64
 	breakerSkips           atomic.Uint64
+	forwardedQueries       atomic.Uint64
+	forwardedInvokes       atomic.Uint64
 }
 
 // Snapshot copies every counter into an immutable Stats value — the single
@@ -220,6 +233,8 @@ func (c *statsCounters) Snapshot() Stats {
 		HedgedWins:             c.hedgedWins.Load(),
 		HedgedLosses:           c.hedgedLosses.Load(),
 		BreakerSkips:           c.breakerSkips.Load(),
+		ForwardedQueries:       c.forwardedQueries.Load(),
+		ForwardedInvokes:       c.forwardedInvokes.Load(),
 	}
 }
 
@@ -257,6 +272,8 @@ func (r *Relay) countAttestationCacheJoin() { r.stats.attestationCacheJoins.Add(
 func (r *Relay) countAttestationCacheMiss() { r.stats.attestationCacheMisses.Add(1) }
 func (r *Relay) countFanoutAttempt()        { r.stats.fanoutAttempts.Add(1) }
 func (r *Relay) countHedgedWin()            { r.stats.hedgedWins.Add(1) }
+func (r *Relay) countForwardedQuery()       { r.stats.forwardedQueries.Add(1) }
+func (r *Relay) countForwardedInvoke()      { r.stats.forwardedInvokes.Add(1) }
 func (r *Relay) countBreakerSkips(n int) {
 	if n > 0 {
 		r.stats.breakerSkips.Add(uint64(n))

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/msp"
 	"repro/internal/wire"
 )
 
@@ -201,6 +202,14 @@ type Relay struct {
 	mu      sync.RWMutex
 	drivers map[string]Driver
 
+	// Multi-hop routing (see route.go/forward.go): the static route
+	// table consulted when discovery cannot resolve a target directly,
+	// and the identity a forwarding relay signs hop pins with. A nil
+	// forwardID means this relay never forwards for others; a nil routes
+	// table means its own requests never take a multi-hop path.
+	routes    *RouteTable
+	forwardID *msp.Identity
+
 	events *eventHub
 
 	limiter *RateLimiter
@@ -315,7 +324,9 @@ func (r *Relay) Query(ctx context.Context, q *wire.Query) (*wire.QueryResponse, 
 
 	addrs, err := r.resolveOrdered(q.TargetNetwork)
 	if err != nil {
-		return nil, err
+		// Discovery does not know the target: fall back to the static
+		// route table and launch a multi-hop walk through a via network.
+		return r.queryViaRoute(ctx, q, err)
 	}
 	env := &wire.Envelope{
 		Version:   wire.ProtocolVersion,
@@ -416,6 +427,9 @@ func (r *Relay) handleQuery(ctx context.Context, env *wire.Envelope) *wire.Envel
 	}
 	d, ok := r.driverFor(q.TargetNetwork)
 	if !ok {
+		if r.forwarderIdentity() != nil {
+			return r.forwardQuery(ctx, env, q)
+		}
 		return errEnvelope(env.RequestID, fmt.Sprintf("network %q not served by this relay", q.TargetNetwork))
 	}
 	r.countQuery()

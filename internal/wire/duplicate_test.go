@@ -36,6 +36,12 @@ func TestDecodersRejectDuplicateScalarFields(t *testing.T) {
 	}{
 		{"envelope/type", (&Envelope{Type: MsgQuery, RequestID: "r", Payload: []byte("p")}).Marshal(), 2, "uint",
 			func(b []byte) error { _, err := UnmarshalEnvelope(b); return err }},
+		{"envelope/max_hops", (&Envelope{Type: MsgQuery, RequestID: "r", Route: []string{"a"}, MaxHops: 4}).Marshal(), 8, "uint",
+			func(b []byte) error { _, err := UnmarshalEnvelope(b); return err }},
+		{"hop_pin/pin", (&HopPin{Network: "hub", Pin: []byte("pin"), Signature: []byte("sig")}).Marshal(), 3, "bytes",
+			func(b []byte) error { _, err := UnmarshalHopPin(b); return err }},
+		{"hop_pin/signature", (&HopPin{Network: "hub", Pin: []byte("pin"), Signature: []byte("sig")}).Marshal(), 4, "bytes",
+			func(b []byte) error { _, err := UnmarshalHopPin(b); return err }},
 		{"query/request_id", (&Query{RequestID: "r", Contract: "c", Function: "f"}).Marshal(), 1, "bytes",
 			func(b []byte) error { _, err := UnmarshalQuery(b); return err }},
 		{"query/accept_batched", (&Query{RequestID: "r", AcceptBatched: true}).Marshal(), 13, "uint",
@@ -97,6 +103,21 @@ func TestDecodersStillAcceptRepeatedFields(t *testing.T) {
 	}
 	if len(oc.PeerNames) != 2 {
 		t.Fatalf("peers = %d", len(oc.PeerNames))
+	}
+	env, err := UnmarshalEnvelope((&Envelope{Type: MsgQuery, Route: []string{"a", "b", "c"}}).Marshal())
+	if err != nil {
+		t.Fatalf("envelope route: %v", err)
+	}
+	if len(env.Route) != 3 {
+		t.Fatalf("route = %d", len(env.Route))
+	}
+	resp, err := UnmarshalQueryResponse((&QueryResponse{RequestID: "r",
+		HopPins: []HopPin{{Network: "h1"}, {Network: "h2"}}}).Marshal())
+	if err != nil {
+		t.Fatalf("response hop pins: %v", err)
+	}
+	if len(resp.HopPins) != 2 {
+		t.Fatalf("hop pins = %d", len(resp.HopPins))
 	}
 }
 

@@ -47,6 +47,41 @@ func FuzzUnmarshalQueryResponse(f *testing.F) {
 	})
 }
 
+// FuzzUnmarshalEnvelope drives the envelope decoder — the outermost frame
+// every relay parses off the socket, now carrying the multi-hop route
+// fields (repeated Route, scalar MaxHops) — with arbitrary bytes. Same
+// properties as the other targets: never panic, reject crafted duplicate
+// scalars, and once decoded, the canonical re-encoding is a fixed point.
+func FuzzUnmarshalEnvelope(f *testing.F) {
+	f.Add([]byte{})
+	f.Add((&Envelope{Version: 1, Type: MsgQuery, RequestID: "r", Payload: []byte("p"),
+		DeadlineUnixNano: 1_753_500_000_000_000_000, TimeoutNanos: 30_000_000_000}).Marshal())
+	routed := &Envelope{Version: 1, Type: MsgQuery, RequestID: "r", Payload: []byte("p"),
+		Route: []string{"we-trade", "hub-1-net"}, MaxHops: 4}
+	f.Add(routed.Marshal())
+	// A crafted duplicate scalar: valid routed encoding plus a second MaxHops.
+	dupe := NewEncoder(8)
+	dupe.Uint(8, 9)
+	f.Add(append(append([]byte{}, routed.Marshal()...), dupe.Bytes()...))
+	// Truncated mid-message.
+	full := routed.Marshal()
+	f.Add(full[:len(full)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalEnvelope(data)
+		if err != nil {
+			return
+		}
+		again, err := UnmarshalEnvelope(m.Marshal())
+		if err != nil {
+			t.Fatalf("canonical re-encoding refused: %v", err)
+		}
+		if !bytes.Equal(m.Marshal(), again.Marshal()) {
+			t.Fatal("decode/encode is not a fixed point")
+		}
+	})
+}
+
 // FuzzUnmarshalQuery covers the request side including the AcceptBatched
 // capability bit and repeated Args.
 func FuzzUnmarshalQuery(f *testing.F) {

@@ -82,6 +82,18 @@ type Envelope struct {
 	// so a relay with a fast clock no longer kills requests on arrival.
 	// Zero when unbounded or when stamped by an older relay.
 	TimeoutNanos uint64
+	// Route lists the network IDs of the relays this envelope has already
+	// traversed, origin first. A relay appends its own network before
+	// forwarding, and refuses to forward an envelope whose route already
+	// names it — cycles are rejected structurally, without inspecting the
+	// route table that produced them. Empty on single-hop requests, which
+	// keeps their encoding byte-identical to older relays.
+	Route []string
+	// MaxHops bounds the walk: the maximum number of relay-to-relay
+	// transport legs this envelope may make, stamped by the origin when it
+	// routes via a table. A forwarder refuses when the next leg would
+	// exceed it. Zero means the forwarder's own default applies.
+	MaxHops uint64
 }
 
 // Marshal encodes the envelope.
@@ -93,10 +105,15 @@ func (m *Envelope) Marshal() []byte {
 	e.BytesField(4, m.Payload)
 	e.Uint(5, m.DeadlineUnixNano)
 	e.Uint(6, m.TimeoutNanos)
+	for _, hop := range m.Route {
+		e.Message(7, []byte(hop))
+	}
+	e.Uint(8, m.MaxHops)
 	return e.Bytes()
 }
 
-var envelopeScalars = FieldMask(1, 2, 3, 4, 5, 6)
+// envelopeScalars omits field 7 (Route), the only repeated field.
+var envelopeScalars = FieldMask(1, 2, 3, 4, 5, 6, 8)
 
 // UnmarshalEnvelope decodes an Envelope.
 func UnmarshalEnvelope(buf []byte) (*Envelope, error) {
@@ -129,6 +146,12 @@ func UnmarshalEnvelope(buf []byte) (*Envelope, error) {
 			m.DeadlineUnixNano, err = d.Uint()
 		case 6:
 			m.TimeoutNanos, err = d.Uint()
+		case 7:
+			var hop string
+			hop, err = d.String()
+			m.Route = append(m.Route, hop)
+		case 8:
+			m.MaxHops, err = d.Uint()
 		default:
 			err = d.Skip()
 		}
@@ -136,6 +159,17 @@ func UnmarshalEnvelope(buf []byte) (*Envelope, error) {
 			return nil, fmt.Errorf("envelope field %d: %w", field, err)
 		}
 	}
+}
+
+// RouteContains reports whether the envelope's route already names the
+// given network.
+func (m *Envelope) RouteContains(network string) bool {
+	for _, hop := range m.Route {
+		if hop == network {
+			return true
+		}
+	}
+	return false
 }
 
 // Query is the cross-network data request (Fig. 2 step 1): it addresses a
@@ -450,6 +484,65 @@ func UnmarshalMetadata(buf []byte) (*Metadata, error) {
 	}
 }
 
+// HopPin is one forwarding relay's contribution to the chained path proof
+// of a multi-hop response. Each relay that forwarded the query signs the
+// digest chain linking its predecessor's pin (or the response anchor, for
+// the hop adjacent to the source) to its own identity, so the origin can
+// authenticate the whole path, not just the source attestation. Pins are
+// appended on the return path: index 0 is the hop nearest the source.
+type HopPin struct {
+	Network   string // network ID of the forwarding relay
+	CertPEM   []byte // forwarding relay's certificate
+	Pin       []byte // digest of the domain-separated chain payload
+	Signature []byte // ECDSA by the relay's key over the chain payload
+}
+
+// Marshal encodes the hop pin.
+func (m *HopPin) Marshal() []byte {
+	e := NewEncoder(64 + len(m.CertPEM) + len(m.Pin) + len(m.Signature))
+	e.String(1, m.Network)
+	e.BytesField(2, m.CertPEM)
+	e.BytesField(3, m.Pin)
+	e.BytesField(4, m.Signature)
+	return e.Bytes()
+}
+
+var hopPinScalars = FieldMask(1, 2, 3, 4)
+
+// UnmarshalHopPin decodes a HopPin.
+func UnmarshalHopPin(buf []byte) (*HopPin, error) {
+	m := &HopPin{}
+	d := NewDecoder(buf)
+	var g ScalarGuard
+	for {
+		field, ok, err := d.Next()
+		if err != nil {
+			return nil, fmt.Errorf("hop pin: %w", err)
+		}
+		if !ok {
+			return m, nil
+		}
+		if err := g.Check(field, hopPinScalars); err != nil {
+			return nil, fmt.Errorf("hop pin field %d: %w", field, err)
+		}
+		switch field {
+		case 1:
+			m.Network, err = d.String()
+		case 2:
+			m.CertPEM, err = d.BytesCopy()
+		case 3:
+			m.Pin, err = d.BytesCopy()
+		case 4:
+			m.Signature, err = d.BytesCopy()
+		default:
+			err = d.Skip()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hop pin field %d: %w", field, err)
+		}
+	}
+}
+
 // QueryResponse carries the encrypted result plus the proof: one attestation
 // per peer selected to satisfy the verification policy (Fig. 2 step 8).
 type QueryResponse struct {
@@ -467,6 +560,11 @@ type QueryResponse struct {
 	// the result uses classic per-query ECIES.
 	SessionEphemeral  []byte
 	SessionGeneration uint64
+	// HopPins carries the chained path proof of a multi-hop response: one
+	// pin per forwarding relay, appended on the return path (index 0 is
+	// the hop adjacent to the source network). Empty on single-hop
+	// responses, keeping their encoding byte-identical to older relays.
+	HopPins []HopPin
 }
 
 // Marshal encodes the response.
@@ -481,10 +579,14 @@ func (m *QueryResponse) Marshal() []byte {
 	e.BytesField(5, m.PolicyDigest)
 	e.BytesField(6, m.SessionEphemeral)
 	e.Uint(7, m.SessionGeneration)
+	for i := range m.HopPins {
+		e.Message(8, m.HopPins[i].Marshal())
+	}
 	return e.Bytes()
 }
 
-// queryResponseScalars omits field 3 (Attestations), the only repeated field.
+// queryResponseScalars omits fields 3 (Attestations) and 8 (HopPins), the
+// repeated fields.
 var queryResponseScalars = FieldMask(1, 2, 4, 5, 6, 7)
 
 // UnmarshalQueryResponse decodes a QueryResponse.
@@ -526,6 +628,16 @@ func UnmarshalQueryResponse(buf []byte) (*QueryResponse, error) {
 			m.SessionEphemeral, err = d.BytesCopy()
 		case 7:
 			m.SessionGeneration, err = d.Uint()
+		case 8:
+			var raw []byte
+			raw, err = d.Bytes()
+			if err == nil {
+				var pin *HopPin
+				pin, err = UnmarshalHopPin(raw)
+				if err == nil {
+					m.HopPins = append(m.HopPins, *pin)
+				}
+			}
 		default:
 			err = d.Skip()
 		}

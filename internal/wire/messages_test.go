@@ -103,6 +103,74 @@ func TestEnvelopeDeadlineRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEnvelopeRouteRoundTrip(t *testing.T) {
+	env := &Envelope{
+		Version:   ProtocolVersion,
+		Type:      MsgQuery,
+		RequestID: "req-10",
+		Payload:   []byte("inner"),
+		Route:     []string{"we-trade", "hub-1-net", "hub-2-net"},
+		MaxHops:   4,
+	}
+	got, err := UnmarshalEnvelope(env.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalEnvelope: %v", err)
+	}
+	if !reflect.DeepEqual(env, got) {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", env, got)
+	}
+	if !got.RouteContains("hub-1-net") || got.RouteContains("tradelens") {
+		t.Fatalf("RouteContains wrong over %q", got.Route)
+	}
+	// An envelope with no route stays byte-identical to the pre-route
+	// encoding: older relays see exactly the bytes they always did.
+	legacy := &Envelope{Version: ProtocolVersion, Type: MsgQuery, RequestID: "r", Payload: []byte("p")}
+	withZero := &Envelope{Version: ProtocolVersion, Type: MsgQuery, RequestID: "r", Payload: []byte("p"), Route: nil, MaxHops: 0}
+	if !bytes.Equal(legacy.Marshal(), withZero.Marshal()) {
+		t.Fatal("zero route fields changed the legacy encoding")
+	}
+}
+
+func TestHopPinRoundTrip(t *testing.T) {
+	pin := &HopPin{
+		Network:   "hub-1-net",
+		CertPEM:   []byte("-----BEGIN CERTIFICATE-----..."),
+		Pin:       bytes.Repeat([]byte{0x11}, 32),
+		Signature: []byte{1, 2, 3, 4},
+	}
+	got, err := UnmarshalHopPin(pin.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalHopPin: %v", err)
+	}
+	if !reflect.DeepEqual(pin, got) {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+}
+
+func TestQueryResponseHopPinsRoundTrip(t *testing.T) {
+	r := &QueryResponse{
+		RequestID:       "req-11",
+		EncryptedResult: []byte("ciphertext"),
+		HopPins: []HopPin{
+			{Network: "hub-2-net", Pin: []byte{0xA}, Signature: []byte{1}},
+			{Network: "hub-1-net", Pin: []byte{0xB}, Signature: []byte{2}},
+		},
+	}
+	got, err := UnmarshalQueryResponse(r.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalQueryResponse: %v", err)
+	}
+	if len(got.HopPins) != 2 || got.HopPins[0].Network != "hub-2-net" || got.HopPins[1].Network != "hub-1-net" {
+		t.Fatalf("hop pin order lost: %+v", got.HopPins)
+	}
+	// Pin-free responses keep the pre-hop-pin encoding byte-identical.
+	legacy := &QueryResponse{RequestID: "r", EncryptedResult: []byte("enc")}
+	withZero := &QueryResponse{RequestID: "r", EncryptedResult: []byte("enc"), HopPins: nil}
+	if !bytes.Equal(legacy.Marshal(), withZero.Marshal()) {
+		t.Fatal("zero hop pins changed the legacy encoding")
+	}
+}
+
 func TestAttestationRoundTrip(t *testing.T) {
 	a := &Attestation{
 		PeerName:          "peer0",
